@@ -1,0 +1,123 @@
+// E5 (Table 1, girth row; Theorem 1.3.B): exact girth O(n) [28] vs the
+// prior-best (2-1/g)-approximation O~(sqrt(ng)+D) [44] vs this paper's
+// O~(sqrt(n)+D).
+//
+// Two workload series:
+//  * small-girth random graphs (g = 3..5): all three should be cheap; ours
+//    and PRT comparable (g is constant), exact pays O(n);
+//  * pure n-cycles (g = n): PRT's sqrt(ng) = n degrades to linear while ours
+//    stays ~ sqrt(n) - the separation Theorem 1.3.B adds over [44].
+#include <cmath>
+
+#include "bench_util.h"
+#include "congest/network.h"
+#include "graph/generators.h"
+#include "graph/sequential.h"
+#include "mwc/exact.h"
+#include "mwc/girth_approx.h"
+#include "mwc/girth_prt.h"
+#include "support/flags.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace mwc;  // NOLINT
+using congest::Network;
+using graph::Graph;
+using graph::Weight;
+using graph::WeightRange;
+
+void run_small_girth(bool quick) {
+  bench::section("E5a: girth on sparse random graphs (small g)");
+  bench::note("paper: exact O(n) [28] | PRT (2-1/g) O~(sqrt(ng)+D) [44] | "
+              "ours (2-1/g) O~(sqrt(n)+D) [Thm 1.3.B]");
+  support::Table table({"n", "D", "g", "exact rounds", "prt rounds", "prt val",
+                        "ours rounds", "ours val", "ratio ok?"});
+  bench::ExponentTracker exact_fit, ours_fit, prt_fit;
+  for (int n : quick ? std::vector<int>{128, 256} : std::vector<int>{128, 256, 512, 1024}) {
+    support::Rng rng(static_cast<std::uint64_t>(n));
+    Graph g = graph::random_connected(n, 3 * n, WeightRange{1, 1}, rng);
+    const int diam = graph::seq::communication_diameter(g);
+    Weight girth = graph::seq::girth(g);
+
+    Network net_exact(g, 5);
+    cycle::MwcResult exact = cycle::exact_mwc(net_exact);
+
+    Network net_prt(g, 5);
+    cycle::MwcResult prt = cycle::girth_prt(net_prt);
+
+    Network net_ours(g, 5);
+    cycle::GirthApproxParams params;
+    params.sample_constant = 1.5;
+    cycle::MwcResult ours = cycle::girth_approx(net_ours, params);
+
+    const bool ok = exact.value == girth && ours.value >= girth &&
+                    ours.value <= 2 * girth - 1 && prt.value >= girth &&
+                    prt.value <= 2 * girth - 1;
+    exact_fit.add(n, static_cast<double>(exact.stats.rounds));
+    ours_fit.add(n, static_cast<double>(ours.stats.rounds));
+    prt_fit.add(n, static_cast<double>(prt.stats.rounds));
+    table.add_row({support::Table::fmt(static_cast<std::int64_t>(n)),
+                   support::Table::fmt(static_cast<std::int64_t>(diam)),
+                   support::Table::fmt(girth),
+                   support::Table::fmt(static_cast<std::int64_t>(exact.stats.rounds)),
+                   support::Table::fmt(static_cast<std::int64_t>(prt.stats.rounds)),
+                   support::Table::fmt(prt.value),
+                   support::Table::fmt(static_cast<std::int64_t>(ours.stats.rounds)),
+                   support::Table::fmt(ours.value), ok ? "yes" : "NO"});
+  }
+  table.print();
+  bench::note(exact_fit.summary("exact rounds vs n", 1.0));
+  bench::note(prt_fit.summary("PRT rounds vs n (g const)", 0.5));
+  bench::note(ours_fit.summary("ours rounds vs n", 0.5));
+}
+
+void run_large_girth(bool quick) {
+  bench::section("E5b: girth on pure n-cycles (g = n): the sqrt(ng) vs sqrt(n) split");
+  support::Table table({"n (= g)", "exact rounds", "prt rounds", "ours rounds",
+                        "prt/ours", "values ok?"});
+  bench::ExponentTracker ours_fit, prt_fit;
+  for (int n : quick ? std::vector<int>{128, 256} : std::vector<int>{128, 256, 512, 1024}) {
+    support::Rng rng(static_cast<std::uint64_t>(n) + 7);
+    Graph g = graph::cycle_with_chords(n, 0, WeightRange{1, 1}, rng);
+
+    Network net_exact(g, 9);
+    cycle::MwcResult exact = cycle::exact_mwc(net_exact);
+
+    Network net_prt(g, 9);
+    cycle::MwcResult prt = cycle::girth_prt(net_prt);
+
+    Network net_ours(g, 9);
+    cycle::GirthApproxParams params;
+    params.sample_constant = 1.5;
+    cycle::MwcResult ours = cycle::girth_approx(net_ours, params);
+
+    const bool ok = exact.value == n && prt.value == n && ours.value == n;
+    ours_fit.add(n, static_cast<double>(ours.stats.rounds));
+    prt_fit.add(n, static_cast<double>(prt.stats.rounds));
+    table.add_row(
+        {support::Table::fmt(static_cast<std::int64_t>(n)),
+         support::Table::fmt(static_cast<std::int64_t>(exact.stats.rounds)),
+         support::Table::fmt(static_cast<std::int64_t>(prt.stats.rounds)),
+         support::Table::fmt(static_cast<std::int64_t>(ours.stats.rounds)),
+         support::Table::fmt(static_cast<double>(prt.stats.rounds) /
+                                 static_cast<double>(ours.stats.rounds),
+                             2),
+         ok ? "yes" : "NO"});
+  }
+  table.print();
+  bench::note(prt_fit.summary("PRT rounds vs n (g = n)", 1.0));
+  bench::note(ours_fit.summary("ours rounds vs n (g = n)", 1.0));
+  bench::note("(on a bare cycle D = n/2, so both pay D; PRT additionally pays "
+              "its doubling phases - the prt/ours column shows the separation)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::Flags flags(argc, argv, {"quick"});
+  const bool quick = flags.has("quick");
+  run_small_girth(quick);
+  run_large_girth(quick);
+  return 0;
+}

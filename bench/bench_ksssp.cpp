@@ -1,0 +1,146 @@
+// E1 / E2 (Theorem 1.6): k-source BFS and (1+eps)-approximate k-source SSSP.
+//
+// Regenerates the Theorem 1.6 comparison: for k >= n^(1/3) sources the
+// skeleton algorithm runs in O~(sqrt(nk) + D) rounds; baselines are the
+// naive O(n + k) pipelined flood (unweighted) and k sequential SSSPs
+// (weighted). Correctness is cross-checked against sequential references on
+// every instance; the weighted table also reports the worst observed
+// (1+eps) ratio.
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "bench_util.h"
+#include "congest/network.h"
+#include "graph/generators.h"
+#include "graph/sequential.h"
+#include "ksssp/naive.h"
+#include "ksssp/skeleton_bfs.h"
+#include "ksssp/skeleton_sssp.h"
+#include "support/flags.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace mwc;  // NOLINT
+using congest::Network;
+using graph::Graph;
+using graph::NodeId;
+using graph::WeightRange;
+
+std::vector<NodeId> pick_sources(int n, int k, std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<NodeId> all(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(all);
+  all.resize(static_cast<std::size_t>(std::min(k, n)));
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+void run_unweighted(bool quick) {
+  bench::section("E1: exact k-source directed BFS (Theorem 1.6.A)");
+  bench::note("paper: skeleton O~(sqrt(nk)+D) vs naive pipelined flood O(n+k)");
+  support::Table table({"n", "k", "D", "skel rounds", "|S|", "h", "naive rounds",
+                        "exact?"});
+  bench::ExponentTracker skel_fit, naive_fit;
+  for (int n : quick ? std::vector<int>{256, 512} : std::vector<int>{256, 512, 1024, 2048}) {
+    support::Rng rng(static_cast<std::uint64_t>(n));
+    Graph g = graph::random_strongly_connected(n, 3 * n, WeightRange{1, 1}, rng);
+    const int k = static_cast<int>(std::lround(std::cbrt(static_cast<double>(n))));
+    std::vector<NodeId> sources = pick_sources(n, k, 7);
+    const int diam = graph::seq::communication_diameter(g);
+
+    Network net_skel(g, 11);
+    ksssp::SkeletonBfsParams params;
+    params.sources = sources;
+    ksssp::KSsspResult skel = skeleton_k_source_bfs(net_skel, params);
+
+    Network net_naive(g, 11);
+    ksssp::KSsspResult naive = ksssp::naive_k_source_bfs(net_naive, sources);
+
+    bool exact = true;
+    for (std::size_t i = 0; i < sources.size() && exact; ++i) {
+      auto ref = graph::seq::bfs_hops(g, sources[i]);
+      for (NodeId v = 0; v < n; ++v) {
+        if (skel.dist.at(v, static_cast<int>(i)) != ref[static_cast<std::size_t>(v)]) {
+          exact = false;
+          break;
+        }
+      }
+    }
+    skel_fit.add(n, static_cast<double>(skel.stats.rounds));
+    naive_fit.add(n, static_cast<double>(naive.stats.rounds));
+    table.add_row({support::Table::fmt(static_cast<std::int64_t>(n)),
+                   support::Table::fmt(static_cast<std::int64_t>(sources.size())),
+                   support::Table::fmt(static_cast<std::int64_t>(diam)),
+                   support::Table::fmt(static_cast<std::int64_t>(skel.stats.rounds)),
+                   support::Table::fmt(static_cast<std::int64_t>(skel.skeleton_size)),
+                   support::Table::fmt(static_cast<std::int64_t>(skel.h)),
+                   support::Table::fmt(static_cast<std::int64_t>(naive.stats.rounds)),
+                   exact ? "yes" : "NO"});
+  }
+  table.print();
+  // sqrt(n * n^(1/3)) = n^(2/3).
+  bench::note(skel_fit.summary("skeleton rounds vs n", 2.0 / 3.0));
+  bench::note(naive_fit.summary("naive rounds vs n", 1.0));
+  bench::note("(skeleton carries log^2 n broadcast constants; the asymptotic "
+              "crossover vs the O(n+k) flood lies beyond simulable sizes - "
+              "compare the fitted exponents)");
+}
+
+void run_weighted(bool quick) {
+  bench::section("E2: (1+eps) k-source SSSP, weighted digraphs (Theorem 1.6.B)");
+  bench::note("paper: skeleton ladder O~(sqrt(nk)+D) vs k sequential SSSPs");
+  support::Table table({"n", "k", "eps", "skel rounds", "k x SSSP rounds",
+                        "max ratio"});
+  bench::ExponentTracker skel_fit;
+  for (int n : quick ? std::vector<int>{256, 512} : std::vector<int>{256, 512, 1024}) {
+    support::Rng rng(static_cast<std::uint64_t>(n) + 99);
+    Graph g = graph::random_strongly_connected(n, 3 * n, WeightRange{1, 16}, rng);
+    const int k = static_cast<int>(std::lround(std::cbrt(static_cast<double>(n))));
+    std::vector<NodeId> sources = pick_sources(n, k, 13);
+    const double eps = 0.25;
+
+    Network net_skel(g, 17);
+    ksssp::SkeletonSsspParams params;
+    params.sources = sources;
+    params.epsilon = eps;
+    ksssp::KSsspResult skel = skeleton_k_source_sssp(net_skel, params);
+
+    Network net_seq(g, 17);
+    ksssp::KSsspResult seq = ksssp::sequential_k_source_sssp(net_seq, sources);
+
+    double max_ratio = 1.0;
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      auto ref = graph::seq::dijkstra(g, sources[i]);
+      for (NodeId v = 0; v < n; ++v) {
+        graph::Weight exact = ref[static_cast<std::size_t>(v)];
+        graph::Weight est = skel.dist.at(v, static_cast<int>(i));
+        if (exact == graph::kInfWeight || exact == 0) continue;
+        max_ratio = std::max(
+            max_ratio, static_cast<double>(est) / static_cast<double>(exact));
+      }
+    }
+    skel_fit.add(n, static_cast<double>(skel.stats.rounds));
+    table.add_row({support::Table::fmt(static_cast<std::int64_t>(n)),
+                   support::Table::fmt(static_cast<std::int64_t>(sources.size())),
+                   support::Table::fmt(eps, 2),
+                   support::Table::fmt(static_cast<std::int64_t>(skel.stats.rounds)),
+                   support::Table::fmt(static_cast<std::int64_t>(seq.stats.rounds)),
+                   support::Table::fmt(max_ratio, 4)});
+  }
+  table.print();
+  bench::note(skel_fit.summary("skeleton-SSSP rounds vs n", 2.0 / 3.0));
+  bench::note("guarantee: max ratio must stay <= 1 + eps = 1.25");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::Flags flags(argc, argv, {"quick"});
+  const bool quick = flags.has("quick");
+  run_unweighted(quick);
+  run_weighted(quick);
+  return 0;
+}

@@ -1,0 +1,147 @@
+// A4: microbenchmarks of the CONGEST substrate (google-benchmark).
+//
+// These validate the primitive round bounds the algorithms' analyses charge:
+// broadcast O(M + D), convergecast O(D), k-source BFS O(h + k), source
+// detection O(sigma + h). Counters report simulated rounds per op alongside
+// wall time.
+#include <benchmark/benchmark.h>
+
+#include "congest/bfs_tree.h"
+#include "congest/broadcast.h"
+#include "congest/convergecast.h"
+#include "congest/multi_bfs.h"
+#include "congest/network.h"
+#include "congest/source_detection.h"
+#include "graph/generators.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace mwc;  // NOLINT
+using congest::Network;
+using graph::Graph;
+using graph::WeightRange;
+
+Graph make_graph(int n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  return graph::random_connected(n, 3 * n, WeightRange{1, 1}, rng);
+}
+
+void BM_EngineFlood(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Graph g = make_graph(n, 1);
+  std::uint64_t rounds = 0, messages = 0;
+  for (auto _ : state) {
+    Network net(g, 2);
+    congest::MultiBfsParams params;
+    params.sources = {0};
+    congest::RunStats s;
+    run_multi_bfs(net, std::move(params), &s);
+    rounds += s.rounds;
+    messages += s.messages;
+  }
+  state.counters["sim_rounds"] =
+      benchmark::Counter(static_cast<double>(rounds), benchmark::Counter::kAvgIterations);
+  state.counters["sim_msgs"] =
+      benchmark::Counter(static_cast<double>(messages), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_EngineFlood)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_BfsTree(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Graph g = make_graph(n, 3);
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Network net(g, 4);
+    congest::RunStats s;
+    congest::build_bfs_tree(net, 0, &s);
+    rounds += s.rounds;
+  }
+  state.counters["sim_rounds"] =
+      benchmark::Counter(static_cast<double>(rounds), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_BfsTree)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Broadcast(benchmark::State& state) {
+  const int n = 512;
+  const int items = static_cast<int>(state.range(0));
+  Graph g = make_graph(n, 5);
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Network net(g, 6);
+    congest::BfsTreeResult tree = congest::build_bfs_tree(net);
+    std::vector<std::vector<congest::BroadcastItem>> payload(n);
+    support::Rng where(7);
+    for (int i = 0; i < items; ++i) {
+      payload[where.next_below(static_cast<std::uint64_t>(n))].push_back(
+          {static_cast<congest::Word>(i)});
+    }
+    congest::RunStats s;
+    congest::broadcast(net, tree, payload, &s);
+    rounds += s.rounds;
+  }
+  state.counters["sim_rounds"] =
+      benchmark::Counter(static_cast<double>(rounds), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_Broadcast)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_Convergecast(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Graph g = make_graph(n, 8);
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Network net(g, 9);
+    congest::BfsTreeResult tree = congest::build_bfs_tree(net);
+    std::vector<graph::Weight> values(static_cast<std::size_t>(n), 7);
+    congest::RunStats s;
+    congest::convergecast(net, tree, values, congest::AggregateOp::kMin, &s);
+    rounds += s.rounds;
+  }
+  state.counters["sim_rounds"] =
+      benchmark::Counter(static_cast<double>(rounds), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_Convergecast)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_MultiSourceBfs(benchmark::State& state) {
+  const int n = 1024;
+  const int k = static_cast<int>(state.range(0));
+  Graph g = make_graph(n, 10);
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Network net(g, 11);
+    congest::MultiBfsParams params;
+    for (int i = 0; i < k; ++i) params.sources.push_back((i * 37) % n);
+    std::sort(params.sources.begin(), params.sources.end());
+    params.sources.erase(
+        std::unique(params.sources.begin(), params.sources.end()),
+        params.sources.end());
+    congest::RunStats s;
+    run_multi_bfs(net, std::move(params), &s);
+    rounds += s.rounds;
+  }
+  state.counters["sim_rounds"] =
+      benchmark::Counter(static_cast<double>(rounds), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_MultiSourceBfs)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_SourceDetection(benchmark::State& state) {
+  const int n = 1024;
+  const int sigma = static_cast<int>(state.range(0));
+  Graph g = make_graph(n, 12);
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Network net(g, 13);
+    std::vector<graph::NodeId> sources(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) sources[static_cast<std::size_t>(v)] = v;
+    congest::RunStats s;
+    congest::source_detection(net, sources, sigma, /*hop_limit=*/32, &s);
+    rounds += s.rounds;
+  }
+  state.counters["sim_rounds"] =
+      benchmark::Counter(static_cast<double>(rounds), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_SourceDetection)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

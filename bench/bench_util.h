@@ -1,0 +1,57 @@
+// Shared helpers for the experiment benches (E1-E9, A1-A4 of DESIGN.md).
+//
+// Each bench regenerates one group of Table-1 rows: it sweeps instance
+// sizes, runs the paper's algorithm and its baseline in the CONGEST
+// simulator, prints measured rounds next to the theoretical bound, fits the
+// growth exponent over the sweep, and verifies the approximation guarantee
+// against the sequential exact reference.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support/fit.h"
+#include "support/table.h"
+
+namespace mwc::bench {
+
+inline void section(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+// Collects (x, y) samples and reports the log-log slope.
+class ExponentTracker {
+ public:
+  void add(double x, double y) {
+    xs_.push_back(x);
+    ys_.push_back(y);
+  }
+  bool ready() const { return xs_.size() >= 2; }
+  support::PowerFit fit() const { return support::fit_power_law(xs_, ys_); }
+  std::string summary(const std::string& name, double theory) const {
+    if (!ready()) return name + ": not enough samples";
+    auto f = fit();
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s: measured exponent %.2f (theory %.2f, R^2 %.3f)",
+                  name.c_str(), f.exponent, theory, f.r_squared);
+    return buf;
+  }
+
+ private:
+  std::vector<double> xs_, ys_;
+};
+
+// Extrapolated size where fitted power law `a` overtakes `b` (i.e. becomes
+// cheaper); returns 0 if the fits never cross for growing x.
+inline double crossover_x(const support::PowerFit& a, const support::PowerFit& b) {
+  if (a.exponent >= b.exponent) return 0.0;
+  // exp(ca) x^ea = exp(cb) x^eb  =>  x = exp((ca-cb)/(eb-ea))
+  return std::exp((a.log_const - b.log_const) / (b.exponent - a.exponent));
+}
+
+}  // namespace mwc::bench

@@ -1,0 +1,100 @@
+// Deadlock likelihood in a distributed lock manager.
+//
+// The paper's introduction motivates MWC with deadlock analysis: in a
+// wait-for digraph (who waits on whom), a directed cycle is a deadlock and
+// the *shortest* cycle models the likeliest one [38]. A lock manager that
+// monitors an approximate MWC of its wait-for graph can raise an alarm
+// without collecting the whole graph at a coordinator.
+//
+// The synthetic workload: shards acquire locks in a global order (the
+// classic deadlock-avoidance discipline), so ordinary waits only point
+// "forward" with bounded jumps and any cycle they form must wrap the whole
+// order - length >= shards/max_jump. One rogue chain of out-of-order waits
+// closes a short cycle: the deadlock to detect. We compare the exact
+// distributed MWC (O~(n) rounds) against the 2-approximation of Theorem
+// 1.2.C (O~(n^(4/5) + D) rounds) the way a monitoring loop would: "is there
+// a deadlock cycle shorter than the alarm threshold?" - a question a
+// 2-approximation answers correctly given a factor-2 margin.
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "congest/network.h"
+#include "graph/graph.h"
+#include "graph/sequential.h"
+#include "mwc/directed_mwc.h"
+#include "mwc/exact.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace mwc;  // NOLINT
+
+graph::Graph build_wait_for_graph(int shards, int rogue_len, int max_jump,
+                                  std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<graph::Edge> arcs;
+  // The rogue chain: shards 0..rogue_len-1 wait on each other in a ring.
+  for (int i = 0; i + 1 < rogue_len; ++i) arcs.push_back({i, i + 1, 1});
+  arcs.push_back({rogue_len - 1, 0, 1});
+  // Ordered waits: shard i waits on i+1 (its lock-order successor) ...
+  for (int i = rogue_len - 1; i + 1 < shards; ++i) arcs.push_back({i, i + 1, 1});
+  arcs.push_back({shards - 1, 0, 1});  // the wrap that keeps things strongly
+                                       // connected (a cycle of length ~n)
+  // ... plus random forward jumps of bounded length, skipping pairs inside
+  // the rogue block (they would shortcut the planted cycle).
+  for (int extra = 0; extra < 2 * shards; ++extra) {
+    int i = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(shards - 2)));
+    int jump = 2 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(max_jump - 1)));
+    int j = std::min(shards - 1, i + jump);
+    if (j < rogue_len) continue;
+    arcs.push_back({i, j, 1});
+  }
+  // Dedupe (the jump loop may repeat a pair).
+  std::sort(arcs.begin(), arcs.end(), [](const graph::Edge& a, const graph::Edge& b) {
+    return std::pair(a.from, a.to) < std::pair(b.from, b.to);
+  });
+  arcs.erase(std::unique(arcs.begin(), arcs.end(),
+                         [](const graph::Edge& a, const graph::Edge& b) {
+                           return a.from == b.from && a.to == b.to;
+                         }),
+             arcs.end());
+  return graph::Graph::directed(shards, arcs);
+}
+
+}  // namespace
+
+int main() {
+  const int shards = 400;
+  const int rogue_len = 5;
+  graph::Graph wait_for = build_wait_for_graph(shards, rogue_len, 8, 7);
+
+  std::printf("wait-for graph: %d shards, %d wait edges\n",
+              wait_for.node_count(), wait_for.edge_count());
+  std::printf("ground truth shortest deadlock cycle: %lld transactions\n\n",
+              static_cast<long long>(graph::seq::mwc(wait_for)));
+
+  congest::Network net_exact(wait_for, /*seed=*/42);
+  cycle::MwcResult exact = cycle::exact_mwc(net_exact);
+  std::printf("exact monitor    : cycle length %lld, %llu rounds\n",
+              static_cast<long long>(exact.value),
+              static_cast<unsigned long long>(exact.stats.rounds));
+
+  congest::Network net_approx(wait_for, /*seed=*/42);
+  cycle::MwcResult approx = cycle::directed_mwc_2approx(net_approx);
+  std::printf("2-approx monitor : cycle length <= %lld, %llu rounds "
+              "(%d sampled anchors, %d overflow vertices)\n",
+              static_cast<long long>(approx.value),
+              static_cast<unsigned long long>(approx.stats.rounds),
+              approx.sample_count, approx.overflow_count);
+
+  const long long alarm_threshold = 2 * rogue_len;  // factor-2 margin
+  std::printf("\nalarm (threshold %lld waits): exact=%s approx=%s\n",
+              alarm_threshold, exact.value <= alarm_threshold ? "RAISED" : "quiet",
+              approx.value <= alarm_threshold ? "RAISED" : "quiet");
+  std::printf("the 2-approximation never misses a deadlock of length <= "
+              "threshold/2 and never alarms unless one of length <= threshold "
+              "exists.\n");
+  return 0;
+}

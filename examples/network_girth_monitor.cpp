@@ -1,0 +1,72 @@
+// Girth monitoring of an overlay topology.
+//
+// Cycles are a structural feature of overlay networks (cycle bases,
+// redundancy, routing loops [22, 42, 44]): the girth says how small the
+// smallest redundancy loop is. This example watches a peer-to-peer overlay
+// (a random 4-regular-ish graph that slowly gains shortcut links) and keeps
+// a girth estimate using the three available tools, showing where each
+// pays rounds:
+//   * exact girth [28]                - O(n) rounds, every epoch;
+//   * Peleg-Roditty-Tal (2-1/g) [44]  - O~(sqrt(n g) + D), cheap when the
+//     overlay has short loops, expensive while it is still tree-like;
+//   * Theorem 1.3.B (2-1/g)           - O~(sqrt(n) + D), girth-independent.
+#include <cstdio>
+#include <vector>
+
+#include "congest/network.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/sequential.h"
+#include "mwc/exact.h"
+#include "mwc/girth_approx.h"
+#include "mwc/girth_prt.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace mwc;  // NOLINT
+
+// Epoch t: ring backbone (sparse overlay) plus t extra shortcut links.
+graph::Graph overlay_at_epoch(int peers, int shortcuts, std::uint64_t seed) {
+  support::Rng rng(seed);
+  return graph::cycle_with_chords(peers, shortcuts, graph::WeightRange{1, 1}, rng);
+}
+
+}  // namespace
+
+int main() {
+  const int peers = 512;
+  std::printf("overlay girth monitor, %d peers\n", peers);
+  std::printf("%-8s %-6s | %-12s | %-18s | %-18s\n", "epoch", "girth",
+              "exact rounds", "PRT rounds (val)", "Thm1.3.B rounds (val)");
+
+  const int epochs[] = {0, 2, 8, 32, 128};
+  for (int shortcuts : epochs) {
+    graph::Graph g = overlay_at_epoch(peers, shortcuts, 99);
+    graph::Weight girth = graph::seq::girth(g);
+
+    congest::Network net_exact(g, 5);
+    cycle::MwcResult exact = cycle::exact_mwc(net_exact);
+
+    congest::Network net_prt(g, 5);
+    cycle::MwcResult prt = cycle::girth_prt(net_prt);
+
+    congest::Network net_ours(g, 5);
+    cycle::MwcResult ours = cycle::girth_approx(net_ours);
+
+    std::printf("%-8d %-6lld | %-12llu | %8llu (%5lld) | %8llu (%5lld)\n",
+                shortcuts, static_cast<long long>(girth),
+                static_cast<unsigned long long>(exact.stats.rounds),
+                static_cast<unsigned long long>(prt.stats.rounds),
+                static_cast<long long>(prt.value),
+                static_cast<unsigned long long>(ours.stats.rounds),
+                static_cast<long long>(ours.value));
+  }
+
+  std::printf(
+      "\nreading: while the overlay is loop-free-ish (few shortcuts, girth ~ n)\n"
+      "PRT's doubling costs ~ sqrt(n*g) = n rounds; the Theorem 1.3.B monitor\n"
+      "stays near sqrt(n) + D regardless of the girth, and both report a value\n"
+      "within (2 - 1/g) of the true girth.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Observing an algorithm's communication shape with the event trace.
+//
+// Attaching a congest::Trace to a network records every message delivery
+// (run, round, from, to, words). This example runs the Theorem 1.3.B girth
+// approximation on a small overlay and prints the per-phase activity
+// profile - the source-detection burst, the bulk neighbor exchanges, the
+// sampled BFS, and the convergecast tail are each visible as distinct
+// bands of traffic.
+//
+//   $ ./examples/trace_activity [--n=200]
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "congest/network.h"
+#include "congest/trace.h"
+#include "graph/generators.h"
+#include "mwc/girth_approx.h"
+#include "support/flags.h"
+#include "support/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace mwc;  // NOLINT
+  support::Flags flags(argc, argv, {"n"});
+  const int n = static_cast<int>(flags.get_int("n", 200));
+
+  support::Rng rng(7);
+  graph::Graph g = graph::random_connected(n, 3 * n, graph::WeightRange{1, 1}, rng);
+
+  congest::Network net(g, /*seed=*/11);
+  congest::Trace trace(/*capacity=*/1 << 20);
+  net.attach_trace(&trace);
+  cycle::MwcResult result = cycle::girth_approx(net);
+
+  std::printf("girth approx on n=%d: value=%lld, %llu rounds, %zu deliveries "
+              "traced\n\n",
+              n, static_cast<long long>(result.value),
+              static_cast<unsigned long long>(result.stats.rounds),
+              trace.total_recorded());
+
+  // One protocol run per line: rounds used and a bar of total words moved.
+  std::printf("%-6s %-10s %-12s activity\n", "run", "rounds", "words");
+  for (std::uint64_t run = 0;; ++run) {
+    auto profile = trace.round_profile(run);
+    if (profile.empty()) {
+      if (run > 16) break;  // runs are consecutive; allow a few gaps
+      continue;
+    }
+    std::uint64_t words = 0, last_round = 0;
+    for (auto [round, w] : profile) {
+      words += w;
+      last_round = std::max(last_round, round);
+    }
+    const int bar = static_cast<int>(std::min<std::uint64_t>(60, words / 250 + 1));
+    std::printf("%-6llu %-10llu %-12llu %s\n",
+                static_cast<unsigned long long>(run),
+                static_cast<unsigned long long>(last_round + 1),
+                static_cast<unsigned long long>(words),
+                std::string(static_cast<std::size_t>(bar), '#').c_str());
+  }
+  std::printf(
+      "\nreading: the first two bands are the sigma-source detection and its\n"
+      "neighbor exchange; the widest bands are the sampled BFS and its\n"
+      "exchange; the tiny tails are the BFS-tree build and the final\n"
+      "convergecast. (Run ids can skip: shared-randomness draws - e.g. the\n"
+      "sampling step - consume a run id without sending anything.)\n");
+  return 0;
+}

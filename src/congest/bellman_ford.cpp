@@ -1,0 +1,92 @@
+#include "congest/bellman_ford.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/transforms.h"
+#include "support/check.h"
+#include "support/math_util.h"
+
+namespace mwc::congest {
+
+SsspResult exact_sssp(Network& net, const std::vector<graph::NodeId>& sources,
+                      bool reverse, RunStats* stats) {
+  MultiBfsParams params;
+  params.sources = sources;
+  params.mode = DelayMode::kImmediate;
+  params.reverse = reverse;
+  MultiBfs bfs = run_multi_bfs(net, std::move(params), stats);
+  SsspResult result;
+  result.k = static_cast<int>(sources.size());
+  result.dist.resize(static_cast<std::size_t>(net.n()) *
+                     static_cast<std::size_t>(result.k));
+  for (graph::NodeId v = 0; v < net.n(); ++v) {
+    for (int i = 0; i < result.k; ++i) {
+      result.dist[static_cast<std::size_t>(v) * static_cast<std::size_t>(result.k) +
+                  static_cast<std::size_t>(i)] = bfs.dist(v, i);
+    }
+  }
+  return result;
+}
+
+SsspResult approx_hop_sssp(Network& net, const ApproxHopSsspParams& params,
+                           RunStats* stats) {
+  MWC_CHECK(params.hop_limit >= 1 && params.epsilon > 0);
+  const graph::Graph& g = net.problem_graph();
+  const int h = params.hop_limit;
+  const double eps = params.epsilon;
+  const int k = static_cast<int>(params.sources.size());
+  // Tick budget per level: h* = (1 + 2/eps) * h (Section 5.1).
+  const auto h_star = static_cast<Weight>(
+      std::ceil((1.0 + 2.0 / eps) * static_cast<double>(h)));
+
+  SsspResult result;
+  result.k = k;
+  result.dist.assign(static_cast<std::size_t>(net.n()) * static_cast<std::size_t>(k),
+                     kInfWeight);
+  if (stats != nullptr) *stats = RunStats{};
+
+  // Level i handles true path weights in (2^(i-1), 2^i]; the smallest
+  // possible h-hop path weight is 1 and the largest is h * W.
+  const auto max_path_weight =
+      static_cast<std::uint64_t>(h) * static_cast<std::uint64_t>(g.max_weight());
+  const int max_level = support::ceil_log2(std::max<std::uint64_t>(2, max_path_weight));
+  for (int level = 0; level <= max_level; ++level) {
+    graph::Graph scaled = graph::reweighted(g, [&](graph::Weight w) {
+      return graph::scaled_weight(w, h, eps, level);
+    });
+    MultiBfsParams bfs_params;
+    bfs_params.sources = params.sources;
+    bfs_params.mode = DelayMode::kWeightDelay;
+    bfs_params.tick_limit = h_star;
+    bfs_params.reverse = params.reverse;
+    bfs_params.graph_override = &scaled;
+    RunStats level_stats;
+    MultiBfs bfs = run_multi_bfs(net, std::move(bfs_params), &level_stats);
+    if (stats != nullptr) {
+      stats->rounds += level_stats.rounds;
+      stats->messages += level_stats.messages;
+      stats->words += level_stats.words;
+      stats->max_queue_words =
+          std::max(stats->max_queue_words, level_stats.max_queue_words);
+    }
+    // Unscale: a scaled distance dh at level i certifies a real path of
+    // weight <= floor(dh * eps * 2^i / (2h)) (weights are integral).
+    const double unscale = eps * std::ldexp(1.0, level) / (2.0 * static_cast<double>(h));
+    for (graph::NodeId v = 0; v < net.n(); ++v) {
+      for (int i = 0; i < k; ++i) {
+        const Weight dh = bfs.dist(v, i);
+        if (dh == kInfWeight) continue;
+        const auto est = static_cast<Weight>(
+            std::floor(static_cast<double>(dh) * unscale + 1e-9));
+        auto& slot =
+            result.dist[static_cast<std::size_t>(v) * static_cast<std::size_t>(k) +
+                        static_cast<std::size_t>(i)];
+        slot = std::min(slot, std::max<Weight>(est, 0));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mwc::congest

@@ -1,0 +1,52 @@
+// Weighted shortest paths wrappers over MultiBfs.
+//
+//  * exact_sssp        - asynchronous Bellman-Ford with min-combining:
+//    exact distances from k sources. This is the engine behind the exact
+//    weighted APSP baseline (DESIGN.md substitution 2: the role of [8]'s
+//    O~(n)-round exact APSP). Round cost is whatever the execution takes.
+//
+//  * approx_hop_sssp   - (1+eps)-approximate h-hop-limited distances from k
+//    sources via the scaling ladder of [41]: for each level i the weights
+//    are scaled to ceil(2hw / (eps 2^i)) and a stretched-graph BFS with tick
+//    budget h* = (1 + 2/eps) h is run; unscaling and min-combining over the
+//    ladder yields, for every pair at h-hop-distance d, an estimate in
+//    [d, (1+eps) d]. Each level costs O(h* + k) rounds; there are
+//    O(log(hW)) levels.
+#pragma once
+
+#include <vector>
+
+#include "congest/multi_bfs.h"
+
+namespace mwc::congest {
+
+struct SsspResult {
+  int k = 0;
+  // dist[v * k + i]: distance from source i to node v (or v to source i in
+  // reverse mode); kInfWeight if unreachable (or beyond the hop budget).
+  std::vector<Weight> dist;
+
+  Weight at(graph::NodeId v, int source_idx) const {
+    return dist[static_cast<std::size_t>(v) * static_cast<std::size_t>(k) +
+                static_cast<std::size_t>(source_idx)];
+  }
+};
+
+// Exact SSSP from every source (directed: follows arcs; reverse computes
+// distances *to* the sources).
+SsspResult exact_sssp(Network& net, const std::vector<graph::NodeId>& sources,
+                      bool reverse = false, RunStats* stats = nullptr);
+
+struct ApproxHopSsspParams {
+  std::vector<graph::NodeId> sources;
+  int hop_limit = 0;     // h: paths of more hops need not be approximated
+  double epsilon = 0.5;  // approximation slack
+  bool reverse = false;
+};
+
+// (1+eps)-approximation d' with d_h(s,v) <= d' for every v whose h-hop
+// distance is finite; estimates are always weights of real paths.
+SsspResult approx_hop_sssp(Network& net, const ApproxHopSsspParams& params,
+                           RunStats* stats = nullptr);
+
+}  // namespace mwc::congest

@@ -1,0 +1,73 @@
+#include "congest/bfs_tree.h"
+
+#include "congest/runner.h"
+#include "support/check.h"
+
+namespace mwc::congest {
+
+namespace {
+
+// Message words: {kToken, depth} announces the wave; {kAdopt} tells the
+// receiver it became the sender's parent.
+constexpr Word kToken = 0;
+constexpr Word kAdopt = 1;
+
+class BfsTreeProtocol : public Protocol {
+ public:
+  BfsTreeProtocol(int n, graph::NodeId root) : root_(root) {
+    result_.root = root;
+    result_.parent.assign(static_cast<std::size_t>(n), graph::kNoNode);
+    result_.depth.assign(static_cast<std::size_t>(n), -1);
+    result_.children.resize(static_cast<std::size_t>(n));
+  }
+
+  void begin(NodeCtx& node) override {
+    if (node.id() != root_) return;
+    result_.depth[static_cast<std::size_t>(node.id())] = 0;
+    for (graph::NodeId u : node.comm_neighbors()) {
+      node.send(u, Message{pack_tag(kToken, 1)});
+    }
+  }
+
+  void round(NodeCtx& node) override {
+    auto& my_depth = result_.depth[static_cast<std::size_t>(node.id())];
+    for (const Delivery& m : node.inbox()) {
+      if (tag_of(m.msg[0]) == kAdopt) {
+        result_.children[static_cast<std::size_t>(node.id())].push_back(m.from);
+        continue;
+      }
+      const auto d = static_cast<std::int32_t>(value_of(m.msg[0]));
+      if (my_depth != -1) continue;  // already joined the tree
+      my_depth = d;
+      result_.parent[static_cast<std::size_t>(node.id())] = m.from;
+      node.send(m.from, Message{pack_tag(kAdopt, 0)});
+      for (graph::NodeId u : node.comm_neighbors()) {
+        if (u != m.from) node.send(u, Message{pack_tag(kToken, static_cast<Word>(d + 1))});
+      }
+    }
+  }
+
+  BfsTreeResult take_result() {
+    for (std::int32_t d : result_.depth) {
+      MWC_CHECK_MSG(d >= 0, "communication topology must be connected");
+      result_.height = std::max(result_.height, d);
+    }
+    return std::move(result_);
+  }
+
+ private:
+  graph::NodeId root_;
+  BfsTreeResult result_;
+};
+
+}  // namespace
+
+BfsTreeResult build_bfs_tree(Network& net, graph::NodeId root, RunStats* stats) {
+  MWC_CHECK(root >= 0 && root < net.n());
+  BfsTreeProtocol proto(net.n(), root);
+  RunStats s = run_protocol(net, proto);
+  if (stats != nullptr) *stats = s;
+  return proto.take_result();
+}
+
+}  // namespace mwc::congest

@@ -1,0 +1,29 @@
+// BFS spanning tree of the communication topology.
+//
+// The backbone for the broadcast and convergecast operations of [43]
+// (Peleg's textbook primitives the paper uses throughout). Rooted at a fixed
+// node (ids are globally known in CONGEST, so "node 0" is a valid leader
+// without an election). Depth of the tree is at most the network diameter D.
+#pragma once
+
+#include <vector>
+
+#include "congest/protocol.h"
+#include "graph/graph.h"
+
+namespace mwc::congest {
+
+struct BfsTreeResult {
+  graph::NodeId root = 0;
+  std::vector<graph::NodeId> parent;               // kNoNode for root
+  std::vector<std::int32_t> depth;                 // hops from root
+  std::vector<std::vector<graph::NodeId>> children;
+  int height = 0;                                  // max depth; <= D
+};
+
+// Builds the tree by flooding from `root`; O(D) rounds, O(m) messages.
+// The communication topology must be connected.
+BfsTreeResult build_bfs_tree(Network& net, graph::NodeId root = 0,
+                             RunStats* stats = nullptr);
+
+}  // namespace mwc::congest

@@ -1,0 +1,138 @@
+#include "congest/broadcast.h"
+
+#include "congest/runner.h"
+#include "support/check.h"
+
+namespace mwc::congest {
+
+namespace {
+constexpr Word kItemUp = 0;
+constexpr Word kItemDown = 1;
+constexpr Word kDoneUp = 2;
+constexpr Word kDoneDown = 3;
+}  // namespace
+
+class BroadcastProtocol : public Protocol {
+ public:
+  BroadcastProtocol(const BfsTreeResult& tree,
+                    const std::vector<std::vector<BroadcastItem>>& items_per_node)
+      : tree_(tree), items_per_node_(items_per_node) {
+    const std::size_t n = tree.parent.size();
+    result_.received_.assign(n, 0);
+    pending_done_children_.resize(n);
+    sent_done_up_.assign(n, false);
+    for (std::size_t v = 0; v < n; ++v) {
+      pending_done_children_[v] = static_cast<int>(tree_.children[v].size());
+    }
+  }
+
+  void begin(NodeCtx& node) override {
+    const auto v = static_cast<std::size_t>(node.id());
+    if (node.id() == tree_.root) {
+      for (const BroadcastItem& item : items_per_node_[v]) collect_at_root(node, item);
+    } else {
+      for (const BroadcastItem& item : items_per_node_[v]) {
+        node.send(tree_.parent[v], frame(kItemUp, item));
+      }
+    }
+    maybe_done_up(node);
+  }
+
+  void round(NodeCtx& node) override {
+    const auto v = static_cast<std::size_t>(node.id());
+    for (const Delivery& m : node.inbox()) {
+      switch (m.msg[0]) {
+        case kItemUp: {
+          BroadcastItem item = unframe(m.msg);
+          if (node.id() == tree_.root) {
+            collect_at_root(node, item);
+          } else {
+            node.send(tree_.parent[v], frame(kItemUp, item));
+          }
+          break;
+        }
+        case kItemDown: {
+          BroadcastItem item = unframe(m.msg);
+          ++result_.received_[v];
+          for (graph::NodeId c : tree_.children[v]) {
+            node.send(c, frame(kItemDown, item));
+          }
+          break;
+        }
+        case kDoneUp:
+          --pending_done_children_[v];
+          maybe_done_up(node);
+          break;
+        case kDoneDown:
+          for (graph::NodeId c : tree_.children[v]) node.send(c, Message{kDoneDown});
+          break;
+        default:
+          MWC_CHECK(false);
+      }
+    }
+  }
+
+  BroadcastResult take_result() { return std::move(result_); }
+
+ private:
+  static Message frame(Word type, const BroadcastItem& item) {
+    MWC_CHECK(!item.empty());
+    Message msg{type};
+    for (Word w : item) msg.push(w);
+    return msg;
+  }
+  static BroadcastItem unframe(const Message& msg) {
+    BroadcastItem item;
+    item.reserve(msg.size() - 1);
+    for (std::uint32_t i = 1; i < msg.size(); ++i) item.push_back(msg[i]);
+    return item;
+  }
+
+  // Root: record the item and immediately pipeline it down to all children.
+  void collect_at_root(NodeCtx& node, const BroadcastItem& item) {
+    result_.items_.push_back(item);
+    ++result_.received_[static_cast<std::size_t>(tree_.root)];
+    for (graph::NodeId c : tree_.children[static_cast<std::size_t>(tree_.root)]) {
+      node.send(c, frame(kItemDown, item));
+    }
+  }
+
+  // Upcast termination: once my subtree is fully flushed, tell the parent
+  // (FIFO links guarantee the DONE trails every forwarded item). At the
+  // root, all-children-done means the collection is complete; flood the
+  // final DONE downward.
+  void maybe_done_up(NodeCtx& node) {
+    const auto v = static_cast<std::size_t>(node.id());
+    if (pending_done_children_[v] != 0 || sent_done_up_[v]) return;
+    sent_done_up_[v] = true;
+    if (node.id() == tree_.root) {
+      for (graph::NodeId c : tree_.children[v]) node.send(c, Message{kDoneDown});
+    } else {
+      node.send(tree_.parent[v], Message{kDoneUp});
+    }
+  }
+
+  const BfsTreeResult& tree_;
+  const std::vector<std::vector<BroadcastItem>>& items_per_node_;
+  BroadcastResult result_;
+  std::vector<int> pending_done_children_;
+  std::vector<bool> sent_done_up_;
+};
+
+BroadcastResult broadcast(Network& net, const BfsTreeResult& tree,
+                          const std::vector<std::vector<BroadcastItem>>& items_per_node,
+                          RunStats* stats) {
+  MWC_CHECK(static_cast<int>(items_per_node.size()) == net.n());
+  BroadcastProtocol proto(tree, items_per_node);
+  RunStats s = run_protocol(net, proto);
+  if (stats != nullptr) *stats = s;
+  BroadcastResult result = proto.take_result();
+  // Every node must have physically received every item.
+  for (graph::NodeId v = 0; v < net.n(); ++v) {
+    MWC_CHECK_MSG(result.received_count(v) == result.items().size(),
+                  "broadcast under-delivered");
+  }
+  return result;
+}
+
+}  // namespace mwc::congest

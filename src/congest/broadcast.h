@@ -1,0 +1,45 @@
+// Global broadcast of M messages in O(M + D) rounds [43].
+//
+// Items originate at arbitrary nodes, are upcast (pipelined) along the BFS
+// tree to the root, and flooded back down, so every node ends up knowing all
+// M items. Nodes pace themselves (one item per tree link per round) so link
+// queues stay bounded; the engine's bandwidth enforcement turns the pacing
+// into the familiar O(M + D) round bound.
+//
+// The collected item list is canonical (root arrival order). Per-node copies
+// would be identical, so the simulation stores one list plus a per-node
+// received counter; the counters prove every node physically received every
+// item (tests assert this).
+#pragma once
+
+#include <vector>
+
+#include "congest/bfs_tree.h"
+#include "congest/protocol.h"
+
+namespace mwc::congest {
+
+using BroadcastItem = std::vector<Word>;
+
+class BroadcastResult {
+ public:
+  // All items, in the canonical (root) order.
+  const std::vector<BroadcastItem>& items() const { return items_; }
+  // Number of items node v physically received (== items().size() for all v
+  // on success; the root "receives" its collected list by construction).
+  std::size_t received_count(graph::NodeId v) const {
+    return received_[static_cast<std::size_t>(v)];
+  }
+
+ private:
+  friend class BroadcastProtocol;
+  std::vector<BroadcastItem> items_;
+  std::vector<std::size_t> received_;
+};
+
+// Broadcasts items_per_node[v] (owned by node v) to every node.
+BroadcastResult broadcast(Network& net, const BfsTreeResult& tree,
+                          const std::vector<std::vector<BroadcastItem>>& items_per_node,
+                          RunStats* stats = nullptr);
+
+}  // namespace mwc::congest

@@ -1,0 +1,108 @@
+#include "congest/convergecast.h"
+
+#include <algorithm>
+
+#include "congest/runner.h"
+#include "support/check.h"
+
+namespace mwc::congest {
+
+namespace {
+
+constexpr Word kUp = 0;
+constexpr Word kDown = 1;
+
+graph::Weight combine(AggregateOp op, graph::Weight a, graph::Weight b) {
+  switch (op) {
+    case AggregateOp::kMin:
+      return std::min(a, b);
+    case AggregateOp::kMax:
+      return std::max(a, b);
+    case AggregateOp::kSum:
+      return a + b;
+  }
+  MWC_CHECK(false);
+  return 0;
+}
+
+class ConvergecastProtocol : public Protocol {
+ public:
+  ConvergecastProtocol(const BfsTreeResult& tree,
+                       const std::vector<graph::Weight>& values, AggregateOp op)
+      : tree_(tree), op_(op), acc_(values) {
+    const std::size_t n = values.size();
+    pending_children_.resize(n);
+    result_at_.assign(n, graph::kInfWeight);
+    for (std::size_t v = 0; v < n; ++v) {
+      pending_children_[v] = static_cast<int>(tree_.children[v].size());
+    }
+  }
+
+  void begin(NodeCtx& node) override {
+    maybe_send_up(node);
+  }
+
+  void round(NodeCtx& node) override {
+    const auto v = static_cast<std::size_t>(node.id());
+    for (const Delivery& m : node.inbox()) {
+      const auto value = static_cast<graph::Weight>(value_of(m.msg[0]));
+      if (tag_of(m.msg[0]) == kUp) {
+        acc_[v] = combine(op_, acc_[v], value);
+        --pending_children_[v];
+        maybe_send_up(node);
+      } else {
+        deliver_down(node, value);
+      }
+    }
+  }
+
+  graph::Weight result_at(graph::NodeId v) const {
+    return result_at_[static_cast<std::size_t>(v)];
+  }
+
+ private:
+  void maybe_send_up(NodeCtx& node) {
+    const auto v = static_cast<std::size_t>(node.id());
+    if (pending_children_[v] != 0 || sent_up_[v]) return;
+    sent_up_[v] = true;
+    if (node.id() == tree_.root) {
+      deliver_down(node, acc_[v]);
+    } else {
+      node.send(tree_.parent[v], Message{pack_tag(kUp, static_cast<Word>(acc_[v]))});
+    }
+  }
+
+  void deliver_down(NodeCtx& node, graph::Weight value) {
+    const auto v = static_cast<std::size_t>(node.id());
+    result_at_[v] = value;
+    for (graph::NodeId c : tree_.children[v]) {
+      node.send(c, Message{pack_tag(kDown, static_cast<Word>(value))});
+    }
+  }
+
+  const BfsTreeResult& tree_;
+  AggregateOp op_;
+  std::vector<graph::Weight> acc_;
+  std::vector<int> pending_children_;
+  std::vector<bool> sent_up_ = std::vector<bool>(acc_.size(), false);
+  std::vector<graph::Weight> result_at_;
+};
+
+}  // namespace
+
+graph::Weight convergecast(Network& net, const BfsTreeResult& tree,
+                           const std::vector<graph::Weight>& values,
+                           AggregateOp op, RunStats* stats) {
+  MWC_CHECK(static_cast<int>(values.size()) == net.n());
+  ConvergecastProtocol proto(tree, values, op);
+  RunStats s = run_protocol(net, proto);
+  if (stats != nullptr) *stats = s;
+  graph::Weight result = proto.result_at(tree.root);
+  // Every node must have learned the same aggregate.
+  for (graph::NodeId v = 0; v < net.n(); ++v) {
+    MWC_CHECK(proto.result_at(v) == result);
+  }
+  return result;
+}
+
+}  // namespace mwc::congest

@@ -1,0 +1,24 @@
+// Convergecast: associative aggregation over all nodes, O(D) rounds [43].
+//
+// Each node holds one Weight; the tree aggregates bottom-up at the root and
+// the result is flooded back down, so *every* node knows the aggregate (the
+// paper's MWC algorithms end with exactly this: "mu <- min_v mu_v, computed
+// by a convergecast operation").
+#pragma once
+
+#include <vector>
+
+#include "congest/bfs_tree.h"
+#include "congest/protocol.h"
+#include "graph/graph.h"
+
+namespace mwc::congest {
+
+enum class AggregateOp { kMin, kMax, kSum };
+
+// Returns the aggregate (also known at every node after the run).
+graph::Weight convergecast(Network& net, const BfsTreeResult& tree,
+                           const std::vector<graph::Weight>& values,
+                           AggregateOp op, RunStats* stats = nullptr);
+
+}  // namespace mwc::congest

@@ -1,0 +1,85 @@
+// CONGEST messages.
+//
+// The model allows Theta(log n) bits per edge per round; we represent that
+// quantum as one 64-bit Word (enough for an id plus a poly(n) distance, i.e.
+// Theta(log n + log W) bits - the bandwidth the paper assumes for weighted
+// graphs). A Message is a sequence of Words; transmitting a k-word message
+// over a link occupies that link direction for ceil(k / B) rounds, which is
+// exactly how the paper charges multi-word messages (e.g. the restricted-BFS
+// message Q(v) of Algorithm 3 "can be sent in O(log n) rounds").
+//
+// Message keeps small payloads inline to avoid per-message heap traffic in
+// simulations that move tens of millions of messages.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "support/check.h"
+
+namespace mwc::congest {
+
+using Word = std::uint64_t;
+
+class Message {
+ public:
+  Message() = default;
+  Message(std::initializer_list<Word> ws) {
+    for (Word w : ws) push(w);
+  }
+
+  void push(Word w) {
+    if (size_ < kInline) {
+      inline_[size_] = w;
+    } else {
+      if (size_ == kInline) heap_.assign(inline_, inline_ + kInline);
+      heap_.push_back(w);
+    }
+    ++size_;
+  }
+
+  std::uint32_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  Word operator[](std::uint32_t i) const {
+    MWC_DCHECK(i < size_);
+    return size_ <= kInline ? inline_[i] : heap_[i];
+  }
+
+ private:
+  static constexpr std::uint32_t kInline = 6;
+  Word inline_[kInline] = {};
+  std::vector<Word> heap_;
+  std::uint32_t size_ = 0;
+};
+
+// A message delivered to a node, tagged with the neighbor it came from.
+struct Delivery {
+  std::int32_t from = -1;  // neighbor NodeId
+  Message msg;
+};
+
+// --- packing helpers --------------------------------------------------
+//
+// One Word models Theta(log n + log W) bits, so a small tag plus a value, or
+// a node id plus a distance, are one message word - exactly how the paper
+// counts "a message" (e.g. a BFS announcement <origin, distance>).
+
+// 3-bit tag + 61-bit value (large enough for kInfWeight = 2^60).
+inline Word pack_tag(Word tag, Word value) {
+  MWC_DCHECK(tag < 8 && value < (Word{1} << 61));
+  return (tag << 61) | value;
+}
+inline Word tag_of(Word w) { return w >> 61; }
+inline Word value_of(Word w) { return w & ((Word{1} << 61) - 1); }
+
+// 24-bit id + 40-bit value (ids up to 16M nodes, distances < 2^40).
+inline Word pack_id_value(Word id, Word value) {
+  MWC_DCHECK(id < (Word{1} << 24) && value < (Word{1} << 40));
+  return (id << 40) | value;
+}
+inline Word id_of(Word w) { return w >> 40; }
+inline Word id_value_of(Word w) { return w & ((Word{1} << 40) - 1); }
+
+}  // namespace mwc::congest

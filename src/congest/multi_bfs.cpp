@@ -1,0 +1,176 @@
+#include "congest/multi_bfs.h"
+
+#include <algorithm>
+
+#include "congest/runner.h"
+#include "support/check.h"
+
+namespace mwc::congest {
+
+MultiBfs::MultiBfs(const Network& net, MultiBfsParams params)
+    : net_(net),
+      params_(std::move(params)),
+      n_(net.n()),
+      k_(static_cast<int>(params_.sources.size())) {
+  MWC_CHECK(k_ >= 1);
+  MWC_CHECK(params_.tick_limit >= 0);
+  MWC_CHECK(params_.start_offset.empty() ||
+            params_.start_offset.size() == params_.sources.size());
+  MWC_CHECK_MSG(params_.mode != DelayMode::kImmediate || params_.sigma == 0,
+                "sigma cap is not supported with kImmediate (estimates may "
+                "improve after eviction)");
+  for (graph::NodeId s : params_.sources) MWC_CHECK(s >= 0 && s < n_);
+  if (sigma_mode()) {
+    detected_.resize(static_cast<std::size_t>(n_));
+  } else {
+    dist_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(k_),
+                 kInfWeight);
+    parent_.assign(dist_.size(), kNoNode);
+  }
+  if (params_.mode == DelayMode::kWeightDelay) {
+    outbox_.resize(static_cast<std::size_t>(n_));
+  }
+}
+
+Weight MultiBfs::dist(graph::NodeId v, int source_idx) const {
+  MWC_DCHECK(v >= 0 && v < n_ && source_idx >= 0 && source_idx < k_);
+  if (!sigma_mode()) {
+    return dist_[static_cast<std::size_t>(v) * static_cast<std::size_t>(k_) +
+                 static_cast<std::size_t>(source_idx)];
+  }
+  for (const Detected& e : detected_[static_cast<std::size_t>(v)]) {
+    if (e.source_idx == source_idx) return e.d;
+  }
+  return kInfWeight;
+}
+
+graph::NodeId MultiBfs::parent(graph::NodeId v, int source_idx) const {
+  MWC_DCHECK(v >= 0 && v < n_ && source_idx >= 0 && source_idx < k_);
+  if (!sigma_mode()) {
+    return parent_[static_cast<std::size_t>(v) * static_cast<std::size_t>(k_) +
+                   static_cast<std::size_t>(source_idx)];
+  }
+  for (const Detected& e : detected_[static_cast<std::size_t>(v)]) {
+    if (e.source_idx == source_idx) return e.parent;
+  }
+  return kNoNode;
+}
+
+const std::vector<MultiBfs::Detected>& MultiBfs::detected(graph::NodeId v) const {
+  MWC_CHECK(sigma_mode());
+  return detected_[static_cast<std::size_t>(v)];
+}
+
+bool MultiBfs::consider(graph::NodeId v, std::int32_t source_idx, Weight d,
+                        graph::NodeId from) {
+  if (!sigma_mode()) {
+    std::size_t idx = static_cast<std::size_t>(v) * static_cast<std::size_t>(k_) +
+                      static_cast<std::size_t>(source_idx);
+    if (d >= dist_[idx]) return false;
+    dist_[idx] = d;
+    parent_[idx] = from;
+    return true;
+  }
+  // Sigma mode: keep the sigma nearest sources by (d, source node id).
+  auto& list = detected_[static_cast<std::size_t>(v)];
+  const graph::NodeId sid = params_.sources[static_cast<std::size_t>(source_idx)];
+  auto rank = [this](const Detected& e) {
+    return std::pair(e.d, params_.sources[static_cast<std::size_t>(e.source_idx)]);
+  };
+  const auto my_rank = std::pair(d, sid);
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (list[i].source_idx == source_idx) {
+      if (list[i].d <= d) return false;
+      list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  if (static_cast<int>(list.size()) == params_.sigma) {
+    if (rank(list.back()) <= my_rank) return false;  // not among the top sigma
+    list.pop_back();
+  }
+  auto pos = std::lower_bound(list.begin(), list.end(), my_rank,
+                              [&](const Detected& e, const std::pair<Weight, graph::NodeId>& r) {
+                                return rank(e) < r;
+                              });
+  list.insert(pos, Detected{d, source_idx, from});
+  return true;
+}
+
+void MultiBfs::propagate(NodeCtx& node, std::int32_t source_idx, Weight d) {
+  const graph::Graph& g =
+      params_.graph_override != nullptr ? *params_.graph_override : net_.problem_graph();
+  const bool use_in = params_.reverse && g.is_directed();
+  auto arcs = use_in ? g.in(node.id()) : g.out(node.id());
+  for (const graph::Arc& a : arcs) {
+    const Weight tick = (params_.mode == DelayMode::kUnitDelay) ? 1 : a.w;
+    const Weight nd = d + tick;
+    if (nd > params_.tick_limit) continue;
+    if (params_.mode == DelayMode::kWeightDelay && a.w > 1) {
+      const std::uint64_t when = node.round() + static_cast<std::uint64_t>(a.w - 1);
+      outbox_[static_cast<std::size_t>(node.id())].push(
+          PendingSend{when, a.to, source_idx, nd});
+      node.wake_at(when);
+    } else {
+      node.send(a.to,
+                Message{pack_id_value(static_cast<Word>(source_idx), static_cast<Word>(nd))},
+                /*priority=*/nd);
+    }
+  }
+}
+
+void MultiBfs::flush_outbox(NodeCtx& node) {
+  if (outbox_.empty()) return;
+  auto& box = outbox_[static_cast<std::size_t>(node.id())];
+  while (!box.empty() && box.top().send_round <= node.round()) {
+    const PendingSend& p = box.top();
+    node.send(p.neighbor,
+              Message{pack_id_value(static_cast<Word>(p.source_idx), static_cast<Word>(p.dist))},
+              /*priority=*/p.dist);
+    box.pop();
+  }
+}
+
+void MultiBfs::begin(NodeCtx& node) {
+  for (int i = 0; i < k_; ++i) {
+    if (params_.sources[static_cast<std::size_t>(i)] != node.id()) continue;
+    consider(node.id(), i, 0, kNoNode);
+    const std::uint64_t offset =
+        params_.start_offset.empty() ? 0 : params_.start_offset[static_cast<std::size_t>(i)];
+    if (offset == 0) {
+      propagate(node, i, 0);
+    } else {
+      node.wake_at(offset);
+    }
+  }
+}
+
+void MultiBfs::round(NodeCtx& node) {
+  flush_outbox(node);
+  // Delayed source starts (random offsets).
+  if (!params_.start_offset.empty()) {
+    for (int i = 0; i < k_; ++i) {
+      if (params_.sources[static_cast<std::size_t>(i)] != node.id()) continue;
+      if (params_.start_offset[static_cast<std::size_t>(i)] == node.round()) {
+        propagate(node, i, 0);
+      }
+    }
+  }
+  for (const Delivery& m : node.inbox()) {
+    MWC_DCHECK(m.msg.size() == 1);
+    const auto source_idx = static_cast<std::int32_t>(id_of(m.msg[0]));
+    const auto d = static_cast<Weight>(id_value_of(m.msg[0]));
+    if (consider(node.id(), source_idx, d, m.from)) {
+      propagate(node, source_idx, d);
+    }
+  }
+}
+
+MultiBfs run_multi_bfs(Network& net, MultiBfsParams params, RunStats* stats) {
+  MultiBfs bfs(net, std::move(params));
+  RunStats s = run_protocol(net, bfs);
+  if (stats != nullptr) *stats = s;
+  return bfs;
+}
+
+}  // namespace mwc::congest

@@ -1,0 +1,132 @@
+// Multi-source shortest paths - the workhorse primitive.
+//
+// One protocol covers the paper's whole distance toolbox:
+//
+//  * kUnitDelay  - pipelined multi-source BFS: every arc costs 1 tick and
+//    1 round. With k sources and hop limit h this is the O(h + k) k-source
+//    BFS of [37] (priority pipelining: smaller distances first).
+//  * kWeightDelay - "stretched graph" BFS (Corollary 4.1): an arc of weight
+//    w costs w ticks and w rounds (the sender simulates the first w-1 unit
+//    edges of the stretched path internally, then transmits). Running this
+//    on a scaled graph is the h-hop (1+eps)-approximate SSSP of [41].
+//  * kImmediate  - asynchronous Bellman-Ford with min-combining: arcs cost
+//    w ticks but messages are sent immediately. Exact SSSP; rounds are
+//    whatever the execution takes (used by the exact weighted APSP baseline,
+//    see DESIGN.md substitution 2).
+//
+// An optional cap sigma turns the primitive into (sigma, h) source detection
+// [37]: each node learns (and forwards) only its sigma nearest sources by
+// (distance, source id), in O(sigma + h) rounds.
+//
+// Results are node-local: row v of the output is what node v knows after the
+// run (its distance to each source, and the neighbor that delivered it -
+// the BFS-tree parent).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "congest/protocol.h"
+#include "graph/graph.h"
+
+namespace mwc::congest {
+
+using graph::kInfWeight;
+using graph::kNoNode;
+using graph::Weight;
+
+enum class DelayMode {
+  kUnitDelay,    // hop BFS (weights ignored; tick = hop)
+  kWeightDelay,  // stretched-graph BFS (tick = weight; w rounds per arc)
+  kImmediate,    // async Bellman-Ford (tick = weight; 1 round per arc)
+};
+
+struct MultiBfsParams {
+  std::vector<graph::NodeId> sources;
+  DelayMode mode = DelayMode::kUnitDelay;
+  // Maximum total ticks of a path; announcements beyond this are dropped.
+  Weight tick_limit = kInfWeight;
+  // 0 = every node learns every source; >0 = source detection cap.
+  int sigma = 0;
+  // Traverse in-arcs instead of out-arcs (computes distances *to* sources in
+  // directed graphs; no effect on undirected graphs).
+  bool reverse = false;
+  // Optional per-source start round (random delays of Algorithm 3 & [24]).
+  std::vector<std::uint64_t> start_offset;
+  // Run over these arcs/weights instead of the network's problem graph.
+  // Must have the same node set and (sub)topology - used for the scaled
+  // graphs G^i of Section 5 (each node can compute its scaled incident
+  // weights locally, so this is pure bookkeeping, not extra knowledge).
+  const graph::Graph* graph_override = nullptr;
+};
+
+class MultiBfs : public Protocol {
+ public:
+  MultiBfs(const Network& net, MultiBfsParams params);
+
+  void begin(NodeCtx& node) override;
+  void round(NodeCtx& node) override;
+
+  int source_count() const { return static_cast<int>(params_.sources.size()); }
+
+  // --- results (valid after the run) ----------------------------------
+  // Distance in ticks from source index i to node v (or v to source in
+  // reverse mode); kInfWeight if not reached within tick_limit / sigma cap.
+  Weight dist(graph::NodeId v, int source_idx) const;
+  // Neighbor that delivered the final estimate (kNoNode for the source
+  // itself / unreached).
+  graph::NodeId parent(graph::NodeId v, int source_idx) const;
+
+  // Sigma mode: node v's detected sources, sorted by (dist, source id).
+  struct Detected {
+    Weight d;
+    std::int32_t source_idx;
+    graph::NodeId parent;
+  };
+  const std::vector<Detected>& detected(graph::NodeId v) const;
+
+ private:
+  struct PendingSend {
+    std::uint64_t send_round;
+    graph::NodeId neighbor;
+    std::int32_t source_idx;
+    Weight dist;
+  };
+  struct PendingOrder {
+    bool operator()(const PendingSend& a, const PendingSend& b) const {
+      return a.send_round > b.send_round;
+    }
+  };
+
+  bool sigma_mode() const { return params_.sigma > 0; }
+  // Handles a (possibly improved) estimate at node v; returns true if it was
+  // an improvement that should be propagated.
+  bool consider(graph::NodeId v, std::int32_t source_idx, Weight d,
+                graph::NodeId from);
+  void propagate(NodeCtx& node, std::int32_t source_idx, Weight d);
+  void flush_outbox(NodeCtx& node);
+
+  const Network& net_;
+  MultiBfsParams params_;
+  int n_;
+  int k_;
+
+  // Matrix mode storage (sigma == 0): [v * k + i].
+  std::vector<Weight> dist_;
+  std::vector<graph::NodeId> parent_;
+  // Sigma mode storage: per node, sorted by (d, source id), size <= sigma.
+  std::vector<std::vector<Detected>> detected_;
+
+  // Delayed sends for kWeightDelay (per node, min-heap by send_round).
+  std::vector<std::priority_queue<PendingSend, std::vector<PendingSend>,
+                                  PendingOrder>>
+      outbox_;
+};
+
+// Convenience wrapper: runs MultiBfs and returns it (with stats in *stats).
+MultiBfs run_multi_bfs(Network& net, MultiBfsParams params,
+                       RunStats* stats = nullptr);
+
+}  // namespace mwc::congest

@@ -1,0 +1,64 @@
+#include "congest/neighbor_exchange.h"
+
+#include <algorithm>
+
+#include "congest/runner.h"
+#include "support/check.h"
+
+namespace mwc::congest {
+
+const std::vector<Word>& NeighborExchangeResult::received(graph::NodeId v,
+                                                          graph::NodeId u) const {
+  for (const auto& [from, words] : data_[static_cast<std::size_t>(v)]) {
+    if (from == u) return words;
+  }
+  return empty_;
+}
+
+class NeighborExchangeProtocol : public Protocol {
+ public:
+  NeighborExchangeProtocol(int n, const ExchangePayloadFn& payload)
+      : payload_(payload) {
+    result_.data_.resize(static_cast<std::size_t>(n));
+  }
+
+  void begin(NodeCtx& node) override {
+    for (graph::NodeId u : node.comm_neighbors()) {
+      std::vector<Word> words = payload_(node.id(), u);
+      // One word per message; the engine drains one per round per link, so
+      // all links progress in parallel and the run costs max-list-length
+      // rounds.
+      for (Word w : words) node.send(u, Message{w});
+    }
+  }
+
+  void round(NodeCtx& node) override {
+    auto& mine = result_.data_[static_cast<std::size_t>(node.id())];
+    for (const Delivery& m : node.inbox()) {
+      auto it = std::find_if(mine.begin(), mine.end(),
+                             [&](const auto& p) { return p.first == m.from; });
+      if (it == mine.end()) {
+        mine.emplace_back(m.from, std::vector<Word>{});
+        it = std::prev(mine.end());
+      }
+      it->second.push_back(m.msg[0]);
+    }
+  }
+
+  NeighborExchangeResult take_result() { return std::move(result_); }
+
+ private:
+  const ExchangePayloadFn& payload_;
+  NeighborExchangeResult result_;
+};
+
+NeighborExchangeResult neighbor_exchange(Network& net,
+                                         const ExchangePayloadFn& payload,
+                                         RunStats* stats) {
+  NeighborExchangeProtocol proto(net.n(), payload);
+  RunStats s = run_protocol(net, proto);
+  if (stats != nullptr) *stats = s;
+  return proto.take_result();
+}
+
+}  // namespace mwc::congest

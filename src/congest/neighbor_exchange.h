@@ -1,0 +1,39 @@
+// Neighbor exchange: every node hands each communication neighbor a list of
+// words; after the run each node holds what each neighbor sent it.
+//
+// This is the "send {d(v,s) | s in S} to each neighbor in O(|S|) rounds"
+// step the paper uses repeatedly (line 11 of Algorithm 3, the non-tree-edge
+// candidate evaluation of Section 4, the exact MWC baselines). Lists may
+// differ per neighbor (e.g. per-neighbor BFS-parent flags). Rounds = max
+// list length (links run in parallel; the engine paces each link).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "congest/protocol.h"
+
+namespace mwc::congest {
+
+// payload(v, u) = words v sends to neighbor u. Called once per ordered
+// neighbor pair during setup.
+using ExchangePayloadFn =
+    std::function<std::vector<Word>(graph::NodeId v, graph::NodeId u)>;
+
+class NeighborExchangeResult {
+ public:
+  // Words node v received from neighbor u (empty if none).
+  const std::vector<Word>& received(graph::NodeId v, graph::NodeId u) const;
+
+ private:
+  friend class NeighborExchangeProtocol;
+  // per node: (neighbor, words) in arrival order.
+  std::vector<std::vector<std::pair<graph::NodeId, std::vector<Word>>>> data_;
+  std::vector<Word> empty_;
+};
+
+NeighborExchangeResult neighbor_exchange(Network& net,
+                                         const ExchangePayloadFn& payload,
+                                         RunStats* stats = nullptr);
+
+}  // namespace mwc::congest

@@ -1,0 +1,105 @@
+#include "congest/network.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace mwc::congest {
+
+Network::Network(const graph::Graph& g, std::uint64_t seed, NetworkConfig cfg)
+    : graph_(&g), cfg_(cfg), master_rng_(seed) {
+  MWC_CHECK(cfg_.bandwidth_words >= 1);
+  const int n = g.node_count();
+
+  // Build the undirected communication topology and its directions.
+  graph::Graph topo = g.communication_topology();
+  links_.reserve(static_cast<std::size_t>(topo.edge_count()));
+  dirs_.reserve(2 * static_cast<std::size_t>(topo.edge_count()));
+  std::vector<std::int32_t> deg(static_cast<std::size_t>(n), 0);
+  for (const graph::Edge& e : topo.edges()) {
+    links_.push_back(Link{e.from, e.to});
+    ++deg[static_cast<std::size_t>(e.from)];
+    ++deg[static_cast<std::size_t>(e.to)];
+  }
+  nbr_offset_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int v = 0; v < n; ++v) {
+    nbr_offset_[static_cast<std::size_t>(v) + 1] =
+        nbr_offset_[static_cast<std::size_t>(v)] + deg[static_cast<std::size_t>(v)];
+  }
+  nbrs_.resize(static_cast<std::size_t>(nbr_offset_[static_cast<std::size_t>(n)]));
+  nbr_dir_.resize(nbrs_.size());
+  std::vector<std::int32_t> pos(nbr_offset_.begin(), nbr_offset_.end() - 1);
+  for (const Link& l : links_) {
+    // Two directions per link.
+    int d_ab = static_cast<int>(dirs_.size());
+    dirs_.push_back(Direction{l.a, l.b});
+    int d_ba = static_cast<int>(dirs_.size());
+    dirs_.push_back(Direction{l.b, l.a});
+    nbrs_[static_cast<std::size_t>(pos[static_cast<std::size_t>(l.a)])] = l.b;
+    nbr_dir_[static_cast<std::size_t>(pos[static_cast<std::size_t>(l.a)]++)] = d_ab;
+    nbrs_[static_cast<std::size_t>(pos[static_cast<std::size_t>(l.b)])] = l.a;
+    nbr_dir_[static_cast<std::size_t>(pos[static_cast<std::size_t>(l.b)]++)] = d_ba;
+  }
+  // Sort each node's (neighbor, dir) pairs by neighbor id for binary search.
+  for (int v = 0; v < n; ++v) {
+    int b = nbr_offset_[static_cast<std::size_t>(v)];
+    int e = nbr_offset_[static_cast<std::size_t>(v) + 1];
+    std::vector<std::pair<NodeId, std::int32_t>> tmp;
+    tmp.reserve(static_cast<std::size_t>(e - b));
+    for (int i = b; i < e; ++i) {
+      tmp.emplace_back(nbrs_[static_cast<std::size_t>(i)], nbr_dir_[static_cast<std::size_t>(i)]);
+    }
+    std::sort(tmp.begin(), tmp.end());
+    for (int i = b; i < e; ++i) {
+      nbrs_[static_cast<std::size_t>(i)] = tmp[static_cast<std::size_t>(i - b)].first;
+      nbr_dir_[static_cast<std::size_t>(i)] = tmp[static_cast<std::size_t>(i - b)].second;
+    }
+  }
+}
+
+std::span<const NodeId> Network::comm_neighbors(NodeId v) const {
+  MWC_DCHECK(v >= 0 && v < n());
+  int b = nbr_offset_[static_cast<std::size_t>(v)];
+  int e = nbr_offset_[static_cast<std::size_t>(v) + 1];
+  return {nbrs_.data() + b, static_cast<std::size_t>(e - b)};
+}
+
+int Network::direction_index(NodeId v, NodeId to) const {
+  int b = nbr_offset_[static_cast<std::size_t>(v)];
+  int e = nbr_offset_[static_cast<std::size_t>(v) + 1];
+  auto first = nbrs_.begin() + b;
+  auto last = nbrs_.begin() + e;
+  auto it = std::lower_bound(first, last, to);
+  MWC_CHECK_MSG(it != last && *it == to,
+                "send target is not a communication neighbor");
+  return nbr_dir_[static_cast<std::size_t>(b + (it - first))];
+}
+
+void Network::set_cut(std::vector<bool> side) {
+  cut_side_ = std::move(side);
+  cut_words_ = 0;
+  if (cut_side_.empty()) {
+    for (Direction& d : dirs_) d.crosses_cut = false;
+    return;
+  }
+  MWC_CHECK(static_cast<int>(cut_side_.size()) == n());
+  for (Direction& d : dirs_) {
+    d.crosses_cut = cut_side_[static_cast<std::size_t>(d.from)] !=
+                    cut_side_[static_cast<std::size_t>(d.to)];
+  }
+}
+
+int Network::cut_link_count() const {
+  if (cut_side_.empty()) return 0;
+  int c = 0;
+  for (const Link& l : links_) {
+    if (cut_side_[static_cast<std::size_t>(l.a)] != cut_side_[static_cast<std::size_t>(l.b)]) ++c;
+  }
+  return c;
+}
+
+support::Rng Network::next_run_rng() {
+  return master_rng_.fork(run_counter_++);
+}
+
+}  // namespace mwc::congest

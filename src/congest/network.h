@@ -1,0 +1,113 @@
+// The CONGEST network: topology, bandwidth, counters.
+//
+// A Network is constructed from the problem graph G. Following the paper's
+// convention (Section 1.1), communication links are the *undirected*
+// underlying edges of G and are unweighted, even when G is directed or
+// weighted. Each link direction carries at most `bandwidth_words` Words per
+// round; congestion is resolved by store-and-forward queues inside the
+// engine (see runner.h), so every round an algorithm consumes is actually
+// simulated - rounds are never self-reported.
+//
+// The Network persists across protocol runs and accumulates round/message
+// counters, mirroring how the paper composes subroutines sequentially.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "congest/message.h"
+#include "congest/trace.h"
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace mwc::congest {
+
+using graph::NodeId;
+
+struct NetworkConfig {
+  // Words per link direction per round (the model's Theta(log n) bits).
+  int bandwidth_words = 1;
+  // Safety valve: a single protocol run aborts past this many rounds.
+  std::uint64_t max_rounds_per_run = 20'000'000;
+  // Adversarial-schedule fuzzing: randomize the within-round delivery order
+  // of each inbox and the per-round node invocation order. Correct CONGEST
+  // protocols may not depend on either (the model fixes only *which round*
+  // a message arrives, not its position in the inbox), so results must be
+  // unchanged; tests exercise algorithms under both schedules.
+  bool shuffle_deliveries = false;
+};
+
+class Network {
+ public:
+  Network(const graph::Graph& g, std::uint64_t seed,
+          NetworkConfig cfg = NetworkConfig{});
+
+  int n() const { return graph_->node_count(); }
+  const graph::Graph& problem_graph() const { return *graph_; }
+  const NetworkConfig& config() const { return cfg_; }
+
+  // Communication neighbors of v (underlying undirected topology).
+  std::span<const NodeId> comm_neighbors(NodeId v) const;
+  int link_count() const { return static_cast<int>(links_.size()) ; }
+
+  // --- accumulated counters over all protocol runs --------------------
+  std::uint64_t total_rounds() const { return total_rounds_; }
+  std::uint64_t total_messages() const { return total_messages_; }
+  std::uint64_t total_words() const { return total_words_; }
+
+  // --- cut instrumentation (lower-bound benches) -----------------------
+  // side[v] in {false, true}; words transmitted between sides accumulate in
+  // cut_words(). Passing an empty vector disables the meter.
+  void set_cut(std::vector<bool> side);
+  std::uint64_t cut_words() const { return cut_words_; }
+  int cut_link_count() const;
+
+  // Fresh deterministic randomness for the next protocol run: every run
+  // forks a new stream from the master seed (the model's shared randomness).
+  support::Rng next_run_rng();
+
+  // Attach an event trace (nullptr detaches). Not owned; must outlive the
+  // runs it observes. See trace.h.
+  void attach_trace(Trace* trace) { trace_ = trace; }
+  Trace* trace() const { return trace_; }
+  std::uint64_t run_counter() const { return run_counter_; }
+
+ private:
+  friend class Runner;
+
+  struct Link {
+    NodeId a, b;  // a < b
+  };
+  // One direction of a link.
+  struct Direction {
+    NodeId from, to;
+    bool crosses_cut = false;
+  };
+
+  // Direction index for sending from `v` to neighbor `to` (checked).
+  int direction_index(NodeId v, NodeId to) const;
+
+  const graph::Graph* graph_;  // not owned; must outlive the Network
+  NetworkConfig cfg_;
+  support::Rng master_rng_;
+  std::uint64_t run_counter_ = 0;
+
+  std::vector<Link> links_;
+  std::vector<Direction> dirs_;
+  // Per node: sorted parallel arrays of (neighbor, outgoing direction idx).
+  std::vector<std::int32_t> nbr_offset_;
+  std::vector<NodeId> nbrs_;
+  std::vector<std::int32_t> nbr_dir_;
+
+  std::vector<bool> cut_side_;
+  Trace* trace_ = nullptr;
+
+  std::uint64_t total_rounds_ = 0;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_words_ = 0;
+  std::uint64_t cut_words_ = 0;
+};
+
+}  // namespace mwc::congest

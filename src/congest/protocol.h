@@ -1,0 +1,93 @@
+// Per-node protocol interface.
+//
+// A Protocol is a distributed algorithm written from the point of view of a
+// single node, exactly as the CONGEST model prescribes: in each synchronous
+// round a node reads the messages delivered to it, updates local state, and
+// hands messages to its links. The NodeCtx API deliberately exposes *only*
+// local knowledge - a node's id, n, its incident arcs of the problem graph
+// (with weights), its communication neighbors, its inbox, and randomness -
+// so protocols cannot accidentally cheat by inspecting remote state. Global
+// verification happens outside the run, in tests.
+//
+// Scheduling: the engine invokes `round()` only for nodes that received a
+// message this round or requested a wake-up (wake_at). A node that wants to
+// act spontaneously at a future round (e.g. the random start offsets delta_v
+// of Algorithm 3) registers a wake. Spurious wakes are allowed; protocols
+// must tolerate a round() call with an empty inbox.
+//
+// Local computation is free (CONGEST nodes have unbounded compute); only
+// message transmission costs rounds, and that cost is enforced by the engine
+// through per-link bandwidth, never self-reported.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "congest/message.h"
+#include "congest/network.h"
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace mwc::congest {
+
+class Runner;
+
+class NodeCtx {
+ public:
+  NodeId id() const { return id_; }
+  int n() const;
+  // Round number within the current protocol run (begin() runs at round 0).
+  std::uint64_t round() const;
+
+  // Messages delivered to this node this round.
+  std::span<const Delivery> inbox() const;
+
+  // Hands `msg` to the link towards `neighbor` (must be a communication
+  // neighbor). Transmission occupies ceil(size/B) rounds of that direction;
+  // queued messages transmit in (priority, enqueue-order) order - the sender
+  // choosing what to put on its link first is legal in CONGEST. Lower
+  // priority value = transmitted earlier.
+  void send(NodeId neighbor, Message msg, std::int64_t priority = 0);
+
+  // Requests a round() invocation at run-round r (>= current round + 1).
+  void wake_at(std::uint64_t r);
+  void wake_next();
+
+  // This node's private stream of the run's shared randomness.
+  support::Rng& rng();
+
+  // --- local knowledge of the problem graph ---------------------------
+  std::span<const graph::Arc> out_arcs() const;
+  std::span<const graph::Arc> in_arcs() const;
+  std::span<const NodeId> comm_neighbors() const;
+  bool graph_is_directed() const;
+
+ private:
+  friend class Runner;
+  NodeCtx(Runner& runner, NodeId id) : runner_(&runner), id_(id) {}
+  Runner* runner_;
+  NodeId id_;
+};
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  // Round 0: local setup and initial sends. Inbox is empty.
+  virtual void begin(NodeCtx& node) { (void)node; }
+
+  // Invoked for rounds >= 1 whenever the node has deliveries or a wake.
+  virtual void round(NodeCtx& node) = 0;
+};
+
+struct RunStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t words = 0;
+  // Peak backlog of any single link direction (words queued but not yet
+  // transmitted) - the congestion the random-delay scheduling of [24, 36]
+  // exists to keep flat.
+  std::uint64_t max_queue_words = 0;
+};
+
+}  // namespace mwc::congest

@@ -1,0 +1,198 @@
+#include "congest/runner.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace mwc::congest {
+
+// ---- NodeCtx ---------------------------------------------------------------
+
+int NodeCtx::n() const { return runner_->net_.n(); }
+
+std::uint64_t NodeCtx::round() const { return runner_->round_; }
+
+std::span<const Delivery> NodeCtx::inbox() const {
+  return runner_->inbox_current_;
+}
+
+void NodeCtx::send(NodeId neighbor, Message msg, std::int64_t priority) {
+  runner_->send(id_, neighbor, std::move(msg), priority);
+}
+
+void NodeCtx::wake_at(std::uint64_t r) {
+  runner_->wake_at(id_, std::max(r, runner_->round_ + 1));
+}
+
+void NodeCtx::wake_next() { wake_at(runner_->round_ + 1); }
+
+support::Rng& NodeCtx::rng() {
+  return runner_->node_rng_[static_cast<std::size_t>(id_)];
+}
+
+std::span<const graph::Arc> NodeCtx::out_arcs() const {
+  return runner_->net_.problem_graph().out(id_);
+}
+
+std::span<const graph::Arc> NodeCtx::in_arcs() const {
+  return runner_->net_.problem_graph().in(id_);
+}
+
+std::span<const NodeId> NodeCtx::comm_neighbors() const {
+  return runner_->net_.comm_neighbors(id_);
+}
+
+bool NodeCtx::graph_is_directed() const {
+  return runner_->net_.problem_graph().is_directed();
+}
+
+// ---- Runner ----------------------------------------------------------------
+
+Runner::Runner(Network& net, Protocol& proto)
+    : net_(net), proto_(proto), run_id_(net.run_counter()),
+      dir_state_(net.dirs_.size()),
+      inbox_next_(static_cast<std::size_t>(net.n())),
+      schedule_rng_(0) {
+  support::Rng run_rng = net.next_run_rng();
+  node_rng_.reserve(static_cast<std::size_t>(net.n()));
+  for (NodeId v = 0; v < net.n(); ++v) {
+    node_rng_.push_back(run_rng.fork(static_cast<std::uint64_t>(v)));
+  }
+  schedule_rng_ = run_rng.fork(~std::uint64_t{0});
+}
+
+void Runner::send(NodeId from, NodeId to, Message msg, std::int64_t priority) {
+  MWC_CHECK_MSG(msg.size() >= 1, "messages must carry at least one word");
+  int dir_idx = net_.direction_index(from, to);
+  DirectionState& ds = dir_state_[static_cast<std::size_t>(dir_idx)];
+  ds.queued_words += msg.size();
+  stats_.max_queue_words = std::max(stats_.max_queue_words, ds.queued_words);
+  ds.queue.push(QueuedMsg{priority, seq_++, std::move(msg)});
+  activate_dir(dir_idx);
+}
+
+void Runner::wake_at(NodeId node, std::uint64_t r) { wakes_.emplace(r, node); }
+
+void Runner::activate_dir(int dir_idx) {
+  DirectionState& ds = dir_state_[static_cast<std::size_t>(dir_idx)];
+  if (!ds.active) {
+    ds.active = true;
+    active_dirs_.push_back(dir_idx);
+  }
+}
+
+void Runner::transmit_step() {
+  const int bandwidth = net_.config().bandwidth_words;
+  std::vector<int> still_active;
+  still_active.reserve(active_dirs_.size());
+  for (int dir_idx : active_dirs_) {
+    DirectionState& ds = dir_state_[static_cast<std::size_t>(dir_idx)];
+    const Network::Direction& dir = net_.dirs_[static_cast<std::size_t>(dir_idx)];
+    int budget = bandwidth;
+    while (budget > 0) {
+      if (!ds.transmitting) {
+        if (ds.queue.empty()) break;
+        ds.current = std::move(const_cast<QueuedMsg&>(ds.queue.top()).msg);
+        ds.queue.pop();
+        ds.words_done = 0;
+        ds.transmitting = true;
+      }
+      std::uint32_t take = std::min<std::uint32_t>(
+          static_cast<std::uint32_t>(budget), ds.current.size() - ds.words_done);
+      ds.words_done += take;
+      budget -= static_cast<int>(take);
+      ds.queued_words -= take;
+      stats_.words += take;
+      net_.total_words_ += take;
+      if (dir.crosses_cut) net_.cut_words_ += take;
+      if (ds.words_done == ds.current.size()) {
+        // Message fully transmitted: deliver for next round.
+        if (net_.trace_ != nullptr) {
+          net_.trace_->record(TraceEvent{run_id_, round_, dir.from, dir.to,
+                                         ds.current.size()});
+        }
+        auto& box = inbox_next_[static_cast<std::size_t>(dir.to)];
+        if (box.empty()) receivers_next_.push_back(dir.to);
+        box.push_back(Delivery{dir.from, std::move(ds.current)});
+        ds.transmitting = false;
+        ++stats_.messages;
+        ++net_.total_messages_;
+      }
+    }
+    if (ds.transmitting || !ds.queue.empty()) {
+      still_active.push_back(dir_idx);
+    } else {
+      ds.active = false;
+    }
+    if (budget < bandwidth) {
+      last_activity_round_ = round_;
+      had_transmission_ = true;
+    }
+  }
+  active_dirs_.swap(still_active);
+}
+
+RunStats Runner::run() {
+  // Round 0: local setup + initial sends.
+  round_ = 0;
+  for (NodeId v = 0; v < net_.n(); ++v) {
+    NodeCtx ctx(*this, v);
+    proto_.begin(ctx);
+  }
+  transmit_step();
+
+  std::vector<NodeId> active_nodes;
+  std::vector<std::uint64_t> last_invoked(static_cast<std::size_t>(net_.n()),
+                                          ~std::uint64_t{0});
+  while (true) {
+    const bool in_flight = !active_dirs_.empty();
+    const bool deliveries = !receivers_next_.empty();
+    std::uint64_t next_round = round_ + 1;
+    if (!in_flight && !deliveries) {
+      if (wakes_.empty()) break;  // quiescent
+      next_round = std::max(next_round, wakes_.top().first);
+    }
+    round_ = next_round;
+    MWC_CHECK_MSG(round_ <= net_.config().max_rounds_per_run,
+                  "protocol exceeded max_rounds_per_run (deadlock?)");
+
+    // Nodes to invoke this round: message receivers + due wake-ups.
+    active_nodes.clear();
+    active_nodes.swap(receivers_next_);
+    while (!wakes_.empty() && wakes_.top().first <= round_) {
+      active_nodes.push_back(wakes_.top().second);
+      wakes_.pop();
+    }
+    // Deterministic order by default; the adversarial-schedule mode
+    // randomizes both the invocation order and each inbox.
+    std::sort(active_nodes.begin(), active_nodes.end());
+    if (net_.config().shuffle_deliveries) schedule_rng_.shuffle(active_nodes);
+    for (NodeId v : active_nodes) {
+      auto& stamp = last_invoked[static_cast<std::size_t>(v)];
+      if (stamp == round_) continue;
+      stamp = round_;
+      inbox_current_.clear();
+      inbox_current_.swap(inbox_next_[static_cast<std::size_t>(v)]);
+      if (net_.config().shuffle_deliveries) schedule_rng_.shuffle(inbox_current_);
+      NodeCtx ctx(*this, v);
+      proto_.round(ctx);
+    }
+    inbox_current_.clear();
+
+    transmit_step();
+  }
+
+  // Rounds consumed = index of the last round with a transmission, 1-based
+  // (engine round r is CONGEST round r+1; trailing local computation after
+  // the final delivery is free, idle waiting in the middle is not).
+  stats_.rounds = had_transmission_ ? last_activity_round_ + 1 : 0;
+  net_.total_rounds_ += stats_.rounds;
+  return stats_;
+}
+
+RunStats run_protocol(Network& net, Protocol& proto) {
+  Runner runner(net, proto);
+  return runner.run();
+}
+
+}  // namespace mwc::congest

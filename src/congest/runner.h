@@ -1,0 +1,85 @@
+// The synchronous store-and-forward engine.
+//
+// Executes one Protocol on a Network until quiescence: no messages in
+// flight, none queued, and no wake-ups pending. The run's round count is a
+// property of the execution (how many rounds until the network went quiet),
+// accumulated into the Network so sequentially composed subroutines add up
+// exactly as the paper composes them.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "congest/network.h"
+#include "congest/protocol.h"
+
+namespace mwc::congest {
+
+class Runner {
+ public:
+  Runner(Network& net, Protocol& proto);
+
+  // Runs to quiescence (or aborts at cfg.max_rounds_per_run).
+  RunStats run();
+
+ private:
+  friend class NodeCtx;
+
+  struct QueuedMsg {
+    std::int64_t priority;
+    std::uint64_t seq;
+    Message msg;
+  };
+  struct QueuedMsgOrder {
+    // priority_queue is max-first; invert for (priority, seq) min-first.
+    bool operator()(const QueuedMsg& a, const QueuedMsg& b) const {
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq > b.seq;
+    }
+  };
+  struct DirectionState {
+    std::priority_queue<QueuedMsg, std::vector<QueuedMsg>, QueuedMsgOrder> queue;
+    Message current;             // message being transmitted, if any
+    std::uint32_t words_done = 0;
+    bool transmitting = false;
+    bool active = false;         // member of active_dirs_
+    std::uint64_t queued_words = 0;
+  };
+
+  // NodeCtx backend.
+  void send(NodeId from, NodeId to, Message msg, std::int64_t priority);
+  void wake_at(NodeId node, std::uint64_t r);
+
+  void transmit_step();
+  void activate_dir(int dir_idx);
+
+  Network& net_;
+  Protocol& proto_;
+  std::uint64_t round_ = 0;
+  std::uint64_t run_id_ = 0;  // Network run counter at construction
+  std::uint64_t seq_ = 0;
+  std::uint64_t last_activity_round_ = 0;
+  bool had_transmission_ = false;
+
+  std::vector<DirectionState> dir_state_;
+  std::vector<int> active_dirs_;
+
+  // Deliveries accumulated during transmit of round r, consumed at r+1.
+  std::vector<std::vector<Delivery>> inbox_next_;
+  std::vector<NodeId> receivers_next_;  // nodes with non-empty inbox_next_
+  std::vector<Delivery> inbox_current_;  // the inbox seen by the node in round()
+
+  // Wake requests: min-heap of (round, node); duplicates tolerated.
+  using Wake = std::pair<std::uint64_t, NodeId>;
+  std::priority_queue<Wake, std::vector<Wake>, std::greater<>> wakes_;
+
+  std::vector<support::Rng> node_rng_;
+  support::Rng schedule_rng_;  // adversarial-schedule fuzzing
+  RunStats stats_;
+};
+
+// Convenience: build a Runner and run it.
+RunStats run_protocol(Network& net, Protocol& proto);
+
+}  // namespace mwc::congest

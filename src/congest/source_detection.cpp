@@ -1,0 +1,30 @@
+#include "congest/source_detection.h"
+
+#include "support/check.h"
+
+namespace mwc::congest {
+
+SourceDetectionResult source_detection(Network& net,
+                                       const std::vector<graph::NodeId>& sources,
+                                       int sigma, int hop_limit, RunStats* stats) {
+  MWC_CHECK(sigma >= 1 && hop_limit >= 0);
+  MultiBfsParams params;
+  params.sources = sources;
+  params.mode = DelayMode::kUnitDelay;
+  params.tick_limit = hop_limit;
+  params.sigma = sigma;
+  MultiBfs bfs = run_multi_bfs(net, std::move(params), stats);
+
+  SourceDetectionResult result;
+  result.detected.resize(static_cast<std::size_t>(net.n()));
+  for (graph::NodeId v = 0; v < net.n(); ++v) {
+    auto& out = result.detected[static_cast<std::size_t>(v)];
+    for (const MultiBfs::Detected& e : bfs.detected(v)) {
+      out.push_back(SourceDetectionResult::Entry{
+          e.d, sources[static_cast<std::size_t>(e.source_idx)], e.parent});
+    }
+  }
+  return result;
+}
+
+}  // namespace mwc::congest

@@ -1,0 +1,31 @@
+// (sigma, h) source detection [Lenzen-Patt-Shamir-Peleg, 37].
+//
+// Given sources U, every node learns its sigma nearest sources within h
+// hops, in O(sigma + h) rounds. Thin wrapper over MultiBfs's sigma-capped
+// mode; kept as a named module because the paper invokes "a source detection
+// algorithm [37]" as a black box in the girth algorithm (Section 4).
+#pragma once
+
+#include <vector>
+
+#include "congest/multi_bfs.h"
+
+namespace mwc::congest {
+
+struct SourceDetectionResult {
+  // detected[v]: up to sigma (distance, source node, parent) triples sorted
+  // by (distance, source id) - node v's local knowledge.
+  struct Entry {
+    Weight d;
+    graph::NodeId source;
+    graph::NodeId parent;
+  };
+  std::vector<std::vector<Entry>> detected;
+};
+
+SourceDetectionResult source_detection(Network& net,
+                                       const std::vector<graph::NodeId>& sources,
+                                       int sigma, int hop_limit,
+                                       RunStats* stats = nullptr);
+
+}  // namespace mwc::congest

@@ -1,0 +1,74 @@
+#include "congest/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace mwc::congest {
+
+Trace::Trace(std::size_t capacity) : capacity_(capacity) {
+  MWC_CHECK(capacity >= 1);
+  ring_.reserve(std::min<std::size_t>(capacity, 4096));
+}
+
+void Trace::record(const TraceEvent& event) {
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+    return;
+  }
+  ring_[head_] = event;
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::size_t Trace::retained_count() const { return ring_.size(); }
+
+std::vector<TraceEvent> Trace::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Trace::in_round(std::uint64_t run,
+                                        std::uint64_t round) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events()) {
+    if (e.run == run && e.round == round) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> Trace::round_profile(
+    std::uint64_t run) const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> profile;
+  for (const TraceEvent& e : events()) {
+    if (e.run != run) continue;
+    if (!profile.empty() && profile.back().first == e.round) {
+      profile.back().second += e.words;
+    } else {
+      profile.emplace_back(e.round, e.words);
+    }
+  }
+  return profile;
+}
+
+std::string Trace::to_string(std::size_t max_lines) const {
+  std::ostringstream out;
+  std::size_t line = 0;
+  for (const TraceEvent& e : events()) {
+    if (line++ >= max_lines) {
+      out << "... (" << (retained_count() - max_lines) << " more)\n";
+      break;
+    }
+    out << "run " << e.run << " round " << e.round << ": " << e.from << " -> "
+        << e.to << " (" << e.words << "w)\n";
+  }
+  if (dropped() > 0) out << "[" << dropped() << " older events dropped]\n";
+  return out.str();
+}
+
+}  // namespace mwc::congest

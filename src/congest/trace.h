@@ -1,0 +1,59 @@
+// Optional round-by-round event tracing.
+//
+// Attach a Trace to a Network and every subsequent protocol run records
+// message deliveries (round, from, to, words) into a bounded ring buffer.
+// Intended for debugging protocols and for teaching material (the
+// quickstart of a new algorithm is usually "trace 20 rounds and look");
+// the engine's behaviour is unchanged and tracing costs nothing when
+// detached.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mwc::congest {
+
+struct TraceEvent {
+  std::uint64_t run = 0;    // Network run counter at the time
+  std::uint64_t round = 0;  // engine round the message finished transmitting
+  graph::NodeId from = graph::kNoNode;
+  graph::NodeId to = graph::kNoNode;
+  std::uint32_t words = 0;
+};
+
+class Trace {
+ public:
+  // Keeps at most `capacity` most-recent events.
+  explicit Trace(std::size_t capacity = 1 << 16);
+
+  void record(const TraceEvent& event);
+
+  // Events in arrival order (oldest first among those retained).
+  std::vector<TraceEvent> events() const;
+  std::size_t total_recorded() const { return total_; }
+  std::size_t dropped() const { return total_ - retained_count(); }
+
+  // Events delivered in a given engine round of a given run.
+  std::vector<TraceEvent> in_round(std::uint64_t run, std::uint64_t round) const;
+
+  // Per-round delivered-word counts for a run: (round, words) pairs in
+  // increasing round order - the "activity profile" of an execution.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> round_profile(
+      std::uint64_t run) const;
+
+  // Human-readable dump (bounded by max_lines).
+  std::string to_string(std::size_t max_lines = 100) const;
+
+ private:
+  std::size_t retained_count() const;
+
+  std::size_t capacity_;
+  std::size_t total_ = 0;
+  std::size_t head_ = 0;  // next slot to overwrite once saturated
+  std::vector<TraceEvent> ring_;
+};
+
+}  // namespace mwc::congest

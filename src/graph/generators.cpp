@@ -1,0 +1,289 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "support/check.h"
+
+namespace mwc::graph {
+
+namespace {
+
+Weight draw_weight(const WeightRange& w, support::Rng& rng) {
+  MWC_CHECK(w.lo >= 1 && w.lo <= w.hi);
+  return rng.next_in(w.lo, w.hi);
+}
+
+// Tracks which unordered/ordered pairs are already used so generators stay
+// simple graphs.
+class PairSet {
+ public:
+  explicit PairSet(bool ordered) : ordered_(ordered) {}
+
+  bool insert(NodeId u, NodeId v) {
+    auto key = ordered_ ? std::pair(u, v) : std::pair(std::min(u, v), std::max(u, v));
+    return used_.insert(key).second;
+  }
+
+ private:
+  bool ordered_;
+  std::set<std::pair<NodeId, NodeId>> used_;
+};
+
+// A uniformly random spanning tree would need Wilson's algorithm; a random
+// attachment tree is enough for workload diversity and keeps diameter low.
+void add_random_tree(int n, WeightRange w, support::Rng& rng,
+                     std::vector<Edge>& edges, PairSet& used) {
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(order);
+  for (int i = 1; i < n; ++i) {
+    NodeId child = order[static_cast<std::size_t>(i)];
+    NodeId parent = order[static_cast<std::size_t>(rng.next_below(static_cast<std::uint64_t>(i)))];
+    used.insert(child, parent);
+    edges.push_back(Edge{child, parent, draw_weight(w, rng)});
+  }
+}
+
+void add_random_edges(int n, int count, WeightRange w, support::Rng& rng,
+                      std::vector<Edge>& edges, PairSet& used, bool ordered) {
+  const std::int64_t max_pairs =
+      static_cast<std::int64_t>(n) * (n - 1) / (ordered ? 1 : 2);
+  MWC_CHECK_MSG(static_cast<std::int64_t>(edges.size()) + count <= max_pairs,
+                "requested more edges than a simple graph admits");
+  int added = 0;
+  while (added < count) {
+    NodeId u = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    NodeId v = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    if (!used.insert(u, v)) continue;
+    edges.push_back(Edge{u, v, draw_weight(w, rng)});
+    ++added;
+  }
+}
+
+}  // namespace
+
+Graph random_connected(int n, int m, WeightRange w, support::Rng& rng) {
+  MWC_CHECK(n >= 2 && m >= n - 1);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  PairSet used(/*ordered=*/false);
+  add_random_tree(n, w, rng, edges, used);
+  add_random_edges(n, m - (n - 1), w, rng, edges, used, /*ordered=*/false);
+  return Graph::undirected(n, edges);
+}
+
+Graph cycle_with_chords(int n, int chords, WeightRange w, support::Rng& rng) {
+  MWC_CHECK(n >= 3);
+  std::vector<Edge> edges;
+  PairSet used(/*ordered=*/false);
+  for (int i = 0; i < n; ++i) {
+    NodeId u = i;
+    NodeId v = (i + 1) % n;
+    used.insert(u, v);
+    edges.push_back(Edge{u, v, draw_weight(w, rng)});
+  }
+  add_random_edges(n, chords, w, rng, edges, used, /*ordered=*/false);
+  return Graph::undirected(n, edges);
+}
+
+Graph grid(int rows, int cols, bool torus, WeightRange w, support::Rng& rng) {
+  MWC_CHECK(rows >= 2 && cols >= 2);
+  auto id = [cols](int r, int c) { return static_cast<NodeId>(r * cols + c); };
+  std::vector<Edge> edges;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back(Edge{id(r, c), id(r, c + 1), draw_weight(w, rng)});
+      else if (torus && cols > 2) edges.push_back(Edge{id(r, c), id(r, 0), draw_weight(w, rng)});
+      if (r + 1 < rows) edges.push_back(Edge{id(r, c), id(r + 1, c), draw_weight(w, rng)});
+      else if (torus && rows > 2) edges.push_back(Edge{id(r, c), id(0, c), draw_weight(w, rng)});
+    }
+  }
+  return Graph::undirected(rows * cols, edges);
+}
+
+Graph random_regular(int n, int d, WeightRange w, support::Rng& rng) {
+  MWC_CHECK(n >= d + 1 && d >= 2);
+  // Approximate d-regularity: union of d/2-ish random Hamiltonian cycles.
+  std::vector<Edge> edges;
+  PairSet used(/*ordered=*/false);
+  int rings = std::max(1, d / 2);
+  for (int ring = 0; ring < rings; ++ring) {
+    std::vector<NodeId> order(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+    rng.shuffle(order);
+    for (int i = 0; i < n; ++i) {
+      NodeId u = order[static_cast<std::size_t>(i)];
+      NodeId v = order[static_cast<std::size_t>((i + 1) % n)];
+      if (used.insert(u, v)) edges.push_back(Edge{u, v, draw_weight(w, rng)});
+    }
+  }
+  return Graph::undirected(n, edges);
+}
+
+Graph barbell(int clique, int bridge, WeightRange w, support::Rng& rng) {
+  MWC_CHECK(clique >= 3 && bridge >= 1);
+  const int n = 2 * clique + bridge;
+  std::vector<Edge> edges;
+  auto add_clique = [&](int base) {
+    for (int i = 0; i < clique; ++i) {
+      for (int j = i + 1; j < clique; ++j) {
+        edges.push_back(Edge{base + i, base + j, draw_weight(w, rng)});
+      }
+    }
+  };
+  add_clique(0);
+  add_clique(clique + bridge);
+  // Path through the bridge vertices.
+  NodeId prev = clique - 1;  // a vertex of the left clique
+  for (int b = 0; b < bridge; ++b) {
+    edges.push_back(Edge{prev, clique + b, draw_weight(w, rng)});
+    prev = clique + b;
+  }
+  edges.push_back(Edge{prev, clique + bridge, draw_weight(w, rng)});
+  return Graph::undirected(n, edges);
+}
+
+Graph expander_with_planted_cycle(int n, int cycle_len, Weight* planted_weight,
+                                  support::Rng& rng) {
+  MWC_CHECK(n >= cycle_len + 1 && cycle_len >= 3 && cycle_len <= 100);
+  WeightRange heavy{100, 200};
+  std::vector<Edge> edges;
+  PairSet used(/*ordered=*/false);
+  for (int i = 0; i < cycle_len; ++i) {
+    NodeId u = i;
+    NodeId v = (i + 1) % cycle_len;
+    used.insert(u, v);
+    edges.push_back(Edge{u, v, 1});
+  }
+  // Two random heavy Hamiltonian rings give a low-diameter 4-regular-ish
+  // background (any non-planted cycle weighs >= 102).
+  for (int ring = 0; ring < 2; ++ring) {
+    std::vector<NodeId> order(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+    rng.shuffle(order);
+    for (int i = 0; i < n; ++i) {
+      NodeId u = order[static_cast<std::size_t>(i)];
+      NodeId v = order[static_cast<std::size_t>((i + 1) % n)];
+      if (u != v && used.insert(u, v)) {
+        edges.push_back(Edge{u, v, draw_weight(heavy, rng)});
+      }
+    }
+  }
+  if (planted_weight != nullptr) *planted_weight = cycle_len;
+  return Graph::undirected(n, edges);
+}
+
+Graph planted_mwc_undirected(int n, int m, int cycle_len, Weight* planted_weight,
+                             support::Rng& rng) {
+  // Any cycle not equal to the planted one uses >= 1 heavy edge (>= 100) and
+  // >= 2 further edges, so it weighs >= 102 > cycle_len.
+  MWC_CHECK(n >= cycle_len && cycle_len >= 3 && cycle_len <= 100);
+  WeightRange heavy{100, 200};
+  std::vector<Edge> edges;
+  PairSet used(/*ordered=*/false);
+  for (int i = 0; i < cycle_len; ++i) {
+    NodeId u = i;
+    NodeId v = (i + 1) % cycle_len;
+    used.insert(u, v);
+    edges.push_back(Edge{u, v, 1});
+  }
+  // Attach the rest of the graph.
+  for (int v = cycle_len; v < n; ++v) {
+    NodeId parent = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(v)));
+    used.insert(v, parent);
+    edges.push_back(Edge{v, parent, draw_weight(heavy, rng)});
+  }
+  int extra = m - static_cast<int>(edges.size());
+  if (extra > 0) add_random_edges(n, extra, heavy, rng, edges, used, /*ordered=*/false);
+  if (planted_weight != nullptr) *planted_weight = cycle_len;
+  return Graph::undirected(n, edges);
+}
+
+Graph random_strongly_connected(int n, int m, WeightRange w, support::Rng& rng) {
+  MWC_CHECK(n >= 2 && m >= n);
+  std::vector<Edge> edges;
+  PairSet used(/*ordered=*/true);
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(order);
+  for (int i = 0; i < n; ++i) {
+    NodeId u = order[static_cast<std::size_t>(i)];
+    NodeId v = order[static_cast<std::size_t>((i + 1) % n)];
+    used.insert(u, v);
+    edges.push_back(Edge{u, v, draw_weight(w, rng)});
+  }
+  add_random_edges(n, m - n, w, rng, edges, used, /*ordered=*/true);
+  return Graph::directed(n, edges);
+}
+
+Graph directed_cycle_with_shortcuts(int n, int shortcuts, WeightRange w,
+                                    support::Rng& rng) {
+  MWC_CHECK(n >= 2);
+  std::vector<Edge> edges;
+  PairSet used(/*ordered=*/true);
+  for (int i = 0; i < n; ++i) {
+    NodeId u = i;
+    NodeId v = (i + 1) % n;
+    used.insert(u, v);
+    edges.push_back(Edge{u, v, draw_weight(w, rng)});
+  }
+  add_random_edges(n, shortcuts, w, rng, edges, used, /*ordered=*/true);
+  return Graph::directed(n, edges);
+}
+
+Graph planted_mwc_directed(int n, int m, int cycle_len, Weight* planted_weight,
+                           support::Rng& rng) {
+  MWC_CHECK(n >= cycle_len && cycle_len >= 2 && cycle_len <= 100);
+  WeightRange heavy{100, 200};
+  std::vector<Edge> edges;
+  PairSet used(/*ordered=*/true);
+  // Planted light directed cycle on 0..cycle_len-1.
+  for (int i = 0; i < cycle_len; ++i) {
+    NodeId u = i;
+    NodeId v = (i + 1) % cycle_len;
+    used.insert(u, v);
+    edges.push_back(Edge{u, v, 1});
+  }
+  // Heavy Hamiltonian ring over all n vertices keeps the digraph strongly
+  // connected (skipping arcs the planted cycle already provides).
+  for (int i = 0; i < n; ++i) {
+    NodeId u = i;
+    NodeId v = (i + 1) % n;
+    if (used.insert(u, v)) edges.push_back(Edge{u, v, draw_weight(heavy, rng)});
+  }
+  int extra = m - static_cast<int>(edges.size());
+  if (extra > 0) add_random_edges(n, extra, heavy, rng, edges, used, /*ordered=*/true);
+  if (planted_weight != nullptr) *planted_weight = cycle_len;
+  return Graph::directed(n, edges);
+}
+
+Graph bottleneck_digraph(int n, int hubs, support::Rng& rng) {
+  MWC_CHECK(n >= 4 && hubs >= 1 && hubs < n / 2);
+  // Hubs 0..hubs-1 sit on a directed ring; every other ("leaf") vertex v has
+  // arcs v -> hub and hub' -> v for random hubs, so nearly every short cycle
+  // through a leaf passes through hubs - all leaves' neighborhoods share the
+  // hub set, concentrating BFS traffic there.
+  std::vector<Edge> edges;
+  PairSet used(/*ordered=*/true);
+  auto add = [&](NodeId u, NodeId v, Weight w) {
+    if (u != v && used.insert(u, v)) edges.push_back(Edge{u, v, w});
+  };
+  for (int i = 0; i < hubs; ++i) add(i, (i + 1) % hubs, 1);
+  for (int v = hubs; v < n; ++v) {
+    NodeId h1 = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(hubs)));
+    NodeId h2 = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(hubs)));
+    add(v, h1, 1);
+    add(h2, v, 1);
+  }
+  // Ring over leaves keeps strong connectivity independent of hub choices.
+  for (int v = hubs; v < n; ++v) {
+    NodeId next = (v + 1 < n) ? v + 1 : hubs;
+    add(v, next, 1);
+  }
+  return Graph::directed(n, edges);
+}
+
+}  // namespace mwc::graph

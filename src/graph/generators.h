@@ -1,0 +1,78 @@
+// Graph families used by tests, examples and benches.
+//
+// All generators are deterministic in (parameters, seed) and always return
+// connected communication topologies (the CONGEST model requires a connected
+// network; generators add a Hamiltonian backbone or spanning structure where
+// the random family alone would not guarantee connectivity).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace mwc::graph {
+
+struct WeightRange {
+  Weight lo = 1;
+  Weight hi = 1;
+  bool unit() const { return lo == 1 && hi == 1; }
+};
+
+// --- Undirected families -------------------------------------------------
+
+// Connected Erdos-Renyi-style G(n, m): a random spanning tree plus m - (n-1)
+// extra distinct random edges.
+Graph random_connected(int n, int m, WeightRange w, support::Rng& rng);
+
+// Cycle 0-1-...-(n-1)-0 plus `chords` random chords. The base cycle gives a
+// known Hamiltonian cycle; chords create shorter cycles.
+Graph cycle_with_chords(int n, int chords, WeightRange w, support::Rng& rng);
+
+// rows x cols grid; if torus, wraps around (girth 4, or min(rows,cols) for
+// torus with large dimensions... girth of a grid is 4).
+Graph grid(int rows, int cols, bool torus, WeightRange w, support::Rng& rng);
+
+// Random d-regular-ish multigraph via perfect matchings, simplified: repeat
+// pairing until simple; falls back to adding random edges. Degree ~ d.
+Graph random_regular(int n, int d, WeightRange w, support::Rng& rng);
+
+// Two cliques of `clique` vertices joined by a path of `bridge` vertices -
+// the classic bottleneck-cut / large-diameter stress shape.
+Graph barbell(int clique, int bridge, WeightRange w, support::Rng& rng);
+
+// Random ~4-regular expander-ish graph with heavy edges plus one planted
+// light cycle of `cycle_len` vertices; *planted_weight = cycle_len. Unlike
+// planted_mwc_undirected the background has low diameter.
+Graph expander_with_planted_cycle(int n, int cycle_len, Weight* planted_weight,
+                                  support::Rng& rng);
+
+// A graph with a planted (known) minimum weight cycle: a sparse random
+// connected graph whose edges are heavy, plus one light cycle of `cycle_len`
+// vertices with total weight strictly below twice... below any other cycle.
+// Returns the graph; *planted_weight receives the planted cycle weight.
+Graph planted_mwc_undirected(int n, int m, int cycle_len, Weight* planted_weight,
+                             support::Rng& rng);
+
+// --- Directed families ----------------------------------------------------
+
+// Strongly-connected random digraph: directed Hamiltonian cycle backbone plus
+// m - n extra random arcs.
+Graph random_strongly_connected(int n, int m, WeightRange w, support::Rng& rng);
+
+// Directed cycle 0->1->...->n-1->0 with `shortcuts` random forward shortcut
+// arcs (creates short directed cycles with the backward part of the ring).
+Graph directed_cycle_with_shortcuts(int n, int shortcuts, WeightRange w,
+                                    support::Rng& rng);
+
+// Digraph with a planted minimum weight directed cycle (see undirected
+// variant).
+Graph planted_mwc_directed(int n, int m, int cycle_len, Weight* planted_weight,
+                           support::Rng& rng);
+
+// A digraph engineered so that many vertices' short-cycle neighborhoods P(v)
+// share a small set of "hub" vertices - stresses Algorithm 3's
+// phase-overflow (bottleneck) handling. hubs << n.
+Graph bottleneck_digraph(int n, int hubs, support::Rng& rng);
+
+}  // namespace mwc::graph

@@ -1,0 +1,134 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/check.h"
+
+namespace mwc::graph {
+
+Graph Graph::directed(int n, std::span<const Edge> edges) {
+  return build(n, edges, /*directed=*/true);
+}
+
+Graph Graph::undirected(int n, std::span<const Edge> edges) {
+  return build(n, edges, /*directed=*/false);
+}
+
+Graph Graph::build(int n, std::span<const Edge> edges, bool directed) {
+  MWC_CHECK(n >= 0);
+  Graph g;
+  g.directed_ = directed;
+  g.n_ = n;
+  g.edges_.assign(edges.begin(), edges.end());
+  g.max_weight_ = 1;
+  g.min_weight_ = 1;
+
+  std::vector<std::int32_t> out_deg(static_cast<std::size_t>(n), 0);
+  std::vector<std::int32_t> in_deg(static_cast<std::size_t>(n), 0);
+  for (const Edge& e : g.edges_) {
+    MWC_CHECK_MSG(e.from >= 0 && e.from < n && e.to >= 0 && e.to < n,
+                  "edge endpoint out of range");
+    MWC_CHECK_MSG(e.from != e.to, "self loops are not allowed");
+    MWC_CHECK_MSG(e.w >= 1, "edge weights must be >= 1 (see DESIGN.md)");
+    g.max_weight_ = std::max(g.max_weight_, e.w);
+    g.min_weight_ = std::min(g.min_weight_, e.w);
+    ++out_deg[static_cast<std::size_t>(e.from)];
+    ++in_deg[static_cast<std::size_t>(e.to)];
+    if (!directed) {
+      ++out_deg[static_cast<std::size_t>(e.to)];
+      ++in_deg[static_cast<std::size_t>(e.from)];
+    }
+  }
+
+  auto prefix = [](const std::vector<std::int32_t>& deg) {
+    std::vector<std::int32_t> off(deg.size() + 1, 0);
+    for (std::size_t i = 0; i < deg.size(); ++i) off[i + 1] = off[i] + deg[i];
+    return off;
+  };
+  g.out_offset_ = prefix(out_deg);
+  g.in_offset_ = prefix(in_deg);
+  g.out_arcs_.resize(static_cast<std::size_t>(g.out_offset_[static_cast<std::size_t>(n)]));
+  g.in_arcs_.resize(static_cast<std::size_t>(g.in_offset_[static_cast<std::size_t>(n)]));
+
+  std::vector<std::int32_t> out_pos(g.out_offset_.begin(), g.out_offset_.end() - 1);
+  std::vector<std::int32_t> in_pos(g.in_offset_.begin(), g.in_offset_.end() - 1);
+  for (std::size_t i = 0; i < g.edges_.size(); ++i) {
+    const Edge& e = g.edges_[i];
+    const EdgeId id = static_cast<EdgeId>(i);
+    g.out_arcs_[static_cast<std::size_t>(out_pos[static_cast<std::size_t>(e.from)]++)] =
+        Arc{e.to, e.w, id};
+    g.in_arcs_[static_cast<std::size_t>(in_pos[static_cast<std::size_t>(e.to)]++)] =
+        Arc{e.from, e.w, id};
+    if (!directed) {
+      g.out_arcs_[static_cast<std::size_t>(out_pos[static_cast<std::size_t>(e.to)]++)] =
+          Arc{e.from, e.w, id};
+      g.in_arcs_[static_cast<std::size_t>(in_pos[static_cast<std::size_t>(e.from)]++)] =
+          Arc{e.to, e.w, id};
+    }
+  }
+
+  auto by_endpoint = [](const Arc& a, const Arc& b) { return a.to < b.to; };
+  for (int v = 0; v < n; ++v) {
+    auto ob = g.out_arcs_.begin() + g.out_offset_[static_cast<std::size_t>(v)];
+    auto oe = g.out_arcs_.begin() + g.out_offset_[static_cast<std::size_t>(v) + 1];
+    std::sort(ob, oe, by_endpoint);
+    MWC_CHECK_MSG(std::adjacent_find(ob, oe,
+                                     [](const Arc& a, const Arc& b) { return a.to == b.to; }) == oe,
+                  "parallel arcs are not allowed");
+    auto ib = g.in_arcs_.begin() + g.in_offset_[static_cast<std::size_t>(v)];
+    auto ie = g.in_arcs_.begin() + g.in_offset_[static_cast<std::size_t>(v) + 1];
+    std::sort(ib, ie, by_endpoint);
+  }
+  return g;
+}
+
+std::span<const Arc> Graph::out(NodeId v) const {
+  MWC_DCHECK(v >= 0 && v < n_);
+  auto b = out_offset_[static_cast<std::size_t>(v)];
+  auto e = out_offset_[static_cast<std::size_t>(v) + 1];
+  return {out_arcs_.data() + b, static_cast<std::size_t>(e - b)};
+}
+
+std::span<const Arc> Graph::in(NodeId v) const {
+  MWC_DCHECK(v >= 0 && v < n_);
+  auto b = in_offset_[static_cast<std::size_t>(v)];
+  auto e = in_offset_[static_cast<std::size_t>(v) + 1];
+  return {in_arcs_.data() + b, static_cast<std::size_t>(e - b)};
+}
+
+bool Graph::has_arc(NodeId u, NodeId v) const {
+  auto arcs = out(u);
+  auto it = std::lower_bound(arcs.begin(), arcs.end(), v,
+                             [](const Arc& a, NodeId t) { return a.to < t; });
+  return it != arcs.end() && it->to == v;
+}
+
+Graph Graph::reversed() const {
+  if (!directed_) return *this;
+  std::vector<Edge> rev;
+  rev.reserve(edges_.size());
+  for (const Edge& e : edges_) rev.push_back(Edge{e.to, e.from, e.w});
+  return directed(n_, rev);
+}
+
+Graph Graph::communication_topology() const {
+  std::vector<Edge> links;
+  links.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    NodeId a = std::min(e.from, e.to);
+    NodeId b = std::max(e.from, e.to);
+    links.push_back(Edge{a, b, 1});
+  }
+  std::sort(links.begin(), links.end(), [](const Edge& x, const Edge& y) {
+    return std::pair(x.from, x.to) < std::pair(y.from, y.to);
+  });
+  links.erase(std::unique(links.begin(), links.end(),
+                          [](const Edge& x, const Edge& y) {
+                            return x.from == y.from && x.to == y.to;
+                          }),
+              links.end());
+  return undirected(n_, links);
+}
+
+}  // namespace mwc::graph

@@ -1,0 +1,94 @@
+// The graph type shared by the whole library.
+//
+// A Graph is either directed or undirected, always weighted (unweighted
+// graphs use weight 1 on every edge; generators enforce this). Weights are
+// integers in {1..W}, W = poly(n), matching the paper's model (we require
+// w >= 1; see DESIGN.md section 5).
+//
+// Storage is CSR-style: out-arcs and in-arcs sorted by endpoint. For an
+// undirected graph each edge {u,v} appears as two arcs u->v and v->u sharing
+// an edge id. Simple graphs only: no self loops, no parallel arcs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mwc::graph {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+using Weight = std::int64_t;
+
+// "Infinite" distance; large enough that kInfWeight + any path weight never
+// overflows int64 in intermediate arithmetic.
+inline constexpr Weight kInfWeight = (1LL << 60);
+
+inline constexpr NodeId kNoNode = -1;
+
+struct Edge {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  Weight w = 1;
+};
+
+// One endpoint of an arc as seen from a vertex's adjacency list.
+struct Arc {
+  NodeId to = kNoNode;
+  Weight w = 1;
+  EdgeId edge = -1;  // id of the underlying edge (shared by both arcs when undirected)
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  // Builders. Edges must be simple (no loops, no duplicate arcs); for
+  // undirected graphs, {u,v} and {v,u} count as duplicates. Weights >= 1.
+  static Graph directed(int n, std::span<const Edge> edges);
+  static Graph undirected(int n, std::span<const Edge> edges);
+
+  bool is_directed() const { return directed_; }
+  int node_count() const { return n_; }
+  // Number of underlying edges (directed: arcs; undirected: {u,v} pairs).
+  int edge_count() const { return static_cast<int>(edges_.size()); }
+
+  std::span<const Arc> out(NodeId v) const;
+  std::span<const Arc> in(NodeId v) const;
+
+  int out_degree(NodeId v) const { return static_cast<int>(out(v).size()); }
+  int in_degree(NodeId v) const { return static_cast<int>(in(v).size()); }
+
+  const Edge& edge(EdgeId e) const { return edges_[static_cast<std::size_t>(e)]; }
+  std::span<const Edge> edges() const { return edges_; }
+
+  Weight max_weight() const { return max_weight_; }
+  bool is_unit_weight() const { return max_weight_ == 1 && min_weight_ == 1; }
+
+  // True if arc u->v exists (binary search over sorted adjacency).
+  bool has_arc(NodeId u, NodeId v) const;
+
+  // The same graph with every arc reversed (undirected graphs are returned
+  // unchanged). Edge ids are preserved.
+  Graph reversed() const;
+
+  // The underlying undirected communication topology: one undirected edge
+  // per unordered pair {u,v} connected by at least one arc. Weights are 1
+  // (communication links are unweighted). Returns *this for undirected
+  // unit-weight graphs' shape; always a fresh undirected graph.
+  Graph communication_topology() const;
+
+ private:
+  static Graph build(int n, std::span<const Edge> edges, bool directed);
+
+  bool directed_ = false;
+  int n_ = 0;
+  std::vector<Edge> edges_;
+  Weight max_weight_ = 1;
+  Weight min_weight_ = 1;
+  // CSR adjacency.
+  std::vector<std::int32_t> out_offset_, in_offset_;
+  std::vector<Arc> out_arcs_, in_arcs_;
+};
+
+}  // namespace mwc::graph

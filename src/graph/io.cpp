@@ -1,0 +1,104 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace mwc::graph {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("graph parse error at line " + std::to_string(line) +
+                           ": " + what);
+}
+
+// Next non-comment, non-blank line; returns false at EOF.
+bool next_content_line(std::istream& in, std::string* line, int* line_no) {
+  while (std::getline(in, *line)) {
+    ++*line_no;
+    const auto first = line->find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if ((*line)[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void save_graph(const Graph& g, std::ostream& out) {
+  out << "mwc-graph " << (g.is_directed() ? "directed" : "undirected") << ' '
+      << g.node_count() << ' ' << g.edge_count() << '\n';
+  for (const Edge& e : g.edges()) {
+    out << e.from << ' ' << e.to << ' ' << e.w << '\n';
+  }
+}
+
+void save_graph_file(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  save_graph(g, out);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Graph load_graph(std::istream& in) {
+  std::string line;
+  int line_no = 0;
+  if (!next_content_line(in, &line, &line_no)) fail(line_no, "empty input");
+
+  std::istringstream header(line);
+  std::string magic, kind;
+  long long n = 0, m = 0;
+  if (!(header >> magic >> kind >> n >> m) || magic != "mwc-graph") {
+    fail(line_no, "expected 'mwc-graph <directed|undirected> <n> <m>'");
+  }
+  bool directed = false;
+  if (kind == "directed") {
+    directed = true;
+  } else if (kind != "undirected") {
+    fail(line_no, "kind must be 'directed' or 'undirected', got '" + kind + "'");
+  }
+  if (n < 0 || m < 0 || n > (1 << 24)) fail(line_no, "implausible n/m");
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  for (long long i = 0; i < m; ++i) {
+    if (!next_content_line(in, &line, &line_no)) {
+      fail(line_no, "expected " + std::to_string(m) + " edges, got " +
+                        std::to_string(i));
+    }
+    std::istringstream es(line);
+    long long from = 0, to = 0, w = 0;
+    if (!(es >> from >> to >> w)) fail(line_no, "expected '<from> <to> <weight>'");
+    if (from < 0 || from >= n || to < 0 || to >= n) {
+      fail(line_no, "endpoint out of range");
+    }
+    if (w < 1) fail(line_no, "weights must be >= 1");
+    edges.push_back(Edge{static_cast<NodeId>(from), static_cast<NodeId>(to),
+                         static_cast<Weight>(w)});
+  }
+  // Pre-validate the structural rules Graph::build enforces with aborts, so
+  // bad files surface as exceptions instead.
+  std::set<std::pair<NodeId, NodeId>> used;
+  for (const Edge& e : edges) {
+    if (e.from == e.to) fail(line_no, "self loop");
+    auto key = directed ? std::pair(e.from, e.to)
+                        : std::pair(std::min(e.from, e.to), std::max(e.from, e.to));
+    if (!used.insert(key).second) fail(line_no, "duplicate edge");
+  }
+  return directed ? Graph::directed(static_cast<int>(n), edges)
+                  : Graph::undirected(static_cast<int>(n), edges);
+}
+
+Graph load_graph_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  return load_graph(in);
+}
+
+}  // namespace mwc::graph

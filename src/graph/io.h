@@ -1,0 +1,27 @@
+// Plain-text graph serialization.
+//
+// Format (whitespace separated, '#' comments):
+//
+//   mwc-graph <directed|undirected> <n> <m>
+//   <from> <to> <weight>     # m edge lines
+//
+// Weights are integers >= 1 (the library's convention); vertex ids are
+// 0..n-1. Loaders throw std::runtime_error with a line-numbered message on
+// malformed input - I/O is the one place this library prefers exceptions
+// over aborting, since bad files are expected in normal operation.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace mwc::graph {
+
+void save_graph(const Graph& g, std::ostream& out);
+void save_graph_file(const Graph& g, const std::string& path);
+
+Graph load_graph(std::istream& in);
+Graph load_graph_file(const std::string& path);
+
+}  // namespace mwc::graph

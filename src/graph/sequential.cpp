@@ -1,0 +1,180 @@
+#include "graph/sequential.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/transforms.h"
+#include "support/check.h"
+
+namespace mwc::graph::seq {
+
+namespace {
+
+// Dijkstra that can skip one edge id (for the edge-removal MWC reference)
+// and stop early once `target` is settled (target == kNoNode disables).
+std::vector<Weight> dijkstra_impl(const Graph& g, NodeId s, EdgeId skip_edge,
+                                  NodeId target) {
+  std::vector<Weight> dist(static_cast<std::size_t>(g.node_count()), kInfWeight);
+  using Item = std::pair<Weight, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[static_cast<std::size_t>(s)] = 0;
+  pq.emplace(0, s);
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d != dist[static_cast<std::size_t>(u)]) continue;
+    if (u == target) break;
+    for (const Arc& a : g.out(u)) {
+      if (a.edge == skip_edge) continue;
+      Weight nd = d + a.w;
+      if (nd < dist[static_cast<std::size_t>(a.to)]) {
+        dist[static_cast<std::size_t>(a.to)] = nd;
+        pq.emplace(nd, a.to);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<Weight> hop_limited_impl(const Graph& g, NodeId s, int h,
+                                     EdgeId skip_edge) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  std::vector<Weight> dist(n, kInfWeight);
+  dist[static_cast<std::size_t>(s)] = 0;
+  std::vector<Weight> next(n);
+  for (int round = 0; round < h; ++round) {
+    next = dist;
+    bool changed = false;
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+      Weight du = dist[static_cast<std::size_t>(u)];
+      if (du == kInfWeight) continue;
+      for (const Arc& a : g.out(u)) {
+        if (a.edge == skip_edge) continue;
+        if (du + a.w < next[static_cast<std::size_t>(a.to)]) {
+          next[static_cast<std::size_t>(a.to)] = du + a.w;
+          changed = true;
+        }
+      }
+    }
+    dist.swap(next);
+    if (!changed) break;
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<Weight> bfs_hops(const Graph& g, NodeId s) {
+  std::vector<Weight> dist(static_cast<std::size_t>(g.node_count()), kInfWeight);
+  std::queue<NodeId> q;
+  dist[static_cast<std::size_t>(s)] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop();
+    for (const Arc& a : g.out(u)) {
+      if (dist[static_cast<std::size_t>(a.to)] == kInfWeight) {
+        dist[static_cast<std::size_t>(a.to)] = dist[static_cast<std::size_t>(u)] + 1;
+        q.push(a.to);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<Weight> dijkstra(const Graph& g, NodeId s) {
+  return dijkstra_impl(g, s, /*skip_edge=*/-1, /*target=*/kNoNode);
+}
+
+std::vector<Weight> hop_limited_dist(const Graph& g, NodeId s, int h) {
+  MWC_CHECK(h >= 0);
+  return hop_limited_impl(g, s, h, /*skip_edge=*/-1);
+}
+
+std::vector<std::vector<Weight>> apsp(const Graph& g) {
+  std::vector<std::vector<Weight>> d;
+  d.reserve(static_cast<std::size_t>(g.node_count()));
+  for (NodeId s = 0; s < g.node_count(); ++s) d.push_back(dijkstra(g, s));
+  return d;
+}
+
+int communication_diameter(const Graph& g) {
+  Graph topo = g.communication_topology();
+  Weight diam = 0;
+  for (NodeId s = 0; s < topo.node_count(); ++s) {
+    for (Weight dv : bfs_hops(topo, s)) {
+      MWC_CHECK_MSG(dv != kInfWeight, "communication topology must be connected");
+      diam = std::max(diam, dv);
+    }
+  }
+  return static_cast<int>(diam);
+}
+
+bool is_connected_topology(const Graph& g) {
+  if (g.node_count() == 0) return true;
+  Graph topo = g.communication_topology();
+  auto d = bfs_hops(topo, 0);
+  return std::none_of(d.begin(), d.end(),
+                      [](Weight w) { return w == kInfWeight; });
+}
+
+bool is_strongly_connected(const Graph& g) {
+  if (g.node_count() == 0) return true;
+  auto forward = bfs_hops(g, 0);
+  auto backward = bfs_hops(g.reversed(), 0);
+  for (std::size_t i = 0; i < forward.size(); ++i) {
+    if (forward[i] == kInfWeight || backward[i] == kInfWeight) return false;
+  }
+  return true;
+}
+
+Weight mwc(const Graph& g) {
+  Weight best = kInfWeight;
+  if (g.is_directed()) {
+    // min over arcs (u,v) of d(v,u) + w(u,v); exact because shortest paths
+    // are simple and a v->u path cannot traverse (u,v).
+    for (const Edge& e : g.edges()) {
+      auto dist = dijkstra_impl(g, e.to, /*skip_edge=*/-1, /*target=*/e.from);
+      Weight d = dist[static_cast<std::size_t>(e.from)];
+      if (d != kInfWeight) best = std::min(best, d + e.w);
+    }
+  } else {
+    // min over edges e={u,v} of dist_{G-e}(u,v) + w(e); removing e forces
+    // the closing path to be a genuine second route, so every candidate is
+    // the weight of a simple cycle through e.
+    for (EdgeId i = 0; i < g.edge_count(); ++i) {
+      const Edge& e = g.edge(i);
+      auto dist = dijkstra_impl(g, e.from, i, e.to);
+      Weight d = dist[static_cast<std::size_t>(e.to)];
+      if (d != kInfWeight) best = std::min(best, d + e.w);
+    }
+  }
+  return best;
+}
+
+Weight hop_limited_mwc(const Graph& g, int h) {
+  MWC_CHECK(h >= 2);
+  Weight best = kInfWeight;
+  if (g.is_directed()) {
+    for (const Edge& e : g.edges()) {
+      auto dist = hop_limited_impl(g, e.to, h - 1, /*skip_edge=*/-1);
+      Weight d = dist[static_cast<std::size_t>(e.from)];
+      if (d != kInfWeight) best = std::min(best, d + e.w);
+    }
+  } else {
+    for (EdgeId i = 0; i < g.edge_count(); ++i) {
+      const Edge& e = g.edge(i);
+      auto dist = hop_limited_impl(g, e.from, h - 1, i);
+      Weight d = dist[static_cast<std::size_t>(e.to)];
+      if (d != kInfWeight) best = std::min(best, d + e.w);
+    }
+  }
+  return best;
+}
+
+Weight girth(const Graph& g) {
+  MWC_CHECK(!g.is_directed());
+  return mwc(unweighted_shape(g));
+}
+
+}  // namespace mwc::graph::seq

@@ -1,0 +1,51 @@
+// Sequential reference algorithms.
+//
+// These are the ground truth the distributed algorithms are tested against.
+// They favour obviousness over speed: in particular the exact MWC references
+// use the edge-removal characterization (MWC = min over edges e=(u,v) of
+// dist_{G-e}(v,u) + w(e)), which sidesteps the classic pitfalls of
+// BFS-tree-based girth formulas (degenerate closed walks, tie-broken SSSP
+// trees). O(m * SSSP) is plenty fast at test sizes.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mwc::graph::seq {
+
+// Hop counts from s (weights ignored); kInfWeight if unreachable.
+// Respects arc directions in directed graphs.
+std::vector<Weight> bfs_hops(const Graph& g, NodeId s);
+
+// Weighted shortest path distances from s.
+std::vector<Weight> dijkstra(const Graph& g, NodeId s);
+
+// Exact minimum weight over paths from s using at most h arcs
+// (h-hop-limited distances; Bellman-Ford with h relaxation rounds).
+std::vector<Weight> hop_limited_dist(const Graph& g, NodeId s, int h);
+
+// All-pairs dist[u][v]; Dijkstra from every source. Intended for n <= ~1024.
+std::vector<std::vector<Weight>> apsp(const Graph& g);
+
+// Hop diameter of the (undirected, unweighted) communication topology;
+// the parameter D of the CONGEST model. Graph must be connected.
+int communication_diameter(const Graph& g);
+
+bool is_connected_topology(const Graph& g);
+bool is_strongly_connected(const Graph& g);
+
+// --- Exact minimum weight cycle references -------------------------------
+
+// Weight of a minimum weight simple cycle; kInfWeight if acyclic.
+// Works for all four graph classes (directed/undirected x unit/weighted);
+// undirected cycles must have >= 3 edges, directed cycles >= 2 arcs.
+Weight mwc(const Graph& g);
+
+// Min weight among simple cycles with at most h edges (kInfWeight if none).
+Weight hop_limited_mwc(const Graph& g, int h);
+
+// Girth of an undirected graph ignoring weights (unit-weight view).
+Weight girth(const Graph& g);
+
+}  // namespace mwc::graph::seq

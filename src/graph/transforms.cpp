@@ -1,0 +1,57 @@
+#include "graph/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/check.h"
+
+namespace mwc::graph {
+
+namespace {
+Graph rebuild(const Graph& g, std::vector<Edge> edges) {
+  return g.is_directed() ? Graph::directed(g.node_count(), edges)
+                         : Graph::undirected(g.node_count(), edges);
+}
+}  // namespace
+
+Graph reweighted(const Graph& g, const std::function<Weight(Weight)>& f) {
+  std::vector<Edge> edges(g.edges().begin(), g.edges().end());
+  for (Edge& e : edges) {
+    e.w = f(e.w);
+    MWC_CHECK_MSG(e.w >= 1, "reweighted edge weight must stay >= 1");
+  }
+  return rebuild(g, std::move(edges));
+}
+
+Graph unweighted_shape(const Graph& g) {
+  return reweighted(g, [](Weight) { return Weight{1}; });
+}
+
+Weight scaled_weight(Weight w, int h, double eps, int level) {
+  MWC_CHECK(w >= 1 && h >= 1 && eps > 0 && level >= 0);
+  const double denom = eps * std::ldexp(1.0, level);
+  const double v = (2.0 * static_cast<double>(h) * static_cast<double>(w)) / denom;
+  const auto scaled = static_cast<Weight>(std::ceil(v - 1e-12));
+  return std::max<Weight>(1, scaled);
+}
+
+Graph induced_subgraph(const Graph& g, const std::vector<NodeId>& keep) {
+  std::vector<NodeId> index(static_cast<std::size_t>(g.node_count()), kNoNode);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    MWC_CHECK(keep[i] >= 0 && keep[i] < g.node_count());
+    MWC_CHECK_MSG(index[static_cast<std::size_t>(keep[i])] == kNoNode,
+                  "duplicate node in induced_subgraph");
+    index[static_cast<std::size_t>(keep[i])] = static_cast<NodeId>(i);
+  }
+  std::vector<Edge> edges;
+  for (const Edge& e : g.edges()) {
+    NodeId a = index[static_cast<std::size_t>(e.from)];
+    NodeId b = index[static_cast<std::size_t>(e.to)];
+    if (a != kNoNode && b != kNoNode) edges.push_back(Edge{a, b, e.w});
+  }
+  int n = static_cast<int>(keep.size());
+  return g.is_directed() ? Graph::directed(n, edges) : Graph::undirected(n, edges);
+}
+
+}  // namespace mwc::graph

@@ -1,0 +1,26 @@
+// Graph transforms used by the weighted MWC algorithms (Section 5 of the
+// paper) and by tests.
+#pragma once
+
+#include <functional>
+
+#include "graph/graph.h"
+
+namespace mwc::graph {
+
+// Same topology, each weight w replaced by f(w) (must stay >= 1).
+Graph reweighted(const Graph& g, const std::function<Weight(Weight)>& f);
+
+// Same topology, all weights set to 1.
+Graph unweighted_shape(const Graph& g);
+
+// The scaling ladder of [Nanongkai 2014] as used in Section 5.1: level i
+// maps weight w to ceil(2*h*w / (eps * 2^i)). Guaranteed >= 1 for w >= 1
+// whenever 2*h >= eps * 2^i; callers pass i <= log2(2*h*W/eps) anyway.
+Weight scaled_weight(Weight w, int h, double eps, int level);
+
+// Induced subgraph on `keep` (nodes relabelled to 0..keep.size()-1 in the
+// given order). Directedness and weights preserved.
+Graph induced_subgraph(const Graph& g, const std::vector<NodeId>& keep);
+
+}  // namespace mwc::graph

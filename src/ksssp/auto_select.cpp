@@ -1,0 +1,81 @@
+#include "ksssp/auto_select.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "congest/bfs_tree.h"
+#include "congest/multi_bfs.h"
+#include "ksssp/naive.h"
+#include "ksssp/skeleton_common.h"
+#include "support/check.h"
+#include "support/math_util.h"
+
+namespace mwc::ksssp {
+
+using graph::NodeId;
+
+namespace {
+
+KSsspResult sequential_k_source_bfs(congest::Network& net,
+                                    const std::vector<NodeId>& sources) {
+  const int n = net.n();
+  const int k = static_cast<int>(sources.size());
+  KSsspResult result;
+  result.dist.k = k;
+  result.dist.dist.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    congest::MultiBfsParams params;
+    params.sources = {sources[static_cast<std::size_t>(i)]};
+    congest::RunStats s;
+    congest::MultiBfs bfs = run_multi_bfs(net, std::move(params), &s);
+    detail::add_stats(result.stats, s);
+    for (NodeId v = 0; v < n; ++v) {
+      result.dist.dist[static_cast<std::size_t>(v) * static_cast<std::size_t>(k) +
+                       static_cast<std::size_t>(i)] = bfs.dist(v, 0);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+AutoKBfsResult k_source_bfs_auto(congest::Network& net,
+                                 const std::vector<NodeId>& sources) {
+  MWC_CHECK(!sources.empty());
+  const double n = net.n();
+  const double k = static_cast<double>(sources.size());
+  // D is learnable in O(D) rounds (the BFS-tree height bounds it within a
+  // factor 2); charge that probe.
+  congest::RunStats probe;
+  congest::BfsTreeResult tree = congest::build_bfs_tree(net, 0, &probe);
+  const double diam = std::max(1, tree.height);
+  const double log_n = support::log_n(net.n());
+
+  // Round estimates mirroring the Theorem 1.6.A terms (constants from the
+  // implementations: the skeleton's |S|^2 + k|S| broadcast dominates it).
+  const double s_size = 2.0 * log_n * std::sqrt(n / k) + 1;
+  const double est_skeleton =
+      s_size * s_size + k * s_size + 2 * std::sqrt(n * k) + diam;
+  const double est_sequential = k * (2 * diam + 2);
+  // Directed BFS depth can exceed the undirected diameter (up to n on a
+  // directed ring); 8D is a workable middle-ground predictor.
+  const double est_flood = std::min(n, 8.0 * diam) + k;
+
+  AutoKBfsResult out;
+  if (est_skeleton <= est_sequential && est_skeleton <= est_flood) {
+    out.chosen = KBfsStrategy::kSkeleton;
+    SkeletonBfsParams params;
+    params.sources = sources;
+    out.result = skeleton_k_source_bfs(net, params);
+  } else if (est_sequential <= est_flood) {
+    out.chosen = KBfsStrategy::kSequential;
+    out.result = sequential_k_source_bfs(net, sources);
+  } else {
+    out.chosen = KBfsStrategy::kFlood;
+    out.result = naive_k_source_bfs(net, sources);
+  }
+  detail::add_stats(out.result.stats, probe);
+  return out;
+}
+
+}  // namespace mwc::ksssp

@@ -1,0 +1,30 @@
+// The complete Theorem 1.6.A statement: exact k-source BFS with the
+// strategy chosen by predicted round cost.
+//
+//   k >= n^(1/3):  the skeleton algorithm, O~(sqrt(nk) + D);
+//   k <  n^(1/3):  min( skeleton with h = sqrt(nk)  -> O~(n/k + D),
+//                       k x single-source BFS       -> k * O(D_bfs) ,
+//                       one pipelined flood          -> O(n + k) ).
+//
+// The paper states the min over the first two (its SSSP term is the
+// state-of-the-art single-source algorithm; ours is a BFS flood since the
+// graph is unweighted); the pipelined flood is this library's natural third
+// contender. Every strategy is exact, so the choice only affects rounds;
+// the estimate uses n, k and D (all of which the nodes can learn in O(D)).
+#pragma once
+
+#include "ksssp/skeleton_bfs.h"
+
+namespace mwc::ksssp {
+
+enum class KBfsStrategy { kSkeleton, kSequential, kFlood };
+
+struct AutoKBfsResult {
+  KSsspResult result;
+  KBfsStrategy chosen = KBfsStrategy::kSkeleton;
+};
+
+AutoKBfsResult k_source_bfs_auto(congest::Network& net,
+                                 const std::vector<graph::NodeId>& sources);
+
+}  // namespace mwc::ksssp

@@ -1,0 +1,59 @@
+#include "ksssp/naive.h"
+
+#include "congest/bellman_ford.h"
+#include "congest/multi_bfs.h"
+#include "ksssp/skeleton_common.h"
+#include "support/check.h"
+
+namespace mwc::ksssp {
+
+using congest::MultiBfs;
+using congest::MultiBfsParams;
+using congest::RunStats;
+using graph::NodeId;
+
+KSsspResult naive_k_source_bfs(congest::Network& net,
+                               const std::vector<NodeId>& sources) {
+  MWC_CHECK(!sources.empty());
+  const int n = net.n();
+  const int k = static_cast<int>(sources.size());
+  KSsspResult result;
+  result.h = n;
+  MultiBfsParams params;
+  params.sources = sources;
+  RunStats s;
+  MultiBfs bfs = run_multi_bfs(net, std::move(params), &s);
+  detail::add_stats(result.stats, s);
+  result.dist.k = k;
+  result.dist.dist.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(k));
+  for (NodeId v = 0; v < n; ++v) {
+    for (int i = 0; i < k; ++i) {
+      result.dist.dist[static_cast<std::size_t>(v) * static_cast<std::size_t>(k) +
+                       static_cast<std::size_t>(i)] = bfs.dist(v, i);
+    }
+  }
+  return result;
+}
+
+KSsspResult sequential_k_source_sssp(congest::Network& net,
+                                     const std::vector<NodeId>& sources) {
+  MWC_CHECK(!sources.empty());
+  const int n = net.n();
+  const int k = static_cast<int>(sources.size());
+  KSsspResult result;
+  result.dist.k = k;
+  result.dist.dist.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    RunStats s;
+    congest::SsspResult one = congest::exact_sssp(net, {sources[static_cast<std::size_t>(i)]},
+                                                  /*reverse=*/false, &s);
+    detail::add_stats(result.stats, s);
+    for (NodeId v = 0; v < n; ++v) {
+      result.dist.dist[static_cast<std::size_t>(v) * static_cast<std::size_t>(k) +
+                       static_cast<std::size_t>(i)] = one.at(v, 0);
+    }
+  }
+  return result;
+}
+
+}  // namespace mwc::ksssp

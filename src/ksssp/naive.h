@@ -1,0 +1,23 @@
+// Baselines for Theorem 1.6's comparisons.
+//
+//  * naive pipelined k-source BFS: one MultiBfs with no hop limit - the
+//    O(n + k) "just flood everything" approach.
+//  * sequential k x SSSP: run single-source shortest paths k times in
+//    sequence, the paper's "repeating SSSP computation in sequence from
+//    each source taking k * SSSP rounds" alternative for small k.
+#pragma once
+
+#include "ksssp/skeleton_bfs.h"
+
+namespace mwc::ksssp {
+
+// Unweighted hop distances from every source via one unrestricted pipelined
+// multi-source BFS.
+KSsspResult naive_k_source_bfs(congest::Network& net,
+                               const std::vector<graph::NodeId>& sources);
+
+// Exact weighted distances, one SSSP run per source, rounds summed.
+KSsspResult sequential_k_source_sssp(congest::Network& net,
+                                     const std::vector<graph::NodeId>& sources);
+
+}  // namespace mwc::ksssp

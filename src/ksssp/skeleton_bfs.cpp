@@ -1,0 +1,107 @@
+#include "ksssp/skeleton_bfs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "congest/multi_bfs.h"
+#include "ksssp/skeleton_common.h"
+#include "support/check.h"
+
+namespace mwc::ksssp {
+
+using congest::MultiBfs;
+using congest::MultiBfsParams;
+using congest::RunStats;
+using graph::NodeId;
+
+namespace {
+
+congest::SsspResult to_matrix(const MultiBfs& bfs, int n, int k) {
+  congest::SsspResult m;
+  m.k = k;
+  m.dist.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(k));
+  for (NodeId v = 0; v < n; ++v) {
+    for (int i = 0; i < k; ++i) {
+      m.dist[static_cast<std::size_t>(v) * static_cast<std::size_t>(k) +
+             static_cast<std::size_t>(i)] = bfs.dist(v, i);
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+KSsspResult skeleton_k_source_bfs(congest::Network& net,
+                                  const SkeletonBfsParams& params) {
+  const int n = net.n();
+  const int k = static_cast<int>(params.sources.size());
+  MWC_CHECK(k >= 1);
+
+  KSsspResult result;
+  result.h = params.h_override > 0
+                 ? params.h_override
+                 : std::clamp(static_cast<int>(std::lround(std::sqrt(
+                                  static_cast<double>(n) * static_cast<double>(k)))),
+                              1, n);
+  const int h = result.h;
+
+  // Line 1: sample S.
+  std::vector<NodeId> samples =
+      detail::sample_vertices(net, params.sample_constant, h);
+  result.skeleton_size = static_cast<int>(samples.size());
+
+  RunStats s;
+  if (samples.empty()) {
+    // Tiny-n fallback: full-depth BFS from the sources (the h-hop truncation
+    // would otherwise lose long paths with no skeleton to bridge them).
+    MultiBfsParams src_params;
+    src_params.sources = params.sources;
+    src_params.reverse = params.reverse;
+    MultiBfs src_bfs = run_multi_bfs(net, std::move(src_params), &s);
+    detail::add_stats(result.stats, s);
+    result.dist = to_matrix(src_bfs, n, k);
+    return result;
+  }
+
+  // Line 2: h-hop BFS from S, forward and reversed.
+  // With params.reverse the whole pipeline runs on the reversed graph:
+  // every BFS flips direction and the skeleton transposes with it.
+  MultiBfsParams fwd_params;
+  fwd_params.sources = samples;
+  fwd_params.tick_limit = h;
+  fwd_params.reverse = params.reverse;
+  MultiBfs fwd = run_multi_bfs(net, std::move(fwd_params), &s);
+  detail::add_stats(result.stats, s);
+
+  MultiBfsParams rev_params;
+  rev_params.sources = samples;
+  rev_params.tick_limit = h;
+  rev_params.reverse = !params.reverse;
+  MultiBfs rev = run_multi_bfs(net, std::move(rev_params), &s);
+  detail::add_stats(result.stats, s);
+
+  // Line 7: h-hop BFS from the k sources.
+  MultiBfsParams src_params;
+  src_params.sources = params.sources;
+  src_params.tick_limit = h;
+  src_params.reverse = params.reverse;
+  MultiBfs src_bfs = run_multi_bfs(net, std::move(src_params), &s);
+  detail::add_stats(result.stats, s);
+
+  // Lines 4-10: skeleton broadcast + local APSP + stitch (see
+  // skeleton_common.h for the correspondence to the paper's lines).
+  const int s_count = static_cast<int>(samples.size());
+  congest::SsspResult fwd_m = to_matrix(fwd, n, s_count);
+  congest::SsspResult rev_m = to_matrix(rev, n, s_count);
+  congest::SsspResult src_m = to_matrix(src_bfs, n, k);
+  detail::SkeletonInputs inputs;
+  inputs.samples = std::move(samples);
+  inputs.fwd = &fwd_m;
+  inputs.rev = &rev_m;
+  inputs.src = &src_m;
+  inputs.k = k;
+  result.dist = detail::skeleton_combine(net, inputs, &result.stats);
+  return result;
+}
+
+}  // namespace mwc::ksssp

@@ -1,0 +1,54 @@
+// Algorithm 1: exact k-source directed BFS via a skeleton graph
+// (Theorem 1.6.A, Section 2 of the paper).
+//
+// Pipeline, with h = sqrt(n k):
+//   1. sample S with probability Theta(log n / h)            (w.h.p. every
+//      h consecutive vertices of a shortest path contain a sample)
+//   2. h-hop BFS from S, forward and reversed                O(|S| + h)
+//   3. skeleton graph on S: edge (t,s) with weight = h-hop d(t,s)
+//   4. broadcast the <= |S|^2 skeleton edges                 O(|S|^2 + D)
+//   5. local APSP on the skeleton (free local computation)
+//   6. h-hop BFS from the k sources                          O(k + h)
+//   7. broadcast the k|S| source->sample h-hop distances     O(k|S| + D)
+//   8. combine locally: d(u,v) = min(d_h(u,v),
+//                                    min_{s in S} d(u,s) + d_h(s,v))
+//      where d(u,s) = min(d_h(u,s), min_t d_h(u,t) + skel(t,s)).
+//
+// Note on the paper's lines 9-10 (propagating d(u,s) down the h-hop BFS
+// trees of S): in the paper's accounting, too, the skeleton edges and the
+// source->sample distances are broadcast *globally*, which already puts
+// every term of the line-8 combination at every node; the tree propagation
+// is subsumed by the local combine here and is omitted. Skipping it can only
+// reduce rounds, and the O~(sqrt(nk) + D) bound is unchanged.
+#pragma once
+
+#include <vector>
+
+#include "congest/bellman_ford.h"
+#include "congest/network.h"
+
+namespace mwc::ksssp {
+
+struct SkeletonBfsParams {
+  std::vector<graph::NodeId> sources;
+  // Sampling probability is sample_constant * ln(n) / h.
+  double sample_constant = 2.0;
+  // 0 = the paper's h = sqrt(n k); tests can override.
+  int h_override = 0;
+  // Compute distances *to* the sources instead (runs the whole pipeline on
+  // the reversed graph): dist.at(v, i) = d(v, sources[i]).
+  bool reverse = false;
+};
+
+struct KSsspResult {
+  congest::SsspResult dist;  // dist.at(v, i) = d(sources[i], v)
+  congest::RunStats stats;   // rounds/messages consumed by this algorithm
+  int h = 0;
+  int skeleton_size = 0;  // |S|
+};
+
+// Exact BFS (hop distances) from each source; G may be directed.
+KSsspResult skeleton_k_source_bfs(congest::Network& net,
+                                  const SkeletonBfsParams& params);
+
+}  // namespace mwc::ksssp

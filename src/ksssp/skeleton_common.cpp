@@ -1,0 +1,179 @@
+#include "ksssp/skeleton_common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "congest/bfs_tree.h"
+#include "congest/broadcast.h"
+#include "support/check.h"
+#include "support/math_util.h"
+
+namespace mwc::ksssp::detail {
+
+using congest::BroadcastItem;
+using congest::RunStats;
+using congest::Word;
+using graph::kInfWeight;
+using graph::NodeId;
+using graph::Weight;
+
+void add_stats(RunStats& acc, const RunStats& s) {
+  acc.rounds += s.rounds;
+  acc.messages += s.messages;
+  acc.words += s.words;
+  acc.max_queue_words = std::max(acc.max_queue_words, s.max_queue_words);
+}
+
+std::vector<NodeId> sample_vertices(congest::Network& net, double c, int h) {
+  support::Rng rng = net.next_run_rng();
+  const double p =
+      std::min(1.0, c * support::log_n(net.n()) / static_cast<double>(h));
+  std::vector<NodeId> samples;
+  for (NodeId v = 0; v < net.n(); ++v) {
+    if (rng.next_bool(p)) samples.push_back(v);
+  }
+  return samples;
+}
+
+namespace {
+
+// One broadcast item = one Theta(log n + log W)-bit word: two skeleton/
+// source indices (14 bits each) and a distance (36 bits).
+Word pack_item(int a, int b, Weight d) {
+  MWC_CHECK(a >= 0 && b >= 0 && a < (1 << 14) && b < (1 << 14));
+  MWC_CHECK(d >= 0 && d < (Weight{1} << 36));
+  return (static_cast<Word>(a) << 50) | (static_cast<Word>(b) << 36) |
+         static_cast<Word>(d);
+}
+void unpack_item(Word w, int* a, int* b, Weight* d) {
+  *a = static_cast<int>(w >> 50);
+  *b = static_cast<int>((w >> 36) & ((1u << 14) - 1));
+  *d = static_cast<Weight>(w & ((Word{1} << 36) - 1));
+}
+
+// Local APSP on the broadcast skeleton (identical deterministic computation
+// at every node; done once - DESIGN.md simulation-scale note).
+std::vector<std::vector<Weight>> skeleton_apsp(
+    int s_count, const std::vector<std::vector<std::pair<int, Weight>>>& adj) {
+  std::vector<std::vector<Weight>> dist(
+      static_cast<std::size_t>(s_count),
+      std::vector<Weight>(static_cast<std::size_t>(s_count), kInfWeight));
+  using Item = std::pair<Weight, int>;
+  for (int src = 0; src < s_count; ++src) {
+    auto& d = dist[static_cast<std::size_t>(src)];
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    d[static_cast<std::size_t>(src)] = 0;
+    pq.emplace(0, src);
+    while (!pq.empty()) {
+      auto [dd, u] = pq.top();
+      pq.pop();
+      if (dd != d[static_cast<std::size_t>(u)]) continue;
+      for (auto [to, w] : adj[static_cast<std::size_t>(u)]) {
+        if (dd + w < d[static_cast<std::size_t>(to)]) {
+          d[static_cast<std::size_t>(to)] = dd + w;
+          pq.emplace(dd + w, to);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+congest::SsspResult skeleton_combine(congest::Network& net,
+                                     const SkeletonInputs& in, RunStats* stats) {
+  const int n = net.n();
+  const int s_count = static_cast<int>(in.samples.size());
+  const int k = in.k;
+  RunStats s;
+
+  congest::BfsTreeResult tree = congest::build_bfs_tree(net, 0, &s);
+  add_stats(*stats, s);
+
+  // Skeleton edges: t in S knows d_h(t, s) for all s from the reversed run.
+  std::vector<std::vector<BroadcastItem>> skel_items(static_cast<std::size_t>(n));
+  for (int i = 0; i < s_count; ++i) {
+    const NodeId t = in.samples[static_cast<std::size_t>(i)];
+    for (int j = 0; j < s_count; ++j) {
+      if (i == j) continue;
+      const Weight d = in.rev->at(t, j);
+      if (d == kInfWeight) continue;
+      skel_items[static_cast<std::size_t>(t)].push_back({pack_item(i, j, d)});
+    }
+  }
+  congest::BroadcastResult skel_bcast = congest::broadcast(net, tree, skel_items, &s);
+  add_stats(*stats, s);
+
+  std::vector<std::vector<std::pair<int, Weight>>> skel_adj(
+      static_cast<std::size_t>(s_count));
+  for (const BroadcastItem& item : skel_bcast.items()) {
+    int from = 0, to = 0;
+    Weight d = 0;
+    unpack_item(item[0], &from, &to, &d);
+    skel_adj[static_cast<std::size_t>(from)].emplace_back(to, d);
+  }
+  const std::vector<std::vector<Weight>> skel_dist = skeleton_apsp(s_count, skel_adj);
+
+  // Source -> sampled-vertex h-hop distances, broadcast by the samples.
+  std::vector<std::vector<BroadcastItem>> visit_items(static_cast<std::size_t>(n));
+  for (int j = 0; j < s_count; ++j) {
+    const NodeId t = in.samples[static_cast<std::size_t>(j)];
+    for (int u = 0; u < k; ++u) {
+      const Weight d = in.src->at(t, u);
+      if (d == kInfWeight) continue;
+      visit_items[static_cast<std::size_t>(t)].push_back({pack_item(u, j, d)});
+    }
+  }
+  congest::BroadcastResult visit_bcast = congest::broadcast(net, tree, visit_items, &s);
+  add_stats(*stats, s);
+
+  // d(u, s_j) = min(d_h(u, s_j), min_t d_h(u, s_t) + skel(s_t, s_j)).
+  std::vector<Weight> du_s(static_cast<std::size_t>(k) * static_cast<std::size_t>(s_count),
+                           kInfWeight);
+  auto du_at = [&](int u, int j) -> Weight& {
+    return du_s[static_cast<std::size_t>(u) * static_cast<std::size_t>(s_count) +
+                static_cast<std::size_t>(j)];
+  };
+  std::vector<std::pair<std::pair<int, int>, Weight>> visits;
+  visits.reserve(visit_bcast.items().size());
+  for (const BroadcastItem& item : visit_bcast.items()) {
+    int u = 0, t = 0;
+    Weight d = 0;
+    unpack_item(item[0], &u, &t, &d);
+    du_at(u, t) = std::min(du_at(u, t), d);
+    visits.push_back({{u, t}, d});
+  }
+  for (const auto& [ut, d] : visits) {
+    const auto [u, t] = ut;
+    const auto& from_t = skel_dist[static_cast<std::size_t>(t)];
+    for (int j = 0; j < s_count; ++j) {
+      const Weight via = from_t[static_cast<std::size_t>(j)];
+      if (via == kInfWeight) continue;
+      du_at(u, j) = std::min(du_at(u, j), d + via);
+    }
+  }
+
+  // Stitch at every node: d(u,v) = min(d_h(u,v), min_j d(u,s_j) + d_h(s_j,v)).
+  congest::SsspResult out;
+  out.k = k;
+  out.dist.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(k));
+  for (NodeId v = 0; v < n; ++v) {
+    for (int u = 0; u < k; ++u) {
+      Weight best = in.src->at(v, u);
+      for (int j = 0; j < s_count; ++j) {
+        const Weight tail = in.fwd->at(v, j);
+        if (tail == kInfWeight) continue;
+        const Weight head = du_at(u, j);
+        if (head == kInfWeight) continue;
+        best = std::min(best, head + tail);
+      }
+      out.dist[static_cast<std::size_t>(v) * static_cast<std::size_t>(k) +
+               static_cast<std::size_t>(u)] = best;
+    }
+  }
+  return out;
+}
+
+}  // namespace mwc::ksssp::detail

@@ -1,0 +1,40 @@
+// Shared tail of Algorithm 1 (Section 2): given h-hop distance matrices
+// computed from the sampled set S (forward and reversed) and from the k
+// sources, broadcast the skeleton edges and the source->sample distances,
+// locally solve skeleton APSP, and stitch full distances.
+//
+// Used with exact h-hop BFS matrices by skeleton_k_source_bfs (Thm 1.6.A)
+// and with (1+eps)-approximate matrices by skeleton_k_source_sssp
+// (Thm 1.6.B); the combine itself only adds segment estimates, so it
+// preserves exactness (resp. the (1+eps) factor).
+#pragma once
+
+#include <vector>
+
+#include "congest/bellman_ford.h"
+#include "congest/network.h"
+
+namespace mwc::ksssp::detail {
+
+struct SkeletonInputs {
+  std::vector<graph::NodeId> samples;
+  // fwd.at(v, j) = d_h(samples[j] -> v); rev.at(v, j) = d_h(v -> samples[j]);
+  // src.at(v, u) = d_h(sources[u] -> v).
+  const congest::SsspResult* fwd = nullptr;
+  const congest::SsspResult* rev = nullptr;
+  const congest::SsspResult* src = nullptr;
+  int k = 0;
+};
+
+// Returns the stitched distances; accumulates broadcast rounds into *stats.
+congest::SsspResult skeleton_combine(congest::Network& net,
+                                     const SkeletonInputs& in,
+                                     congest::RunStats* stats);
+
+void add_stats(congest::RunStats& acc, const congest::RunStats& s);
+
+// Samples each vertex with probability min(1, c * ln(n) / h) using the
+// network's shared randomness.
+std::vector<graph::NodeId> sample_vertices(congest::Network& net, double c, int h);
+
+}  // namespace mwc::ksssp::detail

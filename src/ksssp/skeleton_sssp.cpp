@@ -1,0 +1,72 @@
+#include "ksssp/skeleton_sssp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "congest/bellman_ford.h"
+#include "ksssp/skeleton_common.h"
+#include "support/check.h"
+
+namespace mwc::ksssp {
+
+using congest::ApproxHopSsspParams;
+using congest::RunStats;
+using graph::NodeId;
+
+KSsspResult skeleton_k_source_sssp(congest::Network& net,
+                                   const SkeletonSsspParams& params) {
+  const int n = net.n();
+  const int k = static_cast<int>(params.sources.size());
+  MWC_CHECK(k >= 1);
+  MWC_CHECK(params.epsilon > 0);
+
+  KSsspResult result;
+  result.h = params.h_override > 0
+                 ? params.h_override
+                 : std::clamp(static_cast<int>(std::lround(std::sqrt(
+                                  static_cast<double>(n) * static_cast<double>(k)))),
+                              1, n);
+  const int h = result.h;
+
+  std::vector<NodeId> samples =
+      detail::sample_vertices(net, params.sample_constant, h);
+  result.skeleton_size = static_cast<int>(samples.size());
+
+  RunStats s;
+  if (samples.empty()) {
+    // Tiny-n fallback: exact SSSP straight from the sources.
+    result.dist = congest::exact_sssp(net, params.sources, /*reverse=*/false, &s);
+    detail::add_stats(result.stats, s);
+    return result;
+  }
+
+  ApproxHopSsspParams fwd_params;
+  fwd_params.sources = samples;
+  fwd_params.hop_limit = h;
+  fwd_params.epsilon = params.epsilon;
+  congest::SsspResult fwd = approx_hop_sssp(net, fwd_params, &s);
+  detail::add_stats(result.stats, s);
+
+  ApproxHopSsspParams rev_params = fwd_params;
+  rev_params.reverse = true;
+  congest::SsspResult rev = approx_hop_sssp(net, rev_params, &s);
+  detail::add_stats(result.stats, s);
+
+  ApproxHopSsspParams src_params;
+  src_params.sources = params.sources;
+  src_params.hop_limit = h;
+  src_params.epsilon = params.epsilon;
+  congest::SsspResult src = approx_hop_sssp(net, src_params, &s);
+  detail::add_stats(result.stats, s);
+
+  detail::SkeletonInputs inputs;
+  inputs.samples = std::move(samples);
+  inputs.fwd = &fwd;
+  inputs.rev = &rev;
+  inputs.src = &src;
+  inputs.k = k;
+  result.dist = detail::skeleton_combine(net, inputs, &result.stats);
+  return result;
+}
+
+}  // namespace mwc::ksssp

@@ -1,0 +1,25 @@
+// (1+eps)-approximate k-source SSSP in weighted graphs (Theorem 1.6.B).
+//
+// Algorithm 1 with every h-hop BFS replaced by the h-hop (1+eps)-approximate
+// SSSP of [41] (the scaling-ladder primitive congest::approx_hop_sssp), as
+// Section 2's "Weighted Graphs" paragraph prescribes. The skeleton stitch
+// adds per-segment estimates, and every segment of a true shortest path is
+// independently (1+eps)-approximated, so the end-to-end estimate is within
+// (1+eps) of the true distance - and is always the weight of a real path.
+#pragma once
+
+#include "ksssp/skeleton_bfs.h"
+
+namespace mwc::ksssp {
+
+struct SkeletonSsspParams {
+  std::vector<graph::NodeId> sources;
+  double epsilon = 0.25;
+  double sample_constant = 2.0;
+  int h_override = 0;  // 0 = sqrt(n k)
+};
+
+KSsspResult skeleton_k_source_sssp(congest::Network& net,
+                                   const SkeletonSsspParams& params);
+
+}  // namespace mwc::ksssp

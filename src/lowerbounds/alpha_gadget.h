@@ -1,0 +1,62 @@
+// Gadgets for the Omega~(sqrt(n)) alpha-approximation lower bounds
+// (Theorems 1.2.B and 1.4.B) and the Omega~(n^(1/4)) girth bound
+// (Theorem 1.3.A).
+//
+// The shape follows the Das-Sarma-et-al framework [49] the paper adapts:
+// p parallel paths of length ell between Alice's terminal s and Bob's
+// terminal s'; Alice attaches the left end of path i iff Sa[i] = 1, Bob the
+// right end iff Sb[i] = 1, and a return link closes s' back to s. A cycle
+// certifying the intersection has weight ~ ell; when the strings are
+// disjoint every cycle is >= alpha times heavier (or absent entirely), so
+// any alpha-approximation of MWC decides disjointness on p = Theta(sqrt n)
+// bits.
+//
+//  * Directed variant (Thm 1.2.B): disjoint -> the digraph is acyclic, so
+//    the gap is infinite; a downward-directed binary "shortcut" tree over
+//    the columns keeps the communication diameter Theta(log n) without
+//    creating any directed cycle.
+//  * Undirected weighted variant (Thm 1.4.B): absent attachments become
+//    weight-alpha*(ell+2) edges and the shortcut tree is heavy, preserving
+//    the alpha gap.
+//  * Girth variant (Thm 1.3.A, undirected unweighted): weights are emulated
+//    by pad *paths* of length ~ alpha * ell, so the gap is purely
+//    combinatorial; no shortcut tree is possible without creating short
+//    cycles, hence D = Theta(alpha * ell) here (the paper's construction
+//    achieves D = Theta(log n); see DESIGN.md section 5).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "lowerbounds/disjointness_gadget.h"
+#include "support/rng.h"
+
+namespace mwc::lb {
+
+struct PathInstance {
+  int paths = 0;  // p bits
+  std::vector<bool> alice, bob;
+  bool intersects = false;
+};
+
+PathInstance random_path_instance(int paths, double density, int force_intersect,
+                                  support::Rng& rng);
+
+struct AlphaGadgetParams {
+  int path_length = 8;  // ell
+  double alpha = 2.0;   // approximation factor the gadget defeats
+};
+
+// Directed unweighted (Theorem 1.2.B).
+GadgetGraph directed_alpha_gadget(const PathInstance& inst,
+                                  const AlphaGadgetParams& params);
+
+// Undirected weighted (Theorem 1.4.B).
+GadgetGraph undirected_alpha_gadget(const PathInstance& inst,
+                                    const AlphaGadgetParams& params);
+
+// Undirected unweighted girth gadget (Theorem 1.3.A).
+GadgetGraph girth_alpha_gadget(const PathInstance& inst,
+                               const AlphaGadgetParams& params);
+
+}  // namespace mwc::lb

@@ -1,0 +1,118 @@
+#include "lowerbounds/disjointness_gadget.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace mwc::lb {
+
+using graph::Edge;
+using graph::Graph;
+using graph::NodeId;
+using graph::Weight;
+
+DisjointnessInstance random_disjointness(int pairs, double density,
+                                         int force_intersect, support::Rng& rng) {
+  MWC_CHECK(pairs >= 2);
+  DisjointnessInstance inst;
+  inst.pairs = pairs;
+  const std::size_t k = static_cast<std::size_t>(pairs) * static_cast<std::size_t>(pairs);
+  inst.alice.resize(k);
+  inst.bob.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    inst.alice[i] = rng.next_bool(density);
+    inst.bob[i] = rng.next_bool(density);
+  }
+  if (force_intersect == 1) {
+    std::size_t at = rng.next_below(k);
+    inst.alice[at] = inst.bob[at] = true;
+  } else if (force_intersect == 0) {
+    for (std::size_t i = 0; i < k; ++i) {
+      if (inst.alice[i] && inst.bob[i]) inst.bob[i] = false;
+    }
+  }
+  inst.intersects = false;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (inst.alice[i] && inst.bob[i]) inst.intersects = true;
+  }
+  return inst;
+}
+
+namespace {
+
+struct Layout {
+  int p;
+  NodeId a(int i) const { return i; }
+  NodeId a_prime(int j) const { return p + j; }
+  NodeId b(int j) const { return 2 * p + j; }
+  NodeId b_prime(int i) const { return 3 * p + i; }
+  NodeId hub() const { return 4 * p; }
+  int n() const { return 4 * p + 1; }
+};
+
+std::vector<bool> bob_side_of(const Layout& lo) {
+  // Alice holds {a, a', hub}; Bob holds {b, b'}. The only crossing links are
+  // the fixed a'_j - b_j / b'_i - a_i arcs plus hub spokes into Bob's half.
+  std::vector<bool> side(static_cast<std::size_t>(lo.n()), false);
+  for (int i = 0; i < lo.p; ++i) {
+    side[static_cast<std::size_t>(lo.b(i))] = true;
+    side[static_cast<std::size_t>(lo.b_prime(i))] = true;
+  }
+  return side;
+}
+
+}  // namespace
+
+GadgetGraph directed_disjointness_gadget(const DisjointnessInstance& inst) {
+  Layout lo{inst.pairs};
+  std::vector<Edge> edges;
+  const int p = inst.pairs;
+  for (int i = 0; i < p; ++i) {
+    for (int j = 0; j < p; ++j) {
+      const std::size_t bit = static_cast<std::size_t>(i) * static_cast<std::size_t>(p) +
+                              static_cast<std::size_t>(j);
+      if (inst.alice[bit]) edges.push_back({lo.a(i), lo.a_prime(j), 1});
+      if (inst.bob[bit]) edges.push_back({lo.b(j), lo.b_prime(i), 1});
+    }
+  }
+  for (int j = 0; j < p; ++j) edges.push_back({lo.a_prime(j), lo.b(j), 1});
+  for (int i = 0; i < p; ++i) edges.push_back({lo.b_prime(i), lo.a(i), 1});
+  // Hub: outgoing arcs only - connects the communication topology (D = 2)
+  // without creating a single directed cycle.
+  for (NodeId v = 0; v < lo.hub(); ++v) edges.push_back({lo.hub(), v, 1});
+
+  GadgetGraph out{Graph::directed(lo.n(), edges), bob_side_of(lo), 7, 4, 8};
+  return out;
+}
+
+GadgetGraph undirected_disjointness_gadget(const DisjointnessInstance& inst,
+                                           double epsilon) {
+  MWC_CHECK(epsilon > 0 && epsilon < 1);
+  Layout lo{inst.pairs};
+  const auto w = static_cast<Weight>(std::ceil(2.0 / epsilon)) + 1;
+  const int p = inst.pairs;
+  // Hub edges heavier than any relevant cycle.
+  const Weight hub_w = 4 * w * p + 10;
+
+  std::vector<Edge> edges;
+  for (int i = 0; i < p; ++i) {
+    for (int j = 0; j < p; ++j) {
+      const std::size_t bit = static_cast<std::size_t>(i) * static_cast<std::size_t>(p) +
+                              static_cast<std::size_t>(j);
+      if (inst.alice[bit]) edges.push_back({lo.a(i), lo.a_prime(j), w});
+      if (inst.bob[bit]) edges.push_back({lo.b(j), lo.b_prime(i), w});
+    }
+  }
+  for (int j = 0; j < p; ++j) edges.push_back({lo.a_prime(j), lo.b(j), 1});
+  for (int i = 0; i < p; ++i) edges.push_back({lo.b_prime(i), lo.a(i), 1});
+  for (NodeId v = 0; v < lo.hub(); ++v) edges.push_back({lo.hub(), v, hub_w});
+
+  GadgetGraph out{Graph::undirected(lo.n(), edges), bob_side_of(lo),
+                  /*yes_threshold=*/4 * w - 1,
+                  /*mwc_if_intersecting=*/2 * w + 2,
+                  /*min_mwc_if_disjoint=*/4 * w};
+  return out;
+}
+
+}  // namespace mwc::lb

@@ -1,0 +1,71 @@
+// Set-disjointness reduction graphs for the near-linear lower bounds
+// (Theorems 1.2.A and 1.4.A).
+//
+// Two players hold k = (n/4)^2-bit strings indexed by pairs (i,j). The
+// directed unweighted gadget has four vertex groups a, a', b, b' of p = n/4
+// vertices each:
+//   Alice's bit (i,j) = 1  ->  arc  a_i  -> a'_j      (inside Alice's half)
+//   Bob's   bit (i,j) = 1  ->  arc  b_j  -> b'_i      (inside Bob's half)
+//   fixed arcs                a'_j -> b_j,   b'_i -> a_i
+// plus a hub with arcs hub -> everything (keeps the communication topology
+// connected with diameter 2 without creating any directed cycle).
+//
+// Every directed cycle alternates a -> a' -> b -> b' -> ... and has length
+// 4r. A 4-cycle exists iff some bit (i,j) is set in *both* strings; with no
+// intersection the minimum possible cycle has length >= 8. Hence any
+// (2-eps)-approximation of MWC decides set disjointness: answer < 8 iff the
+// strings intersect. Since the players' halves exchange Omega(k) = Omega(n^2)
+// bits (communication complexity of disjointness) across the Theta(n) cut of
+// fixed crossing arcs, any such algorithm needs Omega(n / log n) rounds -
+// and the same instance also witnesses the paper's Omega~(n) bound for
+// detecting directed q-cycles, q >= 4.
+//
+// The weighted undirected variant (Theorem 1.4.A) uses the same shape with
+// undirected bit edges of weight w ~ 2/eps and unit crossing edges:
+// intersection  -> MWC = 2w + 2; no intersection -> MWC >= 4w >
+// (2 - eps)(2w + 2). Hub edges are heavy so hub cycles never interfere.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace mwc::lb {
+
+struct DisjointnessInstance {
+  int pairs = 0;  // p: bits are indexed by (i,j) in [p] x [p]
+  // bit (i,j) lives at index i*p + j.
+  std::vector<bool> alice, bob;
+  bool intersects = false;
+};
+
+// Random instance; if force_intersect >= 0 the instance is made intersecting
+// (1) or disjoint (0) by construction.
+DisjointnessInstance random_disjointness(int pairs, double density,
+                                         int force_intersect, support::Rng& rng);
+
+struct GadgetGraph {
+  graph::Graph graph;
+  // Cut between Alice's half and Bob's half (true = Bob side) for the
+  // Network cut meter.
+  std::vector<bool> bob_side;
+  // Decide "intersects" from the (approximate) MWC value: value <=
+  // yes_threshold means the strings intersect.
+  graph::Weight yes_threshold = 0;
+  // MWC when the strings intersect (the planted short cycle).
+  graph::Weight mwc_if_intersecting = 0;
+  // Smallest possible cycle weight when the strings are disjoint (actual
+  // MWC may be larger or infinite).
+  graph::Weight min_mwc_if_disjoint = 0;
+};
+
+// Directed unweighted gadget (Theorem 1.2.A). n = 4 * pairs + 1.
+GadgetGraph directed_disjointness_gadget(const DisjointnessInstance& inst);
+
+// Undirected weighted gadget (Theorem 1.4.A). epsilon sets the bit-edge
+// weight w = ceil(2/eps) + 1.
+GadgetGraph undirected_disjointness_gadget(const DisjointnessInstance& inst,
+                                           double epsilon);
+
+}  // namespace mwc::lb

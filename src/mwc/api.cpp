@@ -1,0 +1,32 @@
+#include "mwc/api.h"
+
+#include "mwc/directed_mwc.h"
+#include "mwc/girth_approx.h"
+#include "mwc/weighted_mwc.h"
+#include "support/check.h"
+
+namespace mwc::cycle {
+
+double approximate_mwc_guarantee(const congest::Network& net,
+                                 const ApproxMwcOptions& options) {
+  const graph::Graph& g = net.problem_graph();
+  if (g.is_unit_weight()) return 2.0;  // 2 - 1/g (undirected) or 2 (directed)
+  return 2.0 + options.epsilon;
+}
+
+MwcResult approximate_mwc(congest::Network& net, const ApproxMwcOptions& options) {
+  MWC_CHECK(options.epsilon > 0);
+  const graph::Graph& g = net.problem_graph();
+  if (g.is_directed()) {
+    if (g.is_unit_weight()) return directed_mwc_2approx(net);
+    WeightedMwcParams params;
+    params.epsilon = options.epsilon;
+    return directed_weighted_mwc(net, params);
+  }
+  if (g.is_unit_weight()) return girth_approx(net);
+  WeightedMwcParams params;
+  params.epsilon = options.epsilon;
+  return undirected_weighted_mwc(net, params);
+}
+
+}  // namespace mwc::cycle

@@ -1,0 +1,33 @@
+// Top-level convenience API: pick the paper's algorithm by graph class.
+//
+//   approximate_mwc(net)  ->  Table 1's best sublinear approximation for
+//                             whatever graph the network carries:
+//     undirected unweighted : (2 - 1/g)   O~(sqrt n + D)   [Thm 1.3.B]
+//     undirected weighted   : (2 + eps)   O~(n^(2/3) + D)  [Thm 1.4.C]
+//     directed unweighted   : 2           O~(n^(4/5) + D)  [Thm 1.2.C]
+//     directed weighted     : (2 + eps)   O~(n^(4/5) + D)  [Thm 1.2.D]
+//
+//   exact_mwc(net)        ->  the O~(n) exact baseline (exact.h).
+//
+// `guarantee()` reports the ratio the dispatched algorithm promises, so
+// callers can build decision procedures ("alarm if value <= guarantee * T").
+#pragma once
+
+#include "congest/network.h"
+#include "mwc/result.h"
+
+namespace mwc::cycle {
+
+struct ApproxMwcOptions {
+  double epsilon = 0.5;  // weighted classes only
+};
+
+// The approximation ratio approximate_mwc() promises for this network's
+// graph class under `options`.
+double approximate_mwc_guarantee(const congest::Network& net,
+                                 const ApproxMwcOptions& options = {});
+
+MwcResult approximate_mwc(congest::Network& net,
+                          const ApproxMwcOptions& options = {});
+
+}  // namespace mwc::cycle

@@ -1,0 +1,218 @@
+#include "mwc/directed_mwc.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "congest/bfs_tree.h"
+#include "congest/broadcast.h"
+#include "congest/convergecast.h"
+#include "congest/multi_bfs.h"
+#include "ksssp/skeleton_bfs.h"
+#include "mwc/restricted_bfs.h"
+#include "mwc/witness.h"
+#include "support/check.h"
+#include "support/math_util.h"
+
+namespace mwc::cycle {
+
+using congest::BroadcastItem;
+using congest::RunStats;
+using congest::Word;
+using graph::kInfWeight;
+using graph::NodeId;
+using graph::Weight;
+
+namespace {
+
+Word pack_pair(int i, int j, Weight d) {
+  MWC_CHECK(i >= 0 && j >= 0 && i < (1 << 14) && j < (1 << 14));
+  MWC_CHECK(d >= 0 && d < (Weight{1} << 36));
+  return (static_cast<Word>(i) << 50) | (static_cast<Word>(j) << 36) |
+         static_cast<Word>(d);
+}
+void unpack_pair(Word w, int* i, int* j, Weight* d) {
+  *i = static_cast<int>(w >> 50);
+  *j = static_cast<int>((w >> 36) & ((1u << 14) - 1));
+  *d = static_cast<Weight>(w & ((Word{1} << 36) - 1));
+}
+
+congest::SsspResult matrix_of(const congest::MultiBfs& bfs, int n, int k) {
+  congest::SsspResult m;
+  m.k = k;
+  m.dist.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(k));
+  for (NodeId v = 0; v < n; ++v) {
+    for (int i = 0; i < k; ++i) {
+      m.dist[static_cast<std::size_t>(v) * static_cast<std::size_t>(k) +
+             static_cast<std::size_t>(i)] = bfs.dist(v, i);
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+MwcResult directed_mwc_2approx(congest::Network& net,
+                               const DirectedMwcParams& params) {
+  const graph::Graph& g = params.graph_override != nullptr
+                              ? *params.graph_override
+                              : net.problem_graph();
+  MWC_CHECK_MSG(g.is_directed(), "directed_mwc_2approx needs a digraph");
+  const int n = net.n();
+  const bool tick_mode = params.tick_limit > 0;
+  MWC_CHECK_MSG(!tick_mode || params.graph_override != nullptr,
+                "tick mode is meant for scaled graphs (Section 5.2)");
+  MWC_CHECK_MSG(params.graph_override == nullptr || tick_mode,
+                "graph_override requires the hop-limited tick mode");
+
+  MwcResult result;
+  // Hop parameters (Section 3): h = n^(3/5), rho = n^(4/5).
+  const int h_hop = support::int_pow(n, params.h_exponent);
+  const Weight rho = std::max(1, support::int_pow(n, params.rho_exponent));
+  // Tick budget of the short-cycle machinery; in tick mode distances from S
+  // are computed up to 4 h* so that every membership test on a <= h*-tick
+  // cycle is decided by exact values (see the pass-threshold note in
+  // restricted_bfs.h / DESIGN.md).
+  const Weight h_ticks = tick_mode ? params.tick_limit : h_hop;
+  const Weight s_budget = tick_mode ? 4 * params.tick_limit : kInfWeight;
+
+  // --- 1. sample S -------------------------------------------------------
+  support::Rng rng = net.next_run_rng();
+  const double p = std::min(
+      1.0, params.sample_constant * support::log_n(n) / static_cast<double>(h_hop));
+  std::vector<NodeId> samples;
+  for (NodeId v = 0; v < n; ++v) {
+    if (rng.next_bool(p)) samples.push_back(v);
+  }
+  if (samples.empty()) {
+    samples.push_back(static_cast<NodeId>(rng.next_below(
+        static_cast<std::uint64_t>(n))));
+  }
+  const int s_count = static_cast<int>(samples.size());
+  MWC_CHECK(s_count < (1 << 14));
+  result.sample_count = s_count;
+
+  // --- 2. distances from and to S ---------------------------------------
+  RunStats s;
+  congest::SsspResult from_s;  // at(v, i) = d(S[i], v)
+  congest::SsspResult to_s;    // at(v, i) = d(v, S[i])
+  if (!tick_mode) {
+    ksssp::SkeletonBfsParams kb;
+    kb.sources = samples;
+    ksssp::KSsspResult fwd = ksssp::skeleton_k_source_bfs(net, kb);
+    add_stats(result.stats, fwd.stats);
+    kb.reverse = true;
+    ksssp::KSsspResult rev = ksssp::skeleton_k_source_bfs(net, kb);
+    add_stats(result.stats, rev.stats);
+    from_s = std::move(fwd.dist);
+    to_s = std::move(rev.dist);
+  } else {
+    congest::MultiBfsParams mb;
+    mb.sources = samples;
+    mb.mode = congest::DelayMode::kWeightDelay;
+    mb.tick_limit = s_budget;
+    mb.graph_override = params.graph_override;
+    congest::MultiBfs fwd = run_multi_bfs(net, mb, &s);
+    add_stats(result.stats, s);
+    mb.reverse = true;
+    congest::MultiBfs rev = run_multi_bfs(net, std::move(mb), &s);
+    add_stats(result.stats, s);
+    from_s = matrix_of(fwd, n, s_count);
+    to_s = matrix_of(rev, n, s_count);
+  }
+
+  // --- 3. cycles through sampled vertices (line 4) -----------------------
+  std::vector<Weight> mu(static_cast<std::size_t>(n), kInfWeight);
+  {
+    std::unordered_map<NodeId, int> sample_index;
+    for (int i = 0; i < s_count; ++i) {
+      sample_index.emplace(samples[static_cast<std::size_t>(i)], i);
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      for (const graph::Arc& a : g.out(v)) {
+        auto it = sample_index.find(a.to);
+        if (it == sample_index.end()) continue;
+        const Weight d = from_s.at(v, it->second);  // d(s, v)
+        if (d == kInfWeight) continue;
+        mu[static_cast<std::size_t>(v)] =
+            std::min(mu[static_cast<std::size_t>(v)], a.w + d);
+      }
+    }
+  }
+
+  // --- 4. broadcast pairwise d(s, t) (line 5) ----------------------------
+  congest::BfsTreeResult tree = congest::build_bfs_tree(net, 0, &s);
+  add_stats(result.stats, s);
+  std::vector<Weight> s_pair(
+      static_cast<std::size_t>(s_count) * static_cast<std::size_t>(s_count),
+      kInfWeight);
+  {
+    std::vector<std::vector<BroadcastItem>> items(static_cast<std::size_t>(n));
+    for (int j = 0; j < s_count; ++j) {
+      const NodeId t = samples[static_cast<std::size_t>(j)];
+      for (int i = 0; i < s_count; ++i) {
+        const Weight d = from_s.at(t, i);  // d(S[i], S[j])
+        if (d == kInfWeight) continue;
+        items[static_cast<std::size_t>(t)].push_back({pack_pair(i, j, d)});
+      }
+    }
+    congest::BroadcastResult bcast = congest::broadcast(net, tree, items, &s);
+    add_stats(result.stats, s);
+    for (const BroadcastItem& item : bcast.items()) {
+      int i = 0, j = 0;
+      Weight d = 0;
+      unpack_pair(item[0], &i, &j, &d);
+      s_pair[static_cast<std::size_t>(i) * static_cast<std::size_t>(s_count) +
+             static_cast<std::size_t>(j)] = d;
+    }
+  }
+
+  // --- 5. Algorithm 3: short cycles avoiding S ----------------------------
+  RestrictedBfsParams rb;
+  rb.samples = samples;
+  rb.dist_to_s = std::move(to_s.dist);
+  rb.dist_from_s = std::move(from_s.dist);
+  rb.s_pair = std::move(s_pair);
+  rb.h = h_ticks;
+  rb.rho = rho;
+  rb.overflow_window = params.overflow_window;
+  rb.overflow_threshold_factor = params.overflow_threshold_factor;
+  rb.enable_overflow_handling = params.enable_overflow_handling;
+  rb.weighted_ticks = tick_mode;
+  rb.graph_override = params.graph_override;
+  if (tick_mode) rb.pass_threshold = 3 * params.tick_limit;
+  RestrictedBfsResult short_cycles = restricted_bfs_short_cycles(net, rb);
+  add_stats(result.stats, short_cycles.stats);
+  result.overflow_count = short_cycles.overflow_count;
+  result.restricted_peak_queue = short_cycles.restricted_peak_queue;
+
+  Weight short_best = kInfWeight;
+  Weight long_best = kInfWeight;
+  for (NodeId v = 0; v < n; ++v) {
+    long_best = std::min(long_best, mu[static_cast<std::size_t>(v)]);
+    short_best = std::min(short_best, short_cycles.mu[static_cast<std::size_t>(v)]);
+    mu[static_cast<std::size_t>(v)] =
+        std::min(mu[static_cast<std::size_t>(v)],
+                 short_cycles.mu[static_cast<std::size_t>(v)]);
+  }
+  result.long_cycle_value = long_best;
+  result.short_cycle_value = short_best;
+
+  // --- 6. convergecast (line 7) -------------------------------------------
+  result.value = congest::convergecast(net, tree, mu, congest::AggregateOp::kMin, &s);
+  add_stats(result.stats, s);
+
+  // Witness when the short-cycle branch produced the winner (the long
+  // branch's skeleton distances carry no usable parent pointers). Validated
+  // against the effective graph; weights are ticks of g, which for the full
+  // (unweighted) mode equal cycle length.
+  if (!short_cycles.witness.empty() && result.value != kInfWeight) {
+    Weight total = 0;
+    if (detail::validate_cycle(g, short_cycles.witness, &total) &&
+        total <= result.value) {
+      result.witness = std::move(short_cycles.witness);
+    }
+  }
+  return result;
+}
+
+}  // namespace mwc::cycle

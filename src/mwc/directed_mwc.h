@@ -1,0 +1,46 @@
+// Algorithm 2: 2-approximation of directed unweighted MWC in
+// O~(n^(4/5) + D) rounds (Theorem 1.2.C, Section 3), plus the hop/tick-
+// limited variant used as the short-cycle subroutine of the directed
+// weighted algorithm (Section 5.2).
+//
+// Structure (h = n^(3/5), rho = n^(4/5), |S| = Theta~(n^(2/5))):
+//   1. sample S with prob ~ log(n)/h; any cycle of >= h hops contains a
+//      sampled vertex w.h.p.
+//   2. exact k-source BFS from S, forward and reversed (Algorithm 1) -
+//      every node learns d(s,v) and d(v,s) for all s in S;
+//   3. cycles through S, computed exactly: mu_v <- w(v,s) + d(s,v) over
+//      out-arcs (v,s) [covers all long cycles and Fact-1 surrogates];
+//   4. broadcast the |S|^2 pairwise d(s,t);
+//   5. Algorithm 3 (restricted_bfs.h) for short cycles avoiding S;
+//   6. convergecast min.
+//
+// In the hop-limited mode (tick_limit h*, weighted ticks on a scaled graph)
+// step 2 becomes a plain h*-tick-limited multi-source BFS - everything the
+// subroutine must find lives within h* ticks, so the skeleton detour is
+// unnecessary (Corollary 4.1 applied to Algorithm 2).
+#pragma once
+
+#include "congest/network.h"
+#include "mwc/result.h"
+
+namespace mwc::cycle {
+
+struct DirectedMwcParams {
+  double sample_constant = 1.0;  // p = c log n / h
+  double h_exponent = 0.6;       // h = n^(3/5)
+  double rho_exponent = 0.8;     // rho = n^(4/5)
+  int overflow_window = 0;
+  double overflow_threshold_factor = 4.0;
+  bool enable_overflow_handling = true;
+
+  // Hop-limited / stretched mode (Section 5.2): nonzero tick budget plus an
+  // alternative (scaled) weighting. Returns the 2-approx of the minimum
+  // weight among cycles of <= tick_limit ticks, in ticks of `scaled`.
+  graph::Weight tick_limit = 0;  // 0 = full algorithm
+  const graph::Graph* graph_override = nullptr;
+};
+
+MwcResult directed_mwc_2approx(congest::Network& net,
+                               const DirectedMwcParams& params = {});
+
+}  // namespace mwc::cycle

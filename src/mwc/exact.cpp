@@ -1,0 +1,188 @@
+#include "mwc/exact.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "congest/bellman_ford.h"
+#include "congest/bfs_tree.h"
+#include "congest/convergecast.h"
+#include "congest/multi_bfs.h"
+#include "congest/neighbor_exchange.h"
+#include "support/check.h"
+
+namespace mwc::cycle {
+
+using congest::RunStats;
+using congest::Word;
+using graph::kInfWeight;
+using graph::kNoNode;
+using graph::NodeId;
+using graph::Weight;
+
+namespace {
+
+// Entry exchanged with neighbors: source id (24b), distance (36b), and a
+// "you are my parent for this source" flag (1b) - one CONGEST word.
+Word pack_entry(NodeId source, Weight d, bool parent_flag) {
+  MWC_CHECK(source >= 0 && source < (1 << 24));
+  MWC_CHECK(d >= 0 && d < (Weight{1} << 36));
+  return (static_cast<Word>(parent_flag) << 60) |
+         (static_cast<Word>(source) << 36) | static_cast<Word>(d);
+}
+void unpack_entry(Word w, NodeId* source, Weight* d, bool* parent_flag) {
+  *parent_flag = ((w >> 60) & 1) != 0;
+  *source = static_cast<NodeId>((w >> 36) & ((1u << 24) - 1));
+  *d = static_cast<Weight>(w & ((Word{1} << 36) - 1));
+}
+
+// All-source distances: pipelined BFS for unit weights (the O(n) APSP of
+// [28]); asynchronous Bellman-Ford otherwise.
+struct AllPairs {
+  // at(v, w) = d(w, v).
+  std::vector<Weight> d;
+  std::vector<NodeId> parent;  // parent of v in the SPT rooted at w
+  int n = 0;
+  Weight at(NodeId v, NodeId w) const {
+    return d[static_cast<std::size_t>(v) * static_cast<std::size_t>(n) +
+             static_cast<std::size_t>(w)];
+  }
+  NodeId parent_at(NodeId v, NodeId w) const {
+    return parent[static_cast<std::size_t>(v) * static_cast<std::size_t>(n) +
+                  static_cast<std::size_t>(w)];
+  }
+};
+
+AllPairs all_pairs(congest::Network& net, RunStats* stats) {
+  const int n = net.n();
+  std::vector<NodeId> sources(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) sources[static_cast<std::size_t>(v)] = v;
+  congest::MultiBfsParams params;
+  params.sources = std::move(sources);
+  params.mode = net.problem_graph().is_unit_weight()
+                    ? congest::DelayMode::kUnitDelay
+                    : congest::DelayMode::kImmediate;
+  congest::MultiBfs bfs = run_multi_bfs(net, std::move(params), stats);
+  AllPairs ap;
+  ap.n = n;
+  ap.d.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  ap.parent.resize(ap.d.size());
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId w = 0; w < n; ++w) {
+      ap.d[static_cast<std::size_t>(v) * static_cast<std::size_t>(n) +
+           static_cast<std::size_t>(w)] = bfs.dist(v, w);
+      ap.parent[static_cast<std::size_t>(v) * static_cast<std::size_t>(n) +
+                static_cast<std::size_t>(w)] = bfs.parent(v, w);
+    }
+  }
+  return ap;
+}
+
+}  // namespace
+
+MwcResult exact_mwc(congest::Network& net) {
+  const graph::Graph& g = net.problem_graph();
+  const int n = net.n();
+  MwcResult result;
+  result.sample_count = n;
+
+  RunStats s;
+  AllPairs ap = all_pairs(net, &s);
+  add_stats(result.stats, s);
+
+  std::vector<Weight> mu(static_cast<std::size_t>(n), kInfWeight);
+  // Best candidate details for witness reconstruction.
+  Weight best = kInfWeight;
+  NodeId best_u = kNoNode, best_x = kNoNode, best_w = kNoNode;
+  if (g.is_directed()) {
+    // Node u closes cycles over its out-arcs: d(v, u) + w(u, v).
+    for (NodeId u = 0; u < n; ++u) {
+      for (const graph::Arc& a : g.out(u)) {
+        const Weight d = ap.at(u, a.to);
+        if (d == kInfWeight) continue;
+        mu[static_cast<std::size_t>(u)] =
+            std::min(mu[static_cast<std::size_t>(u)], d + a.w);
+        if (d + a.w < best) {
+          best = d + a.w;
+          best_u = u;       // cycle = SP(a.to -> u) + arc (u, a.to)
+          best_w = a.to;
+        }
+      }
+    }
+  } else {
+    // Exchange distance vectors (+ parent flags) with neighbors, then take
+    // non-tree-edge candidates d(w,x) + d(w,y) + w(x,y).
+    congest::NeighborExchangeResult ex = congest::neighbor_exchange(
+        net,
+        [&](NodeId v, NodeId u) {
+          std::vector<Word> words;
+          words.reserve(static_cast<std::size_t>(n));
+          for (NodeId w = 0; w < n; ++w) {
+            const Weight d = ap.at(v, w);
+            if (d == kInfWeight) continue;
+            words.push_back(pack_entry(w, d, ap.parent_at(v, w) == u));
+          }
+          return words;
+        },
+        &s);
+    add_stats(result.stats, s);
+
+    for (NodeId y = 0; y < n; ++y) {
+      for (const graph::Arc& a : g.out(y)) {
+        const NodeId x = a.to;
+        for (Word word : ex.received(y, x)) {
+          NodeId w = graph::kNoNode;
+          Weight dx = 0;
+          bool x_parented_by_y = false;
+          unpack_entry(word, &w, &dx, &x_parented_by_y);
+          if (x_parented_by_y) continue;                    // (x,y) tree edge
+          if (ap.parent_at(y, w) == x) continue;            // (x,y) tree edge
+          const Weight dy = ap.at(y, w);
+          if (dy == kInfWeight) continue;
+          mu[static_cast<std::size_t>(y)] =
+              std::min(mu[static_cast<std::size_t>(y)], dx + dy + a.w);
+          if (dx + dy + a.w < best) {
+            best = dx + dy + a.w;
+            best_u = y;  // cycle = SP(w -> x) + edge (x, y) + SP(y -> w)
+            best_x = x;
+            best_w = w;
+          }
+        }
+      }
+    }
+  }
+
+  congest::BfsTreeResult tree = congest::build_bfs_tree(net, 0, &s);
+  add_stats(result.stats, s);
+  result.value = congest::convergecast(net, tree, mu, congest::AggregateOp::kMin, &s);
+  add_stats(result.stats, s);
+  MWC_CHECK(result.value == best);
+
+  // Witness reconstruction from the SPT parent pointers ("store the next
+  // vertex on the cycle at each vertex" - Section 1.1).
+  if (best != kInfWeight) {
+    auto climb = [&ap](NodeId from, NodeId source) {
+      std::vector<NodeId> path{from};  // from back to source
+      while (path.back() != source) {
+        path.push_back(ap.parent_at(path.back(), source));
+      }
+      return path;  // [from, ..., source]
+    };
+    if (g.is_directed()) {
+      std::vector<NodeId> path = climb(best_u, best_w);  // u ... v
+      result.witness.assign(path.rbegin(), path.rend());  // v ... u (+ arc u->v)
+    } else {
+      // Paths w->x and w->y share only w at the optimum (otherwise a
+      // lighter cycle than the minimum would exist); splice them around the
+      // closing edge (x, y).
+      std::vector<NodeId> px = climb(best_x, best_w);  // x ... w
+      std::vector<NodeId> py = climb(best_u, best_w);  // y ... w
+      result.witness.assign(px.begin(), px.end());     // x ... w
+      result.witness.insert(result.witness.end(), std::next(py.rbegin()),
+                            py.rend());                // ... back toward y
+      std::reverse(result.witness.begin(), result.witness.end());
+    }
+  }
+  return result;
+}
+
+}  // namespace mwc::cycle

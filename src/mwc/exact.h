@@ -1,0 +1,28 @@
+// Exact MWC baselines (the "1, O~(n)" rows of Table 1).
+//
+//  * Directed (weighted or not): all-source shortest paths, then every node
+//    u closes cycles over its out-arcs (u,v) with d(v,u) + w(u,v); exact
+//    because shortest paths are simple. For unweighted graphs this is the
+//    pipelined n-source BFS APSP of Holzer-Wattenhofer [28], O(n + D)
+//    rounds; for weighted graphs the APSP substrate is the asynchronous
+//    Bellman-Ford of congest::exact_sssp (DESIGN.md substitution 2).
+//
+//  * Undirected: all-source shortest paths + a one-hop exchange of distance
+//    vectors with per-source BFS-parent flags; candidates are
+//    d(w,x) + d(w,y) + w(x,y) over *non-tree* edges (x,y). Sound: the
+//    fundamental cycle of a non-tree edge weighs at most the candidate.
+//    Complete: on a minimum weight cycle all pairwise distances are realized
+//    along the cycle, and one of the edges straddling the antipodal point of
+//    any root w is non-tree with candidate exactly w(C) (weights >= 1 rule
+//    out the degenerate tie cases; see the straddling-edge argument in
+//    EXPERIMENTS.md).
+#pragma once
+
+#include "congest/network.h"
+#include "mwc/result.h"
+
+namespace mwc::cycle {
+
+MwcResult exact_mwc(congest::Network& net);
+
+}  // namespace mwc::cycle

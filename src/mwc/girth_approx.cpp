@@ -1,0 +1,37 @@
+#include "mwc/girth_approx.h"
+
+#include "graph/transforms.h"
+#include "support/check.h"
+
+namespace mwc::cycle {
+
+MwcResult girth_approx(congest::Network& net, const GirthApproxParams& params) {
+  MWC_CHECK(!net.problem_graph().is_directed());
+  GirthCoreParams core;
+  core.sigma = params.sigma_override;
+  core.sample_constant = params.sample_constant;
+  if (net.problem_graph().is_unit_weight()) {
+    return girth_core(net, core);
+  }
+  // Girth ignores weights: run on the unit-weight shape.
+  graph::Graph unit = graph::unweighted_shape(net.problem_graph());
+  core.graph_override = &unit;
+  return girth_core(net, core);
+}
+
+MwcResult hop_limited_girth_approx(congest::Network& net,
+                                   const graph::Graph& scaled,
+                                   graph::Weight tick_limit,
+                                   const GirthApproxParams& params) {
+  MWC_CHECK(!scaled.is_directed());
+  MWC_CHECK(tick_limit >= 1);
+  GirthCoreParams core;
+  core.sigma = params.sigma_override;
+  core.sample_constant = params.sample_constant;
+  core.tick_limit = tick_limit;
+  core.weighted_ticks = true;
+  core.graph_override = &scaled;
+  return girth_core(net, core);
+}
+
+}  // namespace mwc::cycle

@@ -1,0 +1,30 @@
+// (2 - 1/g)-approximate girth in O~(sqrt(n) + D) rounds (Theorem 1.3.B),
+// plus the h-limited variant of Corollary 4.1 used by the weighted
+// algorithms of Section 5.
+#pragma once
+
+#include "congest/network.h"
+#include "mwc/girth_core.h"
+#include "mwc/result.h"
+
+namespace mwc::cycle {
+
+struct GirthApproxParams {
+  double sample_constant = 2.0;
+  int sigma_override = 0;  // 0 = ceil(sqrt(n))
+};
+
+// Undirected unweighted MWC (weights of the problem graph are ignored; the
+// graph is treated as unit-weight). The returned value is the length of a
+// real cycle, at most (2 - 1/g) * g.
+MwcResult girth_approx(congest::Network& net, const GirthApproxParams& params = {});
+
+// Corollary 4.1: (2 - 1/g)-approximation of the h-tick-limited MWC of the
+// *stretched* graph of `scaled` (an alternative weighting of the problem
+// graph), in O~(sqrt(n) + h + D) rounds. Returns ticks of `scaled`.
+MwcResult hop_limited_girth_approx(congest::Network& net,
+                                   const graph::Graph& scaled,
+                                   graph::Weight tick_limit,
+                                   const GirthApproxParams& params = {});
+
+}  // namespace mwc::cycle

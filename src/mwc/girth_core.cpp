@@ -1,0 +1,295 @@
+#include "mwc/girth_core.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <unordered_map>
+
+#include "congest/bfs_tree.h"
+#include "congest/convergecast.h"
+#include "congest/multi_bfs.h"
+#include "congest/neighbor_exchange.h"
+#include "mwc/packing.h"
+#include "mwc/witness.h"
+#include "support/check.h"
+#include "support/math_util.h"
+
+namespace mwc::cycle {
+
+using congest::MultiBfs;
+using congest::MultiBfsParams;
+using congest::RunStats;
+using congest::Word;
+using graph::kInfWeight;
+using graph::kNoNode;
+using graph::NodeId;
+using graph::Weight;
+
+MwcResult girth_core(congest::Network& net, const GirthCoreParams& params) {
+  const graph::Graph& g =
+      params.graph_override != nullptr ? *params.graph_override : net.problem_graph();
+  MWC_CHECK_MSG(!g.is_directed(), "girth_core requires an undirected graph");
+  const int n = net.n();
+  MwcResult result;
+
+  const int sigma = params.sigma > 0
+                        ? params.sigma
+                        : static_cast<int>(std::lround(std::ceil(std::sqrt(
+                              static_cast<double>(n)))));
+  const congest::DelayMode mode = params.weighted_ticks
+                                      ? congest::DelayMode::kWeightDelay
+                                      : congest::DelayMode::kUnitDelay;
+
+  RunStats s;
+  // --- 1. (sigma, h) source detection from all vertices -----------------
+  MultiBfsParams det_params;
+  det_params.sources.resize(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) det_params.sources[static_cast<std::size_t>(v)] = v;
+  det_params.sigma = sigma;
+  det_params.tick_limit = params.tick_limit;
+  det_params.mode = mode;
+  det_params.graph_override = params.graph_override;
+  MultiBfs detection = run_multi_bfs(net, std::move(det_params), &s);
+  add_stats(result.stats, s);
+
+  // --- 2. exchange detected lists (source, dist, parent flag) ----------
+  congest::NeighborExchangeResult det_ex = congest::neighbor_exchange(
+      net,
+      [&](NodeId v, NodeId u) {
+        std::vector<Word> words;
+        for (const MultiBfs::Detected& e : detection.detected(v)) {
+          words.push_back(pack_entry(e.source_idx, e.d, e.parent == u));
+        }
+        return words;
+      },
+      &s);
+  add_stats(result.stats, s);
+
+  std::vector<Weight> mu(static_cast<std::size_t>(n), kInfWeight);
+  // Global argmin, for witness reconstruction: family 1/2 use detection
+  // parent chains, family 3 the sampled BFS tree.
+  struct BestCandidate {
+    Weight value = kInfWeight;
+    int family = 0;
+    NodeId w = kNoNode;  // BFS root
+    NodeId x = kNoNode;  // first endpoint
+    NodeId u = kNoNode;  // second endpoint (family 2: the outside vertex)
+  } best;
+  NodeId best_y2 = kNoNode;  // family 2: the second inside neighbor
+
+  // --- 3+4. local candidates from neighborhood knowledge ----------------
+  for (NodeId u = 0; u < n; ++u) {
+    // Own detected distances indexed by source.
+    std::unordered_map<NodeId, std::pair<Weight, NodeId>> own;  // w -> (d, parent)
+    for (const MultiBfs::Detected& e : detection.detected(u)) {
+      own.emplace(e.source_idx, std::pair(e.d, e.parent));
+    }
+    // Family (ii) bookkeeping: per source, the two best (d(w,x) + wt(x,u))
+    // over distinct neighbors x that u does not parent.
+    struct Best2 {
+      Weight d1 = kInfWeight, d2 = kInfWeight;
+      NodeId x1 = kNoNode, x2 = kNoNode;
+    };
+    std::unordered_map<NodeId, Best2> two_hop;
+
+    for (const graph::Arc& a : g.out(u)) {
+      const NodeId x = a.to;
+      const Weight wxu = a.w;
+      for (Word word : det_ex.received(u, x)) {
+        NodeId w = kNoNode;
+        Weight dx = 0;
+        bool u_is_parent_of_x = false;
+        unpack_entry(word, &w, &dx, &u_is_parent_of_x);
+
+        // Family (i): non-tree edge candidate.
+        auto it = own.find(w);
+        if (it != own.end()) {
+          const auto [du, parent_u] = it->second;
+          const bool tree_edge = u_is_parent_of_x || parent_u == x;
+          if (!tree_edge) {
+            mu[static_cast<std::size_t>(u)] =
+                std::min(mu[static_cast<std::size_t>(u)], dx + du + wxu);
+            if (dx + du + wxu < best.value) {
+              best = BestCandidate{dx + du + wxu, 1, w, x, u};
+            }
+          }
+        }
+
+        // Family (ii): u outside the neighborhood, reached via x and y.
+        if (!u_is_parent_of_x) {
+          Best2& b = two_hop[w];
+          const Weight val = dx + wxu;
+          if (val < b.d1) {
+            if (b.x1 != x) {
+              b.d2 = b.d1;
+              b.x2 = b.x1;
+            }
+            b.d1 = val;
+            b.x1 = x;
+          } else if (x != b.x1 && val < b.d2) {
+            b.d2 = val;
+            b.x2 = x;
+          }
+        }
+      }
+    }
+    for (const auto& [w, b] : two_hop) {
+      if (b.d2 == kInfWeight) continue;
+      mu[static_cast<std::size_t>(u)] =
+          std::min(mu[static_cast<std::size_t>(u)], b.d1 + b.d2);
+      if (b.d1 + b.d2 < best.value) {
+        best = BestCandidate{b.d1 + b.d2, 2, w, b.x1, u};
+        best_y2 = b.x2;
+      }
+    }
+  }
+
+  // --- 5. sampled full BFS for cycles escaping their neighborhoods ------
+  std::vector<NodeId> samples;
+  if (params.sample_count_override >= 0) {
+    support::Rng rng = net.next_run_rng();
+    std::vector<NodeId> order(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+    rng.shuffle(order);
+    order.resize(static_cast<std::size_t>(
+        std::min(params.sample_count_override, n)));
+    samples = std::move(order);
+  } else {
+    support::Rng rng = net.next_run_rng();
+    const double p = std::min(
+        1.0, params.sample_constant * support::log_n(n) / static_cast<double>(sigma));
+    for (NodeId v = 0; v < n; ++v) {
+      if (rng.next_bool(p)) samples.push_back(v);
+    }
+  }
+  result.sample_count = static_cast<int>(samples.size());
+
+  std::optional<MultiBfs> sampled_bfs;
+  std::unordered_map<NodeId, int> sample_index;
+  if (!samples.empty()) {
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      sample_index.emplace(samples[i], static_cast<int>(i));
+    }
+    MultiBfsParams bfs_params;
+    bfs_params.sources = samples;
+    // A case-B candidate reaches up to w(C) + d(w,v) <= 1.5 * tick_limit
+    // from the sample, so the sampled BFS needs headroom beyond the budget.
+    bfs_params.tick_limit =
+        params.tick_limit >= kInfWeight / 2 ? kInfWeight : 2 * params.tick_limit;
+    bfs_params.mode = mode;
+    bfs_params.graph_override = params.graph_override;
+    sampled_bfs.emplace(run_multi_bfs(net, std::move(bfs_params), &s));
+    MultiBfs& sampled = *sampled_bfs;
+    add_stats(result.stats, s);
+
+    congest::NeighborExchangeResult smp_ex = congest::neighbor_exchange(
+        net,
+        [&](NodeId v, NodeId u) {
+          std::vector<Word> words;
+          for (std::size_t i = 0; i < samples.size(); ++i) {
+            const Weight d = sampled.dist(v, static_cast<int>(i));
+            if (d == kInfWeight) continue;
+            words.push_back(
+                pack_entry(samples[i], d, sampled.parent(v, static_cast<int>(i)) == u));
+          }
+          return words;
+        },
+        &s);
+    add_stats(result.stats, s);
+
+    // Family (iii): family (i) with w in S and full (tick-limited) BFS data.
+    for (NodeId u = 0; u < n; ++u) {
+      for (const graph::Arc& a : g.out(u)) {
+        const NodeId x = a.to;
+        for (Word word : smp_ex.received(u, x)) {
+          NodeId w = kNoNode;
+          Weight dx = 0;
+          bool u_is_parent_of_x = false;
+          unpack_entry(word, &w, &dx, &u_is_parent_of_x);
+          const int idx = sample_index.at(w);
+          const Weight du = sampled.dist(u, idx);
+          if (du == kInfWeight) continue;
+          const bool tree_edge = u_is_parent_of_x || sampled.parent(u, idx) == x;
+          if (tree_edge) continue;
+          mu[static_cast<std::size_t>(u)] =
+              std::min(mu[static_cast<std::size_t>(u)], dx + du + a.w);
+          if (dx + du + a.w < best.value) {
+            best = BestCandidate{dx + du + a.w, 3, w, x, u};
+          }
+        }
+      }
+    }
+  }
+
+  // --- 6. convergecast the minimum --------------------------------------
+  congest::BfsTreeResult tree = congest::build_bfs_tree(net, 0, &s);
+  add_stats(result.stats, s);
+  result.value = congest::convergecast(net, tree, mu, congest::AggregateOp::kMin, &s);
+  add_stats(result.stats, s);
+
+  // --- witness reconstruction --------------------------------------------
+  // Parent chains: family 3 from the sampled BFS tree (always complete),
+  // families 1/2 from the detection lists (entries can have been evicted by
+  // closer sources, so reconstruction may fail - then witness stays empty).
+  // The spliced cycle is a real simple cycle of weight <= value; it may be
+  // *lighter* than the candidate when the two root paths share a prefix
+  // (the fundamental-cycle effect), which is fine for the contract.
+  if (best.value != kInfWeight) {
+    MWC_CHECK(best.value == result.value);
+    auto climb_detected = [&](NodeId from, NodeId root,
+                              std::vector<NodeId>* path) -> bool {
+      path->clear();
+      path->push_back(from);
+      while (path->back() != root) {
+        NodeId cur = path->back();
+        NodeId parent = kNoNode;
+        for (const MultiBfs::Detected& e : detection.detected(cur)) {
+          if (e.source_idx == root) {  // sources are all of V: idx == id
+            parent = e.parent;
+            break;
+          }
+        }
+        if (parent == kNoNode) return false;  // evicted: chain broken
+        path->push_back(parent);
+      }
+      return true;
+    };
+    auto climb_sampled = [&](NodeId from, int root_idx,
+                             std::vector<NodeId>* path) -> bool {
+      path->clear();
+      path->push_back(from);
+      while (sampled_bfs->dist(path->back(), root_idx) != 0) {
+        NodeId parent = sampled_bfs->parent(path->back(), root_idx);
+        if (parent == kNoNode) return false;
+        path->push_back(parent);
+      }
+      return true;
+    };
+    std::vector<NodeId> px, pu;
+    bool ok = false;
+    std::vector<NodeId> cyc;
+    if (best.family == 3) {
+      ok = climb_sampled(best.x, sample_index.at(best.w), &px) &&
+           climb_sampled(best.u, sample_index.at(best.w), &pu);
+      if (ok) cyc = detail::splice_root_paths(px, pu);  // closed by (u, x)
+    } else if (best.family == 1) {
+      ok = climb_detected(best.x, best.w, &px) &&
+           climb_detected(best.u, best.w, &pu);
+      if (ok) cyc = detail::splice_root_paths(px, pu);
+    } else {  // family 2: x .. lca .. y, then the outside vertex u
+      ok = climb_detected(best.x, best.w, &px) &&
+           climb_detected(best_y2, best.w, &pu);
+      if (ok) {
+        cyc = detail::splice_root_paths(px, pu);
+        cyc.push_back(best.u);  // closed by edges (y, u) and (u, x)
+      }
+    }
+    Weight total = 0;
+    if (ok && detail::validate_cycle(g, cyc, &total) && total <= result.value) {
+      result.witness = std::move(cyc);
+    }
+  }
+  return result;
+}
+
+}  // namespace mwc::cycle

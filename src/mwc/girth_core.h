@@ -1,0 +1,52 @@
+// The undirected MWC approximation core (Section 4 of the paper).
+//
+// Parametrized machinery shared by:
+//   * girth_approx (Theorem 1.3.B): sigma = sqrt(n), unit ticks;
+//   * the hop/tick-limited variant of Corollary 4.1, run on stretched
+//     scaled graphs by the weighted algorithm of Section 5.1;
+//   * the Peleg-Roditty-Tal baseline girth_prt (doubling sigma = sqrt(n*g)).
+//
+// Structure:
+//   1. (sigma, h) source detection from all vertices: each node learns its
+//      sigma nearest vertices with exact (tick) distances and parents.
+//   2. One-hop exchange of detected lists (with per-neighbor parent flags).
+//   3. Candidate family (i): for an edge (x,y) and a vertex w detected at
+//      both endpoints, if (x,y) is not a tree edge of w's detection forest:
+//      d(w,x) + d(w,y) + wt(x,y).  [cycles inside neighborhoods, exact]
+//   4. Candidate family (ii): for a vertex u with neighbors x != y and a
+//      vertex w detected at both (u not the detection parent of either):
+//      d(w,x) + wt(x,u) + wt(u,y) + d(w,y).  [exactly-one-vertex-outside
+//      refinement that sharpens 2 to (2 - 1/g)]
+//   5. Sample S with prob ~ log(n)/sigma (hits any full sigma-ball w.h.p.),
+//      BFS from S, exchange rows, candidate family (iii) = family (i) with
+//      w in S.  [cycles extending outside a neighborhood, 2-approx]
+//   6. Convergecast the minimum.
+//
+// Soundness: every candidate is witnessed by a real cycle of at most that
+// weight (fundamental-cycle / parent-chain arguments; parent flags exclude
+// the degenerate closures). Completeness: if C lies strictly inside every
+// cycle vertex's detected ball, family (i) from a root on C yields <= w(C);
+// otherwise some v in C has its sigma-ball radius r(v) <= w(C)/2, a sample
+// w lands in that ball w.h.p., and family (iii) yields <= w(C) + 2 d(w,v)
+// <= 2 w(C).
+#pragma once
+
+#include "congest/network.h"
+#include "mwc/result.h"
+
+namespace mwc::cycle {
+
+struct GirthCoreParams {
+  int sigma = 0;                    // 0 = ceil(sqrt(n))
+  double sample_constant = 2.0;     // sample prob = c * ln(n) / sigma
+  int sample_count_override = -1;   // >= 0: sample exactly this many vertices
+  graph::Weight tick_limit = graph::kInfWeight;  // h (Corollary 4.1)
+  bool weighted_ticks = false;      // stretched-graph mode (arc = w ticks)
+  const graph::Graph* graph_override = nullptr;  // scaled weights (same shape)
+};
+
+// Requires an undirected problem graph. Returns the min candidate in ticks
+// of the (possibly overridden) graph; callers unscale.
+MwcResult girth_core(congest::Network& net, const GirthCoreParams& params);
+
+}  // namespace mwc::cycle

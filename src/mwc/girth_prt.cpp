@@ -1,0 +1,44 @@
+#include "mwc/girth_prt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/transforms.h"
+#include "mwc/girth_core.h"
+#include "support/check.h"
+
+namespace mwc::cycle {
+
+MwcResult girth_prt(congest::Network& net, const GirthPrtParams& params) {
+  const graph::Graph& g = net.problem_graph();
+  MWC_CHECK(!g.is_directed());
+  const int n = net.n();
+
+  graph::Graph unit = graph::unweighted_shape(g);
+
+  MwcResult result;
+  for (graph::Weight gamma = 4;; gamma *= 2) {
+    GirthCoreParams core;
+    core.sigma = static_cast<int>(std::lround(std::ceil(
+        std::sqrt(static_cast<double>(n) * static_cast<double>(std::min<graph::Weight>(
+                                               gamma, n))))));
+    core.sigma = std::min(core.sigma, n);
+    core.sample_constant = params.sample_constant;
+    core.tick_limit = gamma;
+    core.graph_override = g.is_unit_weight() ? nullptr : &unit;
+    MwcResult phase = girth_core(net, core);
+    add_stats(result.stats, phase.stats);
+    result.sample_count = phase.sample_count;
+    if (phase.value < result.value) {
+      result.value = phase.value;
+      result.witness = std::move(phase.witness);
+    }
+    // Stop once the found value certifies the ratio: either gamma >= g (the
+    // phase guarantee applies) or value <= 2 gamma < 2g.
+    if (result.value <= 2 * gamma) break;
+    if (gamma >= 2 * n) break;  // acyclic / no cycle within any budget
+  }
+  return result;
+}
+
+}  // namespace mwc::cycle

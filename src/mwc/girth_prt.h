@@ -1,0 +1,26 @@
+// The prior-best girth approximation baseline [Peleg-Roditty-Tal, 44]:
+// (2 - 1/g)-approximation in O~(sqrt(n g) + D) rounds.
+//
+// Reconstruction (the PODC paper cites [44] as a black box): doubling guess
+// gamma for the girth; per phase run the Section-4 core with detection cap
+// sigma = ceil(sqrt(n * gamma)), hop budget gamma, and ~ (n log n / sigma)
+// samples; stop once the best cycle found is <= 2 * gamma (then either
+// gamma >= g and the phase guarantee gives <= 2g - 1, or the found value
+// is < 2g outright). Per-phase cost O~(sqrt(n gamma) + D); the last phase
+// dominates with gamma < 2g, total O~(sqrt(n g) + D) - the complexity the
+// paper quotes for [44], which its Theorem 1.3.B then improves to
+// O~(sqrt(n) + D) by making the radius g-independent.
+#pragma once
+
+#include "congest/network.h"
+#include "mwc/result.h"
+
+namespace mwc::cycle {
+
+struct GirthPrtParams {
+  double sample_constant = 2.0;
+};
+
+MwcResult girth_prt(congest::Network& net, const GirthPrtParams& params = {});
+
+}  // namespace mwc::cycle

@@ -1,0 +1,28 @@
+// Word layouts shared by the MWC modules.
+#pragma once
+
+#include "congest/message.h"
+#include "graph/graph.h"
+#include "support/check.h"
+
+namespace mwc::cycle {
+
+// (source id 24b | distance 36b | parent-flag 1b) in one CONGEST word:
+// the entry a node shares with a neighbor when exchanging distance vectors.
+inline congest::Word pack_entry(graph::NodeId source, graph::Weight d,
+                                bool parent_flag) {
+  MWC_CHECK(source >= 0 && source < (1 << 24));
+  MWC_CHECK(d >= 0 && d < (graph::Weight{1} << 36));
+  return (static_cast<congest::Word>(parent_flag) << 60) |
+         (static_cast<congest::Word>(source) << 36) |
+         static_cast<congest::Word>(d);
+}
+
+inline void unpack_entry(congest::Word w, graph::NodeId* source,
+                         graph::Weight* d, bool* parent_flag) {
+  *parent_flag = ((w >> 60) & 1) != 0;
+  *source = static_cast<graph::NodeId>((w >> 36) & ((1u << 24) - 1));
+  *d = static_cast<graph::Weight>(w & ((congest::Word{1} << 36) - 1));
+}
+
+}  // namespace mwc::cycle

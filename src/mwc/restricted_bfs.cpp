@@ -1,0 +1,448 @@
+#include "mwc/restricted_bfs.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "congest/multi_bfs.h"
+#include "congest/neighbor_exchange.h"
+#include "congest/runner.h"
+#include "support/check.h"
+#include "support/math_util.h"
+
+namespace mwc::cycle {
+
+using congest::Delivery;
+using congest::Message;
+using congest::NodeCtx;
+using congest::RunStats;
+using congest::Word;
+using graph::kInfWeight;
+using graph::kNoNode;
+using graph::NodeId;
+using graph::Weight;
+
+namespace {
+
+// Distances ride in 40-bit fields; anything at or beyond kFarDist stands
+// for "unreachable / beyond every budget" and auto-passes membership tests
+// (matching the true test, whose right-hand side is infinite).
+constexpr Weight kFarDist = (Weight{1} << 40) - 1;
+
+// A restricted-BFS message: header (source 24b | dist 40b) followed by
+// |R(source)| words (t 24b | d(source,t) 40b) - the Q(v) of line 16.
+Word pack_hdr(NodeId id, Weight d) {
+  MWC_DCHECK(id >= 0 && id < (1 << 24) && d >= 0 && d < (Weight{1} << 40));
+  return (static_cast<Word>(id) << 40) | static_cast<Word>(d);
+}
+void unpack_hdr(Word w, NodeId* id, Weight* d) {
+  *id = static_cast<NodeId>(w >> 40);
+  *d = static_cast<Weight>(w & ((Word{1} << 40) - 1));
+}
+
+class RestrictedBfsProtocol : public congest::Protocol {
+ public:
+  RestrictedBfsProtocol(congest::Network& net, const RestrictedBfsParams& params)
+      : net_(net),
+        params_(params),
+        g_(params.graph_override != nullptr ? *params.graph_override
+                                            : net.problem_graph()),
+        n_(net.n()),
+        s_count_(static_cast<int>(params.samples.size())) {
+    const int n = n_;
+    beta_ = std::max(1, support::ceil_log2(static_cast<std::uint64_t>(std::max(2, n))));
+    window_ = params_.overflow_window > 0
+                  ? params_.overflow_window
+                  : 2 * (2 + beta_);
+    threshold_ = std::max<int>(
+        4, static_cast<int>(params_.overflow_threshold_factor *
+                            static_cast<double>(beta_)));
+
+    sample_index_.reserve(static_cast<std::size_t>(s_count_));
+    for (int i = 0; i < s_count_; ++i) {
+      sample_index_.emplace(params_.samples[static_cast<std::size_t>(i)], i);
+    }
+    // Random partition of S into beta groups (shared randomness): shuffle,
+    // then deal round-robin.
+    support::Rng shared = net.next_run_rng();
+    std::vector<int> order(static_cast<std::size_t>(s_count_));
+    for (int i = 0; i < s_count_; ++i) order[static_cast<std::size_t>(i)] = i;
+    shared.shuffle(order);
+    groups_.resize(static_cast<std::size_t>(beta_));
+    for (int i = 0; i < s_count_; ++i) {
+      groups_[static_cast<std::size_t>(i % beta_)].push_back(
+          order[static_cast<std::size_t>(i)]);
+    }
+
+    state_.resize(static_cast<std::size_t>(n));
+    if (params_.weighted_ticks) outbox_.resize(static_cast<std::size_t>(n));
+    result_.mu.assign(static_cast<std::size_t>(n), kInfWeight);
+  }
+
+  // --- distance-vector accessors (node-local knowledge: the row of v, and
+  // rows of direct neighbors per the line-11 exchange run by the caller) --
+  Weight d_to(NodeId v, int i) const {  // d(v, S[i])
+    return params_.dist_to_s[static_cast<std::size_t>(v) * static_cast<std::size_t>(s_count_) +
+                             static_cast<std::size_t>(i)];
+  }
+  Weight d_from(NodeId v, int i) const {  // d(S[i], v)
+    return params_.dist_from_s[static_cast<std::size_t>(v) *
+                                   static_cast<std::size_t>(s_count_) +
+                               static_cast<std::size_t>(i)];
+  }
+  Weight d_pair(int i, int j) const {  // d(S[i], S[j])
+    return params_.s_pair[static_cast<std::size_t>(i) * static_cast<std::size_t>(s_count_) +
+                          static_cast<std::size_t>(j)];
+  }
+
+  void begin(NodeCtx& node) override {
+    const NodeId v = node.id();
+    auto& st = state_[static_cast<std::size_t>(v)];
+
+    // Lines 3-8: greedy construction of R(v), local computation.
+    // T(v) = { s in S_i | for all t in R(v):
+    //          d(s,t) + 2 d(v,s) <= d(t,s) + 2 d(v,t) }.
+    std::vector<int> r;  // sample indices
+    for (int gi = 0; gi < beta_; ++gi) {
+      std::vector<int> t_set;
+      for (int s : groups_[static_cast<std::size_t>(gi)]) {
+        if (d_to(v, s) == kInfWeight) continue;  // unreachable anchor: useless
+        bool ok = true;
+        for (int t : r) {
+          if (d_pair(s, t) + 2 * d_to(v, s) > d_pair(t, s) + 2 * d_to(v, t)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) t_set.push_back(s);
+      }
+      if (!t_set.empty()) {
+        r.push_back(t_set[node.rng().next_below(t_set.size())]);
+      }
+    }
+    st.r_entries.reserve(r.size());
+    for (int t : r) {
+      st.r_entries.push_back({params_.samples[static_cast<std::size_t>(t)],
+                              std::min(d_to(v, t), kFarDist)});
+    }
+
+    // Line 9: random start offset.
+    st.delta = 1 + static_cast<std::uint64_t>(
+                       node.rng().next_below(static_cast<std::uint64_t>(
+                           std::max<Weight>(1, params_.rho))));
+    node.wake_at(st.delta);
+    st.sources.emplace(v, NodeState::Estimate{0, kNoNode});
+    st.r_cache.emplace(v, st.r_entries);
+  }
+
+  void round(NodeCtx& node) override {
+    const NodeId u = node.id();
+    auto& st = state_[static_cast<std::size_t>(u)];
+    flush_outbox(node);
+
+    if (!st.started && node.round() >= st.delta) {
+      st.started = true;
+      if (!st.z) forward(node, u, 0, st.r_entries);
+    }
+
+    for (const Delivery& m : node.inbox()) {
+      if (m.msg.size() < 1) continue;
+      NodeId src = kNoNode;
+      Weight d = 0;
+      unpack_hdr(m.msg[0], &src, &d);
+      if (st.z) continue;  // terminated (line 19/21)
+
+      bump_window(node, st);
+      ++st.window_count;
+      ++result_.restricted_messages;
+      if (params_.enable_overflow_handling && st.window_count > threshold_) {
+        st.z = true;  // phase-overflow vertex
+        continue;
+      }
+
+      auto [it, inserted] = st.sources.emplace(src, NodeState::Estimate{d, m.from});
+      if (!inserted) {
+        if (it->second.d <= d) continue;  // stale estimate
+        it->second = NodeState::Estimate{d, m.from};
+      }
+      auto cache_it = st.r_cache.find(src);
+      if (cache_it == st.r_cache.end()) {
+        std::vector<REntry> entries;
+        entries.reserve(m.msg.size() - 1);
+        for (std::uint32_t i = 1; i < m.msg.size(); ++i) {
+          NodeId t = kNoNode;
+          Weight dt = 0;
+          unpack_hdr(m.msg[i], &t, &dt);
+          entries.push_back({t, dt});
+        }
+        cache_it = st.r_cache.emplace(src, std::move(entries)).first;
+      }
+      forward(node, src, d, cache_it->second);
+    }
+  }
+
+  RestrictedBfsResult finish(congest::Network& net, RunStats bfs_stats) {
+    result_.stats = bfs_stats;
+    // Line 24: unrestricted h-tick BFS from the overflow set Z.
+    std::vector<NodeId> z_set;
+    for (NodeId v = 0; v < n_; ++v) {
+      if (state_[static_cast<std::size_t>(v)].z) z_set.push_back(v);
+    }
+    result_.overflow_count = static_cast<int>(z_set.size());
+    if (!z_set.empty()) {
+      congest::MultiBfsParams zp;
+      zp.sources = z_set;
+      zp.tick_limit = params_.h;
+      zp.mode = params_.weighted_ticks ? congest::DelayMode::kWeightDelay
+                                       : congest::DelayMode::kUnitDelay;
+      zp.graph_override = params_.graph_override;
+      RunStats zs;
+      congest::MultiBfs zbfs = run_multi_bfs(net, std::move(zp), &zs);
+      add_stats(result_.stats, zs);
+      Weight best_z = kInfWeight;
+      int best_z_idx = -1;
+      NodeId best_z_x = kNoNode;
+      for (NodeId x = 0; x < n_; ++x) {
+        for (const graph::Arc& a : g_.out(x)) {
+          auto zi = std::lower_bound(z_set.begin(), z_set.end(), a.to);
+          if (zi == z_set.end() || *zi != a.to) continue;
+          const Weight d = zbfs.dist(x, static_cast<int>(zi - z_set.begin()));
+          if (d == kInfWeight) continue;
+          result_.mu[static_cast<std::size_t>(x)] =
+              std::min(result_.mu[static_cast<std::size_t>(x)], d + a.w);
+          if (d + a.w < best_z) {
+            best_z = d + a.w;
+            best_z_idx = static_cast<int>(zi - z_set.begin());
+            best_z_x = x;
+          }
+        }
+      }
+      if (best_z != kInfWeight) {
+        // Cycle = zbfs tree path z -> x plus the closing arc (x, z).
+        std::vector<NodeId> chain{best_z_x};
+        while (zbfs.dist(chain.back(), best_z_idx) != 0) {
+          chain.push_back(zbfs.parent(chain.back(), best_z_idx));
+        }
+        result_.witness.assign(chain.rbegin(), chain.rend());
+        result_.witness_value = best_z;
+      }
+    }
+    // Line 26: close cycles with the final arc (y, v) at y.
+    Weight best_short = kInfWeight;
+    NodeId best_src = kNoNode, best_y = kNoNode;
+    for (NodeId y = 0; y < n_; ++y) {
+      const auto& st = state_[static_cast<std::size_t>(y)];
+      for (const auto& [src, est] : st.sources) {
+        if (src == y) continue;
+        auto arcs = g_.out(y);
+        auto it = std::lower_bound(arcs.begin(), arcs.end(), src,
+                                   [](const graph::Arc& a, NodeId t) { return a.to < t; });
+        if (it == arcs.end() || it->to != src) continue;
+        result_.mu[static_cast<std::size_t>(y)] =
+            std::min(result_.mu[static_cast<std::size_t>(y)], est.d + it->w);
+        if (est.d + it->w < best_short) {
+          best_short = est.d + it->w;
+          best_src = src;
+          best_y = y;
+        }
+      }
+    }
+    // Witness for the restricted-BFS branch: follow the stored predecessor
+    // chain from y back to the source (estimates strictly decrease along
+    // it, so the walk terminates and is simple at the optimum; validated by
+    // the caller before use).
+    if (best_short != kInfWeight && best_short <= result_.witness_value) {
+      std::vector<NodeId> chain{best_y};
+      bool ok = true;
+      while (chain.back() != best_src) {
+        const auto& st = state_[static_cast<std::size_t>(chain.back())];
+        auto it = st.sources.find(best_src);
+        if (it == st.sources.end() || it->second.prev == kNoNode ||
+            chain.size() > static_cast<std::size_t>(n_)) {
+          ok = false;
+          break;
+        }
+        chain.push_back(it->second.prev);
+      }
+      if (ok) {
+        result_.witness.assign(chain.rbegin(), chain.rend());
+        result_.witness_value = best_short;
+      }
+    }
+    return std::move(result_);
+  }
+
+ private:
+  struct REntry {
+    NodeId t;
+    Weight d;  // d(source, t)
+  };
+  struct PendingSend {
+    std::uint64_t send_round;
+    NodeId neighbor;
+    NodeId src;
+    Weight dist;
+    std::int64_t priority;
+  };
+  struct PendingOrder {
+    bool operator()(const PendingSend& a, const PendingSend& b) const {
+      return a.send_round > b.send_round;
+    }
+  };
+  struct NodeState {
+    std::vector<REntry> r_entries;  // R(v) with d(v,t)
+    std::uint64_t delta = 0;
+    bool started = false;
+    bool z = false;
+    std::uint64_t window_id = ~std::uint64_t{0};
+    int window_count = 0;
+    struct Estimate {
+      Weight d;
+      NodeId prev;  // neighbor that delivered it (kNoNode at the source)
+    };
+    std::unordered_map<NodeId, Estimate> sources;  // src -> best estimate
+    std::unordered_map<NodeId, std::vector<REntry>> r_cache;
+  };
+
+  void bump_window(const NodeCtx& node, NodeState& st) const {
+    const std::uint64_t wid = node.round() / static_cast<std::uint64_t>(window_);
+    if (wid != st.window_id) {
+      st.window_id = wid;
+      st.window_count = 0;
+    }
+  }
+
+  // Line 22: membership test for target x in P(src) with estimate d*.
+  bool in_neighborhood(NodeId x, Weight d_star,
+                       const std::vector<REntry>& r_entries) const {
+    const Weight pass_at = std::min(params_.pass_threshold, kFarDist);
+    for (const REntry& e : r_entries) {
+      if (e.d >= pass_at) continue;  // far anchor: auto-pass
+      const auto idx = sample_index_.find(e.t);
+      MWC_CHECK(idx != sample_index_.end());
+      const int t = idx->second;
+      if (d_to(x, t) + 2 * d_star > d_from(x, t) + 2 * e.d) return false;
+    }
+    return true;
+  }
+
+  void forward(NodeCtx& node, NodeId src, Weight d,
+               const std::vector<REntry>& r_entries) {
+    auto& st = state_[static_cast<std::size_t>(node.id())];
+    // Priority = current round: under the random-delay schedule this is
+    // ~ delta_src + d, so waves stay roughly aligned (and it is knowledge
+    // the node actually has).
+    const auto priority = static_cast<std::int64_t>(node.round());
+    for (const graph::Arc& a : g_.out(node.id())) {
+      const Weight tick = params_.weighted_ticks ? a.w : 1;
+      const Weight nd = d + tick;
+      if (nd > params_.h) continue;
+      if (!in_neighborhood(a.to, nd, r_entries)) continue;
+      bump_window(node, st);
+      if (params_.enable_overflow_handling && st.window_count > threshold_) {
+        st.z = true;
+        return;
+      }
+      ++st.window_count;
+      if (params_.weighted_ticks && tick > 1) {
+        const std::uint64_t when =
+            node.round() + static_cast<std::uint64_t>(tick - 1);
+        outbox_[static_cast<std::size_t>(node.id())].push(
+            PendingSend{when, a.to, src, nd, priority});
+        node.wake_at(when);
+      } else {
+        node.send(a.to, make_message(src, nd, r_entries), priority);
+      }
+    }
+  }
+
+  Message make_message(NodeId src, Weight d,
+                       const std::vector<REntry>& r_entries) const {
+    Message msg{pack_hdr(src, d)};
+    for (const REntry& e : r_entries) msg.push(pack_hdr(e.t, e.d));
+    return msg;
+  }
+
+  void flush_outbox(NodeCtx& node) {
+    if (outbox_.empty()) return;
+    auto& box = outbox_[static_cast<std::size_t>(node.id())];
+    while (!box.empty() && box.top().send_round <= node.round()) {
+      const PendingSend& p = box.top();
+      const auto cache =
+          state_[static_cast<std::size_t>(node.id())].r_cache.find(p.src);
+      if (cache != state_[static_cast<std::size_t>(node.id())].r_cache.end()) {
+        node.send(p.neighbor, make_message(p.src, p.dist, cache->second),
+                  p.priority);
+      }
+      box.pop();
+    }
+  }
+
+  congest::Network& net_;
+  const RestrictedBfsParams& params_;
+  const graph::Graph& g_;
+  int n_;
+  int s_count_;
+  int beta_ = 1;
+  int window_ = 1;
+  int threshold_ = 1;
+  std::unordered_map<NodeId, int> sample_index_;
+  std::vector<std::vector<int>> groups_;
+  std::vector<NodeState> state_;
+  std::vector<std::priority_queue<PendingSend, std::vector<PendingSend>, PendingOrder>>
+      outbox_;
+  RestrictedBfsResult result_;
+};
+
+}  // namespace
+
+RestrictedBfsResult restricted_bfs_short_cycles(congest::Network& net,
+                                                const RestrictedBfsParams& params) {
+  MWC_CHECK(params.h >= 1 && params.rho >= 1);
+  const int n = net.n();
+  const int s_count = static_cast<int>(params.samples.size());
+  MWC_CHECK(static_cast<int>(params.dist_to_s.size()) == n * s_count);
+  MWC_CHECK(static_cast<int>(params.dist_from_s.size()) == n * s_count);
+  MWC_CHECK(static_cast<int>(params.s_pair.size()) == s_count * s_count);
+
+  RunStats total{};
+  // Line 11: one-hop exchange of the (d(v,s), d(s,v)) vectors, 2|S| words
+  // per link direction. Contents equal the rows of dist_to_s/dist_from_s,
+  // which the membership tests then read (DESIGN.md simulation-scale note).
+  {
+    RunStats s;
+    congest::neighbor_exchange(
+        net,
+        [&](NodeId v, NodeId) {
+          std::vector<Word> words;
+          words.reserve(2 * static_cast<std::size_t>(s_count));
+          for (int i = 0; i < s_count; ++i) {
+            const Weight to = params.dist_to_s[static_cast<std::size_t>(v) *
+                                                   static_cast<std::size_t>(s_count) +
+                                               static_cast<std::size_t>(i)];
+            const Weight from = params.dist_from_s[static_cast<std::size_t>(v) *
+                                                       static_cast<std::size_t>(s_count) +
+                                                   static_cast<std::size_t>(i)];
+            words.push_back(pack_hdr(static_cast<NodeId>(2 * i),
+                                     std::min(to, (Weight{1} << 40) - 1)));
+            words.push_back(pack_hdr(static_cast<NodeId>(2 * i + 1),
+                                     std::min(from, (Weight{1} << 40) - 1)));
+          }
+          return words;
+        },
+        &s);
+    total.rounds += s.rounds;
+    total.messages += s.messages;
+    total.words += s.words;
+    total.max_queue_words = std::max(total.max_queue_words, s.max_queue_words);
+  }
+
+  RestrictedBfsProtocol proto(net, params);
+  RunStats bfs_stats = run_protocol(net, proto);
+  add_stats(total, bfs_stats);
+  RestrictedBfsResult result = proto.finish(net, total);
+  result.restricted_peak_queue = bfs_stats.max_queue_words;
+  return result;
+}
+
+}  // namespace mwc::cycle

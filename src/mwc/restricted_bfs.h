@@ -1,0 +1,89 @@
+// Algorithm 3: approximate short-cycle subroutine via BFS from every vertex
+// restricted to the implicitly-computed neighborhood P(v) (Section 3.1).
+//
+// Inputs (computed by Algorithm 2): the sampled set S, exact distances
+// d(v,s) / d(s,v) for every v and s in S, and all pairwise d(s,t). Each
+// vertex v locally builds R(v) (<= log n sampled vertices chosen greedily
+// from a random partition S_1..S_beta, lines 3-8) which defines
+//
+//   P(v) = { y | for all t in R(v): d(y,t) + 2 d(v,y) <= d(t,y) + 2 d(v,t) }
+//
+// (Definition 3.1; by Fact 1 - Lemma 5.1 of [13] - cycles through vertices
+// outside P(v) are 2-covered by cycles through R(v) which Algorithm 2
+// already computed). The BFS from v is restricted to P(v): a node forwards
+// the wave for source v to neighbor x only if x passes the membership test,
+// evaluated from x's distance vectors (exchanged one hop in line 11) and
+// Q(v) = (R(v), {d(v,t)}) carried in the BFS message (1 + |R(v)| words).
+//
+// Scheduling: every source is delayed by a uniform offset delta_v in
+// [1, rho] (random scheduling [24, 36]); message priority delta_v + d keeps
+// waves roughly aligned. A node that has to handle more than
+// Theta(log n) BFS messages within a window of rounds is a phase-overflow
+// vertex: it sets Z(v) = 1 and stops participating (lines 19, 21). After the
+// restricted BFS, an unrestricted h-hop BFS from the overflow set Z fills in
+// the cycles through Z exactly (line 24, O(|Z| + h) rounds; |Z| <=
+// O~(n^(4/5)) by Lemma 3.3).
+//
+// Output: per-vertex mu (2-approximation of the minimum weight of short
+// cycles through that vertex that avoid S), ready for Algorithm 2's final
+// convergecast.
+#pragma once
+
+#include <vector>
+
+#include "congest/network.h"
+#include "mwc/result.h"
+
+namespace mwc::cycle {
+
+struct RestrictedBfsParams {
+  std::vector<graph::NodeId> samples;  // S
+  // Exact distances (row v is node v's local knowledge):
+  //   dist_to_s[v * |S| + i]   = d(v, S[i])
+  //   dist_from_s[v * |S| + i] = d(S[i], v)
+  // s_pair[i * |S| + j] = d(S[i], S[j]) - broadcast to all nodes by Alg 2.
+  std::vector<graph::Weight> dist_to_s;
+  std::vector<graph::Weight> dist_from_s;
+  std::vector<graph::Weight> s_pair;
+
+  graph::Weight h = 0;    // tick budget for short cycles (n^(3/5))
+  graph::Weight rho = 0;  // random-delay range (n^(4/5))
+
+  // Overflow detection: a node handling more than
+  // ceil(overflow_threshold_factor * log2 n) messages within a window of
+  // `overflow_window` rounds trips Z. window 0 = auto.
+  int overflow_window = 0;
+  double overflow_threshold_factor = 4.0;
+  bool enable_overflow_handling = true;  // off = ablation A1
+
+  // Section 5.2 stretched/scaled mode.
+  bool weighted_ticks = false;
+  const graph::Graph* graph_override = nullptr;
+  // Membership tests auto-pass anchors t with d(v,t) > pass_threshold: when
+  // the S-distances are tick-capped (Section 5.2), a far anchor's test is
+  // dominated by 2 d(v,t) on the right-hand side, so including y is always
+  // correct for cycle vertices (over-inclusion costs congestion, never
+  // correctness). Leave at kInfWeight for exact distance inputs, where only
+  // genuinely unreachable anchors auto-pass.
+  graph::Weight pass_threshold = graph::kInfWeight;
+};
+
+struct RestrictedBfsResult {
+  std::vector<graph::Weight> mu;  // per-vertex candidate (ticks)
+  // Witness for the globally best candidate found by this subroutine (empty
+  // if reconstruction failed): the cycle vertices in traversal order.
+  std::vector<graph::NodeId> witness;
+  graph::Weight witness_value = graph::kInfWeight;
+  congest::RunStats stats;
+  int overflow_count = 0;  // |Z|
+  std::uint64_t restricted_messages = 0;
+  // Peak link backlog during the restricted-BFS phase alone (the line-11
+  // exchange and line-24 BFS excluded) - the quantity the random-delay
+  // scheduling controls.
+  std::uint64_t restricted_peak_queue = 0;
+};
+
+RestrictedBfsResult restricted_bfs_short_cycles(congest::Network& net,
+                                                const RestrictedBfsParams& params);
+
+}  // namespace mwc::cycle

@@ -1,0 +1,50 @@
+// Common result type for the MWC algorithms.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "congest/protocol.h"
+#include "graph/graph.h"
+
+namespace mwc::cycle {
+
+struct MwcResult {
+  // Weight of the (approximate) minimum weight cycle; kInfWeight if the
+  // algorithm found no cycle. Every node knows this value after the final
+  // convergecast; soundness invariant: `value` is always the weight of an
+  // actual simple cycle of the input graph (never an underestimate).
+  graph::Weight value = graph::kInfWeight;
+  congest::RunStats stats;
+
+  // The cycle itself, in traversal order (closed implicitly: the last
+  // vertex connects back to the first). Populated by algorithms that track
+  // enough parent pointers to reconstruct it - the paper's "construct the
+  // cycle by storing the next vertex on the cycle at each vertex". Exact
+  // algorithms produce a witness of weight exactly `value`; approximation
+  // algorithms may produce one of weight <= value (the splice around a
+  // shared tree prefix can only shorten the cycle), or none at all when the
+  // needed parent chains were evicted or only the skeleton-based long-cycle
+  // branch (which has no usable parents) found the winner. Coverage:
+  // exact_mwc always; girth_approx/girth_prt usually; directed_mwc_2approx
+  // when the restricted-BFS branch wins; undirected_weighted_mwc for both
+  // branches; directed_weighted_mwc never (documented limitation).
+  std::vector<graph::NodeId> witness;
+
+  // Diagnostics (not part of the distributed output).
+  graph::Weight long_cycle_value = graph::kInfWeight;
+  graph::Weight short_cycle_value = graph::kInfWeight;
+  int sample_count = 0;     // |S|
+  int overflow_count = 0;   // |Z| (Algorithm 3)
+  // Peak link backlog of the restricted-BFS phase (directed algorithms).
+  std::uint64_t restricted_peak_queue = 0;
+};
+
+inline void add_stats(congest::RunStats& acc, const congest::RunStats& s) {
+  acc.rounds += s.rounds;
+  acc.messages += s.messages;
+  acc.words += s.words;
+  acc.max_queue_words = std::max(acc.max_queue_words, s.max_queue_words);
+}
+
+}  // namespace mwc::cycle

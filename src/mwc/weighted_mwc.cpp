@@ -1,0 +1,284 @@
+#include "mwc/weighted_mwc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "congest/bfs_tree.h"
+#include "congest/convergecast.h"
+#include "congest/multi_bfs.h"
+#include "congest/neighbor_exchange.h"
+#include "graph/transforms.h"
+#include "ksssp/skeleton_sssp.h"
+#include "mwc/directed_mwc.h"
+#include "mwc/girth_approx.h"
+#include "mwc/packing.h"
+#include "mwc/witness.h"
+#include "support/check.h"
+#include "support/math_util.h"
+
+namespace mwc::cycle {
+
+using congest::MultiBfs;
+using congest::MultiBfsParams;
+using congest::RunStats;
+using congest::Word;
+using graph::kInfWeight;
+using graph::kNoNode;
+using graph::NodeId;
+using graph::Weight;
+
+namespace {
+
+std::vector<NodeId> sample_long_cycle_hitters(congest::Network& net, double c,
+                                              int h) {
+  support::Rng rng = net.next_run_rng();
+  const double p =
+      std::min(1.0, c * support::log_n(net.n()) / static_cast<double>(h));
+  std::vector<NodeId> samples;
+  for (NodeId v = 0; v < net.n(); ++v) {
+    if (rng.next_bool(p)) samples.push_back(v);
+  }
+  if (samples.empty()) {
+    samples.push_back(
+        static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(net.n()))));
+  }
+  return samples;
+}
+
+// Unscale a tick value from ladder level `level`: a scaled cycle of weight
+// `ticks` certifies a real cycle of weight <= floor(ticks * eps * 2^level /
+// (2h)) (weights are integral, scaled(e) >= 2 h w(e) / (eps 2^level)).
+Weight unscale_ticks(Weight ticks, int h, double eps, int level) {
+  const double unscale = eps * std::ldexp(1.0, level) / (2.0 * static_cast<double>(h));
+  return static_cast<Weight>(
+      std::floor(static_cast<double>(ticks) * unscale + 1e-9));
+}
+
+int ladder_levels(const graph::Graph& g, int h, int max_levels) {
+  const auto max_cycle_weight = static_cast<std::uint64_t>(h) *
+                                static_cast<std::uint64_t>(g.max_weight());
+  int levels =
+      support::ceil_log2(std::max<std::uint64_t>(2, max_cycle_weight)) + 1;
+  if (max_levels > 0) levels = std::min(levels, max_levels);
+  return levels;
+}
+
+// Short-cycle part shared by both orientations: run the h*-tick-limited
+// unweighted approximation over the scaling ladder, unscale, min-combine.
+// For the undirected (girth-core) path, the argmin level's witness is kept:
+// it is a cycle of the shared topology, so it is a cycle of g, and the
+// unscale bound caps its true weight by the unscaled candidate.
+Weight short_cycles_via_ladder(congest::Network& net, const graph::Graph& g,
+                               int h, double eps, int max_levels, bool directed,
+                               RunStats* stats, int* overflow_count,
+                               std::vector<NodeId>* witness) {
+  const auto h_star = static_cast<Weight>(
+      std::ceil((1.0 + 2.0 / eps) * static_cast<double>(h)));
+  Weight best = kInfWeight;
+  const int levels = ladder_levels(g, h, max_levels);
+  for (int level = 0; level < levels; ++level) {
+    graph::Graph scaled = graph::reweighted(g, [&](Weight w) {
+      return graph::scaled_weight(w, h, eps, level);
+    });
+    MwcResult level_result;
+    if (directed) {
+      DirectedMwcParams dp;
+      dp.tick_limit = h_star;
+      dp.graph_override = &scaled;
+      level_result = directed_mwc_2approx(net, dp);
+      if (overflow_count != nullptr) {
+        *overflow_count = std::max(*overflow_count, level_result.overflow_count);
+      }
+    } else {
+      level_result = hop_limited_girth_approx(net, scaled, h_star);
+    }
+    add_stats(*stats, level_result.stats);
+    if (level_result.value != kInfWeight) {
+      const Weight unscaled = unscale_ticks(level_result.value, h, eps, level);
+      if (unscaled < best) {
+        best = unscaled;
+        if (witness != nullptr) {
+          Weight total = 0;
+          if (!level_result.witness.empty() &&
+              detail::validate_cycle(g, level_result.witness, &total) &&
+              total <= unscaled) {
+            *witness = std::move(level_result.witness);
+          } else {
+            witness->clear();
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MwcResult undirected_weighted_mwc(congest::Network& net,
+                                  const WeightedMwcParams& params) {
+  const graph::Graph& g = net.problem_graph();
+  MWC_CHECK(!g.is_directed());
+  MWC_CHECK(params.epsilon > 0);
+  const int n = net.n();
+  const int h = params.h_override > 0 ? params.h_override
+                                      : support::int_pow(n, 2.0 / 3.0);
+  const double eps_half = params.epsilon / 2.0;
+
+  MwcResult result;
+  RunStats s;
+
+  // --- long cycles: exact multi-source Bellman-Ford from samples ---------
+  std::vector<NodeId> samples =
+      sample_long_cycle_hitters(net, params.sample_constant, h);
+  result.sample_count = static_cast<int>(samples.size());
+  MultiBfsParams mb;
+  mb.sources = samples;
+  mb.mode = congest::DelayMode::kImmediate;
+  MultiBfs bf = run_multi_bfs(net, std::move(mb), &s);
+  add_stats(result.stats, s);
+
+  // Exchange rows (+ parent flags) and close non-tree edges.
+  congest::NeighborExchangeResult ex = congest::neighbor_exchange(
+      net,
+      [&](NodeId v, NodeId u) {
+        std::vector<Word> words;
+        for (std::size_t i = 0; i < samples.size(); ++i) {
+          const Weight d = bf.dist(v, static_cast<int>(i));
+          if (d == kInfWeight) continue;
+          words.push_back(
+              pack_entry(samples[i], d, bf.parent(v, static_cast<int>(i)) == u));
+        }
+        return words;
+      },
+      &s);
+  add_stats(result.stats, s);
+
+  std::unordered_map<NodeId, int> sample_index;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    sample_index.emplace(samples[i], static_cast<int>(i));
+  }
+  std::vector<Weight> mu(static_cast<std::size_t>(n), kInfWeight);
+  Weight long_best = kInfWeight;
+  int long_w_idx = -1;
+  NodeId long_x = kNoNode, long_y = kNoNode;
+  for (NodeId y = 0; y < n; ++y) {
+    for (const graph::Arc& a : g.out(y)) {
+      for (Word word : ex.received(y, a.to)) {
+        NodeId w = kNoNode;
+        Weight dx = 0;
+        bool y_is_parent_of_x = false;
+        unpack_entry(word, &w, &dx, &y_is_parent_of_x);
+        if (y_is_parent_of_x) continue;
+        const int idx = sample_index.at(w);
+        if (bf.parent(y, idx) == a.to) continue;
+        const Weight dy = bf.dist(y, idx);
+        if (dy == kInfWeight) continue;
+        mu[static_cast<std::size_t>(y)] =
+            std::min(mu[static_cast<std::size_t>(y)], dx + dy + a.w);
+        if (dx + dy + a.w < long_best) {
+          long_best = dx + dy + a.w;
+          long_w_idx = idx;
+          long_x = a.to;
+          long_y = y;
+        }
+      }
+    }
+  }
+  congest::BfsTreeResult tree = congest::build_bfs_tree(net, 0, &s);
+  add_stats(result.stats, s);
+  result.long_cycle_value =
+      congest::convergecast(net, tree, mu, congest::AggregateOp::kMin, &s);
+  add_stats(result.stats, s);
+
+  // --- short cycles: scaling ladder + Corollary 4.1 -----------------------
+  std::vector<NodeId> short_witness;
+  result.short_cycle_value =
+      short_cycles_via_ladder(net, g, h, eps_half, params.max_levels,
+                              /*directed=*/false, &result.stats, nullptr,
+                              &short_witness);
+
+  result.value = std::min(result.long_cycle_value, result.short_cycle_value);
+
+  // Witness: short branch's cycle when it wins; otherwise splice the long
+  // branch's Bellman-Ford root paths (exact SPT parents are available).
+  if (result.value != kInfWeight) {
+    if (result.short_cycle_value <= result.long_cycle_value &&
+        !short_witness.empty()) {
+      result.witness = std::move(short_witness);
+    } else if (result.long_cycle_value <= result.short_cycle_value &&
+               long_w_idx >= 0) {
+      auto climb = [&](NodeId from) {
+        std::vector<NodeId> path{from};
+        while (bf.dist(path.back(), long_w_idx) != 0) {
+          path.push_back(bf.parent(path.back(), long_w_idx));
+        }
+        return path;
+      };
+      std::vector<NodeId> cyc =
+          detail::splice_root_paths(climb(long_x), climb(long_y));
+      Weight total = 0;
+      if (detail::validate_cycle(g, cyc, &total) && total <= result.value) {
+        result.witness = std::move(cyc);
+      }
+    }
+  }
+  return result;
+}
+
+MwcResult directed_weighted_mwc(congest::Network& net,
+                                const WeightedMwcParams& params) {
+  const graph::Graph& g = net.problem_graph();
+  MWC_CHECK(g.is_directed());
+  MWC_CHECK(params.epsilon > 0);
+  const int n = net.n();
+  const int h = params.h_override > 0 ? params.h_override
+                                      : support::int_pow(n, 0.6);
+  const double eps_half = params.epsilon / 2.0;
+
+  MwcResult result;
+  RunStats s;
+
+  // --- long cycles: (1+eps) k-source SSSP from samples (Thm 1.6.B) -------
+  std::vector<NodeId> samples =
+      sample_long_cycle_hitters(net, params.sample_constant, h);
+  result.sample_count = static_cast<int>(samples.size());
+  ksssp::SkeletonSsspParams sp;
+  sp.sources = samples;
+  sp.epsilon = eps_half;
+  ksssp::KSsspResult ks = ksssp::skeleton_k_source_sssp(net, sp);
+  add_stats(result.stats, ks.stats);
+
+  std::unordered_map<NodeId, int> sample_index;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    sample_index.emplace(samples[i], static_cast<int>(i));
+  }
+  std::vector<Weight> mu(static_cast<std::size_t>(n), kInfWeight);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const graph::Arc& a : g.out(v)) {
+      auto it = sample_index.find(a.to);
+      if (it == sample_index.end()) continue;
+      const Weight d = ks.dist.at(v, it->second);  // ~d(s, v)
+      if (d == kInfWeight) continue;
+      mu[static_cast<std::size_t>(v)] =
+          std::min(mu[static_cast<std::size_t>(v)], a.w + d);
+    }
+  }
+  congest::BfsTreeResult tree = congest::build_bfs_tree(net, 0, &s);
+  add_stats(result.stats, s);
+  result.long_cycle_value =
+      congest::convergecast(net, tree, mu, congest::AggregateOp::kMin, &s);
+  add_stats(result.stats, s);
+
+  // --- short cycles: ladder + hop-limited Algorithm 2 (Section 5.2) -------
+  result.short_cycle_value =
+      short_cycles_via_ladder(net, g, h, eps_half, params.max_levels,
+                              /*directed=*/true, &result.stats,
+                              &result.overflow_count, nullptr);
+
+  result.value = std::min(result.long_cycle_value, result.short_cycle_value);
+  return result;
+}
+
+}  // namespace mwc::cycle

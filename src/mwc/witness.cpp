@@ -1,0 +1,48 @@
+#include "mwc/witness.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/check.h"
+
+namespace mwc::cycle::detail {
+
+using graph::NodeId;
+using graph::Weight;
+
+std::vector<NodeId> splice_root_paths(const std::vector<NodeId>& pa,
+                                      const std::vector<NodeId>& pb) {
+  MWC_CHECK(!pa.empty() && !pb.empty() && pa.back() == pb.back());
+  std::size_t common = 0;
+  while (common < pa.size() && common < pb.size() &&
+         pa[pa.size() - 1 - common] == pb[pb.size() - 1 - common]) {
+    ++common;
+  }
+  MWC_CHECK(common >= 1);
+  std::vector<NodeId> cyc(pa.begin(),
+                          pa.end() - static_cast<std::ptrdiff_t>(common - 1));
+  for (std::size_t i = pb.size() - common; i-- > 0;) cyc.push_back(pb[i]);
+  return cyc;
+}
+
+bool validate_cycle(const graph::Graph& g, const std::vector<NodeId>& cyc,
+                    Weight* total) {
+  const std::size_t min_len = g.is_directed() ? 2 : 3;
+  if (cyc.size() < min_len) return false;
+  std::unordered_set<NodeId> seen;
+  Weight sum = 0;
+  for (std::size_t i = 0; i < cyc.size(); ++i) {
+    if (!seen.insert(cyc[i]).second) return false;
+    const NodeId from = cyc[i];
+    const NodeId to = cyc[(i + 1) % cyc.size()];
+    auto arcs = g.out(from);
+    auto it = std::lower_bound(arcs.begin(), arcs.end(), to,
+                               [](const graph::Arc& a, NodeId t) { return a.to < t; });
+    if (it == arcs.end() || it->to != to) return false;
+    sum += it->w;
+  }
+  *total = sum;
+  return true;
+}
+
+}  // namespace mwc::cycle::detail

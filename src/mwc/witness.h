@@ -1,0 +1,28 @@
+// Shared cycle-witness reconstruction helpers.
+//
+// The algorithms find candidates of the form "root path to x + root path to
+// y + closing edge(s)"; a witness cycle is obtained by splicing the two
+// root paths around their lowest common ancestor (in a parent forest, two
+// root paths share exactly a suffix) and validating the result against the
+// graph. Validation is belt-and-braces: a witness is only attached when it
+// is a simple cycle of real edges no heavier than the reported value.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mwc::cycle::detail {
+
+// Splices root paths pa = [a, ..., root] and pb = [b, ..., root] into the
+// cycle [a, ..., lca, ..., b] (closed externally by the candidate's edge(s)
+// from b back to a). Requires both paths to end at the same root.
+std::vector<graph::NodeId> splice_root_paths(const std::vector<graph::NodeId>& pa,
+                                             const std::vector<graph::NodeId>& pb);
+
+// True iff cyc is a simple cycle of g (including the closing arc
+// back() -> front()); *total receives its weight.
+bool validate_cycle(const graph::Graph& g, const std::vector<graph::NodeId>& cyc,
+                    graph::Weight* total);
+
+}  // namespace mwc::cycle::detail

@@ -1,0 +1,38 @@
+// Lightweight invariant checking used across the library.
+//
+// MWC_CHECK is always on (simulation correctness depends on it and the cost
+// is negligible next to message processing); MWC_DCHECK compiles out in
+// release builds for hot inner loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mwc::support {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg[0] ? " - " : "", msg);
+  std::abort();
+}
+
+}  // namespace mwc::support
+
+#define MWC_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) ::mwc::support::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MWC_CHECK_MSG(cond, msg)                                              \
+  do {                                                                        \
+    if (!(cond)) ::mwc::support::check_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define MWC_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define MWC_DCHECK(cond) MWC_CHECK(cond)
+#endif

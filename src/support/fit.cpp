@@ -1,0 +1,36 @@
+#include "support/fit.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace mwc::support {
+
+PowerFit fit_power_law(std::span<const double> xs, std::span<const double> ys) {
+  MWC_CHECK(xs.size() == ys.size());
+  MWC_CHECK(xs.size() >= 2);
+  const std::size_t n = xs.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    MWC_CHECK(xs[i] > 0 && ys[i] > 0);
+    double lx = std::log(xs[i]);
+    double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    syy += ly * ly;
+  }
+  const double dn = static_cast<double>(n);
+  const double vxx = sxx - sx * sx / dn;
+  const double vyy = syy - sy * sy / dn;
+  const double vxy = sxy - sx * sy / dn;
+  PowerFit fit;
+  MWC_CHECK_MSG(vxx > 0, "x samples must not all be equal");
+  fit.exponent = vxy / vxx;
+  fit.log_const = (sy - fit.exponent * sx) / dn;
+  fit.r_squared = (vyy > 0) ? (vxy * vxy) / (vxx * vyy) : 1.0;
+  return fit;
+}
+
+}  // namespace mwc::support

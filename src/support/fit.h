@@ -1,0 +1,23 @@
+// Log-log regression used by benches to estimate growth exponents.
+//
+// Table 1's upper bounds are statements of the form "rounds = O~(n^e + D)";
+// the benches measure rounds(n) over a sweep and report the least-squares
+// slope of log(rounds) vs log(n) so measured growth can be compared with the
+// theoretical exponent.
+#pragma once
+
+#include <span>
+
+namespace mwc::support {
+
+struct PowerFit {
+  double exponent = 0.0;   // slope of log(y) against log(x)
+  double log_const = 0.0;  // intercept: y ~ exp(log_const) * x^exponent
+  double r_squared = 0.0;  // goodness of fit
+};
+
+// Least-squares fit of log(y) = c + e*log(x). Requires xs.size() == ys.size()
+// >= 2 and strictly positive samples.
+PowerFit fit_power_law(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace mwc::support

@@ -1,0 +1,48 @@
+#include "support/flags.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mwc::support {
+
+Flags::Flags(int argc, const char* const* argv,
+             const std::vector<std::string>& known) {
+  auto is_known = [&](const std::string& name) {
+    return known.empty() || std::find(known.begin(), known.end(), name) != known.end();
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value = "true";
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    if (!is_known(name)) unknown_.push_back(name);
+    values_[name] = std::move(value);
+  }
+}
+
+bool Flags::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string Flags::get(const std::string& name, const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::atof(it->second.c_str());
+}
+
+}  // namespace mwc::support

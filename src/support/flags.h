@@ -1,0 +1,37 @@
+// Minimal command-line flag parsing for the benches and examples.
+//
+// Supports --name=value and bare boolean --name (value "true"); everything
+// else is positional. The space form "--name value" is deliberately not
+// supported - it would make booleans ambiguous before positionals. Unknown-flag detection is the caller's job via
+// `unknown_flags` (benches warn, the CLI rejects).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mwc::support {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv,
+        const std::vector<std::string>& known = {});
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  // Flags seen on the command line that were not in `known` (empty `known`
+  // disables the check).
+  const std::vector<std::string>& unknown_flags() const { return unknown_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::vector<std::string> unknown_;
+};
+
+}  // namespace mwc::support

@@ -1,0 +1,39 @@
+#include "support/math_util.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace mwc::support {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  MWC_CHECK(a >= 0 && b > 0);
+  return (a + b - 1) / b;
+}
+
+int floor_log2(std::uint64_t x) {
+  MWC_CHECK(x >= 1);
+  return 63 - std::countl_zero(x);
+}
+
+int ceil_log2(std::uint64_t x) {
+  MWC_CHECK(x >= 1);
+  if (x == 1) return 0;
+  return floor_log2(x - 1) + 1;
+}
+
+double log_n(int n) {
+  MWC_CHECK(n >= 1);
+  return std::max(1.0, std::log(static_cast<double>(n)));
+}
+
+int int_pow(int n, double e) {
+  MWC_CHECK(n >= 1);
+  double v = std::pow(static_cast<double>(n), e);
+  long r = std::lround(v);
+  return static_cast<int>(std::clamp<long>(r, 1, n));
+}
+
+}  // namespace mwc::support

@@ -1,0 +1,24 @@
+// Small integer/real helpers shared by algorithms and benches.
+#pragma once
+
+#include <cstdint>
+
+namespace mwc::support {
+
+// ceil(a / b) for non-negative a, positive b.
+std::int64_t ceil_div(std::int64_t a, std::int64_t b);
+
+// floor(log2(x)) for x >= 1.
+int floor_log2(std::uint64_t x);
+
+// ceil(log2(x)) for x >= 1.
+int ceil_log2(std::uint64_t x);
+
+// Natural log of n, clamped below at 1.0 (avoids degenerate sampling
+// probabilities for tiny n). Used wherever the paper writes "log n".
+double log_n(int n);
+
+// round(n^e) clamped to [1, n]; the paper's n^(3/5), n^(4/5), ... parameters.
+int int_pow(int n, double e);
+
+}  // namespace mwc::support

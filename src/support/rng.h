@@ -1,0 +1,58 @@
+// Seeded pseudo-randomness for the CONGEST simulation.
+//
+// The CONGEST model grants nodes shared randomness: all nodes may read a
+// common public random string. We model this with a single master seed from
+// which every component derives an independent deterministic stream, so an
+// entire simulation is reproducible from one integer.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace mwc::support {
+
+// splitmix64 - used to derive stream seeds from (master, tag) pairs.
+std::uint64_t mix64(std::uint64_t x);
+
+// A small, fast PRNG (xoshiro256**) with convenience sampling helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Derives an independent child stream, e.g. one per node or per phase.
+  // Deterministic in (this stream's seed, tag).
+  Rng fork(std::uint64_t tag) const;
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, bound), bound > 0. Debiased via rejection.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  // Bernoulli with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  // Uniform real in [0,1).
+  double next_double();
+
+  // Fisher-Yates shuffle.
+  template <typename Container>
+  void shuffle(Container& c) {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace mwc::support

@@ -1,0 +1,33 @@
+// Plain-text table printer for bench output.
+//
+// Benches print the same "rows" the paper's Table 1 reports (measured rounds,
+// fitted exponents, approximation ratios), aligned for terminal reading.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mwc::support {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Renders with column alignment and a separator under the header.
+  std::string to_string() const;
+
+  // Convenience: render to stdout.
+  void print() const;
+
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt(std::int64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mwc::support

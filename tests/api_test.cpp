@@ -1,0 +1,109 @@
+// The approximate_mwc dispatcher, plus a cross-class consistency sweep: on
+// every random instance of every graph class, the dispatched approximation
+// must be sound and within its own advertised guarantee of the exact value.
+#include <gtest/gtest.h>
+
+#include "congest/network.h"
+#include "graph/generators.h"
+#include "graph/sequential.h"
+#include "mwc/api.h"
+#include "mwc/exact.h"
+#include "support/rng.h"
+
+namespace mwc::cycle {
+namespace {
+
+using congest::Network;
+using graph::Graph;
+using graph::Weight;
+using graph::WeightRange;
+
+Graph make_instance(int cls, int n, support::Rng& rng) {
+  switch (cls) {
+    case 0:  // undirected unweighted
+      return graph::random_connected(n, 2 * n, WeightRange{1, 1}, rng);
+    case 1:  // undirected weighted
+      return graph::random_connected(n, 2 * n, WeightRange{1, 10}, rng);
+    case 2:  // directed unweighted
+      return graph::random_strongly_connected(n, 3 * n, WeightRange{1, 1}, rng);
+    default:  // directed weighted
+      return graph::random_strongly_connected(n, 3 * n, WeightRange{1, 10}, rng);
+  }
+}
+
+TEST(ApproximateMwc, GuaranteeByClass) {
+  support::Rng rng(1);
+  ApproxMwcOptions opt;
+  opt.epsilon = 0.25;
+  for (int cls = 0; cls < 4; ++cls) {
+    Graph g = make_instance(cls, 40, rng);
+    Network net(g, 2);
+    const double expect = g.is_unit_weight() ? 2.0 : 2.25;
+    EXPECT_DOUBLE_EQ(approximate_mwc_guarantee(net, opt), expect) << cls;
+  }
+}
+
+struct SweepCase {
+  int cls;
+  int n;
+  std::uint64_t seed;
+};
+
+class DispatcherSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(DispatcherSweep, SoundAndWithinAdvertisedGuarantee) {
+  const SweepCase& c = GetParam();
+  support::Rng rng(c.seed);
+  Graph g = make_instance(c.cls, c.n, rng);
+  Weight exact = graph::seq::mwc(g);
+  ASSERT_NE(exact, graph::kInfWeight);
+  Network net(g, c.seed * 3 + 1);
+  ApproxMwcOptions opt;
+  MwcResult result = approximate_mwc(net, opt);
+  const double guarantee = approximate_mwc_guarantee(net, opt);
+  ASSERT_NE(result.value, graph::kInfWeight);
+  EXPECT_GE(result.value, exact);
+  EXPECT_LE(static_cast<double>(result.value),
+            guarantee * static_cast<double>(exact) + 1e-9)
+      << "class=" << c.cls << " n=" << c.n << " seed=" << c.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, DispatcherSweep,
+    ::testing::Values(SweepCase{0, 60, 1}, SweepCase{0, 110, 2},
+                      SweepCase{1, 60, 3}, SweepCase{1, 110, 4},
+                      SweepCase{2, 60, 5}, SweepCase{2, 110, 6},
+                      SweepCase{3, 60, 7}, SweepCase{3, 90, 8},
+                      SweepCase{0, 80, 9}, SweepCase{1, 80, 10},
+                      SweepCase{2, 80, 11}, SweepCase{3, 70, 12}));
+
+TEST(ApproximateMwc, ManySeedConsistencyFuzz) {
+  // A light fuzz: random class / size / seed, always sound, always within
+  // the advertised guarantee; also exact_mwc always <= approximation.
+  support::Rng meta(99);
+  for (int trial = 0; trial < 16; ++trial) {
+    const int cls = static_cast<int>(meta.next_below(4));
+    const int n = 40 + static_cast<int>(meta.next_below(50));
+    support::Rng rng(meta.next_u64());
+    Graph g = make_instance(cls, n, rng);
+    Weight exact_seq = graph::seq::mwc(g);
+    if (exact_seq == graph::kInfWeight) continue;
+
+    Network net_a(g, meta.next_u64());
+    ApproxMwcOptions opt;
+    MwcResult approx = approximate_mwc(net_a, opt);
+    Network net_e(g, 7);
+    MwcResult exact = exact_mwc(net_e);
+
+    ASSERT_EQ(exact.value, exact_seq) << "trial " << trial;
+    EXPECT_GE(approx.value, exact.value) << "trial " << trial;
+    EXPECT_LE(static_cast<double>(approx.value),
+              approximate_mwc_guarantee(net_a, opt) *
+                      static_cast<double>(exact.value) +
+                  1e-9)
+        << "trial " << trial << " cls=" << cls << " n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace mwc::cycle

@@ -1,0 +1,27 @@
+# Drives mwc_cli through gen -> info -> run and checks the outputs.
+file(MAKE_DIRECTORY ${WORK})
+set(GRAPH ${WORK}/smoke.graph)
+
+execute_process(COMMAND ${CLI} gen cycle-chords 48 5 9 ${GRAPH}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gen failed: ${out}")
+endif()
+
+execute_process(COMMAND ${CLI} info ${GRAPH}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "minimum weight cycle: [0-9]+")
+  message(FATAL_ERROR "info failed: ${out}")
+endif()
+
+execute_process(COMMAND ${CLI} run exact ${GRAPH} 3
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "witness:")
+  message(FATAL_ERROR "run exact failed: ${out}")
+endif()
+
+execute_process(COMMAND ${CLI} run girth-approx ${GRAPH} 3
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "value: [0-9]+")
+  message(FATAL_ERROR "run girth-approx failed: ${out}")
+endif()

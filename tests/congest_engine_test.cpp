@@ -1,0 +1,335 @@
+// Semantics of the CONGEST engine: bandwidth enforcement, round accounting,
+// delivery order, wake-ups, cut metering. These are the properties every
+// round-complexity measurement in the benches rests on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "congest/network.h"
+#include "congest/protocol.h"
+#include "congest/runner.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace mwc::congest {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+
+Graph path_graph(int n) {
+  std::vector<Edge> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.push_back(Edge{i, i + 1, 1});
+  return Graph::undirected(n, edges);
+}
+
+// Node 0 sends `count` single-word messages to node 1 at round 0.
+class Burst : public Protocol {
+ public:
+  explicit Burst(int count) : count_(count) {}
+  void begin(NodeCtx& node) override {
+    if (node.id() != 0) return;
+    for (int i = 0; i < count_; ++i) node.send(1, Message{static_cast<Word>(i)});
+  }
+  void round(NodeCtx& node) override {
+    for (const Delivery& m : node.inbox()) received_.push_back(m.msg[0]);
+  }
+  std::vector<Word> received_;
+
+ private:
+  int count_;
+};
+
+TEST(Engine, SingleMessageTakesOneRound) {
+  Graph g = path_graph(2);
+  Network net(g, /*seed=*/1);
+  Burst proto(1);
+  RunStats s = run_protocol(net, proto);
+  EXPECT_EQ(s.rounds, 1u);
+  EXPECT_EQ(s.messages, 1u);
+  EXPECT_EQ(s.words, 1u);
+  EXPECT_EQ(proto.received_, std::vector<Word>{0});
+}
+
+TEST(Engine, BandwidthSerializesBurst) {
+  Graph g = path_graph(2);
+  Network net(g, /*seed=*/1);
+  Burst proto(10);
+  RunStats s = run_protocol(net, proto);
+  // One word per round per direction: 10 words take 10 rounds.
+  EXPECT_EQ(s.rounds, 10u);
+  EXPECT_EQ(s.words, 10u);
+  EXPECT_EQ(proto.received_.size(), 10u);
+}
+
+TEST(Engine, WiderBandwidthShortensBurst) {
+  Graph g = path_graph(2);
+  NetworkConfig cfg;
+  cfg.bandwidth_words = 5;
+  Network net(g, /*seed=*/1, cfg);
+  Burst proto(10);
+  RunStats s = run_protocol(net, proto);
+  EXPECT_EQ(s.rounds, 2u);
+}
+
+// Sends one multi-word message.
+class BigMessage : public Protocol {
+ public:
+  explicit BigMessage(int words) : words_(words) {}
+  void begin(NodeCtx& node) override {
+    if (node.id() != 0) return;
+    Message m;
+    for (int i = 0; i < words_; ++i) m.push(static_cast<Word>(i));
+    node.send(1, std::move(m));
+  }
+  void round(NodeCtx& node) override {
+    if (!node.inbox().empty()) arrival_round_ = node.round();
+  }
+  std::uint64_t arrival_round_ = 0;
+
+ private:
+  int words_;
+};
+
+TEST(Engine, MultiWordMessageOccupiesLink) {
+  Graph g = path_graph(2);
+  Network net(g, /*seed=*/1);
+  BigMessage proto(7);
+  RunStats s = run_protocol(net, proto);
+  // 7 words at 1 word/round: fully transmitted after round 6 (0-based),
+  // delivered at engine round 7; run cost is 7 rounds.
+  EXPECT_EQ(s.rounds, 7u);
+  EXPECT_EQ(proto.arrival_round_, 7u);
+}
+
+TEST(Engine, OppositeDirectionsDoNotContend) {
+  Graph g = path_graph(2);
+  // Both nodes send 5 words to each other; directions are independent.
+  class BothWays : public Protocol {
+   public:
+    void begin(NodeCtx& node) override {
+      NodeId other = node.id() == 0 ? 1 : 0;
+      for (int i = 0; i < 5; ++i) node.send(other, Message{static_cast<Word>(i)});
+    }
+    void round(NodeCtx&) override {}
+  };
+  Network net(g, /*seed=*/1);
+  BothWays proto;
+  RunStats s = run_protocol(net, proto);
+  EXPECT_EQ(s.rounds, 5u);
+  EXPECT_EQ(s.words, 10u);
+}
+
+TEST(Engine, PrioritySchedulesLowerFirst) {
+  Graph g = path_graph(2);
+  class Prioritized : public Protocol {
+   public:
+    void begin(NodeCtx& node) override {
+      if (node.id() != 0) return;
+      node.send(1, Message{100}, /*priority=*/100);
+      node.send(1, Message{5}, /*priority=*/5);
+      node.send(1, Message{50}, /*priority=*/50);
+    }
+    void round(NodeCtx& node) override {
+      for (const Delivery& m : node.inbox()) order_.push_back(m.msg[0]);
+    }
+    std::vector<Word> order_;
+  };
+  Network net(g, /*seed=*/1);
+  Prioritized proto;
+  run_protocol(net, proto);
+  EXPECT_EQ(proto.order_, (std::vector<Word>{5, 50, 100}));
+}
+
+TEST(Engine, FifoAmongEqualPriorities) {
+  Graph g = path_graph(2);
+  Burst proto(5);
+  Network net(g, /*seed=*/1);
+  run_protocol(net, proto);
+  EXPECT_EQ(proto.received_, (std::vector<Word>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, WakeAtFiresAndCostsIdleRounds) {
+  Graph g = path_graph(2);
+  class DelayedSender : public Protocol {
+   public:
+    void begin(NodeCtx& node) override {
+      if (node.id() == 0) node.wake_at(50);
+    }
+    void round(NodeCtx& node) override {
+      if (node.id() == 0 && node.round() == 50) {
+        woke_at_ = node.round();
+        node.send(1, Message{7});
+      }
+    }
+    std::uint64_t woke_at_ = 0;
+  };
+  Network net(g, /*seed=*/1);
+  DelayedSender proto;
+  RunStats s = run_protocol(net, proto);
+  EXPECT_EQ(proto.woke_at_, 50u);
+  // Idle waiting is real time: the send at round 50 lands in round 51.
+  EXPECT_EQ(s.rounds, 51u);
+}
+
+TEST(Engine, NoActivityCostsZeroRounds) {
+  Graph g = path_graph(3);
+  class Silent : public Protocol {
+    void round(NodeCtx&) override {}
+  };
+  Network net(g, /*seed=*/1);
+  Silent proto;
+  RunStats s = run_protocol(net, proto);
+  EXPECT_EQ(s.rounds, 0u);
+  EXPECT_EQ(s.messages, 0u);
+}
+
+TEST(Engine, RoundsAccumulateAcrossRuns) {
+  Graph g = path_graph(2);
+  Network net(g, /*seed=*/1);
+  Burst a(3), b(4);
+  run_protocol(net, a);
+  run_protocol(net, b);
+  EXPECT_EQ(net.total_rounds(), 7u);
+  EXPECT_EQ(net.total_words(), 7u);
+}
+
+TEST(Engine, SendToNonNeighborDies) {
+  Graph g = path_graph(3);  // 0-1-2; 0 and 2 not adjacent
+  class BadSend : public Protocol {
+    void begin(NodeCtx& node) override {
+      if (node.id() == 0) node.send(2, Message{1});
+    }
+    void round(NodeCtx&) override {}
+  };
+  Network net(g, /*seed=*/1);
+  BadSend proto;
+  EXPECT_DEATH(run_protocol(net, proto), "not a communication neighbor");
+}
+
+TEST(Engine, DirectedArcsShareBidirectionalLink) {
+  // Directed graph 0->1; node 1 can still send to node 0 (links are
+  // bidirectional per the model).
+  std::vector<Edge> edges{{0, 1, 1}};
+  Graph g = Graph::directed(2, edges);
+  class BackwardsSend : public Protocol {
+   public:
+    void begin(NodeCtx& node) override {
+      if (node.id() == 1) node.send(0, Message{9});
+    }
+    void round(NodeCtx& node) override {
+      if (node.id() == 0 && !node.inbox().empty()) got_ = true;
+    }
+    bool got_ = false;
+  };
+  Network net(g, /*seed=*/1);
+  BackwardsSend proto;
+  run_protocol(net, proto);
+  EXPECT_TRUE(proto.got_);
+}
+
+TEST(Engine, CutMeterCountsCrossingWordsOnly) {
+  Graph g = path_graph(4);  // 0-1 | 2-3 with cut between 1 and 2
+  Network net(g, /*seed=*/1);
+  net.set_cut({false, false, true, true});
+  EXPECT_EQ(net.cut_link_count(), 1);
+  class CrossTalk : public Protocol {
+    void begin(NodeCtx& node) override {
+      if (node.id() == 0) node.send(1, Message{1, 2, 3});  // same side: 3 words
+      if (node.id() == 1) node.send(2, Message{1, 2});     // crossing: 2 words
+      if (node.id() == 3) node.send(2, Message{1});        // same side: 1 word
+    }
+    void round(NodeCtx&) override {}
+  };
+  CrossTalk proto;
+  run_protocol(net, proto);
+  EXPECT_EQ(net.cut_words(), 2u);
+  EXPECT_EQ(net.total_words(), 6u);
+}
+
+TEST(Engine, MaxQueueWordsTracksBacklog) {
+  Graph g = path_graph(2);
+  Network net(g, /*seed=*/1);
+  Burst proto(10);
+  RunStats s = run_protocol(net, proto);
+  // All ten words are enqueued in round 0 before any transmission.
+  EXPECT_EQ(s.max_queue_words, 10u);
+
+  Network net2(g, /*seed=*/1);
+  Burst one(1);
+  RunStats s2 = run_protocol(net2, one);
+  EXPECT_EQ(s2.max_queue_words, 1u);
+}
+
+TEST(Engine, PerNodeRngDeterministicAcrossIdenticalNetworks) {
+  Graph g = path_graph(3);
+  class RngProbe : public Protocol {
+   public:
+    void begin(NodeCtx& node) override { vals_.push_back(node.rng().next_u64()); }
+    void round(NodeCtx&) override {}
+    std::vector<std::uint64_t> vals_;
+  };
+  Network net1(g, /*seed=*/99), net2(g, /*seed=*/99), net3(g, /*seed=*/100);
+  RngProbe p1, p2, p3;
+  run_protocol(net1, p1);
+  run_protocol(net2, p2);
+  run_protocol(net3, p3);
+  EXPECT_EQ(p1.vals_, p2.vals_);
+  EXPECT_NE(p1.vals_, p3.vals_);
+}
+
+TEST(Packing, TagRoundtrip) {
+  for (Word tag : {0ull, 3ull, 7ull}) {
+    for (Word value : {0ull, 1ull, (1ull << 60), (1ull << 61) - 1}) {
+      Word packed = pack_tag(tag, value);
+      EXPECT_EQ(tag_of(packed), tag);
+      EXPECT_EQ(value_of(packed), value);
+    }
+  }
+}
+
+TEST(Packing, IdValueRoundtrip) {
+  for (Word id : {0ull, 17ull, (1ull << 24) - 1}) {
+    for (Word value : {0ull, 42ull, (1ull << 40) - 1}) {
+      Word packed = pack_id_value(id, value);
+      EXPECT_EQ(id_of(packed), id);
+      EXPECT_EQ(id_value_of(packed), value);
+    }
+  }
+}
+
+TEST(Packing, InfWeightFitsTagValue) {
+  // kInfWeight = 2^60 must survive the 61-bit value field (convergecast of
+  // all-infinite mu vectors).
+  Word packed = pack_tag(1, static_cast<Word>(graph::kInfWeight));
+  EXPECT_EQ(static_cast<graph::Weight>(value_of(packed)), graph::kInfWeight);
+}
+
+TEST(MessageType, InlineAndHeapStorage) {
+  Message m;
+  for (Word i = 0; i < 20; ++i) {
+    m.push(i * 3);
+    EXPECT_EQ(m.size(), i + 1);
+    for (Word j = 0; j <= i; ++j) EXPECT_EQ(m[static_cast<std::uint32_t>(j)], j * 3);
+  }
+}
+
+TEST(Engine, MaxRoundsGuardTrips) {
+  Graph g = path_graph(2);
+  NetworkConfig cfg;
+  cfg.max_rounds_per_run = 10;
+  class PingPong : public Protocol {
+    void begin(NodeCtx& node) override {
+      if (node.id() == 0) node.send(1, Message{0});
+    }
+    void round(NodeCtx& node) override {
+      for (const Delivery& m : node.inbox()) node.send(m.from, Message{m.msg[0] + 1});
+    }
+  };
+  Network net(g, /*seed=*/1, cfg);
+  PingPong proto;
+  EXPECT_DEATH(run_protocol(net, proto), "max_rounds_per_run");
+}
+
+}  // namespace
+}  // namespace mwc::congest

@@ -1,0 +1,511 @@
+// Distributed primitives vs sequential references, plus round-bound checks
+// (broadcast O(M+D), convergecast O(D), k-source BFS O(h+k), source
+// detection O(sigma+h)).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "congest/bellman_ford.h"
+#include "congest/bfs_tree.h"
+#include "congest/broadcast.h"
+#include "congest/convergecast.h"
+#include "congest/multi_bfs.h"
+#include "congest/neighbor_exchange.h"
+#include "congest/network.h"
+#include "congest/runner.h"
+#include "congest/source_detection.h"
+#include "graph/generators.h"
+#include "graph/sequential.h"
+#include "graph/transforms.h"
+#include "support/rng.h"
+
+namespace mwc::congest {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+using graph::NodeId;
+using graph::WeightRange;
+
+// ---------- BFS tree -------------------------------------------------------
+
+TEST(BfsTree, DepthsMatchBfsAndParentsConsistent) {
+  support::Rng rng(1);
+  Graph g = graph::random_connected(60, 140, WeightRange{1, 9}, rng);
+  Network net(g, /*seed=*/5);
+  RunStats stats;
+  BfsTreeResult tree = build_bfs_tree(net, /*root=*/0, &stats);
+
+  auto ref = graph::seq::bfs_hops(g.communication_topology(), 0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(tree.depth[static_cast<std::size_t>(v)], ref[static_cast<std::size_t>(v)]);
+    if (v == 0) {
+      EXPECT_EQ(tree.parent[static_cast<std::size_t>(v)], graph::kNoNode);
+    } else {
+      NodeId p = tree.parent[static_cast<std::size_t>(v)];
+      EXPECT_EQ(tree.depth[static_cast<std::size_t>(v)],
+                tree.depth[static_cast<std::size_t>(p)] + 1);
+      // v appears in p's child list exactly once.
+      const auto& ch = tree.children[static_cast<std::size_t>(p)];
+      EXPECT_EQ(std::count(ch.begin(), ch.end(), v), 1);
+    }
+  }
+  int diam = graph::seq::communication_diameter(g);
+  EXPECT_LE(tree.height, diam);
+  // Flooding finishes within a small constant of D.
+  EXPECT_LE(stats.rounds, static_cast<std::uint64_t>(3 * diam + 3));
+}
+
+TEST(BfsTree, WorksOnDirectedProblemGraphs) {
+  support::Rng rng(2);
+  Graph g = graph::random_strongly_connected(40, 100, WeightRange{1, 3}, rng);
+  Network net(g, /*seed=*/5);
+  BfsTreeResult tree = build_bfs_tree(net);
+  for (NodeId v = 1; v < g.node_count(); ++v) {
+    EXPECT_NE(tree.parent[static_cast<std::size_t>(v)], graph::kNoNode);
+  }
+}
+
+// ---------- Convergecast ---------------------------------------------------
+
+TEST(Convergecast, ComputesMinMaxSum) {
+  support::Rng rng(3);
+  Graph g = graph::random_connected(50, 100, WeightRange{1, 1}, rng);
+  Network net(g, /*seed=*/7);
+  BfsTreeResult tree = build_bfs_tree(net);
+  std::vector<graph::Weight> values;
+  for (int v = 0; v < 50; ++v) values.push_back((v * 37 + 11) % 101);
+  graph::Weight expect_min = *std::min_element(values.begin(), values.end());
+  graph::Weight expect_max = *std::max_element(values.begin(), values.end());
+  graph::Weight expect_sum = 0;
+  for (auto v : values) expect_sum += v;
+
+  EXPECT_EQ(convergecast(net, tree, values, AggregateOp::kMin), expect_min);
+  EXPECT_EQ(convergecast(net, tree, values, AggregateOp::kMax), expect_max);
+  EXPECT_EQ(convergecast(net, tree, values, AggregateOp::kSum), expect_sum);
+}
+
+TEST(Convergecast, CostsLinearInDiameter) {
+  support::Rng rng(4);
+  Graph g = graph::cycle_with_chords(100, 0, WeightRange{1, 1}, rng);  // D = 50
+  Network net(g, /*seed=*/7);
+  BfsTreeResult tree = build_bfs_tree(net);
+  std::vector<graph::Weight> values(100, 1);
+  RunStats stats;
+  convergecast(net, tree, values, AggregateOp::kSum, &stats);
+  int diam = graph::seq::communication_diameter(g);
+  EXPECT_LE(stats.rounds, static_cast<std::uint64_t>(2 * diam + 4));
+}
+
+// ---------- Broadcast ------------------------------------------------------
+
+TEST(Broadcast, EveryNodeReceivesEveryItem) {
+  support::Rng rng(5);
+  Graph g = graph::random_connected(40, 80, WeightRange{1, 1}, rng);
+  Network net(g, /*seed=*/9);
+  BfsTreeResult tree = build_bfs_tree(net);
+  std::vector<std::vector<BroadcastItem>> items(40);
+  std::size_t total = 0;
+  for (int v = 0; v < 40; v += 3) {
+    items[static_cast<std::size_t>(v)].push_back({static_cast<Word>(v), 7});
+    ++total;
+  }
+  BroadcastResult result = broadcast(net, tree, items);
+  EXPECT_EQ(result.items().size(), total);
+  // Each origin's payload present exactly once.
+  for (int v = 0; v < 40; v += 3) {
+    int found = 0;
+    for (const auto& item : result.items()) {
+      if (item[0] == static_cast<Word>(v)) ++found;
+    }
+    EXPECT_EQ(found, 1);
+  }
+}
+
+TEST(Broadcast, RoundsLinearInItemsPlusDiameter) {
+  support::Rng rng(6);
+  Graph g = graph::cycle_with_chords(64, 10, WeightRange{1, 1}, rng);
+  Network net(g, /*seed=*/11);
+  BfsTreeResult tree = build_bfs_tree(net);
+  const int M = 200;
+  std::vector<std::vector<BroadcastItem>> items(64);
+  support::Rng where(77);
+  for (int i = 0; i < M; ++i) {
+    items[where.next_below(64)].push_back({static_cast<Word>(i)});
+  }
+  RunStats stats;
+  BroadcastResult result = broadcast(net, tree, items, &stats);
+  EXPECT_EQ(result.items().size(), static_cast<std::size_t>(M));
+  int diam = graph::seq::communication_diameter(g);
+  // O(M + D) with a small constant (items are 1 word, frame adds 1).
+  EXPECT_LE(stats.rounds, static_cast<std::uint64_t>(4 * M + 6 * diam + 10));
+}
+
+TEST(Broadcast, SingleNodeNetwork) {
+  Graph g = Graph::undirected(1, std::vector<Edge>{});
+  Network net(g, /*seed=*/1);
+  BfsTreeResult tree = build_bfs_tree(net);
+  std::vector<std::vector<BroadcastItem>> items(1);
+  items[0].push_back({42});
+  BroadcastResult result = broadcast(net, tree, items);
+  ASSERT_EQ(result.items().size(), 1u);
+  EXPECT_EQ(result.items()[0][0], 42u);
+}
+
+// ---------- MultiBfs (unit delay = k-source BFS) ---------------------------
+
+struct BfsCase {
+  bool directed;
+  int n, m, k;
+  std::uint64_t seed;
+};
+
+class MultiBfsExactness : public ::testing::TestWithParam<BfsCase> {};
+
+TEST_P(MultiBfsExactness, MatchesSequentialBfs) {
+  const BfsCase& c = GetParam();
+  support::Rng rng(c.seed);
+  Graph g = c.directed
+                ? graph::random_strongly_connected(c.n, c.m, WeightRange{1, 1}, rng)
+                : graph::random_connected(c.n, c.m, WeightRange{1, 1}, rng);
+  Network net(g, /*seed=*/c.seed + 100);
+  MultiBfsParams params;
+  for (int i = 0; i < c.k; ++i) params.sources.push_back((i * 7) % c.n);
+  std::sort(params.sources.begin(), params.sources.end());
+  params.sources.erase(std::unique(params.sources.begin(), params.sources.end()),
+                       params.sources.end());
+  MultiBfs bfs = run_multi_bfs(net, params);
+  for (std::size_t i = 0; i < params.sources.size(); ++i) {
+    auto ref = graph::seq::bfs_hops(g, params.sources[i]);
+    for (NodeId v = 0; v < c.n; ++v) {
+      EXPECT_EQ(bfs.dist(v, static_cast<int>(i)), ref[static_cast<std::size_t>(v)])
+          << "source " << params.sources[i] << " node " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MultiBfsExactness,
+    ::testing::Values(BfsCase{false, 40, 80, 1, 1}, BfsCase{false, 60, 150, 8, 2},
+                      BfsCase{false, 100, 200, 25, 3}, BfsCase{true, 40, 100, 1, 4},
+                      BfsCase{true, 60, 160, 8, 5}, BfsCase{true, 100, 260, 25, 6},
+                      BfsCase{false, 80, 100, 80, 7}, BfsCase{true, 50, 120, 50, 8}));
+
+TEST(MultiBfs, HopLimitMatchesReference) {
+  support::Rng rng(9);
+  Graph g = graph::random_strongly_connected(50, 120, WeightRange{1, 1}, rng);
+  Network net(g, /*seed=*/13);
+  const int h = 3;
+  MultiBfsParams params;
+  params.sources = {0, 5, 10};
+  params.tick_limit = h;
+  MultiBfs bfs = run_multi_bfs(net, params);
+  for (int i = 0; i < 3; ++i) {
+    auto ref = graph::seq::hop_limited_dist(graph::unweighted_shape(g),
+                                            params.sources[static_cast<std::size_t>(i)], h);
+    for (NodeId v = 0; v < 50; ++v) {
+      EXPECT_EQ(bfs.dist(v, i), ref[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(MultiBfs, ReverseComputesDistanceToSource) {
+  support::Rng rng(10);
+  Graph g = graph::random_strongly_connected(40, 100, WeightRange{1, 1}, rng);
+  Network net(g, /*seed=*/17);
+  MultiBfsParams params;
+  params.sources = {7};
+  params.reverse = true;
+  MultiBfs bfs = run_multi_bfs(net, params);
+  auto ref = graph::seq::bfs_hops(g.reversed(), 7);
+  for (NodeId v = 0; v < 40; ++v) {
+    EXPECT_EQ(bfs.dist(v, 0), ref[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(MultiBfs, ParentsFormShortestPathTree) {
+  support::Rng rng(11);
+  Graph g = graph::random_connected(60, 150, WeightRange{1, 1}, rng);
+  Network net(g, /*seed=*/19);
+  MultiBfsParams params;
+  params.sources = {0};
+  MultiBfs bfs = run_multi_bfs(net, params);
+  for (NodeId v = 1; v < 60; ++v) {
+    NodeId p = bfs.parent(v, 0);
+    ASSERT_NE(p, graph::kNoNode);
+    EXPECT_EQ(bfs.dist(v, 0), bfs.dist(p, 0) + 1);
+  }
+}
+
+TEST(MultiBfs, PipeliningRoundBound) {
+  // k-source BFS should cost O(h + k), not O(h * k).
+  support::Rng rng(12);
+  Graph g = graph::cycle_with_chords(128, 16, WeightRange{1, 1}, rng);
+  Network net(g, /*seed=*/23);
+  MultiBfsParams params;
+  for (NodeId v = 0; v < 32; ++v) params.sources.push_back(v * 4);
+  RunStats stats;
+  run_multi_bfs(net, params, &stats);
+  int diam = graph::seq::communication_diameter(g);
+  EXPECT_LE(stats.rounds,
+            static_cast<std::uint64_t>(8 * (diam + 32)));  // far below 32 * diam
+}
+
+TEST(MultiBfs, StartOffsetsDelayButStayExact) {
+  support::Rng rng(13);
+  Graph g = graph::random_connected(50, 120, WeightRange{1, 1}, rng);
+  Network net(g, /*seed=*/29);
+  MultiBfsParams params;
+  params.sources = {0, 10, 20};
+  params.start_offset = {5, 0, 17};
+  MultiBfs bfs = run_multi_bfs(net, params);
+  for (int i = 0; i < 3; ++i) {
+    auto ref = graph::seq::bfs_hops(g, params.sources[static_cast<std::size_t>(i)]);
+    for (NodeId v = 0; v < 50; ++v) EXPECT_EQ(bfs.dist(v, i), ref[static_cast<std::size_t>(v)]);
+  }
+}
+
+// ---------- MultiBfs (weight delay = stretched-graph BFS) ------------------
+
+TEST(MultiBfsWeighted, WeightDelayComputesWeightedDistances) {
+  support::Rng rng(14);
+  Graph g = graph::random_connected(40, 90, WeightRange{1, 7}, rng);
+  Network net(g, /*seed=*/31);
+  MultiBfsParams params;
+  params.sources = {0, 13};
+  params.mode = DelayMode::kWeightDelay;
+  MultiBfs bfs = run_multi_bfs(net, params);
+  for (int i = 0; i < 2; ++i) {
+    auto ref = graph::seq::dijkstra(g, params.sources[static_cast<std::size_t>(i)]);
+    for (NodeId v = 0; v < 40; ++v) EXPECT_EQ(bfs.dist(v, i), ref[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(MultiBfsWeighted, WeightDelayRoundsTrackWeightedDepth) {
+  // A path of heavy edges: distance 10*w ticks should cost ~that many rounds
+  // (the stretched-graph semantics of Corollary 4.1).
+  std::vector<Edge> edges;
+  for (int i = 0; i < 10; ++i) edges.push_back(Edge{i, i + 1, 6});
+  Graph g = Graph::undirected(11, edges);
+  Network net(g, /*seed=*/33);
+  MultiBfsParams params;
+  params.sources = {0};
+  params.mode = DelayMode::kWeightDelay;
+  RunStats stats;
+  MultiBfs bfs = run_multi_bfs(net, params, &stats);
+  EXPECT_EQ(bfs.dist(10, 0), 60);
+  EXPECT_GE(stats.rounds, 60u);
+  EXPECT_LE(stats.rounds, 70u);
+}
+
+TEST(MultiBfsWeighted, TickLimitRestrictsWeightedDistance) {
+  std::vector<Edge> edges{{0, 1, 4}, {1, 2, 4}, {0, 2, 10}};
+  Graph g = Graph::directed(3, edges);
+  Network net(g, /*seed=*/35);
+  MultiBfsParams params;
+  params.sources = {0};
+  params.mode = DelayMode::kWeightDelay;
+  params.tick_limit = 9;
+  MultiBfs bfs = run_multi_bfs(net, params);
+  EXPECT_EQ(bfs.dist(1, 0), 4);
+  EXPECT_EQ(bfs.dist(2, 0), 8);  // 4+4 within budget; direct arc (10) is not
+}
+
+TEST(MultiBfsWeighted, GraphOverrideUsesScaledWeights) {
+  support::Rng rng(15);
+  Graph g = graph::random_connected(30, 60, WeightRange{1, 9}, rng);
+  Graph doubled = graph::reweighted(g, [](graph::Weight w) { return 2 * w; });
+  Network net(g, /*seed=*/37);
+  MultiBfsParams params;
+  params.sources = {0};
+  params.mode = DelayMode::kWeightDelay;
+  params.graph_override = &doubled;
+  MultiBfs bfs = run_multi_bfs(net, params);
+  auto ref = graph::seq::dijkstra(g, 0);
+  for (NodeId v = 0; v < 30; ++v) {
+    EXPECT_EQ(bfs.dist(v, 0), 2 * ref[static_cast<std::size_t>(v)]);
+  }
+}
+
+// ---------- Exact SSSP (async Bellman-Ford) ---------------------------------
+
+TEST(ExactSssp, MatchesDijkstraDirectedWeighted) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    support::Rng rng(seed);
+    Graph g = graph::random_strongly_connected(40, 110, WeightRange{1, 20}, rng);
+    Network net(g, /*seed=*/seed + 41);
+    std::vector<NodeId> sources{0, 9, 21};
+    SsspResult result = exact_sssp(net, sources);
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      auto ref = graph::seq::dijkstra(g, sources[i]);
+      for (NodeId v = 0; v < 40; ++v) {
+        EXPECT_EQ(result.at(v, static_cast<int>(i)), ref[static_cast<std::size_t>(v)]);
+      }
+    }
+  }
+}
+
+TEST(ExactSssp, ReverseMatchesReversedDijkstra) {
+  support::Rng rng(16);
+  Graph g = graph::random_strongly_connected(35, 90, WeightRange{1, 15}, rng);
+  Network net(g, /*seed=*/43);
+  SsspResult result = exact_sssp(net, {4}, /*reverse=*/true);
+  auto ref = graph::seq::dijkstra(g.reversed(), 4);
+  for (NodeId v = 0; v < 35; ++v) {
+    EXPECT_EQ(result.at(v, 0), ref[static_cast<std::size_t>(v)]);
+  }
+}
+
+// ---------- Approximate hop-limited SSSP (scaling ladder) -------------------
+
+struct ApproxCase {
+  int n, m, k, h;
+  double eps;
+  std::uint64_t seed;
+  bool directed;
+};
+
+class ApproxHopSssp : public ::testing::TestWithParam<ApproxCase> {};
+
+TEST_P(ApproxHopSssp, SoundAndWithinOnePlusEps) {
+  const ApproxCase& c = GetParam();
+  support::Rng rng(c.seed);
+  Graph g = c.directed
+                ? graph::random_strongly_connected(c.n, c.m, WeightRange{1, 12}, rng)
+                : graph::random_connected(c.n, c.m, WeightRange{1, 12}, rng);
+  Network net(g, /*seed=*/c.seed + 51);
+  ApproxHopSsspParams params;
+  for (int i = 0; i < c.k; ++i) params.sources.push_back((i * 11) % c.n);
+  std::sort(params.sources.begin(), params.sources.end());
+  params.sources.erase(std::unique(params.sources.begin(), params.sources.end()),
+                       params.sources.end());
+  params.hop_limit = c.h;
+  params.epsilon = c.eps;
+  SsspResult result = approx_hop_sssp(net, params);
+  for (std::size_t i = 0; i < params.sources.size(); ++i) {
+    auto exact = graph::seq::dijkstra(g, params.sources[i]);
+    auto hop_ref = graph::seq::hop_limited_dist(g, params.sources[i], c.h);
+    for (NodeId v = 0; v < c.n; ++v) {
+      graph::Weight est = result.at(v, static_cast<int>(i));
+      // Soundness: estimate is the weight of a real path, so >= true dist.
+      if (est != graph::kInfWeight) {
+        EXPECT_GE(est, exact[static_cast<std::size_t>(v)]);
+      }
+      // Completeness: within (1+eps) of the h-hop-limited distance.
+      graph::Weight ref = hop_ref[static_cast<std::size_t>(v)];
+      if (ref != graph::kInfWeight) {
+        ASSERT_NE(est, graph::kInfWeight);
+        EXPECT_LE(static_cast<double>(est),
+                  (1.0 + c.eps) * static_cast<double>(ref) + 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ApproxHopSssp,
+    ::testing::Values(ApproxCase{40, 90, 3, 6, 0.5, 1, false},
+                      ApproxCase{40, 90, 3, 6, 0.25, 2, false},
+                      ApproxCase{60, 150, 6, 10, 0.5, 3, true},
+                      ApproxCase{60, 150, 6, 4, 1.0, 4, true},
+                      ApproxCase{30, 60, 30, 8, 0.5, 5, false}));
+
+// ---------- Source detection ------------------------------------------------
+
+TEST(SourceDetection, FindsSigmaNearestSources) {
+  support::Rng rng(18);
+  Graph g = graph::random_connected(60, 130, WeightRange{1, 1}, rng);
+  Network net(g, /*seed=*/61);
+  std::vector<NodeId> sources;
+  for (NodeId v = 0; v < 60; v += 4) sources.push_back(v);
+  const int sigma = 4, h = 5;
+  SourceDetectionResult result = source_detection(net, sources, sigma, h);
+
+  for (NodeId v = 0; v < 60; ++v) {
+    // Reference: all sources within h hops sorted by (dist, id), top sigma.
+    std::vector<std::pair<graph::Weight, NodeId>> ref;
+    for (NodeId s : sources) {
+      auto d = graph::seq::bfs_hops(g, s);
+      if (d[static_cast<std::size_t>(v)] <= h) {
+        ref.emplace_back(d[static_cast<std::size_t>(v)], s);
+      }
+    }
+    std::sort(ref.begin(), ref.end());
+    if (ref.size() > sigma) ref.resize(sigma);
+    const auto& got = result.detected[static_cast<std::size_t>(v)];
+    ASSERT_EQ(got.size(), ref.size()) << "node " << v;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(got[i].d, ref[i].first);
+      EXPECT_EQ(got[i].source, ref[i].second);
+    }
+  }
+}
+
+TEST(SourceDetection, RoundsLinearInSigmaPlusH) {
+  support::Rng rng(19);
+  Graph g = graph::cycle_with_chords(200, 40, WeightRange{1, 1}, rng);
+  Network net(g, /*seed=*/67);
+  std::vector<NodeId> sources;
+  for (NodeId v = 0; v < 200; ++v) sources.push_back(v);  // all nodes
+  const int sigma = 8, h = 14;
+  RunStats stats;
+  source_detection(net, sources, sigma, h, &stats);
+  // With 200 sources but sigma=8, rounds must stay near O(sigma + h),
+  // far below O(#sources).
+  EXPECT_LE(stats.rounds, static_cast<std::uint64_t>(12 * (sigma + h)));
+}
+
+// ---------- Neighbor exchange -----------------------------------------------
+
+TEST(NeighborExchange, DeliversPerNeighborPayloads) {
+  support::Rng rng(23);
+  Graph g = graph::random_connected(30, 70, WeightRange{1, 1}, rng);
+  Network net(g, /*seed=*/71);
+  NeighborExchangeResult result = neighbor_exchange(net, [](NodeId v, NodeId u) {
+    // Payload encodes both endpoints so mixups are detectable; length
+    // varies per sender.
+    std::vector<Word> words;
+    for (int i = 0; i <= v % 3; ++i) {
+      words.push_back(static_cast<Word>(v) * 1000 + static_cast<Word>(u));
+    }
+    return words;
+  });
+  for (NodeId v = 0; v < 30; ++v) {
+    for (NodeId u : net.comm_neighbors(v)) {
+      const auto& got = result.received(v, u);
+      ASSERT_EQ(got.size(), static_cast<std::size_t>(u % 3) + 1);
+      for (Word w : got) {
+        EXPECT_EQ(w, static_cast<Word>(u) * 1000 + static_cast<Word>(v));
+      }
+    }
+  }
+}
+
+TEST(NeighborExchange, RoundsEqualMaxListLength) {
+  support::Rng rng(29);
+  Graph g = graph::random_connected(40, 90, WeightRange{1, 1}, rng);
+  Network net(g, /*seed=*/73);
+  const int list_len = 25;
+  RunStats stats;
+  neighbor_exchange(
+      net,
+      [&](NodeId, NodeId) { return std::vector<Word>(list_len, 7); }, &stats);
+  // All links run in parallel: exactly list_len rounds.
+  EXPECT_EQ(stats.rounds, static_cast<std::uint64_t>(list_len));
+}
+
+TEST(NeighborExchange, EmptyPayloadsCostNothing) {
+  support::Rng rng(31);
+  Graph g = graph::random_connected(20, 40, WeightRange{1, 1}, rng);
+  Network net(g, /*seed=*/79);
+  RunStats stats;
+  NeighborExchangeResult result = neighbor_exchange(
+      net, [](NodeId, NodeId) { return std::vector<Word>{}; }, &stats);
+  EXPECT_EQ(stats.rounds, 0u);
+  EXPECT_TRUE(result.received(0, net.comm_neighbors(0)[0]).empty());
+}
+
+}  // namespace
+}  // namespace mwc::congest

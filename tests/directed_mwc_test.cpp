@@ -1,0 +1,195 @@
+// Theorem 1.2.C: 2-approximate directed unweighted MWC (Algorithms 2 + 3),
+// including the phase-overflow machinery, plus the hop/tick-limited mode of
+// Section 5.2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "congest/network.h"
+#include "graph/generators.h"
+#include "graph/sequential.h"
+#include "graph/transforms.h"
+#include "mwc/directed_mwc.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace mwc::cycle {
+namespace {
+
+using congest::Network;
+using graph::Graph;
+using graph::Weight;
+using graph::WeightRange;
+
+struct Case {
+  int family;  // 0 = random SC digraph, 1 = ring+shortcuts, 2 = bottleneck
+  int n;
+  std::uint64_t seed;
+};
+
+Graph make_graph(const Case& c) {
+  support::Rng rng(c.seed);
+  switch (c.family) {
+    case 0:
+      return graph::random_strongly_connected(c.n, 3 * c.n, WeightRange{1, 1}, rng);
+    case 1:
+      return graph::directed_cycle_with_shortcuts(c.n, c.n / 4, WeightRange{1, 1}, rng);
+    default:
+      return graph::bottleneck_digraph(c.n, std::max(2, c.n / 20), rng);
+  }
+}
+
+class DirectedMwc2Approx : public ::testing::TestWithParam<Case> {};
+
+TEST_P(DirectedMwc2Approx, SoundAndWithinFactorTwo) {
+  const Case& c = GetParam();
+  Graph g = make_graph(c);
+  Weight exact = graph::seq::mwc(g);
+  ASSERT_NE(exact, graph::kInfWeight);
+  Network net(g, /*seed=*/c.seed * 11 + 1);
+  MwcResult result = directed_mwc_2approx(net);
+  ASSERT_NE(result.value, graph::kInfWeight)
+      << "family=" << c.family << " n=" << c.n << " seed=" << c.seed;
+  EXPECT_GE(result.value, exact);  // sound: weight of a real cycle
+  EXPECT_LE(result.value, 2 * exact)
+      << "family=" << c.family << " n=" << c.n << " seed=" << c.seed
+      << " exact=" << exact;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DirectedMwc2Approx,
+    ::testing::Values(Case{0, 60, 1}, Case{0, 100, 2}, Case{0, 160, 3},
+                      Case{1, 64, 4}, Case{1, 128, 5}, Case{1, 200, 6},
+                      Case{2, 80, 7}, Case{2, 140, 8}, Case{2, 200, 9},
+                      Case{0, 120, 10}, Case{1, 96, 11}, Case{2, 100, 12}));
+
+TEST(DirectedMwc, ManySeeds) {
+  for (std::uint64_t seed = 30; seed < 50; ++seed) {
+    support::Rng rng(seed);
+    Graph g = graph::random_strongly_connected(90, 270, WeightRange{1, 1}, rng);
+    Weight exact = graph::seq::mwc(g);
+    Network net(g, seed);
+    MwcResult result = directed_mwc_2approx(net);
+    EXPECT_GE(result.value, exact) << "seed " << seed;
+    EXPECT_LE(result.value, 2 * exact) << "seed " << seed;
+  }
+}
+
+TEST(DirectedMwc, PlantedShortCycleIsTwoCovered) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    support::Rng rng(seed);
+    Weight planted = 0;
+    Graph g = graph::planted_mwc_directed(100, 260, 4, &planted, rng);
+    // Weighted planted graph: run on the unit-weight shape where the planted
+    // 4-cycle is still a shortest cycle? No - use the weighted graph's
+    // unweighted shape girth instead; simpler: check on unit-weight digraph.
+    Graph unit = graph::unweighted_shape(g);
+    Weight exact = graph::seq::mwc(unit);
+    Network net(unit, seed + 40);
+    MwcResult result = directed_mwc_2approx(net);
+    EXPECT_GE(result.value, exact) << "seed " << seed;
+    EXPECT_LE(result.value, 2 * exact) << "seed " << seed;
+  }
+}
+
+TEST(DirectedMwc, PureDirectedRingFoundExactly) {
+  // One long cycle: the sampled long-cycle machinery must find it exactly.
+  support::Rng rng(61);
+  Graph g = graph::directed_cycle_with_shortcuts(150, 0, WeightRange{1, 1}, rng);
+  Network net(g, 63);
+  MwcResult result = directed_mwc_2approx(net);
+  EXPECT_EQ(result.value, 150);
+}
+
+TEST(DirectedMwc, BottleneckGraphTripsOverflowHandling) {
+  // Hub-heavy digraph: hubs sit in nearly every P(v), so the restricted BFS
+  // must detect phase-overflow vertices; cycles remain 2-covered.
+  support::Rng rng(65);
+  Graph g = graph::bottleneck_digraph(240, 5, rng);
+  Weight exact = graph::seq::mwc(g);
+  Network net(g, 67);
+  DirectedMwcParams params;
+  MwcResult result = directed_mwc_2approx(net, params);
+  EXPECT_GE(result.value, exact);
+  EXPECT_LE(result.value, 2 * exact);
+  EXPECT_GT(result.overflow_count, 0) << "expected hubs to overflow";
+}
+
+TEST(DirectedMwc, OverflowAblationStaysCorrectButCongests) {
+  // With overflow handling disabled the answer stays sound/2-approx (the
+  // hubs just keep forwarding) but the restricted BFS pays more rounds.
+  support::Rng rng(69);
+  Graph g = graph::bottleneck_digraph(180, 4, rng);
+  Weight exact = graph::seq::mwc(g);
+
+  Network net_on(g, 71);
+  DirectedMwcParams on;
+  MwcResult with_handling = directed_mwc_2approx(net_on, on);
+
+  Network net_off(g, 71);
+  DirectedMwcParams off;
+  off.enable_overflow_handling = false;
+  MwcResult without_handling = directed_mwc_2approx(net_off, off);
+
+  EXPECT_LE(with_handling.value, 2 * exact);
+  EXPECT_GE(with_handling.value, exact);
+  EXPECT_LE(without_handling.value, 2 * exact);
+  EXPECT_GE(without_handling.value, exact);
+  EXPECT_EQ(without_handling.overflow_count, 0);
+}
+
+TEST(DirectedMwc, TickModeApproximatesWeightLimitedMwc) {
+  // Section 5.2 subroutine: 2-approx of the minimum weight among cycles of
+  // bounded total weight, run in stretched/tick mode on the graph itself.
+  for (std::uint64_t seed = 80; seed < 88; ++seed) {
+    support::Rng rng(seed);
+    Graph g = graph::random_strongly_connected(70, 210, WeightRange{1, 5}, rng);
+    const Weight budget = 30;
+    // Reference: min weight among cycles of weight <= budget (weights >= 1
+    // implies <= budget hops).
+    Weight hop_exact = graph::seq::hop_limited_mwc(g, static_cast<int>(budget));
+    if (hop_exact > budget) hop_exact = graph::kInfWeight;
+    Network net(g, seed);
+    DirectedMwcParams params;
+    params.tick_limit = budget;
+    params.graph_override = &g;
+    MwcResult result = directed_mwc_2approx(net, params);
+    if (hop_exact == graph::kInfWeight) continue;
+    ASSERT_NE(result.value, graph::kInfWeight) << "seed " << seed;
+    EXPECT_GE(result.value, graph::seq::mwc(g)) << "seed " << seed;
+    EXPECT_LE(result.value, 2 * hop_exact) << "seed " << seed;
+  }
+}
+
+TEST(DirectedMwc, WitnessIsARealCycleWhenProduced) {
+  int produced = 0;
+  for (std::uint64_t seed = 100; seed < 115; ++seed) {
+    support::Rng rng(seed);
+    Graph g = graph::random_strongly_connected(80, 240, WeightRange{1, 1}, rng);
+    Network net(g, seed);
+    MwcResult result = directed_mwc_2approx(net);
+    if (result.witness.empty()) continue;
+    ++produced;
+    testutil::expect_valid_cycle_at_most(g, result.witness, result.value);
+  }
+  // The short branch usually wins on these dense digraphs (mwc is 2-3), so
+  // witnesses should mostly be produced.
+  EXPECT_GE(produced, 8);
+}
+
+TEST(DirectedMwc, RoundBoundAtFixedSize) {
+  // O~(n^(4/5) + D) with the polylog spelled out, at n = 256.
+  support::Rng rng(90);
+  const int n = 256;
+  Graph g = graph::random_strongly_connected(n, 3 * n, WeightRange{1, 1}, rng);
+  Network net(g, 91);
+  MwcResult result = directed_mwc_2approx(net);
+  const double n45 = std::pow(static_cast<double>(n), 0.8);
+  const double log_n = std::log(static_cast<double>(n));
+  const int diam = graph::seq::communication_diameter(g);
+  EXPECT_LE(static_cast<double>(result.stats.rounds),
+            20.0 * (n45 * log_n * log_n + diam));
+}
+
+}  // namespace
+}  // namespace mwc::cycle

@@ -1,0 +1,151 @@
+// Exact MWC baselines vs the sequential edge-removal reference, across all
+// four graph classes of Table 1.
+#include <gtest/gtest.h>
+
+#include "congest/network.h"
+#include "graph/generators.h"
+#include "graph/sequential.h"
+#include "mwc/exact.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace mwc::cycle {
+namespace {
+
+using congest::Network;
+using graph::Graph;
+using graph::WeightRange;
+
+struct Case {
+  bool directed;
+  bool weighted;
+  int n, m;
+  std::uint64_t seed;
+};
+
+class ExactMwc : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ExactMwc, MatchesSequentialReference) {
+  const Case& c = GetParam();
+  support::Rng rng(c.seed);
+  WeightRange w = c.weighted ? WeightRange{1, 12} : WeightRange{1, 1};
+  Graph g = c.directed ? graph::random_strongly_connected(c.n, c.m, w, rng)
+                       : graph::random_connected(c.n, c.m, w, rng);
+  Network net(g, /*seed=*/c.seed * 31 + 5);
+  MwcResult result = exact_mwc(net);
+  EXPECT_EQ(result.value, graph::seq::mwc(g))
+      << "directed=" << c.directed << " weighted=" << c.weighted
+      << " n=" << c.n << " seed=" << c.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExactMwc,
+    ::testing::Values(
+        Case{false, false, 40, 80, 1}, Case{false, false, 80, 120, 2},
+        Case{false, false, 60, 200, 3}, Case{false, true, 40, 80, 4},
+        Case{false, true, 80, 160, 5}, Case{false, true, 60, 90, 6},
+        Case{true, false, 40, 100, 7}, Case{true, false, 80, 200, 8},
+        Case{true, false, 60, 300, 9}, Case{true, true, 40, 100, 10},
+        Case{true, true, 80, 240, 11}, Case{true, true, 60, 150, 12},
+        Case{false, true, 100, 150, 13}, Case{true, true, 100, 250, 14},
+        Case{false, false, 100, 150, 15}, Case{true, false, 100, 250, 16}));
+
+TEST(ExactMwc, PlantedCyclesFoundExactly) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    support::Rng rng(seed);
+    graph::Weight planted = 0;
+    Graph gu = graph::planted_mwc_undirected(60, 120, 9, &planted, rng);
+    Network nu(gu, seed + 1);
+    EXPECT_EQ(exact_mwc(nu).value, planted);
+
+    Graph gd = graph::planted_mwc_directed(60, 150, 6, &planted, rng);
+    Network nd(gd, seed + 2);
+    EXPECT_EQ(exact_mwc(nd).value, planted);
+  }
+}
+
+TEST(ExactMwc, AcyclicUndirectedReportsInfinity) {
+  // A tree has no cycle.
+  support::Rng rng(3);
+  Graph g = graph::random_connected(40, 39, WeightRange{1, 5}, rng);
+  Network net(g, 7);
+  EXPECT_EQ(exact_mwc(net).value, graph::kInfWeight);
+}
+
+TEST(ExactMwc, TriangleWithPendantTrap) {
+  // The degenerate-walk trap: naive closing around the pendant must not
+  // undercut the true MWC.
+  std::vector<graph::Edge> edges{{3, 0, 1}, {0, 1, 10}, {1, 2, 10}, {2, 0, 10}};
+  Graph g = Graph::undirected(4, edges);
+  Network net(g, 9);
+  EXPECT_EQ(exact_mwc(net).value, 30);
+}
+
+TEST(ExactMwc, DirectedTwoCycle) {
+  std::vector<graph::Edge> edges{{0, 1, 3}, {1, 0, 4}, {1, 2, 1}, {2, 0, 1}};
+  Graph g = Graph::directed(3, edges);
+  Network net(g, 11);
+  EXPECT_EQ(exact_mwc(net).value, 5);  // 0->1->2->0
+}
+
+TEST(ExactMwc, UnweightedRoundsLinearInN) {
+  // Holzer-Wattenhofer: n-source pipelined BFS APSP is O(n + D).
+  support::Rng rng(21);
+  Graph g = graph::cycle_with_chords(200, 30, WeightRange{1, 1}, rng);
+  Network net(g, 13);
+  MwcResult result = exact_mwc(net);
+  EXPECT_EQ(result.value, graph::seq::mwc(g));
+  EXPECT_LE(result.stats.rounds, 12u * 200u);
+}
+
+TEST(ExactMwc, WitnessIsAValidMinimumCycle) {
+  // The reconstructed cycle must be a real simple cycle whose weight equals
+  // the reported value, for all four graph classes.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    support::Rng rng(seed + 300);
+    Graph gu = graph::random_connected(40, 90, WeightRange{1, 9}, rng);
+    Network nu(gu, seed + 1);
+    MwcResult ru = exact_mwc(nu);
+    ASSERT_NE(ru.value, graph::kInfWeight);
+    testutil::expect_valid_cycle(gu, ru.witness, ru.value);
+
+    Graph gd = graph::random_strongly_connected(40, 110, WeightRange{1, 9}, rng);
+    Network nd(gd, seed + 2);
+    MwcResult rd = exact_mwc(nd);
+    ASSERT_NE(rd.value, graph::kInfWeight);
+    testutil::expect_valid_cycle(gd, rd.witness, rd.value);
+
+    Graph g1 = graph::random_connected(40, 90, WeightRange{1, 1}, rng);
+    Network n1(g1, seed + 3);
+    MwcResult r1 = exact_mwc(n1);
+    testutil::expect_valid_cycle(g1, r1.witness, r1.value);
+
+    Graph g2 = graph::random_strongly_connected(40, 110, WeightRange{1, 1}, rng);
+    Network n2(g2, seed + 4);
+    MwcResult r2 = exact_mwc(n2);
+    testutil::expect_valid_cycle(g2, r2.witness, r2.value);
+  }
+}
+
+TEST(ExactMwc, WitnessEmptyOnAcyclicGraph) {
+  support::Rng rng(5);
+  Graph g = graph::random_connected(30, 29, WeightRange{1, 5}, rng);  // tree
+  Network net(g, 6);
+  MwcResult result = exact_mwc(net);
+  EXPECT_EQ(result.value, graph::kInfWeight);
+  EXPECT_TRUE(result.witness.empty());
+}
+
+TEST(ExactMwc, TieHeavyWeightsStayExact) {
+  // Many equal weights force antipodal ties; the straddling-edge argument
+  // must hold regardless of how SPT parents broke them.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    support::Rng rng(seed + 100);
+    Graph g = graph::random_connected(50, 100, WeightRange{2, 3}, rng);
+    Network net(g, seed + 200);
+    EXPECT_EQ(exact_mwc(net).value, graph::seq::mwc(g)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace mwc::cycle

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "support/rng.h"
+
+namespace mwc::graph {
+namespace {
+
+Graph roundtrip(const Graph& g) {
+  std::stringstream ss;
+  save_graph(g, ss);
+  return load_graph(ss);
+}
+
+void expect_same(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.is_directed(), b.is_directed());
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (EdgeId i = 0; i < a.edge_count(); ++i) {
+    EXPECT_EQ(a.edge(i).from, b.edge(i).from);
+    EXPECT_EQ(a.edge(i).to, b.edge(i).to);
+    EXPECT_EQ(a.edge(i).w, b.edge(i).w);
+  }
+}
+
+TEST(GraphIo, RoundtripUndirectedWeighted) {
+  support::Rng rng(1);
+  Graph g = random_connected(30, 60, WeightRange{1, 9}, rng);
+  expect_same(g, roundtrip(g));
+}
+
+TEST(GraphIo, RoundtripDirected) {
+  support::Rng rng(2);
+  Graph g = random_strongly_connected(25, 70, WeightRange{1, 5}, rng);
+  expect_same(g, roundtrip(g));
+}
+
+TEST(GraphIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss(
+      "# a comment\n"
+      "\n"
+      "mwc-graph undirected 3 2\n"
+      "# edges follow\n"
+      "0 1 5\n"
+      "\n"
+      "1 2 3\n");
+  Graph g = load_graph(ss);
+  EXPECT_EQ(g.node_count(), 3);
+  EXPECT_EQ(g.edge_count(), 2);
+  EXPECT_EQ(g.out(0)[0].w, 5);
+}
+
+TEST(GraphIo, RejectsBadHeader) {
+  std::stringstream ss("not-a-graph directed 3 1\n0 1 1\n");
+  EXPECT_THROW((void)load_graph(ss), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsBadKind) {
+  std::stringstream ss("mwc-graph sideways 3 1\n0 1 1\n");
+  EXPECT_THROW((void)load_graph(ss), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsTruncatedEdgeList) {
+  std::stringstream ss("mwc-graph directed 3 2\n0 1 1\n");
+  EXPECT_THROW((void)load_graph(ss), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsOutOfRangeEndpoint) {
+  std::stringstream ss("mwc-graph directed 3 1\n0 7 1\n");
+  EXPECT_THROW((void)load_graph(ss), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsZeroWeight) {
+  std::stringstream ss("mwc-graph directed 3 1\n0 1 0\n");
+  EXPECT_THROW((void)load_graph(ss), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsSelfLoopAndDuplicate) {
+  std::stringstream loop("mwc-graph directed 3 1\n1 1 1\n");
+  EXPECT_THROW((void)load_graph(loop), std::runtime_error);
+  std::stringstream dup("mwc-graph undirected 3 2\n0 1 1\n1 0 2\n");
+  EXPECT_THROW((void)load_graph(dup), std::runtime_error);
+}
+
+TEST(GraphIo, AntiparallelDirectedArcsAccepted) {
+  std::stringstream ss("mwc-graph directed 2 2\n0 1 1\n1 0 2\n");
+  Graph g = load_graph(ss);
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_TRUE(g.has_arc(1, 0));
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_graph_file("/nonexistent/path.graph"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mwc::graph

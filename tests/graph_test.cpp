@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/sequential.h"
+#include "graph/transforms.h"
+#include "support/rng.h"
+
+namespace mwc::graph {
+namespace {
+
+TEST(Graph, DirectedAdjacency) {
+  std::vector<Edge> edges{{0, 1, 5}, {1, 2, 3}, {2, 0, 2}, {0, 2, 7}};
+  Graph g = Graph::directed(3, edges);
+  EXPECT_TRUE(g.is_directed());
+  EXPECT_EQ(g.node_count(), 3);
+  EXPECT_EQ(g.edge_count(), 4);
+  ASSERT_EQ(g.out(0).size(), 2u);
+  EXPECT_EQ(g.out(0)[0].to, 1);
+  EXPECT_EQ(g.out(0)[1].to, 2);
+  EXPECT_EQ(g.out(0)[1].w, 7);
+  ASSERT_EQ(g.in(0).size(), 1u);
+  EXPECT_EQ(g.in(0)[0].to, 2);  // in-arc from 2
+  EXPECT_EQ(g.in(0)[0].w, 2);
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_FALSE(g.has_arc(1, 0));
+}
+
+TEST(Graph, UndirectedAdjacencySymmetric) {
+  std::vector<Edge> edges{{0, 1, 5}, {1, 2, 3}};
+  Graph g = Graph::undirected(3, edges);
+  EXPECT_FALSE(g.is_directed());
+  EXPECT_EQ(g.edge_count(), 2);
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_TRUE(g.has_arc(1, 0));
+  ASSERT_EQ(g.out(1).size(), 2u);
+  // Shared edge ids between the two arcs of an undirected edge.
+  EXPECT_EQ(g.out(0)[0].edge, g.out(1)[0].edge);
+}
+
+TEST(Graph, AntiparallelArcsAllowedInDirected) {
+  std::vector<Edge> edges{{0, 1, 5}, {1, 0, 3}};
+  Graph g = Graph::directed(2, edges);
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_TRUE(g.has_arc(1, 0));
+}
+
+TEST(GraphDeath, RejectsSelfLoop) {
+  std::vector<Edge> edges{{0, 0, 1}};
+  EXPECT_DEATH((void)Graph::directed(2, edges), "self loops");
+}
+
+TEST(GraphDeath, RejectsParallelArcs) {
+  std::vector<Edge> edges{{0, 1, 1}, {0, 1, 2}};
+  EXPECT_DEATH((void)Graph::directed(2, edges), "parallel");
+}
+
+TEST(GraphDeath, RejectsDuplicateUndirectedEdge) {
+  std::vector<Edge> edges{{0, 1, 1}, {1, 0, 2}};
+  EXPECT_DEATH((void)Graph::undirected(2, edges), "parallel");
+}
+
+TEST(GraphDeath, RejectsZeroWeight) {
+  std::vector<Edge> edges{{0, 1, 0}};
+  EXPECT_DEATH((void)Graph::directed(2, edges), "weights");
+}
+
+TEST(Graph, ReversedSwapsArcs) {
+  std::vector<Edge> edges{{0, 1, 5}, {1, 2, 3}};
+  Graph g = Graph::directed(3, edges).reversed();
+  EXPECT_TRUE(g.has_arc(1, 0));
+  EXPECT_TRUE(g.has_arc(2, 1));
+  EXPECT_FALSE(g.has_arc(0, 1));
+  EXPECT_EQ(g.out(1)[0].w, 5);
+}
+
+TEST(Graph, CommunicationTopologyMergesAntiparallel) {
+  std::vector<Edge> edges{{0, 1, 5}, {1, 0, 3}, {1, 2, 7}};
+  Graph topo = Graph::directed(3, edges).communication_topology();
+  EXPECT_FALSE(topo.is_directed());
+  EXPECT_EQ(topo.edge_count(), 2);
+  EXPECT_TRUE(topo.is_unit_weight());
+}
+
+TEST(Generators, RandomConnectedIsConnectedAcrossSeeds) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    support::Rng rng(seed);
+    Graph g = random_connected(50, 120, WeightRange{1, 10}, rng);
+    EXPECT_EQ(g.node_count(), 50);
+    EXPECT_EQ(g.edge_count(), 120);
+    EXPECT_TRUE(seq::is_connected_topology(g));
+    EXPECT_GE(g.max_weight(), 1);
+    EXPECT_LE(g.max_weight(), 10);
+  }
+}
+
+TEST(Generators, CycleWithChordsHasHamiltonianCycle) {
+  support::Rng rng(3);
+  Graph g = cycle_with_chords(20, 5, WeightRange{1, 1}, rng);
+  EXPECT_EQ(g.edge_count(), 25);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(g.has_arc(i, (i + 1) % 20));
+  }
+}
+
+TEST(Generators, GridGirthIsFour) {
+  support::Rng rng(4);
+  Graph g = grid(5, 6, /*torus=*/false, WeightRange{1, 1}, rng);
+  EXPECT_EQ(g.node_count(), 30);
+  EXPECT_EQ(seq::girth(g), 4);
+}
+
+TEST(Generators, RandomRegularConnectedAndRoughDegree) {
+  support::Rng rng(5);
+  Graph g = random_regular(40, 4, WeightRange{1, 1}, rng);
+  EXPECT_TRUE(seq::is_connected_topology(g));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_GE(g.out_degree(v), 2);
+    EXPECT_LE(g.out_degree(v), 4);
+  }
+}
+
+TEST(Generators, BarbellShape) {
+  support::Rng rng(40);
+  Graph g = graph::barbell(6, 4, WeightRange{1, 3}, rng);
+  EXPECT_EQ(g.node_count(), 16);
+  EXPECT_TRUE(seq::is_connected_topology(g));
+  // Clique edges: 2 * C(6,2) = 30; bridge: 5.
+  EXPECT_EQ(g.edge_count(), 35);
+  // Diameter dominated by the bridge.
+  EXPECT_GE(seq::communication_diameter(g), 5);
+  EXPECT_EQ(seq::girth(g), 3);
+}
+
+TEST(Generators, ExpanderWithPlantedCycleIsExactAndShallow) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    support::Rng rng(seed);
+    Weight planted = 0;
+    Graph g = graph::expander_with_planted_cycle(100, 8, &planted, rng);
+    EXPECT_EQ(planted, 8);
+    EXPECT_TRUE(seq::is_connected_topology(g));
+    EXPECT_EQ(seq::mwc(g), 8) << "seed " << seed;
+    EXPECT_LE(seq::communication_diameter(g), 14) << "seed " << seed;
+  }
+}
+
+TEST(Generators, PlantedMwcUndirectedIsExact) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    support::Rng rng(seed);
+    Weight planted = 0;
+    Graph g = planted_mwc_undirected(40, 80, 7, &planted, rng);
+    EXPECT_EQ(planted, 7);
+    EXPECT_EQ(seq::mwc(g), 7);
+  }
+}
+
+TEST(Generators, PlantedMwcDirectedIsExact) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    support::Rng rng(seed);
+    Weight planted = 0;
+    Graph g = planted_mwc_directed(40, 90, 5, &planted, rng);
+    EXPECT_EQ(planted, 5);
+    EXPECT_TRUE(seq::is_strongly_connected(g));
+    EXPECT_EQ(seq::mwc(g), 5);
+  }
+}
+
+TEST(Generators, StronglyConnectedDigraph) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    support::Rng rng(seed);
+    Graph g = random_strongly_connected(30, 70, WeightRange{1, 5}, rng);
+    EXPECT_TRUE(seq::is_strongly_connected(g));
+    EXPECT_EQ(g.edge_count(), 70);
+  }
+}
+
+TEST(Generators, DirectedCycleWithShortcuts) {
+  support::Rng rng(6);
+  Graph g = directed_cycle_with_shortcuts(16, 4, WeightRange{1, 1}, rng);
+  EXPECT_TRUE(seq::is_strongly_connected(g));
+  EXPECT_EQ(g.edge_count(), 20);
+}
+
+TEST(Generators, BottleneckDigraphStronglyConnected) {
+  support::Rng rng(7);
+  Graph g = bottleneck_digraph(60, 4, rng);
+  EXPECT_TRUE(seq::is_strongly_connected(g));
+}
+
+TEST(Transforms, ReweightedAppliesFunction) {
+  std::vector<Edge> edges{{0, 1, 5}, {1, 2, 3}};
+  Graph g = Graph::undirected(3, edges);
+  Graph doubled = reweighted(g, [](Weight w) { return 2 * w; });
+  EXPECT_EQ(doubled.out(0)[0].w, 10);
+  Graph unit = unweighted_shape(g);
+  EXPECT_TRUE(unit.is_unit_weight());
+}
+
+TEST(Transforms, ScaledWeightMatchesFormula) {
+  // ceil(2*h*w / (eps*2^i)) for h=10, eps=0.5, i=2: ceil(20w/2) = 10w.
+  EXPECT_EQ(scaled_weight(1, 10, 0.5, 2), 10);
+  EXPECT_EQ(scaled_weight(3, 10, 0.5, 2), 30);
+  // Large level: scales down; never below 1.
+  EXPECT_EQ(scaled_weight(1, 10, 0.5, 20), 1);
+}
+
+TEST(Transforms, InducedSubgraphKeepsEdges) {
+  std::vector<Edge> edges{{0, 1, 5}, {1, 2, 3}, {2, 3, 2}, {3, 0, 4}};
+  Graph g = Graph::undirected(4, edges);
+  Graph sub = induced_subgraph(g, {1, 2, 3});
+  EXPECT_EQ(sub.node_count(), 3);
+  EXPECT_EQ(sub.edge_count(), 2);  // {1,2} and {2,3} survive
+  EXPECT_TRUE(sub.has_arc(0, 1));  // relabelled 1->0, 2->1
+}
+
+}  // namespace
+}  // namespace mwc::graph

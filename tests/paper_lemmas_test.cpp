@@ -1,0 +1,255 @@
+// Direct property tests of the structural lemmas the algorithms rest on,
+// evaluated with exact sequential distances so failures localize the math
+// rather than the protocol plumbing.
+//
+//  * Fact 1 (Lemma 5.1 of [13]): the inequality that lets R(v) stand in for
+//    eliminated neighborhood vertices with factor 2;
+//  * Lemma 3.2: P(v) is connected inside v's shortest-path out-tree, so a
+//    BFS restricted to P(v) reaches all of it;
+//  * the P(v) size-reduction effect of the greedy R(v) construction;
+//  * the scaling lemma of [41] / Section 5.1: an h-hop path survives with
+//    (1+eps) distortion at ladder level ceil(log2 w(P));
+//  * the straddling-edge argument behind the exact undirected baseline:
+//    min over roots and non-tree edges of d(w,x)+d(w,y)+wt equals the MWC.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/sequential.h"
+#include "graph/transforms.h"
+#include "support/math_util.h"
+#include "support/rng.h"
+
+namespace mwc::graph {
+namespace {
+
+// Minimum weight of a directed cycle through both a and b: d(a,b) + d(b,a).
+Weight cycle_through(const std::vector<std::vector<Weight>>& d, NodeId a, NodeId b) {
+  if (d[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] == kInfWeight ||
+      d[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)] == kInfWeight) {
+    return kInfWeight;
+  }
+  return d[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] +
+         d[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)];
+}
+
+TEST(Fact1, HoldsOnRandomDigraphs) {
+  // For all v, y, t: if d(y,t) + 2 d(v,y) >= d(t,y) + 2 d(v,t), then a
+  // minimum cycle through t and v weighs at most twice the minimum cycle
+  // through v and y.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    support::Rng rng(seed);
+    Graph g = random_strongly_connected(24, 70, WeightRange{1, 9}, rng);
+    auto d = seq::apsp(g);
+    const int n = g.node_count();
+    for (NodeId v = 0; v < n; ++v) {
+      for (NodeId y = 0; y < n; ++y) {
+        if (y == v) continue;
+        const Weight c_vy = cycle_through(d, v, y);
+        if (c_vy == kInfWeight) continue;
+        for (NodeId t = 0; t < n; ++t) {
+          if (t == v || t == y) continue;
+          const auto dv = [&](NodeId a, NodeId b) {
+            return d[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+          };
+          if (dv(y, t) == kInfWeight || dv(t, y) == kInfWeight) continue;
+          if (dv(y, t) + 2 * dv(v, y) >= dv(t, y) + 2 * dv(v, t)) {
+            const Weight c_tv = cycle_through(d, v, t);
+            ASSERT_NE(c_tv, kInfWeight);
+            EXPECT_LE(c_tv, 2 * c_vy)
+                << "seed=" << seed << " v=" << v << " y=" << y << " t=" << t;
+          }
+        }
+      }
+    }
+  }
+}
+
+// P(v) from Definition 3.1 with exact distances and an arbitrary R(v).
+std::vector<bool> neighborhood_p(const std::vector<std::vector<Weight>>& d,
+                                 NodeId v, const std::vector<NodeId>& r) {
+  const int n = static_cast<int>(d.size());
+  std::vector<bool> in_p(static_cast<std::size_t>(n), false);
+  for (NodeId y = 0; y < n; ++y) {
+    bool ok = true;
+    for (NodeId t : r) {
+      const Weight lhs = d[static_cast<std::size_t>(y)][static_cast<std::size_t>(t)] +
+                         2 * d[static_cast<std::size_t>(v)][static_cast<std::size_t>(y)];
+      const Weight rhs = d[static_cast<std::size_t>(t)][static_cast<std::size_t>(y)] +
+                         2 * d[static_cast<std::size_t>(v)][static_cast<std::size_t>(t)];
+      if (lhs > rhs) {
+        ok = false;
+        break;
+      }
+    }
+    in_p[static_cast<std::size_t>(y)] = ok;
+  }
+  return in_p;
+}
+
+TEST(Lemma32, NeighborhoodConnectedInShortestPathTree) {
+  // Every vertex on any shortest v->y path is itself in P(v) when y is.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    support::Rng rng(seed + 50);
+    Graph g = random_strongly_connected(22, 60, WeightRange{1, 7}, rng);
+    auto d = seq::apsp(g);
+    const int n = g.node_count();
+    support::Rng pick(seed + 99);
+    for (int trial = 0; trial < 4; ++trial) {
+      const auto v = static_cast<NodeId>(pick.next_below(static_cast<std::uint64_t>(n)));
+      std::vector<NodeId> r;
+      for (int i = 0; i < 3; ++i) {
+        r.push_back(static_cast<NodeId>(pick.next_below(static_cast<std::uint64_t>(n))));
+      }
+      auto in_p = neighborhood_p(d, v, r);
+      for (NodeId y = 0; y < n; ++y) {
+        if (!in_p[static_cast<std::size_t>(y)]) continue;
+        if (d[static_cast<std::size_t>(v)][static_cast<std::size_t>(y)] == kInfWeight) continue;
+        for (NodeId z = 0; z < n; ++z) {
+          const Weight vz = d[static_cast<std::size_t>(v)][static_cast<std::size_t>(z)];
+          const Weight zy = d[static_cast<std::size_t>(z)][static_cast<std::size_t>(y)];
+          if (vz == kInfWeight || zy == kInfWeight) continue;
+          if (vz + zy ==
+              d[static_cast<std::size_t>(v)][static_cast<std::size_t>(y)]) {
+            EXPECT_TRUE(in_p[static_cast<std::size_t>(z)])
+                << "seed=" << seed << " v=" << v << " y=" << y << " z=" << z;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GreedyR, ShrinksNeighborhoodOnAverage) {
+  // The lines 3-8 construction: each greedy pick roughly halves the
+  // uncovered set. We check the qualitative effect: with a greedy R built
+  // from Theta(log n) groups of random samples, |P(v)| is much smaller than
+  // with R = {} (which gives P(v) = V).
+  support::Rng rng(7);
+  Graph g = random_strongly_connected(80, 400, WeightRange{1, 5}, rng);
+  auto d = seq::apsp(g);
+  const int n = g.node_count();
+  support::Rng pick(8);
+  // Sample S and group it.
+  std::vector<NodeId> samples;
+  for (NodeId u = 0; u < n; ++u) {
+    if (pick.next_bool(0.35)) samples.push_back(u);
+  }
+  const int beta = support::ceil_log2(static_cast<std::uint64_t>(n));
+  double total_p = 0;
+  int measured = 0;
+  for (NodeId v = 0; v < n; v += 7) {
+    std::vector<NodeId> r;
+    for (int gi = 0; gi < beta; ++gi) {
+      // Group gi = samples congruent to gi mod beta.
+      std::vector<NodeId> t_set;
+      for (std::size_t idx = gi; idx < samples.size();
+           idx += static_cast<std::size_t>(beta)) {
+        NodeId s = samples[idx];
+        bool ok = true;
+        for (NodeId t : r) {
+          const Weight lhs = d[static_cast<std::size_t>(s)][static_cast<std::size_t>(t)] +
+                             2 * d[static_cast<std::size_t>(v)][static_cast<std::size_t>(s)];
+          const Weight rhs = d[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)] +
+                             2 * d[static_cast<std::size_t>(v)][static_cast<std::size_t>(t)];
+          if (lhs > rhs) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) t_set.push_back(s);
+      }
+      if (!t_set.empty()) {
+        r.push_back(t_set[pick.next_below(t_set.size())]);
+      }
+    }
+    auto in_p = neighborhood_p(d, v, r);
+    total_p += static_cast<double>(std::count(in_p.begin(), in_p.end(), true));
+    ++measured;
+  }
+  const double avg_p = total_p / measured;
+  // With |S| ~ 0.35 n the theory bound is ~ n/|S| * polylog ~ small; assert
+  // the qualitative effect with slack.
+  EXPECT_LT(avg_p, 0.35 * n) << "greedy R failed to shrink P(v)";
+}
+
+TEST(ScalingLemma, PathSurvivesAtItsLevel) {
+  // For an h-hop path P with weight w(P), at level i = ceil(log2 w(P)) the
+  // scaled weight is at most h* = (1 + 2/eps) h, and unscaling any scaled
+  // value <= scaled(P) stays within (1 + eps) w(P).
+  support::Rng rng(21);
+  const int h = 12;
+  for (double eps : {0.5, 0.25}) {
+    const auto h_star = static_cast<Weight>(
+        std::ceil((1.0 + 2.0 / eps) * static_cast<double>(h)));
+    for (int trial = 0; trial < 200; ++trial) {
+      // A random "path": h edge weights.
+      const int hops = 1 + static_cast<int>(rng.next_below(h));
+      Weight w_path = 0;
+      std::vector<Weight> edges;
+      for (int i = 0; i < hops; ++i) {
+        edges.push_back(rng.next_in(1, 50));
+        w_path += edges.back();
+      }
+      const int level = support::ceil_log2(static_cast<std::uint64_t>(w_path));
+      Weight scaled = 0;
+      for (Weight w : edges) scaled += scaled_weight(w, h, eps, level);
+      EXPECT_LE(scaled, h_star) << "w(P)=" << w_path << " level=" << level;
+      const double unscale = eps * std::ldexp(1.0, level) / (2.0 * h);
+      const double back = static_cast<double>(scaled) * unscale;
+      EXPECT_GE(back + 1e-9, static_cast<double>(w_path));  // sound
+      EXPECT_LE(back, (1.0 + eps) * static_cast<double>(w_path) + 1e-9);
+    }
+  }
+}
+
+TEST(StraddlingEdge, NonTreeCandidatesHitTheMwcExactly) {
+  // Dijkstra with explicit parents; min over roots w and non-tree edges
+  // (x,y) of d(w,x) + d(w,y) + wt(x,y) must equal the MWC (both bounds).
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    support::Rng rng(seed + 200);
+    Graph g = random_connected(30, 70, WeightRange{1, 9}, rng);
+    const Weight mwc = seq::mwc(g);
+    const int n = g.node_count();
+    Weight best = kInfWeight;
+    for (NodeId w = 0; w < n; ++w) {
+      // Dijkstra with parents.
+      std::vector<Weight> dist(static_cast<std::size_t>(n), kInfWeight);
+      std::vector<NodeId> parent(static_cast<std::size_t>(n), kNoNode);
+      using Item = std::pair<Weight, NodeId>;
+      std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+      dist[static_cast<std::size_t>(w)] = 0;
+      pq.emplace(0, w);
+      while (!pq.empty()) {
+        auto [dd, u] = pq.top();
+        pq.pop();
+        if (dd != dist[static_cast<std::size_t>(u)]) continue;
+        for (const Arc& a : g.out(u)) {
+          if (dd + a.w < dist[static_cast<std::size_t>(a.to)]) {
+            dist[static_cast<std::size_t>(a.to)] = dd + a.w;
+            parent[static_cast<std::size_t>(a.to)] = u;
+            pq.emplace(dd + a.w, a.to);
+          }
+        }
+      }
+      for (const Edge& e : g.edges()) {
+        if (parent[static_cast<std::size_t>(e.from)] == e.to ||
+            parent[static_cast<std::size_t>(e.to)] == e.from) {
+          continue;  // tree edge
+        }
+        const Weight dx = dist[static_cast<std::size_t>(e.from)];
+        const Weight dy = dist[static_cast<std::size_t>(e.to)];
+        if (dx == kInfWeight || dy == kInfWeight) continue;
+        best = std::min(best, dx + dy + e.w);
+      }
+    }
+    EXPECT_EQ(best, mwc) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace mwc::graph

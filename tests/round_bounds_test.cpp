@@ -1,0 +1,142 @@
+// Consolidated round-budget regression tests: every Table-1 algorithm at a
+// fixed size against its theory bound with the polylog factors spelled out.
+// These guard the round *complexity* (not just correctness) against
+// regressions - e.g. a broken pipeline priority or a lost hop cap would
+// blow these budgets long before the exactness tests notice.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "congest/network.h"
+#include "graph/generators.h"
+#include "graph/sequential.h"
+#include "ksssp/skeleton_sssp.h"
+#include "mwc/exact.h"
+#include "mwc/girth_prt.h"
+#include "mwc/weighted_mwc.h"
+#include "support/rng.h"
+
+namespace mwc::cycle {
+namespace {
+
+using congest::Network;
+using graph::Graph;
+using graph::WeightRange;
+
+double log_n(int n) { return std::log(static_cast<double>(n)); }
+
+TEST(RoundBounds, ExactMwcWeightedNearLinear) {
+  // The async Bellman-Ford APSP substitute must stay near-linear on random
+  // weighted graphs (DESIGN.md substitution 2).
+  const int n = 300;
+  support::Rng rng(1);
+  Graph g = graph::random_connected(n, 2 * n, WeightRange{1, 12}, rng);
+  Network net(g, 2);
+  MwcResult result = exact_mwc(net);
+  EXPECT_LE(result.stats.rounds, static_cast<std::uint64_t>(8 * n));
+}
+
+TEST(RoundBounds, UndirectedWeightedApproxBudget) {
+  // Theorem 1.4.C: O~(n^(2/3) + D); the O~ holds log(hW) ladder levels and
+  // the (1 + 2/eps) tick budget.
+  const int n = 256;
+  const double eps_half = 0.25;  // epsilon = 0.5 halved internally
+  support::Rng rng(3);
+  Graph g = graph::random_connected(n, 2 * n, WeightRange{1, 12}, rng);
+  const int diam = graph::seq::communication_diameter(g);
+  Network net(g, 4);
+  MwcResult result = undirected_weighted_mwc(net);
+  const double h = std::pow(n, 2.0 / 3.0);
+  const double levels = std::log2(h * 12) + 1;
+  const double budget =
+      3.0 * levels * ((1.0 + 2.0 / eps_half) * h + 3 * std::sqrt(n) * log_n(n)) +
+      20.0 * (std::sqrt(n) * log_n(n) + diam);
+  EXPECT_LE(static_cast<double>(result.stats.rounds), budget);
+}
+
+TEST(RoundBounds, DirectedWeightedApproxBudget) {
+  // Theorem 1.2.D: O~(n^(4/5) + D) with the same ladder bookkeeping.
+  const int n = 128;
+  const double eps_half = 0.25;
+  support::Rng rng(5);
+  Graph g = graph::random_strongly_connected(n, 3 * n, WeightRange{1, 10}, rng);
+  const int diam = graph::seq::communication_diameter(g);
+  Network net(g, 6);
+  MwcResult result = directed_weighted_mwc(net);
+  const double h = std::pow(n, 0.6);
+  const double n45 = std::pow(n, 0.8);
+  const double levels = std::log2(h * 10) + 1;
+  const double budget =
+      6.0 * levels * (n45 * log_n(n) + (1.0 + 2.0 / eps_half) * h) +
+      20.0 * (n45 * log_n(n) * log_n(n) + diam);
+  EXPECT_LE(static_cast<double>(result.stats.rounds), budget);
+}
+
+TEST(RoundBounds, GirthPrtSqrtNgBudget) {
+  // [44]: O~(sqrt(n g) + D) - on a girth-3 instance the doubling stops at
+  // the first phase, so sqrt(4 n) with polylog slack.
+  const int n = 400;
+  support::Rng rng(7);
+  Graph g = graph::random_connected(n, 4 * n, WeightRange{1, 1}, rng);
+  ASSERT_LE(graph::seq::girth(g), 4);
+  const int diam = graph::seq::communication_diameter(g);
+  Network net(g, 8);
+  MwcResult result = girth_prt(net);
+  EXPECT_LE(static_cast<double>(result.stats.rounds),
+            12.0 * (std::sqrt(4.0 * n) * log_n(n) + diam));
+}
+
+TEST(RoundBounds, SkeletonSsspSqrtNkBudget) {
+  // Theorem 1.6.B at k = n^(1/3): O~(n^(2/3) + D) with ladder levels.
+  const int n = 512;
+  support::Rng rng(9);
+  Graph g = graph::random_strongly_connected(n, 3 * n, WeightRange{1, 16}, rng);
+  const int diam = graph::seq::communication_diameter(g);
+  ksssp::SkeletonSsspParams params;
+  for (int i = 0; i < 8; ++i) params.sources.push_back(i * 37 % n);
+  std::sort(params.sources.begin(), params.sources.end());
+  params.sources.erase(
+      std::unique(params.sources.begin(), params.sources.end()),
+      params.sources.end());
+  params.epsilon = 0.25;
+  Network net(g, 10);
+  ksssp::KSsspResult result = skeleton_k_source_sssp(net, params);
+  const double h = std::sqrt(512.0 * 8.0);
+  const double levels = std::log2(h * 16) + 1;
+  const double s_size = 2.0 * log_n(n) * n / h;
+  const double budget = 3.0 * levels * (1.0 + 2.0 / 0.25) * h +
+                        4.0 * (s_size * s_size + 8 * s_size) + 20.0 * diam;
+  EXPECT_LE(static_cast<double>(result.stats.rounds), budget);
+}
+
+TEST(RoundBounds, TinyGraphsDegradeGracefully) {
+  // n = 2..4: every algorithm terminates and is correct on minimal inputs.
+  {
+    std::vector<graph::Edge> edges{{0, 1, 3}, {1, 0, 4}};
+    Graph g = Graph::directed(2, edges);
+    Network net(g, 1);
+    EXPECT_EQ(exact_mwc(net).value, 7);
+  }
+  {
+    std::vector<graph::Edge> edges{{0, 1, 2}, {1, 2, 2}, {2, 0, 2}};
+    Graph g = Graph::undirected(3, edges);
+    Network net(g, 1);
+    MwcResult exact = exact_mwc(net);
+    EXPECT_EQ(exact.value, 6);
+    EXPECT_EQ(exact.witness.size(), 3u);
+    Network net2(g, 1);
+    MwcResult approx = undirected_weighted_mwc(net2);
+    EXPECT_GE(approx.value, 6);
+    EXPECT_LE(approx.value, 15);
+  }
+  {
+    // Two isolated-but-linked nodes, no cycle at all.
+    std::vector<graph::Edge> edges{{0, 1, 5}};
+    Graph g = Graph::undirected(2, edges);
+    Network net(g, 1);
+    EXPECT_EQ(exact_mwc(net).value, graph::kInfWeight);
+  }
+}
+
+}  // namespace
+}  // namespace mwc::cycle

@@ -1,0 +1,133 @@
+// Adversarial-schedule fuzzing: CONGEST fixes which *round* a message
+// arrives, not its position in the inbox or the order nodes step within a
+// round. Correct protocols must produce identical results under randomized
+// within-round schedules. These tests rerun the main algorithms with
+// NetworkConfig::shuffle_deliveries across seeds and demand unchanged
+// (or still-guaranteed) outputs.
+#include <gtest/gtest.h>
+
+#include "congest/multi_bfs.h"
+#include "congest/network.h"
+#include "graph/generators.h"
+#include "graph/sequential.h"
+#include "mwc/api.h"
+#include "mwc/exact.h"
+#include "support/rng.h"
+
+namespace mwc::cycle {
+namespace {
+
+using congest::Network;
+using congest::NetworkConfig;
+using graph::Graph;
+using graph::NodeId;
+using graph::Weight;
+using graph::WeightRange;
+
+NetworkConfig shuffled() {
+  NetworkConfig cfg;
+  cfg.shuffle_deliveries = true;
+  return cfg;
+}
+
+TEST(ScheduleFuzz, MultiBfsExactUnderAnySchedule) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    support::Rng rng(seed);
+    Graph g = graph::random_strongly_connected(70, 200, WeightRange{1, 1}, rng);
+    Network net(g, seed + 5, shuffled());
+    congest::MultiBfsParams params;
+    params.sources = {0, 7, 21};
+    congest::MultiBfs bfs = run_multi_bfs(net, params);
+    for (int i = 0; i < 3; ++i) {
+      auto ref = graph::seq::bfs_hops(g, params.sources[static_cast<std::size_t>(i)]);
+      for (NodeId v = 0; v < 70; ++v) {
+        ASSERT_EQ(bfs.dist(v, i), ref[static_cast<std::size_t>(v)])
+            << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(ScheduleFuzz, ExactMwcInvariantToSchedule) {
+  for (std::uint64_t seed = 10; seed < 16; ++seed) {
+    support::Rng rng(seed);
+    Graph g = graph::random_connected(50, 110, WeightRange{1, 9}, rng);
+    Weight ref = graph::seq::mwc(g);
+    Network plain(g, 3);
+    Network fuzzed(g, 3, shuffled());
+    EXPECT_EQ(exact_mwc(plain).value, ref) << "seed " << seed;
+    EXPECT_EQ(exact_mwc(fuzzed).value, ref) << "seed " << seed;
+  }
+}
+
+TEST(ScheduleFuzz, ApproximationsKeepGuaranteesUnderAnySchedule) {
+  // Randomized algorithms may legally return different *valid* answers under
+  // a different schedule; the guarantee must hold either way.
+  for (std::uint64_t seed = 20; seed < 26; ++seed) {
+    support::Rng rng(seed);
+    const bool directed = seed % 2 == 0;
+    Graph g = directed
+                  ? graph::random_strongly_connected(70, 210, WeightRange{1, 1}, rng)
+                  : graph::random_connected(70, 140, WeightRange{1, 8}, rng);
+    Weight exact = graph::seq::mwc(g);
+    Network net(g, seed, shuffled());
+    ApproxMwcOptions opt;
+    MwcResult result = approximate_mwc(net, opt);
+    EXPECT_GE(result.value, exact) << "seed " << seed;
+    EXPECT_LE(static_cast<double>(result.value),
+              approximate_mwc_guarantee(net, opt) * static_cast<double>(exact) +
+                  1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(ScheduleFuzz, WeightDelayBfsExactUnderAnySchedule) {
+  for (std::uint64_t seed = 30; seed < 34; ++seed) {
+    support::Rng rng(seed);
+    Graph g = graph::random_connected(50, 120, WeightRange{1, 7}, rng);
+    Network net(g, seed, shuffled());
+    congest::MultiBfsParams params;
+    params.sources = {3};
+    params.mode = congest::DelayMode::kWeightDelay;
+    congest::MultiBfs bfs = run_multi_bfs(net, std::move(params));
+    auto ref = graph::seq::dijkstra(g, 3);
+    for (NodeId v = 0; v < 50; ++v) {
+      ASSERT_EQ(bfs.dist(v, 0), ref[static_cast<std::size_t>(v)]) << "seed " << seed;
+    }
+  }
+}
+
+TEST(BandwidthRobustness, ResultsUnchangedAcrossB) {
+  // CONGEST(B): wider links change rounds, never answers.
+  support::Rng rng(40);
+  Graph g = graph::random_connected(60, 130, WeightRange{1, 9}, rng);
+  Weight ref = graph::seq::mwc(g);
+  std::uint64_t prev_rounds = ~std::uint64_t{0};
+  for (int bw : {1, 2, 8}) {
+    NetworkConfig cfg;
+    cfg.bandwidth_words = bw;
+    Network net(g, 3, cfg);
+    MwcResult result = exact_mwc(net);
+    EXPECT_EQ(result.value, ref) << "B=" << bw;
+    EXPECT_LE(result.stats.rounds, prev_rounds) << "B=" << bw;
+    prev_rounds = result.stats.rounds;
+  }
+}
+
+TEST(BandwidthRobustness, ApproximationGuaranteeAcrossB) {
+  support::Rng rng(41);
+  Graph g = graph::random_strongly_connected(60, 180, WeightRange{1, 1}, rng);
+  Weight exact = graph::seq::mwc(g);
+  for (int bw : {1, 4}) {
+    NetworkConfig cfg;
+    cfg.bandwidth_words = bw;
+    Network net(g, 5, cfg);
+    ApproxMwcOptions opt;
+    MwcResult result = approximate_mwc(net, opt);
+    EXPECT_GE(result.value, exact) << "B=" << bw;
+    EXPECT_LE(result.value, 2 * exact) << "B=" << bw;
+  }
+}
+
+}  // namespace
+}  // namespace mwc::cycle

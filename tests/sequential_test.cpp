@@ -1,0 +1,186 @@
+// Tests for the sequential reference algorithms, including brute-force
+// cross-checks of the MWC references (the references are the ground truth
+// for every distributed test, so they get their own belt-and-braces layer).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/sequential.h"
+#include "support/rng.h"
+
+namespace mwc::graph {
+namespace {
+
+// Brute force MWC: enumerate simple cycles by DFS from every start vertex
+// (smallest-id vertex on the cycle), feasible for tiny graphs.
+Weight brute_force_mwc(const Graph& g) {
+  Weight best = kInfWeight;
+  const int n = g.node_count();
+  std::vector<bool> on_path(static_cast<std::size_t>(n), false);
+
+  // DFS paths starting and ending at `start` using only vertices >= start,
+  // so every cycle is enumerated exactly from its smallest vertex.
+  for (NodeId start = 0; start < n; ++start) {
+    std::vector<NodeId> path{start};
+    on_path.assign(static_cast<std::size_t>(n), false);
+    on_path[static_cast<std::size_t>(start)] = true;
+    auto dfs = [&](auto&& self, NodeId v, Weight w) -> void {
+      for (const Arc& a : g.out(v)) {
+        if (a.to == start) {
+          // Undirected cycles need >= 3 edges (closing a 1- or 2-vertex path
+          // would reuse an edge); directed 2-cycles are genuine.
+          if (!g.is_directed() && path.size() < 3) continue;
+          best = std::min(best, w + a.w);
+          continue;
+        }
+        if (a.to < start || on_path[static_cast<std::size_t>(a.to)]) continue;
+        if (w + a.w >= best) continue;
+        on_path[static_cast<std::size_t>(a.to)] = true;
+        path.push_back(a.to);
+        self(self, a.to, w + a.w);
+        path.pop_back();
+        on_path[static_cast<std::size_t>(a.to)] = false;
+      }
+    };
+    dfs(dfs, start, 0);
+  }
+  return best;
+}
+
+TEST(BfsHops, PathGraph) {
+  std::vector<Edge> edges{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}};
+  Graph g = Graph::undirected(4, edges);
+  auto d = seq::bfs_hops(g, 0);
+  EXPECT_EQ(d, (std::vector<Weight>{0, 1, 2, 3}));
+}
+
+TEST(BfsHops, RespectsDirection) {
+  std::vector<Edge> edges{{0, 1, 1}, {1, 2, 1}};
+  Graph g = Graph::directed(3, edges);
+  auto d = seq::bfs_hops(g, 2);
+  EXPECT_EQ(d[0], kInfWeight);
+  EXPECT_EQ(d[2], 0);
+}
+
+TEST(Dijkstra, PrefersLightPath) {
+  std::vector<Edge> edges{{0, 1, 10}, {0, 2, 1}, {2, 1, 2}};
+  Graph g = Graph::undirected(3, edges);
+  auto d = seq::dijkstra(g, 0);
+  EXPECT_EQ(d[1], 3);
+  EXPECT_EQ(d[2], 1);
+}
+
+TEST(HopLimitedDist, LimitsHops) {
+  // 0 -> 1 -> 2 with cheap 2-hop route, expensive direct edge.
+  std::vector<Edge> edges{{0, 1, 1}, {1, 2, 1}, {0, 2, 10}};
+  Graph g = Graph::directed(3, edges);
+  EXPECT_EQ(seq::hop_limited_dist(g, 0, 1)[2], 10);
+  EXPECT_EQ(seq::hop_limited_dist(g, 0, 2)[2], 2);
+  EXPECT_EQ(seq::hop_limited_dist(g, 0, 0)[2], kInfWeight);
+}
+
+TEST(HopLimitedDist, MatchesDijkstraWithLargeBudget) {
+  support::Rng rng(21);
+  Graph g = random_connected(30, 70, WeightRange{1, 9}, rng);
+  for (NodeId s = 0; s < 5; ++s) {
+    EXPECT_EQ(seq::hop_limited_dist(g, s, g.node_count()), seq::dijkstra(g, s));
+  }
+}
+
+TEST(Diameter, CycleGraph) {
+  support::Rng rng(1);
+  Graph g = cycle_with_chords(10, 0, WeightRange{1, 1}, rng);
+  EXPECT_EQ(seq::communication_diameter(g), 5);
+}
+
+TEST(Mwc, TriangleWeighted) {
+  std::vector<Edge> edges{{0, 1, 2}, {1, 2, 3}, {2, 0, 4}, {0, 3, 100}};
+  Graph g = Graph::undirected(4, edges);
+  EXPECT_EQ(seq::mwc(g), 9);
+}
+
+TEST(Mwc, AcyclicReturnsInfinity) {
+  std::vector<Edge> edges{{0, 1, 2}, {1, 2, 3}};
+  EXPECT_EQ(seq::mwc(Graph::undirected(3, edges)), kInfWeight);
+  EXPECT_EQ(seq::mwc(Graph::directed(3, edges)), kInfWeight);
+}
+
+TEST(Mwc, DirectedTwoCycle) {
+  std::vector<Edge> edges{{0, 1, 2}, {1, 0, 5}};
+  Graph g = Graph::directed(2, edges);
+  EXPECT_EQ(seq::mwc(g), 7);
+}
+
+TEST(Mwc, PendantPathDoesNotFoolReference) {
+  // The classic trap: x - a - triangle; naive d(x,u)+d(x,v)+w undershoots.
+  std::vector<Edge> edges{{3, 0, 1}, {0, 1, 10}, {1, 2, 10}, {2, 0, 10}};
+  Graph g = Graph::undirected(4, edges);
+  EXPECT_EQ(seq::mwc(g), 30);
+}
+
+TEST(Mwc, MatchesBruteForceUndirectedWeighted) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    support::Rng rng(seed);
+    Graph g = random_connected(12, 20, WeightRange{1, 8}, rng);
+    EXPECT_EQ(seq::mwc(g), brute_force_mwc(g)) << "seed " << seed;
+  }
+}
+
+TEST(Mwc, MatchesBruteForceDirectedWeighted) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    support::Rng rng(seed);
+    Graph g = random_strongly_connected(12, 30, WeightRange{1, 8}, rng);
+    EXPECT_EQ(seq::mwc(g), brute_force_mwc(g)) << "seed " << seed;
+  }
+}
+
+TEST(Mwc, MatchesBruteForceUnweighted) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    support::Rng rng(seed);
+    Graph gu = random_connected(12, 18, WeightRange{1, 1}, rng);
+    EXPECT_EQ(seq::mwc(gu), brute_force_mwc(gu)) << "seed " << seed;
+    Graph gd = random_strongly_connected(12, 26, WeightRange{1, 1}, rng);
+    EXPECT_EQ(seq::mwc(gd), brute_force_mwc(gd)) << "seed " << seed;
+  }
+}
+
+TEST(HopLimitedMwc, RestrictsCycleLength) {
+  // Square (4 edges, weight 4) and a heavy triangle (weight 30).
+  std::vector<Edge> edges{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 0, 1},
+                          {0, 4, 10}, {4, 5, 10}, {5, 0, 10}};
+  Graph g = Graph::undirected(6, edges);
+  EXPECT_EQ(seq::hop_limited_mwc(g, 3), 30);
+  EXPECT_EQ(seq::hop_limited_mwc(g, 4), 4);
+}
+
+TEST(HopLimitedMwc, LargeBudgetMatchesMwc) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    support::Rng rng(seed);
+    Graph g = random_connected(15, 30, WeightRange{1, 5}, rng);
+    EXPECT_EQ(seq::hop_limited_mwc(g, g.node_count()), seq::mwc(g));
+    Graph gd = random_strongly_connected(15, 40, WeightRange{1, 5}, rng);
+    EXPECT_EQ(seq::hop_limited_mwc(gd, gd.node_count()), seq::mwc(gd));
+  }
+}
+
+TEST(Girth, IgnoresWeights) {
+  std::vector<Edge> edges{{0, 1, 50}, {1, 2, 50}, {2, 0, 50},
+                          {0, 3, 1},  {3, 4, 1},  {4, 0, 1},  {3, 2, 1}};
+  Graph g = Graph::undirected(5, edges);
+  EXPECT_EQ(seq::girth(g), 3);
+}
+
+TEST(Apsp, SymmetricForUndirected) {
+  support::Rng rng(33);
+  Graph g = random_connected(20, 40, WeightRange{1, 6}, rng);
+  auto d = seq::apsp(g);
+  for (NodeId u = 0; u < 20; ++u) {
+    for (NodeId v = 0; v < 20; ++v) EXPECT_EQ(d[u][v], d[v][u]);
+  }
+}
+
+}  // namespace
+}  // namespace mwc::graph

@@ -1,0 +1,159 @@
+// Wide cross-family sweeps: every approximation algorithm against every
+// graph family it accepts, including topology-stress shapes (barbell:
+// single-link bottleneck; planted-cycle expander: low diameter + heavy
+// background; grids and tori; large weight ranges that deepen the scaling
+// ladder). These catch cross-module interactions the per-algorithm suites
+// don't reach.
+#include <gtest/gtest.h>
+
+#include "congest/network.h"
+#include "graph/generators.h"
+#include "graph/sequential.h"
+#include "mwc/api.h"
+#include "mwc/exact.h"
+#include "mwc/girth_prt.h"
+#include "support/rng.h"
+
+namespace mwc::cycle {
+namespace {
+
+using congest::Network;
+using graph::Graph;
+using graph::Weight;
+using graph::WeightRange;
+
+struct Family {
+  const char* name;
+  Graph (*make)(int n, std::uint64_t seed);
+};
+
+Graph make_barbell(int n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  const int clique = n / 3;
+  return graph::barbell(clique, n - 2 * clique, WeightRange{1, 6}, rng);
+}
+Graph make_expander_planted(int n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  Weight planted = 0;
+  return graph::expander_with_planted_cycle(n, 7, &planted, rng);
+}
+Graph make_torus(int n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  int side = 3;
+  while (side * side < n) ++side;
+  return graph::grid(side, side, /*torus=*/true, WeightRange{1, 4}, rng);
+}
+Graph make_heavy_random(int n, std::uint64_t seed) {
+  // Large W: the scaling ladder needs log(hW) ~ 17 levels.
+  support::Rng rng(seed);
+  return graph::random_connected(n, 2 * n, WeightRange{1, 5000}, rng);
+}
+
+const Family kUndirectedFamilies[] = {
+    {"barbell", make_barbell},
+    {"expander+planted", make_expander_planted},
+    {"torus", make_torus},
+    {"heavy-random", make_heavy_random},
+};
+
+struct SweepCase {
+  int family;
+  int n;
+  std::uint64_t seed;
+};
+
+class UndirectedStress : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(UndirectedStress, DispatcherSoundAndWithinGuarantee) {
+  const SweepCase& c = GetParam();
+  const Family& fam = kUndirectedFamilies[c.family];
+  Graph g = fam.make(c.n, c.seed);
+  Weight exact = graph::seq::mwc(g);
+  ASSERT_NE(exact, graph::kInfWeight) << fam.name;
+  Network net(g, c.seed + 17);
+  ApproxMwcOptions opt;
+  MwcResult result = approximate_mwc(net, opt);
+  const double guarantee = approximate_mwc_guarantee(net, opt);
+  ASSERT_NE(result.value, graph::kInfWeight) << fam.name;
+  EXPECT_GE(result.value, exact) << fam.name << " n=" << c.n;
+  EXPECT_LE(static_cast<double>(result.value),
+            guarantee * static_cast<double>(exact) + 1e-9)
+      << fam.name << " n=" << c.n << " seed=" << c.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, UndirectedStress,
+    ::testing::Values(SweepCase{0, 60, 1}, SweepCase{0, 96, 2},
+                      SweepCase{1, 60, 3}, SweepCase{1, 100, 4},
+                      SweepCase{2, 49, 5}, SweepCase{2, 81, 6},
+                      SweepCase{3, 60, 7}, SweepCase{3, 90, 8},
+                      SweepCase{0, 75, 9}, SweepCase{1, 80, 10},
+                      SweepCase{2, 64, 11}, SweepCase{3, 75, 12}));
+
+TEST(UndirectedStress, ExactMatchesReferenceOnStressFamilies) {
+  for (int f = 0; f < 4; ++f) {
+    Graph g = kUndirectedFamilies[f].make(60, 99);
+    Network net(g, 5);
+    EXPECT_EQ(exact_mwc(net).value, graph::seq::mwc(g))
+        << kUndirectedFamilies[f].name;
+  }
+}
+
+TEST(UndirectedStress, PrtHandlesBarbell) {
+  // Barbell: huge cliques full of triangles behind a long bridge. PRT's
+  // first doubling phase must already find girth 3.
+  Graph g = make_barbell(90, 42);
+  Network net(g, 7);
+  MwcResult result = girth_prt(net);
+  EXPECT_EQ(graph::seq::girth(g), 3);
+  EXPECT_GE(result.value, 3);
+  EXPECT_LE(result.value, 5);  // (2 - 1/3) * 3 = 5
+}
+
+TEST(UndirectedStress, PlantedExpanderFoundByWeightedApprox) {
+  for (std::uint64_t seed = 20; seed < 26; ++seed) {
+    support::Rng rng(seed);
+    Weight planted = 0;
+    Graph g = graph::expander_with_planted_cycle(120, 9, &planted, rng);
+    ASSERT_EQ(graph::seq::mwc(g), planted);
+    Network net(g, seed);
+    MwcResult result = approximate_mwc(net);
+    EXPECT_GE(result.value, planted) << "seed " << seed;
+    EXPECT_LE(static_cast<double>(result.value), 2.5 * planted) << "seed " << seed;
+  }
+}
+
+TEST(UndirectedStress, HugeWeightRangeKeepsGuarantee) {
+  // W = 100000: deep scaling ladder, 40-bit distance fields still hold
+  // (h * W ~ 2^23 << 2^36).
+  support::Rng rng(31);
+  Graph g = graph::random_connected(80, 160, WeightRange{1, 100000}, rng);
+  Weight exact = graph::seq::mwc(g);
+  Network net(g, 33);
+  ApproxMwcOptions opt;
+  opt.epsilon = 0.5;
+  MwcResult result = approximate_mwc(net, opt);
+  EXPECT_GE(result.value, exact);
+  EXPECT_LE(static_cast<double>(result.value), 2.5 * static_cast<double>(exact));
+}
+
+// Directed stress: bottleneck digraphs at several hub densities under the
+// dispatcher (tick-mode Algorithm 2 via Section 5.2 when weighted).
+class DirectedStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(DirectedStress, BottleneckDensitySweep) {
+  const int hubs = GetParam();
+  support::Rng rng(static_cast<std::uint64_t>(hubs) * 13);
+  Graph g = graph::bottleneck_digraph(150, hubs, rng);
+  Weight exact = graph::seq::mwc(g);
+  Network net(g, static_cast<std::uint64_t>(hubs) + 41);
+  MwcResult result = approximate_mwc(net);
+  EXPECT_GE(result.value, exact) << "hubs " << hubs;
+  EXPECT_LE(result.value, 2 * exact) << "hubs " << hubs;
+}
+
+INSTANTIATE_TEST_SUITE_P(HubDensity, DirectedStress,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace mwc::cycle

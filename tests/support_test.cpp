@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/fit.h"
+#include "support/flags.h"
+#include "support/math_util.h"
+#include "support/rng.h"
+#include "support/table.h"
+
+namespace mwc::support {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ForkIndependentOfParentUse) {
+  Rng a(7);
+  Rng child1 = a.fork(3);
+  a.next_u64();
+  a.next_u64();
+  Rng b(7);
+  Rng child2 = b.fork(3);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(child1.next_u64(), child2.next_u64());
+}
+
+TEST(Rng, ForksWithDifferentTagsDiffer) {
+  Rng a(7);
+  Rng c1 = a.fork(1), c2 = a.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (c1.next_u64() == c2.next_u64());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng a(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(a.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng a(11);
+  std::vector<int> counts(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[a.next_below(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, trials / 10 - trials / 50);
+    EXPECT_LT(c, trials / 10 + trials / 50);
+  }
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng a(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = a.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BoolProbabilityEdges) {
+  Rng a(15);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(a.next_bool(0.0));
+    EXPECT_TRUE(a.next_bool(1.0));
+  }
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng a(17);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  a.shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(ceil_div(1, 5), 1);
+  EXPECT_EQ(ceil_div(5, 5), 1);
+  EXPECT_EQ(ceil_div(6, 5), 2);
+}
+
+TEST(MathUtil, Log2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(MathUtil, IntPow) {
+  EXPECT_EQ(int_pow(1024, 0.5), 32);
+  EXPECT_EQ(int_pow(1, 0.8), 1);
+  EXPECT_EQ(int_pow(32, 1.0), 32);
+  // Clamped into [1, n].
+  EXPECT_GE(int_pow(5, 0.01), 1);
+  EXPECT_LE(int_pow(5, 0.99), 5);
+}
+
+TEST(Fit, RecoversExactPowerLaw) {
+  std::vector<double> xs, ys;
+  for (double x : {64.0, 128.0, 256.0, 512.0, 1024.0}) {
+    xs.push_back(x);
+    ys.push_back(3.5 * std::pow(x, 0.8));
+  }
+  PowerFit fit = fit_power_law(xs, ys);
+  EXPECT_NEAR(fit.exponent, 0.8, 1e-9);
+  EXPECT_NEAR(std::exp(fit.log_const), 3.5, 1e-6);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(Fit, NoisyFitHasReasonableExponent) {
+  std::vector<double> xs, ys;
+  Rng rng(23);
+  for (double x : {64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0}) {
+    xs.push_back(x);
+    ys.push_back(std::pow(x, 1.2) * (0.9 + 0.2 * rng.next_double()));
+  }
+  PowerFit fit = fit_power_law(xs, ys);
+  EXPECT_NEAR(fit.exponent, 1.2, 0.1);
+}
+
+TEST(Flags, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--size=42", "--eps=0.5", "--quick", "input.graph"};
+  Flags flags(5, argv, {"size", "eps", "quick"});
+  EXPECT_EQ(flags.get_int("size", 0), 42);
+  EXPECT_DOUBLE_EQ(flags.get_double("eps", 0.0), 0.5);
+  EXPECT_TRUE(flags.has("quick"));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "input.graph");
+  EXPECT_TRUE(flags.unknown_flags().empty());
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Flags flags(1, argv);
+  EXPECT_FALSE(flags.has("size"));
+  EXPECT_EQ(flags.get_int("size", 7), 7);
+  EXPECT_EQ(flags.get("name", "fallback"), "fallback");
+}
+
+TEST(Flags, DetectsUnknownFlags) {
+  const char* argv[] = {"prog", "--frobnicate=1"};
+  Flags flags(2, argv, {"size"});
+  ASSERT_EQ(flags.unknown_flags().size(), 1u);
+  EXPECT_EQ(flags.unknown_flags()[0], "frobnicate");
+}
+
+TEST(Flags, BoolFollowedByFlagStaysBool) {
+  const char* argv[] = {"prog", "--quick", "--size=3"};
+  Flags flags(3, argv, {"quick", "size"});
+  EXPECT_EQ(flags.get("quick", ""), "true");
+  EXPECT_EQ(flags.get_int("size", 0), 3);
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"n", "rounds"});
+  t.add_row({"64", "123"});
+  t.add_row({"12800", "9"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("| n "), std::string::npos);
+  EXPECT_NE(s.find("12800"), std::string::npos);
+  // All lines same length.
+  std::size_t first_nl = s.find('\n');
+  std::size_t len = first_nl;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t nl = s.find('\n', pos);
+    EXPECT_EQ(nl - pos, len);
+    pos = nl + 1;
+  }
+}
+
+TEST(Table, FmtHelpers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(static_cast<std::int64_t>(-7)), "-7");
+}
+
+}  // namespace
+}  // namespace mwc::support

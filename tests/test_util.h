@@ -1,0 +1,62 @@
+// Shared assertions for the algorithm test suites.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mwc::testutil {
+
+// Checks that `witness` is a simple cycle of `g` (closed from back() to
+// front()) whose total weight equals `expected`.
+inline void expect_valid_cycle(const graph::Graph& g,
+                               const std::vector<graph::NodeId>& witness,
+                               graph::Weight expected) {
+  const std::size_t min_len = g.is_directed() ? 2 : 3;
+  ASSERT_GE(witness.size(), min_len);
+  std::set<graph::NodeId> seen(witness.begin(), witness.end());
+  EXPECT_EQ(seen.size(), witness.size()) << "witness revisits a vertex";
+  graph::Weight total = 0;
+  for (std::size_t i = 0; i < witness.size(); ++i) {
+    graph::NodeId from = witness[i];
+    graph::NodeId to = witness[(i + 1) % witness.size()];
+    ASSERT_TRUE(g.has_arc(from, to))
+        << "missing arc " << from << " -> " << to;
+    for (const graph::Arc& a : g.out(from)) {
+      if (a.to == to) {
+        total += a.w;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(total, expected) << "witness weight mismatch";
+}
+
+// Like expect_valid_cycle, but the weight may be anything in [1, upper]
+// (approximation witnesses: a real cycle no heavier than the reported value).
+inline void expect_valid_cycle_at_most(const graph::Graph& g,
+                                       const std::vector<graph::NodeId>& witness,
+                                       graph::Weight upper) {
+  const std::size_t min_len = g.is_directed() ? 2 : 3;
+  ASSERT_GE(witness.size(), min_len);
+  std::set<graph::NodeId> seen(witness.begin(), witness.end());
+  EXPECT_EQ(seen.size(), witness.size()) << "witness revisits a vertex";
+  graph::Weight total = 0;
+  for (std::size_t i = 0; i < witness.size(); ++i) {
+    graph::NodeId from = witness[i];
+    graph::NodeId to = witness[(i + 1) % witness.size()];
+    ASSERT_TRUE(g.has_arc(from, to)) << "missing arc " << from << " -> " << to;
+    for (const graph::Arc& a : g.out(from)) {
+      if (a.to == to) {
+        total += a.w;
+        break;
+      }
+    }
+  }
+  EXPECT_LE(total, upper) << "witness heavier than reported value";
+}
+
+}  // namespace mwc::testutil

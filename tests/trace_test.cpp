@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "congest/multi_bfs.h"
+#include "congest/network.h"
+#include "congest/runner.h"
+#include "congest/trace.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace mwc::congest {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+
+Graph path_graph(int n) {
+  std::vector<Edge> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.push_back(Edge{i, i + 1, 1});
+  return Graph::undirected(n, edges);
+}
+
+// Directed path: the BFS wave only travels forward, one delivery per hop.
+Graph directed_path(int n) {
+  std::vector<Edge> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.push_back(Edge{i, i + 1, 1});
+  return Graph::directed(n, edges);
+}
+
+TEST(Trace, RecordsBfsWaveInOrder) {
+  Graph g = directed_path(5);
+  Network net(g, 1);
+  Trace trace;
+  net.attach_trace(&trace);
+  MultiBfsParams params;
+  params.sources = {0};
+  run_multi_bfs(net, params);
+
+  auto events = trace.events();
+  ASSERT_EQ(events.size(), 4u);  // one delivery per hop along the path
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].from, static_cast<graph::NodeId>(i));
+    EXPECT_EQ(events[i].to, static_cast<graph::NodeId>(i + 1));
+    EXPECT_EQ(events[i].round, i);  // transmitted during engine round i
+    EXPECT_EQ(events[i].words, 1u);
+  }
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(Trace, RoundProfileAggregatesWords) {
+  support::Rng rng(2);
+  Graph g = graph::random_connected(20, 50, graph::WeightRange{1, 1}, rng);
+  Network net(g, 3);
+  Trace trace;
+  net.attach_trace(&trace);
+  MultiBfsParams params;
+  params.sources = {0};
+  RunStats stats;
+  run_multi_bfs(net, std::move(params), &stats);
+
+  // The BFS was this network's first run (run id 0).
+  auto profile = trace.round_profile(0);
+  std::uint64_t total = 0;
+  for (auto [round, words] : profile) total += words;
+  EXPECT_EQ(total, stats.words);
+  // Rounds appear in increasing order.
+  for (std::size_t i = 1; i < profile.size(); ++i) {
+    EXPECT_GT(profile[i].first, profile[i - 1].first);
+  }
+}
+
+TEST(Trace, RingBufferKeepsMostRecent) {
+  Graph g = path_graph(2);
+  Network net(g, 5);
+  Trace trace(/*capacity=*/4);
+  net.attach_trace(&trace);
+  class Burst : public Protocol {
+    void begin(NodeCtx& node) override {
+      if (node.id() != 0) return;
+      for (int i = 0; i < 10; ++i) node.send(1, Message{static_cast<Word>(i)});
+    }
+    void round(NodeCtx&) override {}
+  };
+  Burst proto;
+  run_protocol(net, proto);
+  EXPECT_EQ(trace.total_recorded(), 10u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  auto events = trace.events();
+  ASSERT_EQ(events.size(), 4u);
+  // The four most recent deliveries (rounds 6..9).
+  EXPECT_EQ(events.front().round, 6u);
+  EXPECT_EQ(events.back().round, 9u);
+}
+
+TEST(Trace, DetachStopsRecording) {
+  Graph g = path_graph(3);
+  Network net(g, 7);
+  Trace trace;
+  net.attach_trace(&trace);
+  MultiBfsParams params;
+  params.sources = {0};
+  run_multi_bfs(net, params);
+  const std::size_t before = trace.total_recorded();
+  net.attach_trace(nullptr);
+  MultiBfsParams params2;
+  params2.sources = {2};
+  run_multi_bfs(net, std::move(params2));
+  EXPECT_EQ(trace.total_recorded(), before);
+}
+
+TEST(Trace, ToStringBounded) {
+  Graph g = path_graph(4);
+  Network net(g, 9);
+  Trace trace;
+  net.attach_trace(&trace);
+  MultiBfsParams params;
+  params.sources = {0};
+  run_multi_bfs(net, std::move(params));
+  std::string dump = trace.to_string(/*max_lines=*/2);
+  EXPECT_NE(dump.find("0 -> 1"), std::string::npos);
+  EXPECT_NE(dump.find("more)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mwc::congest

@@ -1,0 +1,157 @@
+// Theorems 1.4.C and 1.2.D: (2+eps)-approximate weighted MWC via the
+// scaling ladder (Section 5).
+#include <gtest/gtest.h>
+
+#include "congest/network.h"
+#include "graph/generators.h"
+#include "graph/sequential.h"
+#include "mwc/weighted_mwc.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace mwc::cycle {
+namespace {
+
+using congest::Network;
+using graph::Graph;
+using graph::Weight;
+using graph::WeightRange;
+
+struct Case {
+  int n;
+  Weight max_w;
+  double eps;
+  std::uint64_t seed;
+};
+
+class UndirectedWeighted : public ::testing::TestWithParam<Case> {};
+
+TEST_P(UndirectedWeighted, SoundAndWithinTwoPlusEps) {
+  const Case& c = GetParam();
+  support::Rng rng(c.seed);
+  Graph g = graph::random_connected(c.n, 2 * c.n, WeightRange{1, c.max_w}, rng);
+  Weight exact = graph::seq::mwc(g);
+  ASSERT_NE(exact, graph::kInfWeight);
+  Network net(g, /*seed=*/c.seed * 13 + 7);
+  WeightedMwcParams params;
+  params.epsilon = c.eps;
+  MwcResult result = undirected_weighted_mwc(net, params);
+  ASSERT_NE(result.value, graph::kInfWeight);
+  EXPECT_GE(result.value, exact);  // sound
+  EXPECT_LE(static_cast<double>(result.value),
+            (2.0 + c.eps) * static_cast<double>(exact) + 1e-9)
+      << "n=" << c.n << " W=" << c.max_w << " seed=" << c.seed
+      << " exact=" << exact;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, UndirectedWeighted,
+    ::testing::Values(Case{50, 8, 0.5, 1}, Case{80, 8, 0.5, 2},
+                      Case{120, 8, 0.5, 3}, Case{60, 20, 0.5, 4},
+                      Case{60, 20, 0.25, 5}, Case{100, 4, 1.0, 6},
+                      Case{90, 12, 0.5, 7}, Case{70, 16, 0.25, 8}));
+
+TEST(UndirectedWeighted, PlantedLightCycle) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    support::Rng rng(seed);
+    Weight planted = 0;
+    Graph g = graph::planted_mwc_undirected(80, 160, 6, &planted, rng);
+    Network net(g, seed + 10);
+    MwcResult result = undirected_weighted_mwc(net);
+    EXPECT_GE(result.value, planted) << "seed " << seed;
+    EXPECT_LE(result.value, (5 * planted) / 2) << "seed " << seed;
+  }
+}
+
+TEST(UndirectedWeighted, HeavyUniformCycleGraph) {
+  // A single weighted n-cycle: long-cycle machinery must report it exactly
+  // (the exact Bellman-Ford substitution makes long cycles exact).
+  support::Rng rng(21);
+  Graph g = graph::cycle_with_chords(80, 0, WeightRange{5, 5}, rng);
+  Network net(g, 23);
+  MwcResult result = undirected_weighted_mwc(net);
+  EXPECT_EQ(result.value, 400);
+}
+
+class DirectedWeighted : public ::testing::TestWithParam<Case> {};
+
+TEST_P(DirectedWeighted, SoundAndWithinTwoPlusEps) {
+  const Case& c = GetParam();
+  support::Rng rng(c.seed);
+  Graph g = graph::random_strongly_connected(c.n, 3 * c.n, WeightRange{1, c.max_w}, rng);
+  Weight exact = graph::seq::mwc(g);
+  ASSERT_NE(exact, graph::kInfWeight);
+  Network net(g, /*seed=*/c.seed * 17 + 9);
+  WeightedMwcParams params;
+  params.epsilon = c.eps;
+  MwcResult result = directed_weighted_mwc(net, params);
+  ASSERT_NE(result.value, graph::kInfWeight);
+  EXPECT_GE(result.value, exact);  // sound
+  EXPECT_LE(static_cast<double>(result.value),
+            (2.0 + c.eps) * static_cast<double>(exact) + 1e-9)
+      << "n=" << c.n << " W=" << c.max_w << " seed=" << c.seed
+      << " exact=" << exact;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DirectedWeighted,
+    ::testing::Values(Case{50, 8, 0.5, 1}, Case{70, 8, 0.5, 2},
+                      Case{100, 8, 0.5, 3}, Case{60, 16, 0.5, 4},
+                      Case{60, 16, 0.25, 5}, Case{80, 4, 1.0, 6}));
+
+TEST(DirectedWeighted, PlantedLightDirectedCycle) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    support::Rng rng(seed);
+    Weight planted = 0;
+    Graph g = graph::planted_mwc_directed(70, 180, 5, &planted, rng);
+    Network net(g, seed + 30);
+    MwcResult result = directed_weighted_mwc(net);
+    EXPECT_GE(result.value, planted) << "seed " << seed;
+    EXPECT_LE(result.value, (5 * planted) / 2) << "seed " << seed;
+  }
+}
+
+TEST(UndirectedWeighted, WitnessIsARealCycleWhenProduced) {
+  int produced = 0;
+  for (std::uint64_t seed = 60; seed < 72; ++seed) {
+    support::Rng rng(seed);
+    Graph g = graph::random_connected(70, 140, WeightRange{1, 9}, rng);
+    Network net(g, seed);
+    MwcResult result = undirected_weighted_mwc(net);
+    if (result.witness.empty()) continue;
+    ++produced;
+    testutil::expect_valid_cycle_at_most(g, result.witness, result.value);
+  }
+  EXPECT_GE(produced, 6);
+}
+
+TEST(UndirectedWeighted, LongBranchWitnessOnHeavyCycleGraph) {
+  // Single weighted ring: the long branch wins and its Bellman-Ford splice
+  // must return the whole ring.
+  support::Rng rng(73);
+  Graph g = graph::cycle_with_chords(60, 0, WeightRange{4, 4}, rng);
+  Network net(g, 75);
+  MwcResult result = undirected_weighted_mwc(net);
+  EXPECT_EQ(result.value, 240);
+  ASSERT_FALSE(result.witness.empty());
+  EXPECT_EQ(result.witness.size(), 60u);
+  testutil::expect_valid_cycle_at_most(g, result.witness, 240);
+}
+
+TEST(WeightedMwc, LadderDepthAblationLosesShortCycles) {
+  // Capping the scaling ladder to one level must still be sound (every
+  // candidate is a real cycle) though possibly far from optimal.
+  support::Rng rng(41);
+  Graph g = graph::random_connected(60, 130, WeightRange{1, 10}, rng);
+  Weight exact = graph::seq::mwc(g);
+  Network net(g, 43);
+  WeightedMwcParams params;
+  params.max_levels = 1;
+  MwcResult result = undirected_weighted_mwc(net, params);
+  if (result.value != graph::kInfWeight) {
+    EXPECT_GE(result.value, exact);
+  }
+}
+
+}  // namespace
+}  // namespace mwc::cycle

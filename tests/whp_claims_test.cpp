@@ -1,0 +1,106 @@
+// Statistical checks of the "w.h.p. in n" claims the algorithms rely on.
+// Each is measured over many seeded trials; thresholds are loose enough to
+// be deterministic for the fixed seeds yet tight enough that a broken
+// sampler or a mis-sized constant would trip them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "congest/network.h"
+#include "graph/generators.h"
+#include "graph/sequential.h"
+#include "ksssp/skeleton_common.h"
+#include "support/math_util.h"
+#include "support/rng.h"
+
+namespace mwc::ksssp {
+namespace {
+
+using congest::Network;
+using graph::Graph;
+using graph::WeightRange;
+
+TEST(WhpClaims, SampleSizeConcentrates) {
+  // |S| with p = c ln(n)/h must concentrate around c n ln(n)/h.
+  const int n = 2000, h = 100;
+  const double c = 2.0;
+  const double expected = c * std::log(n) * n / h;
+  support::Rng rng(1);
+  Graph g = graph::random_connected(n, 2 * n, WeightRange{1, 1}, rng);
+  int min_s = n, max_s = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Network net(g, seed);
+    auto s = detail::sample_vertices(net, c, h);
+    min_s = std::min(min_s, static_cast<int>(s.size()));
+    max_s = std::max(max_s, static_cast<int>(s.size()));
+  }
+  EXPECT_GT(min_s, expected * 0.6);
+  EXPECT_LT(max_s, expected * 1.4);
+}
+
+TEST(WhpClaims, LongPathsHitSamples) {
+  // The sampling lemma behind every "long cycle" case: with p = c ln(n)/h,
+  // any fixed set of h consecutive vertices contains a sample in almost all
+  // trials. Measured on windows of a long path.
+  const int n = 1024;
+  const int h = 64;
+  support::Rng rng(7);
+  Graph g = graph::cycle_with_chords(n, 0, WeightRange{1, 1}, rng);
+  int window_misses = 0, windows = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    Network net(g, seed);
+    auto samples = detail::sample_vertices(net, 2.0, h);
+    std::vector<bool> is_sample(static_cast<std::size_t>(n), false);
+    for (auto s : samples) is_sample[static_cast<std::size_t>(s)] = true;
+    for (int start = 0; start < n; start += h) {
+      ++windows;
+      bool hit = false;
+      for (int i = 0; i < h; ++i) {
+        if (is_sample[static_cast<std::size_t>((start + i) % n)]) hit = true;
+      }
+      if (!hit) ++window_misses;
+    }
+  }
+  // P(miss) = (1 - 2 ln n / h)^h ~ n^-2; over ~500 windows expect 0 misses,
+  // tolerate 1 for slack.
+  EXPECT_LE(window_misses, 1) << "of " << windows << " windows";
+}
+
+TEST(WhpClaims, SigmaBallsAreHitBySampling) {
+  // girth_core case B: a sample lands within every full sigma-ball w.h.p.
+  // (p = c ln n / sigma over >= sigma candidates).
+  const int n = 900, sigma = 30;
+  support::Rng grng(11);
+  Graph g = graph::random_connected(n, 3 * n, WeightRange{1, 1}, grng);
+  auto hops_from = [&](graph::NodeId v) { return graph::seq::bfs_hops(g, v); };
+  int ball_misses = 0, checks = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    support::Rng rng(seed * 13 + 1);
+    std::vector<bool> is_sample(static_cast<std::size_t>(n), false);
+    const double p = 2.0 * support::log_n(n) / sigma;
+    for (int v = 0; v < n; ++v) {
+      if (rng.next_bool(p)) is_sample[static_cast<std::size_t>(v)] = true;
+    }
+    for (graph::NodeId v = 0; v < n; v += 90) {
+      // The sigma nearest vertices of v.
+      auto d = hops_from(v);
+      std::vector<std::pair<graph::Weight, graph::NodeId>> order;
+      for (graph::NodeId u = 0; u < n; ++u) order.emplace_back(d[static_cast<std::size_t>(u)], u);
+      std::sort(order.begin(), order.end());
+      ++checks;
+      bool hit = false;
+      for (int i = 0; i < sigma; ++i) {
+        if (is_sample[static_cast<std::size_t>(order[static_cast<std::size_t>(i)].second)]) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) ++ball_misses;
+    }
+  }
+  EXPECT_LE(ball_misses, 1) << "of " << checks << " balls";
+}
+
+}  // namespace
+}  // namespace mwc::ksssp

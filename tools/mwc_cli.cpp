@@ -1,0 +1,145 @@
+// mwc_cli - command-line front end for the library.
+//
+//   mwc_cli gen <family> <n> <param> <seed> <out.graph>
+//       families: random (param = m), sc-digraph (param = m),
+//                 cycle-chords (param = chords), grid (param = cols),
+//                 bottleneck (param = hubs)
+//   mwc_cli info <graph-file>
+//       prints n, m, directedness, diameter, exact MWC/girth (sequential)
+//   mwc_cli run <algorithm> <graph-file> <seed>
+//       algorithms: exact | girth-approx | girth-prt | directed-2approx |
+//                   weighted-undirected | weighted-directed
+//       prints the value, simulated rounds/messages, and (when available)
+//       the witness cycle
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on bad input files.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+#include "congest/network.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/sequential.h"
+#include "mwc/directed_mwc.h"
+#include "mwc/exact.h"
+#include "mwc/girth_approx.h"
+#include "mwc/girth_prt.h"
+#include "mwc/weighted_mwc.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace mwc;  // NOLINT
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  mwc_cli gen <random|sc-digraph|cycle-chords|grid|bottleneck>"
+               " <n> <param> <seed> <out.graph>\n"
+               "  mwc_cli info <graph-file>\n"
+               "  mwc_cli run <exact|girth-approx|girth-prt|directed-2approx|"
+               "weighted-undirected|weighted-directed> <graph-file> <seed>\n");
+  return 1;
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc != 7) return usage();
+  const std::string family = argv[2];
+  const int n = std::atoi(argv[3]);
+  const int param = std::atoi(argv[4]);
+  const auto seed = static_cast<std::uint64_t>(std::atoll(argv[5]));
+  const std::string out = argv[6];
+  support::Rng rng(seed);
+  graph::WeightRange w{1, 10};
+  graph::Graph g = [&] {
+    if (family == "random") return graph::random_connected(n, param, w, rng);
+    if (family == "sc-digraph") return graph::random_strongly_connected(n, param, w, rng);
+    if (family == "cycle-chords") {
+      return graph::cycle_with_chords(n, param, graph::WeightRange{1, 1}, rng);
+    }
+    if (family == "grid") {
+      return graph::grid(n / param, param, false, graph::WeightRange{1, 1}, rng);
+    }
+    if (family == "bottleneck") return graph::bottleneck_digraph(n, param, rng);
+    throw std::runtime_error("unknown family: " + family);
+  }();
+  graph::save_graph_file(g, out);
+  std::printf("wrote %s: %s, n=%d, m=%d\n", out.c_str(),
+              g.is_directed() ? "directed" : "undirected", g.node_count(),
+              g.edge_count());
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc != 3) return usage();
+  graph::Graph g = graph::load_graph_file(argv[2]);
+  std::printf("%s graph: n=%d m=%d W=%lld\n",
+              g.is_directed() ? "directed" : "undirected", g.node_count(),
+              g.edge_count(), static_cast<long long>(g.max_weight()));
+  std::printf("communication diameter D = %d\n",
+              graph::seq::communication_diameter(g));
+  graph::Weight mwc_value = graph::seq::mwc(g);
+  if (mwc_value == graph::kInfWeight) {
+    std::printf("minimum weight cycle: none (acyclic)\n");
+  } else {
+    std::printf("minimum weight cycle: %lld\n", static_cast<long long>(mwc_value));
+    if (!g.is_directed()) {
+      std::printf("girth (unweighted):   %lld\n",
+                  static_cast<long long>(graph::seq::girth(g)));
+    }
+  }
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc != 5) return usage();
+  const std::string algo = argv[2];
+  graph::Graph g = graph::load_graph_file(argv[3]);
+  const auto seed = static_cast<std::uint64_t>(std::atoll(argv[4]));
+  congest::Network net(g, seed);
+
+  cycle::MwcResult result = [&] {
+    if (algo == "exact") return cycle::exact_mwc(net);
+    if (algo == "girth-approx") return cycle::girth_approx(net);
+    if (algo == "girth-prt") return cycle::girth_prt(net);
+    if (algo == "directed-2approx") return cycle::directed_mwc_2approx(net);
+    if (algo == "weighted-undirected") return cycle::undirected_weighted_mwc(net);
+    if (algo == "weighted-directed") return cycle::directed_weighted_mwc(net);
+    throw std::runtime_error("unknown algorithm: " + algo);
+  }();
+
+  if (result.value == graph::kInfWeight) {
+    std::printf("value: none (no cycle found)\n");
+  } else {
+    std::printf("value: %lld\n", static_cast<long long>(result.value));
+  }
+  std::printf("rounds: %llu\nmessages: %llu\nwords: %llu\n",
+              static_cast<unsigned long long>(result.stats.rounds),
+              static_cast<unsigned long long>(result.stats.messages),
+              static_cast<unsigned long long>(result.stats.words));
+  if (!result.witness.empty()) {
+    std::printf("witness:");
+    for (graph::NodeId v : result.witness) std::printf(" %d", v);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "gen") return cmd_gen(argc, argv);
+    if (cmd == "info") return cmd_info(argc, argv);
+    if (cmd == "run") return cmd_run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}
