@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_directed_mwc.dir/bench_directed_mwc.cpp.o"
+  "CMakeFiles/bench_directed_mwc.dir/bench_directed_mwc.cpp.o.d"
+  "bench_directed_mwc"
+  "bench_directed_mwc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_directed_mwc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ksssp.cpp" "bench/CMakeFiles/bench_ksssp.dir/bench_ksssp.cpp.o" "gcc" "bench/CMakeFiles/bench_ksssp.dir/bench_ksssp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ksssp/CMakeFiles/mwc_ksssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/congest/CMakeFiles/mwc_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mwc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mwc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

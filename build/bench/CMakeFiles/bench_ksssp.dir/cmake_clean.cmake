@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ksssp.dir/bench_ksssp.cpp.o"
+  "CMakeFiles/bench_ksssp.dir/bench_ksssp.cpp.o.d"
+  "bench_ksssp"
+  "bench_ksssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ksssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

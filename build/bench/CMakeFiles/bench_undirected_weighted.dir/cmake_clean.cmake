@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_undirected_weighted.dir/bench_undirected_weighted.cpp.o"
+  "CMakeFiles/bench_undirected_weighted.dir/bench_undirected_weighted.cpp.o.d"
+  "bench_undirected_weighted"
+  "bench_undirected_weighted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_undirected_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_girth_monitor.dir/network_girth_monitor.cpp.o"
+  "CMakeFiles/network_girth_monitor.dir/network_girth_monitor.cpp.o.d"
+  "network_girth_monitor"
+  "network_girth_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_girth_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

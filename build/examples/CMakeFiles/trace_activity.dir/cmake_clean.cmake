@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_activity.dir/trace_activity.cpp.o"
+  "CMakeFiles/trace_activity.dir/trace_activity.cpp.o.d"
+  "trace_activity"
+  "trace_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_routing_rings.dir/weighted_routing_rings.cpp.o"
+  "CMakeFiles/weighted_routing_rings.dir/weighted_routing_rings.cpp.o.d"
+  "weighted_routing_rings"
+  "weighted_routing_rings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_routing_rings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

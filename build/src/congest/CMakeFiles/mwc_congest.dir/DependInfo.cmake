@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/congest/bellman_ford.cpp" "src/congest/CMakeFiles/mwc_congest.dir/bellman_ford.cpp.o" "gcc" "src/congest/CMakeFiles/mwc_congest.dir/bellman_ford.cpp.o.d"
+  "/root/repo/src/congest/bfs_tree.cpp" "src/congest/CMakeFiles/mwc_congest.dir/bfs_tree.cpp.o" "gcc" "src/congest/CMakeFiles/mwc_congest.dir/bfs_tree.cpp.o.d"
+  "/root/repo/src/congest/broadcast.cpp" "src/congest/CMakeFiles/mwc_congest.dir/broadcast.cpp.o" "gcc" "src/congest/CMakeFiles/mwc_congest.dir/broadcast.cpp.o.d"
+  "/root/repo/src/congest/convergecast.cpp" "src/congest/CMakeFiles/mwc_congest.dir/convergecast.cpp.o" "gcc" "src/congest/CMakeFiles/mwc_congest.dir/convergecast.cpp.o.d"
+  "/root/repo/src/congest/multi_bfs.cpp" "src/congest/CMakeFiles/mwc_congest.dir/multi_bfs.cpp.o" "gcc" "src/congest/CMakeFiles/mwc_congest.dir/multi_bfs.cpp.o.d"
+  "/root/repo/src/congest/neighbor_exchange.cpp" "src/congest/CMakeFiles/mwc_congest.dir/neighbor_exchange.cpp.o" "gcc" "src/congest/CMakeFiles/mwc_congest.dir/neighbor_exchange.cpp.o.d"
+  "/root/repo/src/congest/network.cpp" "src/congest/CMakeFiles/mwc_congest.dir/network.cpp.o" "gcc" "src/congest/CMakeFiles/mwc_congest.dir/network.cpp.o.d"
+  "/root/repo/src/congest/runner.cpp" "src/congest/CMakeFiles/mwc_congest.dir/runner.cpp.o" "gcc" "src/congest/CMakeFiles/mwc_congest.dir/runner.cpp.o.d"
+  "/root/repo/src/congest/source_detection.cpp" "src/congest/CMakeFiles/mwc_congest.dir/source_detection.cpp.o" "gcc" "src/congest/CMakeFiles/mwc_congest.dir/source_detection.cpp.o.d"
+  "/root/repo/src/congest/trace.cpp" "src/congest/CMakeFiles/mwc_congest.dir/trace.cpp.o" "gcc" "src/congest/CMakeFiles/mwc_congest.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mwc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mwc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

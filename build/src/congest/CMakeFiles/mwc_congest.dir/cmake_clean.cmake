@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwc_congest.dir/bellman_ford.cpp.o"
+  "CMakeFiles/mwc_congest.dir/bellman_ford.cpp.o.d"
+  "CMakeFiles/mwc_congest.dir/bfs_tree.cpp.o"
+  "CMakeFiles/mwc_congest.dir/bfs_tree.cpp.o.d"
+  "CMakeFiles/mwc_congest.dir/broadcast.cpp.o"
+  "CMakeFiles/mwc_congest.dir/broadcast.cpp.o.d"
+  "CMakeFiles/mwc_congest.dir/convergecast.cpp.o"
+  "CMakeFiles/mwc_congest.dir/convergecast.cpp.o.d"
+  "CMakeFiles/mwc_congest.dir/multi_bfs.cpp.o"
+  "CMakeFiles/mwc_congest.dir/multi_bfs.cpp.o.d"
+  "CMakeFiles/mwc_congest.dir/neighbor_exchange.cpp.o"
+  "CMakeFiles/mwc_congest.dir/neighbor_exchange.cpp.o.d"
+  "CMakeFiles/mwc_congest.dir/network.cpp.o"
+  "CMakeFiles/mwc_congest.dir/network.cpp.o.d"
+  "CMakeFiles/mwc_congest.dir/runner.cpp.o"
+  "CMakeFiles/mwc_congest.dir/runner.cpp.o.d"
+  "CMakeFiles/mwc_congest.dir/source_detection.cpp.o"
+  "CMakeFiles/mwc_congest.dir/source_detection.cpp.o.d"
+  "CMakeFiles/mwc_congest.dir/trace.cpp.o"
+  "CMakeFiles/mwc_congest.dir/trace.cpp.o.d"
+  "libmwc_congest.a"
+  "libmwc_congest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwc_congest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

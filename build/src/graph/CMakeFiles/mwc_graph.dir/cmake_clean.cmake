@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwc_graph.dir/generators.cpp.o"
+  "CMakeFiles/mwc_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/mwc_graph.dir/graph.cpp.o"
+  "CMakeFiles/mwc_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/mwc_graph.dir/io.cpp.o"
+  "CMakeFiles/mwc_graph.dir/io.cpp.o.d"
+  "CMakeFiles/mwc_graph.dir/sequential.cpp.o"
+  "CMakeFiles/mwc_graph.dir/sequential.cpp.o.d"
+  "CMakeFiles/mwc_graph.dir/transforms.cpp.o"
+  "CMakeFiles/mwc_graph.dir/transforms.cpp.o.d"
+  "libmwc_graph.a"
+  "libmwc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ksssp/auto_select.cpp" "src/ksssp/CMakeFiles/mwc_ksssp.dir/auto_select.cpp.o" "gcc" "src/ksssp/CMakeFiles/mwc_ksssp.dir/auto_select.cpp.o.d"
+  "/root/repo/src/ksssp/naive.cpp" "src/ksssp/CMakeFiles/mwc_ksssp.dir/naive.cpp.o" "gcc" "src/ksssp/CMakeFiles/mwc_ksssp.dir/naive.cpp.o.d"
+  "/root/repo/src/ksssp/skeleton_bfs.cpp" "src/ksssp/CMakeFiles/mwc_ksssp.dir/skeleton_bfs.cpp.o" "gcc" "src/ksssp/CMakeFiles/mwc_ksssp.dir/skeleton_bfs.cpp.o.d"
+  "/root/repo/src/ksssp/skeleton_common.cpp" "src/ksssp/CMakeFiles/mwc_ksssp.dir/skeleton_common.cpp.o" "gcc" "src/ksssp/CMakeFiles/mwc_ksssp.dir/skeleton_common.cpp.o.d"
+  "/root/repo/src/ksssp/skeleton_sssp.cpp" "src/ksssp/CMakeFiles/mwc_ksssp.dir/skeleton_sssp.cpp.o" "gcc" "src/ksssp/CMakeFiles/mwc_ksssp.dir/skeleton_sssp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/congest/CMakeFiles/mwc_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mwc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mwc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

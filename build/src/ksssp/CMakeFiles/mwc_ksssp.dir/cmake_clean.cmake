@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwc_ksssp.dir/auto_select.cpp.o"
+  "CMakeFiles/mwc_ksssp.dir/auto_select.cpp.o.d"
+  "CMakeFiles/mwc_ksssp.dir/naive.cpp.o"
+  "CMakeFiles/mwc_ksssp.dir/naive.cpp.o.d"
+  "CMakeFiles/mwc_ksssp.dir/skeleton_bfs.cpp.o"
+  "CMakeFiles/mwc_ksssp.dir/skeleton_bfs.cpp.o.d"
+  "CMakeFiles/mwc_ksssp.dir/skeleton_common.cpp.o"
+  "CMakeFiles/mwc_ksssp.dir/skeleton_common.cpp.o.d"
+  "CMakeFiles/mwc_ksssp.dir/skeleton_sssp.cpp.o"
+  "CMakeFiles/mwc_ksssp.dir/skeleton_sssp.cpp.o.d"
+  "libmwc_ksssp.a"
+  "libmwc_ksssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwc_ksssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmwc_ksssp.a"
+)

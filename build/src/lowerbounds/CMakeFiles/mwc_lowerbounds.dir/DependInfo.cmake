@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lowerbounds/alpha_gadget.cpp" "src/lowerbounds/CMakeFiles/mwc_lowerbounds.dir/alpha_gadget.cpp.o" "gcc" "src/lowerbounds/CMakeFiles/mwc_lowerbounds.dir/alpha_gadget.cpp.o.d"
+  "/root/repo/src/lowerbounds/disjointness_gadget.cpp" "src/lowerbounds/CMakeFiles/mwc_lowerbounds.dir/disjointness_gadget.cpp.o" "gcc" "src/lowerbounds/CMakeFiles/mwc_lowerbounds.dir/disjointness_gadget.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mwc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mwc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

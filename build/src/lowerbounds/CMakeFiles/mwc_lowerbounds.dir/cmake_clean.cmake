@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwc_lowerbounds.dir/alpha_gadget.cpp.o"
+  "CMakeFiles/mwc_lowerbounds.dir/alpha_gadget.cpp.o.d"
+  "CMakeFiles/mwc_lowerbounds.dir/disjointness_gadget.cpp.o"
+  "CMakeFiles/mwc_lowerbounds.dir/disjointness_gadget.cpp.o.d"
+  "libmwc_lowerbounds.a"
+  "libmwc_lowerbounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwc_lowerbounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

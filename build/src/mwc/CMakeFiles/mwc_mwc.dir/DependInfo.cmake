@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mwc/api.cpp" "src/mwc/CMakeFiles/mwc_mwc.dir/api.cpp.o" "gcc" "src/mwc/CMakeFiles/mwc_mwc.dir/api.cpp.o.d"
+  "/root/repo/src/mwc/directed_mwc.cpp" "src/mwc/CMakeFiles/mwc_mwc.dir/directed_mwc.cpp.o" "gcc" "src/mwc/CMakeFiles/mwc_mwc.dir/directed_mwc.cpp.o.d"
+  "/root/repo/src/mwc/exact.cpp" "src/mwc/CMakeFiles/mwc_mwc.dir/exact.cpp.o" "gcc" "src/mwc/CMakeFiles/mwc_mwc.dir/exact.cpp.o.d"
+  "/root/repo/src/mwc/girth_approx.cpp" "src/mwc/CMakeFiles/mwc_mwc.dir/girth_approx.cpp.o" "gcc" "src/mwc/CMakeFiles/mwc_mwc.dir/girth_approx.cpp.o.d"
+  "/root/repo/src/mwc/girth_core.cpp" "src/mwc/CMakeFiles/mwc_mwc.dir/girth_core.cpp.o" "gcc" "src/mwc/CMakeFiles/mwc_mwc.dir/girth_core.cpp.o.d"
+  "/root/repo/src/mwc/girth_prt.cpp" "src/mwc/CMakeFiles/mwc_mwc.dir/girth_prt.cpp.o" "gcc" "src/mwc/CMakeFiles/mwc_mwc.dir/girth_prt.cpp.o.d"
+  "/root/repo/src/mwc/restricted_bfs.cpp" "src/mwc/CMakeFiles/mwc_mwc.dir/restricted_bfs.cpp.o" "gcc" "src/mwc/CMakeFiles/mwc_mwc.dir/restricted_bfs.cpp.o.d"
+  "/root/repo/src/mwc/weighted_mwc.cpp" "src/mwc/CMakeFiles/mwc_mwc.dir/weighted_mwc.cpp.o" "gcc" "src/mwc/CMakeFiles/mwc_mwc.dir/weighted_mwc.cpp.o.d"
+  "/root/repo/src/mwc/witness.cpp" "src/mwc/CMakeFiles/mwc_mwc.dir/witness.cpp.o" "gcc" "src/mwc/CMakeFiles/mwc_mwc.dir/witness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/congest/CMakeFiles/mwc_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mwc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ksssp/CMakeFiles/mwc_ksssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mwc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwc_mwc.dir/api.cpp.o"
+  "CMakeFiles/mwc_mwc.dir/api.cpp.o.d"
+  "CMakeFiles/mwc_mwc.dir/directed_mwc.cpp.o"
+  "CMakeFiles/mwc_mwc.dir/directed_mwc.cpp.o.d"
+  "CMakeFiles/mwc_mwc.dir/exact.cpp.o"
+  "CMakeFiles/mwc_mwc.dir/exact.cpp.o.d"
+  "CMakeFiles/mwc_mwc.dir/girth_approx.cpp.o"
+  "CMakeFiles/mwc_mwc.dir/girth_approx.cpp.o.d"
+  "CMakeFiles/mwc_mwc.dir/girth_core.cpp.o"
+  "CMakeFiles/mwc_mwc.dir/girth_core.cpp.o.d"
+  "CMakeFiles/mwc_mwc.dir/girth_prt.cpp.o"
+  "CMakeFiles/mwc_mwc.dir/girth_prt.cpp.o.d"
+  "CMakeFiles/mwc_mwc.dir/restricted_bfs.cpp.o"
+  "CMakeFiles/mwc_mwc.dir/restricted_bfs.cpp.o.d"
+  "CMakeFiles/mwc_mwc.dir/weighted_mwc.cpp.o"
+  "CMakeFiles/mwc_mwc.dir/weighted_mwc.cpp.o.d"
+  "CMakeFiles/mwc_mwc.dir/witness.cpp.o"
+  "CMakeFiles/mwc_mwc.dir/witness.cpp.o.d"
+  "libmwc_mwc.a"
+  "libmwc_mwc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwc_mwc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mwc_mwc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for mwc_mwc.
+# This may be replaced when dependencies are built.

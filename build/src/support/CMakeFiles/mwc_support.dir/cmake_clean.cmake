@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwc_support.dir/fit.cpp.o"
+  "CMakeFiles/mwc_support.dir/fit.cpp.o.d"
+  "CMakeFiles/mwc_support.dir/flags.cpp.o"
+  "CMakeFiles/mwc_support.dir/flags.cpp.o.d"
+  "CMakeFiles/mwc_support.dir/math_util.cpp.o"
+  "CMakeFiles/mwc_support.dir/math_util.cpp.o.d"
+  "CMakeFiles/mwc_support.dir/rng.cpp.o"
+  "CMakeFiles/mwc_support.dir/rng.cpp.o.d"
+  "CMakeFiles/mwc_support.dir/table.cpp.o"
+  "CMakeFiles/mwc_support.dir/table.cpp.o.d"
+  "libmwc_support.a"
+  "libmwc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

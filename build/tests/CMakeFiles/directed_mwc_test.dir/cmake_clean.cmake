@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directed_mwc_test.dir/directed_mwc_test.cpp.o"
+  "CMakeFiles/directed_mwc_test.dir/directed_mwc_test.cpp.o.d"
+  "directed_mwc_test"
+  "directed_mwc_test.pdb"
+  "directed_mwc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directed_mwc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

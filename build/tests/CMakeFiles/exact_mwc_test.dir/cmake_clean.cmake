@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_mwc_test.dir/exact_mwc_test.cpp.o"
+  "CMakeFiles/exact_mwc_test.dir/exact_mwc_test.cpp.o.d"
+  "exact_mwc_test"
+  "exact_mwc_test.pdb"
+  "exact_mwc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_mwc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

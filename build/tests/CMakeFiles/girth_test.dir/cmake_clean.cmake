@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/girth_test.dir/girth_test.cpp.o"
+  "CMakeFiles/girth_test.dir/girth_test.cpp.o.d"
+  "girth_test"
+  "girth_test.pdb"
+  "girth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/girth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksssp_test.dir/ksssp_test.cpp.o"
+  "CMakeFiles/ksssp_test.dir/ksssp_test.cpp.o.d"
+  "ksssp_test"
+  "ksssp_test.pdb"
+  "ksssp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksssp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowerbounds_test.dir/lowerbounds_test.cpp.o"
+  "CMakeFiles/lowerbounds_test.dir/lowerbounds_test.cpp.o.d"
+  "lowerbounds_test"
+  "lowerbounds_test.pdb"
+  "lowerbounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowerbounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/round_bounds_test.dir/round_bounds_test.cpp.o"
+  "CMakeFiles/round_bounds_test.dir/round_bounds_test.cpp.o.d"
+  "round_bounds_test"
+  "round_bounds_test.pdb"
+  "round_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/round_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

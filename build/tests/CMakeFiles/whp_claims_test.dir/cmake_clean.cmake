@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whp_claims_test.dir/whp_claims_test.cpp.o"
+  "CMakeFiles/whp_claims_test.dir/whp_claims_test.cpp.o.d"
+  "whp_claims_test"
+  "whp_claims_test.pdb"
+  "whp_claims_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whp_claims_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

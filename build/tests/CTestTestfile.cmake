@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/sequential_test[1]_include.cmake")
+include("/root/repo/build/tests/congest_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/congest_primitives_test[1]_include.cmake")
+include("/root/repo/build/tests/ksssp_test[1]_include.cmake")
+include("/root/repo/build/tests/exact_mwc_test[1]_include.cmake")
+include("/root/repo/build/tests/girth_test[1]_include.cmake")
+include("/root/repo/build/tests/directed_mwc_test[1]_include.cmake")
+include("/root/repo/build/tests/weighted_mwc_test[1]_include.cmake")
+include("/root/repo/build/tests/lowerbounds_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_io_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_lemmas_test[1]_include.cmake")
+include("/root/repo/build/tests/api_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/schedule_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/whp_claims_test[1]_include.cmake")
+include("/root/repo/build/tests/round_bounds_test[1]_include.cmake")
+add_test([=[cli_gen_info_run]=] "/usr/bin/cmake" "-DCLI=/root/repo/build/tools/mwc_cli" "-DWORK=/root/repo/build/tests/cli_smoke" "-P" "/root/repo/tests/cli_smoke.cmake")
+set_tests_properties([=[cli_gen_info_run]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;28;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[cli_usage_error]=] "/root/repo/build/tools/mwc_cli" "frobnicate")
+set_tests_properties([=[cli_usage_error]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;33;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[cli_missing_file]=] "/root/repo/build/tools/mwc_cli" "info" "/nonexistent.graph")
+set_tests_properties([=[cli_missing_file]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;35;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwc_cli.dir/mwc_cli.cpp.o"
+  "CMakeFiles/mwc_cli.dir/mwc_cli.cpp.o.d"
+  "mwc_cli"
+  "mwc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
