@@ -1,0 +1,146 @@
+// F1: cost of reliability under lossy links.
+//
+// Sweeps the per-message drop probability and reruns the textbook
+// primitives (BFS tree, pipelined broadcast) and the full exact-MWC
+// pipeline over the reliable (ARQ) transport. Each run is checked against
+// the fault-free answer - the point of the transport is that answers never
+// change, only the round/word bill does. The tables report that bill:
+// retransmitted words, dropped messages, and the word overhead relative to
+// the raw (no-ARQ, no-loss) baseline. The drop=0 row isolates the fixed
+// framing cost of the transport itself (sequence headers + acks).
+#include <cstdint>
+#include <vector>
+
+#include "bench_util.h"
+#include "congest/bfs_tree.h"
+#include "congest/broadcast.h"
+#include "congest/network.h"
+#include "graph/generators.h"
+#include "graph/sequential.h"
+#include "mwc/exact.h"
+#include "support/flags.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace mwc;  // NOLINT
+using congest::Network;
+using congest::NetworkConfig;
+using congest::RunStats;
+using graph::Graph;
+using graph::NodeId;
+using graph::Weight;
+
+NetworkConfig reliable_lossy(double drop) {
+  NetworkConfig cfg;
+  cfg.faults.drop_prob = drop;
+  cfg.reliable_transport = true;
+  return cfg;
+}
+
+std::vector<double> drop_rates(bool quick) {
+  return quick ? std::vector<double>{0.0, 0.2}
+               : std::vector<double>{0.0, 0.05, 0.1, 0.2, 0.3};
+}
+
+void add_sweep_row(support::Table& table, double drop, const RunStats& stats,
+                   const RunStats& baseline, bool ok) {
+  table.add_row(
+      {support::Table::fmt(drop, 2),
+       support::Table::fmt(static_cast<std::int64_t>(stats.rounds)),
+       support::Table::fmt(static_cast<std::int64_t>(stats.words)),
+       support::Table::fmt(static_cast<std::int64_t>(stats.dropped_messages)),
+       support::Table::fmt(static_cast<std::int64_t>(stats.retransmitted_words)),
+       support::Table::fmt(static_cast<double>(stats.words) /
+                               static_cast<double>(baseline.words),
+                           2),
+       ok ? "yes" : "NO"});
+}
+
+void run_bfs(const Graph& g, bool quick) {
+  bench::section("F1a: BFS tree under drops (reliable transport)");
+  const auto ref = graph::seq::bfs_hops(g.communication_topology(), 0);
+  Network raw_net(g, 11);
+  RunStats baseline;
+  (void)congest::build_bfs_tree(raw_net, 0, &baseline);
+  bench::note("raw baseline (no ARQ): " +
+              support::Table::fmt(static_cast<std::int64_t>(baseline.rounds)) +
+              " rounds, " +
+              support::Table::fmt(static_cast<std::int64_t>(baseline.words)) +
+              " words");
+  support::Table table({"drop", "rounds", "words", "dropped", "retx words",
+                        "word overhead", "depths ok?"});
+  for (double drop : drop_rates(quick)) {
+    Network net(g, 11, reliable_lossy(drop));
+    RunStats stats;
+    congest::BfsTreeResult tree = congest::build_bfs_tree(net, 0, &stats);
+    bool ok = true;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      ok &= tree.depth[static_cast<std::size_t>(v)] ==
+            ref[static_cast<std::size_t>(v)];
+    }
+    add_sweep_row(table, drop, stats, baseline, ok);
+  }
+  table.print();
+}
+
+void run_broadcast(const Graph& g, bool quick) {
+  bench::section("F1b: pipelined broadcast under drops (reliable transport)");
+  std::vector<std::vector<congest::BroadcastItem>> items(
+      static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    items[static_cast<std::size_t>(v)].push_back(
+        {static_cast<congest::Word>(v), static_cast<congest::Word>(3 * v)});
+  }
+  Network raw_net(g, 13);
+  congest::BfsTreeResult raw_tree = congest::build_bfs_tree(raw_net, 0);
+  RunStats baseline;
+  congest::BroadcastResult ref =
+      congest::broadcast(raw_net, raw_tree, items, &baseline);
+  support::Table table({"drop", "rounds", "words", "dropped", "retx words",
+                        "word overhead", "items ok?"});
+  for (double drop : drop_rates(quick)) {
+    Network net(g, 13, reliable_lossy(drop));
+    congest::BfsTreeResult tree = congest::build_bfs_tree(net, 0);
+    RunStats stats;
+    congest::BroadcastResult got = congest::broadcast(net, tree, items, &stats);
+    bool ok = got.items().size() == ref.items().size();
+    for (NodeId v = 0; ok && v < g.node_count(); ++v) {
+      ok = got.received_count(v) == got.items().size();
+    }
+    add_sweep_row(table, drop, stats, baseline, ok);
+  }
+  table.print();
+}
+
+void run_mwc(const Graph& g, bool quick) {
+  bench::section("F1c: exact MWC pipeline under drops (reliable transport)");
+  const Weight ref = graph::seq::mwc(g);
+  Network raw_net(g, 17);
+  cycle::MwcResult baseline = cycle::exact_mwc(raw_net);
+  support::Table table({"drop", "rounds", "words", "dropped", "retx words",
+                        "word overhead", "value ok?"});
+  for (double drop : drop_rates(quick)) {
+    Network net(g, 17, reliable_lossy(drop));
+    cycle::MwcResult got = cycle::exact_mwc(net);
+    add_sweep_row(table, drop, got.stats, baseline.stats,
+                  got.value == ref && got.value == baseline.value);
+  }
+  table.print();
+  bench::note("every row must answer exactly what the fault-free run answers; "
+              "drops only ever show up in the words/rounds columns");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::Flags flags(argc, argv, {"quick"});
+  const bool quick = flags.has("quick");
+  support::Rng rng(29);
+  const int n = quick ? 48 : 96;
+  Graph g = graph::random_connected(n, 5 * n / 2, graph::WeightRange{1, 9}, rng);
+  run_bfs(g, quick);
+  run_broadcast(g, quick);
+  run_mwc(g, quick);
+  return 0;
+}

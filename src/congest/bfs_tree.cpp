@@ -1,5 +1,8 @@
 #include "congest/bfs_tree.h"
 
+#include <algorithm>
+#include <map>
+
 #include "congest/runner.h"
 #include "support/check.h"
 
@@ -8,9 +11,19 @@ namespace mwc::congest {
 namespace {
 
 // Message words: {kToken, depth} announces the wave; {kAdopt} tells the
-// receiver it became the sender's parent.
+// receiver it became the sender's parent, {kUnadopt} that it no longer is.
+//
+// Adoption relaxes like a distance label: a node adopts any strictly smaller
+// depth it hears, even after joining. On reliable synchronous links the first
+// wave is already optimal and no re-adoption ever fires (identical messages
+// and rounds to a join-once flood); over the reliable transport of
+// reliable_link.h, where a retransmitted token can arrive arbitrarily late,
+// relaxation is what keeps the finished tree a true BFS tree. Parent links
+// are reconciled by adopt/unadopt counting, which within-round inbox
+// shuffling cannot unbalance.
 constexpr Word kToken = 0;
 constexpr Word kAdopt = 1;
+constexpr Word kUnadopt = 2;
 
 class BfsTreeProtocol : public Protocol {
  public:
@@ -19,6 +32,7 @@ class BfsTreeProtocol : public Protocol {
     result_.parent.assign(static_cast<std::size_t>(n), graph::kNoNode);
     result_.depth.assign(static_cast<std::size_t>(n), -1);
     result_.children.resize(static_cast<std::size_t>(n));
+    child_count_.resize(static_cast<std::size_t>(n));
   }
 
   void begin(NodeCtx& node) override {
@@ -30,24 +44,44 @@ class BfsTreeProtocol : public Protocol {
   }
 
   void round(NodeCtx& node) override {
-    auto& my_depth = result_.depth[static_cast<std::size_t>(node.id())];
+    const auto me = static_cast<std::size_t>(node.id());
+    auto& my_depth = result_.depth[me];
+    auto& my_parent = result_.parent[me];
     for (const Delivery& m : node.inbox()) {
-      if (tag_of(m.msg[0]) == kAdopt) {
-        result_.children[static_cast<std::size_t>(node.id())].push_back(m.from);
+      const Word tag = tag_of(m.msg[0]);
+      if (tag == kAdopt) {
+        ++child_count_[me][m.from];
+        continue;
+      }
+      if (tag == kUnadopt) {
+        --child_count_[me][m.from];
         continue;
       }
       const auto d = static_cast<std::int32_t>(value_of(m.msg[0]));
-      if (my_depth != -1) continue;  // already joined the tree
+      if (my_depth != -1 && d >= my_depth) continue;
       my_depth = d;
-      result_.parent[static_cast<std::size_t>(node.id())] = m.from;
-      node.send(m.from, Message{pack_tag(kAdopt, 0)});
+      if (my_parent != m.from) {
+        if (my_parent != graph::kNoNode) {
+          node.send(my_parent, Message{pack_tag(kUnadopt, 0)});
+        }
+        my_parent = m.from;
+        node.send(my_parent, Message{pack_tag(kAdopt, 0)});
+      }
       for (graph::NodeId u : node.comm_neighbors()) {
-        if (u != m.from) node.send(u, Message{pack_tag(kToken, static_cast<Word>(d + 1))});
+        if (u != my_parent) {
+          node.send(u, Message{pack_tag(kToken, static_cast<Word>(d + 1))});
+        }
       }
     }
   }
 
   BfsTreeResult take_result() {
+    for (std::size_t v = 0; v < child_count_.size(); ++v) {
+      for (const auto& [child, count] : child_count_[v]) {
+        MWC_CHECK_MSG(count == 0 || count == 1, "adopt/unadopt out of balance");
+        if (count == 1) result_.children[v].push_back(child);
+      }
+    }
     for (std::int32_t d : result_.depth) {
       MWC_CHECK_MSG(d >= 0, "communication topology must be connected");
       result_.height = std::max(result_.height, d);
@@ -58,6 +92,9 @@ class BfsTreeProtocol : public Protocol {
  private:
   graph::NodeId root_;
   BfsTreeResult result_;
+  // Net adopt (+1) / unadopt (-1) balance per potential child; the final
+  // children lists are the neighbors left at +1, in increasing id order.
+  std::vector<std::map<graph::NodeId, int>> child_count_;
 };
 
 }  // namespace

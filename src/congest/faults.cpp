@@ -1,0 +1,59 @@
+#include "congest/faults.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace mwc::congest {
+
+FaultInjector::FaultInjector(const FaultPlan& plan, support::Rng rng, int n,
+                             std::span<const std::pair<NodeId, NodeId>> dir_endpoints)
+    : rng_(rng) {
+  MWC_CHECK_MSG(plan.drop_prob >= 0.0 && plan.drop_prob < 1.0,
+                "drop_prob must be in [0, 1)");
+  drop_prob_.assign(dir_endpoints.size(), plan.drop_prob);
+  stalls_.resize(dir_endpoints.size());
+  for (std::size_t i = 0; i < dir_endpoints.size(); ++i) {
+    const auto [from, to] = dir_endpoints[i];
+    for (const LinkDropOverride& o : plan.drop_overrides) {
+      MWC_CHECK_MSG(o.prob >= 0.0 && o.prob < 1.0,
+                    "drop override prob must be in [0, 1)");
+      if ((o.a == from && o.b == to) || (o.a == to && o.b == from)) {
+        drop_prob_[i] = o.prob;
+      }
+    }
+    for (const StallFault& s : plan.stalls) {
+      MWC_CHECK_MSG(s.first_round <= s.last_round, "empty stall interval");
+      if (s.from == from && s.to == to) {
+        stalls_[i].emplace_back(s.first_round, s.last_round);
+      }
+    }
+  }
+  // One crash per node (earliest round wins), ordered by round.
+  std::vector<CrashFault> crashes = plan.crashes;
+  std::sort(crashes.begin(), crashes.end(), [](const CrashFault& a, const CrashFault& b) {
+    return a.round != b.round ? a.round < b.round : a.node < b.node;
+  });
+  for (const CrashFault& c : crashes) {
+    MWC_CHECK_MSG(c.node >= 0 && c.node < n, "crash fault names an unknown node");
+    const bool seen = std::any_of(
+        crashes_.begin(), crashes_.end(),
+        [&](const CrashFault& prev) { return prev.node == c.node; });
+    if (!seen) crashes_.push_back(c);
+  }
+}
+
+bool FaultInjector::drop_message(int dir_idx) {
+  const double p = drop_prob_[static_cast<std::size_t>(dir_idx)];
+  if (p <= 0.0) return false;
+  return rng_.next_bool(p);
+}
+
+bool FaultInjector::stalled(int dir_idx, std::uint64_t round) const {
+  for (const auto& [first, last] : stalls_[static_cast<std::size_t>(dir_idx)]) {
+    if (round >= first && round <= last) return true;
+  }
+  return false;
+}
+
+}  // namespace mwc::congest

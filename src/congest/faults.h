@@ -1,0 +1,114 @@
+// Deterministic fault injection for the CONGEST engine.
+//
+// The paper's model (Section 1.1) assumes perfectly reliable synchronous
+// links. To study the algorithms' behaviour off that happy path - and to
+// exercise the reliable transport of reliable_link.h - a FaultPlan attached
+// to NetworkConfig describes an adversary:
+//
+//   * message drops:  every fully transmitted message is lost with a
+//     per-link probability (a global rate plus per-link overrides);
+//   * link stalls:    a link direction moves zero words during a round
+//     interval (the queue keeps its contents, time keeps passing);
+//   * crash-stops:    a node falls permanently silent at a given round -
+//     it is never stepped again, its queued and in-flight outbound
+//     messages vanish, and inbound deliveries to it are discarded.
+//
+// Every run materializes its fault schedule from a FaultInjector seeded by
+// the run's RNG stream, which the Network forks from (master_seed,
+// run_counter). The same seed therefore reproduces the identical schedule -
+// fuzz failures replay exactly.
+//
+// Faults never abort the run: the engine reports what happened through
+// RunResult / RunStats (see protocol.h) and the Trace layer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace mwc::congest {
+
+using graph::NodeId;
+
+// Drop-probability override for both directions of the a-b link.
+struct LinkDropOverride {
+  NodeId a = graph::kNoNode;
+  NodeId b = graph::kNoNode;
+  double prob = 0.0;
+};
+
+// Stalls the from->to direction: zero words move in rounds
+// [first_round, last_round] (inclusive).
+struct StallFault {
+  NodeId from = graph::kNoNode;
+  NodeId to = graph::kNoNode;
+  std::uint64_t first_round = 0;
+  std::uint64_t last_round = 0;
+};
+
+// Crash-stop: `node` stops sending, receiving, and stepping at `round`
+// (round 0 = the node never participates at all).
+struct CrashFault {
+  NodeId node = graph::kNoNode;
+  std::uint64_t round = 0;
+};
+
+struct FaultPlan {
+  // Per-message loss probability applied to every link direction.
+  double drop_prob = 0.0;
+  std::vector<LinkDropOverride> drop_overrides;
+  std::vector<StallFault> stalls;
+  std::vector<CrashFault> crashes;
+
+  bool has_drops() const { return drop_prob > 0.0 || !drop_overrides.empty(); }
+  bool any() const {
+    return has_drops() || !stalls.empty() || !crashes.empty();
+  }
+};
+
+// Tuning for the ack/retransmit transport (reliable_link.h). Lives here so
+// NetworkConfig can embed it without a header cycle.
+struct ReliableConfig {
+  // Rounds to wait for a cumulative ack before the first retransmission.
+  std::uint64_t base_timeout_rounds = 8;
+  // Exponential backoff cap for the retransmission timeout.
+  std::uint64_t max_timeout_rounds = 512;
+  // Consecutive timeouts before a link is declared dead and its outstanding
+  // traffic abandoned (keeps runs with crash-stopped peers finite).
+  int max_retries = 24;
+};
+
+// One run's materialized fault schedule. The Runner constructs an injector
+// per run (when the plan is non-empty), binds it to the network's link
+// directions, and consults it from transmit_step(). Drop decisions consume
+// the injector's private RNG stream in deterministic engine order, so the
+// whole schedule is a pure function of (master_seed, run_counter, plan).
+class FaultInjector {
+ public:
+  // `dir_endpoints[i]` is the (from, to) pair of link direction i.
+  FaultInjector(const FaultPlan& plan, support::Rng rng, int n,
+                std::span<const std::pair<NodeId, NodeId>> dir_endpoints);
+
+  // Decides the fate of one fully transmitted message (consumes randomness
+  // only on links with a positive drop probability).
+  bool drop_message(int dir_idx);
+
+  // Whether direction `dir_idx` is stalled during `round`.
+  bool stalled(int dir_idx, std::uint64_t round) const;
+
+  // Crash faults, ordered by round (one per node; earliest round wins).
+  std::span<const CrashFault> crashes() const { return crashes_; }
+
+ private:
+  support::Rng rng_;
+  std::vector<double> drop_prob_;  // per direction
+  // Per direction: stall intervals (few per plan; linear scan).
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> stalls_;
+  std::vector<CrashFault> crashes_;
+};
+
+}  // namespace mwc::congest

@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "congest/faults.h"
 #include "congest/message.h"
 #include "congest/trace.h"
 #include "graph/graph.h"
@@ -29,7 +30,8 @@ using graph::NodeId;
 struct NetworkConfig {
   // Words per link direction per round (the model's Theta(log n) bits).
   int bandwidth_words = 1;
-  // Safety valve: a single protocol run aborts past this many rounds.
+  // Safety valve: a run that passes this many rounds stops and reports
+  // RunOutcome::kRoundLimitExceeded (no abort; see runner.h).
   std::uint64_t max_rounds_per_run = 20'000'000;
   // Adversarial-schedule fuzzing: randomize the within-round delivery order
   // of each inbox and the per-round node invocation order. Correct CONGEST
@@ -37,6 +39,14 @@ struct NetworkConfig {
   // a message arrives, not its position in the inbox), so results must be
   // unchanged; tests exercise algorithms under both schedules.
   bool shuffle_deliveries = false;
+  // Injected faults (drops, stalls, crash-stops); each run materializes a
+  // deterministic schedule from (seed, run counter). See congest/faults.h.
+  FaultPlan faults;
+  // Run every protocol over the ack/retransmit transport of
+  // congest/reliable_link.h. Required for correct results whenever
+  // faults.has_drops(); harmless (pure overhead) on reliable links.
+  bool reliable_transport = false;
+  ReliableConfig reliable;
 };
 
 class Network {
@@ -50,7 +60,7 @@ class Network {
 
   // Communication neighbors of v (underlying undirected topology).
   std::span<const NodeId> comm_neighbors(NodeId v) const;
-  int link_count() const { return static_cast<int>(links_.size()) ; }
+  int link_count() const { return static_cast<int>(links_.size()); }
 
   // --- accumulated counters over all protocol runs --------------------
   std::uint64_t total_rounds() const { return total_rounds_; }

@@ -31,6 +31,17 @@
 namespace mwc::congest {
 
 class Runner;
+class NodeCtx;
+
+// Interposition hook for layered transports (see reliable_link.h): a wrapper
+// Protocol hands the protocol above it a NodeCtx whose sends are routed here
+// instead of straight onto the links, so headers can be added transparently.
+class SendInterceptor {
+ public:
+  virtual ~SendInterceptor() = default;
+  virtual void on_send(NodeId from, NodeId neighbor, Message msg,
+                       std::int64_t priority) = 0;
+};
 
 class NodeCtx {
  public:
@@ -38,6 +49,8 @@ class NodeCtx {
   int n() const;
   // Round number within the current protocol run (begin() runs at round 0).
   std::uint64_t round() const;
+  // Link bandwidth B in words per round - public knowledge in CONGEST(B).
+  int bandwidth_words() const;
 
   // Messages delivered to this node this round.
   std::span<const Delivery> inbox() const;
@@ -62,11 +75,24 @@ class NodeCtx {
   std::span<const NodeId> comm_neighbors() const;
   bool graph_is_directed() const;
 
+  // A context identical to this one except that the protocol above sees
+  // `inbox` and its sends are routed through `hook`. Wake-ups, randomness,
+  // and graph knowledge pass straight through - the layered protocol cannot
+  // tell it is not talking to the engine (reliable_link.h relies on this).
+  NodeCtx layered(const std::vector<Delivery>* inbox, SendInterceptor* hook) const {
+    NodeCtx ctx = *this;
+    ctx.inbox_override_ = inbox;
+    ctx.send_hook_ = hook;
+    return ctx;
+  }
+
  private:
   friend class Runner;
   NodeCtx(Runner& runner, NodeId id) : runner_(&runner), id_(id) {}
   Runner* runner_;
   NodeId id_;
+  const std::vector<Delivery>* inbox_override_ = nullptr;
+  SendInterceptor* send_hook_ = nullptr;
 };
 
 class Protocol {
@@ -88,6 +114,40 @@ struct RunStats {
   // transmitted) - the congestion the random-delay scheduling of [24, 36]
   // exists to keep flat.
   std::uint64_t max_queue_words = 0;
+
+  // --- fault/transport accounting (zero on fault-free runs) -----------
+  // Messages/words lost to injected drops or to crash-stopped nodes
+  // (transmitted, then discarded instead of delivered). See faults.h.
+  std::uint64_t dropped_messages = 0;
+  std::uint64_t dropped_words = 0;
+  // Words re-sent by the reliable transport (reliable_link.h).
+  std::uint64_t retransmitted_words = 0;
+  // Direction-rounds during which a stall fault held back pending traffic.
+  std::uint64_t stalled_rounds = 0;
+};
+
+// How a protocol run ended. Faults and the round-limit safety valve are
+// engine-level events, reported instead of aborting the process; whether the
+// *protocol's* answer is usable after a crash or limit is the caller's call.
+enum class RunOutcome {
+  kCompleted,           // ran to quiescence with every node alive
+  kRoundLimitExceeded,  // stopped at NetworkConfig::max_rounds_per_run
+  kCrashed,             // quiescent, but crash-stop fault(s) fired mid-run
+};
+
+inline const char* to_string(RunOutcome outcome) {
+  switch (outcome) {
+    case RunOutcome::kCompleted: return "completed";
+    case RunOutcome::kRoundLimitExceeded: return "round_limit_exceeded";
+    case RunOutcome::kCrashed: return "crashed";
+  }
+  return "unknown";
+}
+
+struct RunResult {
+  RunOutcome outcome = RunOutcome::kCompleted;
+  RunStats stats;
+  bool ok() const { return outcome == RunOutcome::kCompleted; }
 };
 
 }  // namespace mwc::congest

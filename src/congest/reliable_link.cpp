@@ -1,0 +1,209 @@
+#include "congest/reliable_link.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/check.h"
+
+namespace mwc::congest {
+
+namespace {
+
+// Header word: bit 63 distinguishes ack from data, low 63 bits carry the
+// sequence number (data) or the cumulative highest-in-order seq (ack).
+constexpr Word kAckBit = Word{1} << 63;
+
+constexpr Word data_header(std::uint64_t seq) { return seq; }
+constexpr Word ack_header(std::uint64_t cum_seq) { return kAckBit | cum_seq; }
+constexpr bool is_ack(Word header) { return (header & kAckBit) != 0; }
+constexpr std::uint64_t seq_of(Word header) { return header & ~kAckBit; }
+
+// Acks jump every queue: a 1-word ack delayed behind bulk data would push
+// every retransmission timer toward spurious firing.
+constexpr std::int64_t kAckPriority = std::numeric_limits<std::int64_t>::min();
+
+Message deframe(const Message& framed) {
+  Message payload;
+  for (std::uint32_t i = 1; i < framed.size(); ++i) payload.push(framed[i]);
+  return payload;
+}
+
+}  // namespace
+
+ReliableProtocol::ReliableProtocol(Protocol& inner, ReliableConfig cfg)
+    : inner_(inner), cfg_(cfg) {
+  MWC_CHECK(cfg_.base_timeout_rounds >= 1);
+  MWC_CHECK(cfg_.max_timeout_rounds >= cfg_.base_timeout_rounds);
+  MWC_CHECK(cfg_.max_retries >= 1);
+}
+
+ReliableProtocol::NodeState& ReliableProtocol::state_of(NodeCtx& node) {
+  if (state_.empty()) state_.resize(static_cast<std::size_t>(node.n()));
+  NodeState& st = state_[static_cast<std::size_t>(node.id())];
+  if (st.nbrs.empty()) {
+    auto nbrs = node.comm_neighbors();
+    st.nbrs.assign(nbrs.begin(), nbrs.end());
+    st.tx.resize(st.nbrs.size());
+    st.rx.resize(st.nbrs.size());
+    for (LinkTx& tx : st.tx) tx.rto = cfg_.base_timeout_rounds;
+  }
+  return st;
+}
+
+int ReliableProtocol::nbr_index(const NodeState& st, NodeId u) const {
+  auto it = std::lower_bound(st.nbrs.begin(), st.nbrs.end(), u);
+  MWC_CHECK_MSG(it != st.nbrs.end() && *it == u,
+                "reliable frame from a non-neighbor");
+  return static_cast<int>(it - st.nbrs.begin());
+}
+
+void ReliableProtocol::begin(NodeCtx& node) {
+  NodeState& st = state_of(node);
+  inner_inbox_.clear();
+  raw_ = &node;
+  raw_state_ = &st;
+  NodeCtx layered = node.layered(&inner_inbox_, this);
+  inner_.begin(layered);
+  raw_ = nullptr;
+  raw_state_ = nullptr;
+}
+
+void ReliableProtocol::on_send(NodeId from, NodeId neighbor, Message msg,
+                               std::int64_t priority) {
+  (void)from;
+  MWC_CHECK_MSG(raw_ != nullptr, "on_send outside a protocol step");
+  LinkTx& tx = (*raw_state_).tx[static_cast<std::size_t>(nbr_index(*raw_state_, neighbor))];
+  if (tx.dead) return;  // peer declared dead; traffic abandoned
+  Message framed;
+  framed.push(data_header(tx.next_seq));
+  for (std::uint32_t i = 0; i < msg.size(); ++i) framed.push(msg[i]);
+  tx.unacked.push_back(Outstanding{tx.next_seq, raw_->round(), priority, framed});
+  tx.unacked_words += framed.size();
+  ++tx.next_seq;
+  raw_->send(neighbor, std::move(framed), priority);
+  arm_timer(*raw_, tx);
+}
+
+void ReliableProtocol::handle_ack(LinkTx& tx, std::uint64_t acked) {
+  bool progress = false;
+  while (!tx.unacked.empty() && tx.unacked.front().seq <= acked) {
+    tx.unacked_words -= tx.unacked.front().framed.size();
+    tx.unacked.pop_front();
+    progress = true;
+  }
+  if (progress) {
+    tx.retries = 0;
+    tx.rto = cfg_.base_timeout_rounds;
+    // A stale timer may still be armed; it fires spuriously and disarms.
+  }
+}
+
+void ReliableProtocol::accept_data(NodeCtx& node, NodeState& st, int j,
+                                   const Delivery& d) {
+  LinkRx& rx = st.rx[static_cast<std::size_t>(j)];
+  const std::uint64_t seq = seq_of(d.msg[0]);
+  rx.ack_due = true;  // every data frame (duplicates included) re-acks
+  if (seq < rx.next_expected) return;  // duplicate of a delivered frame
+  if (seq > rx.next_expected) {        // gap: a predecessor was dropped
+    rx.out_of_order.emplace(seq, deframe(d.msg));
+    return;
+  }
+  inner_inbox_.push_back(Delivery{d.from, deframe(d.msg)});
+  ++rx.next_expected;
+  auto it = rx.out_of_order.begin();
+  while (it != rx.out_of_order.end() && it->first == rx.next_expected) {
+    inner_inbox_.push_back(Delivery{d.from, std::move(it->second)});
+    ++rx.next_expected;
+    it = rx.out_of_order.erase(it);
+  }
+  (void)node;
+}
+
+// Rounds the link needs just to push every outstanding word out, assuming
+// it transmits nothing else. Frames queue behind the bandwidth cap, so a
+// timeout that ignores this serialization delay fires spuriously on any
+// backlog, and go-back-N then *adds* traffic to an already congested link.
+std::uint64_t ReliableProtocol::drain_rounds(const NodeCtx& node,
+                                             const LinkTx& tx) {
+  const auto bw = static_cast<std::uint64_t>(node.bandwidth_words());
+  return (tx.unacked_words + bw - 1) / bw;
+}
+
+void ReliableProtocol::arm_timer(NodeCtx& node, LinkTx& tx) {
+  if (tx.timer_armed) return;
+  tx.timer_armed = true;
+  tx.fire_round = node.round() + tx.rto + drain_rounds(node, tx);
+  node.wake_at(tx.fire_round);
+}
+
+void ReliableProtocol::service_timers(NodeCtx& node, NodeState& st) {
+  for (std::size_t j = 0; j < st.tx.size(); ++j) {
+    LinkTx& tx = st.tx[j];
+    if (!tx.timer_armed || node.round() < tx.fire_round) continue;
+    tx.timer_armed = false;
+    if (tx.unacked.empty()) continue;  // everything acked; timer was stale
+    // If the oldest frame was (re)sent after the timer was armed, or the
+    // link is still draining backlog, the timer is early, not the link
+    // silent: re-arm for the frame's own deadline.
+    const std::uint64_t due =
+        tx.unacked.front().sent_round + tx.rto + drain_rounds(node, tx);
+    if (node.round() < due) {
+      tx.timer_armed = true;
+      tx.fire_round = due;
+      node.wake_at(due);
+      continue;
+    }
+    if (++tx.retries > cfg_.max_retries) {
+      tx.dead = true;
+      tx.unacked.clear();
+      tx.unacked_words = 0;
+      ++dead_links_;
+      continue;
+    }
+    // Timeout: retransmit only the frame the cumulative ack is stuck on.
+    // The receiver buffers out-of-order frames (engine links are priority
+    // queues, so later low-priority-value sends legally overtake the head),
+    // which makes single-frame repair sufficient - go-back-N would resend
+    // frames the peer already holds every time the head is merely overtaken.
+    Outstanding& o = tx.unacked.front();
+    o.sent_round = node.round();
+    retransmitted_words_ += o.framed.size();
+    ++retransmitted_messages_;
+    node.send(st.nbrs[j], o.framed, o.priority);
+    tx.rto = std::min(tx.rto * 2, cfg_.max_timeout_rounds);
+    arm_timer(node, tx);
+  }
+}
+
+void ReliableProtocol::round(NodeCtx& node) {
+  NodeState& st = state_of(node);
+  inner_inbox_.clear();
+  for (const Delivery& d : node.inbox()) {
+    const int j = nbr_index(st, d.from);
+    if (is_ack(d.msg[0])) {
+      handle_ack(st.tx[static_cast<std::size_t>(j)], seq_of(d.msg[0]));
+    } else {
+      accept_data(node, st, j, d);
+    }
+  }
+  // Step the protocol above. It may see an empty inbox when only transport
+  // traffic (acks, duplicates) or a retransmission timer woke this node -
+  // a spurious invocation the Protocol contract already requires tolerating.
+  raw_ = &node;
+  raw_state_ = &st;
+  NodeCtx layered = node.layered(&inner_inbox_, this);
+  inner_.round(layered);
+  raw_ = nullptr;
+  raw_state_ = nullptr;
+  // Cumulative acks for every link that saw data this round.
+  for (std::size_t j = 0; j < st.rx.size(); ++j) {
+    LinkRx& rx = st.rx[j];
+    if (!rx.ack_due) continue;
+    rx.ack_due = false;
+    ++acks_sent_;
+    node.send(st.nbrs[j], Message{ack_header(rx.next_expected - 1)}, kAckPriority);
+  }
+  service_timers(node, st);
+}
+
+}  // namespace mwc::congest

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "congest/reliable_link.h"
 #include "support/check.h"
 
 namespace mwc::congest {
@@ -12,11 +13,20 @@ int NodeCtx::n() const { return runner_->net_.n(); }
 
 std::uint64_t NodeCtx::round() const { return runner_->round_; }
 
+int NodeCtx::bandwidth_words() const {
+  return runner_->net_.config().bandwidth_words;
+}
+
 std::span<const Delivery> NodeCtx::inbox() const {
+  if (inbox_override_ != nullptr) return *inbox_override_;
   return runner_->inbox_current_;
 }
 
 void NodeCtx::send(NodeId neighbor, Message msg, std::int64_t priority) {
+  if (send_hook_ != nullptr) {
+    send_hook_->on_send(id_, neighbor, std::move(msg), priority);
+    return;
+  }
   runner_->send(id_, neighbor, std::move(msg), priority);
 }
 
@@ -52,13 +62,35 @@ Runner::Runner(Network& net, Protocol& proto)
     : net_(net), proto_(proto), run_id_(net.run_counter()),
       dir_state_(net.dirs_.size()),
       inbox_next_(static_cast<std::size_t>(net.n())),
-      schedule_rng_(0) {
+      schedule_rng_(0),
+      crashed_(static_cast<std::size_t>(net.n()), false) {
   support::Rng run_rng = net.next_run_rng();
   node_rng_.reserve(static_cast<std::size_t>(net.n()));
   for (NodeId v = 0; v < net.n(); ++v) {
     node_rng_.push_back(run_rng.fork(static_cast<std::uint64_t>(v)));
   }
   schedule_rng_ = run_rng.fork(~std::uint64_t{0});
+  if (net.config().faults.any()) {
+    std::vector<std::pair<NodeId, NodeId>> endpoints;
+    endpoints.reserve(net.dirs_.size());
+    for (const Network::Direction& d : net.dirs_) {
+      endpoints.emplace_back(d.from, d.to);
+    }
+    // A fault stream of its own, forked like the node streams: the schedule
+    // is a pure function of (master seed, run counter).
+    injector_ = std::make_unique<FaultInjector>(
+        net.config().faults, run_rng.fork(~std::uint64_t{0} - 1), net.n(),
+        endpoints);
+  }
+  if (net.config().reliable_transport) {
+    reliable_ = std::make_unique<ReliableProtocol>(proto_, net.config().reliable);
+  }
+}
+
+Runner::~Runner() = default;
+
+Protocol& Runner::active_proto() {
+  return reliable_ != nullptr ? *reliable_ : proto_;
 }
 
 void Runner::send(NodeId from, NodeId to, Message msg, std::int64_t priority) {
@@ -81,6 +113,44 @@ void Runner::activate_dir(int dir_idx) {
   }
 }
 
+void Runner::apply_due_crashes() {
+  if (injector_ == nullptr) return;
+  auto crashes = injector_->crashes();
+  while (next_crash_ < crashes.size() && crashes[next_crash_].round <= round_) {
+    const NodeId v = crashes[next_crash_++].node;
+    if (!crashed_[static_cast<std::size_t>(v)]) crash_node(v);
+  }
+}
+
+void Runner::crash_node(NodeId v) {
+  crashed_[static_cast<std::size_t>(v)] = true;
+  any_crash_ = true;
+  // The node falls silent: queued and in-flight outbound traffic vanishes,
+  // and anything still addressed to it will be discarded on arrival.
+  const std::int32_t b = net_.nbr_offset_[static_cast<std::size_t>(v)];
+  const std::int32_t e = net_.nbr_offset_[static_cast<std::size_t>(v) + 1];
+  for (std::int32_t i = b; i < e; ++i) {
+    DirectionState& ds =
+        dir_state_[static_cast<std::size_t>(net_.nbr_dir_[static_cast<std::size_t>(i)])];
+    if (ds.transmitting) {
+      ++stats_.dropped_messages;
+      stats_.dropped_words += ds.current.size() - ds.words_done;
+      ds.transmitting = false;
+    }
+    while (!ds.queue.empty()) {
+      ++stats_.dropped_messages;
+      stats_.dropped_words += ds.queue.top().msg.size();
+      ds.queue.pop();
+    }
+    ds.queued_words = 0;
+  }
+  inbox_next_[static_cast<std::size_t>(v)].clear();
+  if (net_.trace_ != nullptr) {
+    net_.trace_->record(TraceEvent{run_id_, round_, v, graph::kNoNode, 0,
+                                   TraceEventKind::kCrash});
+  }
+}
+
 void Runner::transmit_step() {
   const int bandwidth = net_.config().bandwidth_words;
   std::vector<int> still_active;
@@ -88,6 +158,17 @@ void Runner::transmit_step() {
   for (int dir_idx : active_dirs_) {
     DirectionState& ds = dir_state_[static_cast<std::size_t>(dir_idx)];
     const Network::Direction& dir = net_.dirs_[static_cast<std::size_t>(dir_idx)];
+    if (injector_ != nullptr && injector_->stalled(dir_idx, round_)) {
+      // Frozen: time passes, the queue holds. Still active by definition.
+      ++stats_.stalled_rounds;
+      if (net_.trace_ != nullptr) {
+        net_.trace_->record(TraceEvent{
+            run_id_, round_, dir.from, dir.to,
+            static_cast<std::uint32_t>(ds.queued_words), TraceEventKind::kStall});
+      }
+      still_active.push_back(dir_idx);
+      continue;
+    }
     int budget = bandwidth;
     while (budget > 0) {
       if (!ds.transmitting) {
@@ -106,17 +187,30 @@ void Runner::transmit_step() {
       net_.total_words_ += take;
       if (dir.crosses_cut) net_.cut_words_ += take;
       if (ds.words_done == ds.current.size()) {
-        // Message fully transmitted: deliver for next round.
-        if (net_.trace_ != nullptr) {
-          net_.trace_->record(TraceEvent{run_id_, round_, dir.from, dir.to,
-                                         ds.current.size()});
+        // Message fully transmitted: deliver for next round - unless a drop
+        // fault eats it or the receiver is gone.
+        const bool lost = crashed_[static_cast<std::size_t>(dir.to)] ||
+                          (injector_ != nullptr && injector_->drop_message(dir_idx));
+        if (lost) {
+          ++stats_.dropped_messages;
+          stats_.dropped_words += ds.current.size();
+          if (net_.trace_ != nullptr) {
+            net_.trace_->record(TraceEvent{run_id_, round_, dir.from, dir.to,
+                                           ds.current.size(),
+                                           TraceEventKind::kDrop});
+          }
+        } else {
+          if (net_.trace_ != nullptr) {
+            net_.trace_->record(TraceEvent{run_id_, round_, dir.from, dir.to,
+                                           ds.current.size()});
+          }
+          auto& box = inbox_next_[static_cast<std::size_t>(dir.to)];
+          if (box.empty()) receivers_next_.push_back(dir.to);
+          box.push_back(Delivery{dir.from, std::move(ds.current)});
+          ++stats_.messages;
+          ++net_.total_messages_;
         }
-        auto& box = inbox_next_[static_cast<std::size_t>(dir.to)];
-        if (box.empty()) receivers_next_.push_back(dir.to);
-        box.push_back(Delivery{dir.from, std::move(ds.current)});
         ds.transmitting = false;
-        ++stats_.messages;
-        ++net_.total_messages_;
       }
     }
     if (ds.transmitting || !ds.queue.empty()) {
@@ -132,12 +226,15 @@ void Runner::transmit_step() {
   active_dirs_.swap(still_active);
 }
 
-RunStats Runner::run() {
+RunResult Runner::run() {
+  Protocol& proto = active_proto();
   // Round 0: local setup + initial sends.
   round_ = 0;
+  apply_due_crashes();
   for (NodeId v = 0; v < net_.n(); ++v) {
+    if (crashed_[static_cast<std::size_t>(v)]) continue;
     NodeCtx ctx(*this, v);
-    proto_.begin(ctx);
+    proto.begin(ctx);
   }
   transmit_step();
 
@@ -153,8 +250,11 @@ RunStats Runner::run() {
       next_round = std::max(next_round, wakes_.top().first);
     }
     round_ = next_round;
-    MWC_CHECK_MSG(round_ <= net_.config().max_rounds_per_run,
-                  "protocol exceeded max_rounds_per_run (deadlock?)");
+    if (round_ > net_.config().max_rounds_per_run) {
+      round_limit_hit_ = true;
+      break;
+    }
+    apply_due_crashes();
 
     // Nodes to invoke this round: message receivers + due wake-ups.
     active_nodes.clear();
@@ -168,6 +268,10 @@ RunStats Runner::run() {
     std::sort(active_nodes.begin(), active_nodes.end());
     if (net_.config().shuffle_deliveries) schedule_rng_.shuffle(active_nodes);
     for (NodeId v : active_nodes) {
+      if (crashed_[static_cast<std::size_t>(v)]) {
+        inbox_next_[static_cast<std::size_t>(v)].clear();
+        continue;
+      }
       auto& stamp = last_invoked[static_cast<std::size_t>(v)];
       if (stamp == round_) continue;
       stamp = round_;
@@ -175,7 +279,7 @@ RunStats Runner::run() {
       inbox_current_.swap(inbox_next_[static_cast<std::size_t>(v)]);
       if (net_.config().shuffle_deliveries) schedule_rng_.shuffle(inbox_current_);
       NodeCtx ctx(*this, v);
-      proto_.round(ctx);
+      proto.round(ctx);
     }
     inbox_current_.clear();
 
@@ -187,12 +291,27 @@ RunStats Runner::run() {
   // the final delivery is free, idle waiting in the middle is not).
   stats_.rounds = had_transmission_ ? last_activity_round_ + 1 : 0;
   net_.total_rounds_ += stats_.rounds;
-  return stats_;
+  if (reliable_ != nullptr) {
+    stats_.retransmitted_words += reliable_->retransmitted_words();
+  }
+  RunOutcome outcome = RunOutcome::kCompleted;
+  if (round_limit_hit_) {
+    outcome = RunOutcome::kRoundLimitExceeded;
+  } else if (any_crash_) {
+    outcome = RunOutcome::kCrashed;
+  }
+  return RunResult{outcome, stats_};
+}
+
+RunResult run_protocol_result(Network& net, Protocol& proto) {
+  Runner runner(net, proto);
+  return runner.run();
 }
 
 RunStats run_protocol(Network& net, Protocol& proto) {
-  Runner runner(net, proto);
-  return runner.run();
+  RunResult result = run_protocol_result(net, proto);
+  if (!result.ok()) throw RunAbortedError(result.outcome, result.stats);
+  return result.stats;
 }
 
 }  // namespace mwc::congest

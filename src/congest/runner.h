@@ -5,23 +5,37 @@
 // property of the execution (how many rounds until the network went quiet),
 // accumulated into the Network so sequentially composed subroutines add up
 // exactly as the paper composes them.
+//
+// Runs never abort the process for engine-level anomalies: exceeding
+// max_rounds_per_run or losing nodes to injected crash-stop faults surfaces
+// as a RunOutcome in the returned RunResult. When the Network's config
+// enables reliable_transport, the Runner transparently wraps the protocol
+// in the ReliableProtocol ARQ layer (reliable_link.h), so protocols run
+// unmodified over links that drop messages (faults.h).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <queue>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "congest/faults.h"
 #include "congest/network.h"
 #include "congest/protocol.h"
 
 namespace mwc::congest {
 
+class ReliableProtocol;
+
 class Runner {
  public:
   Runner(Network& net, Protocol& proto);
+  ~Runner();
 
-  // Runs to quiescence (or aborts at cfg.max_rounds_per_run).
-  RunStats run();
+  // Runs to quiescence (or to the round limit) and reports how it ended.
+  RunResult run();
 
  private:
   friend class NodeCtx;
@@ -51,8 +65,14 @@ class Runner {
   void send(NodeId from, NodeId to, Message msg, std::int64_t priority);
   void wake_at(NodeId node, std::uint64_t r);
 
+  // The protocol the engine actually steps (the reliable wrapper when
+  // transport is enabled, the caller's protocol otherwise).
+  Protocol& active_proto();
+
   void transmit_step();
   void activate_dir(int dir_idx);
+  void apply_due_crashes();
+  void crash_node(NodeId v);
 
   Network& net_;
   Protocol& proto_;
@@ -76,10 +96,41 @@ class Runner {
 
   std::vector<support::Rng> node_rng_;
   support::Rng schedule_rng_;  // adversarial-schedule fuzzing
+
+  // Fault machinery (null / empty on fault-free configs).
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<ReliableProtocol> reliable_;
+  std::vector<bool> crashed_;
+  std::size_t next_crash_ = 0;
+  bool any_crash_ = false;
+  bool round_limit_hit_ = false;
+
   RunStats stats_;
 };
 
-// Convenience: build a Runner and run it.
+// Thrown by run_protocol when a run does not complete (round limit, crash
+// faults). Carries the full RunResult for callers that catch and inspect.
+class RunAbortedError : public std::runtime_error {
+ public:
+  RunAbortedError(RunOutcome outcome, const RunStats& stats)
+      : std::runtime_error(std::string("protocol run aborted: ") +
+                           to_string(outcome) + " after " +
+                           std::to_string(stats.rounds) + " rounds"),
+        result_{outcome, stats} {}
+  RunOutcome outcome() const { return result_.outcome; }
+  const RunResult& result() const { return result_; }
+
+ private:
+  RunResult result_;
+};
+
+// Convenience: build a Runner, run it, and require a completed outcome
+// (throws RunAbortedError otherwise). The one-liner for algorithms that
+// treat any non-completion as unrecoverable.
 RunStats run_protocol(Network& net, Protocol& proto);
+
+// Convenience that surfaces the outcome instead of throwing - for harnesses
+// that deliberately inject crashes or probe the round limit.
+RunResult run_protocol_result(Network& net, Protocol& proto);
 
 }  // namespace mwc::congest

@@ -46,7 +46,7 @@ std::vector<std::pair<std::uint64_t, std::uint64_t>> Trace::round_profile(
     std::uint64_t run) const {
   std::vector<std::pair<std::uint64_t, std::uint64_t>> profile;
   for (const TraceEvent& e : events()) {
-    if (e.run != run) continue;
+    if (e.run != run || e.kind != TraceEventKind::kDeliver) continue;
     if (!profile.empty() && profile.back().first == e.round) {
       profile.back().second += e.words;
     } else {
@@ -54,6 +54,14 @@ std::vector<std::pair<std::uint64_t, std::uint64_t>> Trace::round_profile(
     }
   }
   return profile;
+}
+
+std::vector<TraceEvent> Trace::fault_events(std::uint64_t run) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events()) {
+    if (e.run == run && e.kind != TraceEventKind::kDeliver) out.push_back(e);
+  }
+  return out;
 }
 
 std::string Trace::to_string(std::size_t max_lines) const {
@@ -64,8 +72,15 @@ std::string Trace::to_string(std::size_t max_lines) const {
       out << "... (" << (retained_count() - max_lines) << " more)\n";
       break;
     }
-    out << "run " << e.run << " round " << e.round << ": " << e.from << " -> "
-        << e.to << " (" << e.words << "w)\n";
+    out << "run " << e.run << " round " << e.round << ": ";
+    if (e.kind == TraceEventKind::kCrash) {
+      out << "node " << e.from << " CRASHED\n";
+      continue;
+    }
+    out << e.from << " -> " << e.to << " (" << e.words << "w)";
+    if (e.kind == TraceEventKind::kDrop) out << " DROPPED";
+    if (e.kind == TraceEventKind::kStall) out << " STALLED";
+    out << "\n";
   }
   if (dropped() > 0) out << "[" << dropped() << " older events dropped]\n";
   return out.str();

@@ -16,12 +16,20 @@
 
 namespace mwc::congest {
 
+enum class TraceEventKind : std::uint8_t {
+  kDeliver = 0,  // message fully transmitted and delivered
+  kDrop,         // message fully transmitted, then lost to a fault
+  kStall,        // a stall fault held back this direction's pending traffic
+  kCrash,        // `from` crash-stopped this round (`to` unused)
+};
+
 struct TraceEvent {
   std::uint64_t run = 0;    // Network run counter at the time
   std::uint64_t round = 0;  // engine round the message finished transmitting
   graph::NodeId from = graph::kNoNode;
   graph::NodeId to = graph::kNoNode;
   std::uint32_t words = 0;
+  TraceEventKind kind = TraceEventKind::kDeliver;
 };
 
 class Trace {
@@ -41,8 +49,12 @@ class Trace {
 
   // Per-round delivered-word counts for a run: (round, words) pairs in
   // increasing round order - the "activity profile" of an execution.
+  // Counts kDeliver events only; fault events never inflate the profile.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> round_profile(
       std::uint64_t run) const;
+
+  // Retained fault events (kind != kDeliver) of a run, in arrival order.
+  std::vector<TraceEvent> fault_events(std::uint64_t run) const;
 
   // Human-readable dump (bounded by max_lines).
   std::string to_string(std::size_t max_lines = 100) const;

@@ -23,6 +23,10 @@ void add_stats(RunStats& acc, const RunStats& s) {
   acc.messages += s.messages;
   acc.words += s.words;
   acc.max_queue_words = std::max(acc.max_queue_words, s.max_queue_words);
+  acc.dropped_messages += s.dropped_messages;
+  acc.dropped_words += s.dropped_words;
+  acc.retransmitted_words += s.retransmitted_words;
+  acc.stalled_rounds += s.stalled_rounds;
 }
 
 std::vector<NodeId> sample_vertices(congest::Network& net, double c, int h) {

@@ -3,17 +3,60 @@
 // MWC_CHECK is always on (simulation correctness depends on it and the cost
 // is negligible next to message processing); MWC_DCHECK compiles out in
 // release builds for hot inner loops.
+//
+// By default a failed check aborts. Tests that exercise failure paths can
+// opt into throwing mode (ScopedChecksThrow / set_checks_throw), in which
+// a failed check raises CheckError instead - no death tests required.
+// Compiling with -DMWC_CHECKS_THROW flips the default to throwing.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace mwc::support {
 
+// Raised by failed checks in throwing mode.
+class CheckError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline std::atomic<bool>& checks_throw_flag() {
+  static std::atomic<bool> enabled{
+#ifdef MWC_CHECKS_THROW
+      true
+#else
+      false
+#endif
+  };
+  return enabled;
+}
+
+inline void set_checks_throw(bool enabled) {
+  checks_throw_flag().store(enabled, std::memory_order_relaxed);
+}
+
+// RAII guard: checks throw CheckError while the guard is alive.
+class ScopedChecksThrow {
+ public:
+  ScopedChecksThrow() : prev_(checks_throw_flag().exchange(true)) {}
+  ~ScopedChecksThrow() { checks_throw_flag().store(prev_); }
+  ScopedChecksThrow(const ScopedChecksThrow&) = delete;
+  ScopedChecksThrow& operator=(const ScopedChecksThrow&) = delete;
+
+ private:
+  bool prev_;
+};
+
 [[noreturn]] inline void check_failed(const char* cond, const char* file, int line,
                                       const char* msg) {
-  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
-               msg[0] ? " - " : "", msg);
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), "CHECK failed: %s at %s:%d%s%s", cond, file,
+                line, msg[0] ? " - " : "", msg);
+  if (checks_throw_flag().load(std::memory_order_relaxed)) throw CheckError(buf);
+  std::fprintf(stderr, "%s\n", buf);
   std::abort();
 }
 

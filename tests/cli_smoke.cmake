@@ -25,3 +25,17 @@ execute_process(COMMAND ${CLI} run girth-approx ${GRAPH} 3
 if(NOT rc EQUAL 0 OR NOT out MATCHES "value: [0-9]+")
   message(FATAL_ERROR "run girth-approx failed: ${out}")
 endif()
+
+# Lossy-link run: answers survive 20% drops and the overhead is reported.
+execute_process(COMMAND ${CLI} run exact ${GRAPH} 3 --fault-drop-prob=0.2
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "retransmitted: [0-9]+ words")
+  message(FATAL_ERROR "run exact with drops failed: ${out}")
+endif()
+
+# A hopeless round budget must exit cleanly with a diagnostic, not abort.
+execute_process(COMMAND ${CLI} run exact ${GRAPH} 3 --max-rounds=2
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 2 OR NOT err MATCHES "round_limit_exceeded")
+  message(FATAL_ERROR "run with tiny --max-rounds: rc=${rc}: ${err}")
+endif()

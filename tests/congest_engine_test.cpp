@@ -3,6 +3,7 @@
 // round-complexity measurement in the benches rests on.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "congest/network.h"
@@ -10,6 +11,7 @@
 #include "congest/runner.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
+#include "support/check.h"
 
 namespace mwc::congest {
 namespace {
@@ -194,7 +196,7 @@ TEST(Engine, RoundsAccumulateAcrossRuns) {
   EXPECT_EQ(net.total_words(), 7u);
 }
 
-TEST(Engine, SendToNonNeighborDies) {
+TEST(Engine, SendToNonNeighborFailsCheck) {
   Graph g = path_graph(3);  // 0-1-2; 0 and 2 not adjacent
   class BadSend : public Protocol {
     void begin(NodeCtx& node) override {
@@ -204,7 +206,14 @@ TEST(Engine, SendToNonNeighborDies) {
   };
   Network net(g, /*seed=*/1);
   BadSend proto;
-  EXPECT_DEATH(run_protocol(net, proto), "not a communication neighbor");
+  support::ScopedChecksThrow guard;
+  try {
+    run_protocol(net, proto);
+    FAIL() << "expected a check failure";
+  } catch (const support::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("not a communication neighbor"),
+              std::string::npos);
+  }
 }
 
 TEST(Engine, DirectedArcsShareBidirectionalLink) {
@@ -314,21 +323,43 @@ TEST(MessageType, InlineAndHeapStorage) {
   }
 }
 
-TEST(Engine, MaxRoundsGuardTrips) {
+// An algorithm that never quiesces must not take the process down: the run
+// stops at the limit and reports how it ended.
+class PingPong : public Protocol {
+  void begin(NodeCtx& node) override {
+    if (node.id() == 0) node.send(1, Message{0});
+  }
+  void round(NodeCtx& node) override {
+    for (const Delivery& m : node.inbox()) node.send(m.from, Message{m.msg[0] + 1});
+  }
+};
+
+TEST(Engine, MaxRoundsGuardReportsOutcome) {
   Graph g = path_graph(2);
   NetworkConfig cfg;
   cfg.max_rounds_per_run = 10;
-  class PingPong : public Protocol {
-    void begin(NodeCtx& node) override {
-      if (node.id() == 0) node.send(1, Message{0});
-    }
-    void round(NodeCtx& node) override {
-      for (const Delivery& m : node.inbox()) node.send(m.from, Message{m.msg[0] + 1});
-    }
-  };
   Network net(g, /*seed=*/1, cfg);
   PingPong proto;
-  EXPECT_DEATH(run_protocol(net, proto), "max_rounds_per_run");
+  RunResult result = run_protocol_result(net, proto);
+  EXPECT_EQ(result.outcome, RunOutcome::kRoundLimitExceeded);
+  EXPECT_FALSE(result.ok());
+  EXPECT_LE(result.stats.rounds, 11u);
+}
+
+TEST(Engine, MaxRoundsGuardThrowsFromRunProtocol) {
+  Graph g = path_graph(2);
+  NetworkConfig cfg;
+  cfg.max_rounds_per_run = 10;
+  Network net(g, /*seed=*/1, cfg);
+  PingPong proto;
+  try {
+    run_protocol(net, proto);
+    FAIL() << "expected RunAbortedError";
+  } catch (const RunAbortedError& e) {
+    EXPECT_EQ(e.outcome(), RunOutcome::kRoundLimitExceeded);
+    EXPECT_NE(std::string(e.what()).find("round_limit_exceeded"),
+              std::string::npos);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,326 @@
+// Fault injection + reliable transport: deterministic schedules, correct
+// answers over lossy links, and non-aborting crash/limit reporting.
+//
+// The load-bearing claims: (1) the fault schedule is a pure function of
+// (seed, run counter) - fuzz failures replay exactly; (2) with
+// reliable_transport on, the tree/broadcast/convergecast primitives and a
+// full MWC algorithm return answers identical to their fault-free runs even
+// when every link drops 10-30% of its messages; (3) crash-stop faults and
+// the round limit surface as RunOutcome, never as process death.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "congest/bfs_tree.h"
+#include "congest/broadcast.h"
+#include "congest/convergecast.h"
+#include "congest/network.h"
+#include "congest/reliable_link.h"
+#include "congest/runner.h"
+#include "congest/trace.h"
+#include "graph/generators.h"
+#include "graph/sequential.h"
+#include "mwc/exact.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace mwc::congest {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+using graph::NodeId;
+using graph::WeightRange;
+
+Graph test_graph(std::uint64_t seed, int n = 40, int m = 90) {
+  support::Rng rng(seed);
+  return graph::random_connected(n, m, WeightRange{1, 9}, rng);
+}
+
+NetworkConfig lossy_config(double drop_prob) {
+  NetworkConfig cfg;
+  cfg.faults.drop_prob = drop_prob;
+  cfg.reliable_transport = true;
+  return cfg;
+}
+
+// Minimal flood: node 0 announces, everyone re-announces once. Terminates on
+// its own (each node sends at most once per link), so it runs fine even
+// without the reliable transport - useful for raw fault-semantics tests.
+class Flood : public Protocol {
+ public:
+  explicit Flood(int n) : reached_(static_cast<std::size_t>(n), false) {}
+
+  void begin(NodeCtx& node) override {
+    if (node.id() != 0) return;
+    reached_[0] = true;
+    for (NodeId u : node.comm_neighbors()) node.send(u, Message{1});
+  }
+
+  void round(NodeCtx& node) override {
+    if (node.inbox().empty()) return;
+    if (reached_[static_cast<std::size_t>(node.id())]) return;
+    reached_[static_cast<std::size_t>(node.id())] = true;
+    for (NodeId u : node.comm_neighbors()) node.send(u, Message{1});
+  }
+
+  const std::vector<bool>& reached() const { return reached_; }
+
+ private:
+  std::vector<bool> reached_;
+};
+
+// ---------- deterministic schedules ----------------------------------------
+
+TEST(FaultSchedule, SameSeedReproducesScheduleAndRounds) {
+  Graph g = test_graph(1);
+  RunStats first;
+  for (int rep = 0; rep < 2; ++rep) {
+    Network net(g, /*seed=*/42, lossy_config(0.3));
+    Flood proto(net.n());
+    RunResult r = run_protocol_result(net, proto);
+    ASSERT_TRUE(r.ok());
+    if (rep == 0) {
+      first = r.stats;
+      EXPECT_GT(first.dropped_messages, 0u);
+    } else {
+      EXPECT_EQ(r.stats.rounds, first.rounds);
+      EXPECT_EQ(r.stats.messages, first.messages);
+      EXPECT_EQ(r.stats.words, first.words);
+      EXPECT_EQ(r.stats.dropped_messages, first.dropped_messages);
+      EXPECT_EQ(r.stats.dropped_words, first.dropped_words);
+      EXPECT_EQ(r.stats.retransmitted_words, first.retransmitted_words);
+    }
+  }
+}
+
+TEST(FaultSchedule, TraceRecordsIdenticalDropEvents) {
+  Graph g = test_graph(2);
+  std::vector<std::vector<TraceEvent>> seen;
+  for (int rep = 0; rep < 2; ++rep) {
+    Network net(g, /*seed=*/7, lossy_config(0.2));
+    Trace trace;
+    net.attach_trace(&trace);
+    Flood proto(net.n());
+    ASSERT_TRUE(run_protocol_result(net, proto).ok());
+    seen.push_back(trace.fault_events(/*run=*/0));
+  }
+  ASSERT_FALSE(seen[0].empty());
+  ASSERT_EQ(seen[0].size(), seen[1].size());
+  for (std::size_t i = 0; i < seen[0].size(); ++i) {
+    EXPECT_EQ(seen[0][i].round, seen[1][i].round);
+    EXPECT_EQ(seen[0][i].from, seen[1][i].from);
+    EXPECT_EQ(seen[0][i].to, seen[1][i].to);
+    EXPECT_EQ(static_cast<int>(seen[0][i].kind), static_cast<int>(seen[1][i].kind));
+  }
+}
+
+TEST(FaultSchedule, InvalidDropProbabilityFailsCheck) {
+  Graph g = test_graph(3, 10, 15);
+  NetworkConfig cfg = lossy_config(1.5);
+  Network net(g, /*seed=*/1, cfg);
+  Flood proto(net.n());
+  support::ScopedChecksThrow guard;
+  EXPECT_THROW(run_protocol_result(net, proto), support::CheckError);
+}
+
+// ---------- reliable transport masks drops ----------------------------------
+
+class ReliablePrimitives : public ::testing::TestWithParam<double> {};
+
+TEST_P(ReliablePrimitives, BfsTreeMatchesFaultFree) {
+  Graph g = test_graph(4);
+  Network lossy(g, /*seed=*/5, lossy_config(GetParam()));
+  RunStats stats;
+  BfsTreeResult tree = build_bfs_tree(lossy, /*root=*/0, &stats);
+  auto ref = graph::seq::bfs_hops(g.communication_topology(), 0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(tree.depth[static_cast<std::size_t>(v)],
+              ref[static_cast<std::size_t>(v)]);
+    if (v != 0) {
+      NodeId p = tree.parent[static_cast<std::size_t>(v)];
+      EXPECT_EQ(tree.depth[static_cast<std::size_t>(v)],
+                tree.depth[static_cast<std::size_t>(p)] + 1);
+      const auto& ch = tree.children[static_cast<std::size_t>(p)];
+      EXPECT_EQ(std::count(ch.begin(), ch.end(), v), 1);
+    }
+  }
+}
+
+TEST_P(ReliablePrimitives, BroadcastMatchesFaultFree) {
+  Graph g = test_graph(5);
+  const int n = g.node_count();
+
+  std::vector<std::vector<BroadcastItem>> items(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; v += 3) {
+    items[static_cast<std::size_t>(v)].push_back({static_cast<Word>(v), 7});
+  }
+
+  Network clean(g, /*seed=*/5);
+  BroadcastResult want =
+      broadcast(clean, build_bfs_tree(clean), items);
+
+  Network lossy(g, /*seed=*/5, lossy_config(GetParam()));
+  BfsTreeResult tree = build_bfs_tree(lossy);
+  BroadcastResult got = broadcast(lossy, tree, items);
+
+  auto keys = [](const BroadcastResult& r) {
+    std::vector<Word> ks;
+    for (const BroadcastItem& item : r.items()) ks.push_back(item[0]);
+    std::sort(ks.begin(), ks.end());
+    return ks;
+  };
+  EXPECT_EQ(keys(got), keys(want));
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_EQ(got.received_count(v), got.items().size()) << "node " << v;
+  }
+}
+
+TEST_P(ReliablePrimitives, ConvergecastMatchesFaultFree) {
+  Graph g = test_graph(6);
+  const int n = g.node_count();
+  std::vector<graph::Weight> values;
+  for (int v = 0; v < n; ++v) values.push_back((v * 37 + 11) % 101);
+
+  Network lossy(g, /*seed=*/9, lossy_config(GetParam()));
+  BfsTreeResult tree = build_bfs_tree(lossy);
+  EXPECT_EQ(convergecast(lossy, tree, values, AggregateOp::kMin),
+            *std::min_element(values.begin(), values.end()));
+  EXPECT_EQ(convergecast(lossy, tree, values, AggregateOp::kSum),
+            std::accumulate(values.begin(), values.end(), graph::Weight{0}));
+}
+
+INSTANTIATE_TEST_SUITE_P(DropRates, ReliablePrimitives,
+                         ::testing::Values(0.1, 0.3));
+
+TEST(ReliableTransport, RetransmissionsShowUpInStats) {
+  Graph g = test_graph(7);
+  Network net(g, /*seed=*/11, lossy_config(0.3));
+  RunStats stats;
+  build_bfs_tree(net, /*root=*/0, &stats);
+  EXPECT_GT(stats.dropped_messages, 0u);
+  EXPECT_GT(stats.retransmitted_words, 0u);
+}
+
+TEST(ReliableTransport, HarmlessOnLossFreeLinks) {
+  // Pure overhead, same answer: the transport must not perturb protocols
+  // when nothing is dropped.
+  Graph g = test_graph(8);
+  NetworkConfig cfg;
+  cfg.reliable_transport = true;
+  Network net(g, /*seed=*/13, cfg);
+  BfsTreeResult tree = build_bfs_tree(net);
+  auto ref = graph::seq::bfs_hops(g.communication_topology(), 0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(tree.depth[static_cast<std::size_t>(v)],
+              ref[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(ReliableTransport, ExactMwcMatchesFaultFreeAtThirtyPercentLoss) {
+  // The acceptance bar: a full MWC algorithm, every link dropping 30% of its
+  // messages, answer bit-identical to the reliable-network run.
+  Graph g = test_graph(9, 24, 48);
+  Network clean(g, /*seed=*/17);
+  cycle::MwcResult want = cycle::exact_mwc(clean);
+
+  Network lossy(g, /*seed=*/17, lossy_config(0.3));
+  cycle::MwcResult got = cycle::exact_mwc(lossy);
+  EXPECT_EQ(got.value, want.value);
+  EXPECT_GT(got.stats.retransmitted_words, 0u);
+  EXPECT_GT(got.stats.dropped_messages, 0u);
+}
+
+// ---------- stalls -----------------------------------------------------------
+
+TEST(Stalls, DelayedLinkStillYieldsTrueBfsTree) {
+  // Stall a few link directions for a long window, no drops and no transport:
+  // messages arrive late but intact, and the relaxation-based tree builder
+  // must still converge to exact BFS depths.
+  Graph g = test_graph(10);
+  NetworkConfig cfg;
+  const NodeId nbr = g.out(0)[0].to;
+  cfg.faults.stalls.push_back(StallFault{0, nbr, 1, 40});
+  cfg.faults.stalls.push_back(StallFault{nbr, 0, 1, 40});
+  Network net(g, /*seed=*/19, cfg);
+  RunStats stats;
+  BfsTreeResult tree = build_bfs_tree(net, /*root=*/0, &stats);
+  EXPECT_GT(stats.stalled_rounds, 0u);
+  auto ref = graph::seq::bfs_hops(g.communication_topology(), 0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(tree.depth[static_cast<std::size_t>(v)],
+              ref[static_cast<std::size_t>(v)]);
+  }
+}
+
+// ---------- crash-stop -------------------------------------------------------
+
+TEST(CrashStop, ReportedAsOutcomeNotDeath) {
+  Graph g = test_graph(11);
+  NetworkConfig cfg;
+  cfg.faults.crashes.push_back(CrashFault{5, 2});
+  Network net(g, /*seed=*/23, cfg);
+  Flood proto(net.n());
+  RunResult r = run_protocol_result(net, proto);
+  EXPECT_EQ(r.outcome, RunOutcome::kCrashed);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CrashStop, RunProtocolThrowsCarryingTheResult) {
+  Graph g = test_graph(12);
+  NetworkConfig cfg;
+  cfg.faults.crashes.push_back(CrashFault{3, 1});
+  Network net(g, /*seed=*/29, cfg);
+  Flood proto(net.n());
+  try {
+    run_protocol(net, proto);
+    FAIL() << "expected RunAbortedError";
+  } catch (const RunAbortedError& e) {
+    EXPECT_EQ(e.outcome(), RunOutcome::kCrashed);
+    EXPECT_NE(std::string(e.what()).find("crashed"), std::string::npos);
+  }
+}
+
+TEST(CrashStop, CrashAtRoundZeroSilencesNodeEntirely) {
+  // Crash node 0 (the flood's origin) before it acts: nothing ever moves.
+  Graph g = test_graph(13);
+  NetworkConfig cfg;
+  cfg.faults.crashes.push_back(CrashFault{0, 0});
+  Network net(g, /*seed=*/31, cfg);
+  Trace trace;
+  net.attach_trace(&trace);
+  Flood proto(net.n());
+  RunResult r = run_protocol_result(net, proto);
+  EXPECT_EQ(r.outcome, RunOutcome::kCrashed);
+  EXPECT_EQ(r.stats.messages, 0u);
+  for (NodeId v = 1; v < net.n(); ++v) {
+    EXPECT_FALSE(proto.reached()[static_cast<std::size_t>(v)]);
+  }
+  auto faults = trace.fault_events(/*run=*/0);
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].kind, TraceEventKind::kCrash);
+  EXPECT_EQ(faults[0].from, 0);
+}
+
+TEST(CrashStop, ReliableTransportDeclaresDeadLinkAndTerminates) {
+  // A crashed peer never acks; the sender must give up after max_retries so
+  // the run still quiesces (outcome kCrashed, not a round-limit spin).
+  Graph g = test_graph(14, 12, 20);
+  NetworkConfig cfg;
+  cfg.reliable_transport = true;
+  cfg.reliable.base_timeout_rounds = 4;
+  cfg.reliable.max_timeout_rounds = 16;
+  cfg.reliable.max_retries = 3;
+  cfg.faults.crashes.push_back(CrashFault{1, 1});
+  Network net(g, /*seed=*/37, cfg);
+  Flood proto(net.n());
+  RunResult r = run_protocol_result(net, proto);
+  EXPECT_EQ(r.outcome, RunOutcome::kCrashed);
+  EXPECT_GT(r.stats.retransmitted_words, 0u);
+}
+
+}  // namespace
+}  // namespace mwc::congest

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "graph/generators.h"
 #include "graph/io.h"
@@ -95,6 +96,48 @@ TEST(GraphIo, AntiparallelDirectedArcsAccepted) {
 TEST(GraphIo, MissingFileThrows) {
   EXPECT_THROW((void)load_graph_file("/nonexistent/path.graph"),
                std::runtime_error);
+}
+
+TEST(GraphIo, RejectsNegativeWeight) {
+  std::stringstream ss("mwc-graph directed 3 1\n0 1 -4\n");
+  EXPECT_THROW((void)load_graph(ss), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsNegativeEndpoint) {
+  std::stringstream ss("mwc-graph undirected 3 1\n-1 2 1\n");
+  EXPECT_THROW((void)load_graph(ss), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsMalformedEdgeTokens) {
+  std::stringstream ss("mwc-graph directed 3 1\n0 x 1\n");
+  EXPECT_THROW((void)load_graph(ss), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsTruncatedHeader) {
+  std::stringstream ss("mwc-graph directed\n");
+  EXPECT_THROW((void)load_graph(ss), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsImplausibleNodeCount) {
+  std::stringstream ss("mwc-graph directed 999999999 0\n");
+  EXPECT_THROW((void)load_graph(ss), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsEmptyInput) {
+  std::stringstream ss("# only comments\n\n");
+  EXPECT_THROW((void)load_graph(ss), std::runtime_error);
+}
+
+TEST(GraphIo, ErrorMessagesCarryTheOffendingLine) {
+  std::stringstream ss("mwc-graph directed 3 2\n0 1 1\n0 9 1\n");
+  try {
+    (void)load_graph(ss);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+  }
 }
 
 }  // namespace

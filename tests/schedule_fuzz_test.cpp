@@ -30,6 +30,16 @@ NetworkConfig shuffled() {
   return cfg;
 }
 
+// The full adversary: randomized within-round schedules AND every link
+// dropping messages (masked by the reliable transport). Algorithms must
+// still produce exact answers.
+NetworkConfig shuffled_and_lossy(double drop_prob) {
+  NetworkConfig cfg = shuffled();
+  cfg.faults.drop_prob = drop_prob;
+  cfg.reliable_transport = true;
+  return cfg;
+}
+
 TEST(ScheduleFuzz, MultiBfsExactUnderAnySchedule) {
   for (std::uint64_t seed = 0; seed < 6; ++seed) {
     support::Rng rng(seed);
@@ -57,6 +67,35 @@ TEST(ScheduleFuzz, ExactMwcInvariantToSchedule) {
     Network fuzzed(g, 3, shuffled());
     EXPECT_EQ(exact_mwc(plain).value, ref) << "seed " << seed;
     EXPECT_EQ(exact_mwc(fuzzed).value, ref) << "seed " << seed;
+  }
+}
+
+TEST(ScheduleFuzz, MultiBfsExactUnderScheduleAndDrops) {
+  for (std::uint64_t seed = 40; seed < 44; ++seed) {
+    support::Rng rng(seed);
+    Graph g = graph::random_connected(40, 90, WeightRange{1, 1}, rng);
+    Network net(g, seed + 5, shuffled_and_lossy(0.2));
+    congest::MultiBfsParams params;
+    params.sources = {0, 11};
+    congest::MultiBfs bfs = run_multi_bfs(net, params);
+    for (int i = 0; i < 2; ++i) {
+      auto ref = graph::seq::bfs_hops(g, params.sources[static_cast<std::size_t>(i)]);
+      for (NodeId v = 0; v < 40; ++v) {
+        ASSERT_EQ(bfs.dist(v, i), ref[static_cast<std::size_t>(v)])
+            << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(ScheduleFuzz, ExactMwcInvariantToScheduleAndDrops) {
+  for (std::uint64_t seed = 50; seed < 53; ++seed) {
+    support::Rng rng(seed);
+    Graph g = graph::random_connected(28, 60, WeightRange{1, 9}, rng);
+    Weight ref = graph::seq::mwc(g);
+    Network net(g, 3, shuffled_and_lossy(0.15));
+    MwcResult result = exact_mwc(net);
+    EXPECT_EQ(result.value, ref) << "seed " << seed;
   }
 }
 

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 #include <vector>
 
+#include "support/check.h"
 #include "support/fit.h"
 #include "support/flags.h"
 #include "support/math_util.h"
@@ -90,6 +92,34 @@ TEST(Rng, ShufflePermutes) {
   auto sorted = v;
   std::sort(sorted.begin(), sorted.end());
   EXPECT_EQ(sorted, orig);
+}
+
+TEST(Check, ScopedThrowModeRaisesCheckError) {
+  ScopedChecksThrow guard;
+  try {
+    MWC_CHECK_MSG(1 == 2, "the impossible happened");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("the impossible happened"), std::string::npos) << what;
+  }
+  // Passing checks are no-ops in either mode.
+  MWC_CHECK(2 + 2 == 4);
+}
+
+TEST(Check, ScopedGuardRestoresPreviousMode) {
+  ASSERT_FALSE(checks_throw_flag().load());
+  {
+    ScopedChecksThrow outer;
+    EXPECT_TRUE(checks_throw_flag().load());
+    {
+      ScopedChecksThrow inner;
+      EXPECT_TRUE(checks_throw_flag().load());
+    }
+    EXPECT_TRUE(checks_throw_flag().load());
+  }
+  EXPECT_FALSE(checks_throw_flag().load());
 }
 
 TEST(MathUtil, CeilDiv) {

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI driver: plain build + tests, then an ASan/UBSan build + tests.
+#
+#   tools/ci.sh            both stages
+#   tools/ci.sh plain      plain stage only
+#   tools/ci.sh sanitize   sanitizer stage only
+#
+# Stages use separate build trees (build-ci/, build-ci-asan/) so they never
+# poison an incremental developer build/.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+stage="${1:-all}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_stage() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S . -DCONGEST_MWC_WERROR=ON "$@"
+  cmake --build "$dir" -j "$jobs"
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+if [[ "$stage" == "all" || "$stage" == "plain" ]]; then
+  echo "=== plain build + tests ==="
+  run_stage build-ci
+fi
+
+if [[ "$stage" == "all" || "$stage" == "sanitize" ]]; then
+  echo "=== ASan/UBSan build + tests ==="
+  export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+  export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+  run_stage build-ci-asan -DMWC_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=Debug
+fi
+
+echo "ci: all requested stages passed"

@@ -6,13 +6,17 @@
 //                 bottleneck (param = hubs)
 //   mwc_cli info <graph-file>
 //       prints n, m, directedness, diameter, exact MWC/girth (sequential)
-//   mwc_cli run <algorithm> <graph-file> <seed>
+//   mwc_cli run <algorithm> <graph-file> <seed> [--max-rounds=N]
+//                                               [--fault-drop-prob=P]
 //       algorithms: exact | girth-approx | girth-prt | directed-2approx |
 //                   weighted-undirected | weighted-directed
 //       prints the value, simulated rounds/messages, and (when available)
-//       the witness cycle
+//       the witness cycle. --max-rounds caps the simulated rounds per
+//       protocol run; --fault-drop-prob drops that fraction of messages on
+//       every link and runs the algorithm over the reliable transport.
 //
-// Exit status: 0 on success, 1 on usage errors, 2 on bad input files.
+// Exit status: 0 on success, 1 on usage errors, 2 on runtime errors (bad
+// input files, aborted runs).
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -28,6 +32,8 @@
 #include "mwc/girth_approx.h"
 #include "mwc/girth_prt.h"
 #include "mwc/weighted_mwc.h"
+#include "support/check.h"
+#include "support/flags.h"
 #include "support/rng.h"
 
 namespace {
@@ -41,7 +47,8 @@ int usage() {
                " <n> <param> <seed> <out.graph>\n"
                "  mwc_cli info <graph-file>\n"
                "  mwc_cli run <exact|girth-approx|girth-prt|directed-2approx|"
-               "weighted-undirected|weighted-directed> <graph-file> <seed>\n");
+               "weighted-undirected|weighted-directed> <graph-file> <seed>"
+               " [--max-rounds=N] [--fault-drop-prob=P]\n");
   return 1;
 }
 
@@ -95,11 +102,32 @@ int cmd_info(int argc, char** argv) {
 }
 
 int cmd_run(int argc, char** argv) {
-  if (argc != 5) return usage();
-  const std::string algo = argv[2];
-  graph::Graph g = graph::load_graph_file(argv[3]);
-  const auto seed = static_cast<std::uint64_t>(std::atoll(argv[4]));
-  congest::Network net(g, seed);
+  support::Flags flags(argc, argv, {"max-rounds", "fault-drop-prob"});
+  if (!flags.unknown_flags().empty()) {
+    std::fprintf(stderr, "unknown flag: --%s\n",
+                 flags.unknown_flags()[0].c_str());
+    return usage();
+  }
+  // positional() = {"run", algo, graph-file, seed}.
+  if (flags.positional().size() != 4) return usage();
+  const std::string algo = flags.positional()[1];
+  graph::Graph g = graph::load_graph_file(flags.positional()[2]);
+  const auto seed =
+      static_cast<std::uint64_t>(std::atoll(flags.positional()[3].c_str()));
+
+  congest::NetworkConfig cfg;
+  cfg.max_rounds_per_run = static_cast<std::uint64_t>(flags.get_int(
+      "max-rounds", static_cast<std::int64_t>(cfg.max_rounds_per_run)));
+  const double drop = flags.get_double("fault-drop-prob", 0.0);
+  if (drop < 0.0 || drop >= 1.0) {
+    std::fprintf(stderr, "--fault-drop-prob must be in [0, 1)\n");
+    return usage();
+  }
+  if (drop > 0.0) {
+    cfg.faults.drop_prob = drop;
+    cfg.reliable_transport = true;  // lossy links need the ARQ layer
+  }
+  congest::Network net(g, seed, cfg);
 
   cycle::MwcResult result = [&] {
     if (algo == "exact") return cycle::exact_mwc(net);
@@ -120,6 +148,13 @@ int cmd_run(int argc, char** argv) {
               static_cast<unsigned long long>(result.stats.rounds),
               static_cast<unsigned long long>(result.stats.messages),
               static_cast<unsigned long long>(result.stats.words));
+  if (drop > 0.0) {
+    std::printf("dropped: %llu messages (%llu words)\n"
+                "retransmitted: %llu words\n",
+                static_cast<unsigned long long>(result.stats.dropped_messages),
+                static_cast<unsigned long long>(result.stats.dropped_words),
+                static_cast<unsigned long long>(result.stats.retransmitted_words));
+  }
   if (!result.witness.empty()) {
     std::printf("witness:");
     for (graph::NodeId v : result.witness) std::printf(" %d", v);
@@ -133,12 +168,17 @@ int cmd_run(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  // Invariant trips (e.g. an algorithm's self-check after the reliable
+  // transport gave up on a hopelessly lossy link) become catchable errors
+  // instead of aborting the process.
+  support::ScopedChecksThrow checks_as_errors;
   try {
     if (cmd == "gen") return cmd_gen(argc, argv);
     if (cmd == "info") return cmd_info(argc, argv);
     if (cmd == "run") return cmd_run(argc, argv);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    std::fprintf(stderr, "error: %s\n(run 'mwc_cli' with no arguments for usage)\n",
+                 e.what());
     return 2;
   }
   return usage();
