@@ -51,7 +51,7 @@ void run_overflow_ablation() {
            (result.value >= exact && result.value <= 2 * exact) ? "yes" : "NO"});
     }
   }
-  table.print();
+  bench::emit(table);
 }
 
 void run_delay_ablation() {
@@ -77,7 +77,7 @@ void run_delay_ablation() {
            (result.value >= exact && result.value <= 2 * exact) ? "yes" : "NO"});
     }
   }
-  table.print();
+  bench::emit(table);
   bench::note("rho ~ 1 starts every source at once: link backlogs and "
               "per-window loads spike, so more vertices trip the overflow "
               "threshold (larger |Z|, larger peak queue).");
@@ -106,7 +106,7 @@ void run_ladder_ablation() {
          (result.value == graph::kInfWeight || result.value >= exact) ? "yes"
                                                                       : "NO"});
   }
-  table.print();
+  bench::emit(table);
   bench::note("each missing level drops one weight class of short cycles; "
               "the full ladder restores the (2+eps) guarantee.");
 }
@@ -126,7 +126,7 @@ void run_bandwidth_ablation() {
          support::Table::fmt(static_cast<std::int64_t>(result.stats.rounds)),
          support::Table::fmt(result.value)});
   }
-  table.print();
+  bench::emit(table);
   bench::note("bandwidth-bound phases shrink ~1/B; the D-bound tail does not "
               "- the classic CONGEST(B) picture.");
 }
@@ -149,7 +149,7 @@ void run_h_exponent_ablation() {
          support::Table::fmt(result.value),
          (result.value >= exact && result.value <= 2 * exact) ? "yes" : "NO"});
   }
-  table.print();
+  bench::emit(table);
   bench::note("smaller h -> more samples (costlier k-source BFS + |S|^2 "
               "broadcast) but a shorter restricted phase; n^(3/5) is the "
               "paper's balance point.");
@@ -158,6 +158,7 @@ void run_h_exponent_ablation() {
 }  // namespace
 
 int main() {
+  bench::JsonLog json_log("ablations");
   run_overflow_ablation();
   run_delay_ablation();
   run_ladder_ablation();

@@ -52,7 +52,7 @@ void run_unweighted(bool quick) {
                                  static_cast<double>(exact.value),
                              2)});
   }
-  table.print();
+  bench::emit(table);
   bench::note(exact_fit.summary("exact rounds vs n", 1.0));
   bench::note(approx_fit.summary("2-approx rounds vs n", 0.8));
   {
@@ -97,7 +97,7 @@ void run_weighted(bool quick) {
          support::Table::fmt(approx.value), support::Table::fmt(ratio, 2),
          ratio <= 2.0 + eps + 1e-9 ? "yes" : "NO"});
   }
-  table.print();
+  bench::emit(table);
   bench::note("the weighted ladder multiplies the n^0.8 subroutine by "
               "O(log(hW)) levels (Section 5.2); rounds reflect that.");
 }
@@ -105,6 +105,7 @@ void run_weighted(bool quick) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::JsonLog json_log("directed_mwc");
   support::Flags flags(argc, argv, {"quick"});
   const bool quick = flags.has("quick");
   run_unweighted(quick);

@@ -81,7 +81,7 @@ void run_bfs(const Graph& g, bool quick) {
     }
     add_sweep_row(table, drop, stats, baseline, ok);
   }
-  table.print();
+  bench::emit(table);
 }
 
 void run_broadcast(const Graph& g, bool quick) {
@@ -110,7 +110,7 @@ void run_broadcast(const Graph& g, bool quick) {
     }
     add_sweep_row(table, drop, stats, baseline, ok);
   }
-  table.print();
+  bench::emit(table);
 }
 
 void run_mwc(const Graph& g, bool quick) {
@@ -126,7 +126,7 @@ void run_mwc(const Graph& g, bool quick) {
     add_sweep_row(table, drop, got.stats, baseline.stats,
                   got.value == ref && got.value == baseline.value);
   }
-  table.print();
+  bench::emit(table);
   bench::note("every row must answer exactly what the fault-free run answers; "
               "drops only ever show up in the words/rounds columns");
 }
@@ -134,6 +134,7 @@ void run_mwc(const Graph& g, bool quick) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::JsonLog json_log("faults");
   support::Flags flags(argc, argv, {"quick"});
   const bool quick = flags.has("quick");
   support::Rng rng(29);

@@ -66,7 +66,7 @@ void run_small_girth(bool quick) {
                    support::Table::fmt(static_cast<std::int64_t>(ours.stats.rounds)),
                    support::Table::fmt(ours.value), ok ? "yes" : "NO"});
   }
-  table.print();
+  bench::emit(table);
   bench::note(exact_fit.summary("exact rounds vs n", 1.0));
   bench::note(prt_fit.summary("PRT rounds vs n (g const)", 0.5));
   bench::note(ours_fit.summary("ours rounds vs n", 0.5));
@@ -105,7 +105,7 @@ void run_large_girth(bool quick) {
                              2),
          ok ? "yes" : "NO"});
   }
-  table.print();
+  bench::emit(table);
   bench::note(prt_fit.summary("PRT rounds vs n (g = n)", 1.0));
   bench::note(ours_fit.summary("ours rounds vs n (g = n)", 1.0));
   bench::note("(on a bare cycle D = n/2, so both pay D; PRT additionally pays "
@@ -115,6 +115,7 @@ void run_large_girth(bool quick) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::JsonLog json_log("girth");
   support::Flags flags(argc, argv, {"quick"});
   const bool quick = flags.has("quick");
   run_small_girth(quick);

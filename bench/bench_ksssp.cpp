@@ -80,7 +80,7 @@ void run_unweighted(bool quick) {
                    support::Table::fmt(static_cast<std::int64_t>(naive.stats.rounds)),
                    exact ? "yes" : "NO"});
   }
-  table.print();
+  bench::emit(table);
   // sqrt(n * n^(1/3)) = n^(2/3).
   bench::note(skel_fit.summary("skeleton rounds vs n", 2.0 / 3.0));
   bench::note(naive_fit.summary("naive rounds vs n", 1.0));
@@ -130,7 +130,7 @@ void run_weighted(bool quick) {
                    support::Table::fmt(static_cast<std::int64_t>(seq.stats.rounds)),
                    support::Table::fmt(max_ratio, 4)});
   }
-  table.print();
+  bench::emit(table);
   bench::note(skel_fit.summary("skeleton-SSSP rounds vs n", 2.0 / 3.0));
   bench::note("guarantee: max ratio must stay <= 1 + eps = 1.25");
 }
@@ -138,6 +138,7 @@ void run_weighted(bool quick) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::JsonLog json_log("ksssp");
   support::Flags flags(argc, argv, {"quick"});
   const bool quick = flags.has("quick");
   run_unweighted(quick);

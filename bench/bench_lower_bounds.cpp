@@ -56,7 +56,7 @@ void run_disjointness() {
                net.cut_words() / static_cast<std::uint64_t>(cut)))});
     }
   }
-  table.print();
+  bench::emit(table);
   bench::note("cut words grow ~ k = p^2 (the disjointness information must "
               "cross); the last column is a per-execution round floor.");
 }
@@ -79,7 +79,7 @@ void run_undirected_disjointness() {
                      decided ? "yes" : "NO"});
     }
   }
-  table.print();
+  bench::emit(table);
 }
 
 void run_alpha() {
@@ -112,7 +112,7 @@ void run_alpha() {
       }
     }
   }
-  table.print();
+  bench::emit(table);
   bench::note("the shortcut tree keeps D = O(log n) while p = Theta(sqrt n) "
               "bits must cross: the Omega~(sqrt n) regime of [49].");
 }
@@ -147,12 +147,13 @@ void run_girth_gadget() {
            support::Table::fmt(static_cast<std::int64_t>(net.cut_words()))});
     }
   }
-  table.print();
+  bench::emit(table);
 }
 
 }  // namespace
 
 int main() {
+  bench::JsonLog json_log("lower_bounds");
   run_disjointness();
   run_undirected_disjointness();
   run_alpha();

@@ -6,6 +6,10 @@
 // wall time.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "congest/bfs_tree.h"
 #include "congest/broadcast.h"
 #include "congest/convergecast.h"
@@ -144,4 +148,29 @@ BENCHMARK(BM_SourceDetection)->Arg(4)->Arg(16)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults to mirroring results into
+// BENCH_PRIMITIVES.json (google-benchmark's native JSON schema) so this
+// bench produces a machine-readable log like the table benches do. An
+// explicit --benchmark_out on the command line wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_PRIMITIVES.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (const char* dir = std::getenv("MWC_BENCH_JSON_DIR")) {
+    out_flag = std::string("--benchmark_out=") + dir + "/BENCH_PRIMITIVES.json";
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

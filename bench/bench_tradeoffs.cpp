@@ -58,7 +58,7 @@ void run_sigma_tradeoff() {
                    support::Table::fmt(rounds_sum / 8.0, 0),
                    support::Table::fmt(worst_ratio, 3), ok ? "yes" : "NO"});
   }
-  table.print();
+  bench::emit(table);
   bench::note("the ratio never degrades (case B's sampled BFS carries the "
               "guarantee regardless of sigma), but rounds do: shrinking sigma "
               "inflates the sample count ~ n log(n)/sigma, growing the "
@@ -91,7 +91,7 @@ void run_eps_tradeoff() {
                    support::Table::fmt(worst_ratio, 3),
                    support::Table::fmt(2.0 + eps, 2)});
   }
-  table.print();
+  bench::emit(table);
   bench::note("rounds scale ~ (1 + 2/eps) through the ladder budget; the "
               "observed ratio sits far below the worst-case guarantee on "
               "random inputs.");
@@ -100,6 +100,7 @@ void run_eps_tradeoff() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::JsonLog json_log("tradeoffs");
   support::Flags flags(argc, argv, {"quick"});
   (void)flags;
   run_sigma_tradeoff();

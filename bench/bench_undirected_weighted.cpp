@@ -55,7 +55,7 @@ void run_sweep(bool quick) {
          support::Table::fmt(ratio, 2),
          ratio <= 2.0 + eps + 1e-9 ? "yes" : "NO"});
   }
-  table.print();
+  bench::emit(table);
   bench::note(exact_fit.summary("exact rounds vs n", 1.0));
   bench::note(approx_fit.summary("(2+eps) rounds vs n", 2.0 / 3.0));
   bench::note("'long'/'short' = the two branches of Section 5.1 (sampled "
@@ -82,7 +82,7 @@ void run_eps_sweep() {
                                  static_cast<double>(exact_val),
                              2)});
   }
-  table.print();
+  bench::emit(table);
   bench::note("smaller eps widens the scaling ladder's tick budget "
               "h* = (1 + 2/eps) h: rounds grow, the ratio tightens.");
 }
@@ -90,6 +90,7 @@ void run_eps_sweep() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::JsonLog json_log("undirected_weighted");
   support::Flags flags(argc, argv, {"quick"});
   run_sweep(flags.has("quick"));
   run_eps_sweep();

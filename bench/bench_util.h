@@ -5,11 +5,19 @@
 // simulator, prints measured rounds next to the theoretical bound, fits the
 // growth exponent over the sweep, and verifies the approximation guarantee
 // against the sequential exact reference.
+//
+// Besides the human-readable tables, every bench mirrors its output into a
+// machine-readable BENCH_<NAME>.json via JsonLog: construct one in main(),
+// and section()/note()/emit() below record into it automatically, so plots
+// and regression checks never have to scrape aligned-column text.
 #pragma once
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "support/fit.h"
@@ -17,11 +25,201 @@
 
 namespace mwc::bench {
 
+// Mirrors bench output (sections, notes, tables, scalar metrics) into
+// BENCH_<NAME>.json in the current directory - or under $MWC_BENCH_JSON_DIR
+// when set, so CI can collect the logs from a read-only source tree.
+//
+// The JSON shape is deliberately flat and stable:
+//   { "bench": "...", "sections": [ { "title": "...",
+//       "notes": ["..."], "tables": [{"columns": [...], "rows": [[...]]}],
+//       "metrics": {"key": 1.5} } ] }
+//
+// At most one JsonLog is live at a time; it installs itself as the sink for
+// the free functions below and writes the file when destroyed (or on an
+// explicit write()).
+class JsonLog {
+ public:
+  explicit JsonLog(std::string name) : name_(std::move(name)) {
+    current() = this;
+    begin_section("preamble");
+  }
+  JsonLog(const JsonLog&) = delete;
+  JsonLog& operator=(const JsonLog&) = delete;
+  ~JsonLog() {
+    if (!written_) write();
+    if (current() == this) current() = nullptr;
+  }
+
+  static JsonLog*& current() {
+    static JsonLog* live = nullptr;
+    return live;
+  }
+
+  void begin_section(const std::string& title) {
+    sections_.emplace_back();
+    sections_.back().title = title;
+  }
+  void add_note(const std::string& text) {
+    sections_.back().notes.push_back(text);
+  }
+  void add_table(const support::Table& t) {
+    sections_.back().tables.push_back({t.header(), t.rows()});
+  }
+  void add_metric(const std::string& key, double value) {
+    sections_.back().metrics.emplace_back(key, value);
+  }
+
+  // BENCH_GIRTH.json for name "girth". Returns the path written, "" on error.
+  std::string write() {
+    written_ = true;
+    std::string file = "BENCH_";
+    for (char c : name_) {
+      file += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    file += ".json";
+    if (const char* dir = std::getenv("MWC_BENCH_JSON_DIR")) {
+      file = std::string(dir) + "/" + file;
+    }
+    std::FILE* f = std::fopen(file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonLog: cannot write %s\n", file.c_str());
+      return "";
+    }
+    std::string out = render();
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("\n[json log: %s]\n", file.c_str());
+    return file;
+  }
+
+  std::string render() const {
+    std::string o = "{\n  \"bench\": " + quote(name_) + ",\n  \"sections\": [";
+    bool first_sec = true;
+    for (const Section& s : sections_) {
+      // The implicit preamble section is only kept if something landed in it.
+      if (s.title == "preamble" && s.notes.empty() && s.tables.empty() &&
+          s.metrics.empty()) {
+        continue;
+      }
+      o += first_sec ? "\n" : ",\n";
+      first_sec = false;
+      o += "    {\"title\": " + quote(s.title) + ",\n     \"notes\": [";
+      for (std::size_t i = 0; i < s.notes.size(); ++i) {
+        o += (i != 0 ? ", " : "") + quote(s.notes[i]);
+      }
+      o += "],\n     \"tables\": [";
+      for (std::size_t t = 0; t < s.tables.size(); ++t) {
+        if (t != 0) o += ", ";
+        o += "{\"columns\": " + row_json(s.tables[t].columns) +
+             ", \"rows\": [";
+        for (std::size_t r = 0; r < s.tables[t].rows.size(); ++r) {
+          if (r != 0) o += ", ";
+          o += row_json(s.tables[t].rows[r]);
+        }
+        o += "]}";
+      }
+      o += "],\n     \"metrics\": {";
+      for (std::size_t i = 0; i < s.metrics.size(); ++i) {
+        if (i != 0) o += ", ";
+        o += quote(s.metrics[i].first) + ": " + num_json(s.metrics[i].second);
+      }
+      o += "}}";
+    }
+    o += "\n  ]\n}\n";
+    return o;
+  }
+
+ private:
+  struct TableDump {
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+  };
+  struct Section {
+    std::string title;
+    std::vector<std::string> notes;
+    std::vector<TableDump> tables;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
+  static std::string quote(const std::string& s) {
+    std::string o = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': o += "\\\""; break;
+        case '\\': o += "\\\\"; break;
+        case '\n': o += "\\n"; break;
+        case '\t': o += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            o += buf;
+          } else {
+            o += c;
+          }
+      }
+    }
+    return o + "\"";
+  }
+
+  // Cells hold pre-formatted numbers; keep bare numerics unquoted so
+  // consumers get real JSON numbers, and quote everything else.
+  static std::string row_json(const std::vector<std::string>& cells) {
+    std::string o = "[";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) o += ", ";
+      o += looks_numeric(cells[i]) ? cells[i] : quote(cells[i]);
+    }
+    return o + "]";
+  }
+
+  static bool looks_numeric(const std::string& s) {
+    if (s.empty()) return false;
+    std::size_t i = s[0] == '-' ? 1 : 0;
+    if (i == s.size()) return false;
+    bool dot = false;
+    for (; i < s.size(); ++i) {
+      if (s[i] == '.' && !dot) {
+        dot = true;
+      } else if (std::isdigit(static_cast<unsigned char>(s[i])) == 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static std::string num_json(double v) {
+    if (std::isnan(v) || std::isinf(v)) return "null";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+  std::string name_;
+  std::vector<Section> sections_;
+  bool written_ = false;
+};
+
 inline void section(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+  if (JsonLog* log = JsonLog::current()) log->begin_section(title);
 }
 
-inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+inline void note(const std::string& text) {
+  std::printf("%s\n", text.c_str());
+  if (JsonLog* log = JsonLog::current()) log->add_note(text);
+}
+
+// Prints the table AND records it into the live JsonLog. Benches call this
+// instead of table.print() so the JSON mirror never goes stale.
+inline void emit(const support::Table& table) {
+  table.print();
+  if (JsonLog* log = JsonLog::current()) log->add_table(table);
+}
+
+inline void metric(const std::string& key, double value) {
+  if (JsonLog* log = JsonLog::current()) log->add_metric(key, value);
+}
 
 // Collects (x, y) samples and reports the log-log slope.
 class ExponentTracker {

@@ -1,0 +1,120 @@
+#include "congest/arena.h"
+
+#include <atomic>
+#include <bit>
+#include <mutex>
+
+#include "support/check.h"
+
+namespace mwc::congest {
+
+namespace {
+
+// Shared overflow reservoir: blocks flushed by over-full thread pools,
+// refill source for pools that run dry. One mutex for all classes - it is
+// touched once per kLocalCap/kRefillBatch operations, not per message.
+struct Reservoir {
+  std::mutex mu;
+  std::vector<Word*> free_[WordPool::kClasses];
+  // Static teardown owns whatever the thread pools flushed here; without
+  // this, any run that ever overflowed a local freelist leaks those blocks
+  // at exit (LSan flags them once the vectors release their buffers).
+  ~Reservoir() {
+    for (auto& list : free_) {
+      for (Word* block : list) delete[] block;
+    }
+  }
+};
+
+Reservoir& reservoir() {
+  static Reservoir r;
+  return r;
+}
+
+std::atomic<std::uint64_t> g_fresh{0};
+std::atomic<std::uint64_t> g_reused{0};
+
+}  // namespace
+
+WordPool& WordPool::local() {
+  thread_local WordPool pool;
+  return pool;
+}
+
+std::uint32_t WordPool::round_cap(std::uint32_t need) {
+  const std::uint32_t floor = std::uint32_t{1} << kMinCapLog2;
+  return std::bit_ceil(need < floor ? floor : need);
+}
+
+int WordPool::class_of(std::uint32_t cap) {
+  MWC_DCHECK(std::has_single_bit(cap) && cap >= (1u << kMinCapLog2));
+  const int idx = std::bit_width(cap) - 1 - static_cast<int>(kMinCapLog2);
+  return idx < kClasses ? idx : -1;
+}
+
+Word* WordPool::alloc(std::uint32_t cap) {
+  const int cls = class_of(cap);
+  if (cls < 0) {  // absurdly large message: straight to the heap
+    g_fresh.fetch_add(1, std::memory_order_relaxed);
+    return new Word[cap];
+  }
+  std::vector<Word*>& list = free_[cls];
+  if (list.empty()) {
+    Reservoir& shared = reservoir();
+    std::lock_guard<std::mutex> lock(shared.mu);
+    std::vector<Word*>& pool = shared.free_[cls];
+    const std::size_t take = pool.size() < kRefillBatch ? pool.size() : kRefillBatch;
+    list.insert(list.end(), pool.end() - static_cast<std::ptrdiff_t>(take),
+                pool.end());
+    pool.resize(pool.size() - take);
+  }
+  if (!list.empty()) {
+    Word* block = list.back();
+    list.pop_back();
+    g_reused.fetch_add(1, std::memory_order_relaxed);
+    return block;
+  }
+  g_fresh.fetch_add(1, std::memory_order_relaxed);
+  return new Word[cap];
+}
+
+void WordPool::free_block(Word* block, std::uint32_t cap) {
+  const int cls = class_of(cap);
+  if (cls < 0) {
+    delete[] block;
+    return;
+  }
+  std::vector<Word*>& list = free_[cls];
+  list.push_back(block);
+  if (list.size() >= kLocalCap) {
+    // Flush the older half to the reservoir so blocks freed here can feed
+    // allocating threads (the parallel engine frees on the merge thread).
+    Reservoir& shared = reservoir();
+    std::lock_guard<std::mutex> lock(shared.mu);
+    const std::size_t keep = kLocalCap / 2;
+    shared.free_[cls].insert(shared.free_[cls].end(), list.begin(),
+                             list.begin() + static_cast<std::ptrdiff_t>(keep));
+    list.erase(list.begin(), list.begin() + static_cast<std::ptrdiff_t>(keep));
+  }
+}
+
+void WordPool::trim() {
+  for (auto& list : free_) {
+    for (Word* block : list) delete[] block;
+    list.clear();
+  }
+}
+
+WordPool::~WordPool() { trim(); }
+
+WordPool::Stats WordPool::global_stats() {
+  return Stats{g_fresh.load(std::memory_order_relaxed),
+               g_reused.load(std::memory_order_relaxed)};
+}
+
+void WordPool::reset_global_stats() {
+  g_fresh.store(0, std::memory_order_relaxed);
+  g_reused.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace mwc::congest

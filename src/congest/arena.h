@@ -1,0 +1,79 @@
+// Word-block pooling for CONGEST messages.
+//
+// A simulation moving tens of millions of messages per run spends a
+// surprising share of its wall-clock inside the allocator: every Message
+// that spills past its inline words used to own a std::vector, so each
+// spill was a malloc at send time and a free at delivery - pure churn,
+// since the same sizes recycle every round. WordPool replaces that with
+// per-thread freelists of power-of-two Word blocks: a block freed by one
+// round is handed back, still warm, to the next.
+//
+// Design:
+//   * Blocks are plain heap arrays (new Word[cap]) in power-of-two size
+//     classes starting at 8 words. A block's lifetime is independent of
+//     the pool it came from - pools only cache pointers.
+//   * Each thread caches blocks in a thread-local pool, so the hot path
+//     (alloc/free on one thread) is lock-free. The parallel engine
+//     allocates messages on worker threads and frees them on the merge
+//     thread; to keep blocks flowing back to the allocating side, a pool
+//     that grows past a per-class cap flushes half its blocks to a shared
+//     mutex-guarded reservoir, and a pool that runs dry refills from it in
+//     batches.
+//   * Counters (fresh heap allocations vs. pool reuses) are global atomics
+//     so benches can report allocation churn; see bench_engine.
+//
+// Thread-safety: distinct Messages may be created/destroyed on distinct
+// threads concurrently (each touches only its thread's pool plus the
+// locked reservoir). A single Message is not internally synchronized.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mwc::congest {
+
+using Word = std::uint64_t;
+
+class WordPool {
+ public:
+  WordPool() = default;
+  ~WordPool();
+  WordPool(const WordPool&) = delete;
+  WordPool& operator=(const WordPool&) = delete;
+
+  // The calling thread's pool.
+  static WordPool& local();
+
+  // Smallest poolable capacity (power of two >= need); the capacity that
+  // must later be passed to free_block.
+  static std::uint32_t round_cap(std::uint32_t need);
+
+  // A block of exactly `cap` Words (cap must come from round_cap).
+  Word* alloc(std::uint32_t cap);
+  void free_block(Word* block, std::uint32_t cap);
+
+  // Releases every block cached by this pool back to the heap.
+  void trim();
+
+  struct Stats {
+    std::uint64_t fresh = 0;   // blocks obtained with new[]
+    std::uint64_t reused = 0;  // blocks served from a freelist
+  };
+  // Aggregated over all threads since process start (or the last reset).
+  static Stats global_stats();
+  static void reset_global_stats();
+
+  static constexpr std::uint32_t kMinCapLog2 = 3;  // 8 words
+  static constexpr int kClasses = 22;              // up to 8 << 21 words
+
+ private:
+  // Local freelist size that triggers a flush to the shared reservoir.
+  static constexpr std::size_t kLocalCap = 256;
+  static constexpr std::size_t kRefillBatch = 32;
+
+  static int class_of(std::uint32_t cap);  // -1 when cap is too large to pool
+
+  std::vector<Word*> free_[kClasses];
+};
+
+}  // namespace mwc::congest

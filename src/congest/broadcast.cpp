@@ -20,7 +20,7 @@ class BroadcastProtocol : public Protocol {
     const std::size_t n = tree.parent.size();
     result_.received_.assign(n, 0);
     pending_done_children_.resize(n);
-    sent_done_up_.assign(n, false);
+    sent_done_up_.assign(n, 0);
     for (std::size_t v = 0; v < n; ++v) {
       pending_done_children_[v] = static_cast<int>(tree_.children[v].size());
     }
@@ -103,8 +103,8 @@ class BroadcastProtocol : public Protocol {
   // final DONE downward.
   void maybe_done_up(NodeCtx& node) {
     const auto v = static_cast<std::size_t>(node.id());
-    if (pending_done_children_[v] != 0 || sent_done_up_[v]) return;
-    sent_done_up_[v] = true;
+    if (pending_done_children_[v] != 0 || sent_done_up_[v] != 0) return;
+    sent_done_up_[v] = 1;
     if (node.id() == tree_.root) {
       for (graph::NodeId c : tree_.children[v]) node.send(c, Message{kDoneDown});
     } else {
@@ -116,7 +116,9 @@ class BroadcastProtocol : public Protocol {
   const std::vector<std::vector<BroadcastItem>>& items_per_node_;
   BroadcastResult result_;
   std::vector<int> pending_done_children_;
-  std::vector<bool> sent_done_up_;
+  // uint8_t, not vector<bool>: concurrently stepped nodes write their own
+  // index, which must not share storage with a neighbor's bit.
+  std::vector<std::uint8_t> sent_done_up_;
 };
 
 BroadcastResult broadcast(Network& net, const BfsTreeResult& tree,

@@ -63,8 +63,8 @@ class ConvergecastProtocol : public Protocol {
  private:
   void maybe_send_up(NodeCtx& node) {
     const auto v = static_cast<std::size_t>(node.id());
-    if (pending_children_[v] != 0 || sent_up_[v]) return;
-    sent_up_[v] = true;
+    if (pending_children_[v] != 0 || sent_up_[v] != 0) return;
+    sent_up_[v] = 1;
     if (node.id() == tree_.root) {
       deliver_down(node, acc_[v]);
     } else {
@@ -84,7 +84,9 @@ class ConvergecastProtocol : public Protocol {
   AggregateOp op_;
   std::vector<graph::Weight> acc_;
   std::vector<int> pending_children_;
-  std::vector<bool> sent_up_ = std::vector<bool>(acc_.size(), false);
+  // uint8_t, not vector<bool>: concurrently stepped nodes write their own
+  // index, which must not share storage with a neighbor's bit.
+  std::vector<std::uint8_t> sent_up_ = std::vector<std::uint8_t>(acc_.size(), 0);
   std::vector<graph::Weight> result_at_;
 };
 

@@ -1,0 +1,98 @@
+// Per-link-direction outbound queue: a flat binary min-heap over
+// (priority, enqueue-sequence).
+//
+// Replaces std::priority_queue<QueuedMsg>, which this engine outgrew twice
+// over: its const top() forced a const_cast to move the transmitted payload
+// out (UB-adjacent - the heap invariant is restored by the immediate pop,
+// but the cast is a trap for every future reader), and it offers no way to
+// inspect entries when a crash fault vaporizes a queue's contents for the
+// dropped-words tally. The flat heap owns its vector, so capacity persists
+// across rounds (zero steady-state allocation) and take_top() is an honest
+// mutable move.
+//
+// Ordering: strict (priority, seq) lexicographic min-order. Sequence
+// numbers are globally unique per run, so the comparison is a total order
+// and the pop sequence is deterministic - the property every bit-identical
+// replay in this engine leans on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "congest/message.h"
+
+namespace mwc::congest {
+
+struct QueuedMsg {
+  std::int64_t priority = 0;
+  std::uint64_t seq = 0;
+  Message msg;
+};
+
+class DirQueue {
+ public:
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  void push(std::int64_t priority, std::uint64_t seq, Message msg) {
+    heap_.push_back(QueuedMsg{priority, seq, std::move(msg)});
+    sift_up(heap_.size() - 1);
+  }
+
+  const QueuedMsg& top() const { return heap_.front(); }
+
+  // Moves the head's payload out and removes the entry - the transmit hot
+  // path (one call per message that starts transmitting).
+  Message take_top() {
+    Message msg = std::move(heap_.front().msg);
+    pop();
+    return msg;
+  }
+
+  void pop() {
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+
+  // Every queued entry, in heap (not pop) order - for bulk accounting such
+  // as tallying the words a crash-stop destroys.
+  std::span<const QueuedMsg> entries() const { return heap_; }
+
+  void clear() { heap_.clear(); }
+
+ private:
+  static bool before(const QueuedMsg& a, const QueuedMsg& b) {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    while (true) {
+      std::size_t smallest = i;
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      if (l < n && before(heap_[l], heap_[smallest])) smallest = l;
+      if (r < n && before(heap_[r], heap_[smallest])) smallest = r;
+      if (smallest == i) break;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::vector<QueuedMsg> heap_;
+};
+
+}  // namespace mwc::congest

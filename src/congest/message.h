@@ -8,19 +8,20 @@
 // exactly how the paper charges multi-word messages (e.g. the restricted-BFS
 // message Q(v) of Algorithm 3 "can be sent in O(log n) rounds").
 //
-// Message keeps small payloads inline to avoid per-message heap traffic in
-// simulations that move tens of millions of messages.
+// Message keeps small payloads inline (the overwhelmingly common case is a
+// single packed word) and spills longer ones into a Word block recycled
+// through the WordPool freelists of arena.h, so simulations that move tens
+// of millions of messages do near-zero steady-state heap traffic.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <initializer_list>
-#include <vector>
 
+#include "congest/arena.h"
 #include "support/check.h"
 
 namespace mwc::congest {
-
-using Word = std::uint64_t;
 
 class Message {
  public:
@@ -29,14 +30,47 @@ class Message {
     for (Word w : ws) push(w);
   }
 
-  void push(Word w) {
-    if (size_ < kInline) {
-      inline_[size_] = w;
-    } else {
-      if (size_ == kInline) heap_.assign(inline_, inline_ + kInline);
-      heap_.push_back(w);
+  Message(const Message& other) { copy_from(other); }
+  Message(Message&& other) noexcept
+      : spill_(other.spill_), cap_(other.cap_), size_(other.size_) {
+    std::memcpy(inline_, other.inline_, sizeof(inline_));
+    other.spill_ = nullptr;
+    other.cap_ = 0;
+    other.size_ = 0;
+  }
+  Message& operator=(const Message& other) {
+    if (this != &other) {
+      release();
+      copy_from(other);
     }
-    ++size_;
+    return *this;
+  }
+  Message& operator=(Message&& other) noexcept {
+    if (this != &other) {
+      release();
+      std::memcpy(inline_, other.inline_, sizeof(inline_));
+      spill_ = other.spill_;
+      cap_ = other.cap_;
+      size_ = other.size_;
+      other.spill_ = nullptr;
+      other.cap_ = 0;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  ~Message() { release(); }
+
+  void push(Word w) {
+    if (spill_ == nullptr) {
+      if (size_ < kInline) {
+        inline_[size_++] = w;
+        return;
+      }
+      grow(WordPool::round_cap(kInline + 1));
+    } else if (size_ == cap_) {
+      grow(cap_ * 2);
+    }
+    spill_[size_++] = w;
   }
 
   std::uint32_t size() const { return size_; }
@@ -44,13 +78,48 @@ class Message {
 
   Word operator[](std::uint32_t i) const {
     MWC_DCHECK(i < size_);
-    return size_ <= kInline ? inline_[i] : heap_[i];
+    const Word* base = spill_ == nullptr ? inline_ : spill_;
+    return base[i];
   }
 
  private:
   static constexpr std::uint32_t kInline = 6;
+
+  // Moves all words (inline included) into a pool block of capacity
+  // `new_cap`; after this the spill buffer is the single source of truth.
+  void grow(std::uint32_t new_cap) {
+    Word* block = WordPool::local().alloc(new_cap);
+    std::memcpy(block, spill_ == nullptr ? inline_ : spill_,
+                std::size_t{size_} * sizeof(Word));
+    release();
+    spill_ = block;
+    cap_ = new_cap;
+  }
+
+  void release() {
+    if (spill_ != nullptr) {
+      WordPool::local().free_block(spill_, cap_);
+      spill_ = nullptr;
+      cap_ = 0;
+    }
+  }
+
+  void copy_from(const Message& other) {
+    size_ = other.size_;
+    if (other.spill_ == nullptr) {
+      std::memcpy(inline_, other.inline_, sizeof(inline_));
+      spill_ = nullptr;
+      cap_ = 0;
+    } else {
+      cap_ = WordPool::round_cap(other.size_);
+      spill_ = WordPool::local().alloc(cap_);
+      std::memcpy(spill_, other.spill_, std::size_t{size_} * sizeof(Word));
+    }
+  }
+
   Word inline_[kInline] = {};
-  std::vector<Word> heap_;
+  Word* spill_ = nullptr;
+  std::uint32_t cap_ = 0;
   std::uint32_t size_ = 0;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "congest/thread_pool.h"
 #include "support/check.h"
 
 namespace mwc::congest {
@@ -40,21 +41,32 @@ Network::Network(const graph::Graph& g, std::uint64_t seed, NetworkConfig cfg)
     nbrs_[static_cast<std::size_t>(pos[static_cast<std::size_t>(l.b)])] = l.a;
     nbr_dir_[static_cast<std::size_t>(pos[static_cast<std::size_t>(l.b)]++)] = d_ba;
   }
-  // Sort each node's (neighbor, dir) pairs by neighbor id for binary search.
-  for (int v = 0; v < n; ++v) {
-    int b = nbr_offset_[static_cast<std::size_t>(v)];
-    int e = nbr_offset_[static_cast<std::size_t>(v) + 1];
-    std::vector<std::pair<NodeId, std::int32_t>> tmp;
-    tmp.reserve(static_cast<std::size_t>(e - b));
-    for (int i = b; i < e; ++i) {
-      tmp.emplace_back(nbrs_[static_cast<std::size_t>(i)], nbr_dir_[static_cast<std::size_t>(i)]);
-    }
-    std::sort(tmp.begin(), tmp.end());
-    for (int i = b; i < e; ++i) {
-      nbrs_[static_cast<std::size_t>(i)] = tmp[static_cast<std::size_t>(i - b)].first;
-      nbr_dir_[static_cast<std::size_t>(i)] = tmp[static_cast<std::size_t>(i - b)].second;
-    }
+  // Sort each node's (neighbor, dir) pairs by neighbor id for binary
+  // search. One flat key array - (neighbor << 32 | dir) packed so a plain
+  // integer sort of each node's slice orders by neighbor - instead of a
+  // temporary pair-vector per node: O(1) allocations for the whole build.
+  std::vector<std::uint64_t> keys(nbrs_.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = (static_cast<std::uint64_t>(nbrs_[i]) << 32) |
+              static_cast<std::uint32_t>(nbr_dir_[i]);
   }
+  for (int v = 0; v < n; ++v) {
+    const auto b = static_cast<std::ptrdiff_t>(nbr_offset_[static_cast<std::size_t>(v)]);
+    const auto e = static_cast<std::ptrdiff_t>(nbr_offset_[static_cast<std::size_t>(v) + 1]);
+    std::sort(keys.begin() + b, keys.begin() + e);
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    nbrs_[i] = static_cast<NodeId>(keys[i] >> 32);
+    nbr_dir_[i] = static_cast<std::int32_t>(keys[i] & 0xffffffffu);
+  }
+}
+
+Network::~Network() = default;
+
+ThreadPool* Network::thread_pool() {
+  if (cfg_.threads <= 1) return nullptr;
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(cfg_.threads);
+  return pool_.get();
 }
 
 std::span<const NodeId> Network::comm_neighbors(NodeId v) const {

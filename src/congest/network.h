@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -30,6 +31,13 @@ using graph::NodeId;
 struct NetworkConfig {
   // Words per link direction per round (the model's Theta(log n) bits).
   int bandwidth_words = 1;
+  // Worker threads for round execution. 1 (default) runs the engine on the
+  // calling thread exactly as before; N > 1 shards node invocations and
+  // link transmissions across a persistent pool while staying bit-identical
+  // to threads=1 - same traces, stats, RNG streams, and fault schedules
+  // (see docs/simulator.md, "Execution model"). Values above the hardware
+  // concurrency only add scheduling overhead.
+  int threads = 1;
   // Safety valve: a run that passes this many rounds stops and reports
   // RunOutcome::kRoundLimitExceeded (no abort; see runner.h).
   std::uint64_t max_rounds_per_run = 20'000'000;
@@ -49,10 +57,13 @@ struct NetworkConfig {
   ReliableConfig reliable;
 };
 
+class ThreadPool;
+
 class Network {
  public:
   Network(const graph::Graph& g, std::uint64_t seed,
           NetworkConfig cfg = NetworkConfig{});
+  ~Network();
 
   int n() const { return graph_->node_count(); }
   const graph::Graph& problem_graph() const { return *graph_; }
@@ -97,7 +108,13 @@ class Network {
   };
 
   // Direction index for sending from `v` to neighbor `to` (checked).
+  // Read-only after construction; safe to call from worker threads.
   int direction_index(NodeId v, NodeId to) const;
+
+  // The worker pool shared by every run on this network; nullptr when
+  // config().threads <= 1. Created lazily on first use, reused afterwards
+  // (spawning threads per protocol run would dominate small runs).
+  ThreadPool* thread_pool();
 
   const graph::Graph* graph_;  // not owned; must outlive the Network
   NetworkConfig cfg_;
@@ -113,6 +130,7 @@ class Network {
 
   std::vector<bool> cut_side_;
   Trace* trace_ = nullptr;
+  std::unique_ptr<ThreadPool> pool_;  // lazily built by thread_pool()
 
   std::uint64_t total_rounds_ = 0;
   std::uint64_t total_messages_ = 0;

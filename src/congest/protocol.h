@@ -93,6 +93,12 @@ class NodeCtx {
   NodeId id_;
   const std::vector<Delivery>* inbox_override_ = nullptr;
   SendInterceptor* send_hook_ = nullptr;
+  // Parallel execution seam (the wake-side twin of send_hook_): when set,
+  // wake_at records the clamped round here instead of touching the shared
+  // wake heap; the Runner merges buffers in deterministic order at the
+  // round barrier. layered() copies it, so wake-ups of stacked transports
+  // are buffered exactly like the protocol's own.
+  std::vector<std::uint64_t>* wake_sink_ = nullptr;
 };
 
 class Protocol {
@@ -124,6 +130,10 @@ struct RunStats {
   std::uint64_t retransmitted_words = 0;
   // Direction-rounds during which a stall fault held back pending traffic.
   std::uint64_t stalled_rounds = 0;
+
+  // Field-wise equality - the determinism suite asserts parallel runs
+  // reproduce sequential stats bit for bit.
+  friend bool operator==(const RunStats&, const RunStats&) = default;
 };
 
 // How a protocol run ended. Faults and the round-limit safety valve are

@@ -38,7 +38,10 @@ ReliableProtocol::ReliableProtocol(Protocol& inner, ReliableConfig cfg)
 }
 
 ReliableProtocol::NodeState& ReliableProtocol::state_of(NodeCtx& node) {
-  if (state_.empty()) state_.resize(static_cast<std::size_t>(node.n()));
+  // Distinct nodes may be stepped concurrently: size the vector exactly once,
+  // then each node initializes and mutates only its own element.
+  std::call_once(state_once_,
+                 [&] { state_.resize(static_cast<std::size_t>(node.n())); });
   NodeState& st = state_[static_cast<std::size_t>(node.id())];
   if (st.nbrs.empty()) {
     auto nbrs = node.comm_neighbors();
@@ -59,29 +62,27 @@ int ReliableProtocol::nbr_index(const NodeState& st, NodeId u) const {
 
 void ReliableProtocol::begin(NodeCtx& node) {
   NodeState& st = state_of(node);
-  inner_inbox_.clear();
-  raw_ = &node;
-  raw_state_ = &st;
-  NodeCtx layered = node.layered(&inner_inbox_, this);
+  st.inner_inbox.clear();
+  st.raw = &node;
+  NodeCtx layered = node.layered(&st.inner_inbox, this);
   inner_.begin(layered);
-  raw_ = nullptr;
-  raw_state_ = nullptr;
+  st.raw = nullptr;
 }
 
 void ReliableProtocol::on_send(NodeId from, NodeId neighbor, Message msg,
                                std::int64_t priority) {
-  (void)from;
-  MWC_CHECK_MSG(raw_ != nullptr, "on_send outside a protocol step");
-  LinkTx& tx = (*raw_state_).tx[static_cast<std::size_t>(nbr_index(*raw_state_, neighbor))];
+  NodeState& st = state_[static_cast<std::size_t>(from)];
+  MWC_CHECK_MSG(st.raw != nullptr, "on_send outside a protocol step");
+  LinkTx& tx = st.tx[static_cast<std::size_t>(nbr_index(st, neighbor))];
   if (tx.dead) return;  // peer declared dead; traffic abandoned
   Message framed;
   framed.push(data_header(tx.next_seq));
   for (std::uint32_t i = 0; i < msg.size(); ++i) framed.push(msg[i]);
-  tx.unacked.push_back(Outstanding{tx.next_seq, raw_->round(), priority, framed});
+  tx.unacked.push_back(Outstanding{tx.next_seq, st.raw->round(), priority, framed});
   tx.unacked_words += framed.size();
   ++tx.next_seq;
-  raw_->send(neighbor, std::move(framed), priority);
-  arm_timer(*raw_, tx);
+  st.raw->send(neighbor, std::move(framed), priority);
+  arm_timer(*st.raw, tx);
 }
 
 void ReliableProtocol::handle_ack(LinkTx& tx, std::uint64_t acked) {
@@ -108,11 +109,11 @@ void ReliableProtocol::accept_data(NodeCtx& node, NodeState& st, int j,
     rx.out_of_order.emplace(seq, deframe(d.msg));
     return;
   }
-  inner_inbox_.push_back(Delivery{d.from, deframe(d.msg)});
+  st.inner_inbox.push_back(Delivery{d.from, deframe(d.msg)});
   ++rx.next_expected;
   auto it = rx.out_of_order.begin();
   while (it != rx.out_of_order.end() && it->first == rx.next_expected) {
-    inner_inbox_.push_back(Delivery{d.from, std::move(it->second)});
+    st.inner_inbox.push_back(Delivery{d.from, std::move(it->second)});
     ++rx.next_expected;
     it = rx.out_of_order.erase(it);
   }
@@ -157,7 +158,7 @@ void ReliableProtocol::service_timers(NodeCtx& node, NodeState& st) {
       tx.dead = true;
       tx.unacked.clear();
       tx.unacked_words = 0;
-      ++dead_links_;
+      ++st.dead_links;
       continue;
     }
     // Timeout: retransmit only the frame the cumulative ack is stuck on.
@@ -167,8 +168,8 @@ void ReliableProtocol::service_timers(NodeCtx& node, NodeState& st) {
     // frames the peer already holds every time the head is merely overtaken.
     Outstanding& o = tx.unacked.front();
     o.sent_round = node.round();
-    retransmitted_words_ += o.framed.size();
-    ++retransmitted_messages_;
+    st.retransmitted_words += o.framed.size();
+    ++st.retransmitted_messages;
     node.send(st.nbrs[j], o.framed, o.priority);
     tx.rto = std::min(tx.rto * 2, cfg_.max_timeout_rounds);
     arm_timer(node, tx);
@@ -177,7 +178,7 @@ void ReliableProtocol::service_timers(NodeCtx& node, NodeState& st) {
 
 void ReliableProtocol::round(NodeCtx& node) {
   NodeState& st = state_of(node);
-  inner_inbox_.clear();
+  st.inner_inbox.clear();
   for (const Delivery& d : node.inbox()) {
     const int j = nbr_index(st, d.from);
     if (is_ack(d.msg[0])) {
@@ -189,21 +190,43 @@ void ReliableProtocol::round(NodeCtx& node) {
   // Step the protocol above. It may see an empty inbox when only transport
   // traffic (acks, duplicates) or a retransmission timer woke this node -
   // a spurious invocation the Protocol contract already requires tolerating.
-  raw_ = &node;
-  raw_state_ = &st;
-  NodeCtx layered = node.layered(&inner_inbox_, this);
+  st.raw = &node;
+  NodeCtx layered = node.layered(&st.inner_inbox, this);
   inner_.round(layered);
-  raw_ = nullptr;
-  raw_state_ = nullptr;
+  st.raw = nullptr;
   // Cumulative acks for every link that saw data this round.
   for (std::size_t j = 0; j < st.rx.size(); ++j) {
     LinkRx& rx = st.rx[j];
     if (!rx.ack_due) continue;
     rx.ack_due = false;
-    ++acks_sent_;
+    ++st.acks_sent;
     node.send(st.nbrs[j], Message{ack_header(rx.next_expected - 1)}, kAckPriority);
   }
   service_timers(node, st);
+}
+
+std::uint64_t ReliableProtocol::retransmitted_words() const {
+  std::uint64_t sum = 0;
+  for (const NodeState& st : state_) sum += st.retransmitted_words;
+  return sum;
+}
+
+std::uint64_t ReliableProtocol::retransmitted_messages() const {
+  std::uint64_t sum = 0;
+  for (const NodeState& st : state_) sum += st.retransmitted_messages;
+  return sum;
+}
+
+std::uint64_t ReliableProtocol::acks_sent() const {
+  std::uint64_t sum = 0;
+  for (const NodeState& st : state_) sum += st.acks_sent;
+  return sum;
+}
+
+std::uint64_t ReliableProtocol::dead_links() const {
+  std::uint64_t sum = 0;
+  for (const NodeState& st : state_) sum += st.dead_links;
+  return sum;
 }
 
 }  // namespace mwc::congest

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "congest/faults.h"
@@ -47,11 +48,13 @@ class ReliableProtocol final : public Protocol, public SendInterceptor {
   void on_send(NodeId from, NodeId neighbor, Message msg,
                std::int64_t priority) override;
 
-  std::uint64_t retransmitted_words() const { return retransmitted_words_; }
-  std::uint64_t retransmitted_messages() const { return retransmitted_messages_; }
-  std::uint64_t acks_sent() const { return acks_sent_; }
+  // Transport counters, summed over nodes (kept per node so concurrent
+  // invocations of distinct nodes never contend; see runner.h).
+  std::uint64_t retransmitted_words() const;
+  std::uint64_t retransmitted_messages() const;
+  std::uint64_t acks_sent() const;
   // Links abandoned after max_retries consecutive timeouts (dead peer).
-  std::uint64_t dead_links() const { return dead_links_; }
+  std::uint64_t dead_links() const;
 
  private:
   struct Outstanding {
@@ -77,10 +80,22 @@ class ReliableProtocol final : public Protocol, public SendInterceptor {
     std::map<std::uint64_t, Message> out_of_order;  // seq -> deframed payload
     bool ack_due = false;
   };
+  // Everything one node's transport half needs, including its scratch and
+  // counters: the engine may step distinct nodes concurrently, so nothing a
+  // step mutates lives outside this struct.
   struct NodeState {
     std::vector<NodeId> nbrs;  // sorted copy of comm_neighbors
     std::vector<LinkTx> tx;
     std::vector<LinkRx> rx;
+    // The inner protocol's synthetic (deframed) inbox for the current step.
+    std::vector<Delivery> inner_inbox;
+    // Raw (un-hooked) context while this node is being stepped; on_send uses
+    // it to reach the real links.
+    NodeCtx* raw = nullptr;
+    std::uint64_t retransmitted_words = 0;
+    std::uint64_t retransmitted_messages = 0;
+    std::uint64_t acks_sent = 0;
+    std::uint64_t dead_links = 0;
   };
 
   NodeState& state_of(NodeCtx& node);
@@ -94,17 +109,8 @@ class ReliableProtocol final : public Protocol, public SendInterceptor {
   Protocol& inner_;
   ReliableConfig cfg_;
   std::vector<NodeState> state_;
-  // Scratch for the inner protocol's synthetic inbox (one node at a time).
-  std::vector<Delivery> inner_inbox_;
-  // Raw (un-hooked) context of the node currently being stepped; on_send
-  // uses it to reach the real links.
-  NodeCtx* raw_ = nullptr;
-  NodeState* raw_state_ = nullptr;
-
-  std::uint64_t retransmitted_words_ = 0;
-  std::uint64_t retransmitted_messages_ = 0;
-  std::uint64_t acks_sent_ = 0;
-  std::uint64_t dead_links_ = 0;
+  // Sizes state_ exactly once even when begin() runs on several workers.
+  std::once_flag state_once_;
 };
 
 }  // namespace mwc::congest

@@ -1,11 +1,22 @@
 #include "congest/runner.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <utility>
 
 #include "congest/reliable_link.h"
+#include "congest/thread_pool.h"
 #include "support/check.h"
 
 namespace mwc::congest {
+
+namespace {
+// Below these batch sizes the fork-join barrier costs more than it buys.
+// Purely a performance knob: the parallel and sequential paths are
+// bit-identical, so the threshold never changes results.
+constexpr std::size_t kMinParallelNodes = 4;
+constexpr std::size_t kMinParallelDirs = 8;
+}  // namespace
 
 // ---- NodeCtx ---------------------------------------------------------------
 
@@ -31,7 +42,12 @@ void NodeCtx::send(NodeId neighbor, Message msg, std::int64_t priority) {
 }
 
 void NodeCtx::wake_at(std::uint64_t r) {
-  runner_->wake_at(id_, std::max(r, runner_->round_ + 1));
+  const std::uint64_t rr = std::max(r, runner_->round_ + 1);
+  if (wake_sink_ != nullptr) {
+    wake_sink_->push_back(rr);
+    return;
+  }
+  runner_->wake_at(id_, rr);
 }
 
 void NodeCtx::wake_next() { wake_at(runner_->round_ + 1); }
@@ -68,6 +84,11 @@ Runner::Runner(Network& net, Protocol& proto)
   node_rng_.reserve(static_cast<std::size_t>(net.n()));
   for (NodeId v = 0; v < net.n(); ++v) {
     node_rng_.push_back(run_rng.fork(static_cast<std::uint64_t>(v)));
+    // Reserve-once inboxes: a node's per-round deliveries are bounded by its
+    // comm degree in the common one-message-per-neighbor regime, so this
+    // keeps steady-state rounds allocation-free (growth beyond is kept).
+    inbox_next_[static_cast<std::size_t>(v)].reserve(
+        net.comm_neighbors(v).size());
   }
   schedule_rng_ = run_rng.fork(~std::uint64_t{0});
   if (net.config().faults.any()) {
@@ -85,6 +106,7 @@ Runner::Runner(Network& net, Protocol& proto)
   if (net.config().reliable_transport) {
     reliable_ = std::make_unique<ReliableProtocol>(proto_, net.config().reliable);
   }
+  pool_ = net.thread_pool();
 }
 
 Runner::~Runner() = default;
@@ -95,11 +117,14 @@ Protocol& Runner::active_proto() {
 
 void Runner::send(NodeId from, NodeId to, Message msg, std::int64_t priority) {
   MWC_CHECK_MSG(msg.size() >= 1, "messages must carry at least one word");
-  int dir_idx = net_.direction_index(from, to);
+  enqueue_dir(net_.direction_index(from, to), std::move(msg), priority);
+}
+
+void Runner::enqueue_dir(int dir_idx, Message msg, std::int64_t priority) {
   DirectionState& ds = dir_state_[static_cast<std::size_t>(dir_idx)];
   ds.queued_words += msg.size();
   stats_.max_queue_words = std::max(stats_.max_queue_words, ds.queued_words);
-  ds.queue.push(QueuedMsg{priority, seq_++, std::move(msg)});
+  ds.queue.push(priority, seq_++, std::move(msg));
   activate_dir(dir_idx);
 }
 
@@ -137,11 +162,11 @@ void Runner::crash_node(NodeId v) {
       stats_.dropped_words += ds.current.size() - ds.words_done;
       ds.transmitting = false;
     }
-    while (!ds.queue.empty()) {
+    for (const QueuedMsg& qm : ds.queue.entries()) {
       ++stats_.dropped_messages;
-      stats_.dropped_words += ds.queue.top().msg.size();
-      ds.queue.pop();
+      stats_.dropped_words += qm.msg.size();
     }
+    ds.queue.clear();
     ds.queued_words = 0;
   }
   inbox_next_[static_cast<std::size_t>(v)].clear();
@@ -151,91 +176,206 @@ void Runner::crash_node(NodeId v) {
   }
 }
 
-void Runner::transmit_step() {
-  const int bandwidth = net_.config().bandwidth_words;
-  std::vector<int> still_active;
-  still_active.reserve(active_dirs_.size());
-  for (int dir_idx : active_dirs_) {
-    DirectionState& ds = dir_state_[static_cast<std::size_t>(dir_idx)];
-    const Network::Direction& dir = net_.dirs_[static_cast<std::size_t>(dir_idx)];
-    if (injector_ != nullptr && injector_->stalled(dir_idx, round_)) {
-      // Frozen: time passes, the queue holds. Still active by definition.
-      ++stats_.stalled_rounds;
-      if (net_.trace_ != nullptr) {
-        net_.trace_->record(TraceEvent{
-            run_id_, round_, dir.from, dir.to,
-            static_cast<std::uint32_t>(ds.queued_words), TraceEventKind::kStall});
+// ---- node invocation phase -------------------------------------------------
+
+void Runner::NodeEmission::on_send(NodeId from, NodeId neighbor, Message msg,
+                                   std::int64_t priority) {
+  MWC_CHECK_MSG(msg.size() >= 1, "messages must carry at least one word");
+  // direction_index is read-only lookup - safe from worker threads; resolving
+  // it here keeps the sequential merge a pure replay.
+  sends.push_back(BufferedSend{runner->net_.direction_index(from, neighbor),
+                               priority, std::move(msg)});
+}
+
+void Runner::invoke_nodes(Protocol& proto, bool first_round) {
+  if (pool_ == nullptr || invocations_.size() < kMinParallelNodes) {
+    // Sequential: invoke in order, effects land on engine state directly.
+    for (NodeId v : invocations_) {
+      NodeCtx ctx(*this, v);
+      ctx.inbox_override_ = &inbox_next_[static_cast<std::size_t>(v)];
+      if (first_round) {
+        proto.begin(ctx);
+      } else {
+        proto.round(ctx);
       }
-      still_active.push_back(dir_idx);
-      continue;
+      inbox_next_[static_cast<std::size_t>(v)].clear();
     }
-    int budget = bandwidth;
-    while (budget > 0) {
-      if (!ds.transmitting) {
-        if (ds.queue.empty()) break;
-        ds.current = std::move(const_cast<QueuedMsg&>(ds.queue.top()).msg);
-        ds.queue.pop();
-        ds.words_done = 0;
-        ds.transmitting = true;
-      }
-      std::uint32_t take = std::min<std::uint32_t>(
-          static_cast<std::uint32_t>(budget), ds.current.size() - ds.words_done);
-      ds.words_done += take;
-      budget -= static_cast<int>(take);
-      ds.queued_words -= take;
-      stats_.words += take;
-      net_.total_words_ += take;
-      if (dir.crosses_cut) net_.cut_words_ += take;
-      if (ds.words_done == ds.current.size()) {
-        // Message fully transmitted: deliver for next round - unless a drop
-        // fault eats it or the receiver is gone.
-        const bool lost = crashed_[static_cast<std::size_t>(dir.to)] ||
-                          (injector_ != nullptr && injector_->drop_message(dir_idx));
-        if (lost) {
-          ++stats_.dropped_messages;
-          stats_.dropped_words += ds.current.size();
-          if (net_.trace_ != nullptr) {
-            net_.trace_->record(TraceEvent{run_id_, round_, dir.from, dir.to,
-                                           ds.current.size(),
-                                           TraceEventKind::kDrop});
-          }
-        } else {
-          if (net_.trace_ != nullptr) {
-            net_.trace_->record(TraceEvent{run_id_, round_, dir.from, dir.to,
-                                           ds.current.size()});
-          }
-          auto& box = inbox_next_[static_cast<std::size_t>(dir.to)];
-          if (box.empty()) receivers_next_.push_back(dir.to);
-          box.push_back(Delivery{dir.from, std::move(ds.current)});
-          ++stats_.messages;
-          ++net_.total_messages_;
-        }
-        ds.transmitting = false;
-      }
-    }
-    if (ds.transmitting || !ds.queue.empty()) {
-      still_active.push_back(dir_idx);
+    return;
+  }
+
+  // Parallel: every invocation writes its sends and wake-ups into its own
+  // NodeEmission slot; shared engine state is untouched until the merge.
+  if (emissions_.size() < invocations_.size()) {
+    emissions_.resize(invocations_.size());
+  }
+  pool_->run(static_cast<int>(invocations_.size()), [&](int i) {
+    const NodeId v = invocations_[static_cast<std::size_t>(i)];
+    NodeEmission& em = emissions_[static_cast<std::size_t>(i)];
+    em.runner = this;
+    em.node = v;
+    em.sends.clear();
+    em.wakes.clear();
+    NodeCtx ctx(*this, v);
+    ctx.inbox_override_ = &inbox_next_[static_cast<std::size_t>(v)];
+    ctx.send_hook_ = &em;
+    ctx.wake_sink_ = &em.wakes;
+    if (first_round) {
+      proto.begin(ctx);
     } else {
-      ds.active = false;
+      proto.round(ctx);
     }
-    if (budget < bandwidth) {
-      last_activity_round_ = round_;
-      had_transmission_ = true;
+    // Each node's slot is exclusively this shard's (invocations_ is
+    // deduplicated), so clearing its inbox here is race-free and recycles
+    // the delivered messages into this worker's word pool.
+    inbox_next_[static_cast<std::size_t>(v)].clear();
+  });
+
+  // Merge in invocation order: replaying buffered sends through enqueue_dir
+  // assigns the exact seq_ numbers sequential execution would, and wake-ups
+  // land as the same (round, node) multiset - pop order of the wake heap is
+  // a total order on values, so insertion order is immaterial.
+  for (std::size_t i = 0; i < invocations_.size(); ++i) {
+    NodeEmission& em = emissions_[i];
+    for (NodeEmission::BufferedSend& bs : em.sends) {
+      enqueue_dir(bs.dir_idx, std::move(bs.msg), bs.priority);
+    }
+    em.sends.clear();
+    for (std::uint64_t r : em.wakes) wake_at(em.node, r);
+    em.wakes.clear();
+  }
+}
+
+// ---- transmit phase --------------------------------------------------------
+
+void Runner::transmit_dir(int dir_idx, DirTransmit& r) {
+  DirectionState& ds = dir_state_[static_cast<std::size_t>(dir_idx)];
+  r.stalled = false;
+  r.used_budget = false;
+  r.words_moved = 0;
+  r.completed.clear();
+  if (injector_ != nullptr && injector_->stalled(dir_idx, round_)) {
+    // Frozen: time passes, the queue holds. Still active by definition.
+    r.stalled = true;
+    r.still_active = true;
+    return;
+  }
+  const int bandwidth = net_.config().bandwidth_words;
+  int budget = bandwidth;
+  while (budget > 0) {
+    if (!ds.transmitting) {
+      if (ds.queue.empty()) break;
+      ds.current = ds.queue.take_top();
+      ds.words_done = 0;
+      ds.transmitting = true;
+    }
+    std::uint32_t take = std::min<std::uint32_t>(
+        static_cast<std::uint32_t>(budget), ds.current.size() - ds.words_done);
+    ds.words_done += take;
+    budget -= static_cast<int>(take);
+    ds.queued_words -= take;
+    r.words_moved += take;
+    if (ds.words_done == ds.current.size()) {
+      r.completed.push_back(std::move(ds.current));
+      ds.transmitting = false;
+    }
+  }
+  r.still_active = ds.transmitting || !ds.queue.empty();
+  if (!r.still_active) ds.active = false;
+  r.used_budget = budget < bandwidth;
+}
+
+void Runner::settle_dir(std::size_t pos, std::vector<int>& still_active) {
+  const int dir_idx = active_dirs_[pos];
+  DirTransmit& r = dir_results_[pos];
+  DirectionState& ds = dir_state_[static_cast<std::size_t>(dir_idx)];
+  const Network::Direction& dir = net_.dirs_[static_cast<std::size_t>(dir_idx)];
+  if (r.stalled) {
+    ++stats_.stalled_rounds;
+    if (net_.trace_ != nullptr) {
+      net_.trace_->record(TraceEvent{
+          run_id_, round_, dir.from, dir.to,
+          static_cast<std::uint32_t>(ds.queued_words), TraceEventKind::kStall});
+    }
+    still_active.push_back(dir_idx);
+    return;
+  }
+  stats_.words += r.words_moved;
+  net_.total_words_ += r.words_moved;
+  if (dir.crosses_cut) net_.cut_words_ += r.words_moved;
+  for (Message& msg : r.completed) {
+    // Message fully transmitted: deliver for next round - unless a drop
+    // fault eats it or the receiver is gone. The crashed check short-circuits
+    // before drop_message, so the fault RNG stream advances exactly as in
+    // sequential execution.
+    const bool lost = crashed_[static_cast<std::size_t>(dir.to)] ||
+                      (injector_ != nullptr && injector_->drop_message(dir_idx));
+    if (lost) {
+      ++stats_.dropped_messages;
+      stats_.dropped_words += msg.size();
+      if (net_.trace_ != nullptr) {
+        net_.trace_->record(TraceEvent{run_id_, round_, dir.from, dir.to,
+                                       msg.size(), TraceEventKind::kDrop});
+      }
+    } else {
+      if (net_.trace_ != nullptr) {
+        net_.trace_->record(TraceEvent{run_id_, round_, dir.from, dir.to,
+                                       msg.size()});
+      }
+      auto& box = inbox_next_[static_cast<std::size_t>(dir.to)];
+      if (box.empty()) receivers_next_.push_back(dir.to);
+      box.push_back(Delivery{dir.from, std::move(msg)});
+      ++stats_.messages;
+      ++net_.total_messages_;
+    }
+  }
+  r.completed.clear();
+  if (r.still_active) still_active.push_back(dir_idx);
+  if (r.used_budget) {
+    last_activity_round_ = round_;
+    had_transmission_ = true;
+  }
+}
+
+void Runner::transmit_step() {
+  std::vector<int>& still_active = still_active_scratch_;
+  still_active.clear();
+  still_active.reserve(active_dirs_.size());
+  if (dir_results_.size() < active_dirs_.size()) {
+    dir_results_.resize(active_dirs_.size());
+  }
+  if (pool_ != nullptr && active_dirs_.size() >= kMinParallelDirs) {
+    // Phase A in parallel: each shard advances one direction's private state
+    // machine. Phase B sequentially, in active_dirs_ order: fault RNG, trace
+    // events, deliveries, and stats replay exactly as sequential execution
+    // interleaves them.
+    pool_->run(static_cast<int>(active_dirs_.size()), [&](int pos) {
+      transmit_dir(active_dirs_[static_cast<std::size_t>(pos)],
+                   dir_results_[static_cast<std::size_t>(pos)]);
+    });
+    for (std::size_t pos = 0; pos < active_dirs_.size(); ++pos) {
+      settle_dir(pos, still_active);
+    }
+  } else {
+    for (std::size_t pos = 0; pos < active_dirs_.size(); ++pos) {
+      transmit_dir(active_dirs_[pos], dir_results_[pos]);
+      settle_dir(pos, still_active);
     }
   }
   active_dirs_.swap(still_active);
 }
 
+// ---- main loop -------------------------------------------------------------
+
 RunResult Runner::run() {
   Protocol& proto = active_proto();
-  // Round 0: local setup + initial sends.
+  // Round 0: local setup + initial sends, every live node in id order.
   round_ = 0;
   apply_due_crashes();
+  invocations_.clear();
   for (NodeId v = 0; v < net_.n(); ++v) {
-    if (crashed_[static_cast<std::size_t>(v)]) continue;
-    NodeCtx ctx(*this, v);
-    proto.begin(ctx);
+    if (!crashed_[static_cast<std::size_t>(v)]) invocations_.push_back(v);
   }
+  invoke_nodes(proto, /*first_round=*/true);
   transmit_step();
 
   std::vector<NodeId> active_nodes;
@@ -267,6 +407,12 @@ RunResult Runner::run() {
     // randomizes both the invocation order and each inbox.
     std::sort(active_nodes.begin(), active_nodes.end());
     if (net_.config().shuffle_deliveries) schedule_rng_.shuffle(active_nodes);
+
+    // Pre-pass, in invocation order: crash and duplicate filtering, plus the
+    // adversarial inbox shuffles - everything that consumes schedule_rng_ -
+    // happens here sequentially, so the parallel invocation phase that
+    // follows touches no shared randomness.
+    invocations_.clear();
     for (NodeId v : active_nodes) {
       if (crashed_[static_cast<std::size_t>(v)]) {
         inbox_next_[static_cast<std::size_t>(v)].clear();
@@ -275,13 +421,12 @@ RunResult Runner::run() {
       auto& stamp = last_invoked[static_cast<std::size_t>(v)];
       if (stamp == round_) continue;
       stamp = round_;
-      inbox_current_.clear();
-      inbox_current_.swap(inbox_next_[static_cast<std::size_t>(v)]);
-      if (net_.config().shuffle_deliveries) schedule_rng_.shuffle(inbox_current_);
-      NodeCtx ctx(*this, v);
-      proto.round(ctx);
+      if (net_.config().shuffle_deliveries) {
+        schedule_rng_.shuffle(inbox_next_[static_cast<std::size_t>(v)]);
+      }
+      invocations_.push_back(v);
     }
-    inbox_current_.clear();
+    invoke_nodes(proto, /*first_round=*/false);
 
     transmit_step();
   }

@@ -12,6 +12,14 @@
 // enables reliable_transport, the Runner transparently wraps the protocol
 // in the ReliableProtocol ARQ layer (reliable_link.h), so protocols run
 // unmodified over links that drop messages (faults.h).
+//
+// Parallel execution (NetworkConfig::threads > 1): each round's node
+// invocations and the transmit step run sharded across a worker pool, with
+// all effects on shared engine state (message enqueue order, wake-ups,
+// fault randomness, trace events, stats) buffered per shard and merged at
+// the round barrier in the exact order sequential execution produces them.
+// Results are bit-identical to threads=1 - see docs/simulator.md,
+// "Execution model", for the determinism argument.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "congest/dir_queue.h"
 #include "congest/faults.h"
 #include "congest/network.h"
 #include "congest/protocol.h"
@@ -28,6 +37,7 @@
 namespace mwc::congest {
 
 class ReliableProtocol;
+class ThreadPool;
 
 class Runner {
  public:
@@ -40,25 +50,47 @@ class Runner {
  private:
   friend class NodeCtx;
 
-  struct QueuedMsg {
-    std::int64_t priority;
-    std::uint64_t seq;
-    Message msg;
-  };
-  struct QueuedMsgOrder {
-    // priority_queue is max-first; invert for (priority, seq) min-first.
-    bool operator()(const QueuedMsg& a, const QueuedMsg& b) const {
-      if (a.priority != b.priority) return a.priority > b.priority;
-      return a.seq > b.seq;
-    }
-  };
   struct DirectionState {
-    std::priority_queue<QueuedMsg, std::vector<QueuedMsg>, QueuedMsgOrder> queue;
+    DirQueue queue;
     Message current;             // message being transmitted, if any
     std::uint32_t words_done = 0;
     bool transmitting = false;
     bool active = false;         // member of active_dirs_
     std::uint64_t queued_words = 0;
+  };
+
+  // One node invocation's buffered effects (parallel path). The buffer is
+  // the SendInterceptor installed on the engine-level NodeCtx, so sends of
+  // the protocol *and* of any stacked transport land here; wake-ups arrive
+  // through NodeCtx::wake_sink_. Slots live in emissions_, indexed by
+  // invocation order, and are replayed in that order at the barrier -
+  // reproducing the sequential seq_ numbering exactly.
+  struct NodeEmission final : SendInterceptor {
+    Runner* runner = nullptr;
+    NodeId node = graph::kNoNode;
+    struct BufferedSend {
+      int dir_idx;
+      std::int64_t priority;
+      Message msg;
+    };
+    std::vector<BufferedSend> sends;
+    std::vector<std::uint64_t> wakes;
+    void on_send(NodeId from, NodeId neighbor, Message msg,
+                 std::int64_t priority) override;
+  };
+
+  // One direction's transmit outcome (parallel path): the state-machine
+  // advance runs sharded (it only touches the direction's own state), and
+  // everything with engine-global effects - drop-fault randomness, trace
+  // events, inbox delivery, stats - replays from this record at the
+  // barrier, in active_dirs_ order, exactly as sequential execution
+  // interleaves it.
+  struct DirTransmit {
+    bool stalled = false;
+    bool used_budget = false;
+    bool still_active = false;
+    std::uint32_t words_moved = 0;
+    std::vector<Message> completed;  // fully transmitted, in completion order
   };
 
   // NodeCtx backend.
@@ -69,7 +101,17 @@ class Runner {
   // transport is enabled, the caller's protocol otherwise).
   Protocol& active_proto();
 
+  // Invokes the protocol for every node in invocations_ (in order),
+  // sharding across the pool when it pays. `first_round` selects begin()
+  // over round().
+  void invoke_nodes(Protocol& proto, bool first_round);
   void transmit_step();
+  // Phase A: advance one direction's transmit state machine (touches only
+  // that direction's state - shard-safe). Phase B: replay its engine-global
+  // effects (fault RNG, traces, deliveries, stats) in active_dirs_ order.
+  void transmit_dir(int dir_idx, DirTransmit& result);
+  void settle_dir(std::size_t pos, std::vector<int>& still_active);
+  void enqueue_dir(int dir_idx, Message msg, std::int64_t priority);
   void activate_dir(int dir_idx);
   void apply_due_crashes();
   void crash_node(NodeId v);
@@ -86,9 +128,12 @@ class Runner {
   std::vector<int> active_dirs_;
 
   // Deliveries accumulated during transmit of round r, consumed at r+1.
+  // Per-node vectors are reserved once and cleared (never shrunk) after
+  // consumption, so steady-state rounds allocate nothing.
   std::vector<std::vector<Delivery>> inbox_next_;
   std::vector<NodeId> receivers_next_;  // nodes with non-empty inbox_next_
-  std::vector<Delivery> inbox_current_;  // the inbox seen by the node in round()
+  // Always empty: the inbox a NodeCtx without an override sees (round 0).
+  std::vector<Delivery> inbox_current_;
 
   // Wake requests: min-heap of (round, node); duplicates tolerated.
   using Wake = std::pair<std::uint64_t, NodeId>;
@@ -96,6 +141,14 @@ class Runner {
 
   std::vector<support::Rng> node_rng_;
   support::Rng schedule_rng_;  // adversarial-schedule fuzzing
+
+  // Parallel machinery. pool_ is the Network's shared pool (nullptr at
+  // threads=1); the scratch vectors below are reused every round.
+  ThreadPool* pool_ = nullptr;
+  std::vector<NodeId> invocations_;      // nodes to step this round, in order
+  std::vector<NodeEmission> emissions_;  // slot per invocation
+  std::vector<DirTransmit> dir_results_; // slot per active direction
+  std::vector<int> still_active_scratch_;
 
   // Fault machinery (null / empty on fault-free configs).
   std::unique_ptr<FaultInjector> injector_;

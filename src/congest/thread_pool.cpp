@@ -1,0 +1,82 @@
+#include "congest/thread_pool.h"
+
+#include "support/check.h"
+
+namespace mwc::congest {
+
+ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads) {
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 0; i < threads_ - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::drain(Batch& batch) {
+  while (true) {
+    const int shard = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (shard >= batch.total) return;
+    try {
+      (*batch.fn)(shard);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!batch.error) batch.error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (++batch.done == batch.total) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  while (true) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      batch = batch_;
+    }
+    // A stale wake-up (batch already finished and retired) holds a batch
+    // whose claim counter is exhausted; drain() then returns immediately.
+    if (batch != nullptr) drain(*batch);
+  }
+}
+
+void ThreadPool::run(int shards, const std::function<void(int)>& fn) {
+  if (shards <= 0) return;
+  if (threads_ == 1) {
+    for (int i = 0; i < shards; ++i) fn(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->total = shards;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MWC_CHECK_MSG(batch_ == nullptr, "ThreadPool::run is not re-entrant");
+    batch_ = batch;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  drain(*batch);  // the calling thread is one of the `threads_` lanes
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return batch->done == batch->total; });
+    batch_ = nullptr;
+    error = batch->error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace mwc::congest

@@ -1,0 +1,78 @@
+// A persistent fork-join worker pool for the parallel engine.
+//
+// The CONGEST engine is bulk-synchronous: within one round, node
+// invocations are independent and link-direction transmissions are
+// independent, so each phase is an embarrassingly parallel batch between
+// two barriers. This pool provides exactly that shape - run(shards, fn)
+// executes fn(0..shards-1) across the workers *and the calling thread*,
+// returning only when every shard finished - and nothing more. No futures,
+// no task graph: determinism is the Runner's job (it assigns work to
+// numbered shards and merges results in shard order), the pool only
+// supplies cores.
+//
+// Shards are claimed dynamically (an atomic counter), so uneven shard
+// costs self-balance; callers may pass more shards than threads.
+//
+// Exceptions thrown by fn are captured; the first one is rethrown from
+// run() on the calling thread after the batch completes, so MWC_CHECK in
+// throwing mode behaves the same as in sequential execution.
+//
+// The pool is created once (lazily, by the Network) and reused by every
+// run; construction spawns threads-1 OS threads, destruction joins them.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mwc::congest {
+
+class ThreadPool {
+ public:
+  // `threads` >= 1: total parallelism including the calling thread.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  // Runs fn(shard) for every shard in [0, shards), blocking until all
+  // complete. Must not be called re-entrantly from inside fn.
+  void run(int shards, const std::function<void(int)>& fn);
+
+ private:
+  // One fork-join batch. Workers hold a shared_ptr, so a thread woken late
+  // - after the batch completed and a new one (or none) replaced it - still
+  // sees a valid object whose claim counter is exhausted, and touches
+  // nothing of the next batch.
+  struct Batch {
+    const std::function<void(int)>* fn = nullptr;
+    int total = 0;
+    std::atomic<int> next{0};       // next shard to claim
+    int done = 0;                   // guarded by mu_
+    std::exception_ptr error;       // guarded by mu_
+  };
+
+  void worker_loop();
+  // Claims and executes shards of `batch` until none remain.
+  void drain(Batch& batch);
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Batch> batch_;  // guarded by mu_
+  std::uint64_t generation_ = 0;  // guarded by mu_
+  bool stop_ = false;             // guarded by mu_
+};
+
+}  // namespace mwc::congest

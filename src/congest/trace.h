@@ -30,6 +30,10 @@ struct TraceEvent {
   graph::NodeId to = graph::kNoNode;
   std::uint32_t words = 0;
   TraceEventKind kind = TraceEventKind::kDeliver;
+
+  // Event-wise equality: the determinism suite compares whole traces of
+  // parallel vs. sequential executions.
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
 
 class Trace {

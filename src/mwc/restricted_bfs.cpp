@@ -154,7 +154,7 @@ class RestrictedBfsProtocol : public congest::Protocol {
 
       bump_window(node, st);
       ++st.window_count;
-      ++result_.restricted_messages;
+      ++st.restricted_messages;
       if (params_.enable_overflow_handling && st.window_count > threshold_) {
         st.z = true;  // phase-overflow vertex
         continue;
@@ -183,6 +183,9 @@ class RestrictedBfsProtocol : public congest::Protocol {
 
   RestrictedBfsResult finish(congest::Network& net, RunStats bfs_stats) {
     result_.stats = bfs_stats;
+    for (const NodeState& st : state_) {
+      result_.restricted_messages += st.restricted_messages;
+    }
     // Line 24: unrestricted h-tick BFS from the overflow set Z.
     std::vector<NodeId> z_set;
     for (NodeId v = 0; v < n_; ++v) {
@@ -296,6 +299,8 @@ class RestrictedBfsProtocol : public congest::Protocol {
     bool z = false;
     std::uint64_t window_id = ~std::uint64_t{0};
     int window_count = 0;
+    // Per node (not on result_ directly): nodes may be stepped concurrently.
+    std::uint64_t restricted_messages = 0;
     struct Estimate {
       Weight d;
       NodeId prev;  // neighbor that delivered it (kNoNode at the source)

@@ -25,6 +25,10 @@ class Table {
   static std::string fmt(double v, int precision = 2);
   static std::string fmt(std::int64_t v);
 
+  // Structured access for machine-readable exports (bench JSON logs).
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

@@ -3,12 +3,19 @@
 // round-complexity measurement in the benches rests on.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
+#include "congest/arena.h"
+#include "congest/dir_queue.h"
 #include "congest/network.h"
 #include "congest/protocol.h"
 #include "congest/runner.h"
+#include "congest/thread_pool.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "support/check.h"
@@ -360,6 +367,147 @@ TEST(Engine, MaxRoundsGuardThrowsFromRunProtocol) {
     EXPECT_NE(std::string(e.what()).find("round_limit_exceeded"),
               std::string::npos);
   }
+}
+
+// ---------- DirQueue (flat per-direction heap) ------------------------------
+
+TEST(DirQueueType, PopsInPrioritySeqOrder) {
+  DirQueue q;
+  // Mixed priorities, seqs deliberately out of push order within a priority.
+  q.push(/*priority=*/5, /*seq=*/3, Message{30});
+  q.push(1, 7, Message{70});
+  q.push(5, 1, Message{10});
+  q.push(1, 2, Message{20});
+  q.push(-4, 9, Message{90});
+  ASSERT_EQ(q.size(), 5u);
+  const std::int64_t want_prio[] = {-4, 1, 1, 5, 5};
+  const std::uint64_t want_seq[] = {9, 2, 7, 1, 3};
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(q.top().priority, want_prio[i]) << i;
+    EXPECT_EQ(q.top().seq, want_seq[i]) << i;
+    Message m = q.take_top();
+    EXPECT_EQ(m[0], want_seq[i] * 10);  // payload encodes seq in this test
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(DirQueueType, EntriesExposeAllQueuedForAccounting) {
+  DirQueue q;
+  std::uint64_t pushed_words = 0;
+  for (std::uint64_t s = 0; s < 9; ++s) {
+    Message m;
+    for (Word w = 0; w <= s; ++w) m.push(w);
+    pushed_words += m.size();
+    q.push(static_cast<std::int64_t>(s % 3), s, std::move(m));
+  }
+  std::uint64_t seen_words = 0;
+  for (const QueuedMsg& e : q.entries()) seen_words += e.msg.size();
+  EXPECT_EQ(seen_words, pushed_words);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.entries().size(), 0u);
+}
+
+// ---------- Message / WordPool arena ----------------------------------------
+
+TEST(MessageType, CopyAndMoveAcrossSpillBoundary) {
+  Message small{1, 2, 3};
+  Message big;
+  for (Word i = 0; i < 40; ++i) big.push(i);
+  Message small_copy = small;
+  Message big_copy = big;
+  for (std::uint32_t i = 0; i < 3; ++i) EXPECT_EQ(small_copy[i], small[i]);
+  for (std::uint32_t i = 0; i < 40; ++i) EXPECT_EQ(big_copy[i], i);
+  Message moved = std::move(big);
+  EXPECT_EQ(moved.size(), 40u);
+  EXPECT_EQ(big.size(), 0u);  // NOLINT(bugprone-use-after-move): defined empty
+  for (std::uint32_t i = 0; i < 40; ++i) EXPECT_EQ(moved[i], i);
+  big = std::move(moved);  // move-assign back over the moved-from shell
+  EXPECT_EQ(big.size(), 40u);
+  small = big;  // copy-assign inline <- spilled
+  EXPECT_EQ(small.size(), 40u);
+  EXPECT_EQ(small[39], 39u);
+}
+
+TEST(WordPoolArena, BlocksAreRecycled) {
+  WordPool::reset_global_stats();
+  // Round 1: allocate spilled messages, then free them all.
+  {
+    std::vector<Message> msgs(16);
+    for (Message& m : msgs) {
+      for (Word i = 0; i < 64; ++i) m.push(i);
+    }
+  }
+  const auto after_first = WordPool::global_stats();
+  EXPECT_GT(after_first.fresh, 0u);
+  // Round 2: the same shapes again - served from the freelists, not new[].
+  {
+    std::vector<Message> msgs(16);
+    for (Message& m : msgs) {
+      for (Word i = 0; i < 64; ++i) m.push(i);
+    }
+  }
+  const auto after_second = WordPool::global_stats();
+  EXPECT_EQ(after_second.fresh, after_first.fresh)
+      << "second round should allocate nothing fresh";
+  EXPECT_GT(after_second.reused, after_first.reused);
+}
+
+TEST(WordPoolArena, RoundCapIsPowerOfTwoAtLeastRequest) {
+  for (std::uint32_t req = 1; req < 200; ++req) {
+    const std::uint32_t cap = WordPool::round_cap(req);
+    EXPECT_GE(cap, req);
+    EXPECT_EQ(cap & (cap - 1), 0u) << "cap must be a power of two";
+  }
+}
+
+// ---------- ThreadPool ------------------------------------------------------
+
+TEST(ThreadPoolType, RunsEveryShardExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kShards = 100;
+  std::vector<std::atomic<int>> hits(kShards);
+  pool.run(kShards, [&](int s) { hits[static_cast<std::size_t>(s)]++; });
+  for (int s = 0; s < kShards; ++s) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(s)].load(), 1) << s;
+  }
+  // Reusable: a second batch on the same pool.
+  pool.run(kShards, [&](int s) { hits[static_cast<std::size_t>(s)]++; });
+  for (int s = 0; s < kShards; ++s) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(s)].load(), 2) << s;
+  }
+}
+
+TEST(ThreadPoolType, PropagatesFirstException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.run(16, [&](int s) {
+        if (s % 2 == 1) throw std::runtime_error("shard failed");
+      }),
+      std::runtime_error);
+  // Pool still usable after an exceptional batch.
+  std::atomic<int> ok{0};
+  pool.run(8, [&](int) { ok++; });
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(ThreadPoolType, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  pool.run(5, [&](int) { EXPECT_EQ(std::this_thread::get_id(), caller); });
+}
+
+// ---------- parallel engine smoke (semantics, not determinism) --------------
+
+TEST(Engine, ParallelBurstDeliversSameOrder) {
+  Graph g = path_graph(2);
+  NetworkConfig cfg;
+  cfg.threads = 4;
+  Network net(g, /*seed=*/1, cfg);
+  Burst proto(7);
+  run_protocol(net, proto);
+  ASSERT_EQ(proto.received_.size(), 7u);
+  for (Word i = 0; i < 7; ++i) EXPECT_EQ(proto.received_[i], i);
 }
 
 }  // namespace

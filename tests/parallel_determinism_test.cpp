@@ -1,0 +1,247 @@
+// Parallel engine determinism: NetworkConfig::threads > 1 must be
+// bit-identical to sequential execution - same trace event sequence, same
+// RunStats, same algorithm outputs - across seeds, adversarial-schedule
+// shuffling, and active fault plans. These tests run every scenario at
+// threads=1 and at 2/4/8 threads and compare everything observable.
+//
+// The engine's claim (docs/simulator.md, "Execution model") is exact
+// equality, not statistical equivalence, so every comparison here is
+// EXPECT_EQ on whole vectors of trace events and field-wise RunStats.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/multi_bfs.h"
+#include "congest/network.h"
+#include "congest/runner.h"
+#include "congest/trace.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "mwc/exact.h"
+#include "mwc/girth_approx.h"
+#include "support/rng.h"
+
+namespace mwc::congest {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::WeightRange;
+
+constexpr int kThreadCounts[] = {2, 4, 8};
+
+Graph test_graph(std::uint64_t seed, int n = 48, int m = 110) {
+  support::Rng rng(seed);
+  return graph::random_connected(n, m, WeightRange{1, 9}, rng);
+}
+
+// Everything observable about an execution.
+struct Artifacts {
+  std::vector<TraceEvent> events;
+  RunStats net_totals;  // Network accumulators, packed into a RunStats
+  graph::Weight value = 0;
+
+  friend bool operator==(const Artifacts&, const Artifacts&) = default;
+};
+
+template <typename Body>
+Artifacts run_scenario(const Graph& g, std::uint64_t seed, NetworkConfig cfg,
+                       int threads, const Body& body) {
+  cfg.threads = threads;
+  Trace trace(std::size_t{1} << 22);
+  Network net(g, seed, cfg);
+  net.attach_trace(&trace);
+  Artifacts a;
+  a.value = body(net);
+  a.events = trace.events();
+  a.net_totals.rounds = net.total_rounds();
+  a.net_totals.messages = net.total_messages();
+  a.net_totals.words = net.total_words();
+  return a;
+}
+
+// Runs `body` sequentially and at each parallel width, demanding identical
+// artifacts. `body` returns one scalar summarizing the algorithm's answer.
+template <typename Body>
+void expect_bit_identical(const Graph& g, std::uint64_t seed,
+                          const NetworkConfig& cfg, const Body& body) {
+  const Artifacts ref = run_scenario(g, seed, cfg, 1, body);
+  for (int threads : kThreadCounts) {
+    const Artifacts got = run_scenario(g, seed, cfg, threads, body);
+    EXPECT_EQ(got.value, ref.value) << "threads=" << threads;
+    EXPECT_EQ(got.net_totals, ref.net_totals) << "threads=" << threads;
+    ASSERT_EQ(got.events.size(), ref.events.size()) << "threads=" << threads;
+    EXPECT_TRUE(got.events == ref.events)
+        << "trace diverged at threads=" << threads;
+  }
+}
+
+// ---------- full algorithms -------------------------------------------------
+
+TEST(ParallelDeterminism, ExactMwcBitIdenticalAcrossSeeds) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    Graph g = test_graph(seed);
+    expect_bit_identical(g, seed + 11, NetworkConfig{}, [](Network& net) {
+      cycle::MwcResult r = cycle::exact_mwc(net);
+      return r.value;
+    });
+  }
+}
+
+TEST(ParallelDeterminism, RandomizedGirthApproxSameRngStreams) {
+  // girth_approx draws per-node randomness (sampling, start offsets); the
+  // parallel engine must leave every node's private RNG stream untouched,
+  // so even the randomized answer is bit-identical.
+  support::Rng rng(7);
+  Graph g = graph::random_connected(60, 130, WeightRange{1, 1}, rng);
+  expect_bit_identical(g, 19, NetworkConfig{}, [](Network& net) {
+    return cycle::girth_approx(net).value;
+  });
+}
+
+TEST(ParallelDeterminism, ShuffledScheduleConsumesSameRandomness) {
+  // Adversarial-schedule mode consumes schedule_rng_ per round; the parallel
+  // pre-pass must draw the identical stream in the identical order.
+  for (std::uint64_t seed = 3; seed < 5; ++seed) {
+    Graph g = test_graph(seed);
+    NetworkConfig cfg;
+    cfg.shuffle_deliveries = true;
+    expect_bit_identical(g, seed, cfg, [](Network& net) {
+      return cycle::exact_mwc(net).value;
+    });
+  }
+}
+
+TEST(ParallelDeterminism, WiderBandwidth) {
+  Graph g = test_graph(9);
+  NetworkConfig cfg;
+  cfg.bandwidth_words = 4;
+  expect_bit_identical(g, 23, cfg, [](Network& net) {
+    return cycle::exact_mwc(net).value;
+  });
+}
+
+// ---------- fault plans -----------------------------------------------------
+
+TEST(ParallelDeterminism, DropsUnderReliableTransport) {
+  // Drop decisions consume the injector's RNG stream once per completed
+  // message, in engine order; retransmissions multiply the traffic. The
+  // whole cascade must replay identically.
+  for (std::uint64_t seed = 5; seed < 7; ++seed) {
+    Graph g = test_graph(seed, 32, 70);
+    NetworkConfig cfg;
+    cfg.faults.drop_prob = 0.15;
+    cfg.reliable_transport = true;
+    expect_bit_identical(g, seed, cfg, [](Network& net) {
+      return cycle::exact_mwc(net).value;
+    });
+  }
+}
+
+TEST(ParallelDeterminism, ShuffleAndDropsCombined) {
+  Graph g = test_graph(8, 28, 60);
+  NetworkConfig cfg;
+  cfg.shuffle_deliveries = true;
+  cfg.faults.drop_prob = 0.1;
+  cfg.reliable_transport = true;
+  expect_bit_identical(g, 31, cfg, [](Network& net) {
+    return cycle::exact_mwc(net).value;
+  });
+}
+
+// A chatty gossip protocol whose run survives crash-stops (it never asserts
+// global reachability), written to the engine's concurrency contract: all
+// mutable state is per-node, no vector<bool>.
+class Gossip : public Protocol {
+ public:
+  explicit Gossip(int n) : best_(static_cast<std::size_t>(n), -1) {}
+
+  void begin(NodeCtx& node) override {
+    best_[static_cast<std::size_t>(node.id())] = node.id();
+    for (NodeId u : node.comm_neighbors()) {
+      node.send(u, Message{static_cast<Word>(node.id())});
+    }
+  }
+
+  void round(NodeCtx& node) override {
+    auto& best = best_[static_cast<std::size_t>(node.id())];
+    std::int64_t incoming = best;
+    for (const Delivery& m : node.inbox()) {
+      incoming = std::max<std::int64_t>(incoming,
+                                        static_cast<std::int64_t>(m.msg[0]));
+    }
+    if (incoming <= best) return;
+    best = incoming;
+    for (NodeId u : node.comm_neighbors()) {
+      node.send(u, Message{static_cast<Word>(incoming)});
+    }
+  }
+
+  std::int64_t sum() const {
+    std::int64_t s = 0;
+    for (std::int64_t b : best_) s += b;
+    return s;
+  }
+
+ private:
+  std::vector<std::int64_t> best_;
+};
+
+TEST(ParallelDeterminism, StallsAndCrashes) {
+  // Crash-stops change the active-node filter and vaporize queues; stalls
+  // freeze directions mid-round. Both run through the sequential merge
+  // phases and must replay exactly (kStall/kCrash/kDrop trace events
+  // included in the comparison).
+  Graph g = test_graph(12, 36, 80);
+  NetworkConfig cfg;
+  cfg.faults.stalls.push_back(StallFault{0, g.out(0).empty() ? 1 : g.out(0)[0].to, 1, 12});
+  cfg.faults.crashes.push_back(CrashFault{5, 3});
+  cfg.faults.crashes.push_back(CrashFault{17, 9});
+  expect_bit_identical(g, 41, cfg, [&](Network& net) {
+    Gossip proto(net.n());
+    RunResult r = run_protocol_result(net, proto);
+    EXPECT_EQ(r.outcome, RunOutcome::kCrashed);
+    return static_cast<graph::Weight>(proto.sum()) +
+           static_cast<graph::Weight>(r.stats.dropped_words);
+  });
+}
+
+// ---------- wake-heavy / weight-delay scheduling ----------------------------
+
+TEST(ParallelDeterminism, WeightDelayBfsWakeHeavy) {
+  // kWeightDelay holds sends in per-node outboxes released by wake_at - the
+  // wake-buffering seam gets exercised hard, including wakes from nodes with
+  // empty inboxes.
+  support::Rng rng(21);
+  Graph g = graph::random_connected(55, 120, WeightRange{1, 7}, rng);
+  expect_bit_identical(g, 29, NetworkConfig{}, [](Network& net) {
+    MultiBfsParams params;
+    params.sources = {2, 9, 33};
+    params.mode = DelayMode::kWeightDelay;
+    MultiBfs bfs = run_multi_bfs(net, std::move(params));
+    graph::Weight sum = 0;
+    for (NodeId v = 0; v < net.n(); ++v) {
+      for (int i = 0; i < 3; ++i) {
+        if (bfs.dist(v, i) != graph::kInfWeight) sum += bfs.dist(v, i);
+      }
+    }
+    return sum;
+  });
+}
+
+TEST(ParallelDeterminism, ThreadCountAboveHardwareStillIdentical) {
+  // Oversubscription changes scheduling wildly at the OS level; results may
+  // not care.
+  Graph g = test_graph(14, 24, 50);
+  const Artifacts ref = run_scenario(g, 3, NetworkConfig{}, 1, [](Network& net) {
+    return cycle::exact_mwc(net).value;
+  });
+  const Artifacts got = run_scenario(g, 3, NetworkConfig{}, 16, [](Network& net) {
+    return cycle::exact_mwc(net).value;
+  });
+  EXPECT_TRUE(got == ref);
+}
+
+}  // namespace
+}  // namespace mwc::congest

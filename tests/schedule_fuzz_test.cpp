@@ -24,17 +24,18 @@ using graph::NodeId;
 using graph::Weight;
 using graph::WeightRange;
 
-NetworkConfig shuffled() {
+NetworkConfig shuffled(int threads = 1) {
   NetworkConfig cfg;
   cfg.shuffle_deliveries = true;
+  cfg.threads = threads;
   return cfg;
 }
 
 // The full adversary: randomized within-round schedules AND every link
 // dropping messages (masked by the reliable transport). Algorithms must
 // still produce exact answers.
-NetworkConfig shuffled_and_lossy(double drop_prob) {
-  NetworkConfig cfg = shuffled();
+NetworkConfig shuffled_and_lossy(double drop_prob, int threads = 1) {
+  NetworkConfig cfg = shuffled(threads);
   cfg.faults.drop_prob = drop_prob;
   cfg.reliable_transport = true;
   return cfg;
@@ -133,6 +134,32 @@ TEST(ScheduleFuzz, WeightDelayBfsExactUnderAnySchedule) {
     for (NodeId v = 0; v < 50; ++v) {
       ASSERT_EQ(bfs.dist(v, 0), ref[static_cast<std::size_t>(v)]) << "seed " << seed;
     }
+  }
+}
+
+// The fuzzer itself, run on the parallel engine: correct results under
+// adversarial schedules must survive multi-threaded execution too (and the
+// engine guarantees they are bit-identical - see parallel_determinism_test).
+TEST(ScheduleFuzz, ExactMwcUnderScheduleOnParallelEngine) {
+  for (std::uint64_t seed = 60; seed < 63; ++seed) {
+    support::Rng rng(seed);
+    Graph g = graph::random_connected(50, 110, WeightRange{1, 9}, rng);
+    Weight ref = graph::seq::mwc(g);
+    for (int threads : {2, 4}) {
+      Network net(g, 3, shuffled(threads));
+      EXPECT_EQ(exact_mwc(net).value, ref)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+TEST(ScheduleFuzz, ExactMwcUnderScheduleAndDropsOnParallelEngine) {
+  for (std::uint64_t seed = 70; seed < 72; ++seed) {
+    support::Rng rng(seed);
+    Graph g = graph::random_connected(28, 60, WeightRange{1, 9}, rng);
+    Weight ref = graph::seq::mwc(g);
+    Network net(g, 3, shuffled_and_lossy(0.15, 4));
+    EXPECT_EQ(exact_mwc(net).value, ref) << "seed " << seed;
   }
 }
 

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# CI driver: plain build + tests, then an ASan/UBSan build + tests.
+# CI driver: plain build + tests, an ASan/UBSan build + tests, and a TSan
+# build exercising the parallel engine.
 #
-#   tools/ci.sh            both stages
+#   tools/ci.sh            all stages
 #   tools/ci.sh plain      plain stage only
-#   tools/ci.sh sanitize   sanitizer stage only
+#   tools/ci.sh sanitize   ASan/UBSan stage only
+#   tools/ci.sh tsan       ThreadSanitizer stage only
 #
-# Stages use separate build trees (build-ci/, build-ci-asan/) so they never
-# poison an incremental developer build/.
+# Stages use separate build trees (build-ci/, build-ci-asan/, build-ci-tsan/)
+# so they never poison an incremental developer build/.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,6 +33,22 @@ if [[ "$stage" == "all" || "$stage" == "sanitize" ]]; then
   export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
   run_stage build-ci-asan -DMWC_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=Debug
+fi
+
+if [[ "$stage" == "all" || "$stage" == "tsan" ]]; then
+  echo "=== TSan build + parallel engine tests ==="
+  # Only the suites that drive NetworkConfig::threads > 1 - TSan's ~10x
+  # slowdown makes the full matrix pointless here, and the single-threaded
+  # paths are already covered by the other stages.
+  export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+  dir=build-ci-tsan
+  cmake -B "$dir" -S . -DCONGEST_MWC_WERROR=ON -DMWC_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$dir" -j "$jobs" --target \
+    congest_engine_test parallel_determinism_test schedule_fuzz_test
+  "$dir"/tests/congest_engine_test
+  "$dir"/tests/parallel_determinism_test
+  "$dir"/tests/schedule_fuzz_test
 fi
 
 echo "ci: all requested stages passed"

@@ -8,12 +8,15 @@
 //       prints n, m, directedness, diameter, exact MWC/girth (sequential)
 //   mwc_cli run <algorithm> <graph-file> <seed> [--max-rounds=N]
 //                                               [--fault-drop-prob=P]
+//                                               [--threads=T]
 //       algorithms: exact | girth-approx | girth-prt | directed-2approx |
 //                   weighted-undirected | weighted-directed
 //       prints the value, simulated rounds/messages, and (when available)
 //       the witness cycle. --max-rounds caps the simulated rounds per
 //       protocol run; --fault-drop-prob drops that fraction of messages on
-//       every link and runs the algorithm over the reliable transport.
+//       every link and runs the algorithm over the reliable transport;
+//       --threads runs the engine on T worker threads (results are
+//       bit-identical to --threads=1, just faster on big inputs).
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime errors (bad
 // input files, aborted runs).
@@ -48,7 +51,7 @@ int usage() {
                "  mwc_cli info <graph-file>\n"
                "  mwc_cli run <exact|girth-approx|girth-prt|directed-2approx|"
                "weighted-undirected|weighted-directed> <graph-file> <seed>"
-               " [--max-rounds=N] [--fault-drop-prob=P]\n");
+               " [--max-rounds=N] [--fault-drop-prob=P] [--threads=T]\n");
   return 1;
 }
 
@@ -102,7 +105,7 @@ int cmd_info(int argc, char** argv) {
 }
 
 int cmd_run(int argc, char** argv) {
-  support::Flags flags(argc, argv, {"max-rounds", "fault-drop-prob"});
+  support::Flags flags(argc, argv, {"max-rounds", "fault-drop-prob", "threads"});
   if (!flags.unknown_flags().empty()) {
     std::fprintf(stderr, "unknown flag: --%s\n",
                  flags.unknown_flags()[0].c_str());
@@ -126,6 +129,11 @@ int cmd_run(int argc, char** argv) {
   if (drop > 0.0) {
     cfg.faults.drop_prob = drop;
     cfg.reliable_transport = true;  // lossy links need the ARQ layer
+  }
+  cfg.threads = static_cast<int>(flags.get_int("threads", 1));
+  if (cfg.threads < 1) {
+    std::fprintf(stderr, "--threads must be >= 1\n");
+    return usage();
   }
   congest::Network net(g, seed, cfg);
 
