@@ -54,9 +54,9 @@ Sample run_once(const Graph& g, int threads) {
   Sample s;
   s.seconds = std::chrono::duration<double>(stop - start).count();
   s.value = r.value;
-  s.rounds = net.total_rounds();
-  s.messages = net.total_messages();
-  s.words = net.total_words();
+  s.rounds = net.stats().rounds;
+  s.messages = net.stats().messages;
+  s.words = net.stats().words;
   s.arena = congest::WordPool::global_stats();
   return s;
 }

@@ -13,6 +13,7 @@
 #include <cmath>
 
 #include "bench_util.h"
+#include "congest/metrics.h"
 #include "congest/network.h"
 #include "graph/sequential.h"
 #include "lowerbounds/alpha_gadget.h"
@@ -32,6 +33,7 @@ void run_disjointness() {
   bench::note("k = p^2 disjointness bits, Theta(p) cut; exact MWC decides");
   support::Table table({"p", "n", "bits k", "cut links", "case", "mwc",
                         "decision ok?", "cut words", "implied round floor"});
+  congest::Metrics metrics;  // per-phase profile across every E7 execution
   for (int p : {8, 16, 24, 32}) {
     for (int force = 1; force >= 0; --force) {
       support::Rng rng(static_cast<std::uint64_t>(p) * 2 + static_cast<std::uint64_t>(force));
@@ -39,6 +41,7 @@ void run_disjointness() {
       lb::GadgetGraph gadget = lb::directed_disjointness_gadget(inst);
       Network net(gadget.graph, 3);
       net.set_cut(gadget.bob_side);
+      net.attach_metrics(&metrics);
       cycle::MwcResult result = cycle::exact_mwc(net);
       const bool decided =
           (result.value <= gadget.yes_threshold) == inst.intersects;
@@ -51,14 +54,17 @@ void run_disjointness() {
            force == 1 ? "intersect" : "disjoint",
            result.value == graph::kInfWeight ? "inf" : support::Table::fmt(result.value),
            decided ? "yes" : "NO",
-           support::Table::fmt(static_cast<std::int64_t>(net.cut_words())),
+           support::Table::fmt(static_cast<std::int64_t>(net.stats().cut_words)),
            support::Table::fmt(static_cast<std::int64_t>(
-               net.cut_words() / static_cast<std::uint64_t>(cut)))});
+               net.stats().cut_words / static_cast<std::uint64_t>(cut)))});
     }
   }
   bench::emit(table);
   bench::note("cut words grow ~ k = p^2 (the disjointness information must "
               "cross); the last column is a per-execution round floor.");
+  bench::note("per-phase engine profile (all E7 executions; cut words from "
+              "the metered cut):");
+  bench::emit_metrics(metrics.snapshot());
 }
 
 void run_undirected_disjointness() {
@@ -124,6 +130,7 @@ void run_girth_gadget() {
   lb::AlphaGadgetParams params;
   params.alpha = 2.5;
   params.path_length = 6;
+  congest::Metrics metrics;  // per-phase profile across every E9 execution
   for (int p : {6, 12, 18}) {
     for (int force = 1; force >= 0; --force) {
       support::Rng rng(static_cast<std::uint64_t>(p) * 9 + static_cast<std::uint64_t>(force));
@@ -133,6 +140,7 @@ void run_girth_gadget() {
       // Our own approximation also decides (it is a (2-1/g) < alpha approx).
       Network net(gadget.graph, 5);
       net.set_cut(gadget.bob_side);
+      net.attach_metrics(&metrics);
       cycle::MwcResult approx = cycle::girth_approx(net);
       const bool decided =
           (approx.value <= gadget.yes_threshold) == inst.intersects;
@@ -144,10 +152,12 @@ void run_girth_gadget() {
            approx.value == graph::kInfWeight ? "inf"
                                              : support::Table::fmt(approx.value),
            decided ? "yes" : "NO",
-           support::Table::fmt(static_cast<std::int64_t>(net.cut_words()))});
+           support::Table::fmt(static_cast<std::int64_t>(net.stats().cut_words))});
     }
   }
   bench::emit(table);
+  bench::note("per-phase engine profile (all E9 executions):");
+  bench::emit_metrics(metrics.snapshot());
 }
 
 }  // namespace

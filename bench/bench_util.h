@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "congest/metrics.h"
 #include "support/fit.h"
 #include "support/table.h"
 
@@ -219,6 +220,29 @@ inline void emit(const support::Table& table) {
 
 inline void metric(const std::string& key, double value) {
   if (JsonLog* log = JsonLog::current()) log->add_metric(key, value);
+}
+
+// Emits a per-phase engine profile (congest/metrics.h) as a bench table -
+// one row per phase path plus the total - so every BENCH_*.json carries the
+// breakdown of where the rounds and words (and, on metered gadgets, the cut
+// words) went.
+inline void emit_metrics(const congest::MetricsSnapshot& snap) {
+  support::Table table({"phase", "runs", "rounds", "messages", "words",
+                        "max queue", "max link", "cut words"});
+  auto add = [&](const congest::PhaseMetrics& m) {
+    table.add_row({m.path,
+                   support::Table::fmt(static_cast<std::int64_t>(m.runs)),
+                   support::Table::fmt(static_cast<std::int64_t>(m.rounds)),
+                   support::Table::fmt(static_cast<std::int64_t>(m.messages)),
+                   support::Table::fmt(static_cast<std::int64_t>(m.words)),
+                   support::Table::fmt(static_cast<std::int64_t>(m.max_queue_words)),
+                   support::Table::fmt(static_cast<std::int64_t>(m.max_link_words)),
+                   support::Table::fmt(static_cast<std::int64_t>(m.cut_words))});
+  };
+  for (const congest::PhaseMetrics& m : snap.phases) add(m);
+  add(snap.total);
+  emit(table);
+  if (!snap.error.empty()) note("metrics error: " + snap.error);
 }
 
 // Collects (x, y) samples and reports the log-log slope.

@@ -23,8 +23,7 @@
 #include "congest/network.h"
 #include "graph/graph.h"
 #include "graph/sequential.h"
-#include "mwc/directed_mwc.h"
-#include "mwc/exact.h"
+#include "mwc/api.h"
 #include "support/rng.h"
 
 namespace {
@@ -76,18 +75,26 @@ int main() {
               static_cast<long long>(graph::seq::mwc(wait_for)));
 
   congest::Network net_exact(wait_for, /*seed=*/42);
-  cycle::MwcResult exact = cycle::exact_mwc(net_exact);
+  cycle::SolveOptions exact_opts;
+  exact_opts.mode = cycle::SolveMode::kExact;
+  cycle::MwcResult exact = cycle::solve(net_exact, exact_opts).result;
   std::printf("exact monitor    : cycle length %lld, %llu rounds\n",
               static_cast<long long>(exact.value),
               static_cast<unsigned long long>(exact.stats.rounds));
 
+  // mode kApprox dispatches Theorem 1.2.C's 2-approximation for this
+  // directed unweighted graph class.
   congest::Network net_approx(wait_for, /*seed=*/42);
-  cycle::MwcResult approx = cycle::directed_mwc_2approx(net_approx);
-  std::printf("2-approx monitor : cycle length <= %lld, %llu rounds "
-              "(%d sampled anchors, %d overflow vertices)\n",
-              static_cast<long long>(approx.value),
+  cycle::SolveOptions approx_opts;
+  approx_opts.mode = cycle::SolveMode::kApprox;
+  cycle::MwcReport report = cycle::solve(net_approx, approx_opts);
+  const cycle::MwcResult& approx = report.result;
+  std::printf("%gx monitor      : cycle length <= %lld, %llu rounds "
+              "(%s; %d sampled anchors, %d overflow vertices)\n",
+              report.guarantee, static_cast<long long>(approx.value),
               static_cast<unsigned long long>(approx.stats.rounds),
-              approx.sample_count, approx.overflow_count);
+              report.algorithm.c_str(), approx.sample_count,
+              approx.overflow_count);
 
   const long long alarm_threshold = 2 * rogue_len;  // factor-2 margin
   std::printf("\nalarm (threshold %lld waits): exact=%s approx=%s\n",

@@ -17,8 +17,7 @@
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "graph/sequential.h"
-#include "mwc/exact.h"
-#include "mwc/girth_approx.h"
+#include "mwc/api.h"
 #include "mwc/girth_prt.h"
 #include "support/rng.h"
 
@@ -46,13 +45,19 @@ int main() {
     graph::Weight girth = graph::seq::girth(g);
 
     congest::Network net_exact(g, 5);
-    cycle::MwcResult exact = cycle::exact_mwc(net_exact);
+    cycle::SolveOptions exact_opts;
+    exact_opts.mode = cycle::SolveMode::kExact;
+    cycle::MwcResult exact = cycle::solve(net_exact, exact_opts).result;
 
     congest::Network net_prt(g, 5);
     cycle::MwcResult prt = cycle::girth_prt(net_prt);
 
+    // mode kApprox dispatches girth_approx (Theorem 1.3.B) for this
+    // undirected unweighted class.
     congest::Network net_ours(g, 5);
-    cycle::MwcResult ours = cycle::girth_approx(net_ours);
+    cycle::SolveOptions approx_opts;
+    approx_opts.mode = cycle::SolveMode::kApprox;
+    cycle::MwcResult ours = cycle::solve(net_ours, approx_opts).result;
 
     std::printf("%-8d %-6lld | %-12llu | %8llu (%5lld) | %8llu (%5lld)\n",
                 shortcuts, static_cast<long long>(girth),

@@ -1,20 +1,21 @@
 // Quickstart: build a graph, wrap it in a CONGEST network, and compute an
-// (approximate) minimum weight cycle.
+// (approximate) minimum weight cycle through the one-call API.
 //
 //   $ ./examples/quickstart
 //
-// Walks through the three public entry points most users need:
-//   * cycle::exact_mwc            - exact, O~(n) rounds;
-//   * cycle::girth_approx         - (2-1/g)-approx girth, O~(sqrt n + D);
-//   * cycle::undirected_weighted_mwc - (2+eps)-approx, O~(n^(2/3) + D).
+// Walks through the entry points most users need:
+//   * cycle::solve                - one call; picks the paper's algorithm
+//     for the graph class (mode auto/approx/exact) and reports the value,
+//     the promised ratio, and - on request - a per-phase metrics profile;
+//   * cycle::girth_approx         - (2-1/g)-approx girth, O~(sqrt n + D),
+//     for callers that want a specific algorithm directly.
 #include <cstdio>
 
 #include "congest/network.h"
 #include "graph/generators.h"
 #include "graph/sequential.h"
-#include "mwc/exact.h"
+#include "mwc/api.h"
 #include "mwc/girth_approx.h"
-#include "mwc/weighted_mwc.h"
 #include "support/rng.h"
 
 int main() {
@@ -27,22 +28,46 @@ int main() {
   std::printf("graph: n=%d, m=%d, D=%d\n", g.node_count(), g.edge_count(),
               graph::seq::communication_diameter(g));
 
-  // 2. Wrap it in a CONGEST network. The seed drives the shared randomness
-  //    every algorithm uses; identical seeds reproduce identical runs.
-  //    Each Network accumulates simulated rounds across the algorithms run
-  //    on it, so use a fresh Network per measurement.
+  // 2. Wrap it in a CONGEST network and solve. The seed drives the shared
+  //    randomness every algorithm uses; identical seeds reproduce identical
+  //    runs. Each Network accumulates simulated rounds across the
+  //    algorithms run on it, so use a fresh Network per measurement.
+  //    mode kExact forces the O~(n) baseline; the default kAuto picks it
+  //    only on small networks.
   {
     congest::Network net(g, /*seed=*/1);
-    cycle::MwcResult exact = cycle::exact_mwc(net);
-    std::printf("exact MWC       : weight=%lld  (%llu rounds), cycle:",
-                static_cast<long long>(exact.value),
-                static_cast<unsigned long long>(exact.stats.rounds));
-    for (graph::NodeId v : exact.witness) std::printf(" %d", v);
+    cycle::SolveOptions opts;
+    opts.mode = cycle::SolveMode::kExact;
+    cycle::MwcReport report = cycle::solve(net, opts);
+    std::printf("exact MWC       : weight=%lld  (%llu rounds, algorithm %s), cycle:",
+                static_cast<long long>(report.result.value),
+                static_cast<unsigned long long>(report.result.stats.rounds),
+                report.algorithm.c_str());
+    for (graph::NodeId v : report.result.witness) std::printf(" %d", v);
     std::printf("\n");
   }
 
-  // 3. The girth (cycle length, ignoring weights) in O~(sqrt(n) + D) rounds,
-  //    within a factor (2 - 1/g) - Theorem 1.3.B of the paper.
+  // 3. The sublinear approximation for this graph class - here Theorem
+  //    1.4.C's (2 + eps) in O~(n^(2/3) + D) rounds - with the per-phase
+  //    metrics profile turned on. The JSON is stable and byte-identical
+  //    across NetworkConfig::threads settings; feed it to dashboards or
+  //    diff it in CI.
+  {
+    congest::Network net(g, /*seed=*/1);
+    cycle::SolveOptions opts;
+    opts.mode = cycle::SolveMode::kApprox;
+    opts.epsilon = 0.5;
+    opts.collect_metrics = true;
+    cycle::MwcReport report = cycle::solve(net, opts);
+    std::printf("(2+eps) MWC     : weight<=%lld (%llu rounds, guarantee %.1fx)\n",
+                static_cast<long long>(report.result.value),
+                static_cast<unsigned long long>(report.result.stats.rounds),
+                report.guarantee);
+    std::printf("per-phase metrics JSON:\n%s\n", report.metrics.to_json().c_str());
+  }
+
+  // 4. A specific algorithm directly: the girth (cycle length, ignoring
+  //    weights) within (2 - 1/g) in O~(sqrt(n) + D) rounds - Theorem 1.3.B.
   {
     congest::Network net(g, /*seed=*/1);
     cycle::MwcResult approx = cycle::girth_approx(net);
@@ -50,18 +75,6 @@ int main() {
                 static_cast<long long>(approx.value),
                 static_cast<unsigned long long>(approx.stats.rounds),
                 approx.sample_count);
-  }
-
-  // 4. The weighted MWC within (2 + eps) in O~(n^(2/3) + D) rounds -
-  //    Theorem 1.4.C.
-  {
-    congest::Network net(g, /*seed=*/1);
-    cycle::WeightedMwcParams params;
-    params.epsilon = 0.5;
-    cycle::MwcResult approx = cycle::undirected_weighted_mwc(net, params);
-    std::printf("(2+eps) MWC     : weight<=%lld (%llu rounds)\n",
-                static_cast<long long>(approx.value),
-                static_cast<unsigned long long>(approx.stats.rounds));
   }
 
   // Every reported value is the weight of a real cycle in g (the library's

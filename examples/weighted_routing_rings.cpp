@@ -16,8 +16,7 @@
 #include "graph/generators.h"
 #include "graph/sequential.h"
 #include "ksssp/skeleton_sssp.h"
-#include "mwc/exact.h"
-#include "mwc/weighted_mwc.h"
+#include "mwc/api.h"
 #include "support/rng.h"
 
 int main() {
@@ -32,15 +31,20 @@ int main() {
               graph::seq::communication_diameter(wan));
 
   congest::Network net_exact(wan, 1);
-  cycle::MwcResult exact = cycle::exact_mwc(net_exact);
+  cycle::SolveOptions exact_opts;
+  exact_opts.mode = cycle::SolveMode::kExact;
+  cycle::MwcResult exact = cycle::solve(net_exact, exact_opts).result;
   std::printf("lightest ring (exact)  : %lld ms round-trip, %llu rounds\n",
               static_cast<long long>(exact.value),
               static_cast<unsigned long long>(exact.stats.rounds));
 
+  // mode kApprox dispatches Theorem 1.4.C's (2 + eps) algorithm for this
+  // weighted undirected class.
   congest::Network net_approx(wan, 1);
-  cycle::WeightedMwcParams params;
-  params.epsilon = 0.5;
-  cycle::MwcResult approx = cycle::undirected_weighted_mwc(net_approx, params);
+  cycle::SolveOptions approx_opts;
+  approx_opts.mode = cycle::SolveMode::kApprox;
+  approx_opts.epsilon = 0.5;
+  cycle::MwcResult approx = cycle::solve(net_approx, approx_opts).result;
   std::printf("lightest ring (2.5x)   : <= %lld ms, %llu rounds "
               "(long-branch %lld, short-branch %lld)\n",
               static_cast<long long>(approx.value),

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "congest/metrics.h"
 #include "graph/transforms.h"
 #include "support/check.h"
 #include "support/math_util.h"
@@ -11,6 +12,7 @@ namespace mwc::congest {
 
 SsspResult exact_sssp(Network& net, const std::vector<graph::NodeId>& sources,
                       bool reverse, RunStats* stats) {
+  PhaseSpan span(net, "exact_sssp");
   MultiBfsParams params;
   params.sources = sources;
   params.mode = DelayMode::kImmediate;
@@ -32,6 +34,7 @@ SsspResult exact_sssp(Network& net, const std::vector<graph::NodeId>& sources,
 SsspResult approx_hop_sssp(Network& net, const ApproxHopSsspParams& params,
                            RunStats* stats) {
   MWC_CHECK(params.hop_limit >= 1 && params.epsilon > 0);
+  PhaseSpan span(net, "approx_hop_sssp");
   const graph::Graph& g = net.problem_graph();
   const int h = params.hop_limit;
   const double eps = params.epsilon;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "congest/metrics.h"
 #include "congest/runner.h"
 #include "support/check.h"
 
@@ -101,6 +102,7 @@ class BfsTreeProtocol : public Protocol {
 
 BfsTreeResult build_bfs_tree(Network& net, graph::NodeId root, RunStats* stats) {
   MWC_CHECK(root >= 0 && root < net.n());
+  PhaseSpan span(net, "bfs_tree");
   BfsTreeProtocol proto(net.n(), root);
   RunStats s = run_protocol(net, proto);
   if (stats != nullptr) *stats = s;

@@ -1,5 +1,6 @@
 #include "congest/broadcast.h"
 
+#include "congest/metrics.h"
 #include "congest/runner.h"
 #include "support/check.h"
 
@@ -125,6 +126,7 @@ BroadcastResult broadcast(Network& net, const BfsTreeResult& tree,
                           const std::vector<std::vector<BroadcastItem>>& items_per_node,
                           RunStats* stats) {
   MWC_CHECK(static_cast<int>(items_per_node.size()) == net.n());
+  PhaseSpan span(net, "broadcast");
   BroadcastProtocol proto(tree, items_per_node);
   RunStats s = run_protocol(net, proto);
   if (stats != nullptr) *stats = s;

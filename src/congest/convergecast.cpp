@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "congest/metrics.h"
 #include "congest/runner.h"
 #include "support/check.h"
 
@@ -96,6 +97,7 @@ graph::Weight convergecast(Network& net, const BfsTreeResult& tree,
                            const std::vector<graph::Weight>& values,
                            AggregateOp op, RunStats* stats) {
   MWC_CHECK(static_cast<int>(values.size()) == net.n());
+  PhaseSpan span(net, "convergecast");
   ConvergecastProtocol proto(tree, values, op);
   RunStats s = run_protocol(net, proto);
   if (stats != nullptr) *stats = s;

@@ -1,0 +1,226 @@
+#include "congest/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace mwc::congest {
+
+namespace {
+
+// Merge one phase record into another of the same scope: sums add, peaks
+// keep the worst run (ties resolved toward the earlier record, so merge
+// order - which is deterministic - decides deterministically).
+void merge(PhaseMetrics& dst, const PhaseMetrics& src) {
+  dst.runs += src.runs;
+  dst.aborted_runs += src.aborted_runs;
+  dst.rounds += src.rounds;
+  dst.messages += src.messages;
+  dst.words += src.words;
+  dst.max_queue_words = std::max(dst.max_queue_words, src.max_queue_words);
+  if (src.max_link_words > dst.max_link_words) {
+    dst.max_link_words = src.max_link_words;
+    dst.busiest_from = src.busiest_from;
+    dst.busiest_to = src.busiest_to;
+  }
+  dst.cut_words += src.cut_words;
+  dst.dropped_messages += src.dropped_messages;
+  dst.dropped_words += src.dropped_words;
+  dst.retransmitted_words += src.retransmitted_words;
+  dst.stalled_rounds += src.stalled_rounds;
+  dst.crashes += src.crashes;
+}
+
+PhaseMetrics from_profile(const RunProfile& p) {
+  PhaseMetrics m;
+  m.runs = 1;
+  m.aborted_runs = p.outcome == RunOutcome::kCompleted ? 0 : 1;
+  m.rounds = p.stats.rounds;
+  m.messages = p.stats.messages;
+  m.words = p.stats.words;
+  m.max_queue_words = p.stats.max_queue_words;
+  m.max_link_words = p.max_link_words;
+  m.busiest_from = p.busiest_from;
+  m.busiest_to = p.busiest_to;
+  m.cut_words = p.cut_words;
+  m.dropped_messages = p.stats.dropped_messages;
+  m.dropped_words = p.stats.dropped_words;
+  m.retransmitted_words = p.stats.retransmitted_words;
+  m.stalled_rounds = p.stats.stalled_rounds;
+  m.crashes = p.crashes;
+  return m;
+}
+
+void append_quoted(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_u64(std::string& out, const char* key, std::uint64_t v,
+                bool trailing_comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %" PRIu64 "%s", key, v,
+                trailing_comma ? ", " : "");
+  out += buf;
+}
+
+void append_phase(std::string& out, const PhaseMetrics& m) {
+  out += "{\"phase\": ";
+  append_quoted(out, m.path);
+  out += ", ";
+  append_u64(out, "runs", m.runs);
+  append_u64(out, "aborted_runs", m.aborted_runs);
+  append_u64(out, "rounds", m.rounds);
+  append_u64(out, "messages", m.messages);
+  append_u64(out, "words", m.words);
+  append_u64(out, "max_queue_words", m.max_queue_words);
+  append_u64(out, "max_link_words", m.max_link_words);
+  char link[96];
+  std::snprintf(link, sizeof(link), "\"busiest_link\": [%d, %d], ",
+                m.busiest_from, m.busiest_to);
+  out += link;
+  append_u64(out, "cut_words", m.cut_words);
+  append_u64(out, "dropped_messages", m.dropped_messages);
+  append_u64(out, "dropped_words", m.dropped_words);
+  append_u64(out, "retransmitted_words", m.retransmitted_words);
+  append_u64(out, "stalled_rounds", m.stalled_rounds);
+  append_u64(out, "crashes", m.crashes, /*trailing_comma=*/false);
+  out += "}";
+}
+
+}  // namespace
+
+// ---- MetricsSnapshot -------------------------------------------------------
+
+const PhaseMetrics* MetricsSnapshot::find(std::string_view path) const {
+  for (const PhaseMetrics& p : phases) {
+    if (p.path == path) return &p;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"total\": ";
+  append_phase(out, total);
+  out += ",\n  \"phases\": [";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    append_phase(out, phases[i]);
+  }
+  out += "\n  ],\n  \"open_phases\": [";
+  for (std::size_t i = 0; i < open_phases.size(); ++i) {
+    if (i != 0) out += ", ";
+    append_quoted(out, open_phases[i]);
+  }
+  out += "],\n  \"error\": ";
+  append_quoted(out, error);
+  out += "\n}\n";
+  return out;
+}
+
+// ---- Metrics ---------------------------------------------------------------
+
+std::uint64_t Metrics::open_phase(std::string_view name) {
+  Frame frame;
+  frame.name.assign(name);
+  frame.token = next_token_++;
+  stack_.push_back(std::move(frame));
+  return stack_.back().token;
+}
+
+void Metrics::close_phase(std::uint64_t token) {
+  if (!stack_.empty() && stack_.back().token == token) {
+    stack_.pop_back();
+    return;
+  }
+  // Misuse. Either the span was already closed (token not on the stack) or
+  // an inner span is still open. Recover to a sane stack and surface it.
+  for (std::size_t i = stack_.size(); i > 0; --i) {
+    if (stack_[i - 1].token == token) {
+      note_error("phase span '" + stack_[i - 1].name +
+                 "' closed while inner span '" + stack_.back().name +
+                 "' was still open");
+      stack_.resize(i - 1);  // the abandoned inner spans are gone with it
+      return;
+    }
+  }
+  note_error("phase span closed twice (or never opened)");
+}
+
+std::string Metrics::current_path() const {
+  std::string path;
+  for (const Frame& f : stack_) {
+    if (!path.empty()) path += '/';
+    path += f.name;
+  }
+  return path;
+}
+
+void Metrics::note_error(const std::string& message) {
+  if (error_.empty()) error_ = message;  // keep the first, it names the cause
+}
+
+PhaseMetrics& Metrics::phase_slot(const std::string& path) {
+  auto it = index_.find(path);
+  if (it != index_.end()) return phases_[it->second];
+  index_.emplace(path, phases_.size());
+  phases_.emplace_back();
+  phases_.back().path = path;
+  return phases_.back();
+}
+
+void Metrics::record_run(const RunProfile& profile) {
+  const PhaseMetrics one = from_profile(profile);
+  merge(total_, one);
+  std::string path = current_path();
+  if (path.empty()) path = "(unattributed)";
+  merge(phase_slot(path), one);
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  MetricsSnapshot snap;
+  snap.total = total_;
+  snap.total.path = "total";
+  snap.phases = phases_;
+  snap.error = error_;
+  for (const Frame& f : stack_) snap.open_phases.push_back(f.name);
+  return snap;
+}
+
+void Metrics::reset() {
+  stack_.clear();
+  phases_.clear();
+  index_.clear();
+  total_ = PhaseMetrics{};
+  error_.clear();
+}
+
+void Metrics::absorb(const MetricsSnapshot& snap) {
+  const std::string prefix = current_path();
+  for (const PhaseMetrics& p : snap.phases) {
+    const std::string path = prefix.empty() ? p.path : prefix + "/" + p.path;
+    merge(phase_slot(path), p);
+  }
+  PhaseMetrics grand = snap.total;
+  grand.path.clear();
+  merge(total_, grand);
+  if (!snap.error.empty()) note_error(snap.error);
+}
+
+}  // namespace mwc::congest

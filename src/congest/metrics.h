@@ -1,0 +1,213 @@
+// Per-phase metrics & profiling for the CONGEST engine.
+//
+// The paper's empirical claims are round- and bandwidth-shaped: Table 1 rows
+// are round complexities, and the lower-bound constructions argue about words
+// crossing a cut. A Metrics sink attached to a Network (like Trace: not
+// owned, zero-cost when detached) records, for every protocol run, where
+// those rounds and words went:
+//
+//   * rounds / messages / words of the run;
+//   * congestion: the peak backlog of any single link direction
+//     (max_queue_words) and the most words carried by any single direction
+//     (max_link_words, with the endpoints of that busiest direction);
+//   * cut_words crossing the Network's metered cut (lower-bound gadgets);
+//   * fault accounting: drops, stalls, crash-stops, and the words the
+//     reliable transport retransmitted.
+//
+// Runs are attributed to *phases*: host code brackets sections of an
+// algorithm in RAII PhaseSpan annotations ("sample skeleton", "restricted
+// BFS", ...). Spans nest; a run started while the stack is
+// ["girth", "sample BFS"] and the multi-BFS primitive's own span is open
+// lands in the phase path "girth/sample BFS/multi_bfs". Every algorithm
+// family in this library annotates its sections, so an attached Metrics
+// yields a per-phase round breakdown with no further caller effort.
+//
+// Determinism: all recording happens on the host thread - span open/close
+// between runs, and one record_run call at the end of Runner::run(), after
+// the engine's per-round effects were merged at the round barrier (see
+// docs/simulator.md, "Execution model"). Snapshots are therefore
+// bit-identical between threads=1 and threads=N, and MetricsSnapshot's
+// to_json() is byte-identical.
+//
+// Misuse is surfaced, never UB: closing spans out of LIFO order records an
+// error retrievable from Metrics::error() and the snapshot; spans still open
+// when a snapshot is taken are listed in MetricsSnapshot::open_phases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "congest/network.h"
+#include "congest/protocol.h"
+#include "graph/graph.h"
+
+namespace mwc::congest {
+
+// Accumulated counters of one phase path (or of the whole execution, for
+// MetricsSnapshot::total). Sums accumulate across the phase's runs; the
+// max_* fields keep the worst single run.
+struct PhaseMetrics {
+  std::string path;  // "outer/inner/primitive"; "total" for the grand total
+
+  std::uint64_t runs = 0;          // protocol runs attributed here
+  std::uint64_t aborted_runs = 0;  // of those: outcome != kCompleted
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t words = 0;
+
+  // Congestion: peak backlog of any one link direction, and the most words
+  // any one direction carried during a single run (its endpoints identify
+  // the busiest link; kNoNode when no words moved).
+  std::uint64_t max_queue_words = 0;
+  std::uint64_t max_link_words = 0;
+  graph::NodeId busiest_from = graph::kNoNode;
+  graph::NodeId busiest_to = graph::kNoNode;
+
+  // Words that crossed the Network's metered cut (see Network::set_cut).
+  std::uint64_t cut_words = 0;
+
+  // Fault/transport accounting (zero on fault-free runs).
+  std::uint64_t dropped_messages = 0;
+  std::uint64_t dropped_words = 0;
+  std::uint64_t retransmitted_words = 0;
+  std::uint64_t stalled_rounds = 0;
+  std::uint64_t crashes = 0;
+
+  // Field-wise equality - the determinism suite compares whole snapshots.
+  friend bool operator==(const PhaseMetrics&, const PhaseMetrics&) = default;
+};
+
+// What the engine hands the sink at the end of every protocol run.
+struct RunProfile {
+  RunStats stats;
+  RunOutcome outcome = RunOutcome::kCompleted;
+  std::uint64_t cut_words = 0;
+  std::uint64_t max_link_words = 0;
+  graph::NodeId busiest_from = graph::kNoNode;
+  graph::NodeId busiest_to = graph::kNoNode;
+  std::uint64_t crashes = 0;
+};
+
+// A point-in-time copy of everything a Metrics sink has recorded.
+struct MetricsSnapshot {
+  PhaseMetrics total;                 // every run, regardless of phase
+  std::vector<PhaseMetrics> phases;   // per path, in first-open order
+  std::vector<std::string> open_phases;  // spans still open at snapshot time
+  std::string error;                  // first recorded misuse, "" when clean
+
+  bool clean() const { return error.empty() && open_phases.empty(); }
+  const PhaseMetrics* find(std::string_view path) const;
+
+  // Stable, byte-deterministic JSON (fixed key order, integer counters):
+  // {"total": {...}, "phases": [{"phase": "...", "rounds": ...}, ...],
+  //  "open_phases": [...], "error": ""}.
+  std::string to_json() const;
+
+  friend bool operator==(const MetricsSnapshot&, const MetricsSnapshot&) = default;
+};
+
+// The sink. Attach with Network::attach_metrics; not owned, must outlive the
+// runs it observes. All methods are host-thread only.
+class Metrics {
+ public:
+  // --- phase annotation (use PhaseSpan, not these, in algorithm code) ----
+  // Returns a token identifying the opened frame.
+  std::uint64_t open_phase(std::string_view name);
+  void close_phase(std::uint64_t token);
+  // Current phase path ("a/b/c"), or "" when no span is open.
+  std::string current_path() const;
+
+  // --- engine hook (called by Runner at the end of every run) -----------
+  void record_run(const RunProfile& profile);
+
+  // --- consumption -------------------------------------------------------
+  MetricsSnapshot snapshot() const;
+  void reset();
+
+  // First recorded misuse (out-of-order or double close), "" when clean.
+  const std::string& error() const { return error_; }
+  bool has_error() const { return !error_.empty(); }
+
+  // Folds a snapshot produced elsewhere into this sink, prefixing its phase
+  // paths with the current path. Lets a callee profile with a private sink
+  // (see ScopedMetrics) without hiding the runs from an outer observer.
+  void absorb(const MetricsSnapshot& snap);
+
+ private:
+  struct Frame {
+    std::string name;
+    std::uint64_t token = 0;
+  };
+
+  PhaseMetrics& phase_slot(const std::string& path);
+  void note_error(const std::string& message);
+
+  std::vector<Frame> stack_;
+  std::uint64_t next_token_ = 1;
+  std::vector<PhaseMetrics> phases_;
+  std::unordered_map<std::string, std::size_t> index_;  // path -> phases_ idx
+  PhaseMetrics total_;
+  std::string error_;
+};
+
+// RAII phase annotation. Constructing on a Network without an attached
+// Metrics (the common case) costs one pointer compare and records nothing.
+// The destructor closes the span; close() is idempotent for early closing.
+class PhaseSpan {
+ public:
+  PhaseSpan(Network& net, std::string_view name)
+      : PhaseSpan(net.metrics(), name) {}
+  PhaseSpan(Metrics* metrics, std::string_view name) : metrics_(metrics) {
+    if (metrics_ != nullptr) token_ = metrics_->open_phase(name);
+  }
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+  ~PhaseSpan() { close(); }
+
+  void close() {
+    if (metrics_ != nullptr) metrics_->close_phase(token_);
+    metrics_ = nullptr;
+  }
+
+ private:
+  Metrics* metrics_ = nullptr;
+  std::uint64_t token_ = 0;
+};
+
+// Profiles a sequence of runs with a private sink, restoring whatever sink
+// was attached before: callers that must *return* a MetricsSnapshot (e.g.
+// ksssp::k_source_bfs_auto, cycle::solve) use this so they observe their own
+// runs even when the caller attached no Metrics - and so an outer observer,
+// when present, still sees everything via absorb() on release.
+class ScopedMetrics {
+ public:
+  explicit ScopedMetrics(Network& net) : net_(&net), prev_(net.metrics()) {
+    net.attach_metrics(&local_);
+  }
+  ScopedMetrics(const ScopedMetrics&) = delete;
+  ScopedMetrics& operator=(const ScopedMetrics&) = delete;
+  ~ScopedMetrics() { release(); }
+
+  Metrics& metrics() { return local_; }
+  MetricsSnapshot snapshot() const { return local_.snapshot(); }
+
+  // Restores the previous sink and folds the local recordings into it
+  // (under its current phase path). Idempotent.
+  void release() {
+    if (net_ == nullptr) return;
+    net_->attach_metrics(prev_);
+    if (prev_ != nullptr) prev_->absorb(local_.snapshot());
+    net_ = nullptr;
+    prev_ = nullptr;
+  }
+
+ private:
+  Network* net_;
+  Metrics* prev_;
+  Metrics local_;
+};
+
+}  // namespace mwc::congest

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "congest/metrics.h"
 #include "congest/runner.h"
 #include "support/check.h"
 
@@ -167,6 +168,7 @@ void MultiBfs::round(NodeCtx& node) {
 }
 
 MultiBfs run_multi_bfs(Network& net, MultiBfsParams params, RunStats* stats) {
+  PhaseSpan span(net, "multi_bfs");
   MultiBfs bfs(net, std::move(params));
   RunStats s = run_protocol(net, bfs);
   if (stats != nullptr) *stats = s;

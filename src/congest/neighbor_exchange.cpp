@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "congest/metrics.h"
 #include "congest/runner.h"
 #include "support/check.h"
 
@@ -55,6 +56,7 @@ class NeighborExchangeProtocol : public Protocol {
 NeighborExchangeResult neighbor_exchange(Network& net,
                                          const ExchangePayloadFn& payload,
                                          RunStats* stats) {
+  PhaseSpan span(net, "neighbor_exchange");
   NeighborExchangeProtocol proto(net.n(), payload);
   RunStats s = run_protocol(net, proto);
   if (stats != nullptr) *stats = s;

@@ -58,6 +58,23 @@ struct NetworkConfig {
 };
 
 class ThreadPool;
+class Metrics;
+
+// Accumulated counters of a Network over all protocol runs, as one value
+// struct (see Network::stats()). External callers migrate off the loose
+// per-counter accessors by taking one of these instead.
+struct NetworkStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t words = 0;
+  // Words that crossed the metered cut (0 unless set_cut installed one).
+  std::uint64_t cut_words = 0;
+  // Protocol runs started on this network (the run counter that seeds each
+  // run's RNG stream).
+  std::uint64_t runs = 0;
+
+  friend bool operator==(const NetworkStats&, const NetworkStats&) = default;
+};
 
 class Network {
  public:
@@ -74,15 +91,30 @@ class Network {
   int link_count() const { return static_cast<int>(links_.size()); }
 
   // --- accumulated counters over all protocol runs --------------------
-  std::uint64_t total_rounds() const { return total_rounds_; }
-  std::uint64_t total_messages() const { return total_messages_; }
-  std::uint64_t total_words() const { return total_words_; }
+  NetworkStats stats() const {
+    return NetworkStats{total_rounds_, total_messages_, total_words_,
+                        cut_words_, run_counter_};
+  }
+
+  // Deprecated forwarders of the pre-NetworkStats loose accessors; migrate
+  // with stats().rounds / .messages / .words / .cut_words / .runs.
+  [[deprecated("use stats().rounds")]] std::uint64_t total_rounds() const {
+    return total_rounds_;
+  }
+  [[deprecated("use stats().messages")]] std::uint64_t total_messages() const {
+    return total_messages_;
+  }
+  [[deprecated("use stats().words")]] std::uint64_t total_words() const {
+    return total_words_;
+  }
 
   // --- cut instrumentation (lower-bound benches) -----------------------
   // side[v] in {false, true}; words transmitted between sides accumulate in
-  // cut_words(). Passing an empty vector disables the meter.
+  // stats().cut_words. Passing an empty vector disables the meter.
   void set_cut(std::vector<bool> side);
-  std::uint64_t cut_words() const { return cut_words_; }
+  [[deprecated("use stats().cut_words")]] std::uint64_t cut_words() const {
+    return cut_words_;
+  }
   int cut_link_count() const;
 
   // Fresh deterministic randomness for the next protocol run: every run
@@ -93,7 +125,15 @@ class Network {
   // runs it observes. See trace.h.
   void attach_trace(Trace* trace) { trace_ = trace; }
   Trace* trace() const { return trace_; }
-  std::uint64_t run_counter() const { return run_counter_; }
+
+  // Attach a per-phase metrics sink (nullptr detaches). Not owned; must
+  // outlive the runs it observes. Zero-cost when detached. See metrics.h.
+  void attach_metrics(Metrics* metrics) { metrics_ = metrics; }
+  Metrics* metrics() const { return metrics_; }
+
+  [[deprecated("use stats().runs")]] std::uint64_t run_counter() const {
+    return run_counter_;
+  }
 
  private:
   friend class Runner;
@@ -130,6 +170,7 @@ class Network {
 
   std::vector<bool> cut_side_;
   Trace* trace_ = nullptr;
+  Metrics* metrics_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;  // lazily built by thread_pool()
 
   std::uint64_t total_rounds_ = 0;

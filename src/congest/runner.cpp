@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <utility>
 
+#include "congest/metrics.h"
 #include "congest/reliable_link.h"
 #include "congest/thread_pool.h"
 #include "support/check.h"
@@ -75,7 +76,7 @@ bool NodeCtx::graph_is_directed() const {
 // ---- Runner ----------------------------------------------------------------
 
 Runner::Runner(Network& net, Protocol& proto)
-    : net_(net), proto_(proto), run_id_(net.run_counter()),
+    : net_(net), proto_(proto), run_id_(net.run_counter_),
       dir_state_(net.dirs_.size()),
       inbox_next_(static_cast<std::size_t>(net.n())),
       schedule_rng_(0),
@@ -107,6 +108,8 @@ Runner::Runner(Network& net, Protocol& proto)
     reliable_ = std::make_unique<ReliableProtocol>(proto_, net.config().reliable);
   }
   pool_ = net.thread_pool();
+  metrics_ = net.metrics();
+  if (metrics_ != nullptr) dir_words_.assign(net.dirs_.size(), 0);
 }
 
 Runner::~Runner() = default;
@@ -150,6 +153,7 @@ void Runner::apply_due_crashes() {
 void Runner::crash_node(NodeId v) {
   crashed_[static_cast<std::size_t>(v)] = true;
   any_crash_ = true;
+  ++run_crashes_;
   // The node falls silent: queued and in-flight outbound traffic vanishes,
   // and anything still addressed to it will be discarded on arrival.
   const std::int32_t b = net_.nbr_offset_[static_cast<std::size_t>(v)];
@@ -301,7 +305,13 @@ void Runner::settle_dir(std::size_t pos, std::vector<int>& still_active) {
   }
   stats_.words += r.words_moved;
   net_.total_words_ += r.words_moved;
-  if (dir.crosses_cut) net_.cut_words_ += r.words_moved;
+  if (dir.crosses_cut) {
+    net_.cut_words_ += r.words_moved;
+    run_cut_words_ += r.words_moved;
+  }
+  if (metrics_ != nullptr) {
+    dir_words_[static_cast<std::size_t>(dir_idx)] += r.words_moved;
+  }
   for (Message& msg : r.completed) {
     // Message fully transmitted: deliver for next round - unless a drop
     // fault eats it or the receiver is gone. The crashed check short-circuits
@@ -444,6 +454,24 @@ RunResult Runner::run() {
     outcome = RunOutcome::kRoundLimitExceeded;
   } else if (any_crash_) {
     outcome = RunOutcome::kCrashed;
+  }
+  if (metrics_ != nullptr) {
+    // One profile per run, recorded on the host thread after every per-round
+    // effect was merged - the reason snapshots are bit-identical across
+    // thread counts (see metrics.h).
+    RunProfile profile;
+    profile.stats = stats_;
+    profile.outcome = outcome;
+    profile.cut_words = run_cut_words_;
+    profile.crashes = run_crashes_;
+    for (std::size_t i = 0; i < dir_words_.size(); ++i) {
+      if (dir_words_[i] > profile.max_link_words) {
+        profile.max_link_words = dir_words_[i];
+        profile.busiest_from = net_.dirs_[i].from;
+        profile.busiest_to = net_.dirs_[i].to;
+      }
+    }
+    metrics_->record_run(profile);
   }
   return RunResult{outcome, stats_};
 }

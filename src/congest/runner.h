@@ -36,6 +36,7 @@
 
 namespace mwc::congest {
 
+class Metrics;
 class ReliableProtocol;
 class ThreadPool;
 
@@ -149,6 +150,15 @@ class Runner {
   std::vector<NodeEmission> emissions_;  // slot per invocation
   std::vector<DirTransmit> dir_results_; // slot per active direction
   std::vector<int> still_active_scratch_;
+
+  // Metrics machinery (null / empty when no sink is attached). Per-direction
+  // word totals feed the busiest-link congestion figures; everything is
+  // updated on the host-thread merge path (settle_dir and run end), so the
+  // recorded profile is bit-identical across thread counts for free.
+  Metrics* metrics_ = nullptr;
+  std::vector<std::uint64_t> dir_words_;  // per direction, this run
+  std::uint64_t run_cut_words_ = 0;
+  std::uint64_t run_crashes_ = 0;
 
   // Fault machinery (null / empty on fault-free configs).
   std::unique_ptr<FaultInjector> injector_;

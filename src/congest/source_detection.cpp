@@ -1,5 +1,6 @@
 #include "congest/source_detection.h"
 
+#include "congest/metrics.h"
 #include "support/check.h"
 
 namespace mwc::congest {
@@ -8,6 +9,7 @@ SourceDetectionResult source_detection(Network& net,
                                        const std::vector<graph::NodeId>& sources,
                                        int sigma, int hop_limit, RunStats* stats) {
   MWC_CHECK(sigma >= 1 && hop_limit >= 0);
+  PhaseSpan span(net, "source_detection");
   MultiBfsParams params;
   params.sources = sources;
   params.mode = DelayMode::kUnitDelay;

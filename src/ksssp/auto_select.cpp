@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "congest/bfs_tree.h"
+#include "congest/metrics.h"
 #include "congest/multi_bfs.h"
 #include "ksssp/naive.h"
 #include "ksssp/skeleton_common.h"
@@ -21,6 +22,7 @@ KSsspResult sequential_k_source_bfs(congest::Network& net,
   const int n = net.n();
   const int k = static_cast<int>(sources.size());
   KSsspResult result;
+  congest::PhaseSpan span(net, "sequential BFS");
   result.dist.k = k;
   result.dist.dist.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(k));
   for (int i = 0; i < k; ++i) {
@@ -44,10 +46,13 @@ AutoKBfsResult k_source_bfs_auto(congest::Network& net,
   MWC_CHECK(!sources.empty());
   const double n = net.n();
   const double k = static_cast<double>(sources.size());
+  congest::ScopedMetrics scoped(net);
   // D is learnable in O(D) rounds (the BFS-tree height bounds it within a
   // factor 2); charge that probe.
   congest::RunStats probe;
+  congest::PhaseSpan probe_span(net, "probe diameter");
   congest::BfsTreeResult tree = congest::build_bfs_tree(net, 0, &probe);
+  probe_span.close();
   const double diam = std::max(1, tree.height);
   const double log_n = support::log_n(net.n());
 
@@ -75,6 +80,8 @@ AutoKBfsResult k_source_bfs_auto(congest::Network& net,
     out.result = naive_k_source_bfs(net, sources);
   }
   detail::add_stats(out.result.stats, probe);
+  out.algorithm = to_string(out.chosen);
+  out.metrics = scoped.snapshot();
   return out;
 }
 

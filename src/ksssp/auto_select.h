@@ -13,15 +13,33 @@
 // the estimate uses n, k and D (all of which the nodes can learn in O(D)).
 #pragma once
 
+#include <string>
+
+#include "congest/metrics.h"
 #include "ksssp/skeleton_bfs.h"
 
 namespace mwc::ksssp {
 
 enum class KBfsStrategy { kSkeleton, kSequential, kFlood };
 
+inline const char* to_string(KBfsStrategy strategy) {
+  switch (strategy) {
+    case KBfsStrategy::kSkeleton: return "skeleton";
+    case KBfsStrategy::kSequential: return "sequential";
+    case KBfsStrategy::kFlood: return "flood";
+  }
+  return "unknown";
+}
+
 struct AutoKBfsResult {
   KSsspResult result;
   KBfsStrategy chosen = KBfsStrategy::kSkeleton;
+  // to_string(chosen), ready for logs and JSON.
+  std::string algorithm;
+  // Per-phase profile of this call (diameter probe + the chosen strategy's
+  // runs), recorded on a private sink; an outer attached Metrics still
+  // observes everything (congest::ScopedMetrics).
+  congest::MetricsSnapshot metrics;
 };
 
 AutoKBfsResult k_source_bfs_auto(congest::Network& net,

@@ -1,6 +1,7 @@
 #include "ksssp/naive.h"
 
 #include "congest/bellman_ford.h"
+#include "congest/metrics.h"
 #include "congest/multi_bfs.h"
 #include "ksssp/skeleton_common.h"
 #include "support/check.h"
@@ -19,6 +20,7 @@ KSsspResult naive_k_source_bfs(congest::Network& net,
   const int k = static_cast<int>(sources.size());
   KSsspResult result;
   result.h = n;
+  congest::PhaseSpan span(net, "flood");
   MultiBfsParams params;
   params.sources = sources;
   RunStats s;
@@ -41,6 +43,7 @@ KSsspResult sequential_k_source_sssp(congest::Network& net,
   const int n = net.n();
   const int k = static_cast<int>(sources.size());
   KSsspResult result;
+  congest::PhaseSpan span(net, "sequential SSSP");
   result.dist.k = k;
   result.dist.dist.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(k));
   for (int i = 0; i < k; ++i) {

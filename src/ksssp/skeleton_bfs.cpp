@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "congest/metrics.h"
 #include "congest/multi_bfs.h"
 #include "ksssp/skeleton_common.h"
 #include "support/check.h"
@@ -54,6 +55,7 @@ KSsspResult skeleton_k_source_bfs(congest::Network& net,
   if (samples.empty()) {
     // Tiny-n fallback: full-depth BFS from the sources (the h-hop truncation
     // would otherwise lose long paths with no skeleton to bridge them).
+    congest::PhaseSpan fallback_span(net, "source BFS");
     MultiBfsParams src_params;
     src_params.sources = params.sources;
     src_params.reverse = params.reverse;
@@ -66,6 +68,7 @@ KSsspResult skeleton_k_source_bfs(congest::Network& net,
   // Line 2: h-hop BFS from S, forward and reversed.
   // With params.reverse the whole pipeline runs on the reversed graph:
   // every BFS flips direction and the skeleton transposes with it.
+  congest::PhaseSpan skeleton_span(net, "skeleton BFS");
   MultiBfsParams fwd_params;
   fwd_params.sources = samples;
   fwd_params.tick_limit = h;
@@ -78,14 +81,17 @@ KSsspResult skeleton_k_source_bfs(congest::Network& net,
   rev_params.tick_limit = h;
   rev_params.reverse = !params.reverse;
   MultiBfs rev = run_multi_bfs(net, std::move(rev_params), &s);
+  skeleton_span.close();
   detail::add_stats(result.stats, s);
 
   // Line 7: h-hop BFS from the k sources.
+  congest::PhaseSpan source_span(net, "source BFS");
   MultiBfsParams src_params;
   src_params.sources = params.sources;
   src_params.tick_limit = h;
   src_params.reverse = params.reverse;
   MultiBfs src_bfs = run_multi_bfs(net, std::move(src_params), &s);
+  source_span.close();
   detail::add_stats(result.stats, s);
 
   // Lines 4-10: skeleton broadcast + local APSP + stitch (see
@@ -100,7 +106,9 @@ KSsspResult skeleton_k_source_bfs(congest::Network& net,
   inputs.rev = &rev_m;
   inputs.src = &src_m;
   inputs.k = k;
+  congest::PhaseSpan combine_span(net, "skeleton combine");
   result.dist = detail::skeleton_combine(net, inputs, &result.stats);
+  combine_span.close();
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "congest/bellman_ford.h"
+#include "congest/metrics.h"
 #include "ksssp/skeleton_common.h"
 #include "support/check.h"
 
@@ -35,11 +36,13 @@ KSsspResult skeleton_k_source_sssp(congest::Network& net,
   RunStats s;
   if (samples.empty()) {
     // Tiny-n fallback: exact SSSP straight from the sources.
+    congest::PhaseSpan fallback_span(net, "source SSSP");
     result.dist = congest::exact_sssp(net, params.sources, /*reverse=*/false, &s);
     detail::add_stats(result.stats, s);
     return result;
   }
 
+  congest::PhaseSpan skeleton_span(net, "skeleton SSSP");
   ApproxHopSsspParams fwd_params;
   fwd_params.sources = samples;
   fwd_params.hop_limit = h;
@@ -50,13 +53,16 @@ KSsspResult skeleton_k_source_sssp(congest::Network& net,
   ApproxHopSsspParams rev_params = fwd_params;
   rev_params.reverse = true;
   congest::SsspResult rev = approx_hop_sssp(net, rev_params, &s);
+  skeleton_span.close();
   detail::add_stats(result.stats, s);
 
+  congest::PhaseSpan source_span(net, "source SSSP");
   ApproxHopSsspParams src_params;
   src_params.sources = params.sources;
   src_params.hop_limit = h;
   src_params.epsilon = params.epsilon;
   congest::SsspResult src = approx_hop_sssp(net, src_params, &s);
+  source_span.close();
   detail::add_stats(result.stats, s);
 
   detail::SkeletonInputs inputs;
@@ -65,7 +71,9 @@ KSsspResult skeleton_k_source_sssp(congest::Network& net,
   inputs.rev = &rev;
   inputs.src = &src;
   inputs.k = k;
+  congest::PhaseSpan combine_span(net, "skeleton combine");
   result.dist = detail::skeleton_combine(net, inputs, &result.stats);
+  combine_span.close();
   return result;
 }
 

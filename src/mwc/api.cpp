@@ -1,11 +1,42 @@
 #include "mwc/api.h"
 
+#include <optional>
+#include <utility>
+
+#include "congest/runner.h"
 #include "mwc/directed_mwc.h"
+#include "mwc/exact.h"
 #include "mwc/girth_approx.h"
 #include "mwc/weighted_mwc.h"
 #include "support/check.h"
 
 namespace mwc::cycle {
+
+namespace {
+
+const char* approx_algorithm_name(const congest::Network& net) {
+  const graph::Graph& g = net.problem_graph();
+  if (g.is_directed()) {
+    return g.is_unit_weight() ? "directed-2approx" : "weighted-directed";
+  }
+  return g.is_unit_weight() ? "girth-approx" : "weighted-undirected";
+}
+
+MwcResult dispatch_approx(congest::Network& net, double epsilon) {
+  const graph::Graph& g = net.problem_graph();
+  if (g.is_directed()) {
+    if (g.is_unit_weight()) return directed_mwc_2approx(net);
+    WeightedMwcParams params;
+    params.epsilon = epsilon;
+    return directed_weighted_mwc(net, params);
+  }
+  if (g.is_unit_weight()) return girth_approx(net);
+  WeightedMwcParams params;
+  params.epsilon = epsilon;
+  return undirected_weighted_mwc(net, params);
+}
+
+}  // namespace
 
 double approximate_mwc_guarantee(const congest::Network& net,
                                  const ApproxMwcOptions& options) {
@@ -14,19 +45,44 @@ double approximate_mwc_guarantee(const congest::Network& net,
   return 2.0 + options.epsilon;
 }
 
-MwcResult approximate_mwc(congest::Network& net, const ApproxMwcOptions& options) {
+MwcReport solve(congest::Network& net, const SolveOptions& options) {
   MWC_CHECK(options.epsilon > 0);
-  const graph::Graph& g = net.problem_graph();
-  if (g.is_directed()) {
-    if (g.is_unit_weight()) return directed_mwc_2approx(net);
-    WeightedMwcParams params;
-    params.epsilon = options.epsilon;
-    return directed_weighted_mwc(net, params);
+  const bool exact =
+      options.mode == SolveMode::kExact ||
+      (options.mode == SolveMode::kAuto && net.n() <= kAutoExactThreshold);
+
+  MwcReport report;
+  report.algorithm = exact ? "exact" : approx_algorithm_name(net);
+  report.guarantee =
+      exact ? 1.0
+            : approximate_mwc_guarantee(net, ApproxMwcOptions{options.epsilon});
+
+  std::optional<congest::ScopedMetrics> scoped;
+  if (options.collect_metrics) scoped.emplace(net);
+  try {
+    report.result = exact ? detail::exact_mwc_impl(net)
+                          : dispatch_approx(net, options.epsilon);
+    report.run = congest::RunResult{congest::RunOutcome::kCompleted,
+                                    report.result.stats};
+  } catch (const congest::RunAbortedError& e) {
+    report.run = e.result();
   }
-  if (g.is_unit_weight()) return girth_approx(net);
-  WeightedMwcParams params;
-  params.epsilon = options.epsilon;
-  return undirected_weighted_mwc(net, params);
+  if (scoped.has_value()) {
+    report.metrics = scoped->snapshot();
+    scoped->release();
+  }
+  return report;
+}
+
+MwcResult approximate_mwc(congest::Network& net, const ApproxMwcOptions& options) {
+  SolveOptions opts;
+  opts.mode = SolveMode::kApprox;
+  opts.epsilon = options.epsilon;
+  MwcReport report = solve(net, opts);
+  if (!report.ok()) {
+    throw congest::RunAbortedError(report.run.outcome, report.run.stats);
+  }
+  return std::move(report.result);
 }
 
 }  // namespace mwc::cycle

@@ -1,32 +1,102 @@
-// Top-level convenience API: pick the paper's algorithm by graph class.
+// Top-level API: one entry point, `solve()`, that picks the paper's
+// algorithm by graph class and requested mode and reports everything a
+// caller can want to know about the run.
 //
-//   approximate_mwc(net)  ->  Table 1's best sublinear approximation for
-//                             whatever graph the network carries:
+//   mode = kApprox  ->  Table 1's best sublinear approximation for
+//                       whatever graph the network carries:
 //     undirected unweighted : (2 - 1/g)   O~(sqrt n + D)   [Thm 1.3.B]
 //     undirected weighted   : (2 + eps)   O~(n^(2/3) + D)  [Thm 1.4.C]
 //     directed unweighted   : 2           O~(n^(4/5) + D)  [Thm 1.2.C]
 //     directed weighted     : (2 + eps)   O~(n^(4/5) + D)  [Thm 1.2.D]
 //
-//   exact_mwc(net)        ->  the O~(n) exact baseline (exact.h).
+//   mode = kExact   ->  the O~(n) exact baseline (exact.h).
 //
-// `guarantee()` reports the ratio the dispatched algorithm promises, so
-// callers can build decision procedures ("alarm if value <= guarantee * T").
+//   mode = kAuto    ->  exact on small networks (where O~(n) rounds are
+//                       cheaper than the approximations' overheads and the
+//                       answer is better), the approximation above that.
+//
+// The MwcReport bundles the cycle result with the engine-level RunResult
+// (solve() never throws on an aborted run - the outcome is data), the
+// approximation ratio the dispatched algorithm promises ("alarm if
+// value <= guarantee * T" decision procedures), and - when
+// SolveOptions::collect_metrics is set - a per-phase MetricsSnapshot
+// (congest/metrics.h) of everything the solve executed.
+//
+// approximate_mwc() / exact_mwc() (exact.h) remain as thin wrappers with
+// their historical throw-on-abort semantics.
 #pragma once
 
+#include <string>
+
+#include "congest/metrics.h"
 #include "congest/network.h"
+#include "congest/protocol.h"
 #include "mwc/result.h"
 
 namespace mwc::cycle {
+
+enum class SolveMode {
+  kAuto,    // exact below kAutoExactThreshold nodes, approx above
+  kApprox,  // Table 1's sublinear approximation for the graph class
+  kExact,   // the O~(n) exact baseline
+};
+
+inline const char* to_string(SolveMode mode) {
+  switch (mode) {
+    case SolveMode::kAuto: return "auto";
+    case SolveMode::kApprox: return "approx";
+    case SolveMode::kExact: return "exact";
+  }
+  return "unknown";
+}
+
+// kAuto picks exact at or below this node count: the approximations'
+// sampling machinery only pays off once n dominates their polylog factors.
+inline constexpr int kAutoExactThreshold = 128;
+
+struct SolveOptions {
+  SolveMode mode = SolveMode::kAuto;
+  // Approximation slack for the weighted classes ((2 + eps) ratios).
+  double epsilon = 0.5;
+  // Record a per-phase MetricsSnapshot of the solve into MwcReport::metrics
+  // (a private sink is attached for the duration; an already-attached
+  // outer Metrics still observes every run via absorb()).
+  bool collect_metrics = false;
+};
+
+struct MwcReport {
+  MwcResult result;
+
+  // How the underlying protocol runs ended. kCompleted when every run ran
+  // to quiescence; otherwise the outcome and stats of the aborted run
+  // (result.value is then meaningless).
+  congest::RunResult run;
+
+  // Approximation ratio the dispatched algorithm promises (1.0 = exact).
+  double guarantee = 1.0;
+  // Which algorithm the dispatcher ran: "exact", "girth-approx",
+  // "directed-2approx", "weighted-undirected", "weighted-directed".
+  std::string algorithm;
+
+  // Per-phase profile; empty unless SolveOptions::collect_metrics.
+  congest::MetricsSnapshot metrics;
+
+  bool ok() const { return run.ok(); }
+};
+
+MwcReport solve(congest::Network& net, const SolveOptions& options = {});
 
 struct ApproxMwcOptions {
   double epsilon = 0.5;  // weighted classes only
 };
 
-// The approximation ratio approximate_mwc() promises for this network's
-// graph class under `options`.
+// The approximation ratio approximate_mwc() / solve(kApprox) promises for
+// this network's graph class under `options`.
 double approximate_mwc_guarantee(const congest::Network& net,
                                  const ApproxMwcOptions& options = {});
 
+// Thin wrapper over solve(kApprox): returns the MwcResult alone and throws
+// congest::RunAbortedError when the run did not complete.
 MwcResult approximate_mwc(congest::Network& net,
                           const ApproxMwcOptions& options = {});
 

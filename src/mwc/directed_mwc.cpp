@@ -6,6 +6,7 @@
 #include "congest/bfs_tree.h"
 #include "congest/broadcast.h"
 #include "congest/convergecast.h"
+#include "congest/metrics.h"
 #include "congest/multi_bfs.h"
 #include "ksssp/skeleton_bfs.h"
 #include "mwc/restricted_bfs.h"
@@ -93,6 +94,7 @@ MwcResult directed_mwc_2approx(congest::Network& net,
 
   // --- 2. distances from and to S ---------------------------------------
   RunStats s;
+  congest::PhaseSpan skeleton_span(net, "sample skeleton");
   congest::SsspResult from_s;  // at(v, i) = d(S[i], v)
   congest::SsspResult to_s;    // at(v, i) = d(v, S[i])
   if (!tick_mode) {
@@ -119,6 +121,7 @@ MwcResult directed_mwc_2approx(congest::Network& net,
     from_s = matrix_of(fwd, n, s_count);
     to_s = matrix_of(rev, n, s_count);
   }
+  skeleton_span.close();
 
   // --- 3. cycles through sampled vertices (line 4) -----------------------
   std::vector<Weight> mu(static_cast<std::size_t>(n), kInfWeight);
@@ -140,6 +143,7 @@ MwcResult directed_mwc_2approx(congest::Network& net,
   }
 
   // --- 4. broadcast pairwise d(s, t) (line 5) ----------------------------
+  congest::PhaseSpan bcast_span(net, "pairwise broadcast");
   congest::BfsTreeResult tree = congest::build_bfs_tree(net, 0, &s);
   add_stats(result.stats, s);
   std::vector<Weight> s_pair(
@@ -156,6 +160,7 @@ MwcResult directed_mwc_2approx(congest::Network& net,
       }
     }
     congest::BroadcastResult bcast = congest::broadcast(net, tree, items, &s);
+    bcast_span.close();
     add_stats(result.stats, s);
     for (const BroadcastItem& item : bcast.items()) {
       int i = 0, j = 0;
@@ -180,7 +185,9 @@ MwcResult directed_mwc_2approx(congest::Network& net,
   rb.weighted_ticks = tick_mode;
   rb.graph_override = params.graph_override;
   if (tick_mode) rb.pass_threshold = 3 * params.tick_limit;
+  congest::PhaseSpan short_span(net, "short cycles");
   RestrictedBfsResult short_cycles = restricted_bfs_short_cycles(net, rb);
+  short_span.close();
   add_stats(result.stats, short_cycles.stats);
   result.overflow_count = short_cycles.overflow_count;
   result.restricted_peak_queue = short_cycles.restricted_peak_queue;
@@ -198,7 +205,9 @@ MwcResult directed_mwc_2approx(congest::Network& net,
   result.short_cycle_value = short_best;
 
   // --- 6. convergecast (line 7) -------------------------------------------
+  congest::PhaseSpan aggregate_span(net, "aggregate min");
   result.value = congest::convergecast(net, tree, mu, congest::AggregateOp::kMin, &s);
+  aggregate_span.close();
   add_stats(result.stats, s);
 
   // Witness when the short-cycle branch produced the winner (the long

@@ -6,8 +6,11 @@
 #include "congest/bellman_ford.h"
 #include "congest/bfs_tree.h"
 #include "congest/convergecast.h"
+#include "congest/metrics.h"
 #include "congest/multi_bfs.h"
 #include "congest/neighbor_exchange.h"
+#include "congest/runner.h"
+#include "mwc/api.h"
 #include "support/check.h"
 
 namespace mwc::cycle {
@@ -79,14 +82,18 @@ AllPairs all_pairs(congest::Network& net, RunStats* stats) {
 
 }  // namespace
 
-MwcResult exact_mwc(congest::Network& net) {
+namespace detail {
+
+MwcResult exact_mwc_impl(congest::Network& net) {
   const graph::Graph& g = net.problem_graph();
   const int n = net.n();
   MwcResult result;
   result.sample_count = n;
 
   RunStats s;
+  congest::PhaseSpan apsp_span(net, "apsp");
   AllPairs ap = all_pairs(net, &s);
+  apsp_span.close();
   add_stats(result.stats, s);
 
   std::vector<Weight> mu(static_cast<std::size_t>(n), kInfWeight);
@@ -111,6 +118,7 @@ MwcResult exact_mwc(congest::Network& net) {
   } else {
     // Exchange distance vectors (+ parent flags) with neighbors, then take
     // non-tree-edge candidates d(w,x) + d(w,y) + w(x,y).
+    congest::PhaseSpan exchange_span(net, "distance exchange");
     congest::NeighborExchangeResult ex = congest::neighbor_exchange(
         net,
         [&](NodeId v, NodeId u) {
@@ -124,6 +132,7 @@ MwcResult exact_mwc(congest::Network& net) {
           return words;
         },
         &s);
+    exchange_span.close();
     add_stats(result.stats, s);
 
     for (NodeId y = 0; y < n; ++y) {
@@ -151,9 +160,11 @@ MwcResult exact_mwc(congest::Network& net) {
     }
   }
 
+  congest::PhaseSpan aggregate_span(net, "aggregate min");
   congest::BfsTreeResult tree = congest::build_bfs_tree(net, 0, &s);
   add_stats(result.stats, s);
   result.value = congest::convergecast(net, tree, mu, congest::AggregateOp::kMin, &s);
+  aggregate_span.close();
   add_stats(result.stats, s);
   MWC_CHECK(result.value == best);
 
@@ -183,6 +194,18 @@ MwcResult exact_mwc(congest::Network& net) {
     }
   }
   return result;
+}
+
+}  // namespace detail
+
+MwcResult exact_mwc(congest::Network& net) {
+  SolveOptions opts;
+  opts.mode = SolveMode::kExact;
+  MwcReport report = solve(net, opts);
+  if (!report.ok()) {
+    throw congest::RunAbortedError(report.run.outcome, report.run.stats);
+  }
+  return std::move(report.result);
 }
 
 }  // namespace mwc::cycle

@@ -23,6 +23,13 @@
 
 namespace mwc::cycle {
 
+// Thin wrapper over solve(kExact) (api.h): returns the MwcResult alone and
+// throws congest::RunAbortedError when the run did not complete.
 MwcResult exact_mwc(congest::Network& net);
+
+namespace detail {
+// The algorithm itself, as dispatched by cycle::solve().
+MwcResult exact_mwc_impl(congest::Network& net);
+}  // namespace detail
 
 }  // namespace mwc::cycle

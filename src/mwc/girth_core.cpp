@@ -7,6 +7,7 @@
 
 #include "congest/bfs_tree.h"
 #include "congest/convergecast.h"
+#include "congest/metrics.h"
 #include "congest/multi_bfs.h"
 #include "congest/neighbor_exchange.h"
 #include "mwc/packing.h"
@@ -49,10 +50,13 @@ MwcResult girth_core(congest::Network& net, const GirthCoreParams& params) {
   det_params.tick_limit = params.tick_limit;
   det_params.mode = mode;
   det_params.graph_override = params.graph_override;
+  congest::PhaseSpan detect_span(net, "source detection");
   MultiBfs detection = run_multi_bfs(net, std::move(det_params), &s);
+  detect_span.close();
   add_stats(result.stats, s);
 
   // --- 2. exchange detected lists (source, dist, parent flag) ----------
+  congest::PhaseSpan det_ex_span(net, "detection exchange");
   congest::NeighborExchangeResult det_ex = congest::neighbor_exchange(
       net,
       [&](NodeId v, NodeId u) {
@@ -63,6 +67,7 @@ MwcResult girth_core(congest::Network& net, const GirthCoreParams& params) {
         return words;
       },
       &s);
+  det_ex_span.close();
   add_stats(result.stats, s);
 
   std::vector<Weight> mu(static_cast<std::size_t>(n), kInfWeight);
@@ -178,10 +183,13 @@ MwcResult girth_core(congest::Network& net, const GirthCoreParams& params) {
         params.tick_limit >= kInfWeight / 2 ? kInfWeight : 2 * params.tick_limit;
     bfs_params.mode = mode;
     bfs_params.graph_override = params.graph_override;
+    congest::PhaseSpan sample_span(net, "sample BFS");
     sampled_bfs.emplace(run_multi_bfs(net, std::move(bfs_params), &s));
+    sample_span.close();
     MultiBfs& sampled = *sampled_bfs;
     add_stats(result.stats, s);
 
+    congest::PhaseSpan smp_ex_span(net, "sample exchange");
     congest::NeighborExchangeResult smp_ex = congest::neighbor_exchange(
         net,
         [&](NodeId v, NodeId u) {
@@ -195,6 +203,7 @@ MwcResult girth_core(congest::Network& net, const GirthCoreParams& params) {
           return words;
         },
         &s);
+    smp_ex_span.close();
     add_stats(result.stats, s);
 
     // Family (iii): family (i) with w in S and full (tick-limited) BFS data.
@@ -222,9 +231,11 @@ MwcResult girth_core(congest::Network& net, const GirthCoreParams& params) {
   }
 
   // --- 6. convergecast the minimum --------------------------------------
+  congest::PhaseSpan aggregate_span(net, "aggregate min");
   congest::BfsTreeResult tree = congest::build_bfs_tree(net, 0, &s);
   add_stats(result.stats, s);
   result.value = congest::convergecast(net, tree, mu, congest::AggregateOp::kMin, &s);
+  aggregate_span.close();
   add_stats(result.stats, s);
 
   // --- witness reconstruction --------------------------------------------

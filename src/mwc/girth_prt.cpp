@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "congest/metrics.h"
 #include "graph/transforms.h"
 #include "mwc/girth_core.h"
 #include "support/check.h"
@@ -26,7 +27,9 @@ MwcResult girth_prt(congest::Network& net, const GirthPrtParams& params) {
     core.sample_constant = params.sample_constant;
     core.tick_limit = gamma;
     core.graph_override = g.is_unit_weight() ? nullptr : &unit;
+    congest::PhaseSpan phase_span(net, "doubling phase");
     MwcResult phase = girth_core(net, core);
+    phase_span.close();
     add_stats(result.stats, phase.stats);
     result.sample_count = phase.sample_count;
     if (phase.value < result.value) {

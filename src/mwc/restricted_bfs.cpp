@@ -4,6 +4,7 @@
 #include <queue>
 #include <unordered_map>
 
+#include "congest/metrics.h"
 #include "congest/multi_bfs.h"
 #include "congest/neighbor_exchange.h"
 #include "congest/runner.h"
@@ -199,8 +200,10 @@ class RestrictedBfsProtocol : public congest::Protocol {
       zp.mode = params_.weighted_ticks ? congest::DelayMode::kWeightDelay
                                        : congest::DelayMode::kUnitDelay;
       zp.graph_override = params_.graph_override;
+      congest::PhaseSpan overflow_span(net, "broadcast overflow");
       RunStats zs;
       congest::MultiBfs zbfs = run_multi_bfs(net, std::move(zp), &zs);
+      overflow_span.close();
       add_stats(result_.stats, zs);
       Weight best_z = kInfWeight;
       int best_z_idx = -1;
@@ -415,6 +418,7 @@ RestrictedBfsResult restricted_bfs_short_cycles(congest::Network& net,
   // per link direction. Contents equal the rows of dist_to_s/dist_from_s,
   // which the membership tests then read (DESIGN.md simulation-scale note).
   {
+    congest::PhaseSpan span(net, "S-distance exchange");
     RunStats s;
     congest::neighbor_exchange(
         net,
@@ -443,7 +447,9 @@ RestrictedBfsResult restricted_bfs_short_cycles(congest::Network& net,
   }
 
   RestrictedBfsProtocol proto(net, params);
+  congest::PhaseSpan bfs_span(net, "restricted BFS");
   RunStats bfs_stats = run_protocol(net, proto);
+  bfs_span.close();
   add_stats(total, bfs_stats);
   RestrictedBfsResult result = proto.finish(net, total);
   result.restricted_peak_queue = bfs_stats.max_queue_words;

@@ -6,6 +6,7 @@
 
 #include "congest/bfs_tree.h"
 #include "congest/convergecast.h"
+#include "congest/metrics.h"
 #include "congest/multi_bfs.h"
 #include "congest/neighbor_exchange.h"
 #include "graph/transforms.h"
@@ -75,6 +76,7 @@ Weight short_cycles_via_ladder(congest::Network& net, const graph::Graph& g,
                                std::vector<NodeId>* witness) {
   const auto h_star = static_cast<Weight>(
       std::ceil((1.0 + 2.0 / eps) * static_cast<double>(h)));
+  congest::PhaseSpan ladder_span(net, "scaling ladder");
   Weight best = kInfWeight;
   const int levels = ladder_levels(g, h, max_levels);
   for (int level = 0; level < levels; ++level) {
@@ -133,6 +135,7 @@ MwcResult undirected_weighted_mwc(congest::Network& net,
   std::vector<NodeId> samples =
       sample_long_cycle_hitters(net, params.sample_constant, h);
   result.sample_count = static_cast<int>(samples.size());
+  congest::PhaseSpan long_span(net, "long cycles");
   MultiBfsParams mb;
   mb.sources = samples;
   mb.mode = congest::DelayMode::kImmediate;
@@ -190,6 +193,7 @@ MwcResult undirected_weighted_mwc(congest::Network& net,
   add_stats(result.stats, s);
   result.long_cycle_value =
       congest::convergecast(net, tree, mu, congest::AggregateOp::kMin, &s);
+  long_span.close();
   add_stats(result.stats, s);
 
   // --- short cycles: scaling ladder + Corollary 4.1 -----------------------
@@ -244,6 +248,7 @@ MwcResult directed_weighted_mwc(congest::Network& net,
   std::vector<NodeId> samples =
       sample_long_cycle_hitters(net, params.sample_constant, h);
   result.sample_count = static_cast<int>(samples.size());
+  congest::PhaseSpan long_span(net, "long cycles");
   ksssp::SkeletonSsspParams sp;
   sp.sources = samples;
   sp.epsilon = eps_half;
@@ -269,6 +274,7 @@ MwcResult directed_weighted_mwc(congest::Network& net,
   add_stats(result.stats, s);
   result.long_cycle_value =
       congest::convergecast(net, tree, mu, congest::AggregateOp::kMin, &s);
+  long_span.close();
   add_stats(result.stats, s);
 
   // --- short cycles: ladder + hop-limited Algorithm 2 (Section 5.2) -------

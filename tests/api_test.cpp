@@ -3,7 +3,9 @@
 // must be sound and within its own advertised guarantee of the exact value.
 #include <gtest/gtest.h>
 
+#include "congest/metrics.h"
 #include "congest/network.h"
+#include "congest/runner.h"
 #include "graph/generators.h"
 #include "graph/sequential.h"
 #include "mwc/api.h"
@@ -103,6 +105,120 @@ TEST(ApproximateMwc, ManySeedConsistencyFuzz) {
                   1e-9)
         << "trial " << trial << " cls=" << cls << " n=" << n;
   }
+}
+
+TEST(Solve, AutoPicksExactOnSmallAndApproxOnLargeNetworks) {
+  support::Rng rng(21);
+  Graph small = graph::random_connected(40, 80, WeightRange{1, 1}, rng);
+  Network net_small(small, 2);
+  MwcReport small_report = solve(net_small);
+  ASSERT_TRUE(small_report.ok());
+  EXPECT_EQ(small_report.algorithm, "exact");
+  EXPECT_DOUBLE_EQ(small_report.guarantee, 1.0);
+  EXPECT_EQ(small_report.result.value, graph::seq::mwc(small));
+
+  Graph large = graph::random_connected(200, 400, WeightRange{1, 1}, rng);
+  Network net_large(large, 2);
+  MwcReport large_report = solve(net_large);
+  ASSERT_TRUE(large_report.ok());
+  EXPECT_EQ(large_report.algorithm, "girth-approx");
+  EXPECT_DOUBLE_EQ(large_report.guarantee, 2.0);
+}
+
+TEST(Solve, DispatchNamesAndGuaranteesByClass) {
+  const char* expected[] = {"girth-approx", "weighted-undirected",
+                            "directed-2approx", "weighted-directed"};
+  support::Rng rng(31);
+  for (int cls = 0; cls < 4; ++cls) {
+    Graph g = make_instance(cls, 50, rng);
+    Network net(g, 3);
+    SolveOptions opts;
+    opts.mode = SolveMode::kApprox;
+    opts.epsilon = 0.25;
+    MwcReport report = solve(net, opts);
+    ASSERT_TRUE(report.ok()) << cls;
+    EXPECT_EQ(report.algorithm, expected[cls]);
+    EXPECT_DOUBLE_EQ(report.guarantee, g.is_unit_weight() ? 2.0 : 2.25);
+    // The engine-level result mirrors the algorithm's accumulated stats.
+    EXPECT_EQ(report.run.stats.rounds, report.result.stats.rounds);
+  }
+}
+
+TEST(Solve, CollectMetricsProfilesThePhases) {
+  support::Rng rng(41);
+  Graph g = make_instance(0, 50, rng);
+  Network net(g, 5);
+  SolveOptions opts;
+  opts.mode = SolveMode::kExact;
+  opts.collect_metrics = true;
+  MwcReport report = solve(net, opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.metrics.clean());
+  EXPECT_GT(report.metrics.total.runs, 0u);
+  EXPECT_EQ(report.metrics.total.rounds, report.result.stats.rounds);
+  EXPECT_NE(report.metrics.find("apsp/multi_bfs"), nullptr);
+
+  // Off by default: no profile is collected.
+  Network net2(g, 5);
+  MwcReport quiet = solve(net2, SolveOptions{SolveMode::kExact});
+  EXPECT_EQ(quiet.metrics.total.runs, 0u);
+  EXPECT_TRUE(quiet.metrics.phases.empty());
+}
+
+TEST(Solve, CollectMetricsStillFeedsAnOuterSink) {
+  support::Rng rng(43);
+  Graph g = make_instance(0, 40, rng);
+  Network net(g, 5);
+  congest::Metrics outer;
+  net.attach_metrics(&outer);
+  SolveOptions opts;
+  opts.mode = SolveMode::kExact;
+  opts.collect_metrics = true;
+  MwcReport report = solve(net, opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(net.metrics(), &outer);  // restored
+  EXPECT_EQ(outer.snapshot().total.runs, report.metrics.total.runs);
+}
+
+TEST(Solve, AbortedRunIsDataNotAnException) {
+  support::Rng rng(51);
+  Graph g = make_instance(0, 40, rng);
+  congest::NetworkConfig cfg;
+  cfg.max_rounds_per_run = 2;
+  Network net(g, 3, cfg);
+  SolveOptions opts;
+  opts.mode = SolveMode::kExact;
+  MwcReport report = solve(net, opts);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.run.outcome, congest::RunOutcome::kRoundLimitExceeded);
+
+  // The thin wrappers keep the historical throwing contract.
+  Network net2(g, 3, cfg);
+  EXPECT_THROW(exact_mwc(net2), congest::RunAbortedError);
+}
+
+TEST(Solve, WrappersMatchSolveResults) {
+  support::Rng rng(61);
+  Graph g = make_instance(1, 60, rng);
+
+  Network net_a(g, 9);
+  SolveOptions opts;
+  opts.mode = SolveMode::kApprox;
+  opts.epsilon = 0.5;
+  MwcReport report = solve(net_a, opts);
+  Network net_b(g, 9);
+  MwcResult wrapped = approximate_mwc(net_b, ApproxMwcOptions{0.5});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.result.value, wrapped.value);
+  EXPECT_EQ(report.result.stats.rounds, wrapped.stats.rounds);
+
+  Network net_c(g, 9);
+  opts.mode = SolveMode::kExact;
+  MwcReport exact_report = solve(net_c, opts);
+  Network net_d(g, 9);
+  MwcResult exact_wrapped = exact_mwc(net_d);
+  EXPECT_EQ(exact_report.result.value, exact_wrapped.value);
+  EXPECT_EQ(exact_report.result.value, graph::seq::mwc(g));
 }
 
 }  // namespace

@@ -39,3 +39,39 @@ execute_process(COMMAND ${CLI} run exact ${GRAPH} 3 --max-rounds=2
 if(NOT rc EQUAL 2 OR NOT err MATCHES "round_limit_exceeded")
   message(FATAL_ERROR "run with tiny --max-rounds: rc=${rc}: ${err}")
 endif()
+
+# The solve() modes report the dispatched algorithm and its guarantee.
+execute_process(COMMAND ${CLI} run auto ${GRAPH} 3
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "algorithm: " OR NOT out MATCHES "guarantee: ")
+  message(FATAL_ERROR "run auto failed: ${out}")
+endif()
+
+# --metrics prints the per-phase JSON; --metrics=FILE writes it. The JSON
+# must be byte-identical between --threads=1 and --threads=8 on one seed.
+execute_process(COMMAND ${CLI} run auto ${GRAPH} 3 --metrics
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "\"phases\": \\[" OR NOT out MATCHES "\"total\":")
+  message(FATAL_ERROR "run auto --metrics failed: ${out}")
+endif()
+
+execute_process(COMMAND ${CLI} run approx ${GRAPH} 5 --metrics=${WORK}/m1.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT EXISTS ${WORK}/m1.json)
+  message(FATAL_ERROR "run approx --metrics=FILE failed: ${out}")
+endif()
+execute_process(COMMAND ${CLI} run approx ${GRAPH} 5 --threads=8
+                --metrics=${WORK}/m8.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "run approx --threads=8 --metrics failed: ${out}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK}/m1.json ${WORK}/m8.json RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "metrics JSON differs between --threads=1 and --threads=8")
+endif()
+file(READ ${WORK}/m1.json metrics_json)
+if(NOT metrics_json MATCHES "\"error\": \"\"")
+  message(FATAL_ERROR "metrics JSON reports an annotation error: ${metrics_json}")
+endif()

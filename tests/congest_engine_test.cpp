@@ -199,8 +199,8 @@ TEST(Engine, RoundsAccumulateAcrossRuns) {
   Burst a(3), b(4);
   run_protocol(net, a);
   run_protocol(net, b);
-  EXPECT_EQ(net.total_rounds(), 7u);
-  EXPECT_EQ(net.total_words(), 7u);
+  EXPECT_EQ(net.stats().rounds, 7u);
+  EXPECT_EQ(net.stats().words, 7u);
 }
 
 TEST(Engine, SendToNonNeighborFailsCheck) {
@@ -259,8 +259,8 @@ TEST(Engine, CutMeterCountsCrossingWordsOnly) {
   };
   CrossTalk proto;
   run_protocol(net, proto);
-  EXPECT_EQ(net.cut_words(), 2u);
-  EXPECT_EQ(net.total_words(), 6u);
+  EXPECT_EQ(net.stats().cut_words, 2u);
+  EXPECT_EQ(net.stats().words, 6u);
 }
 
 TEST(Engine, MaxQueueWordsTracksBacklog) {

@@ -79,7 +79,7 @@ TEST(DirectedDisjointnessGadget, ExactAlgorithmDecidesOnGadget) {
     cycle::MwcResult result = cycle::exact_mwc(net);
     EXPECT_EQ(result.value <= gadget.yes_threshold, inst.intersects);
     // The communication argument's subject: bits crossed the cut.
-    EXPECT_GT(net.cut_words(), 0u);
+    EXPECT_GT(net.stats().cut_words, 0u);
   }
 }
 

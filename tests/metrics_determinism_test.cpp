@@ -1,0 +1,115 @@
+// Metrics snapshots must be bit-identical across thread counts: the sink
+// records exclusively on the host thread (span transitions between runs,
+// per-direction word totals on the sequential merge path, one record_run at
+// run end), so threads=N may only change wall-clock, never a counter. The
+// suite runs real algorithms - including under injected faults and the
+// reliable transport - at 1/2/4/8 threads and compares whole snapshots and
+// their JSON bytes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "congest/metrics.h"
+#include "congest/network.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "ksssp/auto_select.h"
+#include "mwc/api.h"
+#include "support/rng.h"
+
+namespace mwc {
+namespace {
+
+using congest::MetricsSnapshot;
+using congest::Network;
+using congest::NetworkConfig;
+using graph::Graph;
+using graph::WeightRange;
+
+Graph instance(int cls, int n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  switch (cls) {
+    case 0: return graph::random_connected(n, 2 * n, WeightRange{1, 1}, rng);
+    case 1: return graph::random_connected(n, 2 * n, WeightRange{1, 10}, rng);
+    default:
+      return graph::random_strongly_connected(n, 3 * n, WeightRange{1, 1}, rng);
+  }
+}
+
+// Runs solve() with metrics at the given thread count.
+MetricsSnapshot profile_solve(const Graph& g, std::uint64_t seed, int threads,
+                              NetworkConfig base = NetworkConfig{}) {
+  NetworkConfig cfg = base;
+  cfg.threads = threads;
+  Network net(g, seed, cfg);
+  cycle::SolveOptions opts;
+  opts.collect_metrics = true;
+  cycle::MwcReport report = cycle::solve(net, opts);
+  return report.metrics;
+}
+
+void expect_thread_invariant(const Graph& g, std::uint64_t seed,
+                             const NetworkConfig& base = NetworkConfig{}) {
+  const MetricsSnapshot reference = profile_solve(g, seed, 1, base);
+  EXPECT_GT(reference.total.runs, 0u);
+  const std::string reference_json = reference.to_json();
+  for (int threads : {2, 4, 8}) {
+    const MetricsSnapshot snap = profile_solve(g, seed, threads, base);
+    EXPECT_EQ(snap, reference) << "threads=" << threads << " seed=" << seed;
+    EXPECT_EQ(snap.to_json(), reference_json) << "threads=" << threads;
+  }
+}
+
+TEST(MetricsDeterminism, SolveAcrossThreadCountsAndSeeds) {
+  for (int cls = 0; cls < 3; ++cls) {
+    for (std::uint64_t seed : {1u, 5u}) {
+      expect_thread_invariant(instance(cls, 70, 11 * seed + cls), seed);
+    }
+  }
+}
+
+TEST(MetricsDeterminism, LargeApproxInstance) {
+  // Above kAutoExactThreshold: kAuto dispatches the sampling approximation,
+  // whose phases (sample BFS, exchanges) stress the parallel merge path.
+  expect_thread_invariant(instance(0, 160, 42), 3);
+}
+
+TEST(MetricsDeterminism, UnderDropFaultsWithReliableTransport) {
+  NetworkConfig cfg;
+  cfg.faults.drop_prob = 0.15;
+  cfg.reliable_transport = true;
+  const Graph g = instance(0, 60, 77);
+  const MetricsSnapshot reference = profile_solve(g, 9, 1, cfg);
+  // Faults actually fired, and the profile still matches bit-for-bit.
+  EXPECT_GT(reference.total.dropped_messages, 0u);
+  EXPECT_GT(reference.total.retransmitted_words, 0u);
+  expect_thread_invariant(g, 9, cfg);
+}
+
+TEST(MetricsDeterminism, KSourceBfsAutoSnapshot) {
+  const Graph g = instance(0, 90, 13);
+  std::vector<graph::NodeId> sources{0, 7, 21, 40};
+
+  auto run = [&](int threads) {
+    NetworkConfig cfg;
+    cfg.threads = threads;
+    Network net(g, 4, cfg);
+    return ksssp::k_source_bfs_auto(net, sources);
+  };
+  const ksssp::AutoKBfsResult reference = run(1);
+  EXPECT_FALSE(reference.algorithm.empty());
+  EXPECT_EQ(reference.algorithm, to_string(reference.chosen));
+  EXPECT_GT(reference.metrics.total.runs, 0u);
+  ASSERT_NE(reference.metrics.find("probe diameter/bfs_tree"), nullptr);
+
+  for (int threads : {2, 8}) {
+    const ksssp::AutoKBfsResult other = run(threads);
+    EXPECT_EQ(other.chosen, reference.chosen);
+    EXPECT_EQ(other.metrics, reference.metrics) << "threads=" << threads;
+    EXPECT_EQ(other.result.dist.dist, reference.result.dist.dist);
+  }
+}
+
+}  // namespace
+}  // namespace mwc

@@ -1,0 +1,356 @@
+// The Metrics sink and PhaseSpan annotation API (congest/metrics.h):
+// attribution of runs to nested phase paths, congestion / cut / fault
+// accounting, misuse surfacing (out-of-order and double closes, unclosed
+// spans), absorb()/ScopedMetrics composition, the NetworkStats value
+// struct, and the stability of the JSON export.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "congest/metrics.h"
+#include "congest/network.h"
+#include "congest/protocol.h"
+#include "congest/runner.h"
+#include "graph/graph.h"
+
+namespace mwc::congest {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+
+Graph path_graph(int n) {
+  std::vector<Edge> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.push_back(Edge{i, i + 1, 1});
+  return Graph::undirected(n, edges);
+}
+
+// Node 0 sends `count` single-word messages to node 1 at round 0.
+class Burst : public Protocol {
+ public:
+  explicit Burst(int count) : count_(count) {}
+  void begin(NodeCtx& node) override {
+    if (node.id() != 0) return;
+    for (int i = 0; i < count_; ++i) node.send(1, Message{static_cast<Word>(i)});
+  }
+  void round(NodeCtx&) override {}
+
+ private:
+  int count_;
+};
+
+TEST(Metrics, DetachedNetworkRecordsNothingAndSpansAreFree) {
+  Graph g = path_graph(2);
+  Network net(g, /*seed=*/1);
+  ASSERT_EQ(net.metrics(), nullptr);
+  PhaseSpan span(net, "ignored");  // no sink: must be a no-op
+  Burst proto(3);
+  run_protocol(net, proto);
+  span.close();
+  EXPECT_EQ(net.stats().rounds, 3u);  // the engine still ran normally
+}
+
+TEST(Metrics, AttributesRunsToNestedPhasePaths) {
+  Graph g = path_graph(2);
+  Network net(g, /*seed=*/1);
+  Metrics metrics;
+  net.attach_metrics(&metrics);
+
+  {
+    PhaseSpan outer(net, "outer");
+    {
+      PhaseSpan inner(net, "inner");
+      Burst proto(5);
+      run_protocol(net, proto);
+    }
+    Burst proto(2);
+    run_protocol(net, proto);
+  }
+  Burst stray(1);
+  run_protocol(net, stray);
+
+  MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_TRUE(snap.clean());
+  ASSERT_EQ(snap.phases.size(), 3u);
+
+  const PhaseMetrics* inner = snap.find("outer/inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->runs, 1u);
+  EXPECT_EQ(inner->rounds, 5u);
+  EXPECT_EQ(inner->words, 5u);
+
+  const PhaseMetrics* outer = snap.find("outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->runs, 1u);  // only the run opened directly under "outer"
+  EXPECT_EQ(outer->rounds, 2u);
+
+  const PhaseMetrics* stray_phase = snap.find("(unattributed)");
+  ASSERT_NE(stray_phase, nullptr);
+  EXPECT_EQ(stray_phase->runs, 1u);
+  EXPECT_EQ(stray_phase->rounds, 1u);
+
+  // The total sums every run regardless of phase.
+  EXPECT_EQ(snap.total.runs, 3u);
+  EXPECT_EQ(snap.total.rounds, 8u);
+  EXPECT_EQ(snap.total.words, 8u);
+  EXPECT_EQ(snap.find("no-such-phase"), nullptr);
+}
+
+TEST(Metrics, RecordsBusiestLinkAndQueuePeak) {
+  Graph g = path_graph(3);
+  Network net(g, /*seed=*/1);
+  Metrics metrics;
+  net.attach_metrics(&metrics);
+  PhaseSpan span(net, "burst");
+  Burst proto(10);  // 10 words through direction 0 -> 1, then nothing else
+  run_protocol(net, proto);
+  span.close();
+
+  MetricsSnapshot snap = metrics.snapshot();
+  const PhaseMetrics* m = snap.find("burst");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->max_link_words, 10u);
+  EXPECT_EQ(m->busiest_from, 0);
+  EXPECT_EQ(m->busiest_to, 1);
+  // 10 words queued at once, minus the one that starts transmitting.
+  EXPECT_GE(m->max_queue_words, 9u);
+}
+
+TEST(Metrics, CutWordsPerPhase) {
+  Graph g = path_graph(4);
+  Network net(g, /*seed=*/1);
+  std::vector<bool> side(4, false);
+  side[2] = side[3] = true;  // cut between 1 and 2
+  net.set_cut(std::move(side));
+
+  Metrics metrics;
+  net.attach_metrics(&metrics);
+  {
+    PhaseSpan span(net, "crossing");
+    // Node 0 -> 1 does not cross; flood everything so some words cross.
+    class Flood : public Protocol {
+     public:
+      void begin(NodeCtx& node) override {
+        for (NodeId nb : node.comm_neighbors()) node.send(nb, Message{1});
+      }
+      void round(NodeCtx&) override {}
+    };
+    Flood proto;
+    run_protocol(net, proto);
+  }
+  MetricsSnapshot snap = metrics.snapshot();
+  const PhaseMetrics* m = snap.find("crossing");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->cut_words, 2u);  // 1->2 and 2->1
+  EXPECT_EQ(m->cut_words, net.stats().cut_words);
+}
+
+TEST(Metrics, AbortedRunsAreCounted) {
+  Graph g = path_graph(2);
+  NetworkConfig cfg;
+  cfg.max_rounds_per_run = 3;
+  Network net(g, /*seed=*/1, cfg);
+  Metrics metrics;
+  net.attach_metrics(&metrics);
+  PhaseSpan span(net, "capped");
+  Burst proto(10);
+  RunResult r = run_protocol_result(net, proto);
+  span.close();
+  ASSERT_EQ(r.outcome, RunOutcome::kRoundLimitExceeded);
+
+  MetricsSnapshot snap = metrics.snapshot();
+  const PhaseMetrics* m = snap.find("capped");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->runs, 1u);
+  EXPECT_EQ(m->aborted_runs, 1u);
+  EXPECT_EQ(snap.total.aborted_runs, 1u);
+}
+
+TEST(Metrics, FaultAccountingReachesThePhase) {
+  Graph g = path_graph(4);  // Burst needs 0 and 1 adjacent
+  NetworkConfig cfg;
+  cfg.faults.drop_prob = 0.2;
+  cfg.reliable_transport = true;
+  Network net(g, /*seed=*/3, cfg);
+  Metrics metrics;
+  net.attach_metrics(&metrics);
+  {
+    PhaseSpan span(net, "lossy");
+    Burst proto(8);
+    run_protocol(net, proto);
+  }
+  MetricsSnapshot snap = metrics.snapshot();
+  const PhaseMetrics* m = snap.find("lossy");
+  ASSERT_NE(m, nullptr);
+  // With 20% drops over an ARQ transport something must have been dropped
+  // and retransmitted (seeds are deterministic, so this is stable).
+  EXPECT_GT(m->dropped_messages, 0u);
+  EXPECT_GT(m->retransmitted_words, 0u);
+}
+
+TEST(Metrics, OutOfOrderCloseIsSurfacedNotUB) {
+  Metrics metrics;
+  const std::uint64_t outer = metrics.open_phase("outer");
+  metrics.open_phase("inner");
+  metrics.close_phase(outer);  // closes "inner" too, but records the misuse
+  EXPECT_TRUE(metrics.has_error());
+  EXPECT_NE(metrics.error().find("outer"), std::string::npos);
+  EXPECT_NE(metrics.error().find("inner"), std::string::npos);
+  // The stack recovered: everything is closed.
+  EXPECT_EQ(metrics.current_path(), "");
+  MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_FALSE(snap.clean());
+  EXPECT_EQ(snap.error, metrics.error());
+}
+
+TEST(Metrics, DoubleCloseIsSurfacedNotUB) {
+  Metrics metrics;
+  const std::uint64_t token = metrics.open_phase("p");
+  metrics.close_phase(token);
+  EXPECT_FALSE(metrics.has_error());
+  metrics.close_phase(token);
+  EXPECT_TRUE(metrics.has_error());
+}
+
+TEST(Metrics, UnclosedSpanListedInSnapshot) {
+  Graph g = path_graph(2);
+  Network net(g, /*seed=*/1);
+  Metrics metrics;
+  net.attach_metrics(&metrics);
+  metrics.open_phase("left-open");
+  MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_FALSE(snap.clean());
+  ASSERT_EQ(snap.open_phases.size(), 1u);
+  EXPECT_EQ(snap.open_phases[0], "left-open");
+  EXPECT_TRUE(snap.error.empty());  // open-at-snapshot is not an error
+}
+
+TEST(Metrics, PhaseSpanCloseIsIdempotent) {
+  Metrics metrics;
+  {
+    PhaseSpan span(&metrics, "p");
+    span.close();
+    // Destructor runs after the explicit close: must not double-close.
+  }
+  EXPECT_FALSE(metrics.has_error());
+}
+
+TEST(Metrics, ResetClearsEverything) {
+  Metrics metrics;
+  metrics.open_phase("p");
+  RunProfile profile;
+  profile.stats.rounds = 5;
+  metrics.record_run(profile);
+  metrics.reset();
+  MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_TRUE(snap.clean());
+  EXPECT_TRUE(snap.phases.empty());
+  EXPECT_EQ(snap.total.runs, 0u);
+  EXPECT_EQ(metrics.current_path(), "");
+}
+
+TEST(Metrics, AbsorbPrefixesWithCurrentPath) {
+  Metrics inner;
+  inner.open_phase("work");
+  RunProfile profile;
+  profile.stats.rounds = 4;
+  profile.stats.words = 7;
+  inner.record_run(profile);
+
+  Metrics outer;
+  const std::uint64_t token = outer.open_phase("caller");
+  outer.absorb(inner.snapshot());
+  outer.close_phase(token);
+
+  MetricsSnapshot snap = outer.snapshot();
+  const PhaseMetrics* m = snap.find("caller/work");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->rounds, 4u);
+  EXPECT_EQ(m->words, 7u);
+  EXPECT_EQ(snap.total.runs, 1u);
+}
+
+TEST(Metrics, ScopedMetricsRestoresAndForwardsToOuterSink) {
+  Graph g = path_graph(2);
+  Network net(g, /*seed=*/1);
+  Metrics outer;
+  net.attach_metrics(&outer);
+
+  MetricsSnapshot local_snap;
+  {
+    PhaseSpan caller_span(net, "caller");
+    ScopedMetrics scoped(net);
+    EXPECT_EQ(net.metrics(), &scoped.metrics());
+    PhaseSpan span(net, "work");
+    Burst proto(3);
+    run_protocol(net, proto);
+    span.close();
+    local_snap = scoped.snapshot();
+    scoped.release();
+    EXPECT_EQ(net.metrics(), &outer);
+  }
+
+  // The callee saw its own runs under its own (unprefixed) paths...
+  ASSERT_NE(local_snap.find("work"), nullptr);
+  EXPECT_EQ(local_snap.total.rounds, 3u);
+  // ...and the outer sink still observed them, under the caller's path.
+  MetricsSnapshot snap = outer.snapshot();
+  ASSERT_NE(snap.find("caller/work"), nullptr);
+  EXPECT_EQ(snap.total.rounds, 3u);
+}
+
+TEST(Metrics, JsonShapeIsStable) {
+  Graph g = path_graph(2);
+  Network net(g, /*seed=*/1);
+  Metrics metrics;
+  net.attach_metrics(&metrics);
+  {
+    PhaseSpan span(net, "phase \"a\"");  // exercises quoting
+    Burst proto(2);
+    run_protocol(net, proto);
+  }
+  const std::string json = metrics.snapshot().to_json();
+  EXPECT_NE(json.find("\"total\""), std::string::npos);
+  EXPECT_NE(json.find("\"phases\""), std::string::npos);
+  EXPECT_NE(json.find("\"open_phases\": []"), std::string::npos);
+  EXPECT_NE(json.find("\"error\": \"\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase \\\"a\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"rounds\": 2"), std::string::npos);
+  // Same snapshot, same bytes.
+  EXPECT_EQ(json, metrics.snapshot().to_json());
+}
+
+TEST(NetworkStats, MatchesAccumulatedCountersAndCompares) {
+  Graph g = path_graph(2);
+  Network net(g, /*seed=*/1);
+  EXPECT_EQ(net.stats(), NetworkStats{});
+  Burst proto(4);
+  run_protocol(net, proto);
+
+  NetworkStats s = net.stats();
+  EXPECT_EQ(s.rounds, 4u);
+  EXPECT_EQ(s.messages, 4u);
+  EXPECT_EQ(s.words, 4u);
+  EXPECT_EQ(s.cut_words, 0u);
+  EXPECT_EQ(s.runs, 1u);
+
+  // The deprecated forwarders still answer (external callers mid-migration).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_EQ(net.total_rounds(), s.rounds);
+  EXPECT_EQ(net.total_messages(), s.messages);
+  EXPECT_EQ(net.total_words(), s.words);
+  EXPECT_EQ(net.cut_words(), s.cut_words);
+  EXPECT_EQ(net.run_counter(), s.runs);
+#pragma GCC diagnostic pop
+
+  Burst more(1);
+  run_protocol(net, more);
+  EXPECT_NE(net.stats(), s);  // value semantics: the old copy is a snapshot
+  EXPECT_EQ(net.stats().runs, 2u);
+}
+
+}  // namespace
+}  // namespace mwc::congest

@@ -55,9 +55,9 @@ Artifacts run_scenario(const Graph& g, std::uint64_t seed, NetworkConfig cfg,
   Artifacts a;
   a.value = body(net);
   a.events = trace.events();
-  a.net_totals.rounds = net.total_rounds();
-  a.net_totals.messages = net.total_messages();
-  a.net_totals.words = net.total_words();
+  a.net_totals.rounds = net.stats().rounds;
+  a.net_totals.messages = net.stats().messages;
+  a.net_totals.words = net.stats().words;
   return a;
 }
 

@@ -6,6 +6,7 @@
 #   tools/ci.sh plain      plain stage only
 #   tools/ci.sh sanitize   ASan/UBSan stage only
 #   tools/ci.sh tsan       ThreadSanitizer stage only
+#   tools/ci.sh examples   examples + CLI metrics smoke only
 #
 # Stages use separate build trees (build-ci/, build-ci-asan/, build-ci-tsan/)
 # so they never poison an incremental developer build/.
@@ -49,6 +50,45 @@ if [[ "$stage" == "all" || "$stage" == "tsan" ]]; then
   "$dir"/tests/congest_engine_test
   "$dir"/tests/parallel_determinism_test
   "$dir"/tests/schedule_fuzz_test
+fi
+
+if [[ "$stage" == "all" || "$stage" == "examples" ]]; then
+  echo "=== examples + CLI metrics smoke ==="
+  # Every example program must build and run clean against the public API,
+  # and `mwc_cli --metrics` must emit valid, thread-count-invariant JSON.
+  dir=build-ci
+  cmake -B "$dir" -S . -DCONGEST_MWC_WERROR=ON
+  cmake --build "$dir" -j "$jobs" --target \
+    quickstart deadlock_detection network_girth_monitor \
+    weighted_routing_rings trace_activity mwc_cli
+  for ex in quickstart deadlock_detection network_girth_monitor \
+            weighted_routing_rings trace_activity; do
+    echo "--- example: $ex"
+    "$dir/examples/$ex" > /dev/null
+  done
+
+  work="$dir/metrics-smoke"
+  mkdir -p "$work"
+  cli="$dir/tools/mwc_cli"
+  "$cli" gen cycle-chords 96 8 3 "$work/smoke.graph"
+  "$cli" run auto "$work/smoke.graph" 5 --metrics="$work/m1.json" > /dev/null
+  "$cli" run auto "$work/smoke.graph" 5 --threads=8 \
+    --metrics="$work/m8.json" > /dev/null
+  cmp "$work/m1.json" "$work/m8.json" \
+    || { echo "ci: metrics JSON differs between --threads=1 and 8"; exit 1; }
+  if command -v python3 > /dev/null; then
+    python3 - "$work/m1.json" <<'EOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+assert snap["error"] == "", snap["error"]
+assert snap["open_phases"] == [], snap["open_phases"]
+assert snap["total"]["rounds"] > 0 and snap["phases"], "empty profile"
+assert sum(p["rounds"] for p in snap["phases"]) == snap["total"]["rounds"]
+print("ci: metrics JSON valid,", len(snap["phases"]), "phases")
+EOF
+  else
+    echo "ci: python3 not found, skipping JSON schema check"
+  fi
 fi
 
 echo "ci: all requested stages passed"

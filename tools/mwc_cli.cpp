@@ -9,14 +9,23 @@
 //   mwc_cli run <algorithm> <graph-file> <seed> [--max-rounds=N]
 //                                               [--fault-drop-prob=P]
 //                                               [--threads=T]
-//       algorithms: exact | girth-approx | girth-prt | directed-2approx |
-//                   weighted-undirected | weighted-directed
-//       prints the value, simulated rounds/messages, and (when available)
-//       the witness cycle. --max-rounds caps the simulated rounds per
-//       protocol run; --fault-drop-prob drops that fraction of messages on
-//       every link and runs the algorithm over the reliable transport;
-//       --threads runs the engine on T worker threads (results are
-//       bit-identical to --threads=1, just faster on big inputs).
+//                                               [--epsilon=E]
+//                                               [--metrics[=FILE]]
+//       algorithms: auto | approx | exact (cycle::solve's mode dispatch,
+//                   picking the paper's algorithm for the graph class), or
+//                   a specific one: girth-approx | girth-prt |
+//                   directed-2approx | weighted-undirected | weighted-directed
+//       prints the value, the dispatched algorithm and its promised ratio,
+//       simulated rounds/messages, and (when available) the witness cycle.
+//       --max-rounds caps the simulated rounds per protocol run;
+//       --fault-drop-prob drops that fraction of messages on every link and
+//       runs the algorithm over the reliable transport; --threads runs the
+//       engine on T worker threads (results are bit-identical to
+//       --threads=1, just faster on big inputs); --epsilon sets the
+//       approximation slack of the weighted classes; --metrics prints the
+//       per-phase metrics JSON (congest/metrics.h) to stdout,
+//       --metrics=FILE writes it to FILE. The JSON is byte-identical across
+//       --threads values on the same seed.
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime errors (bad
 // input files, aborted runs).
@@ -26,7 +35,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "congest/metrics.h"
 #include "congest/network.h"
+#include "mwc/api.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "graph/sequential.h"
@@ -49,9 +60,10 @@ int usage() {
                "  mwc_cli gen <random|sc-digraph|cycle-chords|grid|bottleneck>"
                " <n> <param> <seed> <out.graph>\n"
                "  mwc_cli info <graph-file>\n"
-               "  mwc_cli run <exact|girth-approx|girth-prt|directed-2approx|"
-               "weighted-undirected|weighted-directed> <graph-file> <seed>"
-               " [--max-rounds=N] [--fault-drop-prob=P] [--threads=T]\n");
+               "  mwc_cli run <auto|approx|exact|girth-approx|girth-prt|"
+               "directed-2approx|weighted-undirected|weighted-directed>"
+               " <graph-file> <seed> [--max-rounds=N] [--fault-drop-prob=P]"
+               " [--threads=T] [--epsilon=E] [--metrics[=FILE]]\n");
   return 1;
 }
 
@@ -105,7 +117,8 @@ int cmd_info(int argc, char** argv) {
 }
 
 int cmd_run(int argc, char** argv) {
-  support::Flags flags(argc, argv, {"max-rounds", "fault-drop-prob", "threads"});
+  support::Flags flags(argc, argv, {"max-rounds", "fault-drop-prob", "threads",
+                                    "epsilon", "metrics"});
   if (!flags.unknown_flags().empty()) {
     std::fprintf(stderr, "unknown flag: --%s\n",
                  flags.unknown_flags()[0].c_str());
@@ -135,17 +148,61 @@ int cmd_run(int argc, char** argv) {
     std::fprintf(stderr, "--threads must be >= 1\n");
     return usage();
   }
+  const double epsilon = flags.get_double("epsilon", 0.5);
+  if (epsilon <= 0.0) {
+    std::fprintf(stderr, "--epsilon must be > 0\n");
+    return usage();
+  }
+  const bool want_metrics = flags.has("metrics");
+  // Bare --metrics parses as the value "true": print to stdout.
+  const std::string metrics_file = [&]() -> std::string {
+    const std::string v = flags.get("metrics", "");
+    return v == "true" ? "" : v;
+  }();
   congest::Network net(g, seed, cfg);
 
-  cycle::MwcResult result = [&] {
-    if (algo == "exact") return cycle::exact_mwc(net);
-    if (algo == "girth-approx") return cycle::girth_approx(net);
-    if (algo == "girth-prt") return cycle::girth_prt(net);
-    if (algo == "directed-2approx") return cycle::directed_mwc_2approx(net);
-    if (algo == "weighted-undirected") return cycle::undirected_weighted_mwc(net);
-    if (algo == "weighted-directed") return cycle::directed_weighted_mwc(net);
-    throw std::runtime_error("unknown algorithm: " + algo);
-  }();
+  // The solve() modes profile themselves; the specific legacy algorithms
+  // get an externally attached sink so --metrics works uniformly.
+  congest::Metrics sink;
+  if (want_metrics) net.attach_metrics(&sink);
+
+  cycle::MwcResult result;
+  congest::MetricsSnapshot metrics;
+  if (algo == "auto" || algo == "approx" || algo == "exact") {
+    cycle::SolveOptions opts;
+    opts.mode = algo == "auto"
+                    ? cycle::SolveMode::kAuto
+                    : (algo == "approx" ? cycle::SolveMode::kApprox
+                                        : cycle::SolveMode::kExact);
+    opts.epsilon = epsilon;
+    opts.collect_metrics = want_metrics;
+    cycle::MwcReport report = cycle::solve(net, opts);
+    if (!report.ok()) {
+      throw std::runtime_error(std::string("run aborted: ") +
+                               congest::to_string(report.run.outcome));
+    }
+    std::printf("algorithm: %s\nguarantee: %g\n", report.algorithm.c_str(),
+                report.guarantee);
+    result = std::move(report.result);
+    metrics = std::move(report.metrics);
+  } else {
+    result = [&] {
+      cycle::WeightedMwcParams wp;
+      wp.epsilon = epsilon;
+      if (algo == "girth-approx") return cycle::girth_approx(net);
+      if (algo == "girth-prt") return cycle::girth_prt(net);
+      if (algo == "directed-2approx") return cycle::directed_mwc_2approx(net);
+      if (algo == "weighted-undirected") {
+        return cycle::undirected_weighted_mwc(net, wp);
+      }
+      if (algo == "weighted-directed") {
+        return cycle::directed_weighted_mwc(net, wp);
+      }
+      throw std::runtime_error("unknown algorithm: " + algo);
+    }();
+    metrics = sink.snapshot();
+  }
+  net.attach_metrics(nullptr);
 
   if (result.value == graph::kInfWeight) {
     std::printf("value: none (no cycle found)\n");
@@ -167,6 +224,21 @@ int cmd_run(int argc, char** argv) {
     std::printf("witness:");
     for (graph::NodeId v : result.witness) std::printf(" %d", v);
     std::printf("\n");
+  }
+  if (want_metrics) {
+    const std::string json = metrics.to_json();
+    if (metrics_file.empty()) {
+      std::printf("%s\n", json.c_str());
+    } else {
+      std::FILE* f = std::fopen(metrics_file.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_file.c_str());
+        return 2;
+      }
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+      std::printf("metrics: wrote %s\n", metrics_file.c_str());
+    }
   }
   return 0;
 }
