@@ -26,6 +26,33 @@
 
 namespace mwc::bench {
 
+// Renders `s` as a JSON string literal (quotes included). Every control
+// character < 0x20 is escaped - the common ones by name, the rest as
+// \u00XX - so a note or title containing arbitrary bytes (terminal escape
+// sequences, stray carriage returns from scraped output) can never corrupt
+// a BENCH_*.json. Unit-tested in tests/bench_util_test.cpp.
+inline std::string json_quote(const std::string& s) {
+  std::string o = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': o += "\\\""; break;
+      case '\\': o += "\\\\"; break;
+      case '\n': o += "\\n"; break;
+      case '\t': o += "\\t"; break;
+      case '\r': o += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          o += buf;
+        } else {
+          o += c;
+        }
+    }
+  }
+  return o + "\"";
+}
+
 // Mirrors bench output (sections, notes, tables, scalar metrics) into
 // BENCH_<NAME>.json in the current directory - or under $MWC_BENCH_JSON_DIR
 // when set, so CI can collect the logs from a read-only source tree.
@@ -93,6 +120,10 @@ class JsonLog {
     return file;
   }
 
+  // Marks the log as handled without writing a file - for tests that only
+  // want render()'s bytes.
+  void discard() { written_ = true; }
+
   std::string render() const {
     std::string o = "{\n  \"bench\": " + quote(name_) + ",\n  \"sections\": [";
     bool first_sec = true;
@@ -142,26 +173,7 @@ class JsonLog {
     std::vector<std::pair<std::string, double>> metrics;
   };
 
-  static std::string quote(const std::string& s) {
-    std::string o = "\"";
-    for (char c : s) {
-      switch (c) {
-        case '"': o += "\\\""; break;
-        case '\\': o += "\\\\"; break;
-        case '\n': o += "\\n"; break;
-        case '\t': o += "\\t"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-            o += buf;
-          } else {
-            o += c;
-          }
-      }
-    }
-    return o + "\"";
-  }
+  static std::string quote(const std::string& s) { return json_quote(s); }
 
   // Cells hold pre-formatted numbers; keep bare numerics unquoted so
   // consumers get real JSON numbers, and quote everything else.

@@ -156,10 +156,26 @@ class Metrics {
 // RAII phase annotation. Constructing on a Network without an attached
 // Metrics (the common case) costs one pointer compare and records nothing.
 // The destructor closes the span; close() is idempotent for early closing.
+//
+// Trace bridge: when the Network also has a Trace that opted into phase
+// markers (TraceOptions::phase_markers), the span's open and close are
+// mirrored as kPhaseBegin/kPhaseEnd events carrying the phase name, so
+// exported timelines show the algorithm's phase structure as nested spans.
+// Both happen on the host thread between runs - deterministic by
+// construction.
 class PhaseSpan {
  public:
   PhaseSpan(Network& net, std::string_view name)
-      : PhaseSpan(net.metrics(), name) {}
+      : PhaseSpan(net.metrics(), name) {
+    Trace* trace = net.trace();
+    if (trace != nullptr && trace->wants(TraceEventKind::kPhaseBegin)) {
+      trace_ = trace;
+      label_ = name;
+      run_ = net.stats().runs;  // next run to be issued under this phase
+      trace_->record(TraceEvent{run_, 0, graph::kNoNode, graph::kNoNode, 0,
+                                TraceEventKind::kPhaseBegin, label_});
+    }
+  }
   PhaseSpan(Metrics* metrics, std::string_view name) : metrics_(metrics) {
     if (metrics_ != nullptr) token_ = metrics_->open_phase(name);
   }
@@ -170,11 +186,19 @@ class PhaseSpan {
   void close() {
     if (metrics_ != nullptr) metrics_->close_phase(token_);
     metrics_ = nullptr;
+    if (trace_ != nullptr) {
+      trace_->record(TraceEvent{run_, 0, graph::kNoNode, graph::kNoNode, 0,
+                                TraceEventKind::kPhaseEnd, label_});
+      trace_ = nullptr;
+    }
   }
 
  private:
   Metrics* metrics_ = nullptr;
   std::uint64_t token_ = 0;
+  Trace* trace_ = nullptr;
+  std::uint64_t run_ = 0;
+  std::string label_;
 };
 
 // Profiles a sequence of runs with a private sink, restoring whatever sink

@@ -111,6 +111,10 @@ int Network::cut_link_count() const {
 }
 
 support::Rng Network::next_run_rng() {
+  if (trace_ != nullptr && trace_->wants(TraceEventKind::kRunBegin)) {
+    trace_->record(TraceEvent{run_counter_, 0, graph::kNoNode, graph::kNoNode,
+                              0, TraceEventKind::kRunBegin, {}});
+  }
   return master_rng_.fork(run_counter_++);
 }
 

@@ -96,25 +96,10 @@ class Network {
                         cut_words_, run_counter_};
   }
 
-  // Deprecated forwarders of the pre-NetworkStats loose accessors; migrate
-  // with stats().rounds / .messages / .words / .cut_words / .runs.
-  [[deprecated("use stats().rounds")]] std::uint64_t total_rounds() const {
-    return total_rounds_;
-  }
-  [[deprecated("use stats().messages")]] std::uint64_t total_messages() const {
-    return total_messages_;
-  }
-  [[deprecated("use stats().words")]] std::uint64_t total_words() const {
-    return total_words_;
-  }
-
   // --- cut instrumentation (lower-bound benches) -----------------------
   // side[v] in {false, true}; words transmitted between sides accumulate in
   // stats().cut_words. Passing an empty vector disables the meter.
   void set_cut(std::vector<bool> side);
-  [[deprecated("use stats().cut_words")]] std::uint64_t cut_words() const {
-    return cut_words_;
-  }
   int cut_link_count() const;
 
   // Fresh deterministic randomness for the next protocol run: every run
@@ -130,10 +115,6 @@ class Network {
   // outlive the runs it observes. Zero-cost when detached. See metrics.h.
   void attach_metrics(Metrics* metrics) { metrics_ = metrics; }
   Metrics* metrics() const { return metrics_; }
-
-  [[deprecated("use stats().runs")]] std::uint64_t run_counter() const {
-    return run_counter_;
-  }
 
  private:
   friend class Runner;

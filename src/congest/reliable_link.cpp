@@ -170,6 +170,11 @@ void ReliableProtocol::service_timers(NodeCtx& node, NodeState& st) {
     o.sent_round = node.round();
     st.retransmitted_words += o.framed.size();
     ++st.retransmitted_messages;
+    if (trace_capture_) {
+      st.trace_buf.push_back(TraceEvent{0, node.round(), node.id(),
+                                        st.nbrs[j], o.framed.size(),
+                                        TraceEventKind::kRetransmit, {}});
+    }
     node.send(st.nbrs[j], o.framed, o.priority);
     tx.rto = std::min(tx.rto * 2, cfg_.max_timeout_rounds);
     arm_timer(node, tx);
@@ -200,9 +205,27 @@ void ReliableProtocol::round(NodeCtx& node) {
     if (!rx.ack_due) continue;
     rx.ack_due = false;
     ++st.acks_sent;
+    if (trace_capture_) {
+      st.trace_buf.push_back(TraceEvent{0, node.round(), node.id(),
+                                        st.nbrs[j], 1, TraceEventKind::kAck,
+                                        {}});
+    }
     node.send(st.nbrs[j], Message{ack_header(rx.next_expected - 1)}, kAckPriority);
   }
   service_timers(node, st);
+}
+
+void ReliableProtocol::drain_trace_events(std::span<const NodeId> order,
+                                          std::uint64_t run, Trace& trace) {
+  if (!trace_capture_ || state_.empty()) return;
+  for (NodeId v : order) {
+    NodeState& st = state_[static_cast<std::size_t>(v)];
+    for (TraceEvent& e : st.trace_buf) {
+      e.run = run;
+      trace.record(e);
+    }
+    st.trace_buf.clear();
+  }
 }
 
 std::uint64_t ReliableProtocol::retransmitted_words() const {

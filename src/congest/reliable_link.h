@@ -30,10 +30,12 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "congest/faults.h"
 #include "congest/protocol.h"
+#include "congest/trace.h"
 
 namespace mwc::congest {
 
@@ -55,6 +57,16 @@ class ReliableProtocol final : public Protocol, public SendInterceptor {
   std::uint64_t acks_sent() const;
   // Links abandoned after max_retries consecutive timeouts (dead peer).
   std::uint64_t dead_links() const;
+
+  // Trace capture of transport events (kRetransmit / kAck). Events are
+  // buffered in the acting node's own NodeState - node steps may run on
+  // worker threads - and drained by the Runner at the round barrier in
+  // invocation order, so the resulting stream is deterministic.
+  void set_trace_capture(bool on) { trace_capture_ = on; }
+  // Records each buffered event (with `run` filled in) into `trace`, in
+  // `order` node order, and clears the buffers.
+  void drain_trace_events(std::span<const NodeId> order, std::uint64_t run,
+                          Trace& trace);
 
  private:
   struct Outstanding {
@@ -96,6 +108,9 @@ class ReliableProtocol final : public Protocol, public SendInterceptor {
     std::uint64_t retransmitted_messages = 0;
     std::uint64_t acks_sent = 0;
     std::uint64_t dead_links = 0;
+    // Buffered kRetransmit/kAck events of this node (trace capture only;
+    // `run` is filled at drain time by the Runner).
+    std::vector<TraceEvent> trace_buf;
   };
 
   NodeState& state_of(NodeCtx& node);
@@ -108,6 +123,7 @@ class ReliableProtocol final : public Protocol, public SendInterceptor {
 
   Protocol& inner_;
   ReliableConfig cfg_;
+  bool trace_capture_ = false;
   std::vector<NodeState> state_;
   // Sizes state_ exactly once even when begin() runs on several workers.
   std::once_flag state_once_;

@@ -107,6 +107,12 @@ Runner::Runner(Network& net, Protocol& proto)
   if (net.config().reliable_transport) {
     reliable_ = std::make_unique<ReliableProtocol>(proto_, net.config().reliable);
   }
+  trace_ = net.trace_;
+  if (reliable_ != nullptr && trace_ != nullptr &&
+      (trace_->wants(TraceEventKind::kRetransmit) ||
+       trace_->wants(TraceEventKind::kAck))) {
+    reliable_->set_trace_capture(true);
+  }
   pool_ = net.thread_pool();
   metrics_ = net.metrics();
   if (metrics_ != nullptr) dir_words_.assign(net.dirs_.size(), 0);
@@ -126,7 +132,19 @@ void Runner::send(NodeId from, NodeId to, Message msg, std::int64_t priority) {
 void Runner::enqueue_dir(int dir_idx, Message msg, std::int64_t priority) {
   DirectionState& ds = dir_state_[static_cast<std::size_t>(dir_idx)];
   ds.queued_words += msg.size();
-  stats_.max_queue_words = std::max(stats_.max_queue_words, ds.queued_words);
+  if (ds.queued_words > stats_.max_queue_words) {
+    stats_.max_queue_words = ds.queued_words;
+    // A new run-wide backlog high-water mark. Recorded here because
+    // enqueue_dir always executes on the host thread (directly in sequential
+    // mode, at the merge barrier in parallel mode), in the same order.
+    if (trace_ != nullptr && trace_->wants(TraceEventKind::kQueuePeak)) {
+      const Network::Direction& dir =
+          net_.dirs_[static_cast<std::size_t>(dir_idx)];
+      trace_->record(TraceEvent{run_id_, round_, dir.from, dir.to,
+                                static_cast<std::uint32_t>(ds.queued_words),
+                                TraceEventKind::kQueuePeak, {}});
+    }
+  }
   ds.queue.push(priority, seq_++, std::move(msg));
   activate_dir(dir_idx);
 }
@@ -174,9 +192,48 @@ void Runner::crash_node(NodeId v) {
     ds.queued_words = 0;
   }
   inbox_next_[static_cast<std::size_t>(v)].clear();
-  if (net_.trace_ != nullptr) {
-    net_.trace_->record(TraceEvent{run_id_, round_, v, graph::kNoNode, 0,
-                                   TraceEventKind::kCrash});
+  if (trace_ != nullptr) {
+    trace_->record(TraceEvent{run_id_, round_, v, graph::kNoNode, 0,
+                              TraceEventKind::kCrash, {}});
+  }
+}
+
+// ---- trace hooks -----------------------------------------------------------
+
+void Runner::trace_round_begin() {
+  if (trace_ == nullptr || !trace_->wants(TraceEventKind::kRoundBegin)) return;
+  trace_->record(TraceEvent{run_id_, round_, graph::kNoNode, graph::kNoNode,
+                            static_cast<std::uint32_t>(invocations_.size()),
+                            TraceEventKind::kRoundBegin, {}});
+}
+
+void Runner::trace_round_end(std::uint64_t words_before) {
+  if (trace_ == nullptr || !trace_->wants(TraceEventKind::kRoundEnd)) return;
+  trace_->record(TraceEvent{run_id_, round_, graph::kNoNode, graph::kNoNode,
+                            static_cast<std::uint32_t>(stats_.words -
+                                                       words_before),
+                            TraceEventKind::kRoundEnd, {}});
+}
+
+void Runner::drain_transport_trace() {
+  if (reliable_ == nullptr || trace_ == nullptr) return;
+  reliable_->drain_trace_events(invocations_, run_id_, *trace_);
+}
+
+void Runner::record_wall_spans(const char* region) {
+  for (std::size_t lane = 0; lane < worker_timings_.size(); ++lane) {
+    const ThreadPool::WorkerTiming& t = worker_timings_[lane];
+    if (!t.active) continue;
+    WallSpan span;
+    span.name = region;
+    span.run = run_id_;
+    span.round = round_;
+    span.worker = static_cast<int>(lane);
+    span.shards = t.shards;
+    span.start_us = trace_->to_us(t.start);
+    span.dur_us =
+        std::chrono::duration<double, std::micro>(t.end - t.start).count();
+    trace_->record_wall(std::move(span));
   }
 }
 
@@ -212,6 +269,7 @@ void Runner::invoke_nodes(Protocol& proto, bool first_round) {
   if (emissions_.size() < invocations_.size()) {
     emissions_.resize(invocations_.size());
   }
+  const bool wall = wall_clock_tracing();
   pool_->run(static_cast<int>(invocations_.size()), [&](int i) {
     const NodeId v = invocations_[static_cast<std::size_t>(i)];
     NodeEmission& em = emissions_[static_cast<std::size_t>(i)];
@@ -232,7 +290,8 @@ void Runner::invoke_nodes(Protocol& proto, bool first_round) {
     // deduplicated), so clearing its inbox here is race-free and recycles
     // the delivered messages into this worker's word pool.
     inbox_next_[static_cast<std::size_t>(v)].clear();
-  });
+  }, wall ? &worker_timings_ : nullptr);
+  if (wall) record_wall_spans("invoke");
 
   // Merge in invocation order: replaying buffered sends through enqueue_dir
   // assigns the exact seq_ numbers sequential execution would, and wake-ups
@@ -295,10 +354,11 @@ void Runner::settle_dir(std::size_t pos, std::vector<int>& still_active) {
   const Network::Direction& dir = net_.dirs_[static_cast<std::size_t>(dir_idx)];
   if (r.stalled) {
     ++stats_.stalled_rounds;
-    if (net_.trace_ != nullptr) {
-      net_.trace_->record(TraceEvent{
+    if (trace_ != nullptr) {
+      trace_->record(TraceEvent{
           run_id_, round_, dir.from, dir.to,
-          static_cast<std::uint32_t>(ds.queued_words), TraceEventKind::kStall});
+          static_cast<std::uint32_t>(ds.queued_words), TraceEventKind::kStall,
+          {}});
     }
     still_active.push_back(dir_idx);
     return;
@@ -322,14 +382,14 @@ void Runner::settle_dir(std::size_t pos, std::vector<int>& still_active) {
     if (lost) {
       ++stats_.dropped_messages;
       stats_.dropped_words += msg.size();
-      if (net_.trace_ != nullptr) {
-        net_.trace_->record(TraceEvent{run_id_, round_, dir.from, dir.to,
-                                       msg.size(), TraceEventKind::kDrop});
+      if (trace_ != nullptr) {
+        trace_->record(TraceEvent{run_id_, round_, dir.from, dir.to,
+                                  msg.size(), TraceEventKind::kDrop, {}});
       }
     } else {
-      if (net_.trace_ != nullptr) {
-        net_.trace_->record(TraceEvent{run_id_, round_, dir.from, dir.to,
-                                       msg.size()});
+      if (trace_ != nullptr) {
+        trace_->record(TraceEvent{run_id_, round_, dir.from, dir.to,
+                                  msg.size(), TraceEventKind::kDeliver, {}});
       }
       auto& box = inbox_next_[static_cast<std::size_t>(dir.to)];
       if (box.empty()) receivers_next_.push_back(dir.to);
@@ -358,10 +418,12 @@ void Runner::transmit_step() {
     // machine. Phase B sequentially, in active_dirs_ order: fault RNG, trace
     // events, deliveries, and stats replay exactly as sequential execution
     // interleaves them.
+    const bool wall = wall_clock_tracing();
     pool_->run(static_cast<int>(active_dirs_.size()), [&](int pos) {
       transmit_dir(active_dirs_[static_cast<std::size_t>(pos)],
                    dir_results_[static_cast<std::size_t>(pos)]);
-    });
+    }, wall ? &worker_timings_ : nullptr);
+    if (wall) record_wall_spans("transmit");
     for (std::size_t pos = 0; pos < active_dirs_.size(); ++pos) {
       settle_dir(pos, still_active);
     }
@@ -385,8 +447,12 @@ RunResult Runner::run() {
   for (NodeId v = 0; v < net_.n(); ++v) {
     if (!crashed_[static_cast<std::size_t>(v)]) invocations_.push_back(v);
   }
+  trace_round_begin();
   invoke_nodes(proto, /*first_round=*/true);
+  drain_transport_trace();
+  std::uint64_t words_before = stats_.words;
   transmit_step();
+  trace_round_end(words_before);
 
   std::vector<NodeId> active_nodes;
   std::vector<std::uint64_t> last_invoked(static_cast<std::size_t>(net_.n()),
@@ -436,9 +502,13 @@ RunResult Runner::run() {
       }
       invocations_.push_back(v);
     }
+    trace_round_begin();
     invoke_nodes(proto, /*first_round=*/false);
+    drain_transport_trace();
 
+    words_before = stats_.words;
     transmit_step();
+    trace_round_end(words_before);
   }
 
   // Rounds consumed = index of the last round with a transmission, 1-based

@@ -33,12 +33,12 @@
 #include "congest/faults.h"
 #include "congest/network.h"
 #include "congest/protocol.h"
+#include "congest/thread_pool.h"
 
 namespace mwc::congest {
 
 class Metrics;
 class ReliableProtocol;
-class ThreadPool;
 
 class Runner {
  public:
@@ -116,6 +116,18 @@ class Runner {
   void activate_dir(int dir_idx);
   void apply_due_crashes();
   void crash_node(NodeId v);
+  // Trace hooks (no-ops unless the attached Trace opts in). The round
+  // markers and the ARQ drain run on the host thread at fixed points of the
+  // round loop, so the emitted stream is bit-identical across thread counts.
+  void trace_round_begin();
+  void trace_round_end(std::uint64_t words_before);
+  void drain_transport_trace();
+  // Converts the pool's per-lane busy windows from the last parallel region
+  // into WallSpan records (side channel; wall-clock, non-deterministic).
+  void record_wall_spans(const char* region);
+  bool wall_clock_tracing() const {
+    return trace_ != nullptr && trace_->wall_clock_enabled();
+  }
 
   Network& net_;
   Protocol& proto_;
@@ -150,6 +162,12 @@ class Runner {
   std::vector<NodeEmission> emissions_;  // slot per invocation
   std::vector<DirTransmit> dir_results_; // slot per active direction
   std::vector<int> still_active_scratch_;
+  // Per-lane timing scratch for wall-clock tracing (reused every region).
+  std::vector<ThreadPool::WorkerTiming> worker_timings_;
+
+  // The Network's attached trace at construction (nullptr when detached);
+  // cached so per-event hooks don't chase the Network pointer.
+  Trace* trace_ = nullptr;
 
   // Metrics machinery (null / empty when no sink is attached). Per-direction
   // word totals feed the busiest-link congestion figures; everything is

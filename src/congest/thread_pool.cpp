@@ -7,7 +7,7 @@ namespace mwc::congest {
 ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads) {
   workers_.reserve(static_cast<std::size_t>(threads_ - 1));
   for (int i = 0; i < threads_ - 1; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, lane = i + 1] { worker_loop(lane); });
   }
 }
 
@@ -20,22 +20,34 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::drain(Batch& batch) {
+void ThreadPool::drain(Batch& batch, int lane) {
+  WorkerTiming* timing =
+      batch.timings != nullptr
+          ? &(*batch.timings)[static_cast<std::size_t>(lane)]
+          : nullptr;
   while (true) {
     const int shard = batch.next.fetch_add(1, std::memory_order_relaxed);
     if (shard >= batch.total) return;
+    if (timing != nullptr) {
+      if (!timing->active) {
+        timing->active = true;
+        timing->start = std::chrono::steady_clock::now();
+      }
+      ++timing->shards;
+    }
     try {
       (*batch.fn)(shard);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
       if (!batch.error) batch.error = std::current_exception();
     }
+    if (timing != nullptr) timing->end = std::chrono::steady_clock::now();
     std::lock_guard<std::mutex> lock(mu_);
     if (++batch.done == batch.total) done_cv_.notify_all();
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int lane) {
   std::uint64_t seen = 0;
   while (true) {
     std::shared_ptr<Batch> batch;
@@ -48,19 +60,31 @@ void ThreadPool::worker_loop() {
     }
     // A stale wake-up (batch already finished and retired) holds a batch
     // whose claim counter is exhausted; drain() then returns immediately.
-    if (batch != nullptr) drain(*batch);
+    if (batch != nullptr) drain(*batch, lane);
   }
 }
 
-void ThreadPool::run(int shards, const std::function<void(int)>& fn) {
+void ThreadPool::run(int shards, const std::function<void(int)>& fn,
+                     std::vector<WorkerTiming>* timings) {
+  if (timings != nullptr) {
+    timings->assign(static_cast<std::size_t>(threads_), WorkerTiming{});
+  }
   if (shards <= 0) return;
   if (threads_ == 1) {
+    WorkerTiming* timing = timings != nullptr ? timings->data() : nullptr;
+    if (timing != nullptr) {
+      timing->active = true;
+      timing->shards = shards;
+      timing->start = std::chrono::steady_clock::now();
+    }
     for (int i = 0; i < shards; ++i) fn(i);
+    if (timing != nullptr) timing->end = std::chrono::steady_clock::now();
     return;
   }
   auto batch = std::make_shared<Batch>();
   batch->fn = &fn;
   batch->total = shards;
+  batch->timings = timings;
   {
     std::lock_guard<std::mutex> lock(mu_);
     MWC_CHECK_MSG(batch_ == nullptr, "ThreadPool::run is not re-entrant");
@@ -68,7 +92,7 @@ void ThreadPool::run(int shards, const std::function<void(int)>& fn) {
     ++generation_;
   }
   work_cv_.notify_all();
-  drain(*batch);  // the calling thread is one of the `threads_` lanes
+  drain(*batch, 0);  // the calling thread is lane 0 of the `threads_` lanes
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(mu_);

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -35,6 +36,17 @@ namespace mwc::congest {
 
 class ThreadPool {
  public:
+  // Wall-clock busy window of one pool lane during one run() batch: from
+  // just before its first claimed shard to just after its last. Purely
+  // observational (trace timelines); `active` stays false for lanes that
+  // claimed no shard. Lane 0 is always the calling thread.
+  struct WorkerTiming {
+    std::chrono::steady_clock::time_point start{};
+    std::chrono::steady_clock::time_point end{};
+    int shards = 0;
+    bool active = false;
+  };
+
   // `threads` >= 1: total parallelism including the calling thread.
   explicit ThreadPool(int threads);
   ~ThreadPool();
@@ -44,8 +56,12 @@ class ThreadPool {
   int threads() const { return threads_; }
 
   // Runs fn(shard) for every shard in [0, shards), blocking until all
-  // complete. Must not be called re-entrantly from inside fn.
-  void run(int shards, const std::function<void(int)>& fn);
+  // complete. Must not be called re-entrantly from inside fn. When
+  // `timings` is non-null it is resized to threads() and slot i receives
+  // lane i's busy window for this batch (each lane writes only its own
+  // slot; the join barrier orders those writes before run() returns).
+  void run(int shards, const std::function<void(int)>& fn,
+           std::vector<WorkerTiming>* timings = nullptr);
 
  private:
   // One fork-join batch. Workers hold a shared_ptr, so a thread woken late
@@ -58,11 +74,14 @@ class ThreadPool {
     std::atomic<int> next{0};       // next shard to claim
     int done = 0;                   // guarded by mu_
     std::exception_ptr error;       // guarded by mu_
+    // Per-lane timing slots (nullptr = caller doesn't want timings).
+    std::vector<WorkerTiming>* timings = nullptr;
   };
 
-  void worker_loop();
-  // Claims and executes shards of `batch` until none remain.
-  void drain(Batch& batch);
+  void worker_loop(int lane);
+  // Claims and executes shards of `batch` until none remain; `lane` indexes
+  // this thread's timing slot.
+  void drain(Batch& batch, int lane);
 
   const int threads_;
   std::vector<std::thread> workers_;

@@ -1,18 +1,133 @@
 #include "congest/trace.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <sstream>
 
 #include "support/check.h"
 
 namespace mwc::congest {
 
-Trace::Trace(std::size_t capacity) : capacity_(capacity) {
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kDeliver: return "deliver";
+    case TraceEventKind::kDrop: return "drop";
+    case TraceEventKind::kStall: return "stall";
+    case TraceEventKind::kCrash: return "crash";
+    case TraceEventKind::kRunBegin: return "run_begin";
+    case TraceEventKind::kRoundBegin: return "round_begin";
+    case TraceEventKind::kRoundEnd: return "round_end";
+    case TraceEventKind::kPhaseBegin: return "phase_begin";
+    case TraceEventKind::kPhaseEnd: return "phase_end";
+    case TraceEventKind::kRetransmit: return "retransmit";
+    case TraceEventKind::kAck: return "ack";
+    case TraceEventKind::kQueuePeak: return "queue_peak";
+  }
+  return "unknown";
+}
+
+bool kind_from_string(std::string_view name, TraceEventKind& out) {
+  static constexpr TraceEventKind kAll[] = {
+      TraceEventKind::kDeliver,    TraceEventKind::kDrop,
+      TraceEventKind::kStall,      TraceEventKind::kCrash,
+      TraceEventKind::kRunBegin,   TraceEventKind::kRoundBegin,
+      TraceEventKind::kRoundEnd,   TraceEventKind::kPhaseBegin,
+      TraceEventKind::kPhaseEnd,   TraceEventKind::kRetransmit,
+      TraceEventKind::kAck,        TraceEventKind::kQueuePeak,
+  };
+  for (TraceEventKind k : kAll) {
+    if (name == to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string to_string(const TraceEvent& e) {
+  char head[64];
+  std::snprintf(head, sizeof(head), "run %" PRIu64 " round %" PRIu64 ": ",
+                e.run, e.round);
+  std::string out = head;
+  char buf[96];
+  switch (e.kind) {
+    case TraceEventKind::kCrash:
+      std::snprintf(buf, sizeof(buf), "node %d CRASHED", e.from);
+      return out + buf;
+    case TraceEventKind::kRunBegin:
+      return out + "RUN BEGIN";
+    case TraceEventKind::kRoundBegin:
+      std::snprintf(buf, sizeof(buf), "ROUND BEGIN invoked=%u", e.words);
+      return out + buf;
+    case TraceEventKind::kRoundEnd:
+      std::snprintf(buf, sizeof(buf), "ROUND END words=%u", e.words);
+      return out + buf;
+    case TraceEventKind::kPhaseBegin:
+      return out + "PHASE BEGIN '" + e.label + "'";
+    case TraceEventKind::kPhaseEnd:
+      return out + "PHASE END '" + e.label + "'";
+    case TraceEventKind::kQueuePeak:
+      std::snprintf(buf, sizeof(buf), "%d -> %d queue peak %uw", e.from, e.to,
+                    e.words);
+      return out + buf;
+    case TraceEventKind::kAck:
+      std::snprintf(buf, sizeof(buf), "%d -> %d ACK", e.from, e.to);
+      return out + buf;
+    default:
+      break;
+  }
+  std::snprintf(buf, sizeof(buf), "%d -> %d (%uw)", e.from, e.to, e.words);
+  out += buf;
+  if (e.kind == TraceEventKind::kDrop) out += " DROPPED";
+  if (e.kind == TraceEventKind::kStall) out += " STALLED";
+  if (e.kind == TraceEventKind::kRetransmit) out += " RETRANSMIT";
+  return out;
+}
+
+void append_json_quoted(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string to_jsonl(const TraceEvent& e) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"run\":%" PRIu64 ",\"round\":%" PRIu64
+                ",\"kind\":\"%s\",\"from\":%d,\"to\":%d,\"words\":%u,"
+                "\"label\":",
+                e.run, e.round, to_string(e.kind), e.from, e.to, e.words);
+  std::string out = buf;
+  append_json_quoted(out, e.label);
+  out += '}';
+  return out;
+}
+
+// ---- RingSink --------------------------------------------------------------
+
+RingSink::RingSink(std::size_t capacity) : capacity_(capacity) {
   MWC_CHECK(capacity >= 1);
   ring_.reserve(std::min<std::size_t>(capacity, 4096));
 }
 
-void Trace::record(const TraceEvent& event) {
+void RingSink::on_event(const TraceEvent& event) {
   ++total_;
   if (ring_.size() < capacity_) {
     ring_.push_back(event);
@@ -22,21 +137,65 @@ void Trace::record(const TraceEvent& event) {
   head_ = (head_ + 1) % capacity_;
 }
 
-std::size_t Trace::retained_count() const { return ring_.size(); }
-
-std::vector<TraceEvent> Trace::events() const {
+std::vector<TraceEvent> RingSink::events() const {
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
-  for (std::size_t i = 0; i < ring_.size(); ++i) {
-    out.push_back(ring_[(head_ + i) % ring_.size()]);
-  }
+  for (std::size_t i = 0; i < ring_.size(); ++i) out.push_back(at(i));
   return out;
+}
+
+// ---- JsonlSink -------------------------------------------------------------
+
+void JsonlSink::on_event(const TraceEvent& event) {
+  ++lines_;
+  std::string line = to_jsonl(event);
+  line += '\n';
+  if (str_out_ != nullptr) {
+    *str_out_ += line;
+  } else if (file_out_ != nullptr) {
+    std::fwrite(line.data(), 1, line.size(), file_out_);
+  }
+}
+
+void JsonlSink::flush() {
+  if (file_out_ != nullptr) std::fflush(file_out_);
+}
+
+// ---- Trace -----------------------------------------------------------------
+
+Trace::Trace(std::size_t capacity, TraceOptions options)
+    : options_(options), ring_(capacity),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+bool Trace::wants(TraceEventKind kind) const {
+  switch (kind) {
+    case TraceEventKind::kRunBegin: return options_.run_markers;
+    case TraceEventKind::kRoundBegin:
+    case TraceEventKind::kRoundEnd: return options_.round_markers;
+    case TraceEventKind::kPhaseBegin:
+    case TraceEventKind::kPhaseEnd: return options_.phase_markers;
+    case TraceEventKind::kRetransmit:
+    case TraceEventKind::kAck: return options_.transport_events;
+    case TraceEventKind::kQueuePeak: return options_.queue_peaks;
+    default: return true;
+  }
+}
+
+void Trace::record(const TraceEvent& event) {
+  ring_.on_event(event);
+  for (TraceSink* sink : sinks_) sink->on_event(event);
+}
+
+void Trace::add_sink(TraceSink* sink) {
+  MWC_CHECK(sink != nullptr);
+  sinks_.push_back(sink);
 }
 
 std::vector<TraceEvent> Trace::in_round(std::uint64_t run,
                                         std::uint64_t round) const {
   std::vector<TraceEvent> out;
-  for (const TraceEvent& e : events()) {
+  for (std::size_t i = 0; i < ring_.retained(); ++i) {
+    const TraceEvent& e = ring_.at(i);
     if (e.run == run && e.round == round) out.push_back(e);
   }
   return out;
@@ -45,7 +204,8 @@ std::vector<TraceEvent> Trace::in_round(std::uint64_t run,
 std::vector<std::pair<std::uint64_t, std::uint64_t>> Trace::round_profile(
     std::uint64_t run) const {
   std::vector<std::pair<std::uint64_t, std::uint64_t>> profile;
-  for (const TraceEvent& e : events()) {
+  for (std::size_t i = 0; i < ring_.retained(); ++i) {
+    const TraceEvent& e = ring_.at(i);
     if (e.run != run || e.kind != TraceEventKind::kDeliver) continue;
     if (!profile.empty() && profile.back().first == e.round) {
       profile.back().second += e.words;
@@ -58,32 +218,36 @@ std::vector<std::pair<std::uint64_t, std::uint64_t>> Trace::round_profile(
 
 std::vector<TraceEvent> Trace::fault_events(std::uint64_t run) const {
   std::vector<TraceEvent> out;
-  for (const TraceEvent& e : events()) {
-    if (e.run == run && e.kind != TraceEventKind::kDeliver) out.push_back(e);
+  for (std::size_t i = 0; i < ring_.retained(); ++i) {
+    const TraceEvent& e = ring_.at(i);
+    if (e.run != run) continue;
+    if (e.kind == TraceEventKind::kDrop || e.kind == TraceEventKind::kStall ||
+        e.kind == TraceEventKind::kCrash) {
+      out.push_back(e);
+    }
   }
   return out;
 }
 
 std::string Trace::to_string(std::size_t max_lines) const {
   std::ostringstream out;
-  std::size_t line = 0;
-  for (const TraceEvent& e : events()) {
-    if (line++ >= max_lines) {
-      out << "... (" << (retained_count() - max_lines) << " more)\n";
+  for (std::size_t i = 0; i < ring_.retained(); ++i) {
+    if (i >= max_lines) {
+      out << "... (" << (ring_.retained() - max_lines) << " more)\n";
       break;
     }
-    out << "run " << e.run << " round " << e.round << ": ";
-    if (e.kind == TraceEventKind::kCrash) {
-      out << "node " << e.from << " CRASHED\n";
-      continue;
-    }
-    out << e.from << " -> " << e.to << " (" << e.words << "w)";
-    if (e.kind == TraceEventKind::kDrop) out << " DROPPED";
-    if (e.kind == TraceEventKind::kStall) out << " STALLED";
-    out << "\n";
+    out << congest::to_string(ring_.at(i)) << "\n";
   }
   if (dropped() > 0) out << "[" << dropped() << " older events dropped]\n";
   return out.str();
+}
+
+void Trace::record_wall(WallSpan span) {
+  if (wall_.size() >= kMaxWallSpans) {
+    ++wall_dropped_;
+    return;
+  }
+  wall_.push_back(std::move(span));
 }
 
 }  // namespace mwc::congest

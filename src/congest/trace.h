@@ -1,15 +1,38 @@
-// Optional round-by-round event tracing.
+// Round-by-round event tracing behind pluggable sinks.
 //
-// Attach a Trace to a Network and every subsequent protocol run records
-// message deliveries (round, from, to, words) into a bounded ring buffer.
-// Intended for debugging protocols and for teaching material (the
-// quickstart of a new algorithm is usually "trace 20 rounds and look");
-// the engine's behaviour is unchanged and tracing costs nothing when
-// detached.
+// Attach a Trace to a Network and every subsequent protocol run records its
+// events. Storage is delegated to TraceSink implementations: the built-in
+// ring sink keeps the historical bounded-buffer behavior (debugging,
+// teaching material), while add_sink() fans every event out to additional
+// sinks - notably JsonlSink, which streams the *whole* event sequence
+// losslessly to a file in a stable one-object-per-line schema. The engine's
+// behaviour is unchanged and tracing costs nothing when detached.
+//
+// The deterministic event stream: every event below except the wall-clock
+// side channel is recorded on the engine's sequential (host-thread) paths,
+// in an order that is bit-identical between NetworkConfig::threads = 1 and
+// any N (see docs/simulator.md, "Execution model"). A JSONL trace of the
+// same seeded run is therefore byte-identical across thread counts - the
+// determinism suite and tools/trace_diff rely on exactly this.
+//
+// Beyond the original delivery/fault vocabulary, TraceOptions can enable
+// run markers, per-round begin/end markers, metrics phase spans, ARQ
+// transport events (retransmits/acks), and link-queue high-water samples.
+// All optional kinds default to off, so a plain Trace records exactly what
+// it always did.
+//
+// Wall-clock side channel: with TraceOptions::wall_clock the parallel
+// runner additionally records worker-thread busy spans (WallSpan). These
+// are real time, NOT deterministic, and never enter the event stream or
+// its JSONL serialization - they exist solely so the Perfetto exporter
+// (trace_export.h) can show a clearly-marked non-deterministic timeline of
+// where the simulator itself spent wall time.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/graph.h"
@@ -21,55 +44,191 @@ enum class TraceEventKind : std::uint8_t {
   kDrop,         // message fully transmitted, then lost to a fault
   kStall,        // a stall fault held back this direction's pending traffic
   kCrash,        // `from` crash-stopped this round (`to` unused)
+  // --- optional vocabulary (TraceOptions, default off) -----------------
+  kRunBegin,     // a protocol run id was issued (from/to/words unused)
+  kRoundBegin,   // an engine round started (words = nodes invoked)
+  kRoundEnd,     // an engine round finished (words = words moved in it)
+  kPhaseBegin,   // a metrics phase span opened (label = phase name)
+  kPhaseEnd,     // a metrics phase span closed (label = phase name)
+  kRetransmit,   // ARQ layer retransmitted a frame (words = frame size)
+  kAck,          // ARQ layer sent a cumulative ack (words = 1)
+  kQueuePeak,    // direction backlog hit a new run maximum (words = depth)
 };
+
+// Stable lowercase names ("deliver", "round_begin", ...) used by the JSONL
+// schema; kind_from_string is the inverse (false on unknown names).
+const char* to_string(TraceEventKind kind);
+bool kind_from_string(std::string_view name, TraceEventKind& out);
 
 struct TraceEvent {
   std::uint64_t run = 0;    // Network run counter at the time
-  std::uint64_t round = 0;  // engine round the message finished transmitting
+  std::uint64_t round = 0;  // engine round the event belongs to
   graph::NodeId from = graph::kNoNode;
   graph::NodeId to = graph::kNoNode;
   std::uint32_t words = 0;
   TraceEventKind kind = TraceEventKind::kDeliver;
+  // Phase name for kPhaseBegin/kPhaseEnd; empty otherwise.
+  std::string label;
 
   // Event-wise equality: the determinism suite compares whole traces of
   // parallel vs. sequential executions.
   friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
 
+// One-line human rendering ("run 0 round 3: 1 -> 2 (1w)"); no newline.
+std::string to_string(const TraceEvent& event);
+
+// One stable JSONL object (fixed key order, all keys always present, label
+// JSON-escaped; no newline):
+//   {"run":0,"round":3,"kind":"deliver","from":1,"to":2,"words":1,"label":""}
+std::string to_jsonl(const TraceEvent& event);
+
+// Appends `s` to `out` as a JSON string literal (quotes included), escaping
+// `"`, `\`, and every control character < 0x20.
+void append_json_quoted(std::string& out, std::string_view s);
+
+// Where recorded events go. Implementations must be cheap per event; the
+// engine calls on_event on its host thread only.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+  virtual void flush() {}
+};
+
+// The historical bounded ring: keeps the `capacity` most recent events.
+class RingSink final : public TraceSink {
+ public:
+  explicit RingSink(std::size_t capacity);
+
+  void on_event(const TraceEvent& event) override;
+
+  std::size_t total_recorded() const { return total_; }
+  std::size_t retained() const { return ring_.size(); }
+  std::size_t dropped() const { return total_ - ring_.size(); }
+  // i-th oldest retained event, i in [0, retained()).
+  const TraceEvent& at(std::size_t i) const {
+    return ring_[(head_ + i) % ring_.size()];
+  }
+  std::vector<TraceEvent> events() const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t total_ = 0;
+  std::size_t head_ = 0;  // next slot to overwrite once saturated
+  std::vector<TraceEvent> ring_;
+};
+
+// Streams every event as one JSONL line to `out`. Lossless: nothing is
+// dropped, nothing buffered beyond the stream's own buffering. Because the
+// event order is deterministic, the emitted bytes are identical across
+// thread counts for the same seeded execution.
+class JsonlSink final : public TraceSink {
+ public:
+  explicit JsonlSink(std::string& out) : str_out_(&out) {}
+  explicit JsonlSink(std::FILE* out) : file_out_(out) {}
+
+  void on_event(const TraceEvent& event) override;
+  void flush() override;
+  std::size_t lines_written() const { return lines_; }
+
+ private:
+  std::string* str_out_ = nullptr;
+  std::FILE* file_out_ = nullptr;
+  std::size_t lines_ = 0;
+};
+
+// Which optional event kinds the engine should emit. The four legacy kinds
+// (deliver/drop/stall/crash) are always recorded.
+struct TraceOptions {
+  bool run_markers = false;       // kRunBegin
+  bool round_markers = false;     // kRoundBegin / kRoundEnd
+  bool phase_markers = false;     // kPhaseBegin / kPhaseEnd
+  bool transport_events = false;  // kRetransmit / kAck
+  bool queue_peaks = false;       // kQueuePeak
+  // Wall-clock worker spans (side channel, non-deterministic; see above).
+  bool wall_clock = false;
+
+  // Everything on - what `mwc_cli run --trace` uses.
+  static TraceOptions full() {
+    return TraceOptions{true, true, true, true, true, true};
+  }
+};
+
+// One wall-clock busy span of a parallel-runner worker. Real time, never
+// part of the deterministic event stream.
+struct WallSpan {
+  std::string name;          // parallel region: "invoke" or "transmit"
+  std::uint64_t run = 0;
+  std::uint64_t round = 0;
+  int worker = 0;            // pool lane (0 = the calling thread)
+  int shards = 0;            // shards this worker processed in the region
+  double start_us = 0.0;     // µs since the Trace was constructed
+  double dur_us = 0.0;
+
+  friend bool operator==(const WallSpan&, const WallSpan&) = default;
+};
+
 class Trace {
  public:
-  // Keeps at most `capacity` most-recent events.
-  explicit Trace(std::size_t capacity = 1 << 16);
+  // The internal ring sink keeps at most `capacity` most-recent events.
+  explicit Trace(std::size_t capacity = 1 << 16,
+                 TraceOptions options = TraceOptions{});
 
+  // True when the engine should emit events of this kind (always true for
+  // the legacy deliver/drop/stall/crash vocabulary). Instrumentation sites
+  // check this before building an event.
+  bool wants(TraceEventKind kind) const;
+  const TraceOptions& options() const { return options_; }
+
+  // Fans the event out to the ring and every added sink.
   void record(const TraceEvent& event);
 
-  // Events in arrival order (oldest first among those retained).
-  std::vector<TraceEvent> events() const;
-  std::size_t total_recorded() const { return total_; }
-  std::size_t dropped() const { return total_ - retained_count(); }
+  // Additional sinks (not owned; must outlive the runs they observe).
+  void add_sink(TraceSink* sink);
+
+  // --- ring-backed queries (behavior unchanged from the pre-sink Trace) --
+  std::vector<TraceEvent> events() const { return ring_.events(); }
+  std::size_t total_recorded() const { return ring_.total_recorded(); }
+  std::size_t dropped() const { return ring_.dropped(); }
 
   // Events delivered in a given engine round of a given run.
   std::vector<TraceEvent> in_round(std::uint64_t run, std::uint64_t round) const;
 
   // Per-round delivered-word counts for a run: (round, words) pairs in
   // increasing round order - the "activity profile" of an execution.
-  // Counts kDeliver events only; fault events never inflate the profile.
+  // Counts kDeliver events only; no other kind inflates the profile.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> round_profile(
       std::uint64_t run) const;
 
-  // Retained fault events (kind != kDeliver) of a run, in arrival order.
+  // Retained fault events (kDrop/kStall/kCrash) of a run, in arrival order.
   std::vector<TraceEvent> fault_events(std::uint64_t run) const;
 
   // Human-readable dump (bounded by max_lines).
   std::string to_string(std::size_t max_lines = 100) const;
 
- private:
-  std::size_t retained_count() const;
+  // --- wall-clock side channel ------------------------------------------
+  bool wall_clock_enabled() const { return options_.wall_clock; }
+  void record_wall(WallSpan span);
+  const std::vector<WallSpan>& wall_spans() const { return wall_; }
+  std::size_t wall_dropped() const { return wall_dropped_; }
+  // µs elapsed since this Trace was constructed (steady clock).
+  double now_us() const { return to_us(std::chrono::steady_clock::now()); }
+  double to_us(std::chrono::steady_clock::time_point tp) const {
+    return std::chrono::duration<double, std::micro>(tp - epoch_).count();
+  }
 
-  std::size_t capacity_;
-  std::size_t total_ = 0;
-  std::size_t head_ = 0;  // next slot to overwrite once saturated
-  std::vector<TraceEvent> ring_;
+ private:
+  // Wall spans beyond this cap are counted but not kept (a multi-hour run
+  // would otherwise accumulate one span per worker per round forever).
+  static constexpr std::size_t kMaxWallSpans = std::size_t{1} << 20;
+
+  TraceOptions options_;
+  RingSink ring_;
+  std::vector<TraceSink*> sinks_;
+  std::vector<WallSpan> wall_;
+  std::size_t wall_dropped_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
 };
 
 }  // namespace mwc::congest

@@ -1,0 +1,553 @@
+#include "congest/trace_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <istream>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+namespace mwc::congest {
+namespace {
+
+// ---- strict JSONL cursor parser -------------------------------------------
+//
+// The writers (to_jsonl) emit a fixed key order with no whitespace, so the
+// decoders can be simple exact-prefix cursors instead of a JSON library.
+// Anything that deviates from the written schema is rejected with a message.
+
+struct Cursor {
+  std::string_view rest;
+  std::string* error;
+
+  bool fail(const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  }
+
+  bool lit(std::string_view expected) {
+    if (rest.substr(0, expected.size()) != expected) {
+      return fail("expected '" + std::string(expected) + "' at '" +
+                  std::string(rest.substr(0, 24)) + "'");
+    }
+    rest.remove_prefix(expected.size());
+    return true;
+  }
+
+  bool u64(std::uint64_t& out) {
+    std::size_t i = 0;
+    out = 0;
+    while (i < rest.size() && rest[i] >= '0' && rest[i] <= '9') {
+      std::uint64_t digit = static_cast<std::uint64_t>(rest[i] - '0');
+      if (out > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+        return fail("integer overflow");
+      }
+      out = out * 10 + digit;
+      ++i;
+    }
+    if (i == 0) return fail("expected digits at '" +
+                            std::string(rest.substr(0, 24)) + "'");
+    rest.remove_prefix(i);
+    return true;
+  }
+
+  bool i32(std::int32_t& out) {
+    bool neg = !rest.empty() && rest.front() == '-';
+    if (neg) rest.remove_prefix(1);
+    std::uint64_t mag = 0;
+    if (!u64(mag)) return false;
+    std::uint64_t limit =
+        neg ? std::uint64_t{1} << 31
+            : static_cast<std::uint64_t>(std::numeric_limits<std::int32_t>::max());
+    if (mag > limit) return fail("int32 out of range");
+    out = neg ? static_cast<std::int32_t>(-static_cast<std::int64_t>(mag))
+              : static_cast<std::int32_t>(mag);
+    return true;
+  }
+
+  bool u32(std::uint32_t& out) {
+    std::uint64_t wide = 0;
+    if (!u64(wide)) return false;
+    if (wide > std::numeric_limits<std::uint32_t>::max()) {
+      return fail("uint32 out of range");
+    }
+    out = static_cast<std::uint32_t>(wide);
+    return true;
+  }
+
+  // Non-negative decimal with optional fraction ("12.125").
+  bool f64(double& out) {
+    std::size_t i = 0;
+    while (i < rest.size() &&
+           ((rest[i] >= '0' && rest[i] <= '9') || rest[i] == '.' ||
+            rest[i] == '-')) {
+      ++i;
+    }
+    if (i == 0) return fail("expected number");
+    char* end = nullptr;
+    std::string buf(rest.substr(0, i));
+    out = std::strtod(buf.c_str(), &end);
+    if (end != buf.c_str() + buf.size()) return fail("bad number '" + buf + "'");
+    rest.remove_prefix(i);
+    return true;
+  }
+
+  // JSON string literal (leading quote already consumed by a lit("\"")?
+  // No - this consumes both quotes). Handles the escapes the writer emits.
+  bool str(std::string& out) {
+    if (rest.empty() || rest.front() != '"') return fail("expected string");
+    rest.remove_prefix(1);
+    out.clear();
+    while (!rest.empty()) {
+      char c = rest.front();
+      rest.remove_prefix(1);
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (rest.empty()) return fail("dangling escape");
+      char esc = rest.front();
+      rest.remove_prefix(1);
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (rest.size() < 4) return fail("truncated \\u escape");
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = rest[static_cast<std::size_t>(i)];
+            unsigned digit = 0;
+            if (h >= '0' && h <= '9') digit = static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') digit = 10u + static_cast<unsigned>(h - 'a');
+            else if (h >= 'A' && h <= 'F') digit = 10u + static_cast<unsigned>(h - 'A');
+            else return fail("bad \\u escape");
+            value = value * 16 + digit;
+          }
+          rest.remove_prefix(4);
+          if (value > 0x7f) {
+            // The writer only \u-escapes control characters; anything above
+            // ASCII passes through raw, so this is foreign input.
+            return fail("non-ASCII \\u escape not supported");
+          }
+          out += static_cast<char>(value);
+          break;
+        }
+        default: return fail(std::string("unknown escape \\") + esc);
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool done() {
+    if (!rest.empty()) {
+      return fail("trailing data '" + std::string(rest.substr(0, 24)) + "'");
+    }
+    return true;
+  }
+};
+
+std::string_view strip_line(std::string_view line) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  return line;
+}
+
+void append_f64(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out += buf;
+}
+
+// ---- Perfetto emission helpers --------------------------------------------
+
+// The deterministic process and its fixed threads (tracks).
+constexpr int kEnginePid = 0;
+constexpr int kTidRuns = 0;
+constexpr int kTidRounds = 1;
+constexpr int kTidPhases = 2;
+constexpr int kTidEvents = 3;
+// Wall-clock spans live in their own process so viewers can't mistake real
+// time for simulated rounds.
+constexpr int kWallPid = 1;
+
+class PerfettoWriter {
+ public:
+  explicit PerfettoWriter(std::string& out) : out_(out) {}
+
+  void begin_event() {
+    out_ += first_ ? "\n  {" : ",\n  {";
+    first_ = false;
+    first_field_ = true;
+  }
+  void end_event() { out_ += '}'; }
+
+  void field_str(std::string_view key, std::string_view value) {
+    key_prefix(key);
+    append_json_quoted(out_, value);
+  }
+  void field_u64(std::string_view key, std::uint64_t value) {
+    key_prefix(key);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    out_ += buf;
+  }
+  void field_i64(std::string_view key, std::int64_t value) {
+    key_prefix(key);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+    out_ += buf;
+  }
+  void field_f64(std::string_view key, double value) {
+    key_prefix(key);
+    append_f64(out_, value);
+  }
+  // Opens an "args" object; fields added until end_args are nested in it.
+  void begin_args() {
+    key_prefix("args");
+    out_ += '{';
+    first_field_ = true;
+  }
+  void end_args() {
+    out_ += '}';
+    first_field_ = false;
+  }
+
+  // Convenience: thread/process metadata record.
+  void metadata(int pid, int tid, std::string_view what, std::string_view name) {
+    begin_event();
+    field_str("ph", "M");
+    field_i64("pid", pid);
+    field_i64("tid", tid);
+    field_str("name", what);
+    begin_args();
+    field_str("name", name);
+    end_args();
+    end_event();
+  }
+
+ private:
+  void key_prefix(std::string_view key) {
+    if (!first_field_) out_ += ',';
+    first_field_ = false;
+    out_ += '"';
+    out_ += key;
+    out_ += "\":";
+  }
+
+  std::string& out_;
+  bool first_ = true;
+  bool first_field_ = true;
+};
+
+}  // namespace
+
+// ---- JSONL decoding --------------------------------------------------------
+
+bool parse_trace_jsonl(std::string_view line, TraceEvent& out,
+                       std::string* error) {
+  Cursor c{strip_line(line), error};
+  std::string kind_name;
+  TraceEvent e;
+  if (!c.lit("{\"run\":") || !c.u64(e.run)) return false;
+  if (!c.lit(",\"round\":") || !c.u64(e.round)) return false;
+  if (!c.lit(",\"kind\":") || !c.str(kind_name)) return false;
+  if (!kind_from_string(kind_name, e.kind)) {
+    return c.fail("unknown event kind '" + kind_name + "'");
+  }
+  if (!c.lit(",\"from\":") || !c.i32(e.from)) return false;
+  if (!c.lit(",\"to\":") || !c.i32(e.to)) return false;
+  if (!c.lit(",\"words\":") || !c.u32(e.words)) return false;
+  if (!c.lit(",\"label\":") || !c.str(e.label)) return false;
+  if (!c.lit("}") || !c.done()) return false;
+  out = std::move(e);
+  return true;
+}
+
+std::string to_jsonl(const WallSpan& span) {
+  std::string out = "{\"name\":";
+  append_json_quoted(out, span.name);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                ",\"run\":%" PRIu64 ",\"round\":%" PRIu64
+                ",\"worker\":%d,\"shards\":%d,\"start_us\":",
+                span.run, span.round, span.worker, span.shards);
+  out += buf;
+  append_f64(out, span.start_us);
+  out += ",\"dur_us\":";
+  append_f64(out, span.dur_us);
+  out += '}';
+  return out;
+}
+
+bool parse_wall_jsonl(std::string_view line, WallSpan& out,
+                      std::string* error) {
+  Cursor c{strip_line(line), error};
+  WallSpan s;
+  if (!c.lit("{\"name\":") || !c.str(s.name)) return false;
+  if (!c.lit(",\"run\":") || !c.u64(s.run)) return false;
+  if (!c.lit(",\"round\":") || !c.u64(s.round)) return false;
+  if (!c.lit(",\"worker\":") || !c.i32(s.worker)) return false;
+  if (!c.lit(",\"shards\":") || !c.i32(s.shards)) return false;
+  if (!c.lit(",\"start_us\":") || !c.f64(s.start_us)) return false;
+  if (!c.lit(",\"dur_us\":") || !c.f64(s.dur_us)) return false;
+  if (!c.lit("}") || !c.done()) return false;
+  out = std::move(s);
+  return true;
+}
+
+// ---- Perfetto export -------------------------------------------------------
+
+std::string perfetto_trace_json(std::span<const TraceEvent> events,
+                                std::span<const WallSpan> wall_spans) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  PerfettoWriter w(out);
+
+  w.metadata(kEnginePid, kTidRuns, "process_name",
+             "CONGEST engine (deterministic rounds, 1 round = 1us)");
+  w.metadata(kEnginePid, kTidRuns, "thread_name", "runs");
+  w.metadata(kEnginePid, kTidRounds, "thread_name", "rounds");
+  w.metadata(kEnginePid, kTidPhases, "thread_name", "phases");
+  w.metadata(kEnginePid, kTidEvents, "thread_name", "events");
+
+  // Global timeline: rounds are per-run clocks, so runs are laid out back to
+  // back. `base[run]` is assigned from the running cursor at the first event
+  // of that run; every engine event then lands at base[run] + round and
+  // pushes the cursor. Phase markers (which live *between* runs and carry no
+  // meaningful round) are pinned to the cursor itself.
+  std::uint64_t cursor = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> base, max_ts;
+  std::vector<std::uint64_t> run_order;
+
+  auto ts_of = [&](const TraceEvent& e) -> std::uint64_t {
+    if (e.kind == TraceEventKind::kPhaseBegin ||
+        e.kind == TraceEventKind::kPhaseEnd) {
+      return cursor;
+    }
+    auto [it, inserted] = base.try_emplace(e.run, cursor);
+    if (inserted) run_order.push_back(e.run);
+    std::uint64_t ts = it->second + e.round;
+    auto [mit, first] = max_ts.try_emplace(e.run, ts);
+    if (!first && ts > mit->second) mit->second = ts;
+    cursor = std::max(cursor, ts + 1);
+    return ts;
+  };
+
+  auto endpoint_args = [&](const TraceEvent& e) {
+    w.begin_args();
+    w.field_i64("from", e.from);
+    w.field_i64("to", e.to);
+    w.field_u64("words", e.words);
+    w.end_args();
+  };
+
+  for (const TraceEvent& e : events) {
+    std::uint64_t ts = ts_of(e);
+    char name[64];
+    switch (e.kind) {
+      case TraceEventKind::kRunBegin:
+        // Establishes the run's base; the run slice itself is emitted below.
+        break;
+      case TraceEventKind::kRoundBegin:
+        std::snprintf(name, sizeof(name), "round %" PRIu64, e.round);
+        w.begin_event();
+        w.field_str("ph", "X");
+        w.field_i64("pid", kEnginePid);
+        w.field_i64("tid", kTidRounds);
+        w.field_str("name", name);
+        w.field_str("cat", "round");
+        w.field_u64("ts", ts);
+        w.field_u64("dur", 1);
+        w.begin_args();
+        w.field_u64("invoked", e.words);
+        w.field_u64("run", e.run);
+        w.end_args();
+        w.end_event();
+        break;
+      case TraceEventKind::kRoundEnd:
+        // Words moved this round, as a counter track.
+        w.begin_event();
+        w.field_str("ph", "C");
+        w.field_i64("pid", kEnginePid);
+        w.field_i64("tid", kTidRounds);
+        w.field_str("name", "words moved");
+        w.field_u64("ts", ts);
+        w.begin_args();
+        w.field_u64("words", e.words);
+        w.end_args();
+        w.end_event();
+        break;
+      case TraceEventKind::kPhaseBegin:
+      case TraceEventKind::kPhaseEnd:
+        w.begin_event();
+        w.field_str("ph", e.kind == TraceEventKind::kPhaseBegin ? "B" : "E");
+        w.field_i64("pid", kEnginePid);
+        w.field_i64("tid", kTidPhases);
+        w.field_str("name", e.label);
+        w.field_str("cat", "phase");
+        w.field_u64("ts", ts);
+        w.end_event();
+        break;
+      default:
+        // deliver / drop / stall / crash / retransmit / ack / queue_peak:
+        // instant events on the events track, named by kind.
+        w.begin_event();
+        w.field_str("ph", "i");
+        w.field_i64("pid", kEnginePid);
+        w.field_i64("tid", kTidEvents);
+        w.field_str("name", congest::to_string(e.kind));
+        w.field_str("cat", "event");
+        w.field_str("s", "t");
+        w.field_u64("ts", ts);
+        endpoint_args(e);
+        w.end_event();
+        break;
+    }
+  }
+
+  for (std::uint64_t run : run_order) {
+    char name[48];
+    std::snprintf(name, sizeof(name), "run %" PRIu64, run);
+    w.begin_event();
+    w.field_str("ph", "X");
+    w.field_i64("pid", kEnginePid);
+    w.field_i64("tid", kTidRuns);
+    w.field_str("name", name);
+    w.field_str("cat", "run");
+    w.field_u64("ts", base[run]);
+    w.field_u64("dur", max_ts[run] - base[run] + 1);
+    w.end_event();
+  }
+
+  if (!wall_spans.empty()) {
+    w.metadata(kWallPid, 0, "process_name",
+               "parallel runner wall clock [NON-DETERMINISTIC]");
+    std::unordered_map<int, bool> named;
+    for (const WallSpan& s : wall_spans) {
+      if (!named[s.worker]) {
+        named[s.worker] = true;
+        char tname[48];
+        std::snprintf(tname, sizeof(tname), "%s %d",
+                      s.worker == 0 ? "host lane" : "worker", s.worker);
+        w.metadata(kWallPid, s.worker, "thread_name", tname);
+      }
+      w.begin_event();
+      w.field_str("ph", "X");
+      w.field_i64("pid", kWallPid);
+      w.field_i64("tid", s.worker);
+      w.field_str("name", s.name);
+      w.field_str("cat", "wall");
+      w.field_f64("ts", s.start_us);
+      w.field_f64("dur", s.dur_us);
+      w.begin_args();
+      w.field_u64("run", s.run);
+      w.field_u64("round", s.round);
+      w.field_i64("shards", s.shards);
+      w.end_args();
+      w.end_event();
+    }
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+// ---- first-divergence diff -------------------------------------------------
+
+TraceDiff diff_traces(std::istream& a, std::istream& b, int context_lines) {
+  if (context_lines < 0) context_lines = 0;
+  TraceDiff diff;
+  std::deque<std::string> context;
+  std::string la, lb;
+  std::size_t line_no = 0;
+  for (;;) {
+    bool have_a = static_cast<bool>(std::getline(a, la));
+    bool have_b = static_cast<bool>(std::getline(b, lb));
+    ++line_no;
+    if (!have_a && !have_b) {
+      diff.common_lines = line_no - 1;
+      diff.context.assign(context.begin(), context.end());
+      return diff;  // identical
+    }
+    if (have_a && have_b && la == lb) {
+      context.push_back(la);
+      if (context.size() > static_cast<std::size_t>(context_lines)) {
+        context.pop_front();
+      }
+      continue;
+    }
+    diff.diverged = true;
+    diff.first_diverging_line = line_no;
+    diff.common_lines = line_no - 1;
+    diff.a_line = have_a ? la : std::string();
+    diff.b_line = have_b ? lb : std::string();
+    diff.context.assign(context.begin(), context.end());
+    for (int i = 0; i < context_lines && std::getline(a, la); ++i) {
+      diff.a_after.push_back(la);
+    }
+    for (int i = 0; i < context_lines && std::getline(b, lb); ++i) {
+      diff.b_after.push_back(lb);
+    }
+    return diff;
+  }
+}
+
+namespace {
+
+// "  A| <raw line>" plus a decoded rendering when the line parses.
+void describe_line(std::ostringstream& out, std::string_view tag,
+                   const std::string& line) {
+  out << "  " << tag << "| ";
+  if (line.empty()) {
+    out << "<end of trace>\n";
+    return;
+  }
+  out << line << "\n";
+  TraceEvent e;
+  if (parse_trace_jsonl(line, e)) {
+    out << "  " << tag << "= " << congest::to_string(e) << "\n";
+  }
+}
+
+}  // namespace
+
+std::string to_string(const TraceDiff& diff) {
+  std::ostringstream out;
+  if (!diff.diverged) {
+    out << "traces identical (" << diff.common_lines << " events)\n";
+    return out.str();
+  }
+  out << "traces diverge at event " << diff.first_diverging_line << " ("
+      << diff.common_lines << " identical events before)\n";
+  if (!diff.context.empty()) {
+    out << "common context:\n";
+    for (const std::string& line : diff.context) {
+      TraceEvent e;
+      if (parse_trace_jsonl(line, e)) {
+        out << "   | " << congest::to_string(e) << "\n";
+      } else {
+        out << "   | " << line << "\n";
+      }
+    }
+  }
+  out << "first divergence:\n";
+  describe_line(out, "A", diff.a_line);
+  describe_line(out, "B", diff.b_line);
+  if (!diff.a_after.empty() || !diff.b_after.empty()) {
+    out << "following events:\n";
+    for (const std::string& line : diff.a_after) describe_line(out, "A", line);
+    for (const std::string& line : diff.b_after) describe_line(out, "B", line);
+  }
+  return out.str();
+}
+
+}  // namespace mwc::congest

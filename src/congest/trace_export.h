@@ -1,0 +1,82 @@
+// Offline trace tooling: JSONL parsing, Chrome/Perfetto timeline export,
+// and first-divergence diffing of recorded traces.
+//
+// The JSONL format written by JsonlSink (trace.h) is this library's
+// interchange format for whole executions: deterministic, byte-identical
+// across thread counts, one event per line. This header provides the three
+// consumers that make it useful after the run is gone:
+//
+//   * parse_trace_jsonl / parse_wall_jsonl - strict decoders of the event
+//     and wall-span line schemas (the exact inverse of to_jsonl);
+//   * perfetto_trace_json - renders a recorded execution as a Chrome
+//     trace-event JSON that opens directly in ui.perfetto.dev: per-round
+//     slices, runs, nested metrics phase spans, delivery/fault/transport
+//     instants, a delivered-words counter track, and (when wall spans are
+//     supplied) a separate, clearly-marked NON-DETERMINISTIC process with
+//     the parallel runner's worker-thread busy slices;
+//   * diff_traces - streams two JSONL traces and reports the first
+//     diverging event with surrounding context, turning the determinism
+//     suites' pass/fail bit into a debugging story (tools/trace_diff is a
+//     thin CLI over this).
+//
+// Timeline semantics: the deterministic process uses *rounds* as its clock
+// (1 round = 1 µs tick); runs on the same Network are laid out back to
+// back in recorded order. The wall-clock process uses real microseconds
+// since Trace construction. The two processes therefore share a file, not
+// a time base - which is the honest rendering, since simulated rounds have
+// no wall duration.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "congest/trace.h"
+
+namespace mwc::congest {
+
+// Decodes one JSONL line produced by to_jsonl(TraceEvent). Strict: the
+// fixed key order of the writer is required. Returns false (and sets
+// *error when non-null) on any mismatch.
+bool parse_trace_jsonl(std::string_view line, TraceEvent& out,
+                       std::string* error = nullptr);
+
+// Wall-span sidecar codec (one span per line, fixed key order):
+//   {"name":"invoke","run":0,"round":3,"worker":1,"shards":40,
+//    "start_us":12.125,"dur_us":40.500}
+std::string to_jsonl(const WallSpan& span);
+bool parse_wall_jsonl(std::string_view line, WallSpan& out,
+                      std::string* error = nullptr);
+
+// Renders events (and optionally wall spans) as Chrome trace-event JSON
+// ({"displayTimeUnit":...,"traceEvents":[...]}) for ui.perfetto.dev /
+// chrome://tracing. Events must be in recorded order.
+std::string perfetto_trace_json(std::span<const TraceEvent> events,
+                                std::span<const WallSpan> wall_spans = {});
+
+// First divergence between two JSONL traces, compared line by line.
+struct TraceDiff {
+  bool diverged = false;
+  // 1-based line (= event index + 1) of the first difference; 0 when the
+  // streams are identical.
+  std::size_t first_diverging_line = 0;
+  std::size_t common_lines = 0;      // length of the identical prefix
+  std::string a_line, b_line;        // the diverging lines; "" = stream ended
+  std::vector<std::string> context;  // last common lines before divergence
+  std::vector<std::string> a_after, b_after;  // lines following the divergence
+
+  bool identical() const { return !diverged; }
+};
+
+// Streams both inputs once; keeps at most `context_lines` lines of common
+// prefix and of each post-divergence tail.
+TraceDiff diff_traces(std::istream& a, std::istream& b, int context_lines = 3);
+
+// Human-readable report of a diff ("traces identical (N events)" or the
+// first divergence with context, decoded back into event form when the
+// lines parse).
+std::string to_string(const TraceDiff& diff);
+
+}  // namespace mwc::congest

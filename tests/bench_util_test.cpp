@@ -1,0 +1,71 @@
+// bench_util.h helpers: JSON string quoting must be injection-proof for
+// arbitrary note/title bytes, and JsonLog::render() must stay valid JSON
+// when such strings land in it.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "../bench/bench_util.h"
+
+namespace mwc::bench {
+namespace {
+
+TEST(JsonQuote, PlainStringsPassThroughQuoted) {
+  EXPECT_EQ(json_quote(""), "\"\"");
+  EXPECT_EQ(json_quote("girth approx"), "\"girth approx\"");
+  EXPECT_EQ(json_quote("n=100 m=250"), "\"n=100 m=250\"");
+}
+
+TEST(JsonQuote, NamedEscapes) {
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_quote("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(json_quote("a\tb"), "\"a\\tb\"");
+  EXPECT_EQ(json_quote("a\rb"), "\"a\\rb\"");
+}
+
+TEST(JsonQuote, EveryControlByteEscaped) {
+  for (int c = 0; c < 0x20; ++c) {
+    std::string in(1, static_cast<char>(c));
+    std::string out = json_quote(in);
+    // No raw control byte survives into the literal.
+    for (char ch : out) {
+      EXPECT_GE(static_cast<unsigned char>(ch), 0x20u)
+          << "raw control byte for c=" << c;
+    }
+    // The escape is either a named one or the \u00XX form.
+    if (c == '\n' || c == '\t' || c == '\r') {
+      EXPECT_EQ(out.size(), 4u) << "c=" << c;  // "\X"
+    } else {
+      char expect[16];
+      std::snprintf(expect, sizeof(expect), "\"\\u%04x\"", c);
+      EXPECT_EQ(out, expect) << "c=" << c;
+    }
+  }
+}
+
+TEST(JsonQuote, EmbeddedEscapeSequenceStaysLiteral) {
+  // A note already containing backslash-n must not be double-unescaped.
+  EXPECT_EQ(json_quote("raw \\n text"), "\"raw \\\\n text\"");
+}
+
+TEST(JsonLog, RenderEscapesHostileNotes) {
+  JsonLog log("quote_test");
+  log.discard();  // render-only: no BENCH_*.json side effect
+  log.begin_section("terminal \x1b[31mred\x1b[0m");
+  log.add_note("line one\nline two\twith \"quotes\"");
+  log.add_metric("ok", 1.0);
+  std::string out = log.render();
+  // Control bytes are escaped, not embedded.
+  for (char c : out) {
+    if (c == '\n') continue;  // the renderer's own pretty-printing newlines
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+  EXPECT_NE(out.find("\\u001b[31mred"), std::string::npos);
+  EXPECT_NE(out.find("line one\\nline two\\twith \\\"quotes\\\""),
+            std::string::npos);
+  EXPECT_NE(out.find("\"ok\": 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mwc::bench

@@ -336,16 +336,6 @@ TEST(NetworkStats, MatchesAccumulatedCountersAndCompares) {
   EXPECT_EQ(s.cut_words, 0u);
   EXPECT_EQ(s.runs, 1u);
 
-  // The deprecated forwarders still answer (external callers mid-migration).
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_EQ(net.total_rounds(), s.rounds);
-  EXPECT_EQ(net.total_messages(), s.messages);
-  EXPECT_EQ(net.total_words(), s.words);
-  EXPECT_EQ(net.cut_words(), s.cut_words);
-  EXPECT_EQ(net.run_counter(), s.runs);
-#pragma GCC diagnostic pop
-
   Burst more(1);
   run_protocol(net, more);
   EXPECT_NE(net.stats(), s);  // value semantics: the old copy is a snapshot

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "congest/multi_bfs.h"
@@ -36,9 +37,14 @@ Graph test_graph(std::uint64_t seed, int n = 48, int m = 110) {
   return graph::random_connected(n, m, WeightRange{1, 9}, rng);
 }
 
-// Everything observable about an execution.
+// Everything observable about an execution. `jsonl` is the whole streamed
+// event sequence serialized by a JsonlSink - with the full event vocabulary
+// enabled (run/round markers, transport events, queue peaks) - so the
+// byte-identity claim covers every extended event kind, not just the ring's
+// retained window.
 struct Artifacts {
   std::vector<TraceEvent> events;
+  std::string jsonl;
   RunStats net_totals;  // Network accumulators, packed into a RunStats
   graph::Weight value = 0;
 
@@ -49,10 +55,14 @@ template <typename Body>
 Artifacts run_scenario(const Graph& g, std::uint64_t seed, NetworkConfig cfg,
                        int threads, const Body& body) {
   cfg.threads = threads;
-  Trace trace(std::size_t{1} << 22);
+  TraceOptions options = TraceOptions::full();
+  options.wall_clock = false;  // side channel; never part of the comparison
+  Trace trace(std::size_t{1} << 22, options);
+  Artifacts a;
+  JsonlSink jsonl(a.jsonl);
+  trace.add_sink(&jsonl);
   Network net(g, seed, cfg);
   net.attach_trace(&trace);
-  Artifacts a;
   a.value = body(net);
   a.events = trace.events();
   a.net_totals.rounds = net.stats().rounds;
@@ -74,6 +84,8 @@ void expect_bit_identical(const Graph& g, std::uint64_t seed,
     ASSERT_EQ(got.events.size(), ref.events.size()) << "threads=" << threads;
     EXPECT_TRUE(got.events == ref.events)
         << "trace diverged at threads=" << threads;
+    // Byte identity of the streamed JSONL, the format trace_diff consumes.
+    EXPECT_EQ(got.jsonl, ref.jsonl) << "JSONL diverged at threads=" << threads;
   }
 }
 

@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+#include <string>
+
+#include "congest/metrics.h"
 #include "congest/multi_bfs.h"
 #include "congest/network.h"
 #include "congest/runner.h"
 #include "congest/trace.h"
+#include "congest/trace_export.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "support/rng.h"
@@ -119,6 +125,136 @@ TEST(Trace, ToStringBounded) {
   std::string dump = trace.to_string(/*max_lines=*/2);
   EXPECT_NE(dump.find("0 -> 1"), std::string::npos);
   EXPECT_NE(dump.find("more)"), std::string::npos);
+}
+
+// ---- sink fan-out ----------------------------------------------------------
+
+class CountingSink final : public TraceSink {
+ public:
+  void on_event(const TraceEvent& event) override {
+    ++count_;
+    last_ = event;
+  }
+  std::size_t count() const { return count_; }
+  const TraceEvent& last() const { return last_; }
+
+ private:
+  std::size_t count_ = 0;
+  TraceEvent last_;
+};
+
+TEST(TraceSinks, FanOutSeesEveryEvent) {
+  Graph g = directed_path(5);
+  Network net(g, 1);
+  Trace trace(/*capacity=*/2);  // tiny ring; sinks still get everything
+  CountingSink counting;
+  std::string jsonl;
+  JsonlSink streaming(jsonl);
+  trace.add_sink(&counting);
+  trace.add_sink(&streaming);
+  net.attach_trace(&trace);
+  MultiBfsParams params;
+  params.sources = {0};
+  run_multi_bfs(net, params);
+
+  EXPECT_EQ(trace.total_recorded(), 4u);
+  EXPECT_EQ(trace.dropped(), 2u);  // the ring lost events...
+  EXPECT_EQ(counting.count(), 4u);            // ...the sinks did not
+  EXPECT_EQ(streaming.lines_written(), 4u);
+  EXPECT_EQ(counting.last().to, 4);
+}
+
+TEST(TraceSinks, JsonlRoundTripsThroughParser) {
+  TraceEvent e{3, 17, 2, 5, 9, TraceEventKind::kPhaseBegin,
+               "weird \"label\"\n\twith\x01 controls"};
+  std::string line = to_jsonl(e);
+  TraceEvent back;
+  std::string error;
+  ASSERT_TRUE(parse_trace_jsonl(line, back, &error)) << error;
+  EXPECT_EQ(back, e);
+  // Control bytes never appear raw in the serialized line.
+  for (char c : line) EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+}
+
+// ---- extended vocabulary ---------------------------------------------------
+
+TEST(TraceVocabulary, DefaultOptionsEmitLegacyKindsOnly) {
+  support::Rng rng(4);
+  Graph g = graph::random_connected(24, 60, graph::WeightRange{1, 3}, rng);
+  NetworkConfig cfg;
+  cfg.faults.drop_prob = 0.2;
+  cfg.reliable_transport = true;
+  Network net(g, 11, cfg);
+  Trace trace;  // default TraceOptions: every optional kind off
+  net.attach_trace(&trace);
+  {
+    PhaseSpan span(net, "bfs");  // no phase markers without opt-in
+    MultiBfsParams params;
+    params.sources = {0};
+    run_multi_bfs(net, params);
+  }
+  for (const TraceEvent& e : trace.events()) {
+    EXPECT_TRUE(e.kind == TraceEventKind::kDeliver ||
+                e.kind == TraceEventKind::kDrop ||
+                e.kind == TraceEventKind::kStall ||
+                e.kind == TraceEventKind::kCrash)
+        << "unexpected kind " << to_string(e.kind);
+  }
+}
+
+TEST(TraceVocabulary, FullOptionsEmitWholeVocabulary) {
+  support::Rng rng(4);
+  Graph g = graph::random_connected(24, 60, graph::WeightRange{1, 3}, rng);
+  NetworkConfig cfg;
+  cfg.faults.drop_prob = 0.2;
+  cfg.reliable_transport = true;
+  Network net(g, 11, cfg);
+  Trace trace(std::size_t{1} << 20, TraceOptions::full());
+  net.attach_trace(&trace);
+  RunStats stats;
+  {
+    PhaseSpan span(net, "bfs");
+    MultiBfsParams params;
+    params.sources = {0};
+    run_multi_bfs(net, params, &stats);
+  }
+  ASSERT_GT(stats.dropped_words, 0u) << "scenario produced no drops";
+
+  std::set<TraceEventKind> kinds;
+  for (const TraceEvent& e : trace.events()) kinds.insert(e.kind);
+  EXPECT_TRUE(kinds.count(TraceEventKind::kRunBegin));
+  EXPECT_TRUE(kinds.count(TraceEventKind::kRoundBegin));
+  EXPECT_TRUE(kinds.count(TraceEventKind::kRoundEnd));
+  EXPECT_TRUE(kinds.count(TraceEventKind::kDeliver));
+  EXPECT_TRUE(kinds.count(TraceEventKind::kDrop));
+  EXPECT_TRUE(kinds.count(TraceEventKind::kRetransmit));
+  EXPECT_TRUE(kinds.count(TraceEventKind::kAck));
+  EXPECT_TRUE(kinds.count(TraceEventKind::kQueuePeak));
+
+  // The PhaseSpan bridge recorded paired, labeled markers - the explicit
+  // "bfs" span plus run_multi_bfs's own internal "multi_bfs" span.
+  std::map<std::string, int> begins, ends;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind == TraceEventKind::kPhaseBegin) ++begins[e.label];
+    if (e.kind == TraceEventKind::kPhaseEnd) ++ends[e.label];
+  }
+  EXPECT_EQ(begins, ends);  // every opened span closed, label-wise
+  EXPECT_EQ(begins["bfs"], 1);
+  EXPECT_EQ(begins["multi_bfs"], 1);
+
+  // round_profile stays a pure kDeliver aggregation: words delivered, not
+  // inflated by markers or transport events.
+  auto profile = trace.round_profile(0);
+  std::uint64_t total = 0;
+  for (auto [round, words] : profile) total += words;
+  EXPECT_EQ(total, stats.words - stats.dropped_words);
+
+  // Every event kind name round-trips through the string mapping.
+  for (TraceEventKind k : kinds) {
+    TraceEventKind back;
+    ASSERT_TRUE(kind_from_string(to_string(k), back));
+    EXPECT_EQ(back, k);
+  }
 }
 
 }  // namespace

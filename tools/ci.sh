@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# CI driver: plain build + tests, an ASan/UBSan build + tests, and a TSan
-# build exercising the parallel engine.
+# CI driver: plain build + tests, an ASan/UBSan build + tests, a TSan build
+# exercising the parallel engine, the examples/metrics smoke, and a trace
+# pipeline smoke (JSONL capture, trace_diff, Perfetto export).
 #
 #   tools/ci.sh            all stages
 #   tools/ci.sh plain      plain stage only
 #   tools/ci.sh sanitize   ASan/UBSan stage only
 #   tools/ci.sh tsan       ThreadSanitizer stage only
 #   tools/ci.sh examples   examples + CLI metrics smoke only
+#   tools/ci.sh trace      trace capture / diff / Perfetto export smoke only
 #
 # Stages use separate build trees (build-ci/, build-ci-asan/, build-ci-tsan/)
 # so they never poison an incremental developer build/.
@@ -88,6 +90,60 @@ print("ci: metrics JSON valid,", len(snap["phases"]), "phases")
 EOF
   else
     echo "ci: python3 not found, skipping JSON schema check"
+  fi
+fi
+
+if [[ "$stage" == "all" || "$stage" == "trace" ]]; then
+  echo "=== trace capture / diff / Perfetto export smoke ==="
+  # End-to-end over the observability pipeline: record a JSONL trace, assert
+  # byte-identity across thread counts, check trace_diff's both verdicts,
+  # and validate the exported Chrome/Perfetto JSON. The divergent pair must
+  # use a fault plan - the fault schedule is seed-derived, whereas `run auto`
+  # itself is deterministic and traces identically across network seeds.
+  dir=build-ci
+  cmake -B "$dir" -S . -DCONGEST_MWC_WERROR=ON
+  cmake --build "$dir" -j "$jobs" --target mwc_cli trace_diff
+  work="$dir/trace-smoke"
+  mkdir -p "$work"
+  cli="$dir/tools/mwc_cli"
+  tdiff="$dir/tools/trace_diff"
+  "$cli" gen cycle-chords 96 8 3 "$work/smoke.graph"
+
+  "$cli" run auto "$work/smoke.graph" 5 --trace="$work/t1.jsonl" > /dev/null
+  "$cli" run auto "$work/smoke.graph" 5 --threads=8 \
+    --trace="$work/t8.jsonl" > /dev/null
+  cmp "$work/t1.jsonl" "$work/t8.jsonl" \
+    || { echo "ci: JSONL trace differs between --threads=1 and 8"; exit 1; }
+  "$tdiff" "$work/t1.jsonl" "$work/t8.jsonl" \
+    || { echo "ci: trace_diff flagged identical traces"; exit 1; }
+  [[ -s "$work/t8.jsonl.wall" ]] \
+    || { echo "ci: threaded run wrote no wall-clock sidecar"; exit 1; }
+
+  "$cli" run auto "$work/smoke.graph" 5 --fault-drop-prob=0.05 \
+    --trace="$work/d5.jsonl" > /dev/null
+  "$cli" run auto "$work/smoke.graph" 6 --fault-drop-prob=0.05 \
+    --trace="$work/d6.jsonl" > /dev/null
+  if "$tdiff" "$work/d5.jsonl" "$work/d6.jsonl" > "$work/diff.txt"; then
+    echo "ci: trace_diff missed a seed divergence"; exit 1
+  fi
+  grep -q "first divergence" "$work/diff.txt" \
+    || { echo "ci: trace_diff report lacks the divergence line"; exit 1; }
+
+  "$cli" trace export "$work/t8.jsonl" "$work/t8.perfetto.json" \
+    --wall="$work/t8.jsonl.wall" > /dev/null
+  if command -v python3 > /dev/null; then
+    python3 - "$work/t8.perfetto.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "no trace events exported"
+phs = {e["ph"] for e in events}
+assert {"M", "X", "i", "C"} <= phs, f"missing event types: {phs}"
+assert any(e.get("pid") == 1 for e in events), "wall-clock process missing"
+print("ci: perfetto JSON valid,", len(events), "events")
+EOF
+  else
+    echo "ci: python3 not found, skipping Perfetto JSON check"
   fi
 fi
 

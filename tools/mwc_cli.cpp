@@ -25,7 +25,16 @@
 //       approximation slack of the weighted classes; --metrics prints the
 //       per-phase metrics JSON (congest/metrics.h) to stdout,
 //       --metrics=FILE writes it to FILE. The JSON is byte-identical across
-//       --threads values on the same seed.
+//       --threads values on the same seed. --trace[=FILE] streams the full
+//       deterministic event sequence (every kind enabled) as JSONL to FILE
+//       (default trace.jsonl); with --threads>1 a FILE.wall sidecar
+//       additionally records the non-deterministic worker wall-clock spans.
+//       The JSONL is byte-identical across --threads values on the same
+//       seed - diff two with trace_diff.
+//   mwc_cli trace export <in.jsonl> <out.perfetto.json> [--wall=FILE]
+//       converts a recorded JSONL trace into Chrome/Perfetto trace-event
+//       JSON (open at ui.perfetto.dev); --wall folds a .wall sidecar in as
+//       a separate, clearly-marked non-deterministic process.
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime errors (bad
 // input files, aborted runs).
@@ -37,6 +46,8 @@
 
 #include "congest/metrics.h"
 #include "congest/network.h"
+#include "congest/trace.h"
+#include "congest/trace_export.h"
 #include "mwc/api.h"
 #include "graph/generators.h"
 #include "graph/io.h"
@@ -63,7 +74,10 @@ int usage() {
                "  mwc_cli run <auto|approx|exact|girth-approx|girth-prt|"
                "directed-2approx|weighted-undirected|weighted-directed>"
                " <graph-file> <seed> [--max-rounds=N] [--fault-drop-prob=P]"
-               " [--threads=T] [--epsilon=E] [--metrics[=FILE]]\n");
+               " [--threads=T] [--epsilon=E] [--metrics[=FILE]]"
+               " [--trace[=FILE]]\n"
+               "  mwc_cli trace export <in.jsonl> <out.perfetto.json>"
+               " [--wall=FILE]\n");
   return 1;
 }
 
@@ -118,7 +132,7 @@ int cmd_info(int argc, char** argv) {
 
 int cmd_run(int argc, char** argv) {
   support::Flags flags(argc, argv, {"max-rounds", "fault-drop-prob", "threads",
-                                    "epsilon", "metrics"});
+                                    "epsilon", "metrics", "trace"});
   if (!flags.unknown_flags().empty()) {
     std::fprintf(stderr, "unknown flag: --%s\n",
                  flags.unknown_flags()[0].c_str());
@@ -159,7 +173,30 @@ int cmd_run(int argc, char** argv) {
     const std::string v = flags.get("metrics", "");
     return v == "true" ? "" : v;
   }();
+  const bool want_trace = flags.has("trace");
+  // Bare --trace parses as the value "true": use the default file name.
+  const std::string trace_file = [&]() -> std::string {
+    const std::string v = flags.get("trace", "");
+    return v == "true" ? "trace.jsonl" : v;
+  }();
   congest::Network net(g, seed, cfg);
+
+  // Full-vocabulary trace streamed to disk as it happens; the in-memory
+  // ring only serves as a small recent-events window.
+  std::FILE* trace_out = nullptr;
+  if (want_trace) {
+    trace_out = std::fopen(trace_file.c_str(), "w");
+    if (trace_out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", trace_file.c_str());
+      return 2;
+    }
+  }
+  congest::Trace trace(1 << 12, congest::TraceOptions::full());
+  congest::JsonlSink trace_sink(trace_out);
+  if (want_trace) {
+    trace.add_sink(&trace_sink);
+    net.attach_trace(&trace);
+  }
 
   // The solve() modes profile themselves; the specific legacy algorithms
   // get an externally attached sink so --metrics works uniformly.
@@ -240,6 +277,101 @@ int cmd_run(int argc, char** argv) {
       std::printf("metrics: wrote %s\n", metrics_file.c_str());
     }
   }
+  if (want_trace) {
+    net.attach_trace(nullptr);
+    trace_sink.flush();
+    std::fclose(trace_out);
+    std::printf("trace: wrote %s (%llu events)\n", trace_file.c_str(),
+                static_cast<unsigned long long>(trace_sink.lines_written()));
+    if (!trace.wall_spans().empty()) {
+      const std::string wall_file = trace_file + ".wall";
+      std::FILE* wf = std::fopen(wall_file.c_str(), "w");
+      if (wf == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", wall_file.c_str());
+        return 2;
+      }
+      for (const congest::WallSpan& span : trace.wall_spans()) {
+        const std::string line = congest::to_jsonl(span);
+        std::fprintf(wf, "%s\n", line.c_str());
+      }
+      std::fclose(wf);
+      std::printf("trace: wrote %s (%llu wall spans, non-deterministic)\n",
+                  wall_file.c_str(),
+                  static_cast<unsigned long long>(trace.wall_spans().size()));
+    }
+  }
+  return 0;
+}
+
+// `mwc_cli trace export <in.jsonl> <out.perfetto.json> [--wall=FILE]`.
+int cmd_trace(int argc, char** argv) {
+  support::Flags flags(argc, argv, {"wall"});
+  if (!flags.unknown_flags().empty()) {
+    std::fprintf(stderr, "unknown flag: --%s\n",
+                 flags.unknown_flags()[0].c_str());
+    return usage();
+  }
+  // positional() = {"trace", "export", in.jsonl, out.perfetto.json}.
+  if (flags.positional().size() != 4 || flags.positional()[1] != "export") {
+    return usage();
+  }
+  const std::string in_file = flags.positional()[2];
+  const std::string out_file = flags.positional()[3];
+  const std::string wall_file = flags.get("wall", "");
+
+  auto read_lines = [](const std::string& path, auto&& per_line) {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) throw std::runtime_error("cannot read " + path);
+    std::string line;
+    std::size_t line_no = 0;
+    int c;
+    while ((c = std::fgetc(f)) != EOF) {
+      if (c != '\n') {
+        line += static_cast<char>(c);
+        continue;
+      }
+      ++line_no;
+      if (!line.empty()) per_line(line, line_no);
+      line.clear();
+    }
+    if (!line.empty()) per_line(line, ++line_no);
+    std::fclose(f);
+  };
+
+  std::vector<congest::TraceEvent> events;
+  read_lines(in_file, [&](const std::string& line, std::size_t line_no) {
+    congest::TraceEvent e;
+    std::string error;
+    if (!congest::parse_trace_jsonl(line, e, &error)) {
+      throw std::runtime_error(in_file + ":" + std::to_string(line_no) +
+                               ": " + error);
+    }
+    events.push_back(std::move(e));
+  });
+  std::vector<congest::WallSpan> wall;
+  if (!wall_file.empty()) {
+    read_lines(wall_file, [&](const std::string& line, std::size_t line_no) {
+      congest::WallSpan s;
+      std::string error;
+      if (!congest::parse_wall_jsonl(line, s, &error)) {
+        throw std::runtime_error(wall_file + ":" + std::to_string(line_no) +
+                                 ": " + error);
+      }
+      wall.push_back(std::move(s));
+    });
+  }
+
+  const std::string json = congest::perfetto_trace_json(events, wall);
+  std::FILE* f = std::fopen(out_file.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_file.c_str());
+    return 2;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("trace: exported %zu events", events.size());
+  if (!wall.empty()) std::printf(" + %zu wall spans", wall.size());
+  std::printf(" to %s (open at ui.perfetto.dev)\n", out_file.c_str());
   return 0;
 }
 
@@ -256,6 +388,7 @@ int main(int argc, char** argv) {
     if (cmd == "gen") return cmd_gen(argc, argv);
     if (cmd == "info") return cmd_info(argc, argv);
     if (cmd == "run") return cmd_run(argc, argv);
+    if (cmd == "trace") return cmd_trace(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n(run 'mwc_cli' with no arguments for usage)\n",
                  e.what());
