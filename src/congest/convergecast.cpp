@@ -102,9 +102,19 @@ graph::Weight convergecast(Network& net, const BfsTreeResult& tree,
   RunStats s = run_protocol(net, proto);
   if (stats != nullptr) *stats = s;
   graph::Weight result = proto.result_at(tree.root);
-  // Every node must have learned the same aggregate.
-  for (graph::NodeId v = 0; v < net.n(); ++v) {
-    MWC_CHECK(proto.result_at(v) == result);
+  // Every node must have learned the same aggregate - an invariant of the
+  // protocol only on runs without un-masked interference: a crash-recovered
+  // node (or a peer behind an abandoned link, or raw loss/corruption
+  // without the ARQ layer) can legitimately miss the downcast. Callers see
+  // such runs in their fault ledger and degrade accordingly.
+  const bool interfered =
+      s.crashes > 0 || s.dead_links > 0 ||
+      (!net.config().reliable_transport &&
+       (s.dropped_messages > 0 || s.corrupted_words > 0));
+  if (!interfered) {
+    for (graph::NodeId v = 0; v < net.n(); ++v) {
+      MWC_CHECK(proto.result_at(v) == result);
+    }
   }
   return result;
 }

@@ -11,8 +11,12 @@ FaultInjector::FaultInjector(const FaultPlan& plan, support::Rng rng, int n,
     : rng_(rng) {
   MWC_CHECK_MSG(plan.drop_prob >= 0.0 && plan.drop_prob < 1.0,
                 "drop_prob must be in [0, 1)");
+  MWC_CHECK_MSG(plan.corrupt_prob >= 0.0 && plan.corrupt_prob < 1.0,
+                "corrupt_prob must be in [0, 1)");
   drop_prob_.assign(dir_endpoints.size(), plan.drop_prob);
+  corrupt_prob_.assign(dir_endpoints.size(), plan.corrupt_prob);
   stalls_.resize(dir_endpoints.size());
+  windows_.resize(dir_endpoints.size());
   for (std::size_t i = 0; i < dir_endpoints.size(); ++i) {
     const auto [from, to] = dir_endpoints[i];
     for (const LinkDropOverride& o : plan.drop_overrides) {
@@ -22,12 +26,28 @@ FaultInjector::FaultInjector(const FaultPlan& plan, support::Rng rng, int n,
         drop_prob_[i] = o.prob;
       }
     }
+    for (const LinkCorruptOverride& o : plan.corrupt_overrides) {
+      MWC_CHECK_MSG(o.prob >= 0.0 && o.prob < 1.0,
+                    "corrupt override prob must be in [0, 1)");
+      if ((o.a == from && o.b == to) || (o.a == to && o.b == from)) {
+        corrupt_prob_[i] = o.prob;
+      }
+    }
     for (const StallFault& s : plan.stalls) {
       MWC_CHECK_MSG(s.first_round <= s.last_round, "empty stall interval");
       if (s.from == from && s.to == to) {
         stalls_[i].emplace_back(s.first_round, s.last_round);
       }
     }
+    for (const CorruptFault& c : plan.corrupt_windows) {
+      MWC_CHECK_MSG(c.first_round <= c.last_round,
+                    "empty corruption window");
+      if (c.from == from && c.to == to) {
+        windows_[i].emplace_back(c.first_round, c.last_round);
+      }
+    }
+    any_corruption_ =
+        any_corruption_ || corrupt_prob_[i] > 0.0 || !windows_[i].empty();
   }
   // One crash per node (earliest round wins), ordered by round.
   std::vector<CrashFault> crashes = plan.crashes;
@@ -41,12 +61,63 @@ FaultInjector::FaultInjector(const FaultPlan& plan, support::Rng rng, int n,
         [&](const CrashFault& prev) { return prev.node == c.node; });
     if (!seen) crashes_.push_back(c);
   }
+  // One recovery per node, ordered by round; each must revive a node that
+  // actually crashed at a strictly earlier round.
+  std::vector<RecoverFault> recovers = plan.recovers;
+  std::sort(recovers.begin(), recovers.end(),
+            [](const RecoverFault& a, const RecoverFault& b) {
+              return a.round != b.round ? a.round < b.round : a.node < b.node;
+            });
+  for (const RecoverFault& r : recovers) {
+    MWC_CHECK_MSG(r.node >= 0 && r.node < n,
+                  "recovery fault names an unknown node");
+    const auto crash = std::find_if(
+        crashes_.begin(), crashes_.end(),
+        [&](const CrashFault& c) { return c.node == r.node; });
+    MWC_CHECK_MSG(crash != crashes_.end(),
+                  "recovery fault names a node with no crash fault");
+    MWC_CHECK_MSG(r.round > crash->round,
+                  "recovery must happen strictly after the crash");
+    const bool seen = std::any_of(
+        recoveries_.begin(), recoveries_.end(),
+        [&](const RecoverFault& prev) { return prev.node == r.node; });
+    MWC_CHECK_MSG(!seen, "at most one recovery per node");
+    recoveries_.push_back(r);
+  }
 }
 
 bool FaultInjector::drop_message(int dir_idx) {
   const double p = drop_prob_[static_cast<std::size_t>(dir_idx)];
   if (p <= 0.0) return false;
   return rng_.next_bool(p);
+}
+
+std::uint32_t FaultInjector::corrupt_message(int dir_idx, std::uint64_t round,
+                                             Message& msg) {
+  if (!any_corruption_) return 0;
+  const auto di = static_cast<std::size_t>(dir_idx);
+  std::uint32_t flipped = 0;
+  const double p = corrupt_prob_[di];
+  if (p > 0.0) {
+    for (std::uint32_t i = 0; i < msg.size(); ++i) {
+      if (!rng_.next_bool(p)) continue;
+      // A zero mask would be a no-op "corruption"; force at least one bit.
+      Word mask = rng_.next_u64();
+      if (mask == 0) mask = 1;
+      msg.set(i, msg[i] ^ mask);
+      ++flipped;
+    }
+  }
+  for (const auto& [first, last] : windows_[di]) {
+    if (round < first || round > last) continue;
+    const std::uint32_t i = static_cast<std::uint32_t>(round % msg.size());
+    Word mask = rng_.next_u64();
+    if (mask == 0) mask = 1;
+    msg.set(i, msg[i] ^ mask);
+    ++flipped;
+    break;  // one targeted flip per delivery, however many windows overlap
+  }
+  return flipped;
 }
 
 bool FaultInjector::stalled(int dir_idx, std::uint64_t round) const {

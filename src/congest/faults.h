@@ -7,11 +7,18 @@
 //
 //   * message drops:  every fully transmitted message is lost with a
 //     per-link probability (a global rate plus per-link overrides);
+//   * corruption:     every delivered word is XOR-flipped with a per-link
+//     probability (a global rate plus per-link overrides), and targeted
+//     CorruptFault windows mangle every message a direction delivers during
+//     a round interval;
 //   * link stalls:    a link direction moves zero words during a round
 //     interval (the queue keeps its contents, time keeps passing);
 //   * crash-stops:    a node falls permanently silent at a given round -
 //     it is never stepped again, its queued and in-flight outbound
-//     messages vanish, and inbound deliveries to it are discarded.
+//     messages vanish, and inbound deliveries to it are discarded;
+//   * recoveries:     a crash-stopped node comes back at a later round with
+//     its volatile state wiped - the engine calls Protocol::on_restart and
+//     resumes stepping it (see runner.h).
 //
 // Every run materializes its fault schedule from a FaultInjector seeded by
 // the run's RNG stream, which the Network forks from (master_seed,
@@ -27,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "congest/message.h"
 #include "graph/graph.h"
 #include "support/rng.h"
 
@@ -39,6 +47,24 @@ struct LinkDropOverride {
   NodeId a = graph::kNoNode;
   NodeId b = graph::kNoNode;
   double prob = 0.0;
+};
+
+// Per-word corruption-probability override for both directions of the a-b
+// link.
+struct LinkCorruptOverride {
+  NodeId a = graph::kNoNode;
+  NodeId b = graph::kNoNode;
+  double prob = 0.0;
+};
+
+// Targeted corruption: every message delivered on the from->to direction
+// during rounds [first_round, last_round] (inclusive) has one word
+// XOR-flipped, regardless of the probabilistic rate.
+struct CorruptFault {
+  NodeId from = graph::kNoNode;
+  NodeId to = graph::kNoNode;
+  std::uint64_t first_round = 0;
+  std::uint64_t last_round = 0;
 };
 
 // Stalls the from->to direction: zero words move in rounds
@@ -57,16 +83,35 @@ struct CrashFault {
   std::uint64_t round = 0;
 };
 
+// Crash-recovery: a node crash-stopped at an earlier round rejoins at
+// `round` with wiped volatile state (the engine re-initializes it through
+// Protocol::on_restart). Must name a node with a CrashFault at a strictly
+// earlier round; at most one recovery per node.
+struct RecoverFault {
+  NodeId node = graph::kNoNode;
+  std::uint64_t round = 0;
+};
+
 struct FaultPlan {
   // Per-message loss probability applied to every link direction.
   double drop_prob = 0.0;
   std::vector<LinkDropOverride> drop_overrides;
+  // Per-word corruption probability applied to every delivered message.
+  double corrupt_prob = 0.0;
+  std::vector<LinkCorruptOverride> corrupt_overrides;
+  std::vector<CorruptFault> corrupt_windows;
   std::vector<StallFault> stalls;
   std::vector<CrashFault> crashes;
+  std::vector<RecoverFault> recovers;
 
   bool has_drops() const { return drop_prob > 0.0 || !drop_overrides.empty(); }
+  bool has_corruption() const {
+    return corrupt_prob > 0.0 || !corrupt_overrides.empty() ||
+           !corrupt_windows.empty();
+  }
   bool any() const {
-    return has_drops() || !stalls.empty() || !crashes.empty();
+    return has_drops() || has_corruption() || !stalls.empty() ||
+           !crashes.empty() || !recovers.empty();
   }
 };
 
@@ -84,9 +129,10 @@ struct ReliableConfig {
 
 // One run's materialized fault schedule. The Runner constructs an injector
 // per run (when the plan is non-empty), binds it to the network's link
-// directions, and consults it from transmit_step(). Drop decisions consume
-// the injector's private RNG stream in deterministic engine order, so the
-// whole schedule is a pure function of (master_seed, run_counter, plan).
+// directions, and consults it from transmit_step(). Drop and corruption
+// decisions consume the injector's private RNG stream in deterministic
+// engine order, so the whole schedule is a pure function of (master_seed,
+// run_counter, plan).
 class FaultInjector {
  public:
   // `dir_endpoints[i]` is the (from, to) pair of link direction i.
@@ -97,18 +143,33 @@ class FaultInjector {
   // only on links with a positive drop probability).
   bool drop_message(int dir_idx);
 
+  // Flips words of a message about to be delivered on `dir_idx` during
+  // `round` (probabilistic rate plus any active CorruptFault window);
+  // returns the number of corrupted words. Consumes randomness only on
+  // directions with a positive corruption probability or a window.
+  std::uint32_t corrupt_message(int dir_idx, std::uint64_t round, Message& msg);
+
   // Whether direction `dir_idx` is stalled during `round`.
   bool stalled(int dir_idx, std::uint64_t round) const;
 
   // Crash faults, ordered by round (one per node; earliest round wins).
   std::span<const CrashFault> crashes() const { return crashes_; }
 
+  // Recovery faults, ordered by round (validated: each names a node with an
+  // earlier crash; at most one per node).
+  std::span<const RecoverFault> recoveries() const { return recoveries_; }
+
  private:
   support::Rng rng_;
-  std::vector<double> drop_prob_;  // per direction
-  // Per direction: stall intervals (few per plan; linear scan).
+  std::vector<double> drop_prob_;     // per direction
+  std::vector<double> corrupt_prob_;  // per direction
+  // Per direction: stall / corruption-window intervals (few per plan;
+  // linear scan).
   std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> stalls_;
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> windows_;
+  bool any_corruption_ = false;
   std::vector<CrashFault> crashes_;
+  std::vector<RecoverFault> recoveries_;
 };
 
 }  // namespace mwc::congest

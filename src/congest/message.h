@@ -82,6 +82,14 @@ class Message {
     return base[i];
   }
 
+  // Overwrites word `i` in place. Used by the engine's corruption injector
+  // (faults.h) and by transports that patch a checksum into a built frame.
+  void set(std::uint32_t i, Word w) {
+    MWC_DCHECK(i < size_);
+    Word* base = spill_ == nullptr ? inline_ : spill_;
+    base[i] = w;
+  }
+
  private:
   static constexpr std::uint32_t kInline = 6;
 

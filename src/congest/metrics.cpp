@@ -29,6 +29,10 @@ void merge(PhaseMetrics& dst, const PhaseMetrics& src) {
   dst.retransmitted_words += src.retransmitted_words;
   dst.stalled_rounds += src.stalled_rounds;
   dst.crashes += src.crashes;
+  dst.recoveries += src.recoveries;
+  dst.corrupted_words += src.corrupted_words;
+  dst.checksum_rejects += src.checksum_rejects;
+  dst.dead_links += src.dead_links;
 }
 
 PhaseMetrics from_profile(const RunProfile& p) {
@@ -48,6 +52,10 @@ PhaseMetrics from_profile(const RunProfile& p) {
   m.retransmitted_words = p.stats.retransmitted_words;
   m.stalled_rounds = p.stats.stalled_rounds;
   m.crashes = p.crashes;
+  m.recoveries = p.stats.recoveries;
+  m.corrupted_words = p.stats.corrupted_words;
+  m.checksum_rejects = p.stats.checksum_rejects;
+  m.dead_links = p.stats.dead_links;
   return m;
 }
 
@@ -100,7 +108,11 @@ void append_phase(std::string& out, const PhaseMetrics& m) {
   append_u64(out, "dropped_words", m.dropped_words);
   append_u64(out, "retransmitted_words", m.retransmitted_words);
   append_u64(out, "stalled_rounds", m.stalled_rounds);
-  append_u64(out, "crashes", m.crashes, /*trailing_comma=*/false);
+  append_u64(out, "crashes", m.crashes);
+  append_u64(out, "recoveries", m.recoveries);
+  append_u64(out, "corrupted_words", m.corrupted_words);
+  append_u64(out, "checksum_rejects", m.checksum_rejects);
+  append_u64(out, "dead_links", m.dead_links, /*trailing_comma=*/false);
   out += "}";
 }
 

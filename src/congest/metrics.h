@@ -75,6 +75,10 @@ struct PhaseMetrics {
   std::uint64_t retransmitted_words = 0;
   std::uint64_t stalled_rounds = 0;
   std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t corrupted_words = 0;
+  std::uint64_t checksum_rejects = 0;
+  std::uint64_t dead_links = 0;
 
   // Field-wise equality - the determinism suite compares whole snapshots.
   friend bool operator==(const PhaseMetrics&, const PhaseMetrics&) = default;

@@ -110,6 +110,13 @@ class Protocol {
 
   // Invoked for rounds >= 1 whenever the node has deliveries or a wake.
   virtual void round(NodeCtx& node) = 0;
+
+  // Invoked when a crash-stopped node rejoins under a RecoverFault
+  // (faults.h): the node's volatile state is gone, the inbox is empty, and
+  // the current round is mid-run. The default re-runs begin(), which is the
+  // right re-initialization for announce/relax-style protocols; transports
+  // override it to resynchronize their peers (reliable_link.h).
+  virtual void on_restart(NodeCtx& node) { begin(node); }
 };
 
 struct RunStats {
@@ -130,6 +137,19 @@ struct RunStats {
   std::uint64_t retransmitted_words = 0;
   // Direction-rounds during which a stall fault held back pending traffic.
   std::uint64_t stalled_rounds = 0;
+  // Words XOR-flipped in delivered messages by corruption faults.
+  std::uint64_t corrupted_words = 0;
+  // Frames the reliable transport rejected on a checksum mismatch (each is
+  // eventually repaired by a retransmission).
+  std::uint64_t checksum_rejects = 0;
+  // Crash-stop faults that fired during the run, and how many of those
+  // nodes were revived by a RecoverFault.
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  // Link directions the reliable transport gave up on (max_retries
+  // exhausted; outstanding traffic abandoned). A nonzero value means
+  // in-order delivery was NOT maintained everywhere.
+  std::uint64_t dead_links = 0;
 
   // Field-wise equality - the determinism suite asserts parallel runs
   // reproduce sequential stats bit for bit.
@@ -142,7 +162,8 @@ struct RunStats {
 enum class RunOutcome {
   kCompleted,           // ran to quiescence with every node alive
   kRoundLimitExceeded,  // stopped at NetworkConfig::max_rounds_per_run
-  kCrashed,             // quiescent, but crash-stop fault(s) fired mid-run
+  kCrashed,             // quiescent, but node(s) crash-stopped and stayed down
+  kRecovered,           // quiescent; every crashed node was revived mid-run
 };
 
 inline const char* to_string(RunOutcome outcome) {
@@ -150,6 +171,7 @@ inline const char* to_string(RunOutcome outcome) {
     case RunOutcome::kCompleted: return "completed";
     case RunOutcome::kRoundLimitExceeded: return "round_limit_exceeded";
     case RunOutcome::kCrashed: return "crashed";
+    case RunOutcome::kRecovered: return "recovered";
   }
   return "unknown";
 }
@@ -157,7 +179,14 @@ inline const char* to_string(RunOutcome outcome) {
 struct RunResult {
   RunOutcome outcome = RunOutcome::kCompleted;
   RunStats stats;
-  bool ok() const { return outcome == RunOutcome::kCompleted; }
+  // kRecovered counts as ok: the protocol ran to quiescence with every node
+  // participating again, so its answer exists - but stats.crashes reveals
+  // the interruption, and self-certifying callers (cycle::solve) downgrade
+  // such answers to `degraded` rather than certify them.
+  bool ok() const {
+    return outcome == RunOutcome::kCompleted ||
+           outcome == RunOutcome::kRecovered;
+  }
 };
 
 }  // namespace mwc::congest

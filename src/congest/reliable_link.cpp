@@ -9,22 +9,58 @@ namespace mwc::congest {
 
 namespace {
 
-// Header word: bit 63 distinguishes ack from data, low 63 bits carry the
-// sequence number (data) or the cumulative highest-in-order seq (ack).
+// Header word layout (see reliable_link.h): bit 63 = ack flag, bits 62..55
+// sender incarnation, bits 54..47 receiver-view incarnation, bits 46..0
+// sequence number (data) or cumulative highest-in-order seq (ack).
 constexpr Word kAckBit = Word{1} << 63;
+constexpr int kSeqBits = 47;
+constexpr Word kSeqMask = (Word{1} << kSeqBits) - 1;
+constexpr std::uint32_t kIncMask = 0xFF;
 
-constexpr Word data_header(std::uint64_t seq) { return seq; }
-constexpr Word ack_header(std::uint64_t cum_seq) { return kAckBit | cum_seq; }
+constexpr Word make_header(bool ack, std::uint32_t sender_inc,
+                           std::uint32_t receiver_view, std::uint64_t seq) {
+  return (ack ? kAckBit : Word{0}) |
+         (static_cast<Word>(sender_inc & kIncMask) << 55) |
+         (static_cast<Word>(receiver_view & kIncMask) << 47) |
+         (seq & kSeqMask);
+}
 constexpr bool is_ack(Word header) { return (header & kAckBit) != 0; }
-constexpr std::uint64_t seq_of(Word header) { return header & ~kAckBit; }
+constexpr std::uint32_t sender_inc_of(Word header) {
+  return static_cast<std::uint32_t>(header >> 55) & kIncMask;
+}
+constexpr std::uint32_t receiver_view_of(Word header) {
+  return static_cast<std::uint32_t>(header >> 47) & kIncMask;
+}
+constexpr std::uint64_t seq_of(Word header) { return header & kSeqMask; }
 
-// Acks jump every queue: a 1-word ack delayed behind bulk data would push
+// Frame checksum: an FNV-style mix over every word except the checksum
+// slot (index 1), seeded with the frame length. Verified before a single
+// header bit is trusted, so corruption can never masquerade as an ack or
+// confuse the session logic. 64 bits of mixing against a seeded random
+// fault injector - not a cryptographic MAC.
+Word frame_checksum(const Message& framed) {
+  Word h = 0x9E3779B97F4A7C15ull ^ framed.size();
+  for (std::uint32_t i = 0; i < framed.size(); ++i) {
+    if (i == 1) continue;
+    h ^= framed[i];
+    h *= 0x00000100000001B3ull;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+// Acks jump every queue: a short ack delayed behind bulk data would push
 // every retransmission timer toward spurious firing.
 constexpr std::int64_t kAckPriority = std::numeric_limits<std::int64_t>::min();
 
+// Frame words before the payload: [header][checksum].
+constexpr std::uint32_t kFrameOverhead = 2;
+
 Message deframe(const Message& framed) {
   Message payload;
-  for (std::uint32_t i = 1; i < framed.size(); ++i) payload.push(framed[i]);
+  for (std::uint32_t i = kFrameOverhead; i < framed.size(); ++i) {
+    payload.push(framed[i]);
+  }
   return payload;
 }
 
@@ -69,6 +105,24 @@ void ReliableProtocol::begin(NodeCtx& node) {
   st.raw = nullptr;
 }
 
+void ReliableProtocol::on_restart(NodeCtx& node) {
+  NodeState& st = state_of(node);
+  // The incarnation bump is the only thing that survives the wipe.
+  ++st.incarnation;
+  MWC_CHECK_MSG(st.incarnation <= kIncMask,
+                "too many restarts of one node (8-bit epoch)");
+  for (LinkTx& tx : st.tx) {
+    tx = LinkTx{};
+    tx.rto = cfg_.base_timeout_rounds;
+  }
+  for (LinkRx& rx : st.rx) rx = LinkRx{};
+  st.inner_inbox.clear();
+  st.raw = &node;
+  NodeCtx layered = node.layered(&st.inner_inbox, this);
+  inner_.on_restart(layered);
+  st.raw = nullptr;
+}
+
 void ReliableProtocol::on_send(NodeId from, NodeId neighbor, Message msg,
                                std::int64_t priority) {
   NodeState& st = state_[static_cast<std::size_t>(from)];
@@ -76,8 +130,11 @@ void ReliableProtocol::on_send(NodeId from, NodeId neighbor, Message msg,
   LinkTx& tx = st.tx[static_cast<std::size_t>(nbr_index(st, neighbor))];
   if (tx.dead) return;  // peer declared dead; traffic abandoned
   Message framed;
-  framed.push(data_header(tx.next_seq));
+  framed.push(
+      make_header(false, st.incarnation, tx.peer_view, tx.next_seq));
+  framed.push(0);  // checksum slot, patched once the frame is complete
   for (std::uint32_t i = 0; i < msg.size(); ++i) framed.push(msg[i]);
+  framed.set(1, frame_checksum(framed));
   tx.unacked.push_back(Outstanding{tx.next_seq, st.raw->round(), priority, framed});
   tx.unacked_words += framed.size();
   ++tx.next_seq;
@@ -85,7 +142,37 @@ void ReliableProtocol::on_send(NodeId from, NodeId neighbor, Message msg,
   arm_timer(*st.raw, tx);
 }
 
-void ReliableProtocol::handle_ack(LinkTx& tx, std::uint64_t acked) {
+void ReliableProtocol::note_peer_incarnation(NodeState& st, int j,
+                                             std::uint32_t inc) {
+  LinkTx& tx = st.tx[static_cast<std::size_t>(j)];
+  if (inc > (tx.peer_view & kIncMask)) {
+    // The peer restarted: its pre-crash receive state is gone, so every
+    // outstanding frame of the old session is undeliverable. Abandon them
+    // and open a fresh session at seq 1 - and revive the link if the
+    // silence of the crashed peer had it declared dead.
+    tx.peer_view = inc;
+    tx.unacked.clear();
+    tx.unacked_words = 0;
+    tx.next_seq = 1;
+    tx.retries = 0;
+    tx.rto = cfg_.base_timeout_rounds;
+    tx.dead = false;
+  }
+  LinkRx& rx = st.rx[static_cast<std::size_t>(j)];
+  if (inc > (rx.peer_inc & kIncMask)) {
+    // The peer's send stream restarted at seq 1 with its new incarnation.
+    rx.peer_inc = inc;
+    rx.next_expected = 1;
+    rx.out_of_order.clear();
+  }
+}
+
+void ReliableProtocol::handle_ack(NodeState& st, int j, Word header) {
+  // An ack names the incarnation of the stream it acknowledges; acks for a
+  // previous life of this node must not acknowledge the new session.
+  if (receiver_view_of(header) != (st.incarnation & kIncMask)) return;
+  LinkTx& tx = st.tx[static_cast<std::size_t>(j)];
+  const std::uint64_t acked = seq_of(header);
   bool progress = false;
   while (!tx.unacked.empty() && tx.unacked.front().seq <= acked) {
     tx.unacked_words -= tx.unacked.front().framed.size();
@@ -99,11 +186,22 @@ void ReliableProtocol::handle_ack(LinkTx& tx, std::uint64_t acked) {
   }
 }
 
-void ReliableProtocol::accept_data(NodeCtx& node, NodeState& st, int j,
-                                   const Delivery& d) {
+void ReliableProtocol::accept_data(NodeState& st, int j, const Delivery& d) {
   LinkRx& rx = st.rx[static_cast<std::size_t>(j)];
-  const std::uint64_t seq = seq_of(d.msg[0]);
+  const Word header = d.msg[0];
   rx.ack_due = true;  // every data frame (duplicates included) re-acks
+  if (receiver_view_of(header) != (st.incarnation & kIncMask)) {
+    // Addressed to a previous incarnation of this node - the sender has not
+    // heard of the restart yet. Drop the stale-session payload, but let the
+    // due ack (carrying our new incarnation) teach the sender to resync.
+    return;
+  }
+  if (sender_inc_of(header) != (rx.peer_inc & kIncMask)) {
+    // A leftover frame of the peer's pre-restart session still in flight
+    // after note_peer_incarnation moved this link forward; stale, ignore.
+    return;
+  }
+  const std::uint64_t seq = seq_of(header);
   if (seq < rx.next_expected) return;  // duplicate of a delivered frame
   if (seq > rx.next_expected) {        // gap: a predecessor was dropped
     rx.out_of_order.emplace(seq, deframe(d.msg));
@@ -117,7 +215,6 @@ void ReliableProtocol::accept_data(NodeCtx& node, NodeState& st, int j,
     ++rx.next_expected;
     it = rx.out_of_order.erase(it);
   }
-  (void)node;
 }
 
 // Rounds the link needs just to push every outstanding word out, assuming
@@ -186,10 +283,25 @@ void ReliableProtocol::round(NodeCtx& node) {
   st.inner_inbox.clear();
   for (const Delivery& d : node.inbox()) {
     const int j = nbr_index(st, d.from);
-    if (is_ack(d.msg[0])) {
-      handle_ack(st.tx[static_cast<std::size_t>(j)], seq_of(d.msg[0]));
+    // Checksum first: until the frame verifies, not a single header bit is
+    // trusted (a flipped ack bit or seq field must not reach the session
+    // logic). Rejected frames are repaired by the sender's timeout.
+    if (d.msg.size() < kFrameOverhead || frame_checksum(d.msg) != d.msg[1]) {
+      ++st.checksum_rejects;
+      if (trace_capture_) {
+        st.trace_buf.push_back(TraceEvent{0, node.round(), d.from, node.id(),
+                                          d.msg.size(),
+                                          TraceEventKind::kChecksumReject,
+                                          {}});
+      }
+      continue;
+    }
+    const Word header = d.msg[0];
+    note_peer_incarnation(st, j, sender_inc_of(header));
+    if (is_ack(header)) {
+      handle_ack(st, j, header);
     } else {
-      accept_data(node, st, j, d);
+      accept_data(st, j, d);
     }
   }
   // Step the protocol above. It may see an empty inbox when only transport
@@ -199,18 +311,23 @@ void ReliableProtocol::round(NodeCtx& node) {
   NodeCtx layered = node.layered(&st.inner_inbox, this);
   inner_.round(layered);
   st.raw = nullptr;
-  // Cumulative acks for every link that saw data this round.
+  // Cumulative acks for every link that saw traffic this round.
   for (std::size_t j = 0; j < st.rx.size(); ++j) {
     LinkRx& rx = st.rx[j];
     if (!rx.ack_due) continue;
     rx.ack_due = false;
     ++st.acks_sent;
+    Message ack;
+    ack.push(make_header(true, st.incarnation, rx.peer_inc,
+                         rx.next_expected - 1));
+    ack.push(0);
+    ack.set(1, frame_checksum(ack));
     if (trace_capture_) {
       st.trace_buf.push_back(TraceEvent{0, node.round(), node.id(),
-                                        st.nbrs[j], 1, TraceEventKind::kAck,
-                                        {}});
+                                        st.nbrs[j], ack.size(),
+                                        TraceEventKind::kAck, {}});
     }
-    node.send(st.nbrs[j], Message{ack_header(rx.next_expected - 1)}, kAckPriority);
+    node.send(st.nbrs[j], std::move(ack), kAckPriority);
   }
   service_timers(node, st);
 }
@@ -243,6 +360,12 @@ std::uint64_t ReliableProtocol::retransmitted_messages() const {
 std::uint64_t ReliableProtocol::acks_sent() const {
   std::uint64_t sum = 0;
   for (const NodeState& st : state_) sum += st.acks_sent;
+  return sum;
+}
+
+std::uint64_t ReliableProtocol::checksum_rejects() const {
+  std::uint64_t sum = 0;
+  for (const NodeState& st : state_) sum += st.checksum_rejects;
   return sum;
 }
 

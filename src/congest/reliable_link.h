@@ -1,19 +1,54 @@
 // Reliable transport over lossy CONGEST links.
 //
 // ReliableProtocol slots between the engine and any Protocol, adding an
-// ARQ layer per link direction: every data message is framed with one
-// header word carrying a sequence number, receivers reply with cumulative
-// acks and reassemble per-sender FIFO order from the sequence numbers, and
-// senders retransmit unacked frames on a timeout with exponential backoff.
-// The protocol above sees exactly the NodeCtx API it always saw - deframed
-// messages in per-link order, its own sends silently framed - so every
-// algorithm in src/mwc/ and src/ksssp/ runs unmodified over links that drop
-// messages (correct answers, measurable round overhead).
+// ARQ layer per link direction: every data message is framed with a header
+// word (sequence number + sender/receiver incarnations) and a checksum
+// word, receivers reply with cumulative acks and reassemble per-sender FIFO
+// order from the sequence numbers, and senders retransmit unacked frames on
+// a timeout with exponential backoff. The protocol above sees exactly the
+// NodeCtx API it always saw - deframed messages in per-link order, its own
+// sends silently framed - so every algorithm in src/mwc/ and src/ksssp/
+// runs unmodified over links that drop or corrupt messages (correct
+// answers, measurable round overhead).
 //
-// What survives, what does not: drops and stalls are fully masked (eventual
-// exactly-once in-order delivery per link). Crash-stopped peers are not
-// masked - after max_retries consecutive timeouts a link is declared dead
-// and its outstanding traffic abandoned, keeping runs finite.
+// Frame format (see reliable_link.cpp for the bit layout):
+//
+//   data frame:  [header][checksum][payload words...]
+//   ack frame:   [header][checksum]
+//   header:      bit 63 = ack flag
+//                bits 62..55 = sender incarnation (epoch, 8 bits)
+//                bits 54..47 = receiver incarnation as the sender believes
+//                              it (data) / incarnation of the peer whose
+//                              stream is being acked (ack)
+//                bits 46..0  = sequence number / cumulative acked seq
+//   checksum:    mixes every frame word except the checksum slot itself;
+//                verified before any header bit is trusted, so a corrupted
+//                ack can never falsely acknowledge data.
+//
+// Corruption masking: a frame whose checksum does not verify is counted
+// (RunStats::checksum_rejects) and dropped; the sender's retransmission
+// timer repairs it like a plain loss. Detection is probabilistic in
+// principle (a 64-bit mix), cryptographically nothing - the adversary here
+// is the seeded fault injector, not a malicious forger.
+//
+// Crash-recovery resync: each node keeps an 8-bit incarnation number -
+// modeled as the node's one word of stable storage - bumped by on_restart.
+// Frames carry both the sender's incarnation and its view of the
+// receiver's. A restarted receiver drops frames addressed to its previous
+// incarnation but still acks them with its new incarnation; the sender
+// learns the new epoch from that ack (or from any frame the restarted node
+// sends), abandons the outstanding pre-crash traffic, and restarts the
+// link session at sequence 1. In-flight data of the pre-crash session is
+// therefore NOT masked - it is abandoned, and the crash shows up in the
+// run's fault ledger - but all post-resync traffic is exactly-once in
+// order again.
+//
+// What survives, what does not: drops, corruption, and stalls are fully
+// masked (eventual exactly-once in-order delivery per link). Crash-stopped
+// peers are not masked - after max_retries consecutive timeouts a link is
+// declared dead and its outstanding traffic abandoned, keeping runs finite
+// (a later recovery of the peer revives the link: the resync handshake
+// clears the dead flag).
 //
 // Cost model honesty: frames, acks, and retransmissions are real messages
 // through the engine's bandwidth-enforced links, so the transport's
@@ -45,6 +80,10 @@ class ReliableProtocol final : public Protocol, public SendInterceptor {
 
   void begin(NodeCtx& node) override;
   void round(NodeCtx& node) override;
+  // Crash-recovery: wipes the node's volatile transport state, bumps its
+  // incarnation (the one stable-storage word), and re-initializes the inner
+  // protocol through its own on_restart.
+  void on_restart(NodeCtx& node) override;
 
   // SendInterceptor: frames and tracks a send of the inner protocol.
   void on_send(NodeId from, NodeId neighbor, Message msg,
@@ -55,13 +94,18 @@ class ReliableProtocol final : public Protocol, public SendInterceptor {
   std::uint64_t retransmitted_words() const;
   std::uint64_t retransmitted_messages() const;
   std::uint64_t acks_sent() const;
+  // Frames rejected because their checksum did not verify (corruption).
+  std::uint64_t checksum_rejects() const;
   // Links abandoned after max_retries consecutive timeouts (dead peer).
+  // A resync with a recovered peer revives the link but the abandonment
+  // still counts - in-order delivery was interrupted.
   std::uint64_t dead_links() const;
 
-  // Trace capture of transport events (kRetransmit / kAck). Events are
-  // buffered in the acting node's own NodeState - node steps may run on
-  // worker threads - and drained by the Runner at the round barrier in
-  // invocation order, so the resulting stream is deterministic.
+  // Trace capture of transport events (kRetransmit / kAck /
+  // kChecksumReject). Events are buffered in the acting node's own
+  // NodeState - node steps may run on worker threads - and drained by the
+  // Runner at the round barrier in invocation order, so the resulting
+  // stream is deterministic.
   void set_trace_capture(bool on) { trace_capture_ = on; }
   // Records each buffered event (with `run` filled in) into `trace`, in
   // `order` node order, and clears the buffers.
@@ -78,6 +122,10 @@ class ReliableProtocol final : public Protocol, public SendInterceptor {
   // Sender half of one link direction (this node -> neighbor).
   struct LinkTx {
     std::uint64_t next_seq = 1;
+    // Highest incarnation of the peer this sender has seen; stamped into
+    // every data frame so the peer can reject frames addressed to a
+    // previous life of itself.
+    std::uint32_t peer_view = 0;
     std::deque<Outstanding> unacked;
     std::uint64_t unacked_words = 0;  // sum of framed sizes in `unacked`
     std::uint64_t rto = 0;         // current retransmission timeout
@@ -89,6 +137,9 @@ class ReliableProtocol final : public Protocol, public SendInterceptor {
   // Receiver half of one link direction (neighbor -> this node).
   struct LinkRx {
     std::uint64_t next_expected = 1;
+    // Incarnation of the peer whose stream next_expected refers to; a
+    // higher incarnation in a frame restarts the session at seq 1.
+    std::uint32_t peer_inc = 0;
     std::map<std::uint64_t, Message> out_of_order;  // seq -> deframed payload
     bool ack_due = false;
   };
@@ -99,6 +150,10 @@ class ReliableProtocol final : public Protocol, public SendInterceptor {
     std::vector<NodeId> nbrs;  // sorted copy of comm_neighbors
     std::vector<LinkTx> tx;
     std::vector<LinkRx> rx;
+    // This node's epoch. Survives on_restart (the one word of stable
+    // storage the recovery model grants a node); everything else here is
+    // volatile and wiped.
+    std::uint32_t incarnation = 0;
     // The inner protocol's synthetic (deframed) inbox for the current step.
     std::vector<Delivery> inner_inbox;
     // Raw (un-hooked) context while this node is being stepped; on_send uses
@@ -107,16 +162,22 @@ class ReliableProtocol final : public Protocol, public SendInterceptor {
     std::uint64_t retransmitted_words = 0;
     std::uint64_t retransmitted_messages = 0;
     std::uint64_t acks_sent = 0;
+    std::uint64_t checksum_rejects = 0;
     std::uint64_t dead_links = 0;
-    // Buffered kRetransmit/kAck events of this node (trace capture only;
+    // Buffered transport trace events of this node (trace capture only;
     // `run` is filled at drain time by the Runner).
     std::vector<TraceEvent> trace_buf;
   };
 
   NodeState& state_of(NodeCtx& node);
   int nbr_index(const NodeState& st, NodeId u) const;
-  void handle_ack(LinkTx& tx, std::uint64_t acked);
-  void accept_data(NodeCtx& node, NodeState& st, int j, const Delivery& d);
+  // Reacts to the sender incarnation seen in any checksum-valid frame from
+  // neighbor j: a bump restarts both the tx session toward that peer (the
+  // pre-restart traffic is undeliverable - abandon it, revive the link if
+  // it was declared dead) and the rx session from it.
+  void note_peer_incarnation(NodeState& st, int j, std::uint32_t inc);
+  void handle_ack(NodeState& st, int j, Word header);
+  void accept_data(NodeState& st, int j, const Delivery& d);
   void service_timers(NodeCtx& node, NodeState& st);
   void arm_timer(NodeCtx& node, LinkTx& tx);
   static std::uint64_t drain_rounds(const NodeCtx& node, const LinkTx& tx);

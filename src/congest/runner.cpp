@@ -110,7 +110,8 @@ Runner::Runner(Network& net, Protocol& proto)
   trace_ = net.trace_;
   if (reliable_ != nullptr && trace_ != nullptr &&
       (trace_->wants(TraceEventKind::kRetransmit) ||
-       trace_->wants(TraceEventKind::kAck))) {
+       trace_->wants(TraceEventKind::kAck) ||
+       trace_->wants(TraceEventKind::kChecksumReject))) {
     reliable_->set_trace_capture(true);
   }
   pool_ = net.thread_pool();
@@ -168,10 +169,36 @@ void Runner::apply_due_crashes() {
   }
 }
 
+void Runner::apply_due_recoveries() {
+  restarted_.clear();
+  if (injector_ == nullptr) return;
+  auto recoveries = injector_->recoveries();
+  while (next_recover_ < recoveries.size() &&
+         recoveries[next_recover_].round <= round_) {
+    const NodeId v = recoveries[next_recover_++].node;
+    if (!crashed_[static_cast<std::size_t>(v)]) continue;
+    crashed_[static_cast<std::size_t>(v)] = false;
+    ++stats_.recoveries;
+    restarted_.push_back(v);
+    if (trace_ != nullptr) {
+      trace_->record(TraceEvent{run_id_, round_, v, graph::kNoNode, 0,
+                                TraceEventKind::kRecover, {}});
+    }
+  }
+}
+
+std::uint64_t Runner::next_recovery_round() const {
+  if (injector_ == nullptr) return ~std::uint64_t{0};
+  auto recoveries = injector_->recoveries();
+  if (next_recover_ >= recoveries.size()) return ~std::uint64_t{0};
+  return recoveries[next_recover_].round;
+}
+
 void Runner::crash_node(NodeId v) {
   crashed_[static_cast<std::size_t>(v)] = true;
   any_crash_ = true;
   ++run_crashes_;
+  ++stats_.crashes;
   // The node falls silent: queued and in-flight outbound traffic vanishes,
   // and anything still addressed to it will be discarded on arrival.
   const std::int32_t b = net_.nbr_offset_[static_cast<std::size_t>(v)];
@@ -387,6 +414,20 @@ void Runner::settle_dir(std::size_t pos, std::vector<int>& still_active) {
                                   msg.size(), TraceEventKind::kDrop, {}});
       }
     } else {
+      // Corruption is decided here on the host thread, after the drop
+      // decision, so the injector's RNG stream advances in the exact order
+      // sequential execution produces - thread counts cannot change it.
+      if (injector_ != nullptr) {
+        const std::uint32_t flips =
+            injector_->corrupt_message(dir_idx, round_, msg);
+        if (flips > 0) {
+          stats_.corrupted_words += flips;
+          if (trace_ != nullptr) {
+            trace_->record(TraceEvent{run_id_, round_, dir.from, dir.to,
+                                      flips, TraceEventKind::kCorrupt, {}});
+          }
+        }
+      }
       if (trace_ != nullptr) {
         trace_->record(TraceEvent{run_id_, round_, dir.from, dir.to,
                                   msg.size(), TraceEventKind::kDeliver, {}});
@@ -462,8 +503,16 @@ RunResult Runner::run() {
     const bool deliveries = !receivers_next_.empty();
     std::uint64_t next_round = round_ + 1;
     if (!in_flight && !deliveries) {
-      if (wakes_.empty()) break;  // quiescent
-      next_round = std::max(next_round, wakes_.top().first);
+      // A pending recovery keeps an otherwise quiescent network alive: the
+      // revived node's on_restart may start new traffic, exactly like a
+      // scheduled wake would.
+      const std::uint64_t recovery_round = next_recovery_round();
+      if (wakes_.empty() && recovery_round == ~std::uint64_t{0}) {
+        break;  // quiescent
+      }
+      std::uint64_t jump = recovery_round;
+      if (!wakes_.empty()) jump = std::min(jump, wakes_.top().first);
+      next_round = std::max(next_round, jump);
     }
     round_ = next_round;
     if (round_ > net_.config().max_rounds_per_run) {
@@ -471,6 +520,7 @@ RunResult Runner::run() {
       break;
     }
     apply_due_crashes();
+    apply_due_recoveries();
 
     // Nodes to invoke this round: message receivers + due wake-ups.
     active_nodes.clear();
@@ -488,6 +538,12 @@ RunResult Runner::run() {
     // adversarial inbox shuffles - everything that consumes schedule_rng_ -
     // happens here sequentially, so the parallel invocation phase that
     // follows touches no shared randomness.
+    // A node revived this round is re-initialized through on_restart below;
+    // stamping it here keeps stale wakes from before its crash from also
+    // invoking round() on it in the same round.
+    for (NodeId v : restarted_) {
+      last_invoked[static_cast<std::size_t>(v)] = round_;
+    }
     invocations_.clear();
     for (NodeId v : active_nodes) {
       if (crashed_[static_cast<std::size_t>(v)]) {
@@ -503,6 +559,16 @@ RunResult Runner::run() {
       invocations_.push_back(v);
     }
     trace_round_begin();
+    // Restarts run first, sequentially on the host thread and in schedule
+    // order: their sends and wake-ups claim the same seq_ numbers at every
+    // thread count, preserving bit-identical execution.
+    for (NodeId v : restarted_) {
+      NodeCtx ctx(*this, v);
+      ctx.inbox_override_ = &inbox_next_[static_cast<std::size_t>(v)];
+      proto.on_restart(ctx);
+      inbox_next_[static_cast<std::size_t>(v)].clear();
+    }
+    restarted_.clear();
     invoke_nodes(proto, /*first_round=*/false);
     drain_transport_trace();
 
@@ -518,12 +584,16 @@ RunResult Runner::run() {
   net_.total_rounds_ += stats_.rounds;
   if (reliable_ != nullptr) {
     stats_.retransmitted_words += reliable_->retransmitted_words();
+    stats_.checksum_rejects += reliable_->checksum_rejects();
+    stats_.dead_links += reliable_->dead_links();
   }
   RunOutcome outcome = RunOutcome::kCompleted;
   if (round_limit_hit_) {
     outcome = RunOutcome::kRoundLimitExceeded;
   } else if (any_crash_) {
-    outcome = RunOutcome::kCrashed;
+    const bool all_recovered = std::none_of(
+        crashed_.begin(), crashed_.end(), [](bool down) { return down; });
+    outcome = all_recovered ? RunOutcome::kRecovered : RunOutcome::kCrashed;
   }
   if (metrics_ != nullptr) {
     // One profile per run, recorded on the host thread after every per-round

@@ -116,6 +116,14 @@ class Runner {
   void activate_dir(int dir_idx);
   void apply_due_crashes();
   void crash_node(NodeId v);
+  // Revives crash-stopped nodes whose RecoverFault is due, collecting them
+  // into restarted_; run() then re-initializes each through
+  // Protocol::on_restart on the host thread, before the round's regular
+  // invocations, so recovery effects interleave deterministically.
+  void apply_due_recoveries();
+  // Earliest round of a not-yet-applied recovery (keeps an otherwise
+  // quiescent network alive, like a pending wake); ~0 when none.
+  std::uint64_t next_recovery_round() const;
   // Trace hooks (no-ops unless the attached Trace opts in). The round
   // markers and the ARQ drain run on the host thread at fixed points of the
   // round loop, so the emitted stream is bit-identical across thread counts.
@@ -183,6 +191,8 @@ class Runner {
   std::unique_ptr<ReliableProtocol> reliable_;
   std::vector<bool> crashed_;
   std::size_t next_crash_ = 0;
+  std::size_t next_recover_ = 0;
+  std::vector<NodeId> restarted_;  // revived this round, in schedule order
   bool any_crash_ = false;
   bool round_limit_hit_ = false;
 

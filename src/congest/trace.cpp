@@ -23,6 +23,9 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::kRetransmit: return "retransmit";
     case TraceEventKind::kAck: return "ack";
     case TraceEventKind::kQueuePeak: return "queue_peak";
+    case TraceEventKind::kCorrupt: return "corrupt";
+    case TraceEventKind::kRecover: return "recover";
+    case TraceEventKind::kChecksumReject: return "checksum_reject";
   }
   return "unknown";
 }
@@ -35,6 +38,8 @@ bool kind_from_string(std::string_view name, TraceEventKind& out) {
       TraceEventKind::kRoundEnd,   TraceEventKind::kPhaseBegin,
       TraceEventKind::kPhaseEnd,   TraceEventKind::kRetransmit,
       TraceEventKind::kAck,        TraceEventKind::kQueuePeak,
+      TraceEventKind::kCorrupt,    TraceEventKind::kRecover,
+      TraceEventKind::kChecksumReject,
   };
   for (TraceEventKind k : kAll) {
     if (name == to_string(k)) {
@@ -54,6 +59,17 @@ std::string to_string(const TraceEvent& e) {
   switch (e.kind) {
     case TraceEventKind::kCrash:
       std::snprintf(buf, sizeof(buf), "node %d CRASHED", e.from);
+      return out + buf;
+    case TraceEventKind::kRecover:
+      std::snprintf(buf, sizeof(buf), "node %d RECOVERED", e.from);
+      return out + buf;
+    case TraceEventKind::kCorrupt:
+      std::snprintf(buf, sizeof(buf), "%d -> %d CORRUPTED %uw", e.from, e.to,
+                    e.words);
+      return out + buf;
+    case TraceEventKind::kChecksumReject:
+      std::snprintf(buf, sizeof(buf), "%d -> %d CHECKSUM REJECT (%uw)",
+                    e.from, e.to, e.words);
       return out + buf;
     case TraceEventKind::kRunBegin:
       return out + "RUN BEGIN";
@@ -175,7 +191,8 @@ bool Trace::wants(TraceEventKind kind) const {
     case TraceEventKind::kPhaseBegin:
     case TraceEventKind::kPhaseEnd: return options_.phase_markers;
     case TraceEventKind::kRetransmit:
-    case TraceEventKind::kAck: return options_.transport_events;
+    case TraceEventKind::kAck:
+    case TraceEventKind::kChecksumReject: return options_.transport_events;
     case TraceEventKind::kQueuePeak: return options_.queue_peaks;
     default: return true;
   }
@@ -222,7 +239,9 @@ std::vector<TraceEvent> Trace::fault_events(std::uint64_t run) const {
     const TraceEvent& e = ring_.at(i);
     if (e.run != run) continue;
     if (e.kind == TraceEventKind::kDrop || e.kind == TraceEventKind::kStall ||
-        e.kind == TraceEventKind::kCrash) {
+        e.kind == TraceEventKind::kCrash ||
+        e.kind == TraceEventKind::kCorrupt ||
+        e.kind == TraceEventKind::kRecover) {
       out.push_back(e);
     }
   }

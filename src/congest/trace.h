@@ -51,8 +51,13 @@ enum class TraceEventKind : std::uint8_t {
   kPhaseBegin,   // a metrics phase span opened (label = phase name)
   kPhaseEnd,     // a metrics phase span closed (label = phase name)
   kRetransmit,   // ARQ layer retransmitted a frame (words = frame size)
-  kAck,          // ARQ layer sent a cumulative ack (words = 1)
+  kAck,          // ARQ layer sent a cumulative ack (words = frame size)
   kQueuePeak,    // direction backlog hit a new run maximum (words = depth)
+  // --- fault vocabulary added with the corruption/recovery tier ---------
+  kCorrupt,         // delivered message had words flipped (words = flips)
+  kRecover,         // `from` rejoined after a crash-stop (`to` unused)
+  kChecksumReject,  // ARQ layer rejected a corrupted frame (optional;
+                    // gated with the other transport events)
 };
 
 // Stable lowercase names ("deliver", "round_begin", ...) used by the JSONL
@@ -138,13 +143,13 @@ class JsonlSink final : public TraceSink {
   std::size_t lines_ = 0;
 };
 
-// Which optional event kinds the engine should emit. The four legacy kinds
-// (deliver/drop/stall/crash) are always recorded.
+// Which optional event kinds the engine should emit. The fault vocabulary
+// (deliver/drop/stall/crash/corrupt/recover) is always recorded.
 struct TraceOptions {
   bool run_markers = false;       // kRunBegin
   bool round_markers = false;     // kRoundBegin / kRoundEnd
   bool phase_markers = false;     // kPhaseBegin / kPhaseEnd
-  bool transport_events = false;  // kRetransmit / kAck
+  bool transport_events = false;  // kRetransmit / kAck / kChecksumReject
   bool queue_peaks = false;       // kQueuePeak
   // Wall-clock worker spans (side channel, non-deterministic; see above).
   bool wall_clock = false;
@@ -201,7 +206,8 @@ class Trace {
   std::vector<std::pair<std::uint64_t, std::uint64_t>> round_profile(
       std::uint64_t run) const;
 
-  // Retained fault events (kDrop/kStall/kCrash) of a run, in arrival order.
+  // Retained fault events (kDrop/kStall/kCrash/kCorrupt/kRecover) of a run,
+  // in arrival order.
   std::vector<TraceEvent> fault_events(std::uint64_t run) const;
 
   // Human-readable dump (bounded by max_lines).

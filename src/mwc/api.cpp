@@ -8,6 +8,7 @@
 #include "mwc/exact.h"
 #include "mwc/girth_approx.h"
 #include "mwc/weighted_mwc.h"
+#include "mwc/witness.h"
 #include "support/check.h"
 
 namespace mwc::cycle {
@@ -36,6 +37,78 @@ MwcResult dispatch_approx(congest::Network& net, double epsilon) {
   return undirected_weighted_mwc(net, params);
 }
 
+// Fills report.run / status / status_reason from the algorithm's result
+// and the network's configuration. Also drops any witness that does not
+// validate against the input graph - an invalid witness is never shipped.
+void certify(const congest::Network& net, bool exact_mode, MwcReport& report) {
+  MwcResult& r = report.result;
+  // Engine-level view: worst outcome + accumulated fault ledger. The
+  // approximation algorithms never record kRecovered themselves (a
+  // recovered run is a successful run_protocol call), so reconstruct it
+  // from the ledger's crash counter.
+  congest::RunOutcome outcome = r.worst_outcome;
+  if (outcome == congest::RunOutcome::kCompleted && r.stats.crashes > 0) {
+    outcome = congest::RunOutcome::kRecovered;
+  }
+  report.run = congest::RunResult{outcome, r.stats};
+
+  const bool completed = outcome == congest::RunOutcome::kCompleted ||
+                         outcome == congest::RunOutcome::kRecovered;
+  const bool interference =
+      stats_interference(r.stats, net.config().reliable_transport);
+
+  bool witness_ok = false;
+  if (!r.witness.empty()) {
+    graph::Weight total = 0;
+    witness_ok =
+        detail::validate_cycle(net.problem_graph(), r.witness, &total) &&
+        (exact_mode ? total == r.value : total <= r.value);
+    if (!witness_ok) r.witness.clear();
+  }
+
+  if (r.value == graph::kInfWeight) {
+    if (completed && !interference) {
+      // A clean completed run finding nothing proves there is no cycle
+      // (within the algorithm's guarantee) - certifiable without a witness.
+      report.status = exact_mode ? SolveStatus::kCertified
+                                 : SolveStatus::kApproxCertified;
+      report.status_reason = "clean completed run found no cycle";
+    } else {
+      // The faults (or the abort) may have hidden a cycle: nothing usable.
+      report.status = SolveStatus::kFailed;
+      report.status_reason =
+          completed
+              ? "faults interfered and no cycle candidate survived"
+              : std::string("run aborted (") + congest::to_string(outcome) +
+                    ") with no salvageable candidate";
+    }
+    return;
+  }
+
+  if (completed && !interference) {
+    if (witness_ok) {
+      report.status = exact_mode ? SolveStatus::kCertified
+                                 : SolveStatus::kApproxCertified;
+      report.status_reason =
+          exact_mode
+              ? "witness cycle validates at exactly the reported value"
+              : "witness cycle validates at or below the reported value";
+    } else {
+      report.status = SolveStatus::kDegraded;
+      report.status_reason =
+          "clean run, but no validated witness cycle certifies the value";
+    }
+    return;
+  }
+  report.status = SolveStatus::kDegraded;
+  report.status_reason =
+      completed
+          ? "faults interfered with the run (see fault ledger); value is an "
+            "upper bound, not certified minimal"
+          : std::string("run aborted (") + congest::to_string(outcome) +
+                "); value is the best-so-far candidate";
+}
+
 }  // namespace
 
 double approximate_mwc_guarantee(const congest::Network& net,
@@ -62,10 +135,13 @@ MwcReport solve(congest::Network& net, const SolveOptions& options) {
   try {
     report.result = exact ? detail::exact_mwc_impl(net)
                           : dispatch_approx(net, options.epsilon);
-    report.run = congest::RunResult{congest::RunOutcome::kCompleted,
-                                    report.result.stats};
+    certify(net, exact, report);
   } catch (const congest::RunAbortedError& e) {
     report.run = e.result();
+    report.status = SolveStatus::kFailed;
+    report.status_reason = std::string("run aborted (") +
+                           congest::to_string(e.result().outcome) +
+                           ") before producing a result";
   }
   if (scoped.has_value()) {
     report.metrics = scoped->snapshot();

@@ -22,6 +22,17 @@
 // SolveOptions::collect_metrics is set - a per-phase MetricsSnapshot
 // (congest/metrics.h) of everything the solve executed.
 //
+// Self-certification: every report carries a SolveStatus. solve() checks
+// the returned witness cycle against the input graph (validate_cycle) and
+// inspects the accumulated fault ledger (RunStats crash/drop/corruption
+// counters); only a run that completed, suffered no interference the
+// transport could not mask, and produced a value backed by a validated
+// witness (or a provably clean "no cycle") is reported as certified. A
+// finite best-effort value from an interrupted or interfered run is
+// returned - the paper's algorithms only ever build candidates from real
+// paths, so it is a genuine cycle-weight upper bound - but marked
+// kDegraded, never silently. An invalid witness is dropped, never shipped.
+//
 // approximate_mwc() / exact_mwc() (exact.h) remain as thin wrappers with
 // their historical throw-on-abort semantics.
 #pragma once
@@ -54,6 +65,35 @@ inline const char* to_string(SolveMode mode) {
 // sampling machinery only pays off once n dominates their polylog factors.
 inline constexpr int kAutoExactThreshold = 128;
 
+// How much of the answer solve() can vouch for. Ordered from best to
+// worst; see MwcReport::status_reason for the one-line justification.
+enum class SolveStatus {
+  // Exact value, validated witness cycle of exactly that weight (or a
+  // clean completed run proving there is no cycle), no un-masked faults.
+  kCertified,
+  // Same evidence bar, but the dispatched algorithm promises a ratio
+  // (MwcReport::guarantee) rather than the exact minimum: the witness
+  // validates with weight <= value.
+  kApproxCertified,
+  // A usable value without the full evidence: the run lost node state or
+  // raw messages, hit the round budget (best-so-far candidates), or the
+  // algorithm could not attach a validated witness. The value is still the
+  // weight of a real cycle - an upper bound - just not certified minimal.
+  kDegraded,
+  // No usable value (aborted with nothing salvaged).
+  kFailed,
+};
+
+inline const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kCertified: return "certified";
+    case SolveStatus::kApproxCertified: return "approx_certified";
+    case SolveStatus::kDegraded: return "degraded";
+    case SolveStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
 struct SolveOptions {
   SolveMode mode = SolveMode::kAuto;
   // Approximation slack for the weighted classes ((2 + eps) ratios).
@@ -67,10 +107,15 @@ struct SolveOptions {
 struct MwcReport {
   MwcResult result;
 
-  // How the underlying protocol runs ended. kCompleted when every run ran
-  // to quiescence; otherwise the outcome and stats of the aborted run
-  // (result.value is then meaningless).
+  // How the underlying protocol runs ended: the worst outcome across the
+  // solve's runs (kRecovered when crashes happened but every node was
+  // revived) with the accumulated stats - the fault ledger. On a salvaged
+  // abort result.value is the best-so-far candidate (see SolveStatus).
   congest::RunResult run;
+
+  // Self-certification verdict and its one-line justification.
+  SolveStatus status = SolveStatus::kFailed;
+  std::string status_reason;
 
   // Approximation ratio the dispatched algorithm promises (1.0 = exact).
   double guarantee = 1.0;
@@ -81,6 +126,14 @@ struct MwcReport {
   // Per-phase profile; empty unless SolveOptions::collect_metrics.
   congest::MetricsSnapshot metrics;
 
+  // Accumulated fault/transport counters of every run behind the report
+  // (identical to run.stats; named for readability at call sites).
+  const congest::RunStats& fault_ledger() const { return run.stats; }
+
+  bool certified() const {
+    return status == SolveStatus::kCertified ||
+           status == SolveStatus::kApproxCertified;
+  }
   bool ok() const { return run.ok(); }
 };
 

@@ -55,7 +55,14 @@ struct AllPairs {
   }
 };
 
-AllPairs all_pairs(congest::Network& net, RunStats* stats) {
+// Runs the APSP phase without throwing: an aborted run (round budget,
+// unrecovered crash) still yields the distance estimates accumulated so
+// far. Every finite MultiBfs estimate is the weight of a real path - the
+// protocol only ever relaxes along actual edges - so candidates built from
+// a partial matrix are genuine cycle-weight upper bounds, merely not
+// proven minimal. The caller downgrades accordingly via `outcome`.
+AllPairs all_pairs(congest::Network& net, RunStats* stats,
+                   congest::RunOutcome* outcome) {
   const int n = net.n();
   std::vector<NodeId> sources(static_cast<std::size_t>(n));
   for (NodeId v = 0; v < n; ++v) sources[static_cast<std::size_t>(v)] = v;
@@ -64,7 +71,12 @@ AllPairs all_pairs(congest::Network& net, RunStats* stats) {
   params.mode = net.problem_graph().is_unit_weight()
                     ? congest::DelayMode::kUnitDelay
                     : congest::DelayMode::kImmediate;
-  congest::MultiBfs bfs = run_multi_bfs(net, std::move(params), stats);
+  congest::PhaseSpan span(net, "multi_bfs");
+  congest::MultiBfs bfs(net, std::move(params));
+  const congest::RunResult rr = congest::run_protocol_result(net, bfs);
+  span.close();
+  *stats = rr.stats;
+  *outcome = rr.outcome;
   AllPairs ap;
   ap.n = n;
   ap.d.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
@@ -91,10 +103,15 @@ MwcResult exact_mwc_impl(congest::Network& net) {
   result.sample_count = n;
 
   RunStats s;
+  congest::RunOutcome apsp_outcome = congest::RunOutcome::kCompleted;
   congest::PhaseSpan apsp_span(net, "apsp");
-  AllPairs ap = all_pairs(net, &s);
+  AllPairs ap = all_pairs(net, &s, &apsp_outcome);
   apsp_span.close();
   add_stats(result.stats, s);
+  note_outcome(result.worst_outcome, apsp_outcome);
+  const bool apsp_usable =
+      apsp_outcome == congest::RunOutcome::kCompleted ||
+      apsp_outcome == congest::RunOutcome::kRecovered;
 
   std::vector<Weight> mu(static_cast<std::size_t>(n), kInfWeight);
   // Best candidate details for witness reconstruction.
@@ -116,65 +133,126 @@ MwcResult exact_mwc_impl(congest::Network& net) {
       }
     }
   } else {
-    // Exchange distance vectors (+ parent flags) with neighbors, then take
-    // non-tree-edge candidates d(w,x) + d(w,y) + w(x,y).
-    congest::PhaseSpan exchange_span(net, "distance exchange");
-    congest::NeighborExchangeResult ex = congest::neighbor_exchange(
-        net,
-        [&](NodeId v, NodeId u) {
-          std::vector<Word> words;
-          words.reserve(static_cast<std::size_t>(n));
-          for (NodeId w = 0; w < n; ++w) {
-            const Weight d = ap.at(v, w);
-            if (d == kInfWeight) continue;
-            words.push_back(pack_entry(w, d, ap.parent_at(v, w) == u));
-          }
-          return words;
-        },
-        &s);
-    exchange_span.close();
-    add_stats(result.stats, s);
+    // Non-tree-edge candidates d(w,x) + d(w,y) + w(x,y). The distributed
+    // realization exchanges distance vectors (+ parent flags) with
+    // neighbors; when a run aborts (or the APSP already did), the same
+    // candidates are rebuilt from the partial matrix directly - the
+    // exchanged words are a pure function of it - and solve() marks the
+    // result degraded via worst_outcome.
+    auto consider = [&](NodeId y, const graph::Arc& a, NodeId w, Weight dx,
+                        bool x_parented_by_y) {
+      if (x_parented_by_y) return;               // (x,y) tree edge
+      if (ap.parent_at(y, w) == a.to) return;    // (x,y) tree edge
+      const Weight dy = ap.at(y, w);
+      if (dy == kInfWeight) return;
+      mu[static_cast<std::size_t>(y)] =
+          std::min(mu[static_cast<std::size_t>(y)], dx + dy + a.w);
+      if (dx + dy + a.w < best) {
+        best = dx + dy + a.w;
+        best_u = y;  // cycle = SP(w -> x) + edge (x, y) + SP(y -> w)
+        best_x = a.to;
+        best_w = w;
+      }
+    };
+    bool exchanged = false;
+    if (apsp_usable) {
+      try {
+        congest::PhaseSpan exchange_span(net, "distance exchange");
+        congest::NeighborExchangeResult ex = congest::neighbor_exchange(
+            net,
+            [&](NodeId v, NodeId u) {
+              std::vector<Word> words;
+              words.reserve(static_cast<std::size_t>(n));
+              for (NodeId w = 0; w < n; ++w) {
+                const Weight d = ap.at(v, w);
+                if (d == kInfWeight) continue;
+                words.push_back(pack_entry(w, d, ap.parent_at(v, w) == u));
+              }
+              return words;
+            },
+            &s);
+        exchange_span.close();
+        add_stats(result.stats, s);
 
-    for (NodeId y = 0; y < n; ++y) {
-      for (const graph::Arc& a : g.out(y)) {
-        const NodeId x = a.to;
-        for (Word word : ex.received(y, x)) {
-          NodeId w = graph::kNoNode;
-          Weight dx = 0;
-          bool x_parented_by_y = false;
-          unpack_entry(word, &w, &dx, &x_parented_by_y);
-          if (x_parented_by_y) continue;                    // (x,y) tree edge
-          if (ap.parent_at(y, w) == x) continue;            // (x,y) tree edge
-          const Weight dy = ap.at(y, w);
-          if (dy == kInfWeight) continue;
-          mu[static_cast<std::size_t>(y)] =
-              std::min(mu[static_cast<std::size_t>(y)], dx + dy + a.w);
-          if (dx + dy + a.w < best) {
-            best = dx + dy + a.w;
-            best_u = y;  // cycle = SP(w -> x) + edge (x, y) + SP(y -> w)
-            best_x = x;
-            best_w = w;
+        for (NodeId y = 0; y < n; ++y) {
+          for (const graph::Arc& a : g.out(y)) {
+            for (Word word : ex.received(y, a.to)) {
+              NodeId w = graph::kNoNode;
+              Weight dx = 0;
+              bool x_parented_by_y = false;
+              unpack_entry(word, &w, &dx, &x_parented_by_y);
+              consider(y, a, w, dx, x_parented_by_y);
+            }
+          }
+        }
+        exchanged = true;
+      } catch (const congest::RunAbortedError& e) {
+        add_stats(result.stats, e.result().stats);
+        note_outcome(result.worst_outcome, e.result().outcome);
+      }
+    }
+    if (!exchanged) {
+      for (NodeId y = 0; y < n; ++y) {
+        for (const graph::Arc& a : g.out(y)) {
+          for (NodeId w = 0; w < n; ++w) {
+            const Weight dx = ap.at(a.to, w);
+            if (dx == kInfWeight) continue;
+            consider(y, a, w, dx, ap.parent_at(a.to, w) == y);
           }
         }
       }
     }
   }
 
-  congest::PhaseSpan aggregate_span(net, "aggregate min");
-  congest::BfsTreeResult tree = congest::build_bfs_tree(net, 0, &s);
-  add_stats(result.stats, s);
-  result.value = congest::convergecast(net, tree, mu, congest::AggregateOp::kMin, &s);
-  aggregate_span.close();
-  add_stats(result.stats, s);
-  MWC_CHECK(result.value == best);
+  // Redundant network-level aggregation of the per-node minima. Skipped
+  // after an abort (another full run would just re-hit the same fault);
+  // when it runs on an interference-free ledger it must reproduce the
+  // host-side candidate. The fault schedule re-applies to every protocol
+  // run, so the aggregate is also skipped whenever the plan can surface
+  // un-masked interference (a crash can disconnect the tree build itself;
+  // raw loss or corruption without the ARQ layer can strand a subtree) -
+  // the cross-check would be vacuous on such ledgers anyway.
+  const auto& plan = net.config().faults;
+  const bool plan_can_interfere =
+      !plan.crashes.empty() ||
+      (!net.config().reliable_transport &&
+       (plan.has_drops() || plan.has_corruption()));
+  if (!plan_can_interfere &&
+      (result.worst_outcome == congest::RunOutcome::kCompleted ||
+       result.worst_outcome == congest::RunOutcome::kRecovered)) {
+    try {
+      congest::PhaseSpan aggregate_span(net, "aggregate min");
+      congest::BfsTreeResult tree = congest::build_bfs_tree(net, 0, &s);
+      add_stats(result.stats, s);
+      const Weight agg =
+          congest::convergecast(net, tree, mu, congest::AggregateOp::kMin, &s);
+      aggregate_span.close();
+      add_stats(result.stats, s);
+      if (!stats_interference(result.stats, net.config().reliable_transport)) {
+        MWC_CHECK(agg == best);
+      }
+    } catch (const congest::RunAbortedError& e) {
+      add_stats(result.stats, e.result().stats);
+      note_outcome(result.worst_outcome, e.result().outcome);
+    }
+  }
+  result.value = best;
 
   // Witness reconstruction from the SPT parent pointers ("store the next
-  // vertex on the cycle at each vertex" - Section 1.1).
+  // vertex on the cycle at each vertex" - Section 1.1). On a salvaged
+  // partial matrix a parent chain may be truncated (kNoNode) or, in
+  // principle, inconsistent; the climb bails out and the witness is simply
+  // omitted (solve() validates whatever is attached anyway).
   if (best != kInfWeight) {
-    auto climb = [&ap](NodeId from, NodeId source) {
+    auto climb = [&ap, n](NodeId from, NodeId source) {
       std::vector<NodeId> path{from};  // from back to source
       while (path.back() != source) {
-        path.push_back(ap.parent_at(path.back(), source));
+        const NodeId p = ap.parent_at(path.back(), source);
+        if (p == kNoNode || static_cast<int>(path.size()) > n) {
+          path.clear();
+          return path;
+        }
+        path.push_back(p);
       }
       return path;  // [from, ..., source]
     };
@@ -187,10 +265,12 @@ MwcResult exact_mwc_impl(congest::Network& net) {
       // closing edge (x, y).
       std::vector<NodeId> px = climb(best_x, best_w);  // x ... w
       std::vector<NodeId> py = climb(best_u, best_w);  // y ... w
-      result.witness.assign(px.begin(), px.end());     // x ... w
-      result.witness.insert(result.witness.end(), std::next(py.rbegin()),
-                            py.rend());                // ... back toward y
-      std::reverse(result.witness.begin(), result.witness.end());
+      if (!px.empty() && !py.empty()) {
+        result.witness.assign(px.begin(), px.end());   // x ... w
+        result.witness.insert(result.witness.end(), std::next(py.rbegin()),
+                              py.rend());              // ... back toward y
+        std::reverse(result.witness.begin(), result.witness.end());
+      }
     }
   }
   return result;

@@ -31,6 +31,14 @@ struct MwcResult {
   // branches; directed_weighted_mwc never (documented limitation).
   std::vector<graph::NodeId> witness;
 
+  // Worst engine outcome among the protocol runs behind this result.
+  // kCompleted normally; kRecovered when every crash-stopped node was
+  // revived mid-run; exact_mwc's best-so-far salvage records
+  // kRoundLimitExceeded / kCrashed here when a run aborted but a candidate
+  // value was still extracted (the value is then an upper bound built from
+  // genuine partial shortest paths, not the proven minimum).
+  congest::RunOutcome worst_outcome = congest::RunOutcome::kCompleted;
+
   // Diagnostics (not part of the distributed output).
   graph::Weight long_cycle_value = graph::kInfWeight;
   graph::Weight short_cycle_value = graph::kInfWeight;
@@ -49,6 +57,42 @@ inline void add_stats(congest::RunStats& acc, const congest::RunStats& s) {
   acc.dropped_words += s.dropped_words;
   acc.retransmitted_words += s.retransmitted_words;
   acc.stalled_rounds += s.stalled_rounds;
+  acc.corrupted_words += s.corrupted_words;
+  acc.checksum_rejects += s.checksum_rejects;
+  acc.crashes += s.crashes;
+  acc.recoveries += s.recoveries;
+  acc.dead_links += s.dead_links;
+}
+
+// True when the accumulated fault ledger shows interference the transport
+// could not mask: lost node state (crash-stops, even if later recovered -
+// the node's volatile algorithm state is gone), links abandoned by the ARQ
+// layer, or raw loss/corruption on a network without reliable_transport.
+// Masked faults (drops, corruption, and stalls under the ARQ layer) do not
+// count: they cost rounds, never correctness.
+inline bool stats_interference(const congest::RunStats& s,
+                               bool reliable_transport) {
+  if (s.crashes > 0 || s.dead_links > 0) return true;
+  if (!reliable_transport &&
+      (s.dropped_messages > 0 || s.corrupted_words > 0)) {
+    return true;
+  }
+  return false;
+}
+
+// Keeps the more severe of two run outcomes (completed < recovered <
+// round-limit < crashed).
+inline void note_outcome(congest::RunOutcome& worst, congest::RunOutcome o) {
+  auto rank = [](congest::RunOutcome x) {
+    switch (x) {
+      case congest::RunOutcome::kCompleted: return 0;
+      case congest::RunOutcome::kRecovered: return 1;
+      case congest::RunOutcome::kRoundLimitExceeded: return 2;
+      case congest::RunOutcome::kCrashed: return 3;
+    }
+    return 0;
+  };
+  if (rank(o) > rank(worst)) worst = o;
 }
 
 }  // namespace mwc::cycle

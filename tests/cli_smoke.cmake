@@ -16,7 +16,7 @@ endif()
 
 execute_process(COMMAND ${CLI} run exact ${GRAPH} 3
                 RESULT_VARIABLE rc OUTPUT_VARIABLE out)
-if(NOT rc EQUAL 0 OR NOT out MATCHES "witness:")
+if(NOT rc EQUAL 0 OR NOT out MATCHES "witness:" OR NOT out MATCHES "status: certified")
   message(FATAL_ERROR "run exact failed: ${out}")
 endif()
 
@@ -33,11 +33,53 @@ if(NOT rc EQUAL 0 OR NOT out MATCHES "retransmitted: [0-9]+ words")
   message(FATAL_ERROR "run exact with drops failed: ${out}")
 endif()
 
-# A hopeless round budget must exit cleanly with a diagnostic, not abort.
+# A hopeless round budget must exit cleanly, never abort or return an
+# unlabeled answer: either a best-so-far candidate labeled degraded (rc 3)
+# or, with nothing salvageable, a failure diagnostic (rc 2).
 execute_process(COMMAND ${CLI} run exact ${GRAPH} 3 --max-rounds=2
-                RESULT_VARIABLE rc ERROR_VARIABLE err)
-if(NOT rc EQUAL 2 OR NOT err MATCHES "round_limit_exceeded")
-  message(FATAL_ERROR "run with tiny --max-rounds: rc=${rc}: ${err}")
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 3)
+  if(NOT out MATCHES "status: degraded" OR NOT out MATCHES "round_limit_exceeded")
+    message(FATAL_ERROR "tiny --max-rounds degraded run: ${out}")
+  endif()
+elseif(rc EQUAL 2)
+  if(NOT err MATCHES "round_limit_exceeded")
+    message(FATAL_ERROR "tiny --max-rounds failed run: ${err}")
+  endif()
+else()
+  message(FATAL_ERROR "run with tiny --max-rounds: rc=${rc}: ${out}${err}")
+endif()
+
+# Crash + recovery: the node rejoins mid-run, the run completes, and the
+# answer is labeled degraded (volatile state was lost) with a fault ledger.
+# --max-rounds bounds the run in case a schedule wedges a protocol.
+execute_process(COMMAND ${CLI} run exact ${GRAPH} 3 --fault-crash=5:40
+                --fault-recover=5:400 --max-rounds=200000
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 3 OR NOT out MATCHES "status: degraded"
+   OR NOT out MATCHES "recoveries")
+  message(FATAL_ERROR "run with crash+recover: rc=${rc}: ${out}")
+endif()
+
+# Corruption is fully masked by the checksumming transport: certified
+# answer, and the metrics JSON is byte-identical across --threads values.
+execute_process(COMMAND ${CLI} run exact ${GRAPH} 3 --fault-corrupt-prob=0.05
+                --metrics=${WORK}/c1.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "status: certified"
+   OR NOT out MATCHES "checksum rejects")
+  message(FATAL_ERROR "run with corruption: rc=${rc}: ${out}")
+endif()
+execute_process(COMMAND ${CLI} run exact ${GRAPH} 3 --fault-corrupt-prob=0.05
+                --threads=4 --metrics=${WORK}/c4.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "run with corruption --threads=4 failed: ${out}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK}/c1.json ${WORK}/c4.json RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "corruption metrics JSON differs between --threads=1 and --threads=4")
 endif()
 
 # The solve() modes report the dispatched algorithm and its guarantee.

@@ -23,7 +23,9 @@
 #include "congest/trace.h"
 #include "graph/generators.h"
 #include "graph/sequential.h"
+#include "mwc/api.h"
 #include "mwc/exact.h"
+#include "mwc/witness.h"
 #include "support/check.h"
 #include "support/rng.h"
 
@@ -305,6 +307,145 @@ TEST(CrashStop, CrashAtRoundZeroSilencesNodeEntirely) {
   EXPECT_EQ(faults[0].from, 0);
 }
 
+// ---------- overlapping stalls ----------------------------------------------
+
+TEST(Stalls, OverlappingWindowsOnOneDirectionStillConverge) {
+  // Two overlapping stall windows on the same direction behave like their
+  // union: messages are held longer, never lost, and the relaxation-based
+  // tree builder still converges to exact BFS depths.
+  Graph g = test_graph(20);
+  NetworkConfig cfg;
+  const NodeId nbr = g.out(0)[0].to;
+  cfg.faults.stalls.push_back(StallFault{0, nbr, 0, 30});
+  cfg.faults.stalls.push_back(StallFault{0, nbr, 20, 60});
+  Network net(g, /*seed=*/43, cfg);
+  RunStats stats;
+  BfsTreeResult tree = build_bfs_tree(net, /*root=*/0, &stats);
+  EXPECT_GT(stats.stalled_rounds, 0u);
+  auto ref = graph::seq::bfs_hops(g.communication_topology(), 0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(tree.depth[static_cast<std::size_t>(v)],
+              ref[static_cast<std::size_t>(v)]);
+  }
+}
+
+// ---------- corruption -------------------------------------------------------
+
+TEST(Corruption, MaskedOnLinkThatAlsoDrops) {
+  // One link both drops messages and flips words in the survivors, on top
+  // of engine-wide rates; the checksumming ARQ masks all of it and the
+  // tree builder still produces exact depths.
+  Graph g = test_graph(21);
+  NetworkConfig cfg;
+  cfg.reliable_transport = true;
+  cfg.faults.drop_prob = 0.15;
+  cfg.faults.corrupt_prob = 0.03;
+  const NodeId nbr = g.out(0)[0].to;
+  cfg.faults.drop_overrides.push_back(LinkDropOverride{0, nbr, 0.5});
+  cfg.faults.corrupt_overrides.push_back(LinkCorruptOverride{0, nbr, 0.2});
+  Network net(g, /*seed=*/47, cfg);
+  RunStats stats;
+  BfsTreeResult tree = build_bfs_tree(net, /*root=*/0, &stats);
+  EXPECT_GT(stats.dropped_messages, 0u);
+  EXPECT_GT(stats.corrupted_words, 0u);
+  EXPECT_GT(stats.checksum_rejects, 0u);
+  auto ref = graph::seq::bfs_hops(g.communication_topology(), 0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(tree.depth[static_cast<std::size_t>(v)],
+              ref[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(Corruption, ExactMwcMatchesFaultFreeAtFivePercentCorruption) {
+  // Acceptance bar: 5% of all delivered words flipped, answer bit-identical
+  // to the fault-free run under the reliable transport.
+  Graph g = test_graph(22, 24, 48);
+  Network clean(g, /*seed=*/53);
+  cycle::MwcResult want = cycle::exact_mwc(clean);
+
+  NetworkConfig cfg;
+  cfg.reliable_transport = true;
+  cfg.faults.corrupt_prob = 0.05;
+  Network noisy(g, /*seed=*/53, cfg);
+  cycle::MwcResult got = cycle::exact_mwc(noisy);
+  EXPECT_EQ(got.value, want.value);
+  EXPECT_EQ(got.witness, want.witness);
+  EXPECT_GT(got.stats.corrupted_words, 0u);
+  EXPECT_GT(got.stats.checksum_rejects, 0u);
+}
+
+TEST(Corruption, TargetedWindowFlipsEveryDelivery) {
+  // A CorruptFault window mangles every message one direction delivers
+  // during the window, independent of the probabilistic rate.
+  Graph g = test_graph(23);
+  NetworkConfig cfg;
+  const NodeId nbr = g.out(0)[0].to;
+  cfg.faults.corrupt_windows.push_back(CorruptFault{0, nbr, 0, 1000});
+  Network net(g, /*seed=*/59, cfg);
+  Trace trace;
+  net.attach_trace(&trace);
+  Flood proto(net.n());  // payload-agnostic: safe without the transport
+  RunResult r = run_protocol_result(net, proto);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.stats.corrupted_words, 0u);
+  bool saw_corrupt_event = false;
+  for (const TraceEvent& e : trace.fault_events(/*run=*/0)) {
+    if (e.kind == TraceEventKind::kCorrupt) {
+      saw_corrupt_event = true;
+      EXPECT_EQ(e.from, 0);
+      EXPECT_EQ(e.to, nbr);
+      EXPECT_GT(e.words, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_corrupt_event);
+}
+
+// ---------- replay-by-seed for the new schedules -----------------------------
+
+TEST(FaultSchedule, CorruptionAndRecoveryReplayBySeed) {
+  Graph g = test_graph(24);
+  NetworkConfig cfg;
+  cfg.reliable_transport = true;
+  cfg.faults.corrupt_prob = 0.05;
+  cfg.faults.drop_prob = 0.1;
+  cfg.faults.crashes.push_back(CrashFault{7, 12});
+  cfg.faults.recovers.push_back(RecoverFault{7, 60});
+  RunStats first;
+  std::vector<TraceEvent> first_faults;
+  for (int rep = 0; rep < 2; ++rep) {
+    Network net(g, /*seed=*/61, cfg);
+    Trace trace;
+    net.attach_trace(&trace);
+    Flood proto(net.n());
+    RunResult r = run_protocol_result(net, proto);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.outcome, RunOutcome::kRecovered);
+    if (rep == 0) {
+      first = r.stats;
+      first_faults = trace.fault_events(/*run=*/0);
+      EXPECT_GT(first.corrupted_words, 0u);
+      EXPECT_EQ(first.crashes, 1u);
+      EXPECT_EQ(first.recoveries, 1u);
+    } else {
+      EXPECT_EQ(r.stats.rounds, first.rounds);
+      EXPECT_EQ(r.stats.words, first.words);
+      EXPECT_EQ(r.stats.corrupted_words, first.corrupted_words);
+      EXPECT_EQ(r.stats.checksum_rejects, first.checksum_rejects);
+      EXPECT_EQ(r.stats.retransmitted_words, first.retransmitted_words);
+      std::vector<TraceEvent> faults = trace.fault_events(/*run=*/0);
+      ASSERT_EQ(faults.size(), first_faults.size());
+      for (std::size_t i = 0; i < faults.size(); ++i) {
+        EXPECT_EQ(faults[i].round, first_faults[i].round);
+        EXPECT_EQ(faults[i].from, first_faults[i].from);
+        EXPECT_EQ(faults[i].to, first_faults[i].to);
+        EXPECT_EQ(static_cast<int>(faults[i].kind),
+                  static_cast<int>(first_faults[i].kind));
+        EXPECT_EQ(faults[i].words, first_faults[i].words);
+      }
+    }
+  }
+}
+
 TEST(CrashStop, ReliableTransportDeclaresDeadLinkAndTerminates) {
   // A crashed peer never acks; the sender must give up after max_retries so
   // the run still quiesces (outcome kCrashed, not a round-limit spin).
@@ -320,6 +461,143 @@ TEST(CrashStop, ReliableTransportDeclaresDeadLinkAndTerminates) {
   RunResult r = run_protocol_result(net, proto);
   EXPECT_EQ(r.outcome, RunOutcome::kCrashed);
   EXPECT_GT(r.stats.retransmitted_words, 0u);
+}
+
+// ---------- crash-recovery ---------------------------------------------------
+
+TEST(CrashRecovery, CrashAtRoundZeroThenRecoveryCompletesTheFlood) {
+  // Crash the flood's origin before it ever acts, revive it later: the
+  // engine keeps the otherwise-quiescent run alive until the recovery,
+  // on_restart re-runs begin(), and the flood completes. Outcome is
+  // kRecovered - an ok() run whose ledger shows the interruption.
+  Graph g = test_graph(25);
+  NetworkConfig cfg;
+  cfg.faults.crashes.push_back(CrashFault{0, 0});
+  cfg.faults.recovers.push_back(RecoverFault{0, 15});
+  Network net(g, /*seed=*/67, cfg);
+  Trace trace;
+  net.attach_trace(&trace);
+  Flood proto(net.n());
+  RunResult r = run_protocol_result(net, proto);
+  EXPECT_EQ(r.outcome, RunOutcome::kRecovered);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.stats.crashes, 1u);
+  EXPECT_EQ(r.stats.recoveries, 1u);
+  for (NodeId v = 0; v < net.n(); ++v) {
+    EXPECT_TRUE(proto.reached()[static_cast<std::size_t>(v)]) << "node " << v;
+  }
+  auto faults = trace.fault_events(/*run=*/0);
+  ASSERT_EQ(faults.size(), 2u);
+  EXPECT_EQ(faults[0].kind, TraceEventKind::kCrash);
+  EXPECT_EQ(faults[1].kind, TraceEventKind::kRecover);
+  EXPECT_EQ(faults[1].from, 0);
+  EXPECT_EQ(faults[1].round, 15u);
+}
+
+// Sender (node 0) streams the payloads 1..k to node 1, one per round; the
+// receiver logs every payload it is handed, in arrival order. Over the
+// reliable transport this makes per-link delivery semantics observable.
+class Counter : public Protocol {
+ public:
+  explicit Counter(int k) : k_(k) {}
+
+  void begin(NodeCtx& node) override {
+    if (node.id() == 0) node.wake_next();
+  }
+
+  void round(NodeCtx& node) override {
+    if (node.id() == 0) {
+      if (next_ <= k_) {
+        node.send(1, Message{static_cast<Word>(next_)});
+        ++next_;
+        if (next_ <= k_) node.wake_next();
+      }
+      return;
+    }
+    for (const Delivery& d : node.inbox()) {
+      received_.push_back(d.msg[0]);
+    }
+  }
+
+  const std::vector<Word>& received() const { return received_; }
+
+ private:
+  int k_;
+  int next_ = 1;
+  std::vector<Word> received_;  // test instrument, not node state
+};
+
+TEST(CrashRecovery, EpochResyncRestoresExactlyOnceInOrderDelivery) {
+  // Link-level acceptance bar: crash the receiver mid-stream, revive it,
+  // and check the ARQ's incarnation resync. In-flight pre-crash frames are
+  // abandoned (a visible gap - the crash is in the ledger, not masked), but
+  // delivery is exactly-once and in-order on both sides of it: the log is
+  // strictly increasing, and everything from the first post-gap payload to
+  // the last sent payload arrives contiguously.
+  constexpr int kCount = 40;
+  const graph::Edge edges[] = {{0, 1, 1}};
+  Graph g = Graph::undirected(2, edges);
+  NetworkConfig cfg;
+  cfg.reliable_transport = true;
+  cfg.faults.crashes.push_back(CrashFault{1, 6});
+  cfg.faults.recovers.push_back(RecoverFault{1, 20});
+  Network net(g, /*seed=*/71, cfg);
+  Counter proto(kCount);
+  RunResult r = run_protocol_result(net, proto);
+  EXPECT_EQ(r.outcome, RunOutcome::kRecovered);
+  EXPECT_TRUE(r.ok());
+
+  const std::vector<Word>& got = proto.received();
+  ASSERT_FALSE(got.empty());
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    ASSERT_LT(got[i - 1], got[i]) << "duplicate or reordered delivery";
+  }
+  EXPECT_EQ(got.front(), 1u);
+  EXPECT_EQ(got.back(), static_cast<Word>(kCount));
+  // Exactly one gap (the abandoned pre-crash session), then contiguous.
+  std::size_t gaps = 0, gap_at = 0;
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    if (got[i] != got[i - 1] + 1) {
+      ++gaps;
+      gap_at = i;
+    }
+  }
+  ASSERT_LE(gaps, 1u);
+  if (gaps == 1) {
+    for (std::size_t i = gap_at + 1; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], got[i - 1] + 1) << "post-resync stream must be contiguous";
+    }
+  }
+}
+
+TEST(CrashRecovery, ExactMwcEndToEndIsDegradedButSound) {
+  // End-to-end acceptance bar: a node crash-stops during exact_mwc and
+  // rejoins; the solve completes over the resynced transport, reports the
+  // interruption, and never labels the answer certified.
+  Graph g = test_graph(26, 24, 48);
+  NetworkConfig cfg;
+  cfg.reliable_transport = true;
+  cfg.faults.crashes.push_back(CrashFault{3, 8});
+  cfg.faults.recovers.push_back(RecoverFault{3, 120});
+  Network net(g, /*seed=*/73, cfg);
+  cycle::SolveOptions opts;
+  opts.mode = cycle::SolveMode::kExact;
+  cycle::MwcReport report = cycle::solve(net, opts);
+
+  ASSERT_NE(report.status, cycle::SolveStatus::kFailed);
+  EXPECT_EQ(report.status, cycle::SolveStatus::kDegraded);
+  EXPECT_GT(report.fault_ledger().crashes, 0u);
+  EXPECT_GT(report.fault_ledger().recoveries, 0u);
+  // Soundness: a salvaged value is an upper bound on the true minimum, and
+  // any attached witness validated against the input graph in solve().
+  const graph::Weight oracle = graph::seq::mwc(g);
+  ASSERT_NE(report.result.value, graph::kInfWeight);
+  EXPECT_GE(report.result.value, oracle);
+  if (!report.result.witness.empty()) {
+    graph::Weight total = 0;
+    EXPECT_TRUE(cycle::detail::validate_cycle(g, report.result.witness, &total));
+    EXPECT_EQ(total, report.result.value);
+  }
 }
 
 }  // namespace

@@ -6,12 +6,14 @@
 // (or still-guaranteed) outputs.
 #include <gtest/gtest.h>
 
+#include "congest/faults.h"
 #include "congest/multi_bfs.h"
 #include "congest/network.h"
 #include "graph/generators.h"
 #include "graph/sequential.h"
 #include "mwc/api.h"
 #include "mwc/exact.h"
+#include "mwc/witness.h"
 #include "support/rng.h"
 
 namespace mwc::cycle {
@@ -161,6 +163,97 @@ TEST(ScheduleFuzz, ExactMwcUnderScheduleAndDropsOnParallelEngine) {
     Network net(g, 3, shuffled_and_lossy(0.15, 4));
     EXPECT_EQ(exact_mwc(net).value, ref) << "seed " << seed;
   }
+}
+
+// ---------- fuzzed corruption + crash/recovery schedules ---------------------
+
+// The self-certification contract under a randomized fault adversary: for
+// whatever corruption rates, targeted windows, and crash/recovery
+// schedules are thrown at solve() (over the checksumming transport), a
+// report whose value differs from the sequential oracle must NEVER be
+// labeled certified; every certified report is exactly right; every
+// attached witness validates against the input graph; and degraded values
+// are genuine cycle weights (upper bounds), never underestimates.
+TEST(ScheduleFuzz, FuzzedFaultSchedulesNeverCertifyAWrongAnswer) {
+  int certified_runs = 0;
+  int degraded_runs = 0;
+  for (std::uint64_t seed = 80; seed < 96; ++seed) {
+    support::Rng rng(seed);
+    const int n = 20 + static_cast<int>(rng.next_below(12));
+    const int m = n + 10 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+    Graph g = graph::random_connected(n, m, WeightRange{1, 9}, rng);
+    const Weight oracle = graph::seq::mwc(g);
+
+    NetworkConfig cfg;
+    cfg.shuffle_deliveries = true;
+    cfg.reliable_transport = true;
+    cfg.max_rounds_per_run = 200'000;
+    cfg.faults.corrupt_prob = 0.08 * rng.next_double();
+    cfg.faults.drop_prob = 0.15 * rng.next_double();
+    if (rng.next_bool(0.5)) {
+      // A targeted corruption window on a random link direction.
+      const NodeId a = static_cast<NodeId>(rng.next_below(
+          static_cast<std::uint64_t>(n)));
+      const NodeId b = g.out(a)[0].to;
+      const std::uint64_t first = rng.next_below(40);
+      cfg.faults.corrupt_windows.push_back(
+          congest::CorruptFault{a, b, first, first + rng.next_below(200)});
+    }
+    // Half the schedules crash-and-recover a node mid-run: those runs lose
+    // volatile state and must come back degraded, never certified.
+    const bool with_crash = seed % 2 == 1;
+    if (with_crash) {
+      const NodeId victim = static_cast<NodeId>(rng.next_below(
+          static_cast<std::uint64_t>(n)));
+      const std::uint64_t at = rng.next_below(50);
+      cfg.faults.crashes.push_back(congest::CrashFault{victim, at});
+      cfg.faults.recovers.push_back(
+          congest::RecoverFault{victim, at + 1 + rng.next_below(150)});
+    }
+
+    Network net(g, seed, cfg);
+    SolveOptions opts;
+    opts.mode = SolveMode::kExact;
+    MwcReport report = cycle::solve(net, opts);
+
+    // The hard line: a wrong value is never certified.
+    if (report.result.value != oracle) {
+      EXPECT_FALSE(report.certified()) << "seed " << seed;
+    }
+    switch (report.status) {
+      case SolveStatus::kCertified:
+        ++certified_runs;
+        EXPECT_FALSE(with_crash) << "seed " << seed;
+        EXPECT_EQ(report.result.value, oracle) << "seed " << seed;
+        EXPECT_FALSE(report.result.witness.empty()) << "seed " << seed;
+        break;
+      case SolveStatus::kApproxCertified:
+        ADD_FAILURE() << "exact mode cannot approx-certify (seed " << seed << ")";
+        break;
+      case SolveStatus::kDegraded:
+        ++degraded_runs;
+        if (report.result.value != graph::kInfWeight) {
+          EXPECT_GE(report.result.value, oracle) << "seed " << seed;
+        }
+        break;
+      case SolveStatus::kFailed:
+        EXPECT_FALSE(report.ok()) << "seed " << seed;
+        break;
+    }
+    if (!report.result.witness.empty()) {
+      Weight total = 0;
+      EXPECT_TRUE(detail::validate_cycle(g, report.result.witness, &total))
+          << "seed " << seed;
+      EXPECT_LE(total, report.result.value) << "seed " << seed;
+    }
+    if (with_crash) {
+      EXPECT_FALSE(report.certified()) << "seed " << seed;
+      EXPECT_GT(report.fault_ledger().crashes, 0u) << "seed " << seed;
+    }
+  }
+  // The fuzz must exercise both sides of the line, not collapse into one.
+  EXPECT_GT(certified_runs, 0);
+  EXPECT_GT(degraded_runs, 0);
 }
 
 TEST(BandwidthRobustness, ResultsUnchangedAcrossB) {

@@ -9,6 +9,7 @@
 #   tools/ci.sh tsan       ThreadSanitizer stage only
 #   tools/ci.sh examples   examples + CLI metrics smoke only
 #   tools/ci.sh trace      trace capture / diff / Perfetto export smoke only
+#   tools/ci.sh faults     corruption + crash-recovery smoke (ASan and TSan)
 #
 # Stages use separate build trees (build-ci/, build-ci-asan/, build-ci-tsan/)
 # so they never poison an incremental developer build/.
@@ -145,6 +146,55 @@ EOF
   else
     echo "ci: python3 not found, skipping Perfetto JSON check"
   fi
+fi
+
+if [[ "$stage" == "all" || "$stage" == "faults" ]]; then
+  echo "=== corruption + crash-recovery smoke (ASan + TSan) ==="
+  # Drives mwc_cli's fault flags under both sanitizers, plus the fault
+  # injection suite under TSan (the ASan tree already ran it via ctest).
+  # Corruption must be fully masked by the checksumming transport: exit 0,
+  # `status: certified`, and metrics JSON byte-identical across thread
+  # counts. A crash+recovery run must exit with the documented degraded
+  # code 3 and print its fault ledger.
+  export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+  export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+  export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+  cmake -B build-ci-asan -S . -DCONGEST_MWC_WERROR=ON \
+    -DMWC_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=Debug
+  cmake --build build-ci-asan -j "$jobs" --target mwc_cli
+  cmake -B build-ci-tsan -S . -DCONGEST_MWC_WERROR=ON -DMWC_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-ci-tsan -j "$jobs" --target mwc_cli fault_injection_test
+  build-ci-tsan/tests/fault_injection_test
+
+  for dir in build-ci-asan build-ci-tsan; do
+    echo "--- fault-flag smoke: $dir"
+    cli="$dir/tools/mwc_cli"
+    work="$dir/faults-smoke"
+    mkdir -p "$work"
+    "$cli" gen cycle-chords 64 6 5 "$work/f.graph"
+
+    "$cli" run exact "$work/f.graph" 3 --fault-corrupt-prob=0.05 \
+      --metrics="$work/c1.json" > "$work/corrupt.txt"
+    grep -q "status: certified" "$work/corrupt.txt" \
+      || { echo "ci: corruption not masked ($dir)"; exit 1; }
+    grep -q "checksum rejects" "$work/corrupt.txt" \
+      || { echo "ci: corruption run printed no fault ledger ($dir)"; exit 1; }
+    "$cli" run exact "$work/f.graph" 3 --fault-corrupt-prob=0.05 --threads=4 \
+      --metrics="$work/c4.json" > /dev/null
+    cmp "$work/c1.json" "$work/c4.json" \
+      || { echo "ci: corruption metrics differ across --threads ($dir)"; exit 1; }
+
+    rc=0
+    "$cli" run exact "$work/f.graph" 3 --fault-crash=5:40 \
+      --fault-recover=5:400 --max-rounds=200000 > "$work/crash.txt" || rc=$?
+    [[ "$rc" -eq 3 ]] \
+      || { echo "ci: crash+recover exit code $rc, want 3 ($dir)"; exit 1; }
+    grep -q "status: degraded" "$work/crash.txt" \
+      || { echo "ci: crash+recover run not labeled degraded ($dir)"; exit 1; }
+    grep -q "recoveries" "$work/crash.txt" \
+      || { echo "ci: crash+recover run printed no fault ledger ($dir)"; exit 1; }
+  done
 fi
 
 echo "ci: all requested stages passed"

@@ -8,6 +8,10 @@
 //       prints n, m, directedness, diameter, exact MWC/girth (sequential)
 //   mwc_cli run <algorithm> <graph-file> <seed> [--max-rounds=N]
 //                                               [--fault-drop-prob=P]
+//                                               [--fault-corrupt-prob=P]
+//                                               [--fault-corrupt=F:T:R1:R2]
+//                                               [--fault-crash=NODE:ROUND]
+//                                               [--fault-recover=NODE:ROUND]
 //                                               [--threads=T]
 //                                               [--epsilon=E]
 //                                               [--metrics[=FILE]]
@@ -19,7 +23,16 @@
 //       simulated rounds/messages, and (when available) the witness cycle.
 //       --max-rounds caps the simulated rounds per protocol run;
 //       --fault-drop-prob drops that fraction of messages on every link and
-//       runs the algorithm over the reliable transport; --threads runs the
+//       runs the algorithm over the reliable transport;
+//       --fault-corrupt-prob XOR-flips that fraction of delivered words and
+//       --fault-corrupt=FROM:TO:FIRST:LAST mangles every delivery of one
+//       direction during a round window (both force the checksumming
+//       reliable transport - raw corrupted words would feed garbage into
+//       the algorithms); --fault-crash=NODE:ROUND crash-stops a node and
+//       --fault-recover=NODE:ROUND revives it later with wiped state
+//       (comma-separate multiple tuples); the solve() modes print a
+//       "status:" line (certified / approx_certified / degraded / failed,
+//       see mwc/api.h) plus a fault ledger; --threads runs the
 //       engine on T worker threads (results are bit-identical to
 //       --threads=1, just faster on big inputs); --epsilon sets the
 //       approximation slack of the weighted classes; --metrics prints the
@@ -36,13 +49,17 @@
 //       JSON (open at ui.perfetto.dev); --wall folds a .wall sidecar in as
 //       a separate, clearly-marked non-deterministic process.
 //
-// Exit status: 0 on success, 1 on usage errors, 2 on runtime errors (bad
-// input files, aborted runs).
+// Exit status: 0 on success (solve() modes: a certified or
+// approx_certified answer), 1 on usage errors, 2 on runtime errors (bad
+// input files, failed runs with nothing salvageable), 3 when the solve()
+// modes return a degraded best-effort answer (faults interfered or no
+// validated witness; the value is an upper bound, not certified minimal).
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "congest/metrics.h"
 #include "congest/network.h"
@@ -74,6 +91,8 @@ int usage() {
                "  mwc_cli run <auto|approx|exact|girth-approx|girth-prt|"
                "directed-2approx|weighted-undirected|weighted-directed>"
                " <graph-file> <seed> [--max-rounds=N] [--fault-drop-prob=P]"
+               " [--fault-corrupt-prob=P] [--fault-corrupt=F:T:R1:R2]"
+               " [--fault-crash=NODE:ROUND] [--fault-recover=NODE:ROUND]"
                " [--threads=T] [--epsilon=E] [--metrics[=FILE]]"
                " [--trace[=FILE]]\n"
                "  mwc_cli trace export <in.jsonl> <out.perfetto.json>"
@@ -109,6 +128,42 @@ int cmd_gen(int argc, char** argv) {
   return 0;
 }
 
+// Parses a fault-flag value: comma-separated tuples of `arity` unsigned
+// fields joined by ':' ("3:120" or "0:1:50:80,2:3:10:20").
+std::vector<std::vector<std::uint64_t>> parse_fault_tuples(
+    const std::string& text, std::size_t arity, const char* flag) {
+  std::vector<std::vector<std::uint64_t>> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(pos, comma - pos);
+    std::vector<std::uint64_t> tuple;
+    std::size_t p = 0;
+    while (p <= item.size()) {
+      std::size_t colon = item.find(':', p);
+      if (colon == std::string::npos) colon = item.size();
+      const std::string field = item.substr(p, colon - p);
+      if (field.empty() ||
+          field.find_first_not_of("0123456789") != std::string::npos) {
+        throw std::runtime_error(std::string("--") + flag +
+                                 ": malformed tuple '" + item + "'");
+      }
+      tuple.push_back(std::strtoull(field.c_str(), nullptr, 10));
+      if (colon == item.size()) break;
+      p = colon + 1;
+    }
+    if (tuple.size() != arity) {
+      throw std::runtime_error(std::string("--") + flag + ": expected " +
+                               std::to_string(arity) +
+                               " ':'-separated fields in '" + item + "'");
+    }
+    out.push_back(std::move(tuple));
+    pos = comma + 1;
+  }
+  return out;
+}
+
 int cmd_info(int argc, char** argv) {
   if (argc != 3) return usage();
   graph::Graph g = graph::load_graph_file(argv[2]);
@@ -131,8 +186,10 @@ int cmd_info(int argc, char** argv) {
 }
 
 int cmd_run(int argc, char** argv) {
-  support::Flags flags(argc, argv, {"max-rounds", "fault-drop-prob", "threads",
-                                    "epsilon", "metrics", "trace"});
+  support::Flags flags(argc, argv,
+                       {"max-rounds", "fault-drop-prob", "fault-corrupt-prob",
+                        "fault-corrupt", "fault-crash", "fault-recover",
+                        "threads", "epsilon", "metrics", "trace"});
   if (!flags.unknown_flags().empty()) {
     std::fprintf(stderr, "unknown flag: --%s\n",
                  flags.unknown_flags()[0].c_str());
@@ -156,6 +213,33 @@ int cmd_run(int argc, char** argv) {
   if (drop > 0.0) {
     cfg.faults.drop_prob = drop;
     cfg.reliable_transport = true;  // lossy links need the ARQ layer
+  }
+  const double corrupt = flags.get_double("fault-corrupt-prob", 0.0);
+  if (corrupt < 0.0 || corrupt >= 1.0) {
+    std::fprintf(stderr, "--fault-corrupt-prob must be in [0, 1)\n");
+    return usage();
+  }
+  if (corrupt > 0.0) cfg.faults.corrupt_prob = corrupt;
+  for (const auto& t : parse_fault_tuples(flags.get("fault-corrupt", ""), 4,
+                                          "fault-corrupt")) {
+    cfg.faults.corrupt_windows.push_back(
+        congest::CorruptFault{static_cast<graph::NodeId>(t[0]),
+                              static_cast<graph::NodeId>(t[1]), t[2], t[3]});
+  }
+  if (cfg.faults.has_corruption()) {
+    // Raw flipped words would reach the algorithms' unpack paths as
+    // garbage; corruption is only meaningful under the checksumming ARQ.
+    cfg.reliable_transport = true;
+  }
+  for (const auto& t :
+       parse_fault_tuples(flags.get("fault-crash", ""), 2, "fault-crash")) {
+    cfg.faults.crashes.push_back(
+        congest::CrashFault{static_cast<graph::NodeId>(t[0]), t[1]});
+  }
+  for (const auto& t : parse_fault_tuples(flags.get("fault-recover", ""), 2,
+                                          "fault-recover")) {
+    cfg.faults.recovers.push_back(
+        congest::RecoverFault{static_cast<graph::NodeId>(t[0]), t[1]});
   }
   cfg.threads = static_cast<int>(flags.get_int("threads", 1));
   if (cfg.threads < 1) {
@@ -205,6 +289,7 @@ int cmd_run(int argc, char** argv) {
 
   cycle::MwcResult result;
   congest::MetricsSnapshot metrics;
+  int exit_code = 0;
   if (algo == "auto" || algo == "approx" || algo == "exact") {
     cycle::SolveOptions opts;
     opts.mode = algo == "auto"
@@ -214,12 +299,16 @@ int cmd_run(int argc, char** argv) {
     opts.epsilon = epsilon;
     opts.collect_metrics = want_metrics;
     cycle::MwcReport report = cycle::solve(net, opts);
-    if (!report.ok()) {
-      throw std::runtime_error(std::string("run aborted: ") +
-                               congest::to_string(report.run.outcome));
+    if (report.status == cycle::SolveStatus::kFailed) {
+      // The reason names the outcome ("run aborted (round_limit_exceeded)
+      // ..."); surfaced as a runtime error, exit code 2.
+      throw std::runtime_error(report.status_reason);
     }
     std::printf("algorithm: %s\nguarantee: %g\n", report.algorithm.c_str(),
                 report.guarantee);
+    std::printf("status: %s (%s)\n", cycle::to_string(report.status),
+                report.status_reason.c_str());
+    if (report.status == cycle::SolveStatus::kDegraded) exit_code = 3;
     result = std::move(report.result);
     metrics = std::move(report.metrics);
   } else {
@@ -256,6 +345,16 @@ int cmd_run(int argc, char** argv) {
                 static_cast<unsigned long long>(result.stats.dropped_messages),
                 static_cast<unsigned long long>(result.stats.dropped_words),
                 static_cast<unsigned long long>(result.stats.retransmitted_words));
+  }
+  if (cfg.faults.any()) {
+    std::printf(
+        "faults: %llu crashes, %llu recoveries, %llu corrupted words, "
+        "%llu checksum rejects, %llu dead links\n",
+        static_cast<unsigned long long>(result.stats.crashes),
+        static_cast<unsigned long long>(result.stats.recoveries),
+        static_cast<unsigned long long>(result.stats.corrupted_words),
+        static_cast<unsigned long long>(result.stats.checksum_rejects),
+        static_cast<unsigned long long>(result.stats.dead_links));
   }
   if (!result.witness.empty()) {
     std::printf("witness:");
@@ -300,7 +399,7 @@ int cmd_run(int argc, char** argv) {
                   static_cast<unsigned long long>(trace.wall_spans().size()));
     }
   }
-  return 0;
+  return exit_code;
 }
 
 // `mwc_cli trace export <in.jsonl> <out.perfetto.json> [--wall=FILE]`.
