@@ -1,0 +1,155 @@
+// G1: the anytime deadline-vs-quality tradeoff of governed solves.
+//
+// A full ungoverned exact solve fixes the instance's total round bill
+// R_total; the sweep then reruns the same solve under round budgets of
+// {5, 10, 20, 40, 60, 80, 100}% of R_total and records what each budget
+// buys: the solve status (certified / degraded / failed), the anytime
+// bounds [lower, upper] the report carries, and the rounds actually spent.
+// Every row is checked for soundness against the sequential oracle - the
+// bounds must bracket the true MWC at every budget, a certified label must
+// mean the exact answer, and a salvaged value is a genuine cycle weight
+// (an upper bound), never an underestimate. A second section sweeps word
+// budgets the same way: words are the CONGEST cost measure the paper
+// bounds, so this is the "bandwidth bill vs quality" curve.
+//
+// The JSON mirror (BENCH_GOVERNANCE.json) carries the same rows for plots
+// and regression checks.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "congest/governor.h"
+#include "congest/network.h"
+#include "graph/generators.h"
+#include "graph/sequential.h"
+#include "mwc/api.h"
+#include "support/flags.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace mwc;  // NOLINT
+using congest::Budget;
+using congest::Governor;
+using congest::Network;
+using graph::Graph;
+using graph::Weight;
+
+std::string weight_str(Weight w) {
+  return w == graph::kInfWeight
+             ? "inf"
+             : support::Table::fmt(static_cast<std::int64_t>(w));
+}
+
+struct SweepTotals {
+  int rows = 0;
+  int sound = 0;
+  int certified = 0;
+};
+
+// One governed solve under `budget`; appends a row and updates the totals.
+void run_budgeted(const Graph& g, std::uint64_t seed, int percent,
+                  const Budget& budget, Weight oracle, support::Table& table,
+                  SweepTotals& totals) {
+  Network net(g, seed);
+  Governor governor(budget);
+  cycle::SolveOptions opts;
+  opts.mode = cycle::SolveMode::kExact;
+  opts.governor = &governor;
+  cycle::MwcReport report = cycle::solve(net, opts);
+
+  const bool bracketed =
+      report.lower_bound <= oracle && oracle <= report.upper_bound;
+  const bool value_sound = report.result.value == graph::kInfWeight ||
+                           report.result.value >= oracle;
+  const bool certified_right =
+      !report.certified() || report.result.value == oracle;
+  const bool sound = bracketed && value_sound && certified_right;
+
+  ++totals.rows;
+  if (sound) ++totals.sound;
+  if (report.certified()) ++totals.certified;
+  table.add_row(
+      {support::Table::fmt(static_cast<std::int64_t>(percent)),
+       support::Table::fmt(static_cast<std::int64_t>(report.run.stats.rounds)),
+       support::Table::fmt(static_cast<std::int64_t>(report.run.stats.words)),
+       std::string(cycle::to_string(report.status)),
+       std::string(congest::to_string(report.stop.reason)),
+       weight_str(report.result.value), weight_str(report.lower_bound),
+       weight_str(report.upper_bound), sound ? "yes" : "NO"});
+}
+
+const std::vector<int>& budget_percents() {
+  static const std::vector<int> percents = {5, 10, 20, 40, 60, 80, 100};
+  return percents;
+}
+
+void run_round_budget_sweep(const Graph& g, std::uint64_t seed,
+                            std::uint64_t total_rounds, Weight oracle) {
+  bench::section("G1a: round budget vs answer quality (anytime sweep)");
+  bench::note("full solve spends " + std::to_string(total_rounds) +
+              " rounds; each row caps the solve at a fraction of that and "
+              "reports the anytime answer it still gets");
+  support::Table table({"budget%", "rounds", "words", "status", "stop",
+                        "value", "lower", "upper", "sound"});
+  SweepTotals totals;
+  for (int percent : budget_percents()) {
+    Budget budget;
+    budget.max_rounds = std::max<std::uint64_t>(
+        1, total_rounds * static_cast<std::uint64_t>(percent) / 100);
+    run_budgeted(g, seed, percent, budget, oracle, table, totals);
+  }
+  bench::emit(table);
+  bench::metric("round_sweep_sound_rows", totals.sound);
+  bench::metric("round_sweep_rows", totals.rows);
+  bench::metric("round_sweep_certified_rows", totals.certified);
+}
+
+void run_word_budget_sweep(const Graph& g, std::uint64_t seed,
+                           std::uint64_t total_words, Weight oracle) {
+  bench::section("G1b: word budget vs answer quality (anytime sweep)");
+  bench::note("words are the CONGEST cost measure; the full solve settles " +
+              std::to_string(total_words) + " words");
+  support::Table table({"budget%", "rounds", "words", "status", "stop",
+                        "value", "lower", "upper", "sound"});
+  SweepTotals totals;
+  for (int percent : budget_percents()) {
+    Budget budget;
+    budget.max_words = std::max<std::uint64_t>(
+        1, total_words * static_cast<std::uint64_t>(percent) / 100);
+    run_budgeted(g, seed, percent, budget, oracle, table, totals);
+  }
+  bench::emit(table);
+  bench::metric("word_sweep_sound_rows", totals.sound);
+  bench::metric("word_sweep_rows", totals.rows);
+  bench::metric("word_sweep_certified_rows", totals.certified);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonLog json_log("governance");
+  support::Flags flags(argc, argv, {"quick"});
+  const bool quick = flags.has("quick");
+  support::Rng rng(31);
+  const int n = quick ? 48 : 96;
+  Graph g = graph::random_connected(n, 5 * n / 2, graph::WeightRange{1, 9}, rng);
+  const Weight oracle = graph::seq::mwc(g);
+
+  // The ungoverned reference fixes the instance's full price.
+  Network ref_net(g, 17);
+  cycle::SolveOptions ref_opts;
+  ref_opts.mode = cycle::SolveMode::kExact;
+  cycle::MwcReport ref = cycle::solve(ref_net, ref_opts);
+  bench::section("reference (ungoverned exact solve)");
+  bench::note("n=" + std::to_string(n) + ", oracle mwc=" +
+              std::to_string(static_cast<long long>(oracle)) + ", status=" +
+              cycle::to_string(ref.status));
+  bench::metric("ref_rounds", static_cast<double>(ref.run.stats.rounds));
+  bench::metric("ref_words", static_cast<double>(ref.run.stats.words));
+
+  run_round_budget_sweep(g, 17, ref.run.stats.rounds, oracle);
+  run_word_budget_sweep(g, 17, ref.run.stats.words, oracle);
+  return 0;
+}

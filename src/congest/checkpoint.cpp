@@ -1,0 +1,401 @@
+#include "congest/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "support/check.h"
+
+namespace mwc::congest {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'W', 'C', 'K'};
+
+void put_le(std::string& buf, std::uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+// RunStats has no natural serialization elsewhere; field order here is part
+// of the checkpoint format (bump kCheckpointVersion if it changes).
+void put_run_stats(CheckpointWriter& w, const RunStats& s) {
+  w.u64(s.rounds);
+  w.u64(s.messages);
+  w.u64(s.words);
+  w.u64(s.max_queue_words);
+  w.u64(s.dropped_messages);
+  w.u64(s.dropped_words);
+  w.u64(s.retransmitted_words);
+  w.u64(s.stalled_rounds);
+  w.u64(s.corrupted_words);
+  w.u64(s.checksum_rejects);
+  w.u64(s.crashes);
+  w.u64(s.recoveries);
+  w.u64(s.dead_links);
+}
+
+bool get_run_stats(CheckpointReader& r, RunStats& s) {
+  return r.u64(s.rounds) && r.u64(s.messages) && r.u64(s.words) &&
+         r.u64(s.max_queue_words) && r.u64(s.dropped_messages) &&
+         r.u64(s.dropped_words) && r.u64(s.retransmitted_words) &&
+         r.u64(s.stalled_rounds) && r.u64(s.corrupted_words) &&
+         r.u64(s.checksum_rejects) && r.u64(s.crashes) &&
+         r.u64(s.recoveries) && r.u64(s.dead_links);
+}
+
+void put_phase(CheckpointWriter& w, const PhaseMetrics& p) {
+  w.str(p.path);
+  w.u64(p.runs);
+  w.u64(p.aborted_runs);
+  w.u64(p.rounds);
+  w.u64(p.messages);
+  w.u64(p.words);
+  w.u64(p.max_queue_words);
+  w.u64(p.max_link_words);
+  w.i32(p.busiest_from);
+  w.i32(p.busiest_to);
+  w.u64(p.cut_words);
+  w.u64(p.dropped_messages);
+  w.u64(p.dropped_words);
+  w.u64(p.retransmitted_words);
+  w.u64(p.stalled_rounds);
+  w.u64(p.crashes);
+  w.u64(p.recoveries);
+  w.u64(p.corrupted_words);
+  w.u64(p.checksum_rejects);
+  w.u64(p.dead_links);
+}
+
+bool get_phase(CheckpointReader& r, PhaseMetrics& p) {
+  return r.str(p.path) && r.u64(p.runs) && r.u64(p.aborted_runs) &&
+         r.u64(p.rounds) && r.u64(p.messages) && r.u64(p.words) &&
+         r.u64(p.max_queue_words) && r.u64(p.max_link_words) &&
+         r.i32(p.busiest_from) && r.i32(p.busiest_to) && r.u64(p.cut_words) &&
+         r.u64(p.dropped_messages) && r.u64(p.dropped_words) &&
+         r.u64(p.retransmitted_words) && r.u64(p.stalled_rounds) &&
+         r.u64(p.crashes) && r.u64(p.recoveries) && r.u64(p.corrupted_words) &&
+         r.u64(p.checksum_rejects) && r.u64(p.dead_links);
+}
+
+void put_metrics(CheckpointWriter& w, const MetricsSnapshot& m) {
+  put_phase(w, m.total);
+  w.u32(static_cast<std::uint32_t>(m.phases.size()));
+  for (const PhaseMetrics& p : m.phases) put_phase(w, p);
+  w.u32(static_cast<std::uint32_t>(m.open_phases.size()));
+  for (const std::string& s : m.open_phases) w.str(s);
+  w.str(m.error);
+}
+
+bool get_metrics(CheckpointReader& r, MetricsSnapshot& m) {
+  if (!get_phase(r, m.total)) return false;
+  std::uint32_t count = 0;
+  if (!r.u32(count) || count > (1u << 20)) return false;
+  m.phases.resize(count);
+  for (PhaseMetrics& p : m.phases) {
+    if (!get_phase(r, p)) return false;
+  }
+  if (!r.u32(count) || count > (1u << 20)) return false;
+  m.open_phases.resize(count);
+  for (std::string& s : m.open_phases) {
+    if (!r.str(s)) return false;
+  }
+  return r.str(m.error);
+}
+
+bool fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+}  // namespace
+
+// ---- primitives ------------------------------------------------------------
+
+std::uint64_t fnv1a(std::string_view bytes, std::uint64_t h) {
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void CheckpointWriter::u8(std::uint8_t v) { put_le(buf_, v, 1); }
+void CheckpointWriter::u32(std::uint32_t v) { put_le(buf_, v, 4); }
+void CheckpointWriter::u64(std::uint64_t v) { put_le(buf_, v, 8); }
+void CheckpointWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+void CheckpointWriter::raw(std::string_view bytes) {
+  buf_.append(bytes.data(), bytes.size());
+}
+
+bool CheckpointReader::u8(std::uint8_t& v) {
+  if (!ok_ || pos_ + 1 > s_.size()) return ok_ = false;
+  v = static_cast<std::uint8_t>(s_[pos_++]);
+  return true;
+}
+bool CheckpointReader::u32(std::uint32_t& v) {
+  if (!ok_ || pos_ + 4 > s_.size()) return ok_ = false;
+  v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(s_[pos_++]))
+         << (8 * i);
+  }
+  return true;
+}
+bool CheckpointReader::u64(std::uint64_t& v) {
+  if (!ok_ || pos_ + 8 > s_.size()) return ok_ = false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(s_[pos_++]))
+         << (8 * i);
+  }
+  return true;
+}
+bool CheckpointReader::i32(std::int32_t& v) {
+  std::uint32_t u = 0;
+  if (!u32(u)) return false;
+  v = static_cast<std::int32_t>(u);
+  return true;
+}
+bool CheckpointReader::i64(std::int64_t& v) {
+  std::uint64_t u = 0;
+  if (!u64(u)) return false;
+  v = static_cast<std::int64_t>(u);
+  return true;
+}
+bool CheckpointReader::str(std::string& s) {
+  std::uint32_t len = 0;
+  if (!u32(len)) return false;
+  if (pos_ + len > s_.size()) return ok_ = false;
+  s.assign(s_.data() + pos_, len);
+  pos_ += len;
+  return true;
+}
+
+// ---- fingerprints ----------------------------------------------------------
+
+std::uint64_t graph_fingerprint(const graph::Graph& g) {
+  CheckpointWriter w;
+  w.u32(static_cast<std::uint32_t>(g.node_count()));
+  w.u32(static_cast<std::uint32_t>(g.edge_count()));
+  w.u8(g.is_directed() ? 1 : 0);
+  for (const graph::Edge& e : g.edges()) {
+    w.i32(e.from);
+    w.i32(e.to);
+    w.i64(e.w);
+  }
+  return fnv1a(w.bytes());
+}
+
+std::uint64_t network_config_fingerprint(const NetworkConfig& cfg) {
+  CheckpointWriter w;
+  // threads is intentionally absent: execution is bit-identical across
+  // thread counts, so a checkpoint cut at --threads=1 resumes at any.
+  w.u32(static_cast<std::uint32_t>(cfg.bandwidth_words));
+  w.u64(cfg.max_rounds_per_run);
+  w.u8(cfg.shuffle_deliveries ? 1 : 0);
+  w.u8(cfg.reliable_transport ? 1 : 0);
+  w.u64(cfg.reliable.base_timeout_rounds);
+  w.u64(cfg.reliable.max_timeout_rounds);
+  w.u32(static_cast<std::uint32_t>(cfg.reliable.max_retries));
+  auto put_double = [&w](double d) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    w.u64(bits);
+  };
+  const FaultPlan& f = cfg.faults;
+  put_double(f.drop_prob);
+  w.u32(static_cast<std::uint32_t>(f.drop_overrides.size()));
+  for (const LinkDropOverride& o : f.drop_overrides) {
+    w.i32(o.a);
+    w.i32(o.b);
+    put_double(o.prob);
+  }
+  put_double(f.corrupt_prob);
+  w.u32(static_cast<std::uint32_t>(f.corrupt_overrides.size()));
+  for (const LinkCorruptOverride& o : f.corrupt_overrides) {
+    w.i32(o.a);
+    w.i32(o.b);
+    put_double(o.prob);
+  }
+  w.u32(static_cast<std::uint32_t>(f.corrupt_windows.size()));
+  for (const CorruptFault& c : f.corrupt_windows) {
+    w.i32(c.from);
+    w.i32(c.to);
+    w.u64(c.first_round);
+    w.u64(c.last_round);
+  }
+  w.u32(static_cast<std::uint32_t>(f.stalls.size()));
+  for (const StallFault& s : f.stalls) {
+    w.i32(s.from);
+    w.i32(s.to);
+    w.u64(s.first_round);
+    w.u64(s.last_round);
+  }
+  w.u32(static_cast<std::uint32_t>(f.crashes.size()));
+  for (const CrashFault& c : f.crashes) {
+    w.i32(c.node);
+    w.u64(c.round);
+  }
+  w.u32(static_cast<std::uint32_t>(f.recovers.size()));
+  for (const RecoverFault& r : f.recovers) {
+    w.i32(r.node);
+    w.u64(r.round);
+  }
+  return fnv1a(w.bytes());
+}
+
+// ---- CheckpointSession -----------------------------------------------------
+
+void CheckpointSession::bind(Network& net, std::uint64_t options_digest) {
+  net_ = &net;
+  options_digest_ = options_digest;
+}
+
+void CheckpointSession::set_trace_probe(std::function<TracePosition()> probe) {
+  probe_ = std::move(probe);
+}
+
+void CheckpointSession::cut(std::uint8_t stage, std::string payload,
+                            const RunStats& stats, RunOutcome worst_outcome) {
+  MWC_CHECK_MSG(net_ != nullptr, "CheckpointSession::cut before bind");
+  const NetworkStats counters = net_->stats();
+  const TracePosition pos = probe_ ? probe_() : TracePosition{};
+
+  CheckpointWriter w;
+  w.raw(std::string_view(kMagic, sizeof(kMagic)));
+  w.u32(kCheckpointVersion);
+  w.u64(kCheckpointEndianProbe);
+  w.u64(graph_fingerprint(net_->problem_graph()));
+  w.u64(net_->seed());
+  w.u64(network_config_fingerprint(net_->config()));
+  w.u64(options_digest_);
+  w.u8(stage);
+  w.u8(static_cast<std::uint8_t>(worst_outcome));
+  w.u64(counters.runs);
+  w.u64(counters.rounds);
+  w.u64(counters.messages);
+  w.u64(counters.words);
+  w.u64(counters.cut_words);
+  put_run_stats(w, stats);
+  w.u64(pos.bytes);
+  w.u64(pos.events);
+  const Metrics* metrics = net_->metrics();
+  w.u8(metrics != nullptr ? 1 : 0);
+  if (metrics != nullptr) put_metrics(w, metrics->snapshot());
+  w.str(payload);
+  w.u64(fnv1a(w.bytes()));
+
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("checkpoint: cannot write " + tmp);
+  }
+  const std::string& bytes = w.bytes();
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (!wrote || !flushed || std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: failed to commit " + path_);
+  }
+}
+
+bool CheckpointSession::load(std::string* error) {
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) return fail(error, "cannot read " + path_);
+  std::string bytes;
+  char buf[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.append(buf, got);
+  }
+  std::fclose(f);
+  if (bytes.size() < sizeof(kMagic) + 4 + 8 + 8 ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return fail(error, path_ + " is not a checkpoint file");
+  }
+  const std::uint64_t want =
+      fnv1a(std::string_view(bytes).substr(0, bytes.size() - 8));
+  CheckpointReader tail(std::string_view(bytes).substr(bytes.size() - 8));
+  std::uint64_t recorded = 0;
+  tail.u64(recorded);
+  if (recorded != want) {
+    return fail(error, path_ + " checksum mismatch (torn or corrupt file)");
+  }
+
+  CheckpointReader r(std::string_view(bytes).substr(
+      sizeof(kMagic), bytes.size() - sizeof(kMagic) - 8));
+  std::uint32_t version = 0;
+  std::uint64_t probe = 0;
+  std::uint8_t stage = 0, outcome = 0, metrics_flag = 0;
+  if (!r.u32(version)) return fail(error, path_ + ": truncated header");
+  if (version != kCheckpointVersion) {
+    return fail(error, path_ + ": format version " + std::to_string(version) +
+                           " unsupported (expected " +
+                           std::to_string(kCheckpointVersion) + ")");
+  }
+  if (!r.u64(probe) || probe != kCheckpointEndianProbe) {
+    return fail(error, path_ + ": endianness mismatch");
+  }
+  const bool header_ok =
+      r.u64(graph_hash_) && r.u64(seed_) && r.u64(config_hash_) &&
+      r.u64(loaded_options_digest_) && r.u8(stage) && r.u8(outcome) &&
+      r.u64(counters_.runs) && r.u64(counters_.rounds) &&
+      r.u64(counters_.messages) && r.u64(counters_.words) &&
+      r.u64(counters_.cut_words) && get_run_stats(r, stats_) &&
+      r.u64(trace_pos_.bytes) && r.u64(trace_pos_.events) &&
+      r.u8(metrics_flag);
+  if (!header_ok) return fail(error, path_ + ": truncated header");
+  has_metrics_ = metrics_flag != 0;
+  metrics_ = MetricsSnapshot{};
+  if (has_metrics_ && !get_metrics(r, metrics_)) {
+    return fail(error, path_ + ": truncated metrics block");
+  }
+  if (!r.str(payload_) || !r.done()) {
+    return fail(error, path_ + ": truncated payload");
+  }
+  stage_ = stage;
+  worst_outcome_ = static_cast<RunOutcome>(outcome);
+  resuming_ = true;
+  return true;
+}
+
+bool CheckpointSession::validate(const Network& net,
+                                 std::uint64_t options_digest,
+                                 std::string* error) const {
+  MWC_CHECK_MSG(resuming_, "CheckpointSession::validate before load");
+  if (graph_hash_ != graph_fingerprint(net.problem_graph())) {
+    return fail(error, path_ + " was cut for a different graph");
+  }
+  if (seed_ != net.seed()) {
+    return fail(error, path_ + " was cut for a different seed");
+  }
+  if (config_hash_ != network_config_fingerprint(net.config())) {
+    return fail(error, path_ + " was cut under a different network config");
+  }
+  if (loaded_options_digest_ != options_digest) {
+    return fail(error, path_ + " was cut under different solve options");
+  }
+  return true;
+}
+
+void CheckpointSession::restore(Network& net) const {
+  MWC_CHECK_MSG(resuming_, "CheckpointSession::restore before load");
+  net.restore_stats(counters_);
+}
+
+bool read_checkpoint_trace_position(const std::string& path,
+                                    TracePosition* out, std::string* error) {
+  CheckpointSession session(path);
+  if (!session.load(error)) return false;
+  if (out != nullptr) *out = session.trace_position();
+  return true;
+}
+
+}  // namespace mwc::congest

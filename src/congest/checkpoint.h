@@ -1,0 +1,179 @@
+// Versioned on-disk snapshots of a solve in progress (checkpoint/resume).
+//
+// The engine's determinism makes resumable solves cheap: execution from any
+// run boundary is a pure function of (graph, seed, config, run counter),
+// because every run's RNG stream is forked as master.fork(run_counter) and
+// fault schedules derive from it. A checkpoint therefore never serializes
+// protocol state - it records the *identity* of the execution (graph,
+// seed, config and option fingerprints), the network's accumulated
+// counters, the caller's algorithm-stage payload (e.g. the APSP matrices of
+// mwc/exact.cpp), the accumulated RunStats/outcome, the byte offset of an
+// attached trace log, and a metrics snapshot. Resuming validates the
+// identity, restores the counters, truncates the trace log to the recorded
+// offset, and re-enters the algorithm at the saved stage; deterministic
+// replay regenerates everything after the cut bit-for-bit, so the final
+// report, metrics, and trace are byte-identical to an uninterrupted run -
+// at any thread count (threads are excluded from the config fingerprint
+// precisely because they cannot change results).
+//
+// File format (docs/governance.md documents the compatibility policy): a
+// fixed header {magic "MWCK", format version, endianness probe}, identity
+// and progress fields, an optional metrics block, the opaque stage payload,
+// and a trailing FNV-1a checksum over everything before it. All scalars are
+// little-endian; a big-endian reader detects the probe mismatch and
+// refuses. Writes go to `path.tmp` then rename() - a kill mid-write leaves
+// the previous checkpoint intact, never a torn file.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "congest/metrics.h"
+#include "congest/network.h"
+#include "congest/protocol.h"
+#include "graph/graph.h"
+
+namespace mwc::congest {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint64_t kCheckpointEndianProbe = 0x0102030405060708ULL;
+
+// FNV-1a over `bytes`, seeded by `h` for incremental hashing.
+std::uint64_t fnv1a(std::string_view bytes,
+                    std::uint64_t h = 0xcbf29ce484222325ULL);
+
+// Identity fingerprints: a checkpoint resumes only against the same graph
+// and an equivalent configuration. Thread count is deliberately excluded
+// (bit-identical execution across thread counts is an engine invariant).
+std::uint64_t graph_fingerprint(const graph::Graph& g);
+std::uint64_t network_config_fingerprint(const NetworkConfig& cfg);
+
+// Little-endian scalar serialization for checkpoint blocks. Algorithms use
+// these to encode their stage payloads (mwc/exact.cpp).
+class CheckpointWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void str(std::string_view s);  // u32 length + bytes
+  void raw(std::string_view bytes);
+
+  const std::string& bytes() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+// The matching reader. Every getter returns false (and poisons the reader)
+// on truncation; check ok() or the last getter before trusting values.
+class CheckpointReader {
+ public:
+  explicit CheckpointReader(std::string_view bytes) : s_(bytes) {}
+
+  bool u8(std::uint8_t& v);
+  bool u32(std::uint32_t& v);
+  bool u64(std::uint64_t& v);
+  bool i32(std::int32_t& v);
+  bool i64(std::int64_t& v);
+  bool str(std::string& s);
+
+  bool ok() const { return ok_; }
+  bool done() const { return ok_ && pos_ == s_.size(); }
+  std::size_t remaining() const { return s_.size() - pos_; }
+
+ private:
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Byte offset + event count of an attached trace log at cut time; resume
+// truncates the log file to `bytes` so deterministic replay re-appends the
+// discarded suffix identically.
+struct TracePosition {
+  std::uint64_t bytes = 0;
+  std::uint64_t events = 0;
+};
+
+// One solve's checkpoint file: the writing side cuts snapshots at algorithm
+// stage boundaries; the loading side restores identity-checked progress.
+class CheckpointSession {
+ public:
+  explicit CheckpointSession(std::string path) : path_(std::move(path)) {}
+
+  // --- writing side ----------------------------------------------------
+  // Binds the network whose counters each cut() records, plus the solve
+  // options digest the checkpoint is only valid for.
+  void bind(Network& net, std::uint64_t options_digest);
+  // Reports the attached trace log's current (offset, events); unset means
+  // "no trace" (zeros are recorded).
+  void set_trace_probe(std::function<TracePosition()> probe);
+  // Writes a snapshot: algorithm stage + opaque payload, the accumulated
+  // stats/worst-outcome so far, the bound network's counters, the trace
+  // position, and a snapshot of the network's attached Metrics (if any).
+  // Atomic (tmp + rename); throws std::runtime_error on I/O failure.
+  void cut(std::uint8_t stage, std::string payload, const RunStats& stats,
+           RunOutcome worst_outcome);
+
+  // --- loading side ----------------------------------------------------
+  // Reads and verifies path; on success the session is resuming() and the
+  // accessors below expose the recorded state. False + *error on a missing,
+  // torn, corrupt, or version-incompatible file.
+  bool load(std::string* error);
+  // Identity check against the network/options about to resume.
+  bool validate(const Network& net, std::uint64_t options_digest,
+                std::string* error) const;
+  // Overwrites the network's accumulated counters (including the run
+  // counter that seeds every run's RNG stream) with the recorded ones.
+  void restore(Network& net) const;
+
+  bool resuming() const { return resuming_; }
+  std::uint8_t stage() const { return stage_; }
+  const std::string& payload() const { return payload_; }
+  const RunStats& stats() const { return stats_; }
+  RunOutcome worst_outcome() const { return worst_outcome_; }
+  TracePosition trace_position() const { return trace_pos_; }
+  bool has_metrics() const { return has_metrics_; }
+  const MetricsSnapshot& metrics() const { return metrics_; }
+  const std::string& path() const { return path_; }
+
+  // Stage numbering shared with mwc/exact.cpp. kStageArmed (identity +
+  // zero progress) is cut by cycle::solve() before dispatch, so even a kill
+  // during the first phase resumes with a validated file.
+  static constexpr std::uint8_t kStageArmed = 0;
+  static constexpr std::uint8_t kStageApsp = 1;
+  static constexpr std::uint8_t kStageExchange = 2;
+
+ private:
+  std::string path_;
+  Network* net_ = nullptr;
+  std::uint64_t options_digest_ = 0;
+  std::function<TracePosition()> probe_;
+
+  bool resuming_ = false;
+  std::uint64_t graph_hash_ = 0;
+  std::uint64_t seed_ = 0;
+  std::uint64_t config_hash_ = 0;
+  std::uint64_t loaded_options_digest_ = 0;
+  std::uint8_t stage_ = kStageArmed;
+  RunOutcome worst_outcome_ = RunOutcome::kCompleted;
+  NetworkStats counters_;
+  RunStats stats_;
+  TracePosition trace_pos_;
+  bool has_metrics_ = false;
+  MetricsSnapshot metrics_;
+  std::string payload_;
+};
+
+// Reads only the trace position from a checkpoint (for log truncation
+// before the full resume machinery spins up). False + *error when the file
+// does not verify.
+bool read_checkpoint_trace_position(const std::string& path,
+                                    TracePosition* out, std::string* error);
+
+}  // namespace mwc::congest

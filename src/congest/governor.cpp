@@ -1,0 +1,222 @@
+#include "congest/governor.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+namespace mwc::congest {
+
+const char* to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone: return "none";
+    case StopReason::kRoundBudget: return "round_budget";
+    case StopReason::kWordBudget: return "word_budget";
+    case StopReason::kDeadline: return "deadline";
+    case StopReason::kMemoryBudget: return "memory_budget";
+    case StopReason::kNoProgress: return "no_progress";
+    case StopReason::kStalled: return "stalled";
+    case StopReason::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+// ---- CancelToken -----------------------------------------------------------
+
+namespace {
+// Async-signal-safe mailbox for bind_process_signals: the handler does
+// nothing but store the signal number.
+volatile std::sig_atomic_t g_cancel_signal = 0;
+
+extern "C" void cancel_signal_handler(int sig) { g_cancel_signal = sig; }
+}  // namespace
+
+int CancelToken::pending_signal() { return static_cast<int>(g_cancel_signal); }
+
+void CancelToken::request(std::string reason) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (reason_.empty()) reason_ = std::move(reason);
+  }
+  flag_.store(true, std::memory_order_release);
+}
+
+bool CancelToken::cancelled() const {
+  if (flag_.load(std::memory_order_acquire)) return true;
+  return signal_bound_ && pending_signal() != 0;
+}
+
+std::string CancelToken::reason() const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!reason_.empty()) return reason_;
+  }
+  if (signal_bound_ && pending_signal() != 0) {
+    return "signal " + std::to_string(pending_signal()) + " received";
+  }
+  return "";
+}
+
+void CancelToken::bind_process_signals() {
+  signal_bound_ = true;
+  std::signal(SIGINT, cancel_signal_handler);
+  std::signal(SIGTERM, cancel_signal_handler);
+}
+
+// ---- Governor --------------------------------------------------------------
+
+namespace {
+// Clock and RSS reads are orders of magnitude slower than a round of a tiny
+// protocol; poll the non-deterministic budgets on a cadence instead of
+// every boundary. Powers of two keep the modulo a mask.
+constexpr std::uint64_t kWallPollMask = 63;    // every 64 boundaries
+constexpr std::uint64_t kRssPollMask = 1023;   // every 1024 boundaries
+}  // namespace
+
+Governor::Governor(Budget budget, WatchdogConfig watchdog)
+    : budget_(budget), watchdog_(watchdog) {
+  arm();
+}
+
+Governor::~Governor() {
+  if (watchdog_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mu_);
+      watchdog_quit_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_thread_.join();
+  }
+}
+
+void Governor::arm() { epoch_ = std::chrono::steady_clock::now(); }
+
+void Governor::start_watchdog() {
+  if (watchdog_.stall_seconds <= 0.0 || watchdog_thread_.joinable()) return;
+  watchdog_thread_ = std::thread([this] { watchdog_loop(); });
+}
+
+void Governor::watchdog_loop() {
+  std::uint64_t last_beat = heartbeat_.load(std::memory_order_acquire);
+  auto last_move = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  const auto poll = std::chrono::duration<double>(
+      watchdog_.poll_seconds > 0.0 ? watchdog_.poll_seconds : 0.25);
+  while (!watchdog_cv_.wait_for(lock, poll, [this] { return watchdog_quit_; })) {
+    const std::uint64_t beat = heartbeat_.load(std::memory_order_acquire);
+    const auto now = std::chrono::steady_clock::now();
+    if (beat != last_beat) {
+      last_beat = beat;
+      last_move = now;
+      continue;
+    }
+    const double idle = std::chrono::duration<double>(now - last_move).count();
+    if (idle < watchdog_.stall_seconds) continue;
+    // The round loop stopped reaching boundaries. Flag it (picked up at the
+    // next boundary, if one ever comes), trip the cancel token so layered
+    // pollers also notice, and leave a diagnostic on stderr - if the engine
+    // is truly wedged inside a callback, this line is the only evidence.
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "no round boundary for %.1fs (last heartbeat %llu)", idle,
+                  static_cast<unsigned long long>(beat));
+    stalled_detail_ = buf;
+    stalled_.store(true, std::memory_order_release);
+    if (token_ != nullptr) {
+      token_->request(std::string("watchdog: ") + buf);
+    }
+    std::fprintf(stderr, "mwc governor watchdog: %s\n", buf);
+    return;  // one diagnosis is enough; the latch does the rest
+  }
+}
+
+StopReason Governor::trip(StopReason reason, std::string detail) {
+  stop_.reason = reason;
+  stop_.detail = std::move(detail);
+  return reason;
+}
+
+StopReason Governor::on_round(std::uint64_t total_rounds,
+                              std::uint64_t total_words) {
+  if (stop_.reason != StopReason::kNone) return stop_.reason;
+  if (die_at_round != 0 && total_rounds >= die_at_round) {
+    // Deterministic process death for checkpoint/resume tests: a real
+    // SIGKILL, so no destructor, flush, or handler softens it.
+    std::raise(SIGKILL);
+  }
+  heartbeat_.fetch_add(1, std::memory_order_release);
+  ++calls_;
+
+  // Deterministic checks first: when a deterministic and a wall-clock
+  // budget would both fire, the reproducible one wins the latch.
+  if (budget_.max_rounds != 0 && total_rounds > budget_.max_rounds) {
+    return trip(StopReason::kRoundBudget,
+                "round budget " + std::to_string(budget_.max_rounds) +
+                    " exhausted at engine round " +
+                    std::to_string(total_rounds));
+  }
+  if (budget_.max_words != 0 && total_words > budget_.max_words) {
+    return trip(StopReason::kWordBudget,
+                "word budget " + std::to_string(budget_.max_words) +
+                    " exhausted (" + std::to_string(total_words) +
+                    " words settled)");
+  }
+  if (watchdog_.no_progress_rounds != 0) {
+    if (!progress_seen_ || total_words != last_words_) {
+      progress_seen_ = true;
+      last_words_ = total_words;
+      last_progress_round_ = total_rounds;
+    } else if (total_rounds - last_progress_round_ >=
+               watchdog_.no_progress_rounds) {
+      return trip(StopReason::kNoProgress,
+                  "no settled words for " +
+                      std::to_string(total_rounds - last_progress_round_) +
+                      " rounds (limit " +
+                      std::to_string(watchdog_.no_progress_rounds) + ")");
+    }
+  }
+
+  if (token_ != nullptr && token_->cancelled()) {
+    return trip(StopReason::kCancelled, token_->reason());
+  }
+  if (stalled_.load(std::memory_order_acquire)) {
+    return trip(StopReason::kStalled, stalled_detail_);
+  }
+  if (budget_.max_wall_seconds > 0.0 && (calls_ & kWallPollMask) == 0) {
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - epoch_)
+                               .count();
+    if (elapsed > budget_.max_wall_seconds) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "deadline of %.3fs passed (%.3fs elapsed)",
+                    budget_.max_wall_seconds, elapsed);
+      return trip(StopReason::kDeadline, buf);
+    }
+  }
+  if (budget_.max_rss_bytes != 0 && (calls_ & kRssPollMask) == 0) {
+    const std::uint64_t rss = current_rss_bytes();
+    if (rss > budget_.max_rss_bytes) {
+      return trip(StopReason::kMemoryBudget,
+                  "resident memory " + std::to_string(rss) +
+                      " bytes exceeds budget " +
+                      std::to_string(budget_.max_rss_bytes));
+    }
+  }
+  return StopReason::kNone;
+}
+
+std::uint64_t current_rss_bytes() {
+#ifdef __linux__
+  // /proc/self/statm: "size resident shared ..." in pages.
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size = 0, resident = 0;
+  const int got = std::fscanf(f, "%llu %llu", &size, &resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return static_cast<std::uint64_t>(resident) * 4096;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace mwc::congest

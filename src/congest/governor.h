@@ -1,0 +1,178 @@
+// Resource governance for the CONGEST engine: budgets, deadlines,
+// cancellation, and watchdogs.
+//
+// A Governor attached to a Network (like Trace and Metrics: not owned,
+// zero-cost when detached) is consulted by the Runner at every round
+// boundary. When a budget is exhausted, a deadline passes, a CancelToken is
+// tripped, or a watchdog detects a wedged phase, the current run stops
+// cooperatively and reports RunOutcome::kBudgetExhausted or kCancelled -
+// the same "outcome is data, never abort" contract as faults and the round
+// limit (see runner.h). Once tripped, the Governor stays latched: every
+// later run on the same network returns immediately with the same outcome,
+// so a multi-phase solve winds down instead of starting fresh phases. The
+// salvage machinery of cycle::solve() then turns whatever was computed into
+// an anytime result with explicit bounds (see mwc/api.h).
+//
+// Determinism: the round and word budgets and the no-progress watchdog
+// depend only on the engine's deterministic counters, so a budget-stopped
+// execution is bit-identical across thread counts and reproducible from the
+// seed. The wall-clock deadline, the memory budget, the stall watchdog
+// thread, and cancellation are inherently non-deterministic; they exist for
+// operational robustness, not reproducibility (docs/governance.md).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace mwc::congest {
+
+// Cooperative resource budgets, all enforced at round boundaries. 0 (or 0.0)
+// disables a dimension. Rounds and words count engine totals across every
+// run of the governed solve (Network::stats()), not per run - the per-run
+// safety valve remains NetworkConfig::max_rounds_per_run.
+struct Budget {
+  std::uint64_t max_rounds = 0;    // deterministic
+  std::uint64_t max_words = 0;     // deterministic
+  double max_wall_seconds = 0.0;   // non-deterministic (measured from arm())
+  std::uint64_t max_rss_bytes = 0; // non-deterministic (/proc/self/statm)
+
+  bool any() const {
+    return max_rounds != 0 || max_words != 0 || max_wall_seconds > 0.0 ||
+           max_rss_bytes != 0;
+  }
+};
+
+// Watchdog tuning. The no-progress detector is cooperative and
+// deterministic: it counts consecutive round boundaries at which the
+// engine's total settled-word counter did not move (stall faults, dead
+// protocols, and ARQ livelocks all look like this). The stall watchdog is a
+// real thread that notices when the round loop itself stops reaching
+// boundaries (a wedged callback) - it can only flag the condition and trip
+// the cancel path, never unwind the stack mid-round.
+struct WatchdogConfig {
+  std::uint64_t no_progress_rounds = 0;  // 0 disables (deterministic)
+  double stall_seconds = 0.0;            // 0 disables the watchdog thread
+  double poll_seconds = 0.25;            // watchdog thread poll cadence
+
+  bool any() const { return no_progress_rounds != 0 || stall_seconds > 0.0; }
+};
+
+// Why a governed execution stopped. kNone means "still running".
+enum class StopReason : std::uint8_t {
+  kNone = 0,
+  kRoundBudget,    // Budget::max_rounds exhausted
+  kWordBudget,     // Budget::max_words exhausted
+  kDeadline,       // Budget::max_wall_seconds passed
+  kMemoryBudget,   // Budget::max_rss_bytes exceeded
+  kNoProgress,     // no settled words for WatchdogConfig::no_progress_rounds
+  kStalled,        // watchdog thread: no round boundary for stall_seconds
+  kCancelled,      // CancelToken tripped (signal or caller)
+};
+
+const char* to_string(StopReason reason);
+
+struct StopInfo {
+  StopReason reason = StopReason::kNone;
+  std::string detail;  // one-line diagnostic, e.g. "round budget 100 ..."
+};
+
+// A set-once cancellation flag safe to trip from another thread or - after
+// bind_process_signals() - from a SIGINT/SIGTERM handler. The governed
+// engine polls it at round boundaries; nothing is interrupted mid-round.
+class CancelToken {
+ public:
+  // Trips the token. First caller's reason wins; later calls are no-ops.
+  void request(std::string reason);
+  bool cancelled() const;
+  // The reason passed to request(), or "signal N received" for a bound
+  // process signal. Empty while not cancelled.
+  std::string reason() const;
+
+  // Routes SIGINT and SIGTERM into this token for the rest of the process
+  // lifetime (the handler only sets a flag; this token must outlive it).
+  // At most one token per process can be bound; later binds replace it.
+  void bind_process_signals();
+
+ private:
+  // Signal number delivered to the process-wide handler, 0 when none.
+  static int pending_signal();
+
+  std::atomic<bool> flag_{false};
+  bool signal_bound_ = false;
+  mutable std::mutex mu_;
+  std::string reason_;
+};
+
+class Governor {
+ public:
+  explicit Governor(Budget budget = {}, WatchdogConfig watchdog = {});
+  ~Governor();
+  Governor(const Governor&) = delete;
+  Governor& operator=(const Governor&) = delete;
+
+  const Budget& budget() const { return budget_; }
+
+  // Optional cancellation source (not owned; may be null).
+  void set_cancel_token(CancelToken* token) { token_ = token; }
+
+  // Restarts the wall-clock epoch for max_wall_seconds (the constructor
+  // arms it too; call again when construction and solve start are far
+  // apart).
+  void arm();
+
+  // Spawns the stall-watchdog thread when stall_seconds > 0 (no-op
+  // otherwise). Joined by the destructor.
+  void start_watchdog();
+
+  // Round-boundary check, called by the Runner with the network's
+  // accumulated totals (rounds including the in-flight run, settled words).
+  // Returns kNone to continue or the reason to stop; once a stop is
+  // returned the Governor is latched and every later call returns the same
+  // reason immediately.
+  StopReason on_round(std::uint64_t total_rounds, std::uint64_t total_words);
+
+  bool stopped() const { return stop_.reason != StopReason::kNone; }
+  StopReason latched() const { return stop_.reason; }
+  const StopInfo& stop() const { return stop_; }
+
+  // Test/CI hook: raise(SIGKILL) when the engine reaches this total round -
+  // a deterministic stand-in for "the process died mid-solve". 0 disables.
+  std::uint64_t die_at_round = 0;
+
+ private:
+  StopReason trip(StopReason reason, std::string detail);
+  void watchdog_loop();
+
+  Budget budget_;
+  WatchdogConfig watchdog_;
+  CancelToken* token_ = nullptr;
+  StopInfo stop_;
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::uint64_t calls_ = 0;
+  // No-progress tracking (deterministic counters only).
+  bool progress_seen_ = false;
+  std::uint64_t last_words_ = 0;
+  std::uint64_t last_progress_round_ = 0;
+
+  // Stall-watchdog thread machinery. heartbeat_ ticks on every on_round;
+  // the thread trips stalled_ when it stops moving for stall_seconds.
+  std::atomic<std::uint64_t> heartbeat_{0};
+  std::atomic<bool> stalled_{false};
+  std::string stalled_detail_;  // written by the thread before stalled_
+  std::thread watchdog_thread_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_quit_ = false;
+};
+
+// Current resident set size of this process in bytes; 0 when the platform
+// offers no cheap way to read it (the memory budget is then inert).
+std::uint64_t current_rss_bytes();
+
+}  // namespace mwc::congest

@@ -59,6 +59,7 @@ struct NetworkConfig {
 
 class ThreadPool;
 class Metrics;
+class Governor;
 
 // Accumulated counters of a Network over all protocol runs, as one value
 // struct (see Network::stats()). External callers migrate off the loose
@@ -85,6 +86,8 @@ class Network {
   int n() const { return graph_->node_count(); }
   const graph::Graph& problem_graph() const { return *graph_; }
   const NetworkConfig& config() const { return cfg_; }
+  // The master seed every run's RNG stream forks from (checkpoint identity).
+  std::uint64_t seed() const { return master_rng_.seed(); }
 
   // Communication neighbors of v (underlying undirected topology).
   std::span<const NodeId> comm_neighbors(NodeId v) const;
@@ -94,6 +97,18 @@ class Network {
   NetworkStats stats() const {
     return NetworkStats{total_rounds_, total_messages_, total_words_,
                         cut_words_, run_counter_};
+  }
+
+  // Checkpoint resume: overwrite the accumulated counters with a recorded
+  // snapshot. Restoring `runs` realigns the run counter that seeds every
+  // run's RNG stream, so execution after the restore replays the recorded
+  // run's randomness exactly (see congest/checkpoint.h).
+  void restore_stats(const NetworkStats& s) {
+    total_rounds_ = s.rounds;
+    total_messages_ = s.messages;
+    total_words_ = s.words;
+    cut_words_ = s.cut_words;
+    run_counter_ = s.runs;
   }
 
   // --- cut instrumentation (lower-bound benches) -----------------------
@@ -115,6 +130,11 @@ class Network {
   // outlive the runs it observes. Zero-cost when detached. See metrics.h.
   void attach_metrics(Metrics* metrics) { metrics_ = metrics; }
   Metrics* metrics() const { return metrics_; }
+
+  // Attach a resource governor (nullptr detaches). Not owned; must outlive
+  // the runs it governs. Zero-cost when detached. See governor.h.
+  void attach_governor(Governor* governor) { governor_ = governor; }
+  Governor* governor() const { return governor_; }
 
  private:
   friend class Runner;
@@ -152,6 +172,7 @@ class Network {
   std::vector<bool> cut_side_;
   Trace* trace_ = nullptr;
   Metrics* metrics_ = nullptr;
+  Governor* governor_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;  // lazily built by thread_pool()
 
   std::uint64_t total_rounds_ = 0;

@@ -164,6 +164,8 @@ enum class RunOutcome {
   kRoundLimitExceeded,  // stopped at NetworkConfig::max_rounds_per_run
   kCrashed,             // quiescent, but node(s) crash-stopped and stayed down
   kRecovered,           // quiescent; every crashed node was revived mid-run
+  kBudgetExhausted,     // stopped by an attached Governor (see governor.h)
+  kCancelled,           // stopped by a tripped CancelToken (see governor.h)
 };
 
 inline const char* to_string(RunOutcome outcome) {
@@ -172,6 +174,8 @@ inline const char* to_string(RunOutcome outcome) {
     case RunOutcome::kRoundLimitExceeded: return "round_limit_exceeded";
     case RunOutcome::kCrashed: return "crashed";
     case RunOutcome::kRecovered: return "recovered";
+    case RunOutcome::kBudgetExhausted: return "budget_exhausted";
+    case RunOutcome::kCancelled: return "cancelled";
   }
   return "unknown";
 }

@@ -480,6 +480,63 @@ void Runner::transmit_step() {
 // ---- main loop -------------------------------------------------------------
 
 RunResult Runner::run() {
+  governor_ = net_.governor();
+  if (governor_ != nullptr && governor_->stopped()) {
+    // The solve's budget already ran out (or it was cancelled) in an earlier
+    // run on this network: don't start fresh phases, report the latched
+    // verdict with zero progress. Deterministic - the latch point itself is
+    // deterministic for round/word budgets.
+    governor_stop_ = governor_->latched();
+  } else {
+    run_rounds();
+  }
+
+  // Rounds consumed = index of the last round with a transmission, 1-based
+  // (engine round r is CONGEST round r+1; trailing local computation after
+  // the final delivery is free, idle waiting in the middle is not).
+  stats_.rounds = had_transmission_ ? last_activity_round_ + 1 : 0;
+  net_.total_rounds_ += stats_.rounds;
+  if (reliable_ != nullptr) {
+    stats_.retransmitted_words += reliable_->retransmitted_words();
+    stats_.checksum_rejects += reliable_->checksum_rejects();
+    stats_.dead_links += reliable_->dead_links();
+  }
+  RunOutcome outcome = RunOutcome::kCompleted;
+  if (governor_stop_ != StopReason::kNone) {
+    // A governed stop is the solve-wide verdict; it outranks the per-run
+    // endings below (note_outcome in mwc/result.h ranks accordingly).
+    outcome = governor_stop_ == StopReason::kCancelled
+                  ? RunOutcome::kCancelled
+                  : RunOutcome::kBudgetExhausted;
+  } else if (round_limit_hit_) {
+    outcome = RunOutcome::kRoundLimitExceeded;
+  } else if (any_crash_) {
+    const bool all_recovered = std::none_of(
+        crashed_.begin(), crashed_.end(), [](bool down) { return down; });
+    outcome = all_recovered ? RunOutcome::kRecovered : RunOutcome::kCrashed;
+  }
+  if (metrics_ != nullptr) {
+    // One profile per run, recorded on the host thread after every per-round
+    // effect was merged - the reason snapshots are bit-identical across
+    // thread counts (see metrics.h).
+    RunProfile profile;
+    profile.stats = stats_;
+    profile.outcome = outcome;
+    profile.cut_words = run_cut_words_;
+    profile.crashes = run_crashes_;
+    for (std::size_t i = 0; i < dir_words_.size(); ++i) {
+      if (dir_words_[i] > profile.max_link_words) {
+        profile.max_link_words = dir_words_[i];
+        profile.busiest_from = net_.dirs_[i].from;
+        profile.busiest_to = net_.dirs_[i].to;
+      }
+    }
+    metrics_->record_run(profile);
+  }
+  return RunResult{outcome, stats_};
+}
+
+void Runner::run_rounds() {
   Protocol& proto = active_proto();
   // Round 0: local setup + initial sends, every live node in id order.
   round_ = 0;
@@ -514,10 +571,32 @@ RunResult Runner::run() {
       if (!wakes_.empty()) jump = std::min(jump, wakes_.top().first);
       next_round = std::max(next_round, jump);
     }
+    const std::uint64_t prev_round = round_;
     round_ = next_round;
     if (round_ > net_.config().max_rounds_per_run) {
       round_limit_hit_ = true;
       break;
+    }
+    if (governor_ != nullptr) {
+      // Governed budgets see the network's accumulated totals: completed
+      // runs plus the in-flight round of this one. Both inputs are
+      // deterministic, so round/word-budget stops land on the same round at
+      // every thread count.
+      const StopReason stop =
+          governor_->on_round(net_.total_rounds_ + round_, net_.total_words_);
+      if (stop != StopReason::kNone) {
+        governor_stop_ = stop;
+        break;
+      }
+    }
+    if (round_ > prev_round + 1 && trace_ != nullptr &&
+        trace_->wants(TraceEventKind::kRoundJump)) {
+      // Quiescent fast-forward (pending wake or recovery): mark the jump so
+      // trace consumers see the numbering gap was intentional.
+      trace_->record(TraceEvent{
+          run_id_, round_, graph::kNoNode, graph::kNoNode,
+          static_cast<std::uint32_t>(round_ - prev_round - 1),
+          TraceEventKind::kRoundJump, {}});
     }
     apply_due_crashes();
     apply_due_recoveries();
@@ -576,44 +655,6 @@ RunResult Runner::run() {
     transmit_step();
     trace_round_end(words_before);
   }
-
-  // Rounds consumed = index of the last round with a transmission, 1-based
-  // (engine round r is CONGEST round r+1; trailing local computation after
-  // the final delivery is free, idle waiting in the middle is not).
-  stats_.rounds = had_transmission_ ? last_activity_round_ + 1 : 0;
-  net_.total_rounds_ += stats_.rounds;
-  if (reliable_ != nullptr) {
-    stats_.retransmitted_words += reliable_->retransmitted_words();
-    stats_.checksum_rejects += reliable_->checksum_rejects();
-    stats_.dead_links += reliable_->dead_links();
-  }
-  RunOutcome outcome = RunOutcome::kCompleted;
-  if (round_limit_hit_) {
-    outcome = RunOutcome::kRoundLimitExceeded;
-  } else if (any_crash_) {
-    const bool all_recovered = std::none_of(
-        crashed_.begin(), crashed_.end(), [](bool down) { return down; });
-    outcome = all_recovered ? RunOutcome::kRecovered : RunOutcome::kCrashed;
-  }
-  if (metrics_ != nullptr) {
-    // One profile per run, recorded on the host thread after every per-round
-    // effect was merged - the reason snapshots are bit-identical across
-    // thread counts (see metrics.h).
-    RunProfile profile;
-    profile.stats = stats_;
-    profile.outcome = outcome;
-    profile.cut_words = run_cut_words_;
-    profile.crashes = run_crashes_;
-    for (std::size_t i = 0; i < dir_words_.size(); ++i) {
-      if (dir_words_[i] > profile.max_link_words) {
-        profile.max_link_words = dir_words_[i];
-        profile.busiest_from = net_.dirs_[i].from;
-        profile.busiest_to = net_.dirs_[i].to;
-      }
-    }
-    metrics_->record_run(profile);
-  }
-  return RunResult{outcome, stats_};
 }
 
 RunResult run_protocol_result(Network& net, Protocol& proto) {

@@ -31,6 +31,7 @@
 
 #include "congest/dir_queue.h"
 #include "congest/faults.h"
+#include "congest/governor.h"
 #include "congest/network.h"
 #include "congest/protocol.h"
 #include "congest/thread_pool.h"
@@ -45,7 +46,10 @@ class Runner {
   Runner(Network& net, Protocol& proto);
   ~Runner();
 
-  // Runs to quiescence (or to the round limit) and reports how it ended.
+  // Runs to quiescence (or to the round limit, or to a governed stop) and
+  // reports how it ended. When the Network's attached Governor is already
+  // latched, the run is skipped entirely and reports the latched outcome -
+  // that is how a multi-phase solve winds down after budget exhaustion.
   RunResult run();
 
  private:
@@ -101,6 +105,11 @@ class Runner {
   // The protocol the engine actually steps (the reliable wrapper when
   // transport is enabled, the caller's protocol otherwise).
   Protocol& active_proto();
+
+  // The round loop proper (round 0 + the main loop), extracted so run()
+  // can skip it when the Governor is latched and still share the epilogue
+  // (stats, outcome, metrics) with every other ending.
+  void run_rounds();
 
   // Invokes the protocol for every node in invocations_ (in order),
   // sharding across the pool when it pays. `first_round` selects begin()
@@ -195,6 +204,11 @@ class Runner {
   std::vector<NodeId> restarted_;  // revived this round, in schedule order
   bool any_crash_ = false;
   bool round_limit_hit_ = false;
+
+  // Governance (null / kNone when no Governor is attached). The stop reason
+  // that ended this run, if any; maps to kBudgetExhausted / kCancelled.
+  Governor* governor_ = nullptr;
+  StopReason governor_stop_ = StopReason::kNone;
 
   RunStats stats_;
 };

@@ -26,6 +26,7 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::kCorrupt: return "corrupt";
     case TraceEventKind::kRecover: return "recover";
     case TraceEventKind::kChecksumReject: return "checksum_reject";
+    case TraceEventKind::kRoundJump: return "round_jump";
   }
   return "unknown";
 }
@@ -39,7 +40,7 @@ bool kind_from_string(std::string_view name, TraceEventKind& out) {
       TraceEventKind::kPhaseEnd,   TraceEventKind::kRetransmit,
       TraceEventKind::kAck,        TraceEventKind::kQueuePeak,
       TraceEventKind::kCorrupt,    TraceEventKind::kRecover,
-      TraceEventKind::kChecksumReject,
+      TraceEventKind::kChecksumReject, TraceEventKind::kRoundJump,
   };
   for (TraceEventKind k : kAll) {
     if (name == to_string(k)) {
@@ -73,6 +74,9 @@ std::string to_string(const TraceEvent& e) {
       return out + buf;
     case TraceEventKind::kRunBegin:
       return out + "RUN BEGIN";
+    case TraceEventKind::kRoundJump:
+      std::snprintf(buf, sizeof(buf), "ROUND JUMP skipped=%u", e.words);
+      return out + buf;
     case TraceEventKind::kRoundBegin:
       std::snprintf(buf, sizeof(buf), "ROUND BEGIN invoked=%u", e.words);
       return out + buf;
@@ -187,7 +191,8 @@ bool Trace::wants(TraceEventKind kind) const {
   switch (kind) {
     case TraceEventKind::kRunBegin: return options_.run_markers;
     case TraceEventKind::kRoundBegin:
-    case TraceEventKind::kRoundEnd: return options_.round_markers;
+    case TraceEventKind::kRoundEnd:
+    case TraceEventKind::kRoundJump: return options_.round_markers;
     case TraceEventKind::kPhaseBegin:
     case TraceEventKind::kPhaseEnd: return options_.phase_markers;
     case TraceEventKind::kRetransmit:

@@ -58,6 +58,11 @@ enum class TraceEventKind : std::uint8_t {
   kRecover,         // `from` rejoined after a crash-stop (`to` unused)
   kChecksumReject,  // ARQ layer rejected a corrupted frame (optional;
                     // gated with the other transport events)
+  kRoundJump,       // quiescent fast-forward to a pending wake or recovery
+                    // (round = landed-on round, words = rounds skipped;
+                    // gated with the round markers). Without this marker a
+                    // recovered run's round numbering jumps silently and
+                    // trace_diff reports a spurious first divergence.
 };
 
 // Stable lowercase names ("deliver", "round_begin", ...) used by the JSONL

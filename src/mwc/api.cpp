@@ -1,8 +1,12 @@
 #include "mwc/api.h"
 
+#include <cmath>
+#include <cstring>
 #include <optional>
+#include <stdexcept>
 #include <utility>
 
+#include "congest/checkpoint.h"
 #include "congest/runner.h"
 #include "mwc/directed_mwc.h"
 #include "mwc/exact.h"
@@ -109,6 +113,67 @@ void certify(const congest::Network& net, bool exact_mode, MwcReport& report) {
                 "); value is the best-so-far candidate";
 }
 
+// The cheapest weight any simple cycle of g could have: at least 3 edges
+// undirected / 2 directed, each of at least the minimum edge weight.
+// kInfWeight when g has no edges (then no cycle exists at all).
+graph::Weight structural_cycle_floor(const graph::Graph& g) {
+  if (g.edge_count() == 0) return graph::kInfWeight;
+  graph::Weight min_w = g.edges().front().w;
+  for (const graph::Edge& e : g.edges()) min_w = std::min(min_w, e.w);
+  return (g.is_directed() ? 2 : 3) * min_w;
+}
+
+// Fills MwcReport::lower_bound / upper_bound from the certification
+// verdict - the anytime-result contract (see api.h).
+void fill_bounds(const congest::Network& net, MwcReport& report) {
+  const graph::Weight value = report.result.value;
+  const graph::Weight floor = structural_cycle_floor(net.problem_graph());
+  if (value == graph::kInfWeight) {
+    if (report.certified()) {
+      // Proven acyclic (within the guarantee): both bounds infinite.
+      report.lower_bound = graph::kInfWeight;
+      report.upper_bound = graph::kInfWeight;
+    } else {
+      // Nothing salvaged: only the structural floor is known.
+      report.lower_bound = floor;
+      report.upper_bound = graph::kInfWeight;
+    }
+    return;
+  }
+  report.upper_bound = value;  // always the weight of a real cycle
+  switch (report.status) {
+    case SolveStatus::kCertified:
+      report.lower_bound = value;
+      break;
+    case SolveStatus::kApproxCertified: {
+      const auto implied = static_cast<graph::Weight>(
+          std::ceil(static_cast<double>(value) / report.guarantee - 1e-9));
+      report.lower_bound = std::max(floor, implied);
+      break;
+    }
+    case SolveStatus::kDegraded:
+    case SolveStatus::kFailed:
+      report.lower_bound = floor;
+      break;
+  }
+}
+
+// The solve options a checkpoint is only valid for: anything that changes
+// what the algorithm executes or records. Budgets and deadlines are
+// deliberately excluded - resuming a budget-killed solve with a larger
+// budget is a feature, and thread count is excluded for the same reason it
+// is absent from the network fingerprint (results are thread-invariant).
+std::uint64_t solve_options_digest(const SolveOptions& options) {
+  congest::CheckpointWriter w;
+  w.u8(static_cast<std::uint8_t>(options.mode));
+  std::uint64_t eps_bits = 0;
+  static_assert(sizeof(eps_bits) == sizeof(options.epsilon));
+  std::memcpy(&eps_bits, &options.epsilon, sizeof(eps_bits));
+  w.u64(eps_bits);
+  w.u8(options.collect_metrics ? 1 : 0);
+  return congest::fnv1a(w.bytes());
+}
+
 }  // namespace
 
 double approximate_mwc_guarantee(const congest::Network& net,
@@ -130,10 +195,43 @@ MwcReport solve(congest::Network& net, const SolveOptions& options) {
       exact ? 1.0
             : approximate_mwc_guarantee(net, ApproxMwcOptions{options.epsilon});
 
+  congest::Governor* governor = options.governor;
+  if (governor != nullptr) {
+    net.attach_governor(governor);
+    governor->arm();  // the wall-clock deadline measures *this* solve
+    governor->start_watchdog();
+  }
+
+  congest::CheckpointSession* ckpt = options.checkpoint;
+  if (ckpt != nullptr) {
+    const std::uint64_t digest = solve_options_digest(options);
+    ckpt->bind(net, digest);
+    if (ckpt->resuming()) {
+      std::string error;
+      if (!ckpt->validate(net, digest, &error)) {
+        if (governor != nullptr) net.attach_governor(nullptr);
+        throw std::runtime_error("checkpoint resume refused: " + error);
+      }
+      ckpt->restore(net);
+    } else {
+      // Armed snapshot before any phase runs: even a kill during the first
+      // phase resumes against a validated identity with zero progress.
+      ckpt->cut(congest::CheckpointSession::kStageArmed, "",
+                congest::RunStats{}, congest::RunOutcome::kCompleted);
+    }
+  }
+
   std::optional<congest::ScopedMetrics> scoped;
   if (options.collect_metrics) scoped.emplace(net);
+  if (ckpt != nullptr && ckpt->resuming() && ckpt->has_metrics()) {
+    // Replay the cut-time metrics into whichever sink now observes the
+    // solve; phases recorded after this append in the same order as an
+    // uninterrupted run, so the final snapshot is byte-identical.
+    congest::Metrics* sink = net.metrics();
+    if (sink != nullptr) sink->absorb(ckpt->metrics());
+  }
   try {
-    report.result = exact ? detail::exact_mwc_impl(net)
+    report.result = exact ? detail::exact_mwc_impl(net, ckpt)
                           : dispatch_approx(net, options.epsilon);
     certify(net, exact, report);
   } catch (const congest::RunAbortedError& e) {
@@ -147,6 +245,11 @@ MwcReport solve(congest::Network& net, const SolveOptions& options) {
     report.metrics = scoped->snapshot();
     scoped->release();
   }
+  if (governor != nullptr) {
+    report.stop = governor->stop();
+    net.attach_governor(nullptr);
+  }
+  fill_bounds(net, report);
   return report;
 }
 

@@ -39,10 +39,15 @@
 
 #include <string>
 
+#include "congest/governor.h"
 #include "congest/metrics.h"
 #include "congest/network.h"
 #include "congest/protocol.h"
 #include "mwc/result.h"
+
+namespace mwc::congest {
+class CheckpointSession;
+}
 
 namespace mwc::cycle {
 
@@ -102,6 +107,25 @@ struct SolveOptions {
   // (a private sink is attached for the duration; an already-attached
   // outer Metrics still observes every run via absorb()).
   bool collect_metrics = false;
+
+  // Resource governance (congest/governor.h; not owned, may be null).
+  // solve() attaches the governor to the network for its duration, re-arms
+  // the wall-clock epoch, and starts the stall watchdog if configured. A
+  // stop surfaces as RunOutcome::kBudgetExhausted / kCancelled in
+  // MwcReport::run plus MwcReport::stop, and the result degrades to an
+  // anytime answer (bounds below) instead of a wrong certified one.
+  congest::Governor* governor = nullptr;
+
+  // Checkpoint/resume session (congest/checkpoint.h; not owned, may be
+  // null). Fresh session: solve() binds it and the exact algorithm cuts a
+  // snapshot at each stage boundary. Loaded session (resuming() true):
+  // solve() validates it against this network + these options (throwing
+  // std::runtime_error on mismatch), restores the engine counters and
+  // metrics, and skips the completed stages - deterministic replay makes
+  // the final report/metrics/trace byte-identical to an uninterrupted run.
+  // Only the exact path cuts stages; approximation solves record only the
+  // armed snapshot.
+  congest::CheckpointSession* checkpoint = nullptr;
 };
 
 struct MwcReport {
@@ -125,6 +149,21 @@ struct MwcReport {
 
   // Per-phase profile; empty unless SolveOptions::collect_metrics.
   congest::MetricsSnapshot metrics;
+
+  // Anytime bounds on the true MWC weight, valid whatever the status:
+  // lower_bound <= w(MWC) <= upper_bound. upper_bound is result.value when
+  // finite (always the weight of a real cycle); lower_bound is value itself
+  // when certified, ceil(value / guarantee) when approx-certified, and a
+  // structural floor (shortest possible cycle from the minimum edge weight)
+  // on degraded/failed reports. A certified "no cycle" sets both to
+  // graph::kInfWeight. Budget-exhausted and cancelled solves report their
+  // partial knowledge here instead of pretending to none (or to all).
+  graph::Weight lower_bound = 0;
+  graph::Weight upper_bound = graph::kInfWeight;
+
+  // Why a governed solve stopped; reason kNone when no governor was
+  // attached or the budget sufficed. `detail` holds the diagnostic line.
+  congest::StopInfo stop;
 
   // Accumulated fault/transport counters of every run behind the report
   // (identical to run.stats; named for readability at call sites).

@@ -92,23 +92,83 @@ AllPairs all_pairs(congest::Network& net, RunStats* stats,
   return ap;
 }
 
+// Checkpoint payload codecs (congest/checkpoint.h). Stage kStageApsp
+// carries the distance/parent matrices + the APSP outcome; kStageExchange
+// appends the per-node minima and the best-candidate details. Versioning
+// rides on the checkpoint header - these blocks change only with it.
+void encode_apsp(congest::CheckpointWriter& w, const AllPairs& ap,
+                 congest::RunOutcome apsp_outcome) {
+  w.u32(static_cast<std::uint32_t>(ap.n));
+  w.u8(static_cast<std::uint8_t>(apsp_outcome));
+  for (Weight d : ap.d) w.i64(d);
+  for (NodeId p : ap.parent) w.i32(p);
+}
+
+bool decode_apsp(congest::CheckpointReader& r, int n, AllPairs* ap,
+                 congest::RunOutcome* apsp_outcome) {
+  std::uint32_t saved_n = 0;
+  std::uint8_t outcome = 0;
+  if (!r.u32(saved_n) || static_cast<int>(saved_n) != n || !r.u8(outcome)) {
+    return false;
+  }
+  *apsp_outcome = static_cast<congest::RunOutcome>(outcome);
+  ap->n = n;
+  const std::size_t cells =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  ap->d.resize(cells);
+  ap->parent.resize(cells);
+  for (Weight& d : ap->d) {
+    if (!r.i64(d)) return false;
+  }
+  for (NodeId& p : ap->parent) {
+    if (!r.i32(p)) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 namespace detail {
 
-MwcResult exact_mwc_impl(congest::Network& net) {
+MwcResult exact_mwc_impl(congest::Network& net,
+                         congest::CheckpointSession* ckpt) {
+  using congest::CheckpointSession;
   const graph::Graph& g = net.problem_graph();
   const int n = net.n();
   MwcResult result;
   result.sample_count = n;
 
+  // Resume bookkeeping: the saved stage tells us which phases to skip, the
+  // payload reader walks the saved blocks, and the accumulated stats /
+  // worst outcome pick up exactly where the cut left them.
+  std::uint8_t resume_stage = CheckpointSession::kStageArmed;
+  congest::CheckpointReader saved(
+      ckpt != nullptr && ckpt->resuming() ? ckpt->payload() : std::string_view{});
+  if (ckpt != nullptr && ckpt->resuming()) {
+    resume_stage = ckpt->stage();
+    result.stats = ckpt->stats();
+    result.worst_outcome = ckpt->worst_outcome();
+  }
+
   RunStats s;
   congest::RunOutcome apsp_outcome = congest::RunOutcome::kCompleted;
-  congest::PhaseSpan apsp_span(net, "apsp");
-  AllPairs ap = all_pairs(net, &s, &apsp_outcome);
-  apsp_span.close();
-  add_stats(result.stats, s);
-  note_outcome(result.worst_outcome, apsp_outcome);
+  AllPairs ap;
+  if (resume_stage >= CheckpointSession::kStageApsp) {
+    MWC_CHECK_MSG(decode_apsp(saved, n, &ap, &apsp_outcome),
+                  "checkpoint: corrupt APSP payload");
+  } else {
+    congest::PhaseSpan apsp_span(net, "apsp");
+    ap = all_pairs(net, &s, &apsp_outcome);
+    apsp_span.close();
+    add_stats(result.stats, s);
+    note_outcome(result.worst_outcome, apsp_outcome);
+    if (ckpt != nullptr) {
+      congest::CheckpointWriter w;
+      encode_apsp(w, ap, apsp_outcome);
+      ckpt->cut(CheckpointSession::kStageApsp, w.take(), result.stats,
+                result.worst_outcome);
+    }
+  }
   const bool apsp_usable =
       apsp_outcome == congest::RunOutcome::kCompleted ||
       apsp_outcome == congest::RunOutcome::kRecovered;
@@ -117,7 +177,17 @@ MwcResult exact_mwc_impl(congest::Network& net) {
   // Best candidate details for witness reconstruction.
   Weight best = kInfWeight;
   NodeId best_u = kNoNode, best_x = kNoNode, best_w = kNoNode;
-  if (g.is_directed()) {
+  if (resume_stage >= CheckpointSession::kStageExchange) {
+    bool ok = true;
+    for (Weight& m : mu) ok = ok && saved.i64(m);
+    std::int32_t u = kNoNode, x = kNoNode, w = kNoNode;
+    ok = ok && saved.i64(best) && saved.i32(u) && saved.i32(x) &&
+         saved.i32(w) && saved.done();
+    MWC_CHECK_MSG(ok, "checkpoint: corrupt exchange payload");
+    best_u = u;
+    best_x = x;
+    best_w = w;
+  } else if (g.is_directed()) {
     // Node u closes cycles over its out-arcs: d(v, u) + w(u, v).
     for (NodeId u = 0; u < n; ++u) {
       for (const graph::Arc& a : g.out(u)) {
@@ -202,6 +272,18 @@ MwcResult exact_mwc_impl(congest::Network& net) {
         }
       }
     }
+  }
+
+  if (ckpt != nullptr && resume_stage < CheckpointSession::kStageExchange) {
+    congest::CheckpointWriter w;
+    encode_apsp(w, ap, apsp_outcome);
+    for (Weight m : mu) w.i64(m);
+    w.i64(best);
+    w.i32(best_u);
+    w.i32(best_x);
+    w.i32(best_w);
+    ckpt->cut(CheckpointSession::kStageExchange, w.take(), result.stats,
+              result.worst_outcome);
   }
 
   // Redundant network-level aggregation of the per-node minima. Skipped

@@ -18,6 +18,7 @@
 //    EXPERIMENTS.md).
 #pragma once
 
+#include "congest/checkpoint.h"
 #include "congest/network.h"
 #include "mwc/result.h"
 
@@ -28,8 +29,14 @@ namespace mwc::cycle {
 MwcResult exact_mwc(congest::Network& net);
 
 namespace detail {
-// The algorithm itself, as dispatched by cycle::solve().
-MwcResult exact_mwc_impl(congest::Network& net);
+// The algorithm itself, as dispatched by cycle::solve(). With a bound
+// CheckpointSession the algorithm cuts a snapshot at each stage boundary
+// (after APSP, after the candidate/exchange phase) and, when the session is
+// resuming, decodes the saved stage payload instead of re-running those
+// phases - deterministic replay of the rest reproduces an uninterrupted
+// run's outputs byte for byte (see congest/checkpoint.h).
+MwcResult exact_mwc_impl(congest::Network& net,
+                         congest::CheckpointSession* ckpt = nullptr);
 }  // namespace detail
 
 }  // namespace mwc::cycle

@@ -81,14 +81,19 @@ inline bool stats_interference(const congest::RunStats& s,
 }
 
 // Keeps the more severe of two run outcomes (completed < recovered <
-// round-limit < crashed).
+// round-limit < budget-exhausted < cancelled < crashed). Budget stops and
+// cancellation outrank the round limit (they are solve-wide verdicts, not
+// per-run safety valves) but rank below crashed: a crash means node state
+// was lost, a governed stop only that the solve ended early.
 inline void note_outcome(congest::RunOutcome& worst, congest::RunOutcome o) {
   auto rank = [](congest::RunOutcome x) {
     switch (x) {
       case congest::RunOutcome::kCompleted: return 0;
       case congest::RunOutcome::kRecovered: return 1;
       case congest::RunOutcome::kRoundLimitExceeded: return 2;
-      case congest::RunOutcome::kCrashed: return 3;
+      case congest::RunOutcome::kBudgetExhausted: return 3;
+      case congest::RunOutcome::kCancelled: return 4;
+      case congest::RunOutcome::kCrashed: return 5;
     }
     return 0;
   };

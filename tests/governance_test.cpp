@@ -1,0 +1,460 @@
+// Resource governance: budgets, deadlines, cancellation, watchdogs, and
+// checkpoint/resume (congest/governor.h, congest/checkpoint.h, and their
+// wiring through cycle::solve()).
+//
+// The contracts under test:
+//  * deterministic budgets (rounds, words) stop the same execution at the
+//    same point at every thread count, and the result degrades to an
+//    anytime answer with lower_bound <= w(MWC) <= upper_bound - never a
+//    wrong certified value;
+//  * cancellation and the no-progress watchdog stop a solve cooperatively
+//    with the documented stop reason;
+//  * a solve SIGKILLed mid-run (fork + die_at_round) resumes from its
+//    checkpoint and produces a final report, metrics snapshot, and trace
+//    log byte-identical to an uninterrupted run, at every thread count;
+//  * a checkpoint never resumes against the wrong graph/seed/config, and a
+//    torn or corrupted file is refused at load time.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#ifdef __unix__
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "congest/checkpoint.h"
+#include "congest/faults.h"
+#include "congest/governor.h"
+#include "congest/network.h"
+#include "graph/generators.h"
+#include "graph/sequential.h"
+#include "mwc/api.h"
+#include "support/rng.h"
+
+namespace mwc::cycle {
+namespace {
+
+using congest::Budget;
+using congest::CancelToken;
+using congest::CheckpointSession;
+using congest::Governor;
+using congest::Network;
+using congest::NetworkConfig;
+using congest::StopReason;
+using congest::WatchdogConfig;
+using graph::Graph;
+using graph::Weight;
+using graph::WeightRange;
+
+Graph test_graph(std::uint64_t seed, int n = 48, int m = 110) {
+  support::Rng rng(seed);
+  return graph::random_connected(n, m, WeightRange{1, 9}, rng);
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, got);
+  std::fclose(f);
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+}
+
+// ---------- budgets are deterministic anytime results ------------------------
+
+TEST(Governance, RoundBudgetStopsIdenticallyAtEveryThreadCount) {
+  Graph g = test_graph(1);
+  MwcReport ref;
+  for (int threads : {1, 2, 4}) {
+    NetworkConfig cfg;
+    cfg.threads = threads;
+    Network net(g, 7, cfg);
+    Governor governor(Budget{.max_rounds = 120});
+    SolveOptions opts;
+    opts.mode = SolveMode::kExact;
+    opts.governor = &governor;
+    MwcReport report = solve(net, opts);
+    EXPECT_EQ(report.stop.reason, StopReason::kRoundBudget);
+    EXPECT_EQ(report.run.outcome, congest::RunOutcome::kBudgetExhausted);
+    if (threads == 1) {
+      ref = report;
+      continue;
+    }
+    // Bit-identical to the sequential engine: same stop point, same salvage.
+    EXPECT_EQ(report.result.value, ref.result.value) << "threads " << threads;
+    EXPECT_EQ(report.result.witness, ref.result.witness) << "threads " << threads;
+    EXPECT_EQ(report.run.stats.rounds, ref.run.stats.rounds) << "threads " << threads;
+    EXPECT_EQ(report.run.stats.words, ref.run.stats.words) << "threads " << threads;
+    EXPECT_EQ(report.lower_bound, ref.lower_bound) << "threads " << threads;
+    EXPECT_EQ(report.upper_bound, ref.upper_bound) << "threads " << threads;
+    EXPECT_EQ(report.status, ref.status) << "threads " << threads;
+  }
+}
+
+TEST(Governance, BudgetSweepAlwaysBracketsTheTrueAnswer) {
+  Graph g = test_graph(2);
+  const Weight oracle = graph::seq::mwc(g);
+  bool saw_stop = false;
+  bool saw_finish = false;
+  for (std::uint64_t rounds : {1ULL, 30ULL, 80ULL, 200ULL, 1ULL << 40}) {
+    Network net(g, 3);
+    Governor governor(Budget{.max_rounds = rounds});
+    SolveOptions opts;
+    opts.mode = SolveMode::kExact;
+    opts.governor = &governor;
+    MwcReport report = solve(net, opts);
+    // The anytime contract: whatever the budget, the bounds bracket the
+    // truth and a certified label implies the exact answer.
+    EXPECT_LE(report.lower_bound, oracle) << "budget " << rounds;
+    EXPECT_GE(report.upper_bound, oracle) << "budget " << rounds;
+    EXPECT_LE(report.lower_bound, report.upper_bound) << "budget " << rounds;
+    if (report.certified()) {
+      EXPECT_EQ(report.result.value, oracle) << "budget " << rounds;
+      EXPECT_EQ(report.stop.reason, StopReason::kNone) << "budget " << rounds;
+    }
+    if (report.stop.reason != StopReason::kNone) saw_stop = true;
+    if (report.stop.reason == StopReason::kNone) saw_finish = true;
+  }
+  EXPECT_TRUE(saw_stop);
+  EXPECT_TRUE(saw_finish);
+}
+
+TEST(Governance, WordBudgetStopsWithExplicitDiagnostic) {
+  Graph g = test_graph(3);
+  Network net(g, 3);
+  Governor governor(Budget{.max_words = 500});
+  SolveOptions opts;
+  opts.mode = SolveMode::kExact;
+  opts.governor = &governor;
+  MwcReport report = solve(net, opts);
+  EXPECT_EQ(report.stop.reason, StopReason::kWordBudget);
+  EXPECT_NE(report.stop.detail.find("word budget"), std::string::npos)
+      << report.stop.detail;
+  EXPECT_FALSE(report.certified());
+  EXPECT_GE(report.upper_bound, graph::seq::mwc(g));
+}
+
+TEST(Governance, GovernorLatchesAcrossRuns) {
+  Graph g = test_graph(4);
+  Network net(g, 3);
+  Governor governor(Budget{.max_rounds = 50});
+  SolveOptions opts;
+  opts.mode = SolveMode::kExact;
+  opts.governor = &governor;
+  MwcReport report = solve(net, opts);
+  EXPECT_TRUE(governor.stopped());
+  // A later governed run on the same (latched) governor winds down
+  // immediately instead of burning more rounds.
+  const std::uint64_t rounds_before = net.stats().rounds;
+  Network net2(g, 5);
+  SolveOptions opts2 = opts;
+  MwcReport report2 = solve(net2, opts2);
+  EXPECT_EQ(report2.stop.reason, report.stop.reason);
+  EXPECT_EQ(net2.stats().rounds, 0u);
+  EXPECT_EQ(net.stats().rounds, rounds_before);
+}
+
+// ---------- cancellation and watchdogs ---------------------------------------
+
+TEST(Governance, CancelTokenStopsTheSolveCooperatively) {
+  Graph g = test_graph(5);
+  Network net(g, 3);
+  CancelToken cancel;
+  cancel.request("operator said stop");
+  Governor governor;
+  governor.set_cancel_token(&cancel);
+  SolveOptions opts;
+  opts.mode = SolveMode::kExact;
+  opts.governor = &governor;
+  MwcReport report = solve(net, opts);
+  EXPECT_EQ(report.stop.reason, StopReason::kCancelled);
+  EXPECT_EQ(report.run.outcome, congest::RunOutcome::kCancelled);
+  EXPECT_NE(report.stop.detail.find("operator said stop"), std::string::npos);
+  EXPECT_FALSE(report.certified());
+}
+
+TEST(Governance, NoProgressWatchdogAbortsAWedgedPhase) {
+  // A permanently stalled link under the reliable transport: the ARQ backs
+  // off waiting for an ack that never comes, the settled-word counter stops
+  // moving, and the deterministic no-progress watchdog must abort the phase
+  // with a diagnostic instead of spinning to the round limit.
+  Graph g = test_graph(6);
+  NetworkConfig cfg;
+  cfg.reliable_transport = true;
+  cfg.max_rounds_per_run = 5'000'000;  // the watchdog must win, not this
+  cfg.faults.stalls.push_back(
+      congest::StallFault{0, g.out(0)[0].to, 0, ~std::uint64_t{0}});
+  Network net(g, 3, cfg);
+  Governor governor(Budget{}, WatchdogConfig{.no_progress_rounds = 2000});
+  SolveOptions opts;
+  opts.mode = SolveMode::kExact;
+  opts.governor = &governor;
+  MwcReport report = solve(net, opts);
+  EXPECT_EQ(report.stop.reason, StopReason::kNoProgress) << report.stop.detail;
+  EXPECT_NE(report.stop.detail.find("no settled words"), std::string::npos)
+      << report.stop.detail;
+  EXPECT_FALSE(report.certified());
+}
+
+// ---------- checkpoint/resume ------------------------------------------------
+
+struct GovernedRunFiles {
+  std::string ckpt;
+  std::string trace;
+};
+
+// One checkpointed, traced, metrics-collected exact solve; returns the
+// report. `die_at_round` != 0 SIGKILLs the process at that engine round -
+// callers fork first.
+MwcReport run_checkpointed(const Graph& g, std::uint64_t seed, int threads,
+                           const GovernedRunFiles& files, bool resume,
+                           std::uint64_t die_at_round) {
+  NetworkConfig cfg;
+  cfg.threads = threads;
+  Network net(g, seed, cfg);
+
+  CheckpointSession session(files.ckpt);
+  if (resume) {
+    std::string error;
+    if (!session.load(&error)) throw std::runtime_error(error);
+  }
+
+  std::FILE* trace_out = nullptr;
+  std::uint64_t base_events = 0;
+  if (resume) {
+    const congest::TracePosition pos = session.trace_position();
+#ifdef __unix__
+    if (::truncate(files.trace.c_str(), static_cast<off_t>(pos.bytes)) != 0) {
+      throw std::runtime_error("cannot truncate " + files.trace);
+    }
+#endif
+    base_events = pos.events;
+    trace_out = std::fopen(files.trace.c_str(), "a");
+    if (trace_out != nullptr) std::fseek(trace_out, 0, SEEK_END);
+  } else {
+    trace_out = std::fopen(files.trace.c_str(), "w");
+  }
+  if (trace_out == nullptr) throw std::runtime_error("cannot open trace");
+  congest::Trace trace(1 << 12, congest::TraceOptions::full());
+  congest::JsonlSink sink(trace_out);
+  trace.add_sink(&sink);
+  net.attach_trace(&trace);
+
+  Governor governor;
+  governor.die_at_round = die_at_round;
+  session.set_trace_probe([&]() {
+    sink.flush();
+    congest::TracePosition pos;
+    pos.bytes = static_cast<std::uint64_t>(std::ftell(trace_out));
+    pos.events = base_events + sink.lines_written();
+    return pos;
+  });
+
+  SolveOptions opts;
+  opts.mode = SolveMode::kExact;
+  opts.collect_metrics = true;
+  opts.governor = &governor;
+  opts.checkpoint = &session;
+  MwcReport report = solve(net, opts);
+  net.attach_trace(nullptr);
+  sink.flush();
+  std::fclose(trace_out);
+  return report;
+}
+
+#ifdef __unix__
+// The tentpole acceptance test: SIGKILL a checkpointing solve at a
+// randomized engine round in a forked child, resume in the parent, and
+// demand the final report, metrics JSON, and trace file byte-identical to
+// an uninterrupted run - for kill/resume thread counts 1, 2, and 4.
+TEST(Governance, KillAndResumeIsByteIdenticalAcrossThreadCounts) {
+  const std::string dir = testing::TempDir();
+  Graph g = test_graph(7);
+
+  // Uninterrupted reference (sequential; threads never change results).
+  const GovernedRunFiles ref_files{dir + "gov_ref.ckpt", dir + "gov_ref.jsonl"};
+  MwcReport ref = run_checkpointed(g, 11, 1, ref_files, false, 0);
+  ASSERT_EQ(ref.status, SolveStatus::kCertified);
+  const std::string ref_trace = read_file(ref_files.trace);
+  ASSERT_FALSE(ref_trace.empty());
+  const std::uint64_t total_rounds = ref.run.stats.rounds;
+  ASSERT_GT(total_rounds, 20u);
+
+  support::Rng rng(99);
+  for (int threads : {1, 2, 4}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    const std::string tag = dir + "gov_t" + std::to_string(threads);
+    const GovernedRunFiles files{tag + ".ckpt", tag + ".jsonl"};
+    const std::uint64_t kill_at = 5 + rng.next_below(total_rounds - 5);
+
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: run until the governor SIGKILLs the process mid-solve.
+      try {
+        run_checkpointed(g, 11, threads, files, false, kill_at);
+      } catch (...) {
+      }
+      _exit(0);  // die_at_round beyond the end: ran to completion
+    }
+    int wstatus = 0;
+    ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(wstatus) || WIFEXITED(wstatus));
+    if (WIFSIGNALED(wstatus)) {
+      EXPECT_EQ(WTERMSIG(wstatus), SIGKILL) << "kill round " << kill_at;
+    }
+
+    MwcReport resumed = run_checkpointed(g, 11, threads, files, true, 0);
+    EXPECT_EQ(resumed.status, ref.status) << "kill round " << kill_at;
+    EXPECT_EQ(resumed.result.value, ref.result.value);
+    EXPECT_EQ(resumed.result.witness, ref.result.witness);
+    EXPECT_EQ(resumed.run.stats.rounds, ref.run.stats.rounds);
+    EXPECT_EQ(resumed.run.stats.words, ref.run.stats.words);
+    EXPECT_EQ(resumed.lower_bound, ref.lower_bound);
+    EXPECT_EQ(resumed.upper_bound, ref.upper_bound);
+    EXPECT_EQ(resumed.metrics.to_json(), ref.metrics.to_json())
+        << "kill round " << kill_at;
+    EXPECT_EQ(read_file(files.trace), ref_trace) << "kill round " << kill_at;
+  }
+}
+#endif  // __unix__
+
+TEST(Governance, CheckpointRefusesTheWrongIdentity) {
+  const std::string dir = testing::TempDir();
+  const std::string path = dir + "gov_identity.ckpt";
+  Graph g = test_graph(8);
+  {
+    Network net(g, 21);
+    CheckpointSession session(path);
+    SolveOptions opts;
+    opts.mode = SolveMode::kExact;
+    opts.checkpoint = &session;
+    MwcReport report = solve(net, opts);
+    ASSERT_EQ(report.status, SolveStatus::kCertified);
+  }
+
+  // Same graph, different seed: refused with a seed diagnostic.
+  {
+    Network net(g, 22);
+    CheckpointSession session(path);
+    std::string error;
+    ASSERT_TRUE(session.load(&error)) << error;
+    SolveOptions opts;
+    opts.mode = SolveMode::kExact;
+    opts.checkpoint = &session;
+    EXPECT_THROW(solve(net, opts), std::runtime_error);
+  }
+
+  // Different graph: refused too.
+  {
+    Graph other = test_graph(9);
+    Network net(other, 21);
+    CheckpointSession session(path);
+    std::string error;
+    ASSERT_TRUE(session.load(&error)) << error;
+    ASSERT_FALSE(session.validate(net, 0, &error));
+    EXPECT_NE(error.find("graph"), std::string::npos) << error;
+  }
+
+  // Different solve options (mode digest): refused.
+  {
+    Network net(g, 21);
+    CheckpointSession session(path);
+    std::string error;
+    ASSERT_TRUE(session.load(&error)) << error;
+    SolveOptions opts;
+    opts.mode = SolveMode::kApprox;
+    opts.checkpoint = &session;
+    EXPECT_THROW(solve(net, opts), std::runtime_error);
+  }
+}
+
+TEST(Governance, CorruptOrTornCheckpointIsRefusedAtLoad) {
+  const std::string dir = testing::TempDir();
+  const std::string path = dir + "gov_corrupt.ckpt";
+  Graph g = test_graph(10);
+  {
+    Network net(g, 31);
+    CheckpointSession session(path);
+    SolveOptions opts;
+    opts.mode = SolveMode::kExact;
+    opts.checkpoint = &session;
+    solve(net, opts);
+  }
+  const std::string good = read_file(path);
+  ASSERT_FALSE(good.empty());
+
+  // A sane file loads.
+  {
+    CheckpointSession session(path);
+    std::string error;
+    EXPECT_TRUE(session.load(&error)) << error;
+  }
+  // Flip one payload byte: the trailing checksum catches it.
+  {
+    std::string bad = good;
+    bad[bad.size() / 2] = static_cast<char>(bad[bad.size() / 2] ^ 0x40);
+    write_file(path, bad);
+    CheckpointSession session(path);
+    std::string error;
+    EXPECT_FALSE(session.load(&error));
+    EXPECT_FALSE(error.empty());
+  }
+  // Torn file (truncated mid-write without the tmp+rename dance).
+  {
+    write_file(path, good.substr(0, good.size() / 3));
+    CheckpointSession session(path);
+    std::string error;
+    EXPECT_FALSE(session.load(&error));
+  }
+  // Wrong magic.
+  {
+    std::string bad = good;
+    bad[0] = 'X';
+    write_file(path, bad);
+    CheckpointSession session(path);
+    std::string error;
+    EXPECT_FALSE(session.load(&error));
+    EXPECT_NE(error.find("not a checkpoint"), std::string::npos) << error;
+  }
+  // Missing file.
+  {
+    CheckpointSession session(dir + "gov_never_written.ckpt");
+    std::string error;
+    EXPECT_FALSE(session.load(&error));
+  }
+}
+
+TEST(Governance, StopReasonNamesAreStable) {
+  // The stop-reason vocabulary is part of the CLI/CI contract
+  // (docs/governance.md); renames break scripts that grep for them.
+  EXPECT_STREQ(congest::to_string(StopReason::kNone), "none");
+  EXPECT_STREQ(congest::to_string(StopReason::kRoundBudget), "round_budget");
+  EXPECT_STREQ(congest::to_string(StopReason::kWordBudget), "word_budget");
+  EXPECT_STREQ(congest::to_string(StopReason::kDeadline), "deadline");
+  EXPECT_STREQ(congest::to_string(StopReason::kMemoryBudget), "memory_budget");
+  EXPECT_STREQ(congest::to_string(StopReason::kNoProgress), "no_progress");
+  EXPECT_STREQ(congest::to_string(StopReason::kStalled), "stalled");
+  EXPECT_STREQ(congest::to_string(StopReason::kCancelled), "cancelled");
+  EXPECT_STREQ(congest::to_string(congest::RunOutcome::kBudgetExhausted),
+               "budget_exhausted");
+  EXPECT_STREQ(congest::to_string(congest::RunOutcome::kCancelled),
+               "cancelled");
+}
+
+}  // namespace
+}  // namespace mwc::cycle

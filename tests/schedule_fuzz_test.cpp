@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "congest/faults.h"
+#include "congest/governor.h"
 #include "congest/multi_bfs.h"
 #include "congest/network.h"
 #include "graph/generators.h"
@@ -254,6 +255,65 @@ TEST(ScheduleFuzz, FuzzedFaultSchedulesNeverCertifyAWrongAnswer) {
   // The fuzz must exercise both sides of the line, not collapse into one.
   EXPECT_GT(certified_runs, 0);
   EXPECT_GT(degraded_runs, 0);
+}
+
+// The governance twin of the fault fuzz above: randomized round/word
+// budgets truncate solves at arbitrary points under adversarial schedules.
+// A budget-truncated solve must NEVER certify a wrong answer - certified
+// implies exactly the oracle - and whatever it does return must bracket
+// the truth with its anytime bounds.
+TEST(ScheduleFuzz, FuzzedBudgetTruncationsNeverCertifyAWrongAnswer) {
+  int stopped_runs = 0;
+  int finished_runs = 0;
+  for (std::uint64_t seed = 100; seed < 120; ++seed) {
+    support::Rng rng(seed);
+    const int n = 20 + static_cast<int>(rng.next_below(12));
+    const int m = n + 10 +
+                  static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+    Graph g = graph::random_connected(n, m, WeightRange{1, 9}, rng);
+    const Weight oracle = graph::seq::mwc(g);
+
+    congest::Budget budget;
+    if (seed % 2 == 0) {
+      budget.max_rounds = 1 + rng.next_below(400);
+    } else {
+      budget.max_words = 1 + rng.next_below(60'000);
+    }
+    congest::Governor governor(budget);
+    Network net(g, seed, shuffled());
+    SolveOptions opts;
+    opts.mode = SolveMode::kExact;
+    opts.governor = &governor;
+    MwcReport report = cycle::solve(net, opts);
+
+    // The hard line: truncation never manufactures a wrong certified answer.
+    if (report.certified()) {
+      EXPECT_EQ(report.result.value, oracle) << "seed " << seed;
+      EXPECT_EQ(report.stop.reason, congest::StopReason::kNone)
+          << "seed " << seed;
+    }
+    EXPECT_LE(report.lower_bound, oracle) << "seed " << seed;
+    EXPECT_GE(report.upper_bound, oracle) << "seed " << seed;
+    if (report.result.value != graph::kInfWeight) {
+      // Salvaged values are real cycle weights: upper bounds, never under.
+      EXPECT_GE(report.result.value, oracle) << "seed " << seed;
+    }
+    if (!report.result.witness.empty()) {
+      Weight total = 0;
+      EXPECT_TRUE(detail::validate_cycle(g, report.result.witness, &total))
+          << "seed " << seed;
+      EXPECT_LE(total, report.result.value) << "seed " << seed;
+    }
+    if (report.stop.reason != congest::StopReason::kNone) {
+      EXPECT_FALSE(report.certified()) << "seed " << seed;
+      ++stopped_runs;
+    } else {
+      ++finished_runs;
+    }
+  }
+  // The fuzz must exercise both truncated and completed solves.
+  EXPECT_GT(stopped_runs, 0);
+  EXPECT_GT(finished_runs, 0);
 }
 
 TEST(BandwidthRobustness, ResultsUnchangedAcrossB) {

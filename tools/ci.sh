@@ -10,6 +10,8 @@
 #   tools/ci.sh examples   examples + CLI metrics smoke only
 #   tools/ci.sh trace      trace capture / diff / Perfetto export smoke only
 #   tools/ci.sh faults     corruption + crash-recovery smoke (ASan and TSan)
+#   tools/ci.sh governance budgets, deadline, SIGKILL+resume smoke (ASan and
+#                          TSan)
 #
 # Stages use separate build trees (build-ci/, build-ci-asan/, build-ci-tsan/)
 # so they never poison an incremental developer build/.
@@ -194,6 +196,94 @@ if [[ "$stage" == "all" || "$stage" == "faults" ]]; then
       || { echo "ci: crash+recover run not labeled degraded ($dir)"; exit 1; }
     grep -q "recoveries" "$work/crash.txt" \
       || { echo "ci: crash+recover run printed no fault ledger ($dir)"; exit 1; }
+  done
+fi
+
+if [[ "$stage" == "all" || "$stage" == "governance" ]]; then
+  echo "=== resource governance: budgets, deadline, kill/resume (ASan + TSan) ==="
+  # The governance contract end to end, under both sanitizers: a solve that
+  # exhausts a budget exits with the documented code 4 and prints an
+  # anytime report (stop reason + explicit bounds); a checkpointing solve
+  # SIGKILLed mid-run resumes to a report, metrics JSON, and trace log
+  # byte-identical to an uninterrupted run - even when the resume uses a
+  # different thread count.
+  export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+  export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+  export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+  cmake -B build-ci-asan -S . -DCONGEST_MWC_WERROR=ON \
+    -DMWC_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=Debug
+  cmake --build build-ci-asan -j "$jobs" --target mwc_cli
+  cmake -B build-ci-tsan -S . -DCONGEST_MWC_WERROR=ON -DMWC_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-ci-tsan -j "$jobs" --target mwc_cli governance_test
+  build-ci-tsan/tests/governance_test
+
+  for dir in build-ci-asan build-ci-tsan; do
+    echo "--- governance smoke: $dir"
+    cli="$dir/tools/mwc_cli"
+    work="$dir/governance-smoke"
+    rm -rf "$work"
+    mkdir -p "$work"
+    "$cli" gen random 96 240 7 "$work/g.graph"
+
+    # Deterministic round budget: documented exit code 4, stop diagnostic,
+    # and an explicit anytime bounds line.
+    rc=0
+    "$cli" run exact "$work/g.graph" 3 --budget-rounds=100 \
+      > "$work/budget.txt" || rc=$?
+    [[ "$rc" -eq 4 ]] \
+      || { echo "ci: budget run exit code $rc, want 4 ($dir)"; exit 1; }
+    grep -q "stop: round_budget" "$work/budget.txt" \
+      || { echo "ci: budget run lacks the stop line ($dir)"; exit 1; }
+    grep -q "budget_exhausted" "$work/budget.txt" \
+      || { echo "ci: budget run lacks the outcome ($dir)"; exit 1; }
+    grep -q "bounds: .* <= mwc <= " "$work/budget.txt" \
+      || { echo "ci: budget run lacks anytime bounds ($dir)"; exit 1; }
+
+    # The non-deterministic twin: a wall-clock deadline too tight for the
+    # instance must stop the solve the same way (exit 4, stop: deadline).
+    "$cli" gen random 300 900 9 "$work/big.graph"
+    rc=0
+    "$cli" run exact "$work/big.graph" 3 --deadline=0.05 \
+      > "$work/deadline.txt" || rc=$?
+    [[ "$rc" -eq 4 ]] \
+      || { echo "ci: deadline run exit code $rc, want 4 ($dir)"; exit 1; }
+    grep -q "stop: deadline" "$work/deadline.txt" \
+      || { echo "ci: deadline run lacks the stop line ($dir)"; exit 1; }
+
+    # SIGKILL a checkpointing solve mid-run (the governor's die_at_round
+    # hook makes the kill land deterministically), resume, and demand
+    # byte-identical metrics, trace, and report - resuming on 4 threads
+    # from a checkpoint cut on 1.
+    "$cli" run exact "$work/g.graph" 3 --metrics="$work/ref.json" \
+      --trace="$work/ref.jsonl" > "$work/ref.txt"
+    rc=0
+    "$cli" run exact "$work/g.graph" 3 --metrics="$work/m.json" \
+      --trace="$work/t.jsonl" --checkpoint="$work/c.ckpt" \
+      --die-at-round=60 > /dev/null 2>&1 || rc=$?
+    [[ "$rc" -eq 137 || "$rc" -eq 9 ]] \
+      || { echo "ci: die-at-round exit code $rc, want SIGKILL ($dir)"; exit 1; }
+    "$cli" run exact "$work/g.graph" 3 --threads=4 --metrics="$work/m.json" \
+      --trace="$work/t.jsonl" --checkpoint="$work/c.ckpt" --resume \
+      > "$work/resumed.txt"
+    cmp "$work/ref.json" "$work/m.json" \
+      || { echo "ci: resumed metrics differ from uninterrupted ($dir)"; exit 1; }
+    cmp "$work/ref.jsonl" "$work/t.jsonl" \
+      || { echo "ci: resumed trace differs from uninterrupted ($dir)"; exit 1; }
+    # The report itself matches too (only the output file names differ).
+    grep -v "wrote" "$work/ref.txt" > "$work/ref_report.txt"
+    grep -v "wrote" "$work/resumed.txt" > "$work/resumed_report.txt"
+    cmp "$work/ref_report.txt" "$work/resumed_report.txt" \
+      || { echo "ci: resumed report differs from uninterrupted ($dir)"; exit 1; }
+
+    # A checkpoint never resumes against the wrong identity.
+    rc=0
+    "$cli" run exact "$work/g.graph" 4 --checkpoint="$work/c.ckpt" --resume \
+      > /dev/null 2> "$work/refused.txt" || rc=$?
+    [[ "$rc" -eq 2 ]] \
+      || { echo "ci: wrong-seed resume exit code $rc, want 2 ($dir)"; exit 1; }
+    grep -q "different seed" "$work/refused.txt" \
+      || { echo "ci: wrong-seed resume lacks the diagnostic ($dir)"; exit 1; }
   done
 fi
 

@@ -15,6 +15,15 @@
 //                                               [--threads=T]
 //                                               [--epsilon=E]
 //                                               [--metrics[=FILE]]
+//                                               [--budget-rounds=N]
+//                                               [--budget-words=N]
+//                                               [--budget-rss-mb=N]
+//                                               [--deadline=SECONDS]
+//                                               [--no-progress-rounds=N]
+//                                               [--stall-seconds=S]
+//                                               [--checkpoint=FILE]
+//                                               [--resume]
+//                                               [--die-at-round=N]
 //       algorithms: auto | approx | exact (cycle::solve's mode dispatch,
 //                   picking the paper's algorithm for the graph class), or
 //                   a specific one: girth-approx | girth-prt |
@@ -49,17 +58,47 @@
 //       JSON (open at ui.perfetto.dev); --wall folds a .wall sidecar in as
 //       a separate, clearly-marked non-deterministic process.
 //
-// Exit status: 0 on success (solve() modes: a certified or
-// approx_certified answer), 1 on usage errors, 2 on runtime errors (bad
-// input files, failed runs with nothing salvageable), 3 when the solve()
-// modes return a degraded best-effort answer (faults interfered or no
-// validated witness; the value is an upper bound, not certified minimal).
+//       Resource governance (solve() modes only; see docs/governance.md):
+//       --budget-rounds / --budget-words cap the engine's accumulated
+//       totals (deterministic - the stop lands on the same round at every
+//       thread count); --deadline is a wall-clock budget in seconds and
+//       --budget-rss-mb a resident-memory cap (both non-deterministic);
+//       --no-progress-rounds aborts a phase whose settled-word counter
+//       stopped moving; --stall-seconds arms a watchdog thread for a wedged
+//       round loop. SIGINT/SIGTERM cancel the solve cooperatively at the
+//       next round boundary. All of these degrade the report to an anytime
+//       answer with explicit "bounds:" instead of hanging or dying
+//       empty-handed. --checkpoint=FILE snapshots the solve at stage
+//       boundaries (atomic rename; versioned format); --resume restarts a
+//       killed solve from FILE and replays deterministically, making the
+//       final report, metrics, and trace byte-identical to an uninterrupted
+//       run. --die-at-round=N SIGKILLs the process at engine round N - the
+//       test/CI hook behind the checkpoint determinism suite.
+//
+// Exit status (kept in sync with kExit* below and README "Exit codes"):
+//   0  success (solve() modes: a certified or approx_certified answer)
+//   1  usage errors
+//   2  runtime errors (bad input files, failed runs with nothing
+//      salvageable, refused checkpoint resumes)
+//   3  degraded best-effort answer (faults interfered or no validated
+//      witness; the value is an upper bound, not certified minimal)
+//   4  a resource budget (rounds, words, deadline, memory, no-progress,
+//      stall) ended the solve early; the report carries explicit bounds
+//   5  cancelled by SIGINT/SIGTERM (or a tripped CancelToken)
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#ifdef __unix__
+#include <unistd.h>  // truncate() for --resume trace-log rollback
+#endif
+
+#include "congest/checkpoint.h"
+#include "congest/governor.h"
 
 #include "congest/metrics.h"
 #include "congest/network.h"
@@ -82,6 +121,18 @@ namespace {
 
 using namespace mwc;  // NOLINT
 
+// The exit-code contract of `mwc_cli run` (mirrored in the header comment
+// above and README "Exit codes"). 1 is reserved for usage errors (usage()
+// returns it) and 2 for runtime errors (main's catch block).
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitUsage = 1,
+  kExitError = 2,
+  kExitDegraded = 3,
+  kExitBudgetExhausted = 4,
+  kExitCancelled = 5,
+};
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -95,6 +146,10 @@ int usage() {
                " [--fault-crash=NODE:ROUND] [--fault-recover=NODE:ROUND]"
                " [--threads=T] [--epsilon=E] [--metrics[=FILE]]"
                " [--trace[=FILE]]\n"
+               "      governance (solve modes): [--budget-rounds=N]"
+               " [--budget-words=N] [--budget-rss-mb=N] [--deadline=SECONDS]"
+               " [--no-progress-rounds=N] [--stall-seconds=S]"
+               " [--checkpoint[=FILE]] [--resume] [--die-at-round=N]\n"
                "  mwc_cli trace export <in.jsonl> <out.perfetto.json>"
                " [--wall=FILE]\n");
   return 1;
@@ -164,6 +219,98 @@ std::vector<std::vector<std::uint64_t>> parse_fault_tuples(
   return out;
 }
 
+// One registry drives cmd_run's whole flag surface: the parser's known
+// list, the shared numeric validation, and the fault-tuple arities all come
+// from this table instead of each flag re-implementing its own checks.
+struct RunFlagSpec {
+  enum class Kind {
+    kUint,     // non-negative integer
+    kProb,     // probability in [0, 1)
+    kSeconds,  // non-negative double
+    kDouble,   // double, constraint checked at the use site
+    kTuples2,  // comma-separated NODE:ROUND tuples
+    kTuples4,  // comma-separated FROM:TO:FIRST:LAST tuples
+    kName,     // string or optional-value boolean
+  };
+  const char* name;
+  Kind kind;
+};
+
+constexpr RunFlagSpec kRunFlags[] = {
+    {"max-rounds", RunFlagSpec::Kind::kUint},
+    {"fault-drop-prob", RunFlagSpec::Kind::kProb},
+    {"fault-corrupt-prob", RunFlagSpec::Kind::kProb},
+    {"fault-corrupt", RunFlagSpec::Kind::kTuples4},
+    {"fault-crash", RunFlagSpec::Kind::kTuples2},
+    {"fault-recover", RunFlagSpec::Kind::kTuples2},
+    {"threads", RunFlagSpec::Kind::kUint},
+    {"epsilon", RunFlagSpec::Kind::kDouble},
+    {"metrics", RunFlagSpec::Kind::kName},
+    {"trace", RunFlagSpec::Kind::kName},
+    {"budget-rounds", RunFlagSpec::Kind::kUint},
+    {"budget-words", RunFlagSpec::Kind::kUint},
+    {"budget-rss-mb", RunFlagSpec::Kind::kUint},
+    {"deadline", RunFlagSpec::Kind::kSeconds},
+    {"no-progress-rounds", RunFlagSpec::Kind::kUint},
+    {"stall-seconds", RunFlagSpec::Kind::kSeconds},
+    {"checkpoint", RunFlagSpec::Kind::kName},
+    {"resume", RunFlagSpec::Kind::kName},
+    {"die-at-round", RunFlagSpec::Kind::kUint},
+};
+
+std::vector<std::string> run_flag_names() {
+  std::vector<std::string> names;
+  for (const RunFlagSpec& spec : kRunFlags) names.emplace_back(spec.name);
+  return names;
+}
+
+// Kind-driven range checks; prints the offending flag and returns false.
+bool validate_run_flags(const support::Flags& flags) {
+  for (const RunFlagSpec& spec : kRunFlags) {
+    if (!flags.has(spec.name)) continue;
+    switch (spec.kind) {
+      case RunFlagSpec::Kind::kProb: {
+        const double v = flags.get_double(spec.name, 0.0);
+        if (v < 0.0 || v >= 1.0) {
+          std::fprintf(stderr, "--%s must be in [0, 1)\n", spec.name);
+          return false;
+        }
+        break;
+      }
+      case RunFlagSpec::Kind::kSeconds: {
+        if (flags.get_double(spec.name, 0.0) < 0.0) {
+          std::fprintf(stderr, "--%s must be >= 0\n", spec.name);
+          return false;
+        }
+        break;
+      }
+      case RunFlagSpec::Kind::kUint: {
+        if (flags.get_int(spec.name, 0) < 0) {
+          std::fprintf(stderr, "--%s must be >= 0\n", spec.name);
+          return false;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+// Tuple arity looked up from the registry, so the parse call sites cannot
+// drift from the documented flag shapes.
+std::vector<std::vector<std::uint64_t>> run_flag_tuples(
+    const support::Flags& flags, const char* name) {
+  for (const RunFlagSpec& spec : kRunFlags) {
+    if (std::string(spec.name) != name) continue;
+    const std::size_t arity =
+        spec.kind == RunFlagSpec::Kind::kTuples2 ? 2 : 4;
+    return parse_fault_tuples(flags.get(name, ""), arity, name);
+  }
+  throw std::runtime_error(std::string("not a tuple flag: --") + name);
+}
+
 int cmd_info(int argc, char** argv) {
   if (argc != 3) return usage();
   graph::Graph g = graph::load_graph_file(argv[2]);
@@ -186,18 +333,17 @@ int cmd_info(int argc, char** argv) {
 }
 
 int cmd_run(int argc, char** argv) {
-  support::Flags flags(argc, argv,
-                       {"max-rounds", "fault-drop-prob", "fault-corrupt-prob",
-                        "fault-corrupt", "fault-crash", "fault-recover",
-                        "threads", "epsilon", "metrics", "trace"});
+  support::Flags flags(argc, argv, run_flag_names());
   if (!flags.unknown_flags().empty()) {
     std::fprintf(stderr, "unknown flag: --%s\n",
                  flags.unknown_flags()[0].c_str());
     return usage();
   }
+  if (!validate_run_flags(flags)) return usage();
   // positional() = {"run", algo, graph-file, seed}.
   if (flags.positional().size() != 4) return usage();
   const std::string algo = flags.positional()[1];
+  const bool solve_mode = algo == "auto" || algo == "approx" || algo == "exact";
   graph::Graph g = graph::load_graph_file(flags.positional()[2]);
   const auto seed =
       static_cast<std::uint64_t>(std::atoll(flags.positional()[3].c_str()));
@@ -206,22 +352,13 @@ int cmd_run(int argc, char** argv) {
   cfg.max_rounds_per_run = static_cast<std::uint64_t>(flags.get_int(
       "max-rounds", static_cast<std::int64_t>(cfg.max_rounds_per_run)));
   const double drop = flags.get_double("fault-drop-prob", 0.0);
-  if (drop < 0.0 || drop >= 1.0) {
-    std::fprintf(stderr, "--fault-drop-prob must be in [0, 1)\n");
-    return usage();
-  }
   if (drop > 0.0) {
     cfg.faults.drop_prob = drop;
     cfg.reliable_transport = true;  // lossy links need the ARQ layer
   }
   const double corrupt = flags.get_double("fault-corrupt-prob", 0.0);
-  if (corrupt < 0.0 || corrupt >= 1.0) {
-    std::fprintf(stderr, "--fault-corrupt-prob must be in [0, 1)\n");
-    return usage();
-  }
   if (corrupt > 0.0) cfg.faults.corrupt_prob = corrupt;
-  for (const auto& t : parse_fault_tuples(flags.get("fault-corrupt", ""), 4,
-                                          "fault-corrupt")) {
+  for (const auto& t : run_flag_tuples(flags, "fault-corrupt")) {
     cfg.faults.corrupt_windows.push_back(
         congest::CorruptFault{static_cast<graph::NodeId>(t[0]),
                               static_cast<graph::NodeId>(t[1]), t[2], t[3]});
@@ -231,13 +368,11 @@ int cmd_run(int argc, char** argv) {
     // garbage; corruption is only meaningful under the checksumming ARQ.
     cfg.reliable_transport = true;
   }
-  for (const auto& t :
-       parse_fault_tuples(flags.get("fault-crash", ""), 2, "fault-crash")) {
+  for (const auto& t : run_flag_tuples(flags, "fault-crash")) {
     cfg.faults.crashes.push_back(
         congest::CrashFault{static_cast<graph::NodeId>(t[0]), t[1]});
   }
-  for (const auto& t : parse_fault_tuples(flags.get("fault-recover", ""), 2,
-                                          "fault-recover")) {
+  for (const auto& t : run_flag_tuples(flags, "fault-recover")) {
     cfg.faults.recovers.push_back(
         congest::RecoverFault{static_cast<graph::NodeId>(t[0]), t[1]});
   }
@@ -263,16 +398,83 @@ int cmd_run(int argc, char** argv) {
     const std::string v = flags.get("trace", "");
     return v == "true" ? "trace.jsonl" : v;
   }();
+
+  // Resource governance (solve modes only; see docs/governance.md).
+  congest::Budget budget;
+  budget.max_rounds =
+      static_cast<std::uint64_t>(flags.get_int("budget-rounds", 0));
+  budget.max_words =
+      static_cast<std::uint64_t>(flags.get_int("budget-words", 0));
+  budget.max_wall_seconds = flags.get_double("deadline", 0.0);
+  budget.max_rss_bytes =
+      static_cast<std::uint64_t>(flags.get_int("budget-rss-mb", 0)) << 20;
+  congest::WatchdogConfig watchdog;
+  watchdog.no_progress_rounds =
+      static_cast<std::uint64_t>(flags.get_int("no-progress-rounds", 0));
+  watchdog.stall_seconds = flags.get_double("stall-seconds", 0.0);
+  const auto die_at_round =
+      static_cast<std::uint64_t>(flags.get_int("die-at-round", 0));
+  const bool want_ckpt = flags.has("checkpoint");
+  // Bare --checkpoint parses as the value "true": use the default file name.
+  const std::string ckpt_file = [&]() -> std::string {
+    const std::string v = flags.get("checkpoint", "");
+    return v == "true" ? "mwc.ckpt" : v;
+  }();
+  const bool resume = flags.has("resume");
+  if (!solve_mode && (budget.any() || watchdog.any() || die_at_round != 0 ||
+                      want_ckpt || resume)) {
+    std::fprintf(stderr,
+                 "governance flags (--budget-*, --deadline, "
+                 "--no-progress-rounds, --stall-seconds, --checkpoint, "
+                 "--resume, --die-at-round) require a solve mode "
+                 "(auto|approx|exact)\n");
+    return usage();
+  }
+  if (resume && !want_ckpt) {
+    std::fprintf(stderr, "--resume requires --checkpoint[=FILE]\n");
+    return usage();
+  }
+
   congest::Network net(g, seed, cfg);
 
+  // Load the checkpoint before touching the trace log: resume needs its
+  // recorded trace offset to roll the log back to the cut.
+  congest::CheckpointSession ckpt_session(ckpt_file);
+  if (resume) {
+    std::string error;
+    if (!ckpt_session.load(&error)) {
+      throw std::runtime_error("cannot resume from " + ckpt_file + ": " +
+                               error);
+    }
+  }
+
   // Full-vocabulary trace streamed to disk as it happens; the in-memory
-  // ring only serves as a small recent-events window.
+  // ring only serves as a small recent-events window. On --resume the log
+  // is truncated to the checkpoint's recorded offset and appended to, so
+  // the finished file is byte-identical to an uninterrupted run's; the
+  // printed event count continues from the recorded one for the same
+  // reason.
   std::FILE* trace_out = nullptr;
+  std::uint64_t trace_base_events = 0;
   if (want_trace) {
-    trace_out = std::fopen(trace_file.c_str(), "w");
+    if (resume) {
+      const congest::TracePosition pos = ckpt_session.trace_position();
+#ifdef __unix__
+      if (::truncate(trace_file.c_str(), static_cast<off_t>(pos.bytes)) != 0 &&
+          errno != ENOENT) {
+        std::fprintf(stderr, "cannot truncate %s\n", trace_file.c_str());
+        return kExitError;
+      }
+#endif
+      trace_base_events = pos.events;
+      trace_out = std::fopen(trace_file.c_str(), "a");
+      if (trace_out != nullptr) std::fseek(trace_out, 0, SEEK_END);
+    } else {
+      trace_out = std::fopen(trace_file.c_str(), "w");
+    }
     if (trace_out == nullptr) {
       std::fprintf(stderr, "cannot write %s\n", trace_file.c_str());
-      return 2;
+      return kExitError;
     }
   }
   congest::Trace trace(1 << 12, congest::TraceOptions::full());
@@ -289,8 +491,16 @@ int cmd_run(int argc, char** argv) {
 
   cycle::MwcResult result;
   congest::MetricsSnapshot metrics;
-  int exit_code = 0;
-  if (algo == "auto" || algo == "approx" || algo == "exact") {
+  int exit_code = kExitOk;
+  if (solve_mode) {
+    // Every solve runs governed: SIGINT/SIGTERM cancel cooperatively at the
+    // next round boundary even when no budget flag was given.
+    congest::CancelToken cancel;
+    cancel.bind_process_signals();
+    congest::Governor governor(budget, watchdog);
+    governor.set_cancel_token(&cancel);
+    governor.die_at_round = die_at_round;
+
     cycle::SolveOptions opts;
     opts.mode = algo == "auto"
                     ? cycle::SolveMode::kAuto
@@ -298,17 +508,52 @@ int cmd_run(int argc, char** argv) {
                                         : cycle::SolveMode::kExact);
     opts.epsilon = epsilon;
     opts.collect_metrics = want_metrics;
+    opts.governor = &governor;
+    if (want_ckpt) {
+      opts.checkpoint = &ckpt_session;
+      ckpt_session.set_trace_probe([&]() {
+        congest::TracePosition pos;
+        if (want_trace) {
+          trace_sink.flush();
+          pos.bytes = static_cast<std::uint64_t>(std::ftell(trace_out));
+          pos.events = trace_base_events + trace_sink.lines_written();
+        }
+        return pos;
+      });
+    }
     cycle::MwcReport report = cycle::solve(net, opts);
-    if (report.status == cycle::SolveStatus::kFailed) {
+    const congest::StopReason stop = report.stop.reason;
+    if (report.status == cycle::SolveStatus::kFailed &&
+        stop == congest::StopReason::kNone) {
       // The reason names the outcome ("run aborted (round_limit_exceeded)
-      // ..."); surfaced as a runtime error, exit code 2.
+      // ..."); surfaced as a runtime error, exit code 2. Governed stops
+      // fall through instead: even a failed anytime report prints its
+      // bounds and exits with the budget/cancel code.
       throw std::runtime_error(report.status_reason);
     }
     std::printf("algorithm: %s\nguarantee: %g\n", report.algorithm.c_str(),
                 report.guarantee);
     std::printf("status: %s (%s)\n", cycle::to_string(report.status),
                 report.status_reason.c_str());
-    if (report.status == cycle::SolveStatus::kDegraded) exit_code = 3;
+    if (stop != congest::StopReason::kNone) {
+      std::printf("stop: %s (%s)\n", congest::to_string(stop),
+                  report.stop.detail.c_str());
+    }
+    const auto bound_str = [](graph::Weight w) {
+      return w == graph::kInfWeight
+                 ? std::string("inf")
+                 : std::to_string(static_cast<long long>(w));
+    };
+    std::printf("bounds: %s <= mwc <= %s\n",
+                bound_str(report.lower_bound).c_str(),
+                bound_str(report.upper_bound).c_str());
+    if (stop == congest::StopReason::kCancelled) {
+      exit_code = kExitCancelled;
+    } else if (stop != congest::StopReason::kNone) {
+      exit_code = kExitBudgetExhausted;
+    } else if (report.status == cycle::SolveStatus::kDegraded) {
+      exit_code = kExitDegraded;
+    }
     result = std::move(report.result);
     metrics = std::move(report.metrics);
   } else {
@@ -369,7 +614,7 @@ int cmd_run(int argc, char** argv) {
       std::FILE* f = std::fopen(metrics_file.c_str(), "w");
       if (f == nullptr) {
         std::fprintf(stderr, "cannot write %s\n", metrics_file.c_str());
-        return 2;
+        return kExitError;
       }
       std::fprintf(f, "%s\n", json.c_str());
       std::fclose(f);
@@ -381,13 +626,14 @@ int cmd_run(int argc, char** argv) {
     trace_sink.flush();
     std::fclose(trace_out);
     std::printf("trace: wrote %s (%llu events)\n", trace_file.c_str(),
-                static_cast<unsigned long long>(trace_sink.lines_written()));
+                static_cast<unsigned long long>(trace_base_events +
+                                                trace_sink.lines_written()));
     if (!trace.wall_spans().empty()) {
       const std::string wall_file = trace_file + ".wall";
       std::FILE* wf = std::fopen(wall_file.c_str(), "w");
       if (wf == nullptr) {
         std::fprintf(stderr, "cannot write %s\n", wall_file.c_str());
-        return 2;
+        return kExitError;
       }
       for (const congest::WallSpan& span : trace.wall_spans()) {
         const std::string line = congest::to_jsonl(span);
@@ -464,7 +710,7 @@ int cmd_trace(int argc, char** argv) {
   std::FILE* f = std::fopen(out_file.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_file.c_str());
-    return 2;
+    return kExitError;
   }
   std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
@@ -491,7 +737,7 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n(run 'mwc_cli' with no arguments for usage)\n",
                  e.what());
-    return 2;
+    return kExitError;
   }
   return usage();
 }
