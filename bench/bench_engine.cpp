@@ -12,7 +12,9 @@
 // counts beyond the machine's cores only add scheduling overhead, so a
 // 1-core CI container will (correctly) show speedup <= 1 while an 8-core
 // workstation shows the intended scaling on n >= 512 instances.
+#include <algorithm>
 #include <chrono>
+#include <ctime>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,7 +37,8 @@ using graph::Graph;
 using graph::WeightRange;
 
 struct Sample {
-  double seconds = 0;
+  double seconds = 0;      // wall clock
+  double cpu_seconds = 0;  // process CPU time (all threads)
   graph::Weight value = 0;
   std::uint64_t rounds = 0;
   std::uint64_t messages = 0;
@@ -43,15 +46,32 @@ struct Sample {
   congest::WordPool::Stats arena;
 };
 
-Sample run_once(const Graph& g, int threads) {
+// Process CPU time: unlike wall clock, it does not advance while the
+// hypervisor steals the vCPU or the scheduler preempts us, so on a shared
+// box it is the unbiased estimator of dedicated-hardware wall time for
+// single-threaded rows (and equals wall clock on an idle dedicated box).
+double cpu_now() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+Sample run_once(const Graph& g, int threads, congest::SettlePath path) {
   NetworkConfig cfg;
   cfg.threads = threads;
+  // The sweep measures oversubscription on purpose; report min(t, hw) in
+  // the "eff" column instead of silently clamping.
+  cfg.clamp_threads = false;
+  cfg.settle_path = path;
   Network net(g, 5, cfg);
   congest::WordPool::reset_global_stats();
+  const double cpu_start = cpu_now();
   const auto start = std::chrono::steady_clock::now();
   cycle::MwcResult r = cycle::exact_mwc(net);
   const auto stop = std::chrono::steady_clock::now();
   Sample s;
+  s.cpu_seconds = cpu_now() - cpu_start;
   s.seconds = std::chrono::duration<double>(stop - start).count();
   s.value = r.value;
   s.rounds = net.stats().rounds;
@@ -61,43 +81,135 @@ Sample run_once(const Graph& g, int threads) {
   return s;
 }
 
+// Folds a repetition into `best`: keep the minimum times (shared-box noise
+// only ever adds time), demand unchanged simulated counters.
+void fold_rep(Sample& best, const Sample& rep) {
+  if (rep.value != best.value || rep.rounds != best.rounds ||
+      rep.words != best.words) {
+    std::fprintf(stderr, "bench_engine: repetition changed counters\n");
+    std::abort();
+  }
+  best.seconds = std::min(best.seconds, rep.seconds);
+  best.cpu_seconds = std::min(best.cpu_seconds, rep.cpu_seconds);
+}
+
 void run_thread_sweep(bool quick) {
-  bench::section("A5a: exact MWC wall clock vs worker threads");
-  bench::note("engine contract: every thread count computes bit-identical "
-              "results; only wall clock may differ");
-  support::Table table({"n", "threads", "seconds", "Mwords/s", "speedup",
-                        "sim rounds", "sim words", "identical?"});
+  bench::section("A5a: exact MWC wall clock, legacy vs frontier settle path");
+  bench::note("engine contract: both settle paths at every thread count "
+              "compute bit-identical results; only wall clock may differ");
+  bench::note("'wall s' is elapsed time; 'cpu s' is process CPU time, which "
+              "a shared box cannot inflate with hypervisor steal or "
+              "preemption, so Mwords/s and speedup are computed from it "
+              "(identical on dedicated hardware; for thread-scaling wall "
+              "clock, read the 'wall s' column directly)");
+  const unsigned hw = std::thread::hardware_concurrency();
+  support::Table table({"n", "path", "threads", "eff", "wall s", "cpu s",
+                        "Mwords/s", "speedup", "sim rounds", "sim words",
+                        "identical?"});
   const std::vector<int> sizes = quick ? std::vector<int>{256}
                                        : std::vector<int>{512, 768};
   const std::vector<int> threads = {1, 2, 4, 8};
   for (int n : sizes) {
     support::Rng rng(static_cast<std::uint64_t>(n));
     Graph g = graph::random_connected(n, 3 * n, WeightRange{1, 9}, rng);
-    Sample base;
-    for (int t : threads) {
-      Sample s = run_once(g, t);
-      if (t == 1) base = s;
+    // The legacy per-direction message queues are the baseline every
+    // frontier row is normalized against (speedup = legacy t=1 / row).
+    // Host-CPU availability on a shared box drifts over the sweep's
+    // minutes, so the A/B pair is measured in interleaved repetitions
+    // (legacy, frontier, legacy, frontier) and each takes its best rep -
+    // adjacent-in-time pairs keep the ratio honest under drift.
+    Sample base = run_once(g, 1, congest::SettlePath::kLegacy);
+    Sample front1 = run_once(g, 1, congest::SettlePath::kFrontier);
+    fold_rep(base, run_once(g, 1, congest::SettlePath::kLegacy));
+    fold_rep(front1, run_once(g, 1, congest::SettlePath::kFrontier));
+    auto add_row = [&](const char* path_name, int t, const Sample& s) {
       const bool identical = s.value == base.value && s.rounds == base.rounds &&
                              s.messages == base.messages && s.words == base.words;
+      const int eff = static_cast<int>(
+          hw == 0 ? static_cast<unsigned>(t)
+                  : std::min(static_cast<unsigned>(t), hw));
       table.add_row(
-          {support::Table::fmt(static_cast<std::int64_t>(n)),
+          {support::Table::fmt(static_cast<std::int64_t>(n)), path_name,
            support::Table::fmt(static_cast<std::int64_t>(t)),
+           support::Table::fmt(static_cast<std::int64_t>(eff)),
            support::Table::fmt(s.seconds, 3),
-           support::Table::fmt(static_cast<double>(s.words) / s.seconds / 1e6, 2),
-           support::Table::fmt(base.seconds / s.seconds, 2),
+           support::Table::fmt(s.cpu_seconds, 3),
+           support::Table::fmt(
+               static_cast<double>(s.words) / s.cpu_seconds / 1e6, 2),
+           support::Table::fmt(base.cpu_seconds / s.cpu_seconds, 2),
            support::Table::fmt(static_cast<std::int64_t>(s.rounds)),
            support::Table::fmt(static_cast<std::int64_t>(s.words)),
            identical ? "yes" : "NO"});
+    };
+    add_row("legacy", 1, base);
+    bench::metric("legacy_seconds_n" + std::to_string(n), base.seconds);
+    bench::metric("legacy_cpu_seconds_n" + std::to_string(n),
+                  base.cpu_seconds);
+    for (int t : threads) {
+      Sample s = t == 1 ? front1 : run_once(g, t, congest::SettlePath::kFrontier);
+      add_row("frontier", t, s);
       bench::metric("seconds_n" + std::to_string(n) + "_t" + std::to_string(t),
                     s.seconds);
+      bench::metric("cpu_seconds_n" + std::to_string(n) + "_t" +
+                        std::to_string(t),
+                    s.cpu_seconds);
+      bench::metric("frontier_speedup_n" + std::to_string(n) + "_t" +
+                        std::to_string(t),
+                    base.cpu_seconds / s.cpu_seconds);
     }
   }
   bench::emit(table);
-  const unsigned hw = std::thread::hardware_concurrency();
-  bench::metric("hardware_threads", static_cast<double>(hw));
   bench::note("hardware threads on this machine: " + std::to_string(hw) +
               " (speedup saturates there; oversubscribed counts only add "
               "scheduling overhead)");
+}
+
+void run_frontier_report(bool quick) {
+  bench::section("A5c: frontier engine telemetry (direction-optimizing sweep)");
+  bench::note("side-channel counters from the frontier settle path: per "
+              "phase, how many invocation rounds were built by the dense "
+              "bitmap scan vs the sparse sort, how often the builder "
+              "switched, and the words moved by the packed fast path vs "
+              "spill-pool multi-word messages");
+  const int n = quick ? 256 : 512;
+  support::Rng rng(static_cast<std::uint64_t>(n));
+  Graph g = graph::random_connected(n, 3 * n, WeightRange{1, 9}, rng);
+  NetworkConfig cfg;
+  cfg.clamp_threads = false;
+  cfg.settle_path = congest::SettlePath::kFrontier;
+  Network net(g, 5, cfg);
+  congest::Metrics metrics;  // phases label the telemetry rows
+  net.attach_metrics(&metrics);
+  (void)cycle::exact_mwc(net);
+  net.attach_metrics(nullptr);
+  support::Table table({"phase", "sched rounds", "dense", "sparse", "switches",
+                        "frontier/round", "dirs/round", "fast words",
+                        "multi words"});
+  auto add = [&](const std::string& phase, const congest::FrontierStats& f) {
+    const double rounds =
+        f.scheduled_rounds == 0 ? 1.0 : static_cast<double>(f.scheduled_rounds);
+    table.add_row(
+        {phase.empty() ? "(unphased)" : phase,
+         support::Table::fmt(static_cast<std::int64_t>(f.scheduled_rounds)),
+         support::Table::fmt(static_cast<std::int64_t>(f.dense_rounds)),
+         support::Table::fmt(static_cast<std::int64_t>(f.sparse_rounds)),
+         support::Table::fmt(static_cast<std::int64_t>(f.direction_switches)),
+         support::Table::fmt(static_cast<double>(f.frontier_nodes) / rounds, 1),
+         support::Table::fmt(static_cast<double>(f.active_dirs) / rounds, 1),
+         support::Table::fmt(static_cast<std::int64_t>(f.fast_words)),
+         support::Table::fmt(static_cast<std::int64_t>(f.multi_words))});
+  };
+  for (const auto& [phase, f] : net.frontier_phases()) add(phase, f);
+  add("total", net.frontier_total());
+  bench::emit(table);
+  const congest::FrontierStats& tot = net.frontier_total();
+  bench::metric("frontier_dense_rounds", static_cast<double>(tot.dense_rounds));
+  bench::metric("frontier_sparse_rounds",
+                static_cast<double>(tot.sparse_rounds));
+  bench::metric("frontier_direction_switches",
+                static_cast<double>(tot.direction_switches));
+  bench::metric("frontier_fast_words", static_cast<double>(tot.fast_words));
+  bench::metric("frontier_multi_words", static_cast<double>(tot.multi_words));
 }
 
 void run_arena_report(bool quick) {
@@ -144,5 +256,6 @@ int main(int argc, char** argv) {
   const bool quick = flags.has("quick");
   run_thread_sweep(quick);
   run_arena_report(quick);
+  run_frontier_report(quick);
   return 0;
 }

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -70,6 +71,10 @@ class JsonLog {
   explicit JsonLog(std::string name) : name_(std::move(name)) {
     current() = this;
     begin_section("preamble");
+    // Every bench JSON carries the machine's core count: wall-clock numbers
+    // (and any threads sweep) are meaningless without it.
+    add_metric("hardware_threads",
+               static_cast<double>(std::thread::hardware_concurrency()));
   }
   JsonLog(const JsonLog&) = delete;
   JsonLog& operator=(const JsonLog&) = delete;

@@ -39,8 +39,10 @@ class BfsTreeProtocol : public Protocol {
   void begin(NodeCtx& node) override {
     if (node.id() != root_) return;
     result_.depth[static_cast<std::size_t>(node.id())] = 0;
-    for (graph::NodeId u : node.comm_neighbors()) {
-      node.send(u, Message{pack_tag(kToken, 1)});
+    // Token waves go to every comm neighbor: the cached per-link direction
+    // indices make each a one-word fast-path send (see protocol.h).
+    for (std::int32_t dir : node.comm_link_dirs()) {
+      node.send_on(dir, pack_tag(kToken, 1));
     }
   }
 
@@ -63,14 +65,16 @@ class BfsTreeProtocol : public Protocol {
       my_depth = d;
       if (my_parent != m.from) {
         if (my_parent != graph::kNoNode) {
-          node.send(my_parent, Message{pack_tag(kUnadopt, 0)});
+          node.send_word(my_parent, pack_tag(kUnadopt, 0));
         }
         my_parent = m.from;
-        node.send(my_parent, Message{pack_tag(kAdopt, 0)});
+        node.send_word(my_parent, pack_tag(kAdopt, 0));
       }
-      for (graph::NodeId u : node.comm_neighbors()) {
-        if (u != my_parent) {
-          node.send(u, Message{pack_tag(kToken, static_cast<Word>(d + 1))});
+      const std::span<const graph::NodeId> nbrs = node.comm_neighbors();
+      const std::span<const std::int32_t> dirs = node.comm_link_dirs();
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (nbrs[i] != my_parent) {
+          node.send_on(dirs[i], pack_tag(kToken, static_cast<Word>(d + 1)));
         }
       }
     }

@@ -69,7 +69,7 @@ class ConvergecastProtocol : public Protocol {
     if (node.id() == tree_.root) {
       deliver_down(node, acc_[v]);
     } else {
-      node.send(tree_.parent[v], Message{pack_tag(kUp, static_cast<Word>(acc_[v]))});
+      node.send_word(tree_.parent[v], pack_tag(kUp, static_cast<Word>(acc_[v])));
     }
   }
 
@@ -77,7 +77,7 @@ class ConvergecastProtocol : public Protocol {
     const auto v = static_cast<std::size_t>(node.id());
     result_at_[v] = value;
     for (graph::NodeId c : tree_.children[v]) {
-      node.send(c, Message{pack_tag(kDown, static_cast<Word>(value))});
+      node.send_word(c, pack_tag(kDown, static_cast<Word>(value)));
     }
   }
 

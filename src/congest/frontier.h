@@ -1,0 +1,156 @@
+// The frontier settle path's compact per-direction queue.
+//
+// Profiling the multi-BFS hot loop (bench_engine A5a) puts ~85% of wall
+// clock in the transmit/queue machinery, and nearly all of that traffic is
+// single-word messages: a QueuedMsg is ~104 bytes (a Message is an 88-byte
+// inline-buffer object), so every heap sift hauls a cache line and a half
+// per element. FrontierQueue stores a 32-byte POD per queued message
+// instead: single-word payloads (the overwhelmingly common case) ride in
+// the entry itself; longer messages park their Message in a side pool owned
+// by the Runner and the entry carries the slot index.
+//
+// Determinism: ordering is the same strict (priority, enqueue-sequence)
+// lexicographic min-order as DirQueue (dir_queue.h). Sequence numbers are
+// globally unique per run, so the comparison is a total order and the pop
+// sequence is identical to the legacy queue's no matter how the heap is
+// laid out - the property the A/B byte-identity suite
+// (tests/frontier_engine_test.cpp) pins down.
+//
+// Sifts move the hole, not the elements: each step is one 32-byte copy
+// instead of a three-copy swap. On top of the heap sits a one-entry inline
+// slot: the steady-state queue depth on the BFS sweeps is ~1 (one word per
+// active direction per round), so the common push/pop cycle runs entirely
+// inside the DirectionState's own cache lines and never chases the heap
+// vector's (cold, per-direction) buffer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/message.h"
+
+namespace mwc::congest {
+
+// Entry slot value meaning "payload is in `head`, no spilled Message".
+inline constexpr std::uint32_t kNoSpill = ~std::uint32_t{0};
+
+struct FqEntry {
+  std::int64_t priority = 0;
+  std::uint64_t seq = 0;
+  Word head = 0;                  // the payload when size == 1
+  std::uint32_t size = 0;         // message length in words
+  std::uint32_t spill = kNoSpill; // Runner spill-pool slot when size > 1
+};
+static_assert(sizeof(FqEntry) == 32, "FqEntry is the hot-path currency");
+
+// The hot half of a direction's frontier queue: an inline depth-1 slot plus
+// the total entry count. The Runner embeds one FqSlot per direction in its
+// cache-line-sized hot record; the overflow heap (a vector per direction)
+// lives in a separate cold array that the steady-state push/pop cycle -
+// queue depth ~1 on the BFS sweeps - never reads.
+struct FqSlot {
+  FqEntry one;               // inline fast slot (valid iff has_one)
+  std::uint32_t count = 0;   // slot + heap entries
+  bool has_one = false;
+};
+
+inline bool fq_before(const FqEntry& a, const FqEntry& b) {
+  if (a.priority != b.priority) return a.priority < b.priority;
+  return a.seq < b.seq;
+}
+
+inline bool fq_empty(const FqSlot& s) { return s.count == 0; }
+
+inline void fq_push(FqSlot& s, std::vector<FqEntry>& heap, const FqEntry& e) {
+  ++s.count;
+  // Fast path: an idle direction takes its first (and usually only) entry
+  // into the inline slot - no heap, no vector buffer touched.
+  if (!s.has_one && s.count == 1) {
+    s.one = e;
+    s.has_one = true;
+    return;
+  }
+  heap.push_back(e);
+  std::size_t i = heap.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!fq_before(e, heap[parent])) break;
+    heap[i] = heap[parent];
+    i = parent;
+  }
+  heap[i] = e;
+}
+
+// Removes and returns the (priority, seq)-minimal entry. The slot does not
+// jump the line: it is popped only while it precedes the heap's minimum, so
+// the pop sequence is the same strict total order whether an entry ever sat
+// in the slot or not. The depth-1 case (count == 1 with the slot filled -
+// the steady state) decides without reading the heap vector at all.
+inline FqEntry fq_take_top(FqSlot& s, std::vector<FqEntry>& heap) {
+  --s.count;
+  if (s.has_one && (s.count == 0 || fq_before(s.one, heap.front()))) {
+    s.has_one = false;
+    return s.one;
+  }
+  const FqEntry top = heap.front();
+  const FqEntry last = heap.back();
+  heap.pop_back();
+  const std::size_t n = heap.size();
+  if (n > 0) {
+    std::size_t i = 0;
+    while (true) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      const std::size_t right = child + 1;
+      if (right < n && fq_before(heap[right], heap[child])) child = right;
+      if (!fq_before(heap[child], last)) break;
+      heap[i] = heap[child];
+      i = child;
+    }
+    heap[i] = last;
+  }
+  return top;
+}
+
+// Visits every queued entry, in storage (not pop) order - for bulk
+// accounting such as tallying the words a crash-stop destroys.
+template <typename Fn>
+void fq_for_each(const FqSlot& s, const std::vector<FqEntry>& heap, Fn&& fn) {
+  if (s.has_one) fn(s.one);
+  for (const FqEntry& e : heap) fn(e);
+}
+
+inline void fq_clear(FqSlot& s, std::vector<FqEntry>& heap) {
+  s.count = 0;
+  s.has_one = false;
+  heap.clear();
+}
+
+// Side-channel occupancy/direction statistics of the frontier settle path,
+// accumulated by the Runner and parked on the Network per metrics phase.
+// Deliberately NOT part of RunStats, metrics snapshots, or traces: both
+// settle paths must produce byte-identical observables, and these counters
+// exist only on one of them (bench_engine A5c reads them).
+struct FrontierStats {
+  std::uint64_t scheduled_rounds = 0;  // main-loop rounds that built a frontier
+  std::uint64_t dense_rounds = 0;      // bitmap scan (bottom-up analogue)
+  std::uint64_t sparse_rounds = 0;     // sorted queue (top-down analogue)
+  std::uint64_t direction_switches = 0;
+  std::uint64_t frontier_nodes = 0;    // sum of per-round invocation counts
+  std::uint64_t active_dirs = 0;       // sum of per-round active directions
+  std::uint64_t fast_words = 0;        // words settled as in-entry single words
+  std::uint64_t multi_words = 0;       // words settled through spilled Messages
+
+  void accumulate(const FrontierStats& o) {
+    scheduled_rounds += o.scheduled_rounds;
+    dense_rounds += o.dense_rounds;
+    sparse_rounds += o.sparse_rounds;
+    direction_switches += o.direction_switches;
+    frontier_nodes += o.frontier_nodes;
+    active_dirs += o.active_dirs;
+    fast_words += o.fast_words;
+    multi_words += o.multi_words;
+  }
+};
+
+}  // namespace mwc::congest

@@ -73,6 +73,14 @@ class Message {
     spill_[size_++] = w;
   }
 
+  // Pre-grows the spill buffer for a message of `total` words, so builders
+  // that know their length (the restricted-BFS Q(v) frames) spill once
+  // instead of doubling through intermediate pool blocks.
+  void reserve(std::uint32_t total) {
+    if (total <= kInline || (spill_ != nullptr && cap_ >= total)) return;
+    grow(WordPool::round_cap(total));
+  }
+
   std::uint32_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 

@@ -103,7 +103,16 @@ void MultiBfs::propagate(NodeCtx& node, std::int32_t source_idx, Weight d) {
       params_.graph_override != nullptr ? *params_.graph_override : net_.problem_graph();
   const bool use_in = params_.reverse && g.is_directed();
   auto arcs = use_in ? g.in(node.id()) : g.out(node.id());
-  for (const graph::Arc& a : arcs) {
+  // The engine's CSR arc->direction map is aligned with the problem graph's
+  // own arc order, so every announcement resolves its link with one indexed
+  // load and rides the single-word fast path (send_on). Graph overrides
+  // (the scaled graphs G^i) fall back to the by-neighbor send.
+  std::span<const std::int32_t> dirs;
+  if (params_.graph_override == nullptr) {
+    dirs = use_in ? node.in_arc_dirs() : node.out_arc_dirs();
+  }
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    const graph::Arc& a = arcs[i];
     const Weight tick = (params_.mode == DelayMode::kUnitDelay) ? 1 : a.w;
     const Weight nd = d + tick;
     if (nd > params_.tick_limit) continue;
@@ -113,9 +122,13 @@ void MultiBfs::propagate(NodeCtx& node, std::int32_t source_idx, Weight d) {
           PendingSend{when, a.to, source_idx, nd});
       node.wake_at(when);
     } else {
-      node.send(a.to,
-                Message{pack_id_value(static_cast<Word>(source_idx), static_cast<Word>(nd))},
-                /*priority=*/nd);
+      const Word w =
+          pack_id_value(static_cast<Word>(source_idx), static_cast<Word>(nd));
+      if (!dirs.empty()) {
+        node.send_on(dirs[i], w, /*priority=*/nd);
+      } else {
+        node.send_word(a.to, w, /*priority=*/nd);
+      }
     }
   }
 }
@@ -125,9 +138,9 @@ void MultiBfs::flush_outbox(NodeCtx& node) {
   auto& box = outbox_[static_cast<std::size_t>(node.id())];
   while (!box.empty() && box.top().send_round <= node.round()) {
     const PendingSend& p = box.top();
-    node.send(p.neighbor,
-              Message{pack_id_value(static_cast<Word>(p.source_idx), static_cast<Word>(p.dist))},
-              /*priority=*/p.dist);
+    node.send_word(p.neighbor,
+                   pack_id_value(static_cast<Word>(p.source_idx), static_cast<Word>(p.dist)),
+                   /*priority=*/p.dist);
     box.pop();
   }
 }

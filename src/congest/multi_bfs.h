@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <limits>
 #include <queue>
+#include <span>
 #include <vector>
 
 #include "congest/protocol.h"
@@ -78,6 +79,18 @@ class MultiBfs : public Protocol {
   // Neighbor that delivered the final estimate (kNoNode for the source
   // itself / unreached).
   graph::NodeId parent(graph::NodeId v, int source_idx) const;
+
+  // Matrix mode (sigma == 0) bulk access: the full row-major [n x k]
+  // results, row v at offset v*k. Callers that copy whole distance vectors
+  // (mwc/exact.cpp) read these instead of n*k accessor calls.
+  std::span<const Weight> dist_matrix() const {
+    MWC_DCHECK(!sigma_mode());
+    return dist_;
+  }
+  std::span<const graph::NodeId> parent_matrix() const {
+    MWC_DCHECK(!sigma_mode());
+    return parent_;
+  }
 
   // Sigma mode: node v's detected sources, sorted by (dist, source id).
   struct Detected {

@@ -1,6 +1,9 @@
 #include "congest/network.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
 
 #include "congest/thread_pool.h"
 #include "support/check.h"
@@ -10,6 +13,21 @@ namespace mwc::congest {
 Network::Network(const graph::Graph& g, std::uint64_t seed, NetworkConfig cfg)
     : graph_(&g), cfg_(cfg), master_rng_(seed) {
   MWC_CHECK(cfg_.bandwidth_words >= 1);
+  if (cfg_.clamp_threads && cfg_.threads > 1) {
+    // hardware_concurrency() == 0 means "unknown" - leave the request alone.
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    if (hw >= 1 && cfg_.threads > hw) {
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true)) {
+        std::fprintf(stderr,
+                     "mwc: clamping threads=%d to hardware concurrency %d "
+                     "(oversubscription only adds scheduling overhead; set "
+                     "NetworkConfig::clamp_threads=false to override)\n",
+                     cfg_.threads, hw);
+      }
+      cfg_.threads = hw;
+    }
+  }
   const int n = g.node_count();
 
   // Build the undirected communication topology and its directions.
@@ -58,6 +76,35 @@ Network::Network(const graph::Graph& g, std::uint64_t seed, NetworkConfig cfg)
   for (std::size_t i = 0; i < keys.size(); ++i) {
     nbrs_[i] = static_cast<NodeId>(keys[i] >> 32);
     nbr_dir_[i] = static_cast<std::int32_t>(keys[i] & 0xffffffffu);
+  }
+
+  // Flat CSR arc -> direction maps, aligned with the problem graph's own
+  // out(v)/in(v) order, so protocol hot loops (multi_bfs.cpp) resolve the
+  // link of every send with one indexed load. Built once here; the per-arc
+  // binary search this replaces used to run once per send.
+  out_arc_off_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int v = 0; v < n; ++v) {
+    out_arc_off_[static_cast<std::size_t>(v) + 1] =
+        out_arc_off_[static_cast<std::size_t>(v)] +
+        static_cast<std::int32_t>(g.out(v).size());
+  }
+  out_arc_dir_.resize(static_cast<std::size_t>(out_arc_off_[static_cast<std::size_t>(n)]));
+  for (int v = 0; v < n; ++v) {
+    std::int32_t* slot = out_arc_dir_.data() + out_arc_off_[static_cast<std::size_t>(v)];
+    for (const graph::Arc& a : g.out(v)) *slot++ = direction_index(v, a.to);
+  }
+  if (g.is_directed()) {
+    in_arc_off_.assign(static_cast<std::size_t>(n) + 1, 0);
+    for (int v = 0; v < n; ++v) {
+      in_arc_off_[static_cast<std::size_t>(v) + 1] =
+          in_arc_off_[static_cast<std::size_t>(v)] +
+          static_cast<std::int32_t>(g.in(v).size());
+    }
+    in_arc_dir_.resize(static_cast<std::size_t>(in_arc_off_[static_cast<std::size_t>(n)]));
+    for (int v = 0; v < n; ++v) {
+      std::int32_t* slot = in_arc_dir_.data() + in_arc_off_[static_cast<std::size_t>(v)];
+      for (const graph::Arc& a : g.in(v)) *slot++ = direction_index(v, a.to);
+    }
   }
 }
 
@@ -108,6 +155,40 @@ int Network::cut_link_count() const {
     if (cut_side_[static_cast<std::size_t>(l.a)] != cut_side_[static_cast<std::size_t>(l.b)]) ++c;
   }
   return c;
+}
+
+std::span<const std::int32_t> Network::out_arc_dirs(NodeId v) const {
+  MWC_DCHECK(v >= 0 && v < n());
+  const std::int32_t b = out_arc_off_[static_cast<std::size_t>(v)];
+  const std::int32_t e = out_arc_off_[static_cast<std::size_t>(v) + 1];
+  return {out_arc_dir_.data() + b, static_cast<std::size_t>(e - b)};
+}
+
+std::span<const std::int32_t> Network::in_arc_dirs(NodeId v) const {
+  // Undirected graphs: in(v) aliases out(v), so the out map is the in map.
+  if (!graph_->is_directed()) return out_arc_dirs(v);
+  MWC_DCHECK(v >= 0 && v < n());
+  const std::int32_t b = in_arc_off_[static_cast<std::size_t>(v)];
+  const std::int32_t e = in_arc_off_[static_cast<std::size_t>(v) + 1];
+  return {in_arc_dir_.data() + b, static_cast<std::size_t>(e - b)};
+}
+
+std::span<const std::int32_t> Network::comm_link_dirs(NodeId v) const {
+  MWC_DCHECK(v >= 0 && v < n());
+  const std::int32_t b = nbr_offset_[static_cast<std::size_t>(v)];
+  const std::int32_t e = nbr_offset_[static_cast<std::size_t>(v) + 1];
+  return {nbr_dir_.data() + b, static_cast<std::size_t>(e - b)};
+}
+
+void Network::note_frontier(const std::string& phase, const FrontierStats& s) {
+  frontier_total_.accumulate(s);
+  for (auto& [path, acc] : frontier_phases_) {
+    if (path == phase) {
+      acc.accumulate(s);
+      return;
+    }
+  }
+  frontier_phases_.emplace_back(phase, s);
 }
 
 support::Rng Network::next_run_rng() {

@@ -16,17 +16,30 @@
 #include <deque>
 #include <memory>
 #include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "congest/faults.h"
+#include "congest/frontier.h"
 #include "congest/message.h"
 #include "congest/trace.h"
 #include "graph/graph.h"
+#include "support/check.h"
 #include "support/rng.h"
 
 namespace mwc::congest {
 
 using graph::NodeId;
+
+// How the engine represents per-direction outbound queues and builds each
+// round's invocation list. Both paths are bit-identical in every simulated
+// observable - messages, rounds, words, stats, RNG and fault streams,
+// metrics snapshots, traces - so the choice only moves wall clock. kLegacy
+// is the pre-frontier implementation, retained as the A/B reference
+// (tests/frontier_engine_test.cpp, bench_engine A5a); kFrontier is the
+// direction-optimizing word-queue engine described in docs/simulator.md.
+enum class SettlePath { kFrontier, kLegacy };
 
 struct NetworkConfig {
   // Words per link direction per round (the model's Theta(log n) bits).
@@ -36,8 +49,17 @@ struct NetworkConfig {
   // link transmissions across a persistent pool while staying bit-identical
   // to threads=1 - same traces, stats, RNG streams, and fault schedules
   // (see docs/simulator.md, "Execution model"). Values above the hardware
-  // concurrency only add scheduling overhead.
+  // concurrency only add scheduling overhead; see clamp_threads.
   int threads = 1;
+  // Clamp `threads` to the machine's hardware concurrency at construction
+  // (with a one-line stderr warning, once per process): oversubscribing a
+  // round-barrier engine is a pure regression. Determinism tests that
+  // assert cross-thread-count byte-identity on small CI machines opt out,
+  // as does the CLI when the user passes an explicit --threads.
+  bool clamp_threads = true;
+  // Outbound-queue representation (see SettlePath above). Both settings
+  // produce bit-identical simulated observables.
+  SettlePath settle_path = SettlePath::kFrontier;
   // Safety valve: a run that passes this many rounds stops and reports
   // RunOutcome::kRoundLimitExceeded (no abort; see runner.h).
   std::uint64_t max_rounds_per_run = 20'000'000;
@@ -93,6 +115,35 @@ class Network {
   std::span<const NodeId> comm_neighbors(NodeId v) const;
   int link_count() const { return static_cast<int>(links_.size()); }
 
+  // --- flat CSR arc -> link-direction maps (built once per Network) ----
+  // out_arc_dirs(v)[i] is the direction index that carries a message from v
+  // to problem_graph().out(v)[i].to; in_arc_dirs aligns with
+  // problem_graph().in(v). comm_link_dirs aligns with comm_neighbors(v).
+  // Protocol hot loops pair these with NodeCtx::send_on so a send is one
+  // indexed lookup instead of a per-send neighbor binary search.
+  std::span<const std::int32_t> out_arc_dirs(NodeId v) const;
+  std::span<const std::int32_t> in_arc_dirs(NodeId v) const;
+  std::span<const std::int32_t> comm_link_dirs(NodeId v) const;
+  // The receiving endpoint of a direction index (bounds-checked in debug).
+  NodeId direction_target(int dir_idx) const {
+    MWC_DCHECK(dir_idx >= 0 && dir_idx < static_cast<int>(dirs_.size()));
+    return dirs_[static_cast<std::size_t>(dir_idx)].to;
+  }
+
+  // --- frontier settle-path statistics (side channel) ------------------
+  // Occupancy/direction counters accumulated per metrics phase path (""
+  // when no PhaseSpan is open) while settle_path == kFrontier. Not part of
+  // any determinism-checked observable; see frontier.h.
+  const FrontierStats& frontier_total() const { return frontier_total_; }
+  std::span<const std::pair<std::string, FrontierStats>> frontier_phases()
+      const {
+    return frontier_phases_;
+  }
+  void reset_frontier_stats() {
+    frontier_total_ = FrontierStats{};
+    frontier_phases_.clear();
+  }
+
   // --- accumulated counters over all protocol runs --------------------
   NetworkStats stats() const {
     return NetworkStats{total_rounds_, total_messages_, total_words_,
@@ -138,6 +189,7 @@ class Network {
 
  private:
   friend class Runner;
+  friend class NodeCtx;
 
   struct Link {
     NodeId a, b;  // a < b
@@ -151,6 +203,10 @@ class Network {
   // Direction index for sending from `v` to neighbor `to` (checked).
   // Read-only after construction; safe to call from worker threads.
   int direction_index(NodeId v, NodeId to) const;
+
+  // Folds one run's frontier counters into the per-phase side channel
+  // (Runner, host thread, at run end).
+  void note_frontier(const std::string& phase, const FrontierStats& s);
 
   // The worker pool shared by every run on this network; nullptr when
   // config().threads <= 1. Created lazily on first use, reused afterwards
@@ -168,6 +224,13 @@ class Network {
   std::vector<std::int32_t> nbr_offset_;
   std::vector<NodeId> nbrs_;
   std::vector<std::int32_t> nbr_dir_;
+  // Problem-graph arc -> direction maps, aligned with the graph's own CSR
+  // order (see out_arc_dirs above). in_* alias out_* on undirected graphs.
+  std::vector<std::int32_t> out_arc_off_, out_arc_dir_;
+  std::vector<std::int32_t> in_arc_off_, in_arc_dir_;
+
+  FrontierStats frontier_total_;
+  std::vector<std::pair<std::string, FrontierStats>> frontier_phases_;
 
   std::vector<bool> cut_side_;
   Trace* trace_ = nullptr;

@@ -62,6 +62,17 @@ class NodeCtx {
   // priority value = transmitted earlier.
   void send(NodeId neighbor, Message msg, std::int64_t priority = 0);
 
+  // Single-word sends - the engine's fast path. Semantically identical to
+  // send(neighbor, Message{w}, priority); the frontier settle path keeps
+  // the word inside its 32-byte queue entry and never builds a Message
+  // until delivery (see congest/frontier.h).
+  void send_word(NodeId neighbor, Word w, std::int64_t priority = 0);
+  // Like send_word over an already-resolved link direction (one of this
+  // node's entries from out_arc_dirs/in_arc_dirs/comm_link_dirs below),
+  // skipping the per-send neighbor binary search. The hot loop of
+  // multi_bfs.cpp pairs this with the Network's CSR arc->direction maps.
+  void send_on(std::int32_t dir, Word w, std::int64_t priority = 0);
+
   // Requests a round() invocation at run-round r (>= current round + 1).
   void wake_at(std::uint64_t r);
   void wake_next();
@@ -74,6 +85,12 @@ class NodeCtx {
   std::span<const graph::Arc> in_arcs() const;
   std::span<const NodeId> comm_neighbors() const;
   bool graph_is_directed() const;
+  // Link-direction indices for send_on, aligned element-for-element with
+  // out_arcs() / in_arcs() / comm_neighbors(). Pure local knowledge (which
+  // wire leads to which neighbor), precomputed once per Network.
+  std::span<const std::int32_t> out_arc_dirs() const;
+  std::span<const std::int32_t> in_arc_dirs() const;
+  std::span<const std::int32_t> comm_link_dirs() const;
 
   // A context identical to this one except that the protocol above sees
   // `inbox` and its sends are routed through `hook`. Wake-ups, randomness,

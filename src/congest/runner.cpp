@@ -1,6 +1,7 @@
 #include "congest/runner.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <utility>
 
@@ -17,6 +18,11 @@ namespace {
 // bit-identical, so the threshold never changes results.
 constexpr std::size_t kMinParallelNodes = 4;
 constexpr std::size_t kMinParallelDirs = 8;
+// Direction switch of the frontier path: when at least n/kDenseDivisor
+// nodes are scheduled, dedup-and-order them with a bitmap scan over the
+// node ids (bottom-up style) instead of sorting the sparse list (top-down
+// style). Purely a wall-clock knob - both produce the identical list.
+constexpr std::size_t kDenseDivisor = 8;
 }  // namespace
 
 // ---- NodeCtx ---------------------------------------------------------------
@@ -40,6 +46,39 @@ void NodeCtx::send(NodeId neighbor, Message msg, std::int64_t priority) {
     return;
   }
   runner_->send(id_, neighbor, std::move(msg), priority);
+}
+
+void NodeCtx::send_word(NodeId neighbor, Word w, std::int64_t priority) {
+  if (send_hook_ != nullptr) {
+    send_hook_->on_send(id_, neighbor, Message{w}, priority);
+    return;
+  }
+  runner_->enqueue_dir_word(runner_->net_.direction_index(id_, neighbor), w,
+                            priority);
+}
+
+void NodeCtx::send_on(std::int32_t dir, Word w, std::int64_t priority) {
+  MWC_DCHECK(runner_->net_.dirs_[static_cast<std::size_t>(dir)].from == id_);
+  if (send_hook_ != nullptr) {
+    // Hooked sends (layered transports, parallel emission buffers) keep the
+    // Message-based interface; the neighbor comes from the direction table.
+    send_hook_->on_send(id_, runner_->net_.direction_target(dir), Message{w},
+                        priority);
+    return;
+  }
+  runner_->enqueue_dir_word(dir, w, priority);
+}
+
+std::span<const std::int32_t> NodeCtx::out_arc_dirs() const {
+  return runner_->net_.out_arc_dirs(id_);
+}
+
+std::span<const std::int32_t> NodeCtx::in_arc_dirs() const {
+  return runner_->net_.in_arc_dirs(id_);
+}
+
+std::span<const std::int32_t> NodeCtx::comm_link_dirs() const {
+  return runner_->net_.comm_link_dirs(id_);
 }
 
 void NodeCtx::wake_at(std::uint64_t r) {
@@ -76,8 +115,11 @@ bool NodeCtx::graph_is_directed() const {
 // ---- Runner ----------------------------------------------------------------
 
 Runner::Runner(Network& net, Protocol& proto)
-    : net_(net), proto_(proto), run_id_(net.run_counter_),
-      dir_state_(net.dirs_.size()),
+    : net_(net), proto_(proto),
+      frontier_(net.config().settle_path == SettlePath::kFrontier),
+      run_id_(net.run_counter_),
+      dir_hot_(net.dirs_.size()),
+      dir_cold_(net.dirs_.size()),
       inbox_next_(static_cast<std::size_t>(net.n())),
       schedule_rng_(0),
       crashed_(static_cast<std::size_t>(net.n()), false) {
@@ -130,32 +172,118 @@ void Runner::send(NodeId from, NodeId to, Message msg, std::int64_t priority) {
   enqueue_dir(net_.direction_index(from, to), std::move(msg), priority);
 }
 
-void Runner::enqueue_dir(int dir_idx, Message msg, std::int64_t priority) {
-  DirectionState& ds = dir_state_[static_cast<std::size_t>(dir_idx)];
-  ds.queued_words += msg.size();
-  if (ds.queued_words > stats_.max_queue_words) {
-    stats_.max_queue_words = ds.queued_words;
-    // A new run-wide backlog high-water mark. Recorded here because
-    // enqueue_dir always executes on the host thread (directly in sequential
-    // mode, at the merge barrier in parallel mode), in the same order.
+void Runner::note_backlog(int dir_idx, DirHot& h, std::uint32_t words) {
+  h.queued_words += words;
+  if (h.queued_words > stats_.max_queue_words) {
+    stats_.max_queue_words = h.queued_words;
+    // A new run-wide backlog high-water mark. Recorded here because enqueues
+    // always execute on the host thread (directly in sequential mode, at the
+    // merge barrier in parallel mode), in the same order.
     if (trace_ != nullptr && trace_->wants(TraceEventKind::kQueuePeak)) {
       const Network::Direction& dir =
           net_.dirs_[static_cast<std::size_t>(dir_idx)];
       trace_->record(TraceEvent{run_id_, round_, dir.from, dir.to,
-                                static_cast<std::uint32_t>(ds.queued_words),
+                                static_cast<std::uint32_t>(h.queued_words),
                                 TraceEventKind::kQueuePeak, {}});
     }
   }
-  ds.queue.push(priority, seq_++, std::move(msg));
+}
+
+void Runner::enqueue_dir(int dir_idx, Message msg, std::int64_t priority) {
+  DirHot& h = dir_hot_[static_cast<std::size_t>(dir_idx)];
+  note_backlog(dir_idx, h, msg.size());
+  if (frontier_) {
+    FqEntry e;
+    e.priority = priority;
+    e.seq = seq_++;
+    e.size = msg.size();
+    if (e.size == 1) {
+      e.head = msg[0];
+    } else {
+      e.spill = alloc_spill(std::move(msg));
+    }
+    fq_push(h.fq, dir_cold_[static_cast<std::size_t>(dir_idx)].fq_heap, e);
+  } else {
+    dir_cold_[static_cast<std::size_t>(dir_idx)].queue.push(priority, seq_++,
+                                                            std::move(msg));
+  }
   activate_dir(dir_idx);
+}
+
+void Runner::enqueue_dir_word(int dir_idx, Word w, std::int64_t priority) {
+  if (!frontier_) {
+    enqueue_dir(dir_idx, Message{w}, priority);
+    return;
+  }
+  DirHot& h = dir_hot_[static_cast<std::size_t>(dir_idx)];
+  note_backlog(dir_idx, h, 1);
+  FqEntry e;
+  e.priority = priority;
+  e.seq = seq_++;
+  e.head = w;
+  e.size = 1;
+  // Steady state (queue depth <= 1) stays inside fq_push's inline-slot fast
+  // path, which never dereferences the cold overflow heap.
+  fq_push(h.fq, dir_cold_[static_cast<std::size_t>(dir_idx)].fq_heap, e);
+  activate_dir(dir_idx);
+}
+
+std::uint32_t Runner::alloc_spill(Message msg) {
+  if (spill_free_.empty()) {
+    spill_.push_back(std::move(msg));
+    return static_cast<std::uint32_t>(spill_.size() - 1);
+  }
+  const std::uint32_t slot = spill_free_.back();
+  spill_free_.pop_back();
+  spill_[slot] = std::move(msg);
+  return slot;
+}
+
+Message Runner::take_spill(std::uint32_t slot) {
+  spill_free_.push_back(slot);
+  return std::move(spill_[slot]);
+}
+
+void Runner::free_spill(std::uint32_t slot) {
+  spill_[slot] = Message{};
+  spill_free_.push_back(slot);
+}
+
+void Runner::materialize_inbox(std::vector<PendingDelivery>& box,
+                               std::vector<Delivery>& out,
+                               std::vector<std::uint32_t>& freed) {
+  out.clear();
+  for (const PendingDelivery& pd : box) {
+    Delivery& d = out.emplace_back();
+    d.from = pd.from;
+    if (pd.size == 1) {
+      d.msg.push(pd.head);
+    } else {
+      // Moving distinct slots out of spill_ is shard-safe (each slot is
+      // named by exactly one pending entry, and the vector itself does not
+      // grow during the invocation phase); only the freelist push needs the
+      // host thread, hence the `freed` indirection.
+      const auto slot = static_cast<std::uint32_t>(pd.head);
+      d.msg = std::move(spill_[slot]);
+      freed.push_back(slot);
+    }
+  }
+  box.clear();
+}
+
+void Runner::discard_pending(std::vector<PendingDelivery>& box) {
+  for (const PendingDelivery& pd : box) {
+    if (pd.size > 1) free_spill(static_cast<std::uint32_t>(pd.head));
+  }
+  box.clear();
 }
 
 void Runner::wake_at(NodeId node, std::uint64_t r) { wakes_.emplace(r, node); }
 
 void Runner::activate_dir(int dir_idx) {
-  DirectionState& ds = dir_state_[static_cast<std::size_t>(dir_idx)];
-  if (!ds.active) {
-    ds.active = true;
+  DirHot& h = dir_hot_[static_cast<std::size_t>(dir_idx)];
+  if (!h.active) {
+    h.active = true;
     active_dirs_.push_back(dir_idx);
   }
 }
@@ -204,21 +332,34 @@ void Runner::crash_node(NodeId v) {
   const std::int32_t b = net_.nbr_offset_[static_cast<std::size_t>(v)];
   const std::int32_t e = net_.nbr_offset_[static_cast<std::size_t>(v) + 1];
   for (std::int32_t i = b; i < e; ++i) {
-    DirectionState& ds =
-        dir_state_[static_cast<std::size_t>(net_.nbr_dir_[static_cast<std::size_t>(i)])];
-    if (ds.transmitting) {
+    const auto dir = static_cast<std::size_t>(
+        net_.nbr_dir_[static_cast<std::size_t>(i)]);
+    DirHot& h = dir_hot_[dir];
+    DirCold& c = dir_cold_[dir];
+    if (h.transmitting) {
       ++stats_.dropped_messages;
-      stats_.dropped_words += ds.current.size() - ds.words_done;
-      ds.transmitting = false;
+      stats_.dropped_words +=
+          (frontier_ ? c.fcur.size : c.current.size()) - h.words_done;
+      if (frontier_ && c.fcur.spill != kNoSpill) free_spill(c.fcur.spill);
+      h.transmitting = false;
     }
-    for (const QueuedMsg& qm : ds.queue.entries()) {
-      ++stats_.dropped_messages;
-      stats_.dropped_words += qm.msg.size();
+    if (frontier_) {
+      fq_for_each(h.fq, c.fq_heap, [&](const FqEntry& fe) {
+        ++stats_.dropped_messages;
+        stats_.dropped_words += fe.size;
+        if (fe.spill != kNoSpill) free_spill(fe.spill);
+      });
+      fq_clear(h.fq, c.fq_heap);
+    } else {
+      for (const QueuedMsg& qm : c.queue.entries()) {
+        ++stats_.dropped_messages;
+        stats_.dropped_words += qm.msg.size();
+      }
+      c.queue.clear();
     }
-    ds.queue.clear();
-    ds.queued_words = 0;
+    h.queued_words = 0;
   }
-  inbox_next_[static_cast<std::size_t>(v)].clear();
+  discard_pending(inbox_next_[static_cast<std::size_t>(v)]);
   if (trace_ != nullptr) {
     trace_->record(TraceEvent{run_id_, round_, v, graph::kNoNode, 0,
                               TraceEventKind::kCrash, {}});
@@ -276,17 +417,21 @@ void Runner::NodeEmission::on_send(NodeId from, NodeId neighbor, Message msg,
 }
 
 void Runner::invoke_nodes(Protocol& proto, bool first_round) {
+  if (frontier_) fstats_.frontier_nodes += invocations_.size();
   if (pool_ == nullptr || invocations_.size() < kMinParallelNodes) {
     // Sequential: invoke in order, effects land on engine state directly.
+    // The compact pending entries become real Delivery objects only here,
+    // in one reused scratch that stays cache-hot across invocations.
     for (NodeId v : invocations_) {
+      materialize_inbox(inbox_next_[static_cast<std::size_t>(v)],
+                        inbox_scratch_, spill_free_);
       NodeCtx ctx(*this, v);
-      ctx.inbox_override_ = &inbox_next_[static_cast<std::size_t>(v)];
+      ctx.inbox_override_ = &inbox_scratch_;
       if (first_round) {
         proto.begin(ctx);
       } else {
         proto.round(ctx);
       }
-      inbox_next_[static_cast<std::size_t>(v)].clear();
     }
     return;
   }
@@ -304,8 +449,17 @@ void Runner::invoke_nodes(Protocol& proto, bool first_round) {
     em.node = v;
     em.sends.clear();
     em.wakes.clear();
+    em.freed_spills.clear();
+    // Each node's inbox slot is exclusively this shard's (invocations_ is
+    // deduplicated), so materializing it here is race-free; the vacated
+    // spill slots ride em.freed_spills to the merge barrier. Clearing the
+    // scratch after the invocation recycles the delivered messages into
+    // this worker's word pool.
+    static thread_local std::vector<Delivery> inbox;
+    materialize_inbox(inbox_next_[static_cast<std::size_t>(v)], inbox,
+                      em.freed_spills);
     NodeCtx ctx(*this, v);
-    ctx.inbox_override_ = &inbox_next_[static_cast<std::size_t>(v)];
+    ctx.inbox_override_ = &inbox;
     ctx.send_hook_ = &em;
     ctx.wake_sink_ = &em.wakes;
     if (first_round) {
@@ -313,10 +467,7 @@ void Runner::invoke_nodes(Protocol& proto, bool first_round) {
     } else {
       proto.round(ctx);
     }
-    // Each node's slot is exclusively this shard's (invocations_ is
-    // deduplicated), so clearing its inbox here is race-free and recycles
-    // the delivered messages into this worker's word pool.
-    inbox_next_[static_cast<std::size_t>(v)].clear();
+    inbox.clear();
   }, wall ? &worker_timings_ : nullptr);
   if (wall) record_wall_spans("invoke");
 
@@ -326,6 +477,8 @@ void Runner::invoke_nodes(Protocol& proto, bool first_round) {
   // a total order on values, so insertion order is immaterial.
   for (std::size_t i = 0; i < invocations_.size(); ++i) {
     NodeEmission& em = emissions_[i];
+    for (std::uint32_t slot : em.freed_spills) spill_free_.push_back(slot);
+    em.freed_spills.clear();
     for (NodeEmission::BufferedSend& bs : em.sends) {
       enqueue_dir(bs.dir_idx, std::move(bs.msg), bs.priority);
     }
@@ -338,11 +491,17 @@ void Runner::invoke_nodes(Protocol& proto, bool first_round) {
 // ---- transmit phase --------------------------------------------------------
 
 void Runner::transmit_dir(int dir_idx, DirTransmit& r) {
-  DirectionState& ds = dir_state_[static_cast<std::size_t>(dir_idx)];
+  DirHot& h = dir_hot_[static_cast<std::size_t>(dir_idx)];
   r.stalled = false;
   r.used_budget = false;
   r.words_moved = 0;
-  r.completed.clear();
+  // Only the active path's completion list is ever filled; clearing the
+  // other would drag its (cold) vector header into cache for nothing.
+  if (frontier_) {
+    r.fq_completed.clear();
+  } else {
+    r.completed.clear();
+  }
   if (injector_ != nullptr && injector_->stalled(dir_idx, round_)) {
     // Frozen: time passes, the queue holds. Still active by definition.
     r.stalled = true;
@@ -351,40 +510,82 @@ void Runner::transmit_dir(int dir_idx, DirTransmit& r) {
   }
   const int bandwidth = net_.config().bandwidth_words;
   int budget = bandwidth;
-  while (budget > 0) {
-    if (!ds.transmitting) {
-      if (ds.queue.empty()) break;
-      ds.current = ds.queue.take_top();
-      ds.words_done = 0;
-      ds.transmitting = true;
+  if (frontier_) {
+    // Same state machine over 32-byte POD entries: nothing but this
+    // direction's own state is touched (shard-safe), and the pop order is
+    // the same (priority, seq) total order as the legacy queue's. The
+    // steady-state iteration (pop one budget-fitting entry from the inline
+    // slot) touches only h - a single cache line per direction.
+    while (budget > 0) {
+      if (!h.transmitting) {
+        if (fq_empty(h.fq)) break;
+        const FqEntry e = fq_take_top(
+            h.fq, dir_cold_[static_cast<std::size_t>(dir_idx)].fq_heap);
+        if (e.size <= static_cast<std::uint32_t>(budget)) {
+          // Fits this round's remaining budget (under default bandwidth,
+          // every single-word message): complete it straight off the queue
+          // without staging through fcur/words_done.
+          budget -= static_cast<int>(e.size);
+          h.queued_words -= e.size;
+          r.words_moved += e.size;
+          r.fq_completed.push_back(DirTransmit::FqDone{e.head, e.size, e.spill});
+          continue;
+        }
+        dir_cold_[static_cast<std::size_t>(dir_idx)].fcur = e;
+        h.words_done = 0;
+        h.transmitting = true;
+      }
+      FqEntry& cur = dir_cold_[static_cast<std::size_t>(dir_idx)].fcur;
+      const std::uint32_t take = std::min<std::uint32_t>(
+          static_cast<std::uint32_t>(budget), cur.size - h.words_done);
+      h.words_done += take;
+      budget -= static_cast<int>(take);
+      h.queued_words -= take;
+      r.words_moved += take;
+      if (h.words_done == cur.size) {
+        r.fq_completed.push_back(
+            DirTransmit::FqDone{cur.head, cur.size, cur.spill});
+        h.transmitting = false;
+      }
     }
-    std::uint32_t take = std::min<std::uint32_t>(
-        static_cast<std::uint32_t>(budget), ds.current.size() - ds.words_done);
-    ds.words_done += take;
-    budget -= static_cast<int>(take);
-    ds.queued_words -= take;
-    r.words_moved += take;
-    if (ds.words_done == ds.current.size()) {
-      r.completed.push_back(std::move(ds.current));
-      ds.transmitting = false;
+    r.still_active = h.transmitting || !fq_empty(h.fq);
+  } else {
+    DirCold& c = dir_cold_[static_cast<std::size_t>(dir_idx)];
+    while (budget > 0) {
+      if (!h.transmitting) {
+        if (c.queue.empty()) break;
+        c.current = c.queue.take_top();
+        h.words_done = 0;
+        h.transmitting = true;
+      }
+      std::uint32_t take = std::min<std::uint32_t>(
+          static_cast<std::uint32_t>(budget), c.current.size() - h.words_done);
+      h.words_done += take;
+      budget -= static_cast<int>(take);
+      h.queued_words -= take;
+      r.words_moved += take;
+      if (h.words_done == c.current.size()) {
+        r.completed.push_back(std::move(c.current));
+        h.transmitting = false;
+      }
     }
+    r.still_active = h.transmitting || !c.queue.empty();
   }
-  r.still_active = ds.transmitting || !ds.queue.empty();
-  if (!r.still_active) ds.active = false;
+  if (!r.still_active) h.active = false;
   r.used_budget = budget < bandwidth;
 }
 
-void Runner::settle_dir(std::size_t pos, std::vector<int>& still_active) {
-  const int dir_idx = active_dirs_[pos];
-  DirTransmit& r = dir_results_[pos];
-  DirectionState& ds = dir_state_[static_cast<std::size_t>(dir_idx)];
+void Runner::settle_dir(int dir_idx, DirTransmit& r,
+                        std::vector<int>& still_active) {
   const Network::Direction& dir = net_.dirs_[static_cast<std::size_t>(dir_idx)];
   if (r.stalled) {
     ++stats_.stalled_rounds;
     if (trace_ != nullptr) {
       trace_->record(TraceEvent{
           run_id_, round_, dir.from, dir.to,
-          static_cast<std::uint32_t>(ds.queued_words), TraceEventKind::kStall,
+          static_cast<std::uint32_t>(
+              dir_hot_[static_cast<std::size_t>(dir_idx)].queued_words),
+          TraceEventKind::kStall,
           {}});
     }
     still_active.push_back(dir_idx);
@@ -398,6 +599,76 @@ void Runner::settle_dir(std::size_t pos, std::vector<int>& still_active) {
   }
   if (metrics_ != nullptr) {
     dir_words_[static_cast<std::size_t>(dir_idx)] += r.words_moved;
+  }
+  if (frontier_) {
+    for (const DirTransmit::FqDone& done : r.fq_completed) {
+      // Mirrors the legacy loop below decision for decision: the crashed
+      // check short-circuits before drop_message and corruption runs after
+      // the drop decision, so the fault RNG stream, trace order, and stats
+      // are byte-identical between the two settle paths.
+      const bool lost =
+          crashed_[static_cast<std::size_t>(dir.to)] ||
+          (injector_ != nullptr && injector_->drop_message(dir_idx));
+      if (lost) {
+        ++stats_.dropped_messages;
+        stats_.dropped_words += done.size;
+        if (done.spill != kNoSpill) free_spill(done.spill);
+        if (trace_ != nullptr) {
+          trace_->record(TraceEvent{run_id_, round_, dir.from, dir.to,
+                                    done.size, TraceEventKind::kDrop, {}});
+        }
+        continue;
+      }
+      // No Message is built at all: the word (or the spill slot, for longer
+      // payloads) parks in the receiver's compact inbox until invocation.
+      // Corruption mutates the payload where it lives - through a probe
+      // Message in the single-word case, so the injector sees the same
+      // Message view (and consumes the same RNG) as on the legacy path.
+      auto& box = inbox_next_[static_cast<std::size_t>(dir.to)];
+      if (box.empty()) receivers_next_.push_back(dir.to);
+      PendingDelivery pd;
+      pd.from = dir.from;
+      pd.size = done.size;
+      if (done.spill == kNoSpill) {
+        ++fstats_.fast_words;
+        pd.head = done.head;
+      } else {
+        fstats_.multi_words += done.size;
+        pd.head = Word{done.spill};
+      }
+      if (injector_ != nullptr) {
+        std::uint32_t flips;
+        if (done.spill == kNoSpill) {
+          Message probe{done.head};
+          flips = injector_->corrupt_message(dir_idx, round_, probe);
+          pd.head = probe[0];
+        } else {
+          flips =
+              injector_->corrupt_message(dir_idx, round_, spill_[done.spill]);
+        }
+        if (flips > 0) {
+          stats_.corrupted_words += flips;
+          if (trace_ != nullptr) {
+            trace_->record(TraceEvent{run_id_, round_, dir.from, dir.to,
+                                      flips, TraceEventKind::kCorrupt, {}});
+          }
+        }
+      }
+      box.push_back(pd);
+      if (trace_ != nullptr) {
+        trace_->record(TraceEvent{run_id_, round_, dir.from, dir.to,
+                                  done.size, TraceEventKind::kDeliver, {}});
+      }
+      ++stats_.messages;
+      ++net_.total_messages_;
+    }
+    r.fq_completed.clear();
+    if (r.still_active) still_active.push_back(dir_idx);
+    if (r.used_budget) {
+      last_activity_round_ = round_;
+      had_transmission_ = true;
+    }
+    return;
   }
   for (Message& msg : r.completed) {
     // Message fully transmitted: deliver for next round - unless a drop
@@ -432,9 +703,17 @@ void Runner::settle_dir(std::size_t pos, std::vector<int>& still_active) {
         trace_->record(TraceEvent{run_id_, round_, dir.from, dir.to,
                                   msg.size(), TraceEventKind::kDeliver, {}});
       }
+      // Compact form for the inter-round gap: a single-word Message (the
+      // common case) dies here and only its word travels; longer ones park
+      // in the spill pool. Either way the 64-byte Message move into the
+      // inbox is gone from the delivery stream.
       auto& box = inbox_next_[static_cast<std::size_t>(dir.to)];
       if (box.empty()) receivers_next_.push_back(dir.to);
-      box.push_back(Delivery{dir.from, std::move(msg)});
+      PendingDelivery pd;
+      pd.from = dir.from;
+      pd.size = msg.size();
+      pd.head = msg.size() == 1 ? msg[0] : Word{alloc_spill(std::move(msg))};
+      box.push_back(pd);
       ++stats_.messages;
       ++net_.total_messages_;
     }
@@ -447,18 +726,71 @@ void Runner::settle_dir(std::size_t pos, std::vector<int>& still_active) {
   }
 }
 
+// Orders (and, on the dense path, deduplicates) the round's scheduled
+// nodes. Deterministic order by default; the adversarial-schedule mode
+// randomizes both the invocation order and each inbox.
+void Runner::build_frontier(std::vector<NodeId>& active_nodes) {
+  // The shuffle consumes schedule_rng_ as a function of the pre-dedup list
+  // length, so the dense path - which also deduplicates - is pinned off
+  // whenever the adversarial schedule is on.
+  const bool shuffled = net_.config().shuffle_deliveries;
+  const bool dense =
+      frontier_ && !shuffled &&
+      active_nodes.size() * kDenseDivisor >= static_cast<std::size_t>(net_.n());
+  if (dense) {
+    // Bottom-up style: mark a node bitmap and rescan it in id order. This
+    // produces exactly the sorted order std::sort yields; duplicates (a
+    // node that is both receiver and wake target) collapse here, which the
+    // caller's last_invoked stamps would have filtered anyway.
+    const std::size_t words = (static_cast<std::size_t>(net_.n()) + 63) / 64;
+    frontier_bits_.assign(words, 0);
+    for (NodeId v : active_nodes) {
+      frontier_bits_[static_cast<std::size_t>(v) >> 6] |=
+          std::uint64_t{1} << (static_cast<std::size_t>(v) & 63);
+    }
+    active_nodes.clear();
+    for (std::size_t wi = 0; wi < words; ++wi) {
+      std::uint64_t bits = frontier_bits_[wi];
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        active_nodes.push_back(
+            static_cast<NodeId>(wi * 64 + static_cast<std::size_t>(b)));
+      }
+    }
+  } else {
+    // Top-down style: sort the sparse list (the legacy path, verbatim).
+    std::sort(active_nodes.begin(), active_nodes.end());
+    if (shuffled) schedule_rng_.shuffle(active_nodes);
+  }
+  if (frontier_) {
+    ++fstats_.scheduled_rounds;
+    if (dense) {
+      ++fstats_.dense_rounds;
+    } else {
+      ++fstats_.sparse_rounds;
+    }
+    if (any_frontier_round_ && dense != last_dense_) {
+      ++fstats_.direction_switches;
+    }
+    last_dense_ = dense;
+    any_frontier_round_ = true;
+  }
+}
+
 void Runner::transmit_step() {
+  if (frontier_) fstats_.active_dirs += active_dirs_.size();
   std::vector<int>& still_active = still_active_scratch_;
   still_active.clear();
   still_active.reserve(active_dirs_.size());
-  if (dir_results_.size() < active_dirs_.size()) {
-    dir_results_.resize(active_dirs_.size());
-  }
   if (pool_ != nullptr && active_dirs_.size() >= kMinParallelDirs) {
     // Phase A in parallel: each shard advances one direction's private state
     // machine. Phase B sequentially, in active_dirs_ order: fault RNG, trace
     // events, deliveries, and stats replay exactly as sequential execution
     // interleaves them.
+    if (dir_results_.size() < active_dirs_.size()) {
+      dir_results_.resize(active_dirs_.size());
+    }
     const bool wall = wall_clock_tracing();
     pool_->run(static_cast<int>(active_dirs_.size()), [&](int pos) {
       transmit_dir(active_dirs_[static_cast<std::size_t>(pos)],
@@ -466,12 +798,15 @@ void Runner::transmit_step() {
     }, wall ? &worker_timings_ : nullptr);
     if (wall) record_wall_spans("transmit");
     for (std::size_t pos = 0; pos < active_dirs_.size(); ++pos) {
-      settle_dir(pos, still_active);
+      settle_dir(active_dirs_[pos], dir_results_[pos], still_active);
     }
   } else {
+    // Sequentially, transmit's record is consumed by settle immediately, so
+    // one reused slot (seq_result_) serves every direction and stays hot in
+    // L1 - no per-direction stream through dir_results_.
     for (std::size_t pos = 0; pos < active_dirs_.size(); ++pos) {
-      transmit_dir(active_dirs_[pos], dir_results_[pos]);
-      settle_dir(pos, still_active);
+      transmit_dir(active_dirs_[pos], seq_result_);
+      settle_dir(active_dirs_[pos], seq_result_, still_active);
     }
   }
   active_dirs_.swap(still_active);
@@ -532,6 +867,13 @@ RunResult Runner::run() {
       }
     }
     metrics_->record_run(profile);
+  }
+  if (frontier_) {
+    // Side channel only (bench_engine A5c): never feeds stats, metrics, or
+    // traces, so both settle paths stay byte-identical in observables.
+    net_.note_frontier(
+        metrics_ != nullptr ? metrics_->current_path() : std::string{},
+        fstats_);
   }
   return RunResult{outcome, stats_};
 }
@@ -608,10 +950,7 @@ void Runner::run_rounds() {
       active_nodes.push_back(wakes_.top().second);
       wakes_.pop();
     }
-    // Deterministic order by default; the adversarial-schedule mode
-    // randomizes both the invocation order and each inbox.
-    std::sort(active_nodes.begin(), active_nodes.end());
-    if (net_.config().shuffle_deliveries) schedule_rng_.shuffle(active_nodes);
+    build_frontier(active_nodes);
 
     // Pre-pass, in invocation order: crash and duplicate filtering, plus the
     // adversarial inbox shuffles - everything that consumes schedule_rng_ -
@@ -626,7 +965,7 @@ void Runner::run_rounds() {
     invocations_.clear();
     for (NodeId v : active_nodes) {
       if (crashed_[static_cast<std::size_t>(v)]) {
-        inbox_next_[static_cast<std::size_t>(v)].clear();
+        discard_pending(inbox_next_[static_cast<std::size_t>(v)]);
         continue;
       }
       auto& stamp = last_invoked[static_cast<std::size_t>(v)];
@@ -642,10 +981,11 @@ void Runner::run_rounds() {
     // order: their sends and wake-ups claim the same seq_ numbers at every
     // thread count, preserving bit-identical execution.
     for (NodeId v : restarted_) {
+      materialize_inbox(inbox_next_[static_cast<std::size_t>(v)],
+                        inbox_scratch_, spill_free_);
       NodeCtx ctx(*this, v);
-      ctx.inbox_override_ = &inbox_next_[static_cast<std::size_t>(v)];
+      ctx.inbox_override_ = &inbox_scratch_;
       proto.on_restart(ctx);
-      inbox_next_[static_cast<std::size_t>(v)].clear();
     }
     restarted_.clear();
     invoke_nodes(proto, /*first_round=*/false);

@@ -31,6 +31,7 @@
 
 #include "congest/dir_queue.h"
 #include "congest/faults.h"
+#include "congest/frontier.h"
 #include "congest/governor.h"
 #include "congest/network.h"
 #include "congest/protocol.h"
@@ -55,13 +56,34 @@ class Runner {
  private:
   friend class NodeCtx;
 
-  struct DirectionState {
-    DirQueue queue;
-    Message current;             // message being transmitted, if any
+  // Per-direction state, split structure-of-arrays style. Exactly one of
+  // the two queue representations is populated per run, selected by
+  // NetworkConfig::settle_path: DirCold::queue holds whole Messages
+  // (legacy), DirHot::fq + DirCold::fq_heap hold 32-byte word entries whose
+  // multi-word payloads live in the Runner's spill pool (frontier; see
+  // frontier.h). Both pop in the same strict (priority, seq) total order.
+  //
+  // DirHot is exactly one cache line and covers the entire frontier fast
+  // path (enqueue a word into the inline slot, pop it, adjust the backlog):
+  // with ~3k directions live per round on the multi-BFS sweeps the combined
+  // state is far bigger than L2, so the per-direction line count - one hot
+  // line here vs. the 3+ lines of the old fused struct - is the dominant
+  // settle cost at n >= 512.
+  struct alignas(64) DirHot {
+    FqSlot fq;                   // inline depth-1 queue slot + entry count
+    std::uint64_t queued_words = 0;
     std::uint32_t words_done = 0;
     bool transmitting = false;
     bool active = false;         // member of active_dirs_
-    std::uint64_t queued_words = 0;
+  };
+  static_assert(sizeof(DirHot) == 64, "DirHot is sized to one cache line");
+  // Touched only off the fast path: multi-round transmissions (fcur), queue
+  // depth > 1 (fq_heap), and the legacy settle path (queue/current).
+  struct DirCold {
+    FqEntry fcur;                // frontier: entry being transmitted, if any
+    std::vector<FqEntry> fq_heap;  // frontier: overflow beyond the slot
+    DirQueue queue;              // legacy
+    Message current;             // legacy: message being transmitted, if any
   };
 
   // One node invocation's buffered effects (parallel path). The buffer is
@@ -80,9 +102,27 @@ class Runner {
     };
     std::vector<BufferedSend> sends;
     std::vector<std::uint64_t> wakes;
+    // Spill slots this invocation's inbox materialization vacated; pushed
+    // onto spill_free_ at the merge barrier (workers must not touch the
+    // freelist - the host passes spill_free_ directly in sequential mode).
+    std::vector<std::uint32_t> freed_spills;
     void on_send(NodeId from, NodeId neighbor, Message msg,
                  std::int64_t priority) override;
   };
+
+  // A delivered-but-not-yet-consumed message in its 16-byte compact form:
+  // single-word payloads (the overwhelmingly common case) ride in `head`,
+  // longer ones park their Message in the spill pool and `head` carries the
+  // slot. Real Delivery objects exist only in the per-invocation scratch
+  // they are materialized into - the inter-round delivery stream never
+  // writes or re-reads a 72-byte Delivery (nor pays its Message move).
+  struct PendingDelivery {
+    NodeId from;
+    std::uint32_t size;  // message length in words
+    Word head;           // the payload when size == 1, else the spill slot
+  };
+  static_assert(sizeof(PendingDelivery) == 16,
+                "PendingDelivery is the inter-round delivery currency");
 
   // One direction's transmit outcome (parallel path): the state-machine
   // advance runs sharded (it only touches the direction's own state), and
@@ -95,7 +135,15 @@ class Runner {
     bool used_budget = false;
     bool still_active = false;
     std::uint32_t words_moved = 0;
-    std::vector<Message> completed;  // fully transmitted, in completion order
+    std::vector<Message> completed;  // legacy: transmitted, completion order
+    // Frontier path: compact completion records; the delivered Message is
+    // only materialized at settle time, on the host thread.
+    struct FqDone {
+      Word head;
+      std::uint32_t size;
+      std::uint32_t spill;
+    };
+    std::vector<FqDone> fq_completed;
   };
 
   // NodeCtx backend.
@@ -120,8 +168,34 @@ class Runner {
   // that direction's state - shard-safe). Phase B: replay its engine-global
   // effects (fault RNG, traces, deliveries, stats) in active_dirs_ order.
   void transmit_dir(int dir_idx, DirTransmit& result);
-  void settle_dir(std::size_t pos, std::vector<int>& still_active);
+  void settle_dir(int dir_idx, DirTransmit& r, std::vector<int>& still_active);
   void enqueue_dir(int dir_idx, Message msg, std::int64_t priority);
+  // Single-word fast path: no Message is constructed on the frontier settle
+  // path (the word rides in the queue entry until delivery).
+  void enqueue_dir_word(int dir_idx, Word w, std::int64_t priority);
+  // Shared enqueue prologue: backlog accounting + the kQueuePeak trace.
+  void note_backlog(int dir_idx, DirHot& h, std::uint32_t words);
+  // Spill pool for multi-word payloads: frontier queue entries and pending
+  // deliveries of either settle path park Messages here and carry the slot
+  // index. Recycling order is unobservable (entries name their own slot).
+  std::uint32_t alloc_spill(Message msg);
+  Message take_spill(std::uint32_t slot);
+  void free_spill(std::uint32_t slot);
+  // Builds the protocol-facing Delivery list for one node out of its compact
+  // pending entries, consuming them: multi-word Messages move out of their
+  // spill slots and the vacated slot indices land on `freed` - spill_free_
+  // itself on the host thread, a worker-private list (merged at the barrier)
+  // during parallel invocations, which keeps the freelist race-free.
+  void materialize_inbox(std::vector<PendingDelivery>& box,
+                         std::vector<Delivery>& out,
+                         std::vector<std::uint32_t>& freed);
+  // Drops a crashed node's pending deliveries, returning their spill slots.
+  void discard_pending(std::vector<PendingDelivery>& box);
+  // Builds the round's sorted, crash/duplicate-filtered invocation list
+  // from receivers + due wakes. The frontier path switches between a sparse
+  // sort and a dense bitmap scan; both produce the identical list (see
+  // docs/simulator.md, "direction switch").
+  void build_frontier(std::vector<NodeId>& active_nodes);
   void activate_dir(int dir_idx);
   void apply_due_crashes();
   void crash_node(NodeId v);
@@ -148,22 +222,29 @@ class Runner {
 
   Network& net_;
   Protocol& proto_;
+  const bool frontier_;  // config().settle_path == SettlePath::kFrontier
   std::uint64_t round_ = 0;
   std::uint64_t run_id_ = 0;  // Network run counter at construction
   std::uint64_t seq_ = 0;
   std::uint64_t last_activity_round_ = 0;
   bool had_transmission_ = false;
 
-  std::vector<DirectionState> dir_state_;
+  std::vector<DirHot> dir_hot_;    // one cache line per direction
+  std::vector<DirCold> dir_cold_;  // parallel array, off the fast path
   std::vector<int> active_dirs_;
 
-  // Deliveries accumulated during transmit of round r, consumed at r+1.
-  // Per-node vectors are reserved once and cleared (never shrunk) after
-  // consumption, so steady-state rounds allocate nothing.
-  std::vector<std::vector<Delivery>> inbox_next_;
+  // Deliveries accumulated during transmit of round r, consumed at r+1 -
+  // compact 16-byte entries (see PendingDelivery above). Per-node vectors
+  // are reserved once and cleared (never shrunk) after consumption, so
+  // steady-state rounds allocate nothing.
+  std::vector<std::vector<PendingDelivery>> inbox_next_;
   std::vector<NodeId> receivers_next_;  // nodes with non-empty inbox_next_
   // Always empty: the inbox a NodeCtx without an override sees (round 0).
   std::vector<Delivery> inbox_current_;
+  // Host-thread materialization scratch, reused across invocations so the
+  // built Delivery objects live in cache-hot memory; parallel invocations
+  // use one thread-local scratch per worker instead.
+  std::vector<Delivery> inbox_scratch_;
 
   // Wake requests: min-heap of (round, node); duplicates tolerated.
   using Wake = std::pair<std::uint64_t, NodeId>;
@@ -177,7 +258,12 @@ class Runner {
   ThreadPool* pool_ = nullptr;
   std::vector<NodeId> invocations_;      // nodes to step this round, in order
   std::vector<NodeEmission> emissions_;  // slot per invocation
-  std::vector<DirTransmit> dir_results_; // slot per active direction
+  std::vector<DirTransmit> dir_results_; // slot per active direction (parallel)
+  // Sequential transmit scratch: one slot reused for every direction, so the
+  // record stays in L1 instead of streaming a cache line per active
+  // direction through dir_results_ (~2.5k directions/round on the multi-BFS
+  // sweeps - the stream was a measurable share of settle time).
+  DirTransmit seq_result_;
   std::vector<int> still_active_scratch_;
   // Per-lane timing scratch for wall-clock tracing (reused every region).
   std::vector<ThreadPool::WorkerTiming> worker_timings_;
@@ -209,6 +295,16 @@ class Runner {
   // that ended this run, if any; maps to kBudgetExhausted / kCancelled.
   Governor* governor_ = nullptr;
   StopReason governor_stop_ = StopReason::kNone;
+
+  // Multi-word payload pool: frontier queue entries and pending deliveries
+  // of both settle paths park Messages here (see alloc_spill above).
+  std::vector<Message> spill_;             // payload slots
+  std::vector<std::uint32_t> spill_free_;  // recycled slot indices
+  // Frontier settle-path machinery (unused under SettlePath::kLegacy).
+  std::vector<std::uint64_t> frontier_bits_;  // dense-scan node bitmap
+  FrontierStats fstats_;  // this run's counters; folded into the Network
+  bool last_dense_ = false;
+  bool any_frontier_round_ = false;
 
   RunStats stats_;
 };

@@ -40,13 +40,10 @@ void unpack_pair(Word w, int* i, int* j, Weight* d) {
 congest::SsspResult matrix_of(const congest::MultiBfs& bfs, int n, int k) {
   congest::SsspResult m;
   m.k = k;
-  m.dist.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(k));
-  for (NodeId v = 0; v < n; ++v) {
-    for (int i = 0; i < k; ++i) {
-      m.dist[static_cast<std::size_t>(v) * static_cast<std::size_t>(k) +
-             static_cast<std::size_t>(i)] = bfs.dist(v, i);
-    }
-  }
+  // MultiBfs's matrix is already row-major [v*k + i]: one bulk copy.
+  (void)n;
+  const std::span<const Weight> dm = bfs.dist_matrix();
+  m.dist.assign(dm.begin(), dm.end());
   return m;
 }
 

@@ -79,16 +79,13 @@ AllPairs all_pairs(congest::Network& net, RunStats* stats,
   *outcome = rr.outcome;
   AllPairs ap;
   ap.n = n;
-  ap.d.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
-  ap.parent.resize(ap.d.size());
-  for (NodeId v = 0; v < n; ++v) {
-    for (NodeId w = 0; w < n; ++w) {
-      ap.d[static_cast<std::size_t>(v) * static_cast<std::size_t>(n) +
-           static_cast<std::size_t>(w)] = bfs.dist(v, w);
-      ap.parent[static_cast<std::size_t>(v) * static_cast<std::size_t>(n) +
-                static_cast<std::size_t>(w)] = bfs.parent(v, w);
-    }
-  }
+  // Sources are the identity permutation, so MultiBfs's row-major [v*n + i]
+  // matrices already have AllPairs' layout: two bulk copies instead of
+  // 2*n^2 accessor calls (0.6M for the n=768 bench row).
+  const std::span<const Weight> dm = bfs.dist_matrix();
+  ap.d.assign(dm.begin(), dm.end());
+  const std::span<const NodeId> pm = bfs.parent_matrix();
+  ap.parent.assign(pm.begin(), pm.end());
   return ap;
 }
 

@@ -367,6 +367,7 @@ class RestrictedBfsProtocol : public congest::Protocol {
   Message make_message(NodeId src, Weight d,
                        const std::vector<REntry>& r_entries) const {
     Message msg{pack_hdr(src, d)};
+    msg.reserve(1 + static_cast<std::uint32_t>(r_entries.size()));
     for (const REntry& e : r_entries) msg.push(pack_hdr(e.t, e.d));
     return msg;
   }

@@ -503,6 +503,7 @@ TEST(Engine, ParallelBurstDeliversSameOrder) {
   Graph g = path_graph(2);
   NetworkConfig cfg;
   cfg.threads = 4;
+  cfg.clamp_threads = false;  // the burst must really run on 4 workers
   Network net(g, /*seed=*/1, cfg);
   Burst proto(7);
   run_protocol(net, proto);

@@ -1,0 +1,231 @@
+// A/B identity of the two settle paths. NetworkConfig::settle_path selects
+// between the legacy per-direction message queues (SettlePath::kLegacy) and
+// the direction-optimizing frontier engine (kFrontier, the default): packed
+// 32-byte word entries, a spill pool for multi-word payloads, and a
+// dense-bitmap / sparse-sort switch for the per-round invocation list.
+//
+// The frontier path is a pure wall-clock optimization: every simulated
+// observable - solve reports, RunStats, NetworkStats, metrics JSON bytes,
+// streamed trace JSONL bytes - must be bit-identical to the legacy path at
+// every thread count. These tests run the same workload under both paths at
+// threads 1/2/4 and compare everything, then fuzz MultiBfs across random
+// graphs, delay modes, and fault plans.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "congest/metrics.h"
+#include "congest/multi_bfs.h"
+#include "congest/network.h"
+#include "congest/runner.h"
+#include "congest/trace.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "mwc/api.h"
+#include "mwc/directed_mwc.h"
+#include "support/rng.h"
+
+namespace mwc::congest {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::WeightRange;
+
+constexpr int kThreadCounts[] = {1, 2, 4};
+
+Graph test_graph(std::uint64_t seed, int n = 48, int m = 110) {
+  support::Rng rng(seed);
+  return graph::random_connected(n, m, WeightRange{1, 9}, rng);
+}
+
+// Everything observable about one solve: the report's answer and verdict,
+// the per-phase metrics snapshot serialized to JSON, the full streamed
+// trace, and the engine's accumulated counters.
+struct Artifacts {
+  graph::Weight value = 0;
+  std::string status;
+  std::string metrics_json;
+  std::string jsonl;
+  RunStats run_stats;
+  NetworkStats net_totals;
+
+  friend bool operator==(const Artifacts&, const Artifacts&) = default;
+};
+
+Artifacts run_solve(const Graph& g, std::uint64_t seed, NetworkConfig cfg,
+                    int threads, SettlePath path) {
+  cfg.threads = threads;
+  cfg.clamp_threads = false;  // the sweep must really run at `threads`
+  cfg.settle_path = path;
+  TraceOptions options = TraceOptions::full();
+  options.wall_clock = false;  // side channel; never part of the comparison
+  Trace trace(std::size_t{1} << 22, options);
+  Artifacts a;
+  JsonlSink jsonl(a.jsonl);
+  trace.add_sink(&jsonl);
+  Network net(g, seed, cfg);
+  net.attach_trace(&trace);
+  cycle::SolveOptions opts;
+  opts.collect_metrics = true;
+  cycle::MwcReport report = cycle::solve(net, opts);
+  net.attach_trace(nullptr);
+  a.value = report.result.value;
+  a.status = cycle::to_string(report.status);
+  a.metrics_json = report.metrics.to_json();
+  a.run_stats = report.run.stats;
+  a.net_totals = net.stats();
+  return a;
+}
+
+// Both settle paths at every thread count against the legacy sequential
+// reference: one workload, ten executions, all byte-identical.
+void expect_paths_identical(const Graph& g, std::uint64_t seed,
+                            const NetworkConfig& cfg) {
+  const Artifacts ref = run_solve(g, seed, cfg, 1, SettlePath::kLegacy);
+  ASSERT_FALSE(ref.jsonl.empty());
+  ASSERT_FALSE(ref.metrics_json.empty());
+  for (int threads : kThreadCounts) {
+    for (SettlePath path : {SettlePath::kLegacy, SettlePath::kFrontier}) {
+      const Artifacts got = run_solve(g, seed, cfg, threads, path);
+      const char* name = path == SettlePath::kLegacy ? "legacy" : "frontier";
+      EXPECT_EQ(got.value, ref.value) << name << " t=" << threads;
+      EXPECT_EQ(got.status, ref.status) << name << " t=" << threads;
+      EXPECT_EQ(got.run_stats, ref.run_stats) << name << " t=" << threads;
+      EXPECT_TRUE(got.net_totals == ref.net_totals) << name << " t=" << threads;
+      EXPECT_EQ(got.metrics_json, ref.metrics_json)
+          << "metrics JSON diverged: " << name << " t=" << threads;
+      EXPECT_EQ(got.jsonl, ref.jsonl)
+          << "trace JSONL diverged: " << name << " t=" << threads;
+    }
+  }
+}
+
+// ---------- solve-level A/B -------------------------------------------------
+
+TEST(FrontierEngine, ExactSolveByteIdenticalAcrossPathsAndThreads) {
+  expect_paths_identical(test_graph(3), 17, NetworkConfig{});
+}
+
+TEST(FrontierEngine, ShuffledSchedulePinsTheSparseBuilder) {
+  // Adversarial shuffling consumes schedule_rng_ as a function of the
+  // pre-dedup invocation list, so the frontier path pins its builder to the
+  // sparse branch under shuffle_deliveries; randomness must still replay.
+  NetworkConfig cfg;
+  cfg.shuffle_deliveries = true;
+  expect_paths_identical(test_graph(5), 23, cfg);
+}
+
+TEST(FrontierEngine, FaultsAndReliableTransportReplayIdentically) {
+  // Drop/corrupt decisions consume the injector RNG once per settled
+  // message in engine order, and the ARQ layer's retransmission frames are
+  // multi-word - the frontier path must route them through its spill pool
+  // without perturbing a single draw.
+  NetworkConfig cfg;
+  cfg.faults.drop_prob = 0.12;
+  cfg.faults.corrupt_prob = 0.05;
+  cfg.reliable_transport = true;
+  expect_paths_identical(test_graph(8, 32, 70), 29, cfg);
+}
+
+TEST(FrontierEngine, CrashesVaporizeBothQueueShapesAlike) {
+  // crash_node walks the pending queue of every incident direction; the
+  // frontier path must drop the same messages and count the same words out
+  // of its packed entries (spill slots freed, not leaked - ASan checks).
+  NetworkConfig cfg;
+  cfg.faults.crashes.push_back(CrashFault{4, 6});
+  cfg.faults.crashes.push_back(CrashFault{11, 14});
+  expect_paths_identical(test_graph(13, 36, 80), 31, cfg);
+}
+
+TEST(FrontierEngine, DirectedMultiWordMessagesThroughTheSpillPool) {
+  // The directed 2-approx sends the restricted-BFS Q(v) lists of
+  // Algorithm 3 - the long messages that overflow Message's inline buffer.
+  // Legacy queues carry them as Message objects; the frontier path parks
+  // them in its spill pool and must deliver identical bytes.
+  support::Rng rng(41);
+  Graph g = graph::random_strongly_connected(64, 192, WeightRange{1, 12}, rng);
+  const Artifacts ref = run_solve(g, 37, NetworkConfig{}, 1, SettlePath::kLegacy);
+  for (int threads : kThreadCounts) {
+    const Artifacts got =
+        run_solve(g, 37, NetworkConfig{}, threads, SettlePath::kFrontier);
+    EXPECT_TRUE(got == ref) << "t=" << threads;
+  }
+}
+
+// ---------- randomized fuzz ------------------------------------------------
+
+// One MultiBfs execution's observables: the full distance/parent matrices
+// plus the run and engine counters.
+struct BfsArtifacts {
+  std::vector<graph::Weight> dist;
+  std::vector<NodeId> parent;
+  RunStats stats;
+  NetworkStats net_totals;
+
+  friend bool operator==(const BfsArtifacts&, const BfsArtifacts&) = default;
+};
+
+BfsArtifacts run_bfs(const Graph& g, std::uint64_t seed,
+                     const MultiBfsParams& params, int threads,
+                     SettlePath path) {
+  NetworkConfig cfg;
+  cfg.threads = threads;
+  cfg.clamp_threads = false;
+  cfg.settle_path = path;
+  Network net(g, seed, cfg);
+  BfsArtifacts a;
+  MultiBfsParams p = params;
+  MultiBfs bfs = run_multi_bfs(net, std::move(p), &a.stats);
+  const int k = bfs.source_count();
+  for (NodeId v = 0; v < net.n(); ++v) {
+    for (int i = 0; i < k; ++i) {
+      a.dist.push_back(bfs.dist(v, i));
+      a.parent.push_back(bfs.parent(v, i));
+    }
+  }
+  a.net_totals = net.stats();
+  return a;
+}
+
+TEST(FrontierEngine, RandomizedMultiBfsFuzz) {
+  // Random graphs x delay modes x directions x sigma caps: the legacy and
+  // frontier paths must agree on every matrix entry and every counter at
+  // every thread count. 12 scenarios x 6 executions each.
+  support::Rng meta(2024);
+  for (int iter = 0; iter < 12; ++iter) {
+    const int n = 24 + static_cast<int>(meta.next_below(40));
+    const int m = n + static_cast<int>(meta.next_below(static_cast<std::uint64_t>(2 * n)));
+    const bool directed = (iter % 3) == 2;
+    support::Rng gen(meta.next_u64());
+    Graph g = directed
+                  ? graph::random_strongly_connected(n, 3 * n, WeightRange{1, 9}, gen)
+                  : graph::random_connected(n, m, WeightRange{1, 9}, gen);
+    MultiBfsParams params;
+    const int k = 1 + static_cast<int>(meta.next_below(5));
+    for (int i = 0; i < k; ++i) {
+      params.sources.push_back(
+          static_cast<NodeId>(meta.next_below(static_cast<std::uint64_t>(n))));
+    }
+    params.mode = (iter % 2) == 0 ? DelayMode::kUnitDelay : DelayMode::kWeightDelay;
+    if (iter % 4 == 1) params.sigma = 2;
+    if (directed && (iter % 2) == 0) params.reverse = true;
+    if (iter % 5 == 0) params.tick_limit = static_cast<graph::Weight>(n / 2);
+    const std::uint64_t seed = meta.next_u64();
+
+    const BfsArtifacts ref = run_bfs(g, seed, params, 1, SettlePath::kLegacy);
+    for (int threads : {1, 2}) {
+      for (SettlePath path : {SettlePath::kLegacy, SettlePath::kFrontier}) {
+        const BfsArtifacts got = run_bfs(g, seed, params, threads, path);
+        EXPECT_TRUE(got == ref)
+            << "iter=" << iter << " threads=" << threads << " path="
+            << (path == SettlePath::kLegacy ? "legacy" : "frontier");
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mwc::congest

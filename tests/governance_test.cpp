@@ -82,6 +82,7 @@ TEST(Governance, RoundBudgetStopsIdenticallyAtEveryThreadCount) {
   for (int threads : {1, 2, 4}) {
     NetworkConfig cfg;
     cfg.threads = threads;
+    cfg.clamp_threads = false;  // the sweep must really run at `threads`
     Network net(g, 7, cfg);
     Governor governor(Budget{.max_rounds = 120});
     SolveOptions opts;
@@ -225,6 +226,7 @@ MwcReport run_checkpointed(const Graph& g, std::uint64_t seed, int threads,
                            std::uint64_t die_at_round) {
   NetworkConfig cfg;
   cfg.threads = threads;
+  cfg.clamp_threads = false;  // the sweep must really run at `threads`
   Network net(g, seed, cfg);
 
   CheckpointSession session(files.ckpt);

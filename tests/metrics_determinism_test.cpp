@@ -42,6 +42,7 @@ MetricsSnapshot profile_solve(const Graph& g, std::uint64_t seed, int threads,
                               NetworkConfig base = NetworkConfig{}) {
   NetworkConfig cfg = base;
   cfg.threads = threads;
+  cfg.clamp_threads = false;  // the sweep must really run at `threads`
   Network net(g, seed, cfg);
   cycle::SolveOptions opts;
   opts.collect_metrics = true;
@@ -94,6 +95,7 @@ TEST(MetricsDeterminism, KSourceBfsAutoSnapshot) {
   auto run = [&](int threads) {
     NetworkConfig cfg;
     cfg.threads = threads;
+    cfg.clamp_threads = false;  // the sweep must really run at `threads`
     Network net(g, 4, cfg);
     return ksssp::k_source_bfs_auto(net, sources);
   };

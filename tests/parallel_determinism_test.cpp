@@ -55,6 +55,7 @@ template <typename Body>
 Artifacts run_scenario(const Graph& g, std::uint64_t seed, NetworkConfig cfg,
                        int threads, const Body& body) {
   cfg.threads = threads;
+  cfg.clamp_threads = false;  // the sweep must really run at `threads`
   TraceOptions options = TraceOptions::full();
   options.wall_clock = false;  // side channel; never part of the comparison
   Trace trace(std::size_t{1} << 22, options);

@@ -31,6 +31,7 @@ NetworkConfig shuffled(int threads = 1) {
   NetworkConfig cfg;
   cfg.shuffle_deliveries = true;
   cfg.threads = threads;
+  cfg.clamp_threads = false;  // the fuzz must really run at `threads`
   return cfg;
 }
 

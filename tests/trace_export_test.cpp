@@ -27,6 +27,7 @@ using graph::WeightRange;
 std::string record_jsonl(const Graph& g, std::uint64_t seed, NetworkConfig cfg,
                          int threads) {
   cfg.threads = threads;
+  cfg.clamp_threads = false;  // the sweep must really run at `threads`
   TraceOptions options = TraceOptions::full();
   options.wall_clock = false;
   Trace trace(std::size_t{1} << 10, options);  // small ring; sink is lossless

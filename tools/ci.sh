@@ -12,6 +12,8 @@
 #   tools/ci.sh faults     corruption + crash-recovery smoke (ASan and TSan)
 #   tools/ci.sh governance budgets, deadline, SIGKILL+resume smoke (ASan and
 #                          TSan)
+#   tools/ci.sh engine     settle-path A/B identity (ASan and TSan) + a
+#                          bench_engine --quick throughput smoke
 #
 # Stages use separate build trees (build-ci/, build-ci-asan/, build-ci-tsan/)
 # so they never poison an incremental developer build/.
@@ -285,6 +287,55 @@ if [[ "$stage" == "all" || "$stage" == "governance" ]]; then
     grep -q "different seed" "$work/refused.txt" \
       || { echo "ci: wrong-seed resume lacks the diagnostic ($dir)"; exit 1; }
   done
+fi
+
+if [[ "$stage" == "all" || "$stage" == "engine" ]]; then
+  echo "=== frontier engine: settle-path A/B identity + perf smoke ==="
+  # The frontier settle path's contract under both sanitizers: reports,
+  # metrics JSON, and trace bytes identical to the legacy queues at threads
+  # 1/2/4 (frontier_engine_test), with ASan watching the spill pool's slot
+  # recycling and TSan the packed-queue handoff to the workers. Then a
+  # plain-build bench_engine --quick must show the frontier path actually
+  # faster than legacy single-threaded - throughput regressions fail here,
+  # not in a quarterly bench review.
+  export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+  export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+  export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+  cmake -B build-ci-asan -S . -DCONGEST_MWC_WERROR=ON \
+    -DMWC_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=Debug
+  cmake --build build-ci-asan -j "$jobs" --target frontier_engine_test
+  build-ci-asan/tests/frontier_engine_test
+  cmake -B build-ci-tsan -S . -DCONGEST_MWC_WERROR=ON -DMWC_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-ci-tsan -j "$jobs" --target frontier_engine_test
+  build-ci-tsan/tests/frontier_engine_test
+
+  dir=build-ci
+  cmake -B "$dir" -S . -DCONGEST_MWC_WERROR=ON
+  cmake --build "$dir" -j "$jobs" --target bench_engine
+  work="$dir/engine-smoke"
+  mkdir -p "$work"
+  (cd "$work" && ../bench/bench_engine --quick > bench.txt)
+  if grep -q "| NO" "$work/bench.txt"; then
+    echo "ci: A5a row not identical to the legacy baseline"; exit 1
+  fi
+  if command -v python3 > /dev/null; then
+    python3 - "$work/BENCH_ENGINE.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+metrics = {}
+for sec in doc["sections"]:
+    metrics.update(sec["metrics"])
+assert metrics.get("hardware_threads", 0) >= 1, "preamble lacks hardware_threads"
+speedup = metrics["frontier_speedup_n256_t1"]
+# Conservative floor (measured ~2.3x): catches "frontier silently fell back
+# to legacy" and order-of-magnitude regressions, not benchmark noise.
+assert speedup >= 1.3, f"frontier t=1 speedup {speedup:.2f} < 1.3x over legacy"
+print(f"ci: frontier speedup n=256 t=1: {speedup:.2f}x over legacy")
+EOF
+  else
+    echo "ci: python3 not found, skipping throughput check"
+  fi
 fi
 
 echo "ci: all requested stages passed"

@@ -381,6 +381,10 @@ int cmd_run(int argc, char** argv) {
     std::fprintf(stderr, "--threads must be >= 1\n");
     return usage();
   }
+  // An explicit --threads=T is a request, not a hint: honor it even beyond
+  // hardware concurrency (results are bit-identical either way; CI relies
+  // on oversubscribed runs to shake out scheduling races).
+  cfg.clamp_threads = false;
   const double epsilon = flags.get_double("epsilon", 0.5);
   if (epsilon <= 0.0) {
     std::fprintf(stderr, "--epsilon must be > 0\n");
