@@ -23,6 +23,7 @@
 #include "congest/arena.h"
 #include "congest/network.h"
 #include "graph/generators.h"
+#include "mwc/api.h"
 #include "mwc/directed_mwc.h"
 #include "mwc/exact.h"
 #include "support/flags.h"
@@ -248,6 +249,76 @@ void run_arena_report(bool quick) {
   bench::emit(table);
 }
 
+// A5d: what the observability layers cost. Three variants of the same
+// exact solve - bare, with the per-phase metrics profiler, and with metrics
+// plus the congestion observatory (per-link ledger, round timeline, engine
+// high-water marks) - measured in interleaved repetitions like A5a, each
+// variant keeping its best CPU rep. The simulated counters must not move:
+// instrumentation observes the protocol, it never steers it. CI gates
+// observatory_overhead_pct (ledger cost on top of plain metrics) below 5%.
+void run_observatory_report(bool quick) {
+  bench::section("A5d: observatory overhead (metrics + congestion ledger)");
+  bench::note("overhead of --metrics and --metrics --congestion over a bare "
+              "solve; interleaved reps, best cpu rep per variant; detached "
+              "instrumentation must cost nothing measurable");
+  const int n = quick ? 256 : 512;
+  support::Rng rng(static_cast<std::uint64_t>(n) + 11);
+  Graph g = graph::random_connected(n, 3 * n, WeightRange{1, 9}, rng);
+  struct Variant {
+    const char* name;
+    bool metrics;
+    bool congestion;
+    double cpu = 0;
+    std::uint64_t words = 0;
+  };
+  Variant variants[] = {{"plain", false, false},
+                        {"metrics", true, false},
+                        {"observatory", true, true}};
+  const int reps = 3;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (Variant& v : variants) {
+      NetworkConfig cfg;
+      cfg.clamp_threads = false;
+      Network net(g, 5, cfg);
+      cycle::SolveOptions opts;
+      opts.mode = cycle::SolveMode::kExact;
+      opts.collect_metrics = v.metrics;
+      opts.congestion.enabled = v.congestion;
+      const double cpu_start = cpu_now();
+      (void)cycle::solve(net, opts);
+      const double cpu = cpu_now() - cpu_start;
+      if (rep == 0) {
+        v.cpu = cpu;
+        v.words = net.stats().words;
+      } else {
+        if (net.stats().words != v.words) {
+          std::fprintf(stderr, "bench_engine: instrumentation moved words\n");
+          std::abort();
+        }
+        v.cpu = std::min(v.cpu, cpu);
+      }
+    }
+  }
+  const Variant& plain = variants[0];
+  const Variant& metrics = variants[1];
+  const Variant& observatory = variants[2];
+  support::Table table({"variant", "cpu s", "Mwords/s", "vs plain"});
+  for (const Variant& v : variants) {
+    table.add_row(
+        {v.name, support::Table::fmt(v.cpu, 3),
+         support::Table::fmt(static_cast<double>(v.words) / v.cpu / 1e6, 2),
+         support::Table::fmt((v.cpu - plain.cpu) / plain.cpu * 100.0, 1)});
+  }
+  bench::emit(table);
+  bench::metric("plain_cpu_seconds", plain.cpu);
+  bench::metric("metrics_cpu_seconds", metrics.cpu);
+  bench::metric("observatory_cpu_seconds", observatory.cpu);
+  bench::metric("metrics_overhead_pct",
+                (metrics.cpu - plain.cpu) / plain.cpu * 100.0);
+  bench::metric("observatory_overhead_pct",
+                (observatory.cpu - metrics.cpu) / metrics.cpu * 100.0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -257,5 +328,6 @@ int main(int argc, char** argv) {
   run_thread_sweep(quick);
   run_arena_report(quick);
   run_frontier_report(quick);
+  run_observatory_report(quick);
   return 0;
 }

@@ -1,0 +1,242 @@
+#include "congest/congestion.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace mwc::congest {
+
+namespace {
+
+void append_u64(std::string& out, const char* key, std::uint64_t v,
+                bool trailing_comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %" PRIu64 "%s", key, v,
+                trailing_comma ? ", " : "");
+  out += buf;
+}
+
+// Doubles are formatted with %.6g: short, locale-independent, and the same
+// bytes for the same bits on every run - the determinism suite compares the
+// serialized form across thread counts.
+void append_f64(std::string& out, const char* key, double v,
+                bool trailing_comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.6g%s", key, v,
+                trailing_comma ? ", " : "");
+  out += buf;
+}
+
+void append_quoted(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+// ---- CongestionSnapshot ----------------------------------------------------
+
+void CongestionSnapshot::append_json(std::string& out,
+                                     const char* indent) const {
+  const std::string in1 = indent;
+  const std::string in2 = in1 + "  ";
+  const std::string in3 = in2 + "  ";
+  out += "{\n" + in2;
+  append_u64(out, "rounds_observed", rounds_observed);
+  append_u64(out, "total_words", total_words);
+  append_u64(out, "spill_peak_slots", spill_peak_slots);
+  append_u64(out, "overflow_peak_entries", overflow_peak_entries,
+             /*trailing_comma=*/false);
+  out += ",\n" + in2 + "\"top_links\": [";
+  for (std::size_t i = 0; i < top_links.size(); ++i) {
+    out += i == 0 ? "\n" + in3 : ",\n" + in3;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"from\": %d, \"to\": %d, \"words\": %" PRIu64 "}",
+                  top_links[i].from, top_links[i].to, top_links[i].words);
+    out += buf;
+  }
+  out += top_links.empty() ? "]" : "\n" + in2 + "]";
+  out += ",\n" + in2;
+  append_u64(out, "timeline_dropped", timeline_dropped,
+             /*trailing_comma=*/false);
+  out += ",\n" + in2 + "\"timeline\": [";
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    out += i == 0 ? "\n" + in3 : ",\n" + in3;
+    const RoundSample& s = timeline[i];
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"run\": %" PRIu64 ", \"round\": %" PRIu64
+                  ", \"frontier_nodes\": %" PRIu64 ", \"words\": %" PRIu64
+                  ", \"backlog\": %" PRIu64 "}",
+                  s.run, s.round, s.frontier_nodes, s.words, s.backlog);
+    out += buf;
+  }
+  out += timeline.empty() ? "]" : "\n" + in2 + "]";
+  out += "\n" + in1 + "}";
+}
+
+std::string CongestionSnapshot::to_json() const {
+  std::string out;
+  append_json(out, "");
+  out += "\n";
+  return out;
+}
+
+// ---- CongestionLedger ------------------------------------------------------
+
+CongestionLedger::CongestionLedger(CongestionOptions options)
+    : options_(options) {
+  if (options_.top_k < 0) options_.top_k = 0;
+  if (options_.timeline_capacity < 0) options_.timeline_capacity = 0;
+}
+
+void CongestionLedger::bind(
+    std::vector<std::pair<graph::NodeId, graph::NodeId>> endpoints) {
+  if (endpoints == endpoints_) return;  // re-attach to the same network
+  endpoints_ = std::move(endpoints);
+  dir_words_.assign(endpoints_.size(), 0);
+  // A different direction table means a different network: everything
+  // observed so far belonged to the old one.
+  reset();
+}
+
+void CongestionLedger::add_dir_words(int dir_idx, std::uint64_t words) {
+  dir_words_[static_cast<std::size_t>(dir_idx)] += words;
+  total_words_ += words;
+}
+
+void CongestionLedger::on_round(std::uint64_t run, std::uint64_t round,
+                                std::uint64_t frontier_nodes,
+                                std::uint64_t words, std::uint64_t backlog) {
+  RoundSample s{run, round, frontier_nodes, words, backlog};
+  const std::size_t cap = static_cast<std::size_t>(options_.timeline_capacity);
+  if (cap == 0) {
+    ++ring_total_;
+    return;
+  }
+  if (ring_.size() < cap) {
+    ring_.push_back(s);
+  } else {
+    ring_[ring_head_] = s;  // overwrite the oldest
+    ring_head_ = (ring_head_ + 1) % cap;
+  }
+  ++ring_total_;
+}
+
+void CongestionLedger::note_engine_marks(std::uint64_t spill_peak_slots,
+                                         std::uint64_t overflow_peak_entries) {
+  spill_peak_slots_ = std::max(spill_peak_slots_, spill_peak_slots);
+  overflow_peak_entries_ =
+      std::max(overflow_peak_entries_, overflow_peak_entries);
+}
+
+CongestionSnapshot CongestionLedger::snapshot() const {
+  CongestionSnapshot snap;
+  snap.observed = true;
+  snap.rounds_observed = ring_total_;
+  snap.total_words = total_words_;
+  snap.spill_peak_slots = spill_peak_slots_;
+  snap.overflow_peak_entries = overflow_peak_entries_;
+
+  // Top-K hottest links. Directions with zero traffic never make the list;
+  // ties break toward the smaller (from, to) pair so the selection is a
+  // pure function of the accumulated loads.
+  std::vector<LinkLoad> loads;
+  loads.reserve(dir_words_.size());
+  for (std::size_t d = 0; d < dir_words_.size(); ++d) {
+    if (dir_words_[d] == 0) continue;
+    loads.push_back({endpoints_[d].first, endpoints_[d].second, dir_words_[d]});
+  }
+  auto hotter = [](const LinkLoad& a, const LinkLoad& b) {
+    if (a.words != b.words) return a.words > b.words;
+    if (a.from != b.from) return a.from < b.from;
+    return a.to < b.to;
+  };
+  const std::size_t k =
+      std::min(loads.size(), static_cast<std::size_t>(options_.top_k));
+  std::partial_sort(loads.begin(), loads.begin() + k, loads.end(), hotter);
+  loads.resize(k);
+  snap.top_links = std::move(loads);
+
+  // Timeline: oldest retained sample first.
+  snap.timeline.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    snap.timeline.push_back(ring_[(ring_head_ + i) % ring_.size()]);
+  }
+  snap.timeline_dropped = ring_total_ - ring_.size();
+  return snap;
+}
+
+void CongestionLedger::reset() {
+  std::fill(dir_words_.begin(), dir_words_.end(), 0);
+  ring_.clear();
+  ring_head_ = 0;
+  ring_total_ = 0;
+  total_words_ = 0;
+  spill_peak_slots_ = 0;
+  overflow_peak_entries_ = 0;
+}
+
+// ---- AdherenceReport -------------------------------------------------------
+
+void AdherenceReport::append_json(std::string& out, const char* indent) const {
+  const std::string in1 = indent;
+  const std::string in2 = in1 + "  ";
+  const std::string in3 = in2 + "  ";
+  out += "{\n" + in2 + "\"algorithm\": ";
+  append_quoted(out, algorithm);
+  out += ",\n" + in2;
+  append_u64(out, "n", n);
+  append_u64(out, "m", m);
+  append_u64(out, "diameter", static_cast<std::uint64_t>(diameter),
+             /*trailing_comma=*/false);
+  out += ",\n" + in2 + "\"entries\": [";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out += i == 0 ? "\n" + in3 : ",\n" + in3;
+    const AdherenceEntry& e = entries[i];
+    out += "{\"scope\": ";
+    append_quoted(out, e.scope);
+    out += ", \"counter\": ";
+    append_quoted(out, e.counter);
+    out += ", \"form\": ";
+    append_quoted(out, e.form);
+    out += ", ";
+    append_f64(out, "predicted", e.predicted);
+    append_u64(out, "observed", e.observed);
+    append_f64(out, "constant", e.constant);
+    append_f64(out, "threshold", e.threshold);
+    out += "\"verdict\": ";
+    append_quoted(out, e.verdict);
+    out += "}";
+  }
+  out += entries.empty() ? "]" : "\n" + in2 + "]";
+  out += ",\n" + in2 + "\"verdict\": ";
+  append_quoted(out, verdict);
+  out += "\n" + in1 + "}";
+}
+
+std::string AdherenceReport::to_json() const {
+  std::string out;
+  append_json(out, "");
+  out += "\n";
+  return out;
+}
+
+}  // namespace mwc::congest

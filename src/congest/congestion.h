@@ -1,0 +1,184 @@
+// The congestion observatory: per-link/per-round attribution and
+// bound-adherence data types.
+//
+// The paper's results are stated entirely in rounds and congestion - Table 1
+// upper bounds against the Omega(n/log n) and Omega(sqrt(n)/log n) cut
+// arguments - yet the aggregate counters of metrics.h only say *how much*
+// traffic a solve moved, never *where* or *when*. A CongestionLedger
+// attached to a Network (like Trace and Metrics: not owned, zero-cost when
+// detached) records the missing attribution:
+//
+//   * per link direction, the total words it carried across every observed
+//     run - the snapshot keeps the top-K hottest links;
+//   * per engine round, a fixed-size ring of (frontier width, words moved,
+//     end-of-round backlog) samples - the timeline a dashboard plots;
+//   * the engine-internal high-water marks: spill-pool slots in use and the
+//     deepest per-direction overflow heap (see FrontierStats in frontier.h).
+//
+// Determinism: every feeding hook runs on the Runner's host thread
+// (settle_dir, the end-of-round sample, the run-end marks), so a ledger's
+// snapshot - and its JSON - is bit-identical across NetworkConfig::threads,
+// exactly like metrics snapshots and traces. The determinism suite asserts
+// the bytes at threads 1/2/4.
+//
+// Settle-path caveat: the per-link totals and the round timeline are
+// invariant across SettlePath kLegacy/kFrontier (both paths settle the same
+// words in the same rounds). The two engine-internal marks are NOT: the
+// frontier path parks multi-word payloads in the spill pool at enqueue time
+// while the legacy path only spills delivered messages, and the overflow
+// heap exists only on the frontier path (0 under kLegacy). The JSON keys
+// are stable across both paths; only these two values may differ.
+//
+// Checkpoint caveat: ledger state is not checkpointed. A resumed solve's
+// congestion section covers only the rounds executed after the restore, so
+// the byte-identical-resume guarantee of docs/governance.md applies to
+// metrics/trace/report, not to an attached ledger.
+//
+// AdherenceReport lives here too: the pure-data result of fitting a solve's
+// observed round/word counters against the dispatched algorithm's predicted
+// closed-form complexity (the registry and the fit itself are in
+// mwc/bounds.h - the congest layer knows counters, not algorithms).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mwc::congest {
+
+struct CongestionOptions {
+  // Opt-in master switch for SolveOptions embedding: solve() attaches a
+  // ledger only when set. A ledger attached directly to a Network observes
+  // runs regardless of this flag.
+  bool enabled = false;
+  // Hottest links kept in the snapshot (ties broken toward smaller
+  // (from, to), so the selection is deterministic).
+  int top_k = 8;
+  // Per-round timeline ring capacity; the most recent samples are kept and
+  // the snapshot counts how many older ones were evicted.
+  int timeline_capacity = 256;
+};
+
+// One link direction's accumulated load.
+struct LinkLoad {
+  graph::NodeId from = graph::kNoNode;
+  graph::NodeId to = graph::kNoNode;
+  std::uint64_t words = 0;
+
+  friend bool operator==(const LinkLoad&, const LinkLoad&) = default;
+};
+
+// One engine round's sample.
+struct RoundSample {
+  std::uint64_t run = 0;
+  std::uint64_t round = 0;
+  std::uint64_t frontier_nodes = 0;  // nodes invoked this round
+  std::uint64_t words = 0;           // words settled this round
+  std::uint64_t backlog = 0;         // queued words left across active dirs
+
+  friend bool operator==(const RoundSample&, const RoundSample&) = default;
+};
+
+// A point-in-time copy of everything a ledger observed. Default-constructed
+// (observed == false) it is the "no ledger was attached" value and
+// serializes to nothing (MetricsSnapshot::to_json omits the section).
+struct CongestionSnapshot {
+  bool observed = false;
+  std::uint64_t rounds_observed = 0;
+  std::uint64_t total_words = 0;
+  std::vector<LinkLoad> top_links;    // descending by words
+  std::vector<RoundSample> timeline;  // oldest retained sample first
+  std::uint64_t timeline_dropped = 0;
+  // Engine-internal, settle-path-dependent (see header comment).
+  std::uint64_t spill_peak_slots = 0;
+  std::uint64_t overflow_peak_entries = 0;
+
+  // Stable, byte-deterministic JSON object (fixed key order, integer
+  // counters) appended to `out`; `indent` is the prefix of nested lines.
+  void append_json(std::string& out, const char* indent) const;
+  std::string to_json() const;
+
+  friend bool operator==(const CongestionSnapshot&,
+                         const CongestionSnapshot&) = default;
+};
+
+// The sink. Attach with Network::attach_congestion; not owned, must outlive
+// the runs it observes. All methods are host-thread only.
+class CongestionLedger {
+ public:
+  explicit CongestionLedger(CongestionOptions options = {});
+
+  const CongestionOptions& options() const { return options_; }
+
+  // Called by Network::attach_congestion: sizes the per-direction
+  // accumulators and records the endpoints so snapshots stand alone.
+  // Idempotent for a matching direction table (re-attaching the same ledger
+  // to the same network keeps its accumulated data); a different table
+  // resets everything observed - it belonged to another network.
+  void bind(std::vector<std::pair<graph::NodeId, graph::NodeId>> endpoints);
+
+  // --- engine hooks (Runner, host thread only) --------------------------
+  void add_dir_words(int dir_idx, std::uint64_t words);
+  void on_round(std::uint64_t run, std::uint64_t round,
+                std::uint64_t frontier_nodes, std::uint64_t words,
+                std::uint64_t backlog);
+  // Run-end high-water marks (max-folded across runs; see frontier.h).
+  void note_engine_marks(std::uint64_t spill_peak_slots,
+                         std::uint64_t overflow_peak_entries);
+
+  // --- consumption ------------------------------------------------------
+  CongestionSnapshot snapshot() const;
+  // Clears everything observed; keeps the binding.
+  void reset();
+
+ private:
+  CongestionOptions options_;
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> endpoints_;
+  std::vector<std::uint64_t> dir_words_;
+  // Timeline ring: ring_[(head_ + i) % capacity] is the i-th oldest sample
+  // once saturated.
+  std::vector<RoundSample> ring_;
+  std::size_t ring_head_ = 0;
+  std::uint64_t ring_total_ = 0;
+  std::uint64_t total_words_ = 0;
+  std::uint64_t spill_peak_slots_ = 0;
+  std::uint64_t overflow_peak_entries_ = 0;
+};
+
+// ---- bound adherence (pure data; the fit lives in mwc/bounds.h) ----------
+
+// One fitted counter against one declared closed form.
+struct AdherenceEntry {
+  std::string scope;    // "total" or the phase suffix the bound matched
+  std::string counter;  // "rounds" | "words"
+  std::string form;     // human-readable closed form in n, m, D
+  double predicted = 0;        // the form evaluated at (n, m, D)
+  std::uint64_t observed = 0;  // the counter the solve recorded
+  double constant = 0;         // fitted constant: observed / predicted
+  double threshold = 0;        // verdict boundary for the constant
+  std::string verdict;         // "pass" (constant <= threshold) | "warn"
+
+  friend bool operator==(const AdherenceEntry&,
+                         const AdherenceEntry&) = default;
+};
+
+struct AdherenceReport {
+  bool evaluated = false;
+  std::string algorithm;  // MwcReport::algorithm the bounds were looked up by
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  int diameter = 0;
+  std::vector<AdherenceEntry> entries;
+  std::string verdict;  // "pass" iff every entry passes, else "warn"
+
+  void append_json(std::string& out, const char* indent) const;
+  std::string to_json() const;
+
+  friend bool operator==(const AdherenceReport&,
+                         const AdherenceReport&) = default;
+};
+
+}  // namespace mwc::congest

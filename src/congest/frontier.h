@@ -129,8 +129,10 @@ inline void fq_clear(FqSlot& s, std::vector<FqEntry>& heap) {
 // Side-channel occupancy/direction statistics of the frontier settle path,
 // accumulated by the Runner and parked on the Network per metrics phase.
 // Deliberately NOT part of RunStats, metrics snapshots, or traces: both
-// settle paths must produce byte-identical observables, and these counters
-// exist only on one of them (bench_engine A5c reads them).
+// settle paths must produce byte-identical observables, and most of these
+// counters exist only on one of them (bench_engine A5c reads them; an
+// attached CongestionLedger surfaces the two high-water marks inside the
+// opt-in `congestion` metrics section with path-stable key names).
 struct FrontierStats {
   std::uint64_t scheduled_rounds = 0;  // main-loop rounds that built a frontier
   std::uint64_t dense_rounds = 0;      // bitmap scan (bottom-up analogue)
@@ -140,6 +142,13 @@ struct FrontierStats {
   std::uint64_t active_dirs = 0;       // sum of per-round active directions
   std::uint64_t fast_words = 0;        // words settled as in-entry single words
   std::uint64_t multi_words = 0;       // words settled through spilled Messages
+  // High-water marks (max-folded, not summed). spill_peak_slots is kept by
+  // both settle paths (each spills multi-word Messages to the shared pool,
+  // though at different times, so the values are path-dependent);
+  // overflow_peak_entries counts the deepest per-direction FqEntry heap and
+  // is 0 under kLegacy.
+  std::uint64_t spill_peak_slots = 0;
+  std::uint64_t overflow_peak_entries = 0;
 
   void accumulate(const FrontierStats& o) {
     scheduled_rounds += o.scheduled_rounds;
@@ -150,6 +159,12 @@ struct FrontierStats {
     active_dirs += o.active_dirs;
     fast_words += o.fast_words;
     multi_words += o.multi_words;
+    spill_peak_slots = spill_peak_slots > o.spill_peak_slots
+                           ? spill_peak_slots
+                           : o.spill_peak_slots;
+    overflow_peak_entries = overflow_peak_entries > o.overflow_peak_entries
+                                ? overflow_peak_entries
+                                : o.overflow_peak_entries;
   }
 };
 

@@ -142,6 +142,14 @@ std::string MetricsSnapshot::to_json() const {
   }
   out += "],\n  \"error\": ";
   append_quoted(out, error);
+  if (congestion.observed) {
+    out += ",\n  \"congestion\": ";
+    congestion.append_json(out, "  ");
+  }
+  if (adherence.evaluated) {
+    out += ",\n  \"adherence\": ";
+    adherence.append_json(out, "  ");
+  }
   out += "\n}\n";
   return out;
 }

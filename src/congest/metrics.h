@@ -40,6 +40,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "congest/congestion.h"
 #include "congest/network.h"
 #include "congest/protocol.h"
 #include "graph/graph.h"
@@ -102,12 +103,24 @@ struct MetricsSnapshot {
   std::vector<std::string> open_phases;  // spans still open at snapshot time
   std::string error;                  // first recorded misuse, "" when clean
 
+  // Observatory sections, filled by cycle::solve (see mwc/api.h). Both are
+  // default-constructed - and absent from to_json() - unless their producer
+  // ran: `congestion` when SolveOptions::congestion.enabled attached a
+  // ledger (congestion.observed), `adherence` when the bound registry in
+  // mwc/bounds.h evaluated the solve (adherence.evaluated). Keeping the
+  // empty states invisible preserves the seed JSON shape byte-for-byte for
+  // every existing consumer (checkpoint resume byte-compares, ci.sh
+  // validators, frontier A/B suites).
+  CongestionSnapshot congestion;
+  AdherenceReport adherence;
+
   bool clean() const { return error.empty() && open_phases.empty(); }
   const PhaseMetrics* find(std::string_view path) const;
 
   // Stable, byte-deterministic JSON (fixed key order, integer counters):
   // {"total": {...}, "phases": [{"phase": "...", "rounds": ...}, ...],
-  //  "open_phases": [...], "error": ""}.
+  //  "open_phases": [...], "error": "" [, "congestion": {...}]
+  //  [, "adherence": {...}]}.
   std::string to_json() const;
 
   friend bool operator==(const MetricsSnapshot&, const MetricsSnapshot&) = default;

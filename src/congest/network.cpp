@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "congest/congestion.h"
 #include "congest/thread_pool.h"
 #include "support/check.h"
 
@@ -178,6 +179,15 @@ std::span<const std::int32_t> Network::comm_link_dirs(NodeId v) const {
   const std::int32_t b = nbr_offset_[static_cast<std::size_t>(v)];
   const std::int32_t e = nbr_offset_[static_cast<std::size_t>(v) + 1];
   return {nbr_dir_.data() + b, static_cast<std::size_t>(e - b)};
+}
+
+void Network::attach_congestion(CongestionLedger* ledger) {
+  congestion_ = ledger;
+  if (ledger == nullptr) return;
+  std::vector<std::pair<NodeId, NodeId>> endpoints;
+  endpoints.reserve(dirs_.size());
+  for (const Direction& d : dirs_) endpoints.emplace_back(d.from, d.to);
+  ledger->bind(std::move(endpoints));
 }
 
 void Network::note_frontier(const std::string& phase, const FrontierStats& s) {

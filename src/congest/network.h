@@ -82,6 +82,7 @@ struct NetworkConfig {
 class ThreadPool;
 class Metrics;
 class Governor;
+class CongestionLedger;
 
 // Accumulated counters of a Network over all protocol runs, as one value
 // struct (see Network::stats()). External callers migrate off the loose
@@ -187,6 +188,12 @@ class Network {
   void attach_governor(Governor* governor) { governor_ = governor; }
   Governor* governor() const { return governor_; }
 
+  // Attach a congestion ledger (nullptr detaches). Not owned; must outlive
+  // the runs it observes. Zero-cost when detached; binds the ledger to this
+  // network's link-direction table on attach. See congestion.h.
+  void attach_congestion(CongestionLedger* ledger);
+  CongestionLedger* congestion() const { return congestion_; }
+
  private:
   friend class Runner;
   friend class NodeCtx;
@@ -236,6 +243,7 @@ class Network {
   Trace* trace_ = nullptr;
   Metrics* metrics_ = nullptr;
   Governor* governor_ = nullptr;
+  CongestionLedger* congestion_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;  // lazily built by thread_pool()
 
   std::uint64_t total_rounds_ = 0;

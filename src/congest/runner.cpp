@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <utility>
 
+#include "congest/congestion.h"
 #include "congest/metrics.h"
 #include "congest/reliable_link.h"
 #include "congest/thread_pool.h"
@@ -159,6 +160,7 @@ Runner::Runner(Network& net, Protocol& proto)
   pool_ = net.thread_pool();
   metrics_ = net.metrics();
   if (metrics_ != nullptr) dir_words_.assign(net.dirs_.size(), 0);
+  congestion_ = net.congestion();
 }
 
 Runner::~Runner() = default;
@@ -202,7 +204,13 @@ void Runner::enqueue_dir(int dir_idx, Message msg, std::int64_t priority) {
     } else {
       e.spill = alloc_spill(std::move(msg));
     }
-    fq_push(h.fq, dir_cold_[static_cast<std::size_t>(dir_idx)].fq_heap, e);
+    std::vector<FqEntry>& heap =
+        dir_cold_[static_cast<std::size_t>(dir_idx)].fq_heap;
+    fq_push(h.fq, heap, e);
+    // Overflow high-water mark: the steady state (count <= 1) never enters.
+    if (h.fq.count > 1 && heap.size() > fstats_.overflow_peak_entries) {
+      fstats_.overflow_peak_entries = heap.size();
+    }
   } else {
     dir_cold_[static_cast<std::size_t>(dir_idx)].queue.push(priority, seq_++,
                                                             std::move(msg));
@@ -224,18 +232,30 @@ void Runner::enqueue_dir_word(int dir_idx, Word w, std::int64_t priority) {
   e.size = 1;
   // Steady state (queue depth <= 1) stays inside fq_push's inline-slot fast
   // path, which never dereferences the cold overflow heap.
-  fq_push(h.fq, dir_cold_[static_cast<std::size_t>(dir_idx)].fq_heap, e);
+  std::vector<FqEntry>& heap =
+      dir_cold_[static_cast<std::size_t>(dir_idx)].fq_heap;
+  fq_push(h.fq, heap, e);
+  if (h.fq.count > 1 && heap.size() > fstats_.overflow_peak_entries) {
+    fstats_.overflow_peak_entries = heap.size();
+  }
   activate_dir(dir_idx);
 }
 
 std::uint32_t Runner::alloc_spill(Message msg) {
+  std::uint32_t slot;
   if (spill_free_.empty()) {
     spill_.push_back(std::move(msg));
-    return static_cast<std::uint32_t>(spill_.size() - 1);
+    slot = static_cast<std::uint32_t>(spill_.size() - 1);
+  } else {
+    slot = spill_free_.back();
+    spill_free_.pop_back();
+    spill_[slot] = std::move(msg);
   }
-  const std::uint32_t slot = spill_free_.back();
-  spill_free_.pop_back();
-  spill_[slot] = std::move(msg);
+  // High-water mark of slots in use (both settle paths allocate through
+  // here). A plain compare in the common case; the counter is a side channel
+  // surfaced only through the opt-in congestion section (see frontier.h).
+  const std::uint64_t in_use = spill_.size() - spill_free_.size();
+  if (in_use > fstats_.spill_peak_slots) fstats_.spill_peak_slots = in_use;
   return slot;
 }
 
@@ -381,6 +401,19 @@ void Runner::trace_round_end(std::uint64_t words_before) {
                             static_cast<std::uint32_t>(stats_.words -
                                                        words_before),
                             TraceEventKind::kRoundEnd, {}});
+}
+
+void Runner::congestion_round_end(std::uint64_t words_before) {
+  if (congestion_ == nullptr) return;
+  // Post-transmit backlog: what is still queued across the directions that
+  // survived the settle step (active_dirs_ was swapped to still-active).
+  std::uint64_t backlog = 0;
+  for (int d : active_dirs_) {
+    backlog += dir_hot_[static_cast<std::size_t>(d)].queued_words;
+  }
+  congestion_->on_round(run_id_, round_,
+                        static_cast<std::uint64_t>(invocations_.size()),
+                        stats_.words - words_before, backlog);
 }
 
 void Runner::drain_transport_trace() {
@@ -599,6 +632,9 @@ void Runner::settle_dir(int dir_idx, DirTransmit& r,
   }
   if (metrics_ != nullptr) {
     dir_words_[static_cast<std::size_t>(dir_idx)] += r.words_moved;
+  }
+  if (congestion_ != nullptr) {
+    congestion_->add_dir_words(dir_idx, r.words_moved);
   }
   if (frontier_) {
     for (const DirTransmit::FqDone& done : r.fq_completed) {
@@ -875,6 +911,13 @@ RunResult Runner::run() {
         metrics_ != nullptr ? metrics_->current_path() : std::string{},
         fstats_);
   }
+  if (congestion_ != nullptr) {
+    // The run's engine-internal high-water marks (max-folded across runs).
+    // Both settle paths maintain spill_peak_slots; the overflow heap exists
+    // only on the frontier path (see frontier.h).
+    congestion_->note_engine_marks(fstats_.spill_peak_slots,
+                                   fstats_.overflow_peak_entries);
+  }
   return RunResult{outcome, stats_};
 }
 
@@ -893,6 +936,7 @@ void Runner::run_rounds() {
   std::uint64_t words_before = stats_.words;
   transmit_step();
   trace_round_end(words_before);
+  congestion_round_end(words_before);
 
   std::vector<NodeId> active_nodes;
   std::vector<std::uint64_t> last_invoked(static_cast<std::size_t>(net_.n()),
@@ -994,6 +1038,7 @@ void Runner::run_rounds() {
     words_before = stats_.words;
     transmit_step();
     trace_round_end(words_before);
+    congestion_round_end(words_before);
   }
 }
 

@@ -213,6 +213,10 @@ class Runner {
   void trace_round_begin();
   void trace_round_end(std::uint64_t words_before);
   void drain_transport_trace();
+  // Congestion-ledger round sample (no-op when no ledger is attached). Runs
+  // on the host thread right after trace_round_end, so the timeline is
+  // bit-identical across thread counts like every other observable.
+  void congestion_round_end(std::uint64_t words_before);
   // Converts the pool's per-lane busy windows from the last parallel region
   // into WallSpan records (side channel; wall-clock, non-deterministic).
   void record_wall_spans(const char* region);
@@ -280,6 +284,11 @@ class Runner {
   std::vector<std::uint64_t> dir_words_;  // per direction, this run
   std::uint64_t run_cut_words_ = 0;
   std::uint64_t run_crashes_ = 0;
+
+  // Congestion observatory (nullptr when no ledger is attached). Fed on the
+  // same host-thread merge paths as metrics_, so ledger snapshots inherit
+  // the cross-thread-count byte-identity for free. See congestion.h.
+  CongestionLedger* congestion_ = nullptr;
 
   // Fault machinery (null / empty on fault-free configs).
   std::unique_ptr<FaultInjector> injector_;

@@ -7,7 +7,10 @@
 #include <utility>
 
 #include "congest/checkpoint.h"
+#include "congest/congestion.h"
 #include "congest/runner.h"
+#include "graph/sequential.h"
+#include "mwc/bounds.h"
 #include "mwc/directed_mwc.h"
 #include "mwc/exact.h"
 #include "mwc/girth_approx.h"
@@ -171,6 +174,9 @@ std::uint64_t solve_options_digest(const SolveOptions& options) {
   std::memcpy(&eps_bits, &options.epsilon, sizeof(eps_bits));
   w.u64(eps_bits);
   w.u8(options.collect_metrics ? 1 : 0);
+  // The congestion observatory is excluded like budgets: it changes what is
+  // *recorded*, never what executes, and ledger state is not checkpointed
+  // anyway - resuming a plain solve with the observatory on is legitimate.
   return congest::fnv1a(w.bytes());
 }
 
@@ -223,6 +229,15 @@ MwcReport solve(congest::Network& net, const SolveOptions& options) {
 
   std::optional<congest::ScopedMetrics> scoped;
   if (options.collect_metrics) scoped.emplace(net);
+  // Congestion observatory: a private ledger for the duration of this solve;
+  // whatever ledger the caller attached is restored (with its data intact -
+  // bind() is idempotent) afterwards.
+  std::optional<congest::CongestionLedger> ledger;
+  congest::CongestionLedger* prev_ledger = net.congestion();
+  if (options.congestion.enabled) {
+    ledger.emplace(options.congestion);
+    net.attach_congestion(&*ledger);
+  }
   if (ckpt != nullptr && ckpt->resuming() && ckpt->has_metrics()) {
     // Replay the cut-time metrics into whichever sink now observes the
     // solve; phases recorded after this append in the same order as an
@@ -241,9 +256,27 @@ MwcReport solve(congest::Network& net, const SolveOptions& options) {
                            congest::to_string(e.result().outcome) +
                            ") before producing a result";
   }
+  if (ledger.has_value()) {
+    report.metrics.congestion = ledger->snapshot();
+    net.attach_congestion(prev_ledger);
+  }
   if (scoped.has_value()) {
+    // The snapshot overwrites report.metrics wholesale, so graft the
+    // already-taken congestion section back on afterwards.
+    congest::CongestionSnapshot congestion =
+        std::move(report.metrics.congestion);
     report.metrics = scoped->snapshot();
+    report.metrics.congestion = std::move(congestion);
     scoped->release();
+    // Bound adherence: a pure function of the snapshot and the instance, so
+    // it is safe under checkpoint resume (the restored snapshot reproduces
+    // the uninterrupted one byte-for-byte, hence so does the fit).
+    const graph::Graph& g = net.problem_graph();
+    report.metrics.adherence = fit_bounds(
+        report.metrics, report.algorithm,
+        static_cast<std::uint64_t>(g.node_count()),
+        static_cast<std::uint64_t>(g.edge_count()),
+        graph::seq::communication_diameter(g));
   }
   if (governor != nullptr) {
     report.stop = governor->stop();

@@ -105,8 +105,23 @@ struct SolveOptions {
   double epsilon = 0.5;
   // Record a per-phase MetricsSnapshot of the solve into MwcReport::metrics
   // (a private sink is attached for the duration; an already-attached
-  // outer Metrics still observes every run via absorb()).
+  // outer Metrics still observes every run via absorb()). Also evaluates
+  // the bound-adherence registry (mwc/bounds.h) over the snapshot, filling
+  // MwcReport::metrics.adherence - a pure function of the snapshot and the
+  // graph, so it adds nothing to the simulated execution.
   bool collect_metrics = false;
+
+  // Congestion observatory (congest/congestion.h). When enabled (requires
+  // collect_metrics to be useful - the snapshot is its only output), solve()
+  // attaches a private CongestionLedger for its duration and fills
+  // MwcReport::metrics.congestion with per-link top-K loads, the per-round
+  // timeline, and the engine's spill/overflow high-water marks. Separate
+  // from collect_metrics because ledger state is not checkpointed: a
+  // resumed solve's metrics stay byte-identical to an uninterrupted run's
+  // only while this is off (see congestion.h, "Checkpoint caveat"). An
+  // already-attached outer ledger is restored afterwards and keeps
+  // observing its own runs.
+  congest::CongestionOptions congestion;
 
   // Resource governance (congest/governor.h; not owned, may be null).
   // solve() attaches the governor to the network for its duration, re-arms

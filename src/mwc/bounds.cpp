@@ -1,0 +1,196 @@
+#include "mwc/bounds.h"
+
+#include <cmath>
+#include <cstring>
+#include <string_view>
+
+namespace mwc::cycle {
+
+namespace {
+
+using congest::AdherenceEntry;
+using congest::AdherenceReport;
+using congest::MetricsSnapshot;
+using congest::PhaseMetrics;
+
+// Closed-form evaluator over the instance parameters. D enters as D + 1 so
+// forms stay finite on diameter-0 (single-node) topologies.
+using Form = double (*)(double n, double m, double d);
+
+struct TotalBound {
+  const char* counter;  // "rounds" | "words"
+  const char* form;
+  Form eval;
+  double threshold;
+};
+
+struct AlgoBounds {
+  const char* algorithm;
+  TotalBound rounds;
+  TotalBound words;
+};
+
+struct PhaseBound {
+  // Matched against the last '/'-separated component of the phase path; the
+  // registered form bounds ONE protocol run of that primitive.
+  const char* suffix;
+  const char* form;
+  Form eval;
+  double threshold;
+};
+
+double lg(double x) { return std::log2(x < 2 ? 2 : x); }
+
+// ---- per-algorithm totals (Table 1 rows, with the implementation's
+// polylog factors spelled out) ----------------------------------------------
+
+constexpr const char* kExactRounds = "(n + D) * log2(n)";
+constexpr const char* kExactWords = "n * m";
+constexpr const char* kGirthRounds = "(sqrt(n) + D) * log2(n)^2";
+constexpr const char* kDir2Rounds = "(n^(4/5) + D) * log2(n)^2";
+constexpr const char* kWUndirRounds = "(n^(2/3) + D) * log2(n)^2";
+constexpr const char* kWDirRounds = "(n^(4/5) + D) * log2(n)^2";
+constexpr const char* kApproxWords = "m * log2(n)^2";
+
+const AlgoBounds kAlgoBounds[] = {
+    {"exact",
+     {"rounds", kExactRounds,
+      [](double n, double, double d) { return (n + d) * lg(n); }, 16.0},
+     {"words", kExactWords, [](double n, double m, double) { return n * m; },
+      8.0}},
+    {"girth-approx",
+     {"rounds", kGirthRounds,
+      [](double n, double, double d) {
+        return (std::sqrt(n) + d) * lg(n) * lg(n);
+      },
+      32.0},
+     {"words", kApproxWords,
+      [](double n, double m, double) { return m * lg(n) * lg(n); }, 32.0}},
+    {"directed-2approx",
+     {"rounds", kDir2Rounds,
+      [](double n, double, double d) {
+        return (std::pow(n, 0.8) + d) * lg(n) * lg(n);
+      },
+      32.0},
+     {"words", kApproxWords,
+      [](double n, double m, double) { return m * lg(n) * lg(n); }, 64.0}},
+    {"weighted-undirected",
+     {"rounds", kWUndirRounds,
+      [](double n, double, double d) {
+        return (std::cbrt(n * n) + d) * lg(n) * lg(n);
+      },
+      64.0},
+     {"words", kApproxWords,
+      [](double n, double m, double) { return m * lg(n) * lg(n); }, 64.0}},
+    {"weighted-directed",
+     {"rounds", kWDirRounds,
+      [](double n, double, double d) {
+        return (std::pow(n, 0.8) + d) * lg(n) * lg(n);
+      },
+      64.0},
+     {"words", kApproxWords,
+      [](double n, double m, double) { return m * lg(n) * lg(n); }, 64.0}},
+};
+
+// ---- per-primitive phase bounds (one protocol run each) --------------------
+
+const PhaseBound kPhaseBounds[] = {
+    // A full multi-source BFS sweep settles in O(n + D) rounds (Lemma 2.1:
+    // the pipeline drains one wavefront per round).
+    {"multi_bfs", "n + D",
+     [](double n, double, double d) { return n + d; }, 8.0},
+    // Restricted BFS explores at most h hops with h <= n^(4/5) polylog.
+    {"restricted BFS", "n^(4/5) * log2(n)",
+     [](double n, double, double) { return std::pow(n, 0.8) * lg(n); }, 32.0},
+    // A single BFS tree build is D + 1 rounds of flooding.
+    {"bfs_tree", "D + 1",
+     [](double, double, double d) { return d; }, 8.0},
+    // Sampled-source BFS batches O~(sqrt(n)) sources.
+    {"sample BFS", "(sqrt(n) + D) * log2(n)",
+     [](double n, double, double d) { return (std::sqrt(n) + d) * lg(n); },
+     32.0},
+};
+
+bool last_component_is(std::string_view path, std::string_view suffix) {
+  const std::size_t slash = path.rfind('/');
+  const std::string_view last =
+      slash == std::string_view::npos ? path : path.substr(slash + 1);
+  return last == suffix;
+}
+
+AdherenceEntry make_entry(std::string scope, const char* counter,
+                          const char* form, double predicted,
+                          std::uint64_t observed, double threshold) {
+  AdherenceEntry e;
+  e.scope = std::move(scope);
+  e.counter = counter;
+  e.form = form;
+  e.predicted = predicted;
+  e.observed = observed;
+  e.constant = predicted > 0 ? static_cast<double>(observed) / predicted : 0;
+  e.threshold = threshold;
+  e.verdict = e.constant <= threshold ? "pass" : "warn";
+  return e;
+}
+
+}  // namespace
+
+AdherenceReport fit_bounds(const MetricsSnapshot& snapshot,
+                           const std::string& algorithm, std::uint64_t n,
+                           std::uint64_t m, int diameter) {
+  AdherenceReport report;
+  report.algorithm = algorithm;
+  report.n = n;
+  report.m = m;
+  report.diameter = diameter;
+  if (snapshot.total.runs == 0) return report;  // nothing to fit
+
+  const double fn = static_cast<double>(n);
+  const double fm = static_cast<double>(m);
+  const double fd = static_cast<double>(diameter) + 1;
+
+  const AlgoBounds* algo = nullptr;
+  for (const AlgoBounds& a : kAlgoBounds) {
+    if (algorithm == a.algorithm) {
+      algo = &a;
+      break;
+    }
+  }
+  if (algo != nullptr) {
+    report.entries.push_back(make_entry(
+        "total", algo->rounds.counter, algo->rounds.form,
+        algo->rounds.eval(fn, fm, fd), snapshot.total.rounds,
+        algo->rounds.threshold));
+    report.entries.push_back(make_entry(
+        "total", algo->words.counter, algo->words.form,
+        algo->words.eval(fn, fm, fd), snapshot.total.words,
+        algo->words.threshold));
+  }
+
+  // Phase entries, in the snapshot's own (first-open, deterministic) phase
+  // order: the per-run form scales by the phase's run count.
+  for (const PhaseMetrics& p : snapshot.phases) {
+    if (p.runs == 0) continue;
+    for (const PhaseBound& b : kPhaseBounds) {
+      if (!last_component_is(p.path, b.suffix)) continue;
+      const double predicted =
+          static_cast<double>(p.runs) * b.eval(fn, fm, fd);
+      report.entries.push_back(make_entry(p.path, "rounds", b.form, predicted,
+                                          p.rounds, b.threshold));
+      break;
+    }
+  }
+
+  if (report.entries.empty()) return report;  // unknown algorithm, no phases
+  report.evaluated = true;
+  report.verdict = "pass";
+  for (const AdherenceEntry& e : report.entries) {
+    if (e.verdict != "pass") {
+      report.verdict = "warn";
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace mwc::cycle

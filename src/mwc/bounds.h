@@ -1,0 +1,51 @@
+// The bound-adherence registry: each algorithm the solve() front door can
+// dispatch declares its predicted round/word complexity as a closed form in
+// (n, m, D, sqrt(n)), and fit_bounds checks an observed MetricsSnapshot
+// against the declaration after every solve.
+//
+// The registry encodes Table 1 of the paper (Manoharan & Ramachandran,
+// PODC 2024) with the polylog factors the implementation actually pays:
+//
+//   exact MWC             O~(n) rounds       (Theorem 1.1)
+//   girth-approx          O~(sqrt(n) + D)    (2 - 1/g approximation)
+//   directed-2approx      O~(n^(4/5) + D)
+//   weighted-undirected   O~(n^(2/3) + D)    ((2 + eps) approximation)
+//   weighted-directed     O~(n^(4/5) + D)
+//
+// plus per-phase forms for the primitives every family shares (multi-BFS,
+// restricted BFS, BFS trees, sample BFS). The fit divides the observed
+// counter by the evaluated form: the quotient is the hidden constant the
+// asymptotic notation absorbs. A constant at or below the registered
+// threshold earns "pass"; above it, "warn" - never an error, because a
+// blown constant on an adversarial instance is a finding, not a failure.
+// Thresholds are calibrated against the repo's own test/bench instances
+// (roughly 4-8x the worst constant observed there), so a regression that
+// doubles a primitive's round count trips the verdict.
+//
+// Determinism: the fit is a pure function of (snapshot, algorithm, n, m, D)
+// - no clocks, no RNG - so the emitted `adherence` JSON is byte-identical
+// across thread counts and settle paths whenever the snapshot is.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "congest/congestion.h"
+#include "congest/metrics.h"
+
+namespace mwc::cycle {
+
+// Fits `snapshot` against the bounds registered for `algorithm` (an
+// MwcReport::algorithm name: "exact", "girth-approx", "directed-2approx",
+// "weighted-undirected", "weighted-directed"). Phase entries are emitted
+// only for phases present in the snapshot, and their predictions scale with
+// the phase's run count (the registered form bounds one protocol run).
+// Returns an evaluated report whenever the snapshot recorded at least one
+// run; `n`/`m`/`diameter` describe the problem graph and its communication
+// topology (see graph::communication_diameter).
+congest::AdherenceReport fit_bounds(const congest::MetricsSnapshot& snapshot,
+                                    const std::string& algorithm,
+                                    std::uint64_t n, std::uint64_t m,
+                                    int diameter);
+
+}  // namespace mwc::cycle

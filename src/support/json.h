@@ -1,0 +1,54 @@
+// A small recursive-descent JSON reader for the repo's own artifacts:
+// metrics snapshots, BENCH_*.json logs, trace exports. Deliberately minimal
+// - no writer (every producer in this codebase serializes by hand so the
+// bytes stay deterministic), no streaming, no number lossiness games: the
+// parser keeps each number's raw text alongside its double value, so a
+// consumer that needs the exact integer can reparse the text.
+//
+// Accepts strict RFC 8259 JSON (the only kind this repo emits). Rejects,
+// with a one-line error naming the byte offset: trailing commas, comments,
+// unquoted keys, and nesting deeper than kMaxDepth (stack safety).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mwc::support {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string raw;  // number: the exact source text
+  std::string str;  // string: the decoded value
+  std::vector<JsonValue> items;                           // array
+  std::vector<std::pair<std::string, JsonValue>> members; // object, in order
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  // First member with this key, nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+  // find() + number coercion: `fallback` when absent or not a number.
+  double number_or(std::string_view key, double fallback) const;
+  // find() + string coercion: `fallback` when absent or not a string.
+  std::string_view string_or(std::string_view key,
+                             std::string_view fallback) const;
+};
+
+inline constexpr int kMaxJsonDepth = 64;
+
+// Parses `text` into `out`. Returns false (with a message in `*error` when
+// non-null) on malformed input; `out` is unspecified then. The whole input
+// must be one JSON value plus optional trailing whitespace.
+bool parse_json(std::string_view text, JsonValue& out,
+                std::string* error = nullptr);
+
+}  // namespace mwc::support

@@ -91,10 +91,18 @@ endif()
 
 # --metrics prints the per-phase JSON; --metrics=FILE writes it. The JSON
 # must be byte-identical between --threads=1 and --threads=8 on one seed.
+# Bare --metrics owns stdout: the document must be the only thing there
+# (starting with '{'), with the human report rerouted to stderr.
 execute_process(COMMAND ${CLI} run auto ${GRAPH} 3 --metrics
-                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
 if(NOT rc EQUAL 0 OR NOT out MATCHES "\"phases\": \\[" OR NOT out MATCHES "\"total\":")
   message(FATAL_ERROR "run auto --metrics failed: ${out}")
+endif()
+if(NOT out MATCHES "^\\{")
+  message(FATAL_ERROR "bare --metrics stdout is not pure JSON: ${out}")
+endif()
+if(NOT err MATCHES "algorithm: " OR NOT err MATCHES "value: ")
+  message(FATAL_ERROR "bare --metrics did not move the report to stderr: ${err}")
 endif()
 
 execute_process(COMMAND ${CLI} run approx ${GRAPH} 5 --metrics=${WORK}/m1.json
@@ -116,4 +124,41 @@ endif()
 file(READ ${WORK}/m1.json metrics_json)
 if(NOT metrics_json MATCHES "\"error\": \"\"")
   message(FATAL_ERROR "metrics JSON reports an annotation error: ${metrics_json}")
+endif()
+
+# --congestion adds the observatory section to the metrics JSON (and
+# adherence rides along with every solve-mode --metrics run).
+execute_process(COMMAND ${CLI} run exact ${GRAPH} 3 --congestion
+                --metrics=${WORK}/obs.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT EXISTS ${WORK}/obs.json)
+  message(FATAL_ERROR "run exact --congestion --metrics=FILE failed: ${out}")
+endif()
+file(READ ${WORK}/obs.json obs_json)
+if(NOT obs_json MATCHES "\"congestion\":" OR NOT obs_json MATCHES "\"top_links\":"
+   OR NOT obs_json MATCHES "\"adherence\":")
+  message(FATAL_ERROR "metrics JSON lacks the observatory sections: ${obs_json}")
+endif()
+
+# --congestion without a metrics sink (or outside solve modes) is a usage
+# error - the snapshot is the ledger's only output channel.
+execute_process(COMMAND ${CLI} run exact ${GRAPH} 3 --congestion
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 1 OR NOT err MATCHES "--congestion requires")
+  message(FATAL_ERROR "--congestion without --metrics: rc=${rc}: ${err}")
+endif()
+
+# `report` renders the snapshot into one self-contained HTML file.
+execute_process(COMMAND ${CLI} report ${WORK}/obs.json ${WORK}/obs.html
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT EXISTS ${WORK}/obs.html)
+  message(FATAL_ERROR "report failed: ${out}")
+endif()
+file(READ ${WORK}/obs.html report_html)
+if(NOT report_html MATCHES "^<!DOCTYPE html" OR NOT report_html MATCHES "</html>")
+  message(FATAL_ERROR "report output is not a complete HTML document")
+endif()
+if(report_html MATCHES "http://" OR report_html MATCHES "https://"
+   OR report_html MATCHES "<script")
+  message(FATAL_ERROR "report HTML is not self-contained")
 endif()

@@ -88,6 +88,70 @@ TEST(MetricsDeterminism, UnderDropFaultsWithReliableTransport) {
   expect_thread_invariant(g, 9, cfg);
 }
 
+// Runs solve() with metrics AND the congestion observatory; the snapshot
+// then carries the congestion and adherence sections too, and the whole
+// document (JSON bytes included) must stay thread-count-invariant.
+MetricsSnapshot profile_observed(const Graph& g, std::uint64_t seed,
+                                 int threads,
+                                 NetworkConfig base = NetworkConfig{}) {
+  NetworkConfig cfg = base;
+  cfg.threads = threads;
+  cfg.clamp_threads = false;  // the sweep must really run at `threads`
+  Network net(g, seed, cfg);
+  cycle::SolveOptions opts;
+  opts.collect_metrics = true;
+  opts.congestion.enabled = true;
+  return cycle::solve(net, opts).metrics;
+}
+
+void expect_observatory_invariant(const Graph& g, std::uint64_t seed,
+                                  const NetworkConfig& base = NetworkConfig{}) {
+  const MetricsSnapshot reference = profile_observed(g, seed, 1, base);
+  ASSERT_TRUE(reference.congestion.observed);
+  EXPECT_GT(reference.congestion.rounds_observed, 0u);
+  EXPECT_GT(reference.congestion.total_words, 0u);
+  EXPECT_FALSE(reference.congestion.top_links.empty());
+  ASSERT_TRUE(reference.adherence.evaluated);
+  EXPECT_FALSE(reference.adherence.entries.empty());
+  const std::string reference_json = reference.to_json();
+  EXPECT_NE(reference_json.find("\"congestion\""), std::string::npos);
+  EXPECT_NE(reference_json.find("\"adherence\""), std::string::npos);
+  for (int threads : {2, 4}) {
+    const MetricsSnapshot snap = profile_observed(g, seed, threads, base);
+    EXPECT_EQ(snap.congestion, reference.congestion)
+        << "threads=" << threads << " seed=" << seed;
+    EXPECT_EQ(snap.to_json(), reference_json) << "threads=" << threads;
+  }
+}
+
+TEST(MetricsDeterminism, CongestionAndAdherenceAcrossThreads) {
+  for (int cls = 0; cls < 3; ++cls) {
+    expect_observatory_invariant(instance(cls, 70, 17 + cls), 5);
+  }
+}
+
+TEST(MetricsDeterminism, CongestionUnderShuffledDeliveries) {
+  // shuffle_deliveries permutes the per-round delivery order (a schedule
+  // fuzz knob); observables are recorded on the host merge paths, so even
+  // the congestion timeline must not notice.
+  NetworkConfig cfg;
+  cfg.shuffle_deliveries = true;
+  expect_observatory_invariant(instance(0, 60, 33), 7, cfg);
+}
+
+TEST(MetricsDeterminism, CongestionUnderCorruptionFaults) {
+  NetworkConfig cfg;
+  cfg.faults.corrupt_prob = 0.05;
+  cfg.reliable_transport = true;
+  const Graph g = instance(0, 60, 55);
+  const MetricsSnapshot reference = profile_observed(g, 9, 1, cfg);
+  // Corruption actually fired; retransmissions inflate the link loads, and
+  // the inflated ledger still matches bit-for-bit across thread counts.
+  EXPECT_GT(reference.total.corrupted_words, 0u);
+  EXPECT_GT(reference.total.checksum_rejects, 0u);
+  expect_observatory_invariant(g, 9, cfg);
+}
+
 TEST(MetricsDeterminism, KSourceBfsAutoSnapshot) {
   const Graph g = instance(0, 90, 13);
   std::vector<graph::NodeId> sources{0, 7, 21, 40};

@@ -1,0 +1,249 @@
+// bench_compare - the CI perf gate over BENCH_*.json logs.
+//
+//   bench_compare <baseline.json|dir> <current.json|dir>
+//                 [--threshold=0.15] [--time-threshold=0.5] [--warn-only]
+//
+// Diffs the scalar metrics of two bench JSON logs (bench/bench_util.h's
+// JsonLog shape) or of two directories of them (files are matched by name;
+// unmatched files are reported but never gate). Each metric is classified
+// by its key:
+//
+//   - "hardware_threads" is machine identity, not performance: ignored.
+//   - "*_pct" keys are ratios of timings (e.g. observatory_overhead_pct):
+//     a relative diff of a small noisy percentage is noise squared, and
+//     ci.sh gates them with absolute asserts instead, so ignored here.
+//   - keys containing "seconds" or "cpu" are wall/CPU timings - noisy and
+//     machine-dependent, so they gate on the looser --time-threshold
+//     (default 0.5: fail only past a 50% slowdown) and only ever in the
+//     lower-is-better direction.
+//   - keys containing "speedup", "throughput", "mwords" or "reuse" are
+//     higher-is-better rates: they gate when the current value falls more
+//     than --threshold below the baseline.
+//   - everything else (rounds, words, messages, counts) is a deterministic
+//     simulator counter, lower-is-better: gates when the current value
+//     rises more than --threshold above the baseline.
+//
+// Missing-in-current and new-in-current metrics are printed as notes;
+// adding a metric to a bench must not fail CI, and removal is visible in
+// review. --warn-only prints everything but always exits 0 (used under
+// sanitizer builds, whose timings are meaningless).
+//
+// Exit status: 0 no gated regressions, 1 at least one gated regression,
+// 2 usage or I/O errors.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/flags.h"
+#include "support/json.h"
+
+namespace {
+
+using namespace mwc;  // NOLINT
+
+struct Metric {
+  std::string key;  // "section/name"
+  double value;
+};
+
+enum class MetricClass { kIgnored, kTiming, kHigherBetter, kCounter };
+
+bool contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+MetricClass classify(const std::string& key) {
+  if (contains(key, "hardware_threads") || contains(key, "_pct")) {
+    return MetricClass::kIgnored;
+  }
+  if (contains(key, "seconds") || contains(key, "cpu")) {
+    return MetricClass::kTiming;
+  }
+  if (contains(key, "speedup") || contains(key, "throughput") ||
+      contains(key, "mwords") || contains(key, "reuse")) {
+    return MetricClass::kHigherBetter;
+  }
+  return MetricClass::kCounter;
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) throw std::runtime_error("cannot read " + path);
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+  std::fclose(f);
+  return text;
+}
+
+// Flattens a JsonLog document into section-qualified scalar metrics.
+// Null metric values (NaN/inf at render time) are skipped.
+std::vector<Metric> load_metrics(const std::string& path) {
+  support::JsonValue doc;
+  std::string error;
+  if (!support::parse_json(read_file(path), doc, &error)) {
+    throw std::runtime_error(path + ": " + error);
+  }
+  const support::JsonValue* sections = doc.find("sections");
+  if (!doc.is_object() || sections == nullptr || !sections->is_array()) {
+    throw std::runtime_error(path + ": not a bench JSON log (no sections)");
+  }
+  std::vector<Metric> out;
+  for (const support::JsonValue& sec : sections->items) {
+    if (!sec.is_object()) continue;
+    const std::string title(sec.string_or("title", "?"));
+    const support::JsonValue* metrics = sec.find("metrics");
+    if (metrics == nullptr || !metrics->is_object()) continue;
+    for (const auto& [key, value] : metrics->members) {
+      if (!value.is_number()) continue;
+      out.push_back(Metric{title + "/" + key, value.number});
+    }
+  }
+  return out;
+}
+
+const Metric* find_metric(const std::vector<Metric>& list,
+                          const std::string& key) {
+  for (const Metric& m : list) {
+    if (m.key == key) return &m;
+  }
+  return nullptr;
+}
+
+struct Gate {
+  double threshold;       // counters and higher-better rates
+  double time_threshold;  // wall/CPU timings
+  bool warn_only;
+  int regressions = 0;
+  int checked = 0;
+};
+
+// Compares one baseline/current log pair; prints per-metric deltas for
+// anything that moved and tallies gated regressions into `gate`.
+void compare_logs(const std::string& name, const std::vector<Metric>& base,
+                  const std::vector<Metric>& cur, Gate& gate) {
+  std::printf("== %s ==\n", name.c_str());
+  for (const Metric& b : base) {
+    const MetricClass cls = classify(b.key);
+    if (cls == MetricClass::kIgnored) continue;
+    const Metric* c = find_metric(cur, b.key);
+    if (c == nullptr) {
+      std::printf("  note  %-44s missing in current\n", b.key.c_str());
+      continue;
+    }
+    ++gate.checked;
+    const double delta =
+        b.value != 0.0 ? (c->value - b.value) / std::fabs(b.value)
+                       : (c->value == 0.0 ? 0.0 : HUGE_VAL);
+    bool regressed = false;
+    switch (cls) {
+      case MetricClass::kTiming:
+        regressed = delta > gate.time_threshold;
+        break;
+      case MetricClass::kHigherBetter:
+        regressed = delta < -gate.threshold;
+        break;
+      case MetricClass::kCounter:
+        regressed = delta > gate.threshold;
+        break;
+      case MetricClass::kIgnored:
+        break;
+    }
+    if (regressed) {
+      ++gate.regressions;
+      std::printf("  %s  %-44s %.6g -> %.6g (%+.1f%%)\n",
+                  gate.warn_only ? "WARN" : "FAIL", b.key.c_str(), b.value,
+                  c->value, delta * 100.0);
+    } else if (delta != 0.0) {
+      std::printf("  ok    %-44s %.6g -> %.6g (%+.1f%%)\n", b.key.c_str(),
+                  b.value, c->value, delta * 100.0);
+    }
+  }
+  for (const Metric& c : cur) {
+    if (classify(c.key) == MetricClass::kIgnored) continue;
+    if (find_metric(base, c.key) == nullptr) {
+      std::printf("  note  %-44s new metric (%.6g)\n", c.key.c_str(),
+                  c.value);
+    }
+  }
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare <baseline.json|dir> <current.json|dir>"
+               " [--threshold=0.15] [--time-threshold=0.5] [--warn-only]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::Flags flags(argc, argv,
+                       {"threshold", "time-threshold", "warn-only"});
+  if (!flags.unknown_flags().empty()) {
+    std::fprintf(stderr, "unknown flag: --%s\n",
+                 flags.unknown_flags()[0].c_str());
+    return usage();
+  }
+  if (flags.positional().size() != 2) return usage();
+  const std::string base_path = flags.positional()[0];
+  const std::string cur_path = flags.positional()[1];
+
+  Gate gate{flags.get_double("threshold", 0.15),
+            flags.get_double("time-threshold", 0.5), flags.has("warn-only")};
+  if (gate.threshold < 0.0 || gate.time_threshold < 0.0) {
+    std::fprintf(stderr, "thresholds must be >= 0\n");
+    return usage();
+  }
+
+  try {
+    namespace fs = std::filesystem;
+    if (fs::is_directory(base_path) != fs::is_directory(cur_path)) {
+      std::fprintf(stderr,
+                   "both arguments must be files or both directories\n");
+      return usage();
+    }
+    if (fs::is_directory(base_path)) {
+      // Matched by file name, in sorted order so the report is stable.
+      std::vector<std::string> names;
+      for (const fs::directory_entry& e : fs::directory_iterator(base_path)) {
+        const std::string name = e.path().filename().string();
+        if (e.is_regular_file() && name.size() > 5 &&
+            name.substr(name.size() - 5) == ".json") {
+          names.push_back(name);
+        }
+      }
+      std::sort(names.begin(), names.end());
+      if (names.empty()) {
+        std::fprintf(stderr, "no *.json logs in %s\n", base_path.c_str());
+        return 2;
+      }
+      for (const std::string& name : names) {
+        const fs::path cur_file = fs::path(cur_path) / name;
+        if (!fs::exists(cur_file)) {
+          std::printf("== %s ==\n  note  log missing in current\n",
+                      name.c_str());
+          continue;
+        }
+        compare_logs(name, load_metrics((fs::path(base_path) / name).string()),
+                     load_metrics(cur_file.string()), gate);
+      }
+    } else {
+      compare_logs(fs::path(cur_path).filename().string(),
+                   load_metrics(base_path), load_metrics(cur_path), gate);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  std::printf("%d metric(s) checked, %d regression(s)%s\n", gate.checked,
+              gate.regressions, gate.warn_only ? " (warn-only)" : "");
+  return gate.regressions > 0 && !gate.warn_only ? 1 : 0;
+}

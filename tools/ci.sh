@@ -14,6 +14,12 @@
 #                          TSan)
 #   tools/ci.sh engine     settle-path A/B identity (ASan and TSan) + a
 #                          bench_engine --quick throughput smoke
+#   tools/ci.sh perf       quick-bench regression gate against the
+#                          checked-in bench/baselines/ + observatory
+#                          overhead cap + HTML report determinism smoke
+#                          (MWC_PERF_WARN_ONLY=1 downgrades bench_compare
+#                          failures to warnings, for sanitizer builds or
+#                          known-noisy machines)
 #
 # Stages use separate build trees (build-ci/, build-ci-asan/, build-ci-tsan/)
 # so they never poison an incremental developer build/.
@@ -335,6 +341,81 @@ print(f"ci: frontier speedup n=256 t=1: {speedup:.2f}x over legacy")
 EOF
   else
     echo "ci: python3 not found, skipping throughput check"
+  fi
+fi
+
+if [[ "$stage" == "all" || "$stage" == "perf" ]]; then
+  echo "=== perf gate: quick benches vs bench/baselines + report smoke ==="
+  # Three checks, all on the plain build:
+  #  1. bench_compare diffs the quick benches' fresh JSON logs against the
+  #     checked-in bench/baselines/. Deterministic simulator counters gate
+  #     at 15% - they should not move at all without a code change - while
+  #     wall/CPU timings only gate at a 3x slowdown (--time-threshold=2.0):
+  #     containers differ, and the tight throughput assertions live in the
+  #     engine stage's speedup check. After an intentional perf change,
+  #     regenerate the baselines (see bench/baselines/README.md) and commit
+  #     them with the change.
+  #  2. The congestion observatory must stay cheap: bench_engine's A5d rows
+  #     gate observatory_overhead_pct (ledger cost on top of plain metrics)
+  #     below 5%.
+  #  3. `mwc_cli report` must render the same metrics+trace pair to
+  #     byte-identical, fully self-contained HTML regardless of the
+  #     --threads value that produced the inputs.
+  dir=build-ci
+  cmake -B "$dir" -S . -DCONGEST_MWC_WERROR=ON
+  cmake --build "$dir" -j "$jobs" --target \
+    bench_engine bench_faults bench_compare mwc_cli
+  work="$dir/perf-smoke"
+  rm -rf "$work"
+  mkdir -p "$work"
+  (cd "$work" && ../bench/bench_engine --quick > bench_engine.txt)
+  (cd "$work" && ../bench/bench_faults --quick > bench_faults.txt)
+  warn_flag=""
+  [[ "${MWC_PERF_WARN_ONLY:-0}" == "1" ]] && warn_flag="--warn-only"
+  "$dir/tools/bench_compare" bench/baselines "$work" \
+    --threshold=0.15 --time-threshold=2.0 $warn_flag \
+    || { echo "ci: quick benches regressed against bench/baselines"; exit 1; }
+  if command -v python3 > /dev/null; then
+    python3 - "$work/BENCH_ENGINE.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+metrics = {}
+for sec in doc["sections"]:
+    metrics.update(sec["metrics"])
+pct = metrics["observatory_overhead_pct"]
+assert pct < 5.0, f"congestion observatory costs {pct:.1f}% over plain metrics (cap 5%)"
+print(f"ci: observatory overhead {pct:+.1f}% over plain metrics (cap 5%)")
+EOF
+  else
+    echo "ci: python3 not found, skipping observatory overhead check"
+  fi
+
+  cli="$dir/tools/mwc_cli"
+  "$cli" gen cycle-chords 96 8 3 "$work/smoke.graph"
+  "$cli" run auto "$work/smoke.graph" 5 --metrics="$work/m1.json" \
+    --congestion --trace="$work/t1.jsonl" > /dev/null
+  "$cli" run auto "$work/smoke.graph" 5 --threads=8 \
+    --metrics="$work/m8.json" --congestion --trace="$work/t8.jsonl" > /dev/null
+  "$cli" report "$work/m1.json" "$work/r1.html" --trace="$work/t1.jsonl" \
+    > /dev/null
+  "$cli" report "$work/m8.json" "$work/r8.html" --trace="$work/t8.jsonl" \
+    > /dev/null
+  cmp "$work/r1.html" "$work/r8.html" \
+    || { echo "ci: HTML report differs between --threads=1 and 8 inputs"; exit 1; }
+  if command -v python3 > /dev/null; then
+    python3 - "$work/r1.html" <<'EOF'
+import sys
+html = open(sys.argv[1], encoding="utf-8").read()
+assert html.startswith("<!DOCTYPE html"), "report is not an HTML document"
+assert html.rstrip().endswith("</html>"), "report HTML is truncated"
+assert "http://" not in html and "https://" not in html, "external reference"
+assert "<script" not in html, "report must not carry JavaScript"
+for section in ("congestion", "adherence", "waterfall"):
+    assert section in html.lower(), f"report lacks the {section} section"
+print("ci: HTML report valid,", len(html), "chars, self-contained")
+EOF
+  else
+    echo "ci: python3 not found, skipping HTML report check"
   fi
 fi
 

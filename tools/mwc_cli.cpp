@@ -15,6 +15,7 @@
 //                                               [--threads=T]
 //                                               [--epsilon=E]
 //                                               [--metrics[=FILE]]
+//                                               [--congestion]
 //                                               [--budget-rounds=N]
 //                                               [--budget-words=N]
 //                                               [--budget-rss-mb=N]
@@ -46,7 +47,13 @@
 //       --threads=1, just faster on big inputs); --epsilon sets the
 //       approximation slack of the weighted classes; --metrics prints the
 //       per-phase metrics JSON (congest/metrics.h) to stdout,
-//       --metrics=FILE writes it to FILE. The JSON is byte-identical across
+//       --metrics=FILE writes it to FILE. With bare --metrics the human
+//       report moves to stderr so stdout is exactly the JSON document
+//       (pipe-safe: `mwc_cli run ... --metrics | python -m json.tool`).
+//       --congestion (solve modes, with --metrics) attaches the congestion
+//       observatory: the JSON gains a `congestion` section with top-K link
+//       loads, the per-round timeline, and engine high-water marks
+//       (congest/congestion.h). The JSON is byte-identical across
 //       --threads values on the same seed. --trace[=FILE] streams the full
 //       deterministic event sequence (every kind enabled) as JSONL to FILE
 //       (default trace.jsonl); with --threads>1 a FILE.wall sidecar
@@ -57,6 +64,12 @@
 //       converts a recorded JSONL trace into Chrome/Perfetto trace-event
 //       JSON (open at ui.perfetto.dev); --wall folds a .wall sidecar in as
 //       a separate, clearly-marked non-deterministic process.
+//   mwc_cli report <metrics.json> <out.html> [--trace=FILE] [--title=NAME]
+//       renders a metrics snapshot (plus, optionally, its JSONL trace) into
+//       a self-contained HTML dashboard: phase waterfall, round heatmap,
+//       congestion top-K, bound-adherence table. No JavaScript, no external
+//       references; a pure function of the inputs, so reports built from
+//       byte-identical metrics/trace pairs are byte-identical themselves.
 //
 //       Resource governance (solve() modes only; see docs/governance.md):
 //       --budget-rounds / --budget-words cap the engine's accumulated
@@ -113,8 +126,10 @@
 #include "mwc/girth_approx.h"
 #include "mwc/girth_prt.h"
 #include "mwc/weighted_mwc.h"
+#include "report_html.h"
 #include "support/check.h"
 #include "support/flags.h"
+#include "support/json.h"
 #include "support/rng.h"
 
 namespace {
@@ -145,13 +160,15 @@ int usage() {
                " [--fault-corrupt-prob=P] [--fault-corrupt=F:T:R1:R2]"
                " [--fault-crash=NODE:ROUND] [--fault-recover=NODE:ROUND]"
                " [--threads=T] [--epsilon=E] [--metrics[=FILE]]"
-               " [--trace[=FILE]]\n"
+               " [--congestion] [--trace[=FILE]]\n"
                "      governance (solve modes): [--budget-rounds=N]"
                " [--budget-words=N] [--budget-rss-mb=N] [--deadline=SECONDS]"
                " [--no-progress-rounds=N] [--stall-seconds=S]"
                " [--checkpoint[=FILE]] [--resume] [--die-at-round=N]\n"
                "  mwc_cli trace export <in.jsonl> <out.perfetto.json>"
-               " [--wall=FILE]\n");
+               " [--wall=FILE]\n"
+               "  mwc_cli report <metrics.json> <out.html> [--trace=FILE]"
+               " [--title=NAME]\n");
   return 1;
 }
 
@@ -246,6 +263,7 @@ constexpr RunFlagSpec kRunFlags[] = {
     {"threads", RunFlagSpec::Kind::kUint},
     {"epsilon", RunFlagSpec::Kind::kDouble},
     {"metrics", RunFlagSpec::Kind::kName},
+    {"congestion", RunFlagSpec::Kind::kName},
     {"trace", RunFlagSpec::Kind::kName},
     {"budget-rounds", RunFlagSpec::Kind::kUint},
     {"budget-words", RunFlagSpec::Kind::kUint},
@@ -396,6 +414,11 @@ int cmd_run(int argc, char** argv) {
     const std::string v = flags.get("metrics", "");
     return v == "true" ? "" : v;
   }();
+  // Bare --metrics owns stdout: the JSON document must be the only thing
+  // there (pipe-safe), so the human-readable report moves to stderr. With
+  // --metrics=FILE (or no --metrics) the report stays on stdout as before.
+  std::FILE* rpt = (want_metrics && metrics_file.empty()) ? stderr : stdout;
+  const bool want_congestion = flags.has("congestion");
   const bool want_trace = flags.has("trace");
   // Bare --trace parses as the value "true": use the default file name.
   const std::string trace_file = [&]() -> std::string {
@@ -436,6 +459,13 @@ int cmd_run(int argc, char** argv) {
   }
   if (resume && !want_ckpt) {
     std::fprintf(stderr, "--resume requires --checkpoint[=FILE]\n");
+    return usage();
+  }
+  if (want_congestion && (!solve_mode || !want_metrics)) {
+    // The metrics snapshot is the ledger's only output channel.
+    std::fprintf(stderr,
+                 "--congestion requires a solve mode (auto|approx|exact) "
+                 "and --metrics[=FILE]\n");
     return usage();
   }
 
@@ -512,6 +542,7 @@ int cmd_run(int argc, char** argv) {
                                         : cycle::SolveMode::kExact);
     opts.epsilon = epsilon;
     opts.collect_metrics = want_metrics;
+    opts.congestion.enabled = want_congestion;
     opts.governor = &governor;
     if (want_ckpt) {
       opts.checkpoint = &ckpt_session;
@@ -535,22 +566,22 @@ int cmd_run(int argc, char** argv) {
       // bounds and exits with the budget/cancel code.
       throw std::runtime_error(report.status_reason);
     }
-    std::printf("algorithm: %s\nguarantee: %g\n", report.algorithm.c_str(),
-                report.guarantee);
-    std::printf("status: %s (%s)\n", cycle::to_string(report.status),
-                report.status_reason.c_str());
+    std::fprintf(rpt, "algorithm: %s\nguarantee: %g\n",
+                 report.algorithm.c_str(), report.guarantee);
+    std::fprintf(rpt, "status: %s (%s)\n", cycle::to_string(report.status),
+                 report.status_reason.c_str());
     if (stop != congest::StopReason::kNone) {
-      std::printf("stop: %s (%s)\n", congest::to_string(stop),
-                  report.stop.detail.c_str());
+      std::fprintf(rpt, "stop: %s (%s)\n", congest::to_string(stop),
+                   report.stop.detail.c_str());
     }
     const auto bound_str = [](graph::Weight w) {
       return w == graph::kInfWeight
                  ? std::string("inf")
                  : std::to_string(static_cast<long long>(w));
     };
-    std::printf("bounds: %s <= mwc <= %s\n",
-                bound_str(report.lower_bound).c_str(),
-                bound_str(report.upper_bound).c_str());
+    std::fprintf(rpt, "bounds: %s <= mwc <= %s\n",
+                 bound_str(report.lower_bound).c_str(),
+                 bound_str(report.upper_bound).c_str());
     if (stop == congest::StopReason::kCancelled) {
       exit_code = kExitCancelled;
     } else if (stop != congest::StopReason::kNone) {
@@ -580,23 +611,26 @@ int cmd_run(int argc, char** argv) {
   net.attach_metrics(nullptr);
 
   if (result.value == graph::kInfWeight) {
-    std::printf("value: none (no cycle found)\n");
+    std::fprintf(rpt, "value: none (no cycle found)\n");
   } else {
-    std::printf("value: %lld\n", static_cast<long long>(result.value));
+    std::fprintf(rpt, "value: %lld\n", static_cast<long long>(result.value));
   }
-  std::printf("rounds: %llu\nmessages: %llu\nwords: %llu\n",
-              static_cast<unsigned long long>(result.stats.rounds),
-              static_cast<unsigned long long>(result.stats.messages),
-              static_cast<unsigned long long>(result.stats.words));
+  std::fprintf(rpt, "rounds: %llu\nmessages: %llu\nwords: %llu\n",
+               static_cast<unsigned long long>(result.stats.rounds),
+               static_cast<unsigned long long>(result.stats.messages),
+               static_cast<unsigned long long>(result.stats.words));
   if (drop > 0.0) {
-    std::printf("dropped: %llu messages (%llu words)\n"
-                "retransmitted: %llu words\n",
-                static_cast<unsigned long long>(result.stats.dropped_messages),
-                static_cast<unsigned long long>(result.stats.dropped_words),
-                static_cast<unsigned long long>(result.stats.retransmitted_words));
+    std::fprintf(
+        rpt,
+        "dropped: %llu messages (%llu words)\n"
+        "retransmitted: %llu words\n",
+        static_cast<unsigned long long>(result.stats.dropped_messages),
+        static_cast<unsigned long long>(result.stats.dropped_words),
+        static_cast<unsigned long long>(result.stats.retransmitted_words));
   }
   if (cfg.faults.any()) {
-    std::printf(
+    std::fprintf(
+        rpt,
         "faults: %llu crashes, %llu recoveries, %llu corrupted words, "
         "%llu checksum rejects, %llu dead links\n",
         static_cast<unsigned long long>(result.stats.crashes),
@@ -606,32 +640,32 @@ int cmd_run(int argc, char** argv) {
         static_cast<unsigned long long>(result.stats.dead_links));
   }
   if (!result.witness.empty()) {
-    std::printf("witness:");
-    for (graph::NodeId v : result.witness) std::printf(" %d", v);
-    std::printf("\n");
+    std::fprintf(rpt, "witness:");
+    for (graph::NodeId v : result.witness) std::fprintf(rpt, " %d", v);
+    std::fprintf(rpt, "\n");
   }
   if (want_metrics) {
     const std::string json = metrics.to_json();
     if (metrics_file.empty()) {
-      std::printf("%s\n", json.c_str());
+      std::printf("%s", json.c_str());
     } else {
       std::FILE* f = std::fopen(metrics_file.c_str(), "w");
       if (f == nullptr) {
         std::fprintf(stderr, "cannot write %s\n", metrics_file.c_str());
         return kExitError;
       }
-      std::fprintf(f, "%s\n", json.c_str());
+      std::fprintf(f, "%s", json.c_str());
       std::fclose(f);
-      std::printf("metrics: wrote %s\n", metrics_file.c_str());
+      std::fprintf(rpt, "metrics: wrote %s\n", metrics_file.c_str());
     }
   }
   if (want_trace) {
     net.attach_trace(nullptr);
     trace_sink.flush();
     std::fclose(trace_out);
-    std::printf("trace: wrote %s (%llu events)\n", trace_file.c_str(),
-                static_cast<unsigned long long>(trace_base_events +
-                                                trace_sink.lines_written()));
+    std::fprintf(rpt, "trace: wrote %s (%llu events)\n", trace_file.c_str(),
+                 static_cast<unsigned long long>(trace_base_events +
+                                                 trace_sink.lines_written()));
     if (!trace.wall_spans().empty()) {
       const std::string wall_file = trace_file + ".wall";
       std::FILE* wf = std::fopen(wall_file.c_str(), "w");
@@ -644,9 +678,10 @@ int cmd_run(int argc, char** argv) {
         std::fprintf(wf, "%s\n", line.c_str());
       }
       std::fclose(wf);
-      std::printf("trace: wrote %s (%llu wall spans, non-deterministic)\n",
-                  wall_file.c_str(),
-                  static_cast<unsigned long long>(trace.wall_spans().size()));
+      std::fprintf(rpt,
+                   "trace: wrote %s (%llu wall spans, non-deterministic)\n",
+                   wall_file.c_str(),
+                   static_cast<unsigned long long>(trace.wall_spans().size()));
     }
   }
   return exit_code;
@@ -724,6 +759,90 @@ int cmd_trace(int argc, char** argv) {
   return 0;
 }
 
+// `mwc_cli report <metrics.json> <out.html> [--trace=FILE] [--title=NAME]`.
+// Renders a recorded metrics snapshot (and optionally its JSONL trace) into
+// a self-contained HTML dashboard. The output is a pure function of the
+// parsed inputs and the title - byte-identical metrics in, byte-identical
+// HTML out - so CI can diff reports across thread counts.
+int cmd_report(int argc, char** argv) {
+  support::Flags flags(argc, argv, {"trace", "title"});
+  if (!flags.unknown_flags().empty()) {
+    std::fprintf(stderr, "unknown flag: --%s\n",
+                 flags.unknown_flags()[0].c_str());
+    return usage();
+  }
+  // positional() = {"report", metrics.json, out.html}.
+  if (flags.positional().size() != 3) return usage();
+  const std::string metrics_file = flags.positional()[1];
+  const std::string out_file = flags.positional()[2];
+  const std::string trace_file = flags.get("trace", "");
+  // The default title is deliberately run-independent; anything derived
+  // from file names or clocks would break the byte-identity contract.
+  const std::string title = flags.get("title", "MWC solve report");
+
+  std::FILE* in = std::fopen(metrics_file.c_str(), "r");
+  if (in == nullptr) throw std::runtime_error("cannot read " + metrics_file);
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, in)) > 0) text.append(buf, got);
+  std::fclose(in);
+
+  support::JsonValue metrics;
+  std::string error;
+  if (!support::parse_json(text, metrics, &error)) {
+    throw std::runtime_error(metrics_file + ": " + error);
+  }
+  if (!metrics.is_object()) {
+    throw std::runtime_error(metrics_file +
+                             ": expected a metrics JSON object");
+  }
+
+  std::vector<congest::TraceEvent> events;
+  if (!trace_file.empty()) {
+    std::FILE* tf = std::fopen(trace_file.c_str(), "r");
+    if (tf == nullptr) throw std::runtime_error("cannot read " + trace_file);
+    std::string line;
+    std::size_t line_no = 0;
+    int c;
+    const auto parse_line = [&] {
+      ++line_no;
+      if (line.empty()) return;
+      congest::TraceEvent e;
+      std::string trace_error;
+      if (!congest::parse_trace_jsonl(line, e, &trace_error)) {
+        std::fclose(tf);
+        throw std::runtime_error(trace_file + ":" + std::to_string(line_no) +
+                                 ": " + trace_error);
+      }
+      events.push_back(std::move(e));
+    };
+    while ((c = std::fgetc(tf)) != EOF) {
+      if (c != '\n') {
+        line += static_cast<char>(c);
+        continue;
+      }
+      parse_line();
+      line.clear();
+    }
+    if (!line.empty()) parse_line();
+    std::fclose(tf);
+  }
+
+  const std::string html = tools::render_report_html(metrics, events, title);
+  std::FILE* out = std::fopen(out_file.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_file.c_str());
+    return kExitError;
+  }
+  std::fwrite(html.data(), 1, html.size(), out);
+  std::fclose(out);
+  std::printf("report: wrote %s (%zu bytes", out_file.c_str(), html.size());
+  if (!events.empty()) std::printf(", %zu trace events", events.size());
+  std::printf(")\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -738,6 +857,7 @@ int main(int argc, char** argv) {
     if (cmd == "info") return cmd_info(argc, argv);
     if (cmd == "run") return cmd_run(argc, argv);
     if (cmd == "trace") return cmd_trace(argc, argv);
+    if (cmd == "report") return cmd_report(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n(run 'mwc_cli' with no arguments for usage)\n",
                  e.what());

@@ -1,0 +1,374 @@
+#include "report_html.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mwc::tools {
+
+namespace {
+
+using support::JsonValue;
+
+void esc(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+}
+
+std::string fmt_u64(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", v);
+  return buf;
+}
+
+std::string fmt_g(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+// A horizontal bar scaled against `max` (SVG-free: a styled div is enough
+// and keeps the markup small).
+void bar(std::string& out, double value, double max, const char* cls) {
+  const double pct = max > 0 ? 100.0 * value / max : 0.0;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "<div class=\"barbox\"><div class=\"bar %s\" "
+                "style=\"width:%.2f%%\"></div></div>",
+                cls, pct < 0.5 && value > 0 ? 0.5 : pct);
+  out += buf;
+}
+
+void chip(std::string& out, const char* label, const std::string& value) {
+  out += "<div class=\"chip\"><span class=\"chiplabel\">";
+  esc(out, label);
+  out += "</span><span class=\"chipvalue\">";
+  esc(out, value);
+  out += "</span></div>\n";
+}
+
+void section_open(std::string& out, const char* heading, const char* note) {
+  out += "<section><h2>";
+  esc(out, heading);
+  out += "</h2>";
+  if (note != nullptr && note[0] != '\0') {
+    out += "<p class=\"note\">";
+    esc(out, note);
+    out += "</p>";
+  }
+}
+
+// Timeline sparkline as inline SVG: words per retained engine round.
+void sparkline(std::string& out, const std::vector<double>& values,
+               const char* color) {
+  if (values.empty()) return;
+  const int w = 720, h = 80, pad = 2;
+  double max = 0;
+  for (double v : values) max = std::max(max, v);
+  if (max <= 0) max = 1;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "<svg viewBox=\"0 0 %d %d\" width=\"%d\" height=\"%d\" "
+                "role=\"img\">",
+                w, h, w, h);
+  out += buf;
+  const double dx =
+      values.size() > 1
+          ? static_cast<double>(w - 2 * pad) /
+                static_cast<double>(values.size() - 1)
+          : 0.0;
+  out += "<polyline fill=\"none\" stroke=\"";
+  out += color;
+  out += "\" stroke-width=\"1.5\" points=\"";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double x = pad + dx * static_cast<double>(i);
+    const double y = h - pad - (h - 2 * pad) * values[i] / max;
+    std::snprintf(buf, sizeof(buf), "%.1f,%.1f ", x, y);
+    out += buf;
+  }
+  out += "\"/></svg>";
+}
+
+// Round heatmap as an SVG strip: one cell per engine round, shaded by words
+// moved that round relative to the busiest round.
+void heat_strip(std::string& out, const std::vector<double>& words) {
+  if (words.empty()) return;
+  const int w = 720, h = 36;
+  double max = 0;
+  for (double v : words) max = std::max(max, v);
+  if (max <= 0) max = 1;
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "<svg viewBox=\"0 0 %d %d\" width=\"%d\" height=\"%d\" "
+                "role=\"img\">",
+                w, h, w, h);
+  out += buf;
+  const double cell = static_cast<double>(w) / static_cast<double>(words.size());
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    // Light-to-dark blue ramp; zero-word rounds render near-white.
+    const double t = words[i] / max;
+    const int r = static_cast<int>(238 - 190 * t);
+    const int g = static_cast<int>(242 - 160 * t);
+    const int b = 248;
+    std::snprintf(buf, sizeof(buf),
+                  "<rect x=\"%.2f\" y=\"0\" width=\"%.2f\" height=\"%d\" "
+                  "fill=\"rgb(%d,%d,%d)\"/>",
+                  cell * static_cast<double>(i), cell + 0.05, h, r, g, b);
+    out += buf;
+  }
+  out += "</svg>";
+}
+
+const char* kCss = R"css(
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto;
+         max-width: 64rem; padding: 0 1rem; color: #1a2433; }
+  h1 { font-size: 1.5rem; border-bottom: 2px solid #2b5fa3;
+       padding-bottom: .4rem; }
+  h2 { font-size: 1.1rem; margin-top: 2rem; color: #2b5fa3; }
+  .note { color: #5a6b80; font-size: .85rem; margin: .2rem 0 .8rem; }
+  .chips { display: flex; flex-wrap: wrap; gap: .6rem; margin: 1rem 0; }
+  .chip { background: #eef2f8; border-radius: .5rem; padding: .4rem .8rem; }
+  .chiplabel { display: block; font-size: .7rem; color: #5a6b80;
+               text-transform: uppercase; letter-spacing: .04em; }
+  .chipvalue { font-size: 1.05rem; font-weight: 600; font-variant-numeric:
+               tabular-nums; }
+  table { border-collapse: collapse; width: 100%; font-variant-numeric:
+          tabular-nums; }
+  th, td { text-align: left; padding: .3rem .6rem; border-bottom:
+           1px solid #dfe6ef; vertical-align: middle; }
+  th { font-size: .75rem; color: #5a6b80; text-transform: uppercase;
+       letter-spacing: .04em; }
+  td.num { text-align: right; }
+  .barbox { background: #eef2f8; border-radius: .2rem; height: .8rem;
+            min-width: 8rem; }
+  .bar { height: 100%; border-radius: .2rem; }
+  .bar.rounds { background: #2b5fa3; }
+  .bar.words { background: #4a90d9; }
+  .bar.pass { background: #2e8b57; }
+  .bar.warn { background: #c0392b; }
+  .verdict-pass { color: #2e8b57; font-weight: 600; }
+  .verdict-warn { color: #c0392b; font-weight: 600; }
+  code { background: #eef2f8; padding: .1rem .3rem; border-radius: .2rem; }
+)css";
+
+void render_summary(std::string& out, const JsonValue& metrics) {
+  const JsonValue* total = metrics.find("total");
+  if (total == nullptr || !total->is_object()) return;
+  out += "<div class=\"chips\">\n";
+  chip(out, "runs", fmt_u64(total->number_or("runs", 0)));
+  chip(out, "rounds", fmt_u64(total->number_or("rounds", 0)));
+  chip(out, "messages", fmt_u64(total->number_or("messages", 0)));
+  chip(out, "words", fmt_u64(total->number_or("words", 0)));
+  chip(out, "peak queue (words)", fmt_u64(total->number_or("max_queue_words", 0)));
+  const JsonValue* busiest = total->find("busiest_link");
+  if (busiest != nullptr && busiest->is_array() && busiest->items.size() == 2 &&
+      total->number_or("max_link_words", 0) > 0) {
+    chip(out, "busiest link",
+         fmt_u64(busiest->items[0].number) + " → " +
+             fmt_u64(busiest->items[1].number) + " (" +
+             fmt_u64(total->number_or("max_link_words", 0)) + " w)");
+  }
+  const std::string error(metrics.string_or("error", ""));
+  if (!error.empty()) chip(out, "error", error);
+  out += "</div>\n";
+}
+
+void render_phases(std::string& out, const JsonValue& metrics) {
+  const JsonValue* phases = metrics.find("phases");
+  if (phases == nullptr || !phases->is_array() || phases->items.empty()) return;
+  double max_rounds = 0, max_words = 0;
+  for (const JsonValue& p : phases->items) {
+    max_rounds = std::max(max_rounds, p.number_or("rounds", 0));
+    max_words = std::max(max_words, p.number_or("words", 0));
+  }
+  section_open(out, "Phase waterfall",
+               "Rounds and words per phase path, in first-open order. Bars "
+               "are scaled against the costliest phase.");
+  out += "<table><tr><th>phase</th><th>runs</th><th>rounds</th><th></th>"
+         "<th>words</th><th></th></tr>\n";
+  for (const JsonValue& p : phases->items) {
+    out += "<tr><td><code>";
+    esc(out, p.string_or("phase", "?"));
+    out += "</code></td><td class=\"num\">";
+    out += fmt_u64(p.number_or("runs", 0));
+    out += "</td><td class=\"num\">";
+    out += fmt_u64(p.number_or("rounds", 0));
+    out += "</td><td>";
+    bar(out, p.number_or("rounds", 0), max_rounds, "rounds");
+    out += "</td><td class=\"num\">";
+    out += fmt_u64(p.number_or("words", 0));
+    out += "</td><td>";
+    bar(out, p.number_or("words", 0), max_words, "words");
+    out += "</td></tr>\n";
+  }
+  out += "</table></section>\n";
+}
+
+void render_heatmap(std::string& out,
+                    const std::vector<congest::TraceEvent>& trace) {
+  std::vector<double> words;
+  for (const congest::TraceEvent& e : trace) {
+    if (e.kind == congest::TraceEventKind::kRoundEnd) {
+      words.push_back(static_cast<double>(e.words));
+    }
+  }
+  if (words.empty()) return;
+  section_open(out, "Round heatmap",
+               "Words settled per engine round across every run, in trace "
+               "order; darker cells are busier rounds.");
+  heat_strip(out, words);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "<p class=\"note\">%zu rounds traced.</p>",
+                words.size());
+  out += buf;
+  out += "</section>\n";
+}
+
+void render_congestion(std::string& out, const JsonValue& metrics) {
+  const JsonValue* c = metrics.find("congestion");
+  if (c == nullptr || !c->is_object()) return;
+  section_open(out, "Congestion observatory",
+               "Per-link attribution recorded by the attached "
+               "CongestionLedger (run with --congestion).");
+  out += "<div class=\"chips\">\n";
+  chip(out, "rounds observed", fmt_u64(c->number_or("rounds_observed", 0)));
+  chip(out, "total words", fmt_u64(c->number_or("total_words", 0)));
+  chip(out, "spill peak (slots)", fmt_u64(c->number_or("spill_peak_slots", 0)));
+  chip(out, "overflow peak (entries)",
+       fmt_u64(c->number_or("overflow_peak_entries", 0)));
+  out += "</div>\n";
+
+  const JsonValue* links = c->find("top_links");
+  if (links != nullptr && links->is_array() && !links->items.empty()) {
+    double max = 0;
+    for (const JsonValue& l : links->items) {
+      max = std::max(max, l.number_or("words", 0));
+    }
+    out += "<h2>Hottest links</h2><table><tr><th>link</th>"
+           "<th>words</th><th></th></tr>\n";
+    for (const JsonValue& l : links->items) {
+      out += "<tr><td><code>";
+      out += fmt_u64(l.number_or("from", -1));
+      out += " → ";
+      out += fmt_u64(l.number_or("to", -1));
+      out += "</code></td><td class=\"num\">";
+      out += fmt_u64(l.number_or("words", 0));
+      out += "</td><td>";
+      bar(out, l.number_or("words", 0), max, "words");
+      out += "</td></tr>\n";
+    }
+    out += "</table>\n";
+  }
+
+  const JsonValue* timeline = c->find("timeline");
+  if (timeline != nullptr && timeline->is_array() &&
+      !timeline->items.empty()) {
+    std::vector<double> words, backlog, frontier;
+    for (const JsonValue& s : timeline->items) {
+      words.push_back(s.number_or("words", 0));
+      backlog.push_back(s.number_or("backlog", 0));
+      frontier.push_back(s.number_or("frontier_nodes", 0));
+    }
+    out += "<h2>Round timeline</h2>";
+    out += "<p class=\"note\">Words settled per round (blue), end-of-round "
+           "backlog (red), frontier width in nodes (green); most recent ";
+    out += fmt_u64(static_cast<double>(words.size()));
+    out += " rounds retained";
+    const double dropped = c->number_or("timeline_dropped", 0);
+    if (dropped > 0) {
+      out += ", " + fmt_u64(dropped) + " older samples evicted";
+    }
+    out += ".</p>";
+    sparkline(out, words, "#2b5fa3");
+    sparkline(out, backlog, "#c0392b");
+    sparkline(out, frontier, "#2e8b57");
+  }
+  out += "</section>\n";
+}
+
+void render_adherence(std::string& out, const JsonValue& metrics) {
+  const JsonValue* a = metrics.find("adherence");
+  if (a == nullptr || !a->is_object()) return;
+  section_open(out, "Bound adherence",
+               "Observed counters fitted against each algorithm's declared "
+               "closed-form complexity; the constant is observed/predicted "
+               "and must stay at or below its threshold.");
+  out += "<div class=\"chips\">\n";
+  chip(out, "algorithm", std::string(a->string_or("algorithm", "?")));
+  chip(out, "n", fmt_u64(a->number_or("n", 0)));
+  chip(out, "m", fmt_u64(a->number_or("m", 0)));
+  chip(out, "diameter", fmt_u64(a->number_or("diameter", 0)));
+  chip(out, "verdict", std::string(a->string_or("verdict", "?")));
+  out += "</div>\n";
+  const JsonValue* entries = a->find("entries");
+  if (entries == nullptr || !entries->is_array() || entries->items.empty()) {
+    out += "</section>\n";
+    return;
+  }
+  out += "<table><tr><th>scope</th><th>counter</th><th>bound</th>"
+         "<th>predicted</th><th>observed</th><th>constant</th>"
+         "<th>threshold</th><th></th><th>verdict</th></tr>\n";
+  for (const JsonValue& e : entries->items) {
+    const std::string verdict(e.string_or("verdict", "warn"));
+    const bool pass = verdict == "pass";
+    out += "<tr><td><code>";
+    esc(out, e.string_or("scope", "?"));
+    out += "</code></td><td>";
+    esc(out, e.string_or("counter", "?"));
+    out += "</td><td><code>";
+    esc(out, e.string_or("form", "?"));
+    out += "</code></td><td class=\"num\">";
+    out += fmt_g(e.number_or("predicted", 0));
+    out += "</td><td class=\"num\">";
+    out += fmt_u64(e.number_or("observed", 0));
+    out += "</td><td class=\"num\">";
+    out += fmt_g(e.number_or("constant", 0));
+    out += "</td><td class=\"num\">";
+    out += fmt_g(e.number_or("threshold", 0));
+    out += "</td><td>";
+    // Constant-vs-threshold gauge: full width == the threshold.
+    bar(out, e.number_or("constant", 0), e.number_or("threshold", 1),
+        pass ? "pass" : "warn");
+    out += "</td><td class=\"verdict-";
+    out += pass ? "pass" : "warn";
+    out += "\">";
+    esc(out, verdict);
+    out += "</td></tr>\n";
+  }
+  out += "</table></section>\n";
+}
+
+}  // namespace
+
+std::string render_report_html(const JsonValue& metrics,
+                               const std::vector<congest::TraceEvent>& trace,
+                               const std::string& title) {
+  std::string out;
+  out.reserve(1 << 15);
+  out += "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+         "<meta charset=\"utf-8\">\n<title>";
+  esc(out, title);
+  out += "</title>\n<style>";
+  out += kCss;
+  out += "</style>\n</head>\n<body>\n<h1>";
+  esc(out, title);
+  out += "</h1>\n";
+  render_summary(out, metrics);
+  render_phases(out, metrics);
+  render_heatmap(out, trace);
+  render_congestion(out, metrics);
+  render_adherence(out, metrics);
+  out += "</body>\n</html>\n";
+  return out;
+}
+
+}  // namespace mwc::tools

@@ -1,0 +1,32 @@
+// Self-contained HTML dashboard renderer for `mwc_cli report`.
+//
+// Takes a parsed metrics snapshot (the JSON `mwc_cli run --metrics` emits,
+// optionally carrying the `congestion` / `adherence` sections) plus an
+// optional JSONL trace, and renders one standalone HTML file: inline CSS,
+// server-side-rendered inline SVG charts, no JavaScript, no external
+// references of any kind (no CDN fonts, no http(s):// URLs), so the file
+// opens identically offline and is safe to archive next to the bench JSON.
+//
+// Determinism: the output is a pure function of the parsed inputs and the
+// title - no timestamps, no input file names, no environment. Metrics and
+// traces are byte-identical across --threads values, so the rendered
+// reports are too (ci.sh's report stage compares them byte-for-byte).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "congest/trace.h"
+#include "support/json.h"
+
+namespace mwc::tools {
+
+// Renders the dashboard. `metrics` must be the parsed object form of a
+// MetricsSnapshot::to_json() document; `trace` may be empty (the round
+// heatmap section is omitted then). `title` is the page heading - callers
+// must not default it to anything run-dependent.
+std::string render_report_html(const support::JsonValue& metrics,
+                               const std::vector<congest::TraceEvent>& trace,
+                               const std::string& title);
+
+}  // namespace mwc::tools
