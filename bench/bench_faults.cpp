@@ -1,6 +1,7 @@
 // F1: cost of reliability under lossy links.
 // F2: cost of masking word corruption (checksum + retransmit).
 // F3: cost of crash recovery (epoch resync + degraded best-so-far).
+// F4: cost of masking message duplication (ARQ sequence-number dedup).
 //
 // F1 sweeps the per-message drop probability and reruns the textbook
 // primitives (BFS tree, pipelined broadcast) and the full exact-MWC
@@ -227,6 +228,44 @@ void run_recovery(const Graph& g, bool quick) {
               "the crash/recovery pair once per protocol run");
 }
 
+void run_duplication(const Graph& g, bool quick) {
+  bench::section("F4: exact MWC under message duplication (dedup transport)");
+  const Weight ref = graph::seq::mwc(g);
+  Network raw_net(g, 31);
+  cycle::MwcResult baseline = cycle::exact_mwc(raw_net);
+  const std::vector<double> rates =
+      quick ? std::vector<double>{0.0, 0.2}
+            : std::vector<double>{0.0, 0.1, 0.2, 0.4};
+  support::Table table({"dup", "rounds", "words", "dup msgs", "dup words",
+                        "word overhead", "status", "value ok?"});
+  for (double rate : rates) {
+    NetworkConfig cfg;
+    cfg.faults.dup_prob = rate;
+    cfg.reliable_transport = true;
+    Network net(g, 31, cfg);
+    cycle::SolveOptions opts;
+    opts.mode = cycle::SolveMode::kExact;
+    cycle::MwcReport report = cycle::solve(net, opts);
+    const RunStats& stats = report.fault_ledger();
+    table.add_row(
+        {support::Table::fmt(rate, 2),
+         support::Table::fmt(static_cast<std::int64_t>(stats.rounds)),
+         support::Table::fmt(static_cast<std::int64_t>(stats.words)),
+         support::Table::fmt(static_cast<std::int64_t>(stats.dup_messages)),
+         support::Table::fmt(static_cast<std::int64_t>(stats.dup_words)),
+         support::Table::fmt(static_cast<double>(stats.words) /
+                                 static_cast<double>(baseline.stats.words),
+                             2),
+         std::string(cycle::to_string(report.status)),
+         report.result.value == ref ? "yes" : "NO"});
+  }
+  bench::emit(table);
+  bench::note("the ARQ layer's per-link sequence numbers absorb re-delivery: "
+              "every row must read `certified` with the fault-free value and "
+              "the fault-free round/word bill - duplicate traffic shows up "
+              "only on the dup msgs/words ledger, never re-processed");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -241,5 +280,6 @@ int main(int argc, char** argv) {
   run_mwc(g, quick);
   run_corruption(g, quick);
   run_recovery(g, quick);
+  run_duplication(g, quick);
   return 0;
 }

@@ -1,0 +1,250 @@
+// S1-S4: the solve-service core (mwc/service.h) under load.
+//
+// S1 sweeps the worker-pool width over a mixed batch (clean, lossy, and
+// budget-killed requests, all-unique solve identities) and reports batch
+// wall time and throughput; the outcome counters (certified/degraded) must
+// not move with the worker count - workers are wall-clock only. S2 drives
+// the degradation ladder with persistently hostile fault plans and bills
+// the retries and exact->approx fallbacks. S3 replays one batch against a
+// warm artifact cache and reports the hit rate (every hit re-serializes
+// byte-identically to the cold solve - asserted in tests, billed here).
+// S4 measures admission control: a burst twice the queue capacity must
+// shed exactly the overflow, each with an explicit rejected_overload
+// response.
+//
+// Deterministic counters (requests, shed, retries, fallbacks, cache hits,
+// outcome splits) gate in CI via bench_compare; the wall-clock metrics
+// ("*_seconds", "throughput_*") gate only at the loose timing threshold.
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "graph/generators.h"
+#include "mwc/service.h"
+#include "support/flags.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace mwc;  // NOLINT
+using graph::Graph;
+using service::ServiceConfig;
+using service::ServiceRequest;
+using service::ServiceResponse;
+using service::SolveService;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::vector<Graph> base_graphs(bool quick) {
+  std::vector<Graph> out;
+  const int families = quick ? 3 : 6;
+  for (int i = 0; i < families; ++i) {
+    support::Rng rng(static_cast<std::uint64_t>(i) * 511 + 9);
+    const int n = 16 + 4 * i;
+    out.push_back(graph::random_connected(n, 2 * n, graph::WeightRange{1, 9},
+                                          rng));
+  }
+  return out;
+}
+
+// All-unique solve identities (distinct seeds), so cache hits within one
+// pass are impossible and the counters stay worker-count invariant.
+std::vector<ServiceRequest> mixed_batch(const std::vector<Graph>& graphs,
+                                        int copies) {
+  std::vector<ServiceRequest> batch;
+  int serial = 0;
+  for (int copy = 0; copy < copies; ++copy) {
+    for (const Graph& g : graphs) {
+      for (int kind = 0; kind < 4; ++kind) {
+        ServiceRequest rq;
+        rq.id = "s" + std::to_string(serial);
+        rq.graph = g;
+        rq.seed = static_cast<std::uint64_t>(++serial) * 977;
+        rq.mode = kind % 2 == 0 ? cycle::SolveMode::kExact
+                                : cycle::SolveMode::kAuto;
+        if (kind == 1) rq.faults.drop_prob = 0.15;
+        if (kind == 2) rq.faults.dup_prob = 0.2;
+        if (kind == 3) rq.budget.max_rounds = 12;  // anytime bracket path
+        batch.push_back(std::move(rq));
+      }
+    }
+  }
+  return batch;
+}
+
+void run_throughput(const std::vector<Graph>& graphs, bool quick) {
+  bench::section("S1: batch throughput vs worker-pool width");
+  const std::vector<ServiceRequest> batch = mixed_batch(graphs, quick ? 2 : 4);
+  const std::vector<int> widths =
+      quick ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+  support::Table table({"workers", "requests", "certified", "degraded",
+                        "bounded", "wall s", "req/s"});
+  double t1 = 0.0;
+  for (int w : widths) {
+    ServiceConfig cfg;
+    cfg.workers = w;
+    SolveService svc(cfg);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<ServiceResponse> rs = svc.run_batch(batch);
+    const double secs = seconds_since(start);
+    if (w == 1) t1 = secs;
+    std::uint64_t certified = 0, degraded = 0, bounded = 0;
+    for (const ServiceResponse& r : rs) {
+      if (r.certified()) {
+        ++certified;
+      } else if (r.stop != congest::StopReason::kNone) {
+        ++bounded;
+      } else {
+        ++degraded;
+      }
+    }
+    table.add_row({support::Table::fmt(static_cast<std::int64_t>(w)),
+                   support::Table::fmt(static_cast<std::int64_t>(rs.size())),
+                   support::Table::fmt(static_cast<std::int64_t>(certified)),
+                   support::Table::fmt(static_cast<std::int64_t>(degraded)),
+                   support::Table::fmt(static_cast<std::int64_t>(bounded)),
+                   support::Table::fmt(secs, 3),
+                   support::Table::fmt(static_cast<double>(rs.size()) / secs,
+                                       1)});
+    if (w == widths.back()) {
+      bench::metric("service_requests", static_cast<double>(rs.size()));
+      bench::metric("service_certified", static_cast<double>(certified));
+      bench::metric("service_bounded", static_cast<double>(bounded));
+      bench::metric("batch_wall_seconds_w1", t1);
+      bench::metric("batch_wall_seconds_wmax", secs);
+      bench::metric("throughput_rps_wmax",
+                    static_cast<double>(rs.size()) / secs);
+    }
+  }
+  bench::emit(table);
+  bench::note("outcome splits must be identical on every row - the worker "
+              "pool only moves the wall clock, never a response");
+}
+
+void run_ladder(const std::vector<Graph>& graphs, bool quick) {
+  bench::section("S2: degradation ladder under persistent crash faults");
+  std::vector<ServiceRequest> batch;
+  const int copies = quick ? 1 : 2;
+  int serial = 0;
+  for (int copy = 0; copy < copies; ++copy) {
+    for (const Graph& g : graphs) {
+      ServiceRequest rq;
+      rq.id = "lad" + std::to_string(serial);
+      rq.graph = g;
+      rq.seed = static_cast<std::uint64_t>(++serial) * 131;
+      rq.mode = cycle::SolveMode::kExact;
+      rq.faults.crashes.push_back(congest::CrashFault{1, 4});
+      batch.push_back(std::move(rq));
+    }
+  }
+  ServiceConfig cfg;
+  cfg.workers = quick ? 2 : 4;
+  SolveService svc(cfg);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<ServiceResponse> rs = svc.run_batch(batch);
+  const double secs = seconds_since(start);
+  const SolveService::Stats stats = svc.stats();
+  support::Table table({"requests", "retries", "fallbacks", "degraded",
+                        "failed", "wall s"});
+  table.add_row({support::Table::fmt(static_cast<std::int64_t>(rs.size())),
+                 support::Table::fmt(static_cast<std::int64_t>(stats.retries)),
+                 support::Table::fmt(
+                     static_cast<std::int64_t>(stats.fallbacks)),
+                 support::Table::fmt(static_cast<std::int64_t>(stats.degraded)),
+                 support::Table::fmt(static_cast<std::int64_t>(stats.failed)),
+                 support::Table::fmt(secs, 3)});
+  bench::emit(table);
+  bench::metric("ladder_retries", static_cast<double>(stats.retries));
+  bench::metric("ladder_fallbacks", static_cast<double>(stats.fallbacks));
+  bench::note("a crash schedule is part of the plan, not the seed: every "
+              "request climbs the full ladder (retries with rotated seeds, "
+              "then the exact->approx fallback) and still terminates with a "
+              "typed bounded response");
+}
+
+void run_cache(const std::vector<Graph>& graphs, bool quick) {
+  bench::section("S3: artifact cache, cold pass vs warm replay");
+  const std::vector<ServiceRequest> batch = mixed_batch(graphs, quick ? 1 : 2);
+  ServiceConfig cfg;
+  cfg.workers = 1;  // deterministic hit accounting
+  cfg.cache.max_entries = 4096;
+  SolveService svc(cfg);
+  const auto cold_start = std::chrono::steady_clock::now();
+  (void)svc.run_batch(batch);
+  const double cold = seconds_since(cold_start);
+  const auto warm_start = std::chrono::steady_clock::now();
+  (void)svc.run_batch(batch);
+  const double warm = seconds_since(warm_start);
+  const std::uint64_t hits = svc.cache().hits();
+  const std::uint64_t misses = svc.cache().misses();
+  // Only wall/RSS-budget requests bypass the cache; this corpus has none,
+  // so the replay must hit on every request.
+  const double hit_rate =
+      static_cast<double>(hits) / static_cast<double>(batch.size());
+  support::Table table(
+      {"pass", "requests", "cache hits", "cache misses", "wall s"});
+  table.add_row({"cold",
+                 support::Table::fmt(static_cast<std::int64_t>(batch.size())),
+                 "0", support::Table::fmt(static_cast<std::int64_t>(misses)),
+                 support::Table::fmt(cold, 3)});
+  table.add_row({"warm",
+                 support::Table::fmt(static_cast<std::int64_t>(batch.size())),
+                 support::Table::fmt(static_cast<std::int64_t>(hits)), "0",
+                 support::Table::fmt(warm, 3)});
+  bench::emit(table);
+  bench::metric("cache_hits", static_cast<double>(hits));
+  bench::metric("cache_hit_rate_pct", hit_rate * 100.0);
+  bench::metric("cache_warm_seconds", warm);
+  bench::metric("cache_cold_seconds", cold);
+  bench::note("every warm response re-serializes byte-identically to its "
+              "cold twin (asserted in tests/service_chaos_test.cpp); the "
+              "speedup is the whole point of keying on the solve identity");
+}
+
+void run_admission(const std::vector<Graph>& graphs, bool quick) {
+  bench::section("S4: admission control under a 2x-capacity burst");
+  std::vector<ServiceRequest> burst = mixed_batch(graphs, quick ? 2 : 4);
+  ServiceConfig cfg;
+  cfg.workers = quick ? 2 : 4;
+  cfg.queue_capacity = burst.size() / 2;
+  cfg.shed_on_overload = true;
+  SolveService svc(cfg);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<ServiceResponse> rs = svc.run_batch(burst);
+  const double secs = seconds_since(start);
+  const SolveService::Stats stats = svc.stats();
+  support::Table table({"burst", "capacity", "admitted", "shed", "wall s"});
+  table.add_row(
+      {support::Table::fmt(static_cast<std::int64_t>(burst.size())),
+       support::Table::fmt(static_cast<std::int64_t>(cfg.queue_capacity)),
+       support::Table::fmt(static_cast<std::int64_t>(stats.admitted)),
+       support::Table::fmt(static_cast<std::int64_t>(stats.shed)),
+       support::Table::fmt(secs, 3)});
+  bench::emit(table);
+  bench::metric("shed_requests", static_cast<double>(stats.shed));
+  bench::metric("shed_rate_pct",
+                100.0 * static_cast<double>(stats.shed) /
+                    static_cast<double>(burst.size()));
+  bench::note("every shed request still got a response (rejected_overload) - "
+              "load shedding is an answer, not an abort");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonLog json_log("service");
+  support::Flags flags(argc, argv, {"quick"});
+  const bool quick = flags.has("quick");
+  const std::vector<Graph> graphs = base_graphs(quick);
+  run_throughput(graphs, quick);
+  run_ladder(graphs, quick);
+  run_cache(graphs, quick);
+  run_admission(graphs, quick);
+  return 0;
+}

@@ -30,6 +30,8 @@ void put_run_stats(CheckpointWriter& w, const RunStats& s) {
   w.u64(s.stalled_rounds);
   w.u64(s.corrupted_words);
   w.u64(s.checksum_rejects);
+  w.u64(s.dup_messages);
+  w.u64(s.dup_words);
   w.u64(s.crashes);
   w.u64(s.recoveries);
   w.u64(s.dead_links);
@@ -40,7 +42,8 @@ bool get_run_stats(CheckpointReader& r, RunStats& s) {
          r.u64(s.max_queue_words) && r.u64(s.dropped_messages) &&
          r.u64(s.dropped_words) && r.u64(s.retransmitted_words) &&
          r.u64(s.stalled_rounds) && r.u64(s.corrupted_words) &&
-         r.u64(s.checksum_rejects) && r.u64(s.crashes) &&
+         r.u64(s.checksum_rejects) && r.u64(s.dup_messages) &&
+         r.u64(s.dup_words) && r.u64(s.crashes) &&
          r.u64(s.recoveries) && r.u64(s.dead_links);
 }
 

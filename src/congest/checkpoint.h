@@ -37,7 +37,7 @@
 
 namespace mwc::congest {
 
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersion = 2;  // v2: RunStats dup counters
 inline constexpr std::uint64_t kCheckpointEndianProbe = 0x0102030405060708ULL;
 
 // FNV-1a over `bytes`, seeded by `h` for incremental hashing.

@@ -13,8 +13,11 @@ FaultInjector::FaultInjector(const FaultPlan& plan, support::Rng rng, int n,
                 "drop_prob must be in [0, 1)");
   MWC_CHECK_MSG(plan.corrupt_prob >= 0.0 && plan.corrupt_prob < 1.0,
                 "corrupt_prob must be in [0, 1)");
+  MWC_CHECK_MSG(plan.dup_prob >= 0.0 && plan.dup_prob < 1.0,
+                "dup_prob must be in [0, 1)");
   drop_prob_.assign(dir_endpoints.size(), plan.drop_prob);
   corrupt_prob_.assign(dir_endpoints.size(), plan.corrupt_prob);
+  dup_prob_.assign(dir_endpoints.size(), plan.dup_prob);
   stalls_.resize(dir_endpoints.size());
   windows_.resize(dir_endpoints.size());
   for (std::size_t i = 0; i < dir_endpoints.size(); ++i) {
@@ -31,6 +34,13 @@ FaultInjector::FaultInjector(const FaultPlan& plan, support::Rng rng, int n,
                     "corrupt override prob must be in [0, 1)");
       if ((o.a == from && o.b == to) || (o.a == to && o.b == from)) {
         corrupt_prob_[i] = o.prob;
+      }
+    }
+    for (const LinkDupOverride& o : plan.dup_overrides) {
+      MWC_CHECK_MSG(o.prob >= 0.0 && o.prob < 1.0,
+                    "dup override prob must be in [0, 1)");
+      if ((o.a == from && o.b == to) || (o.a == to && o.b == from)) {
+        dup_prob_[i] = o.prob;
       }
     }
     for (const StallFault& s : plan.stalls) {
@@ -88,6 +98,12 @@ FaultInjector::FaultInjector(const FaultPlan& plan, support::Rng rng, int n,
 
 bool FaultInjector::drop_message(int dir_idx) {
   const double p = drop_prob_[static_cast<std::size_t>(dir_idx)];
+  if (p <= 0.0) return false;
+  return rng_.next_bool(p);
+}
+
+bool FaultInjector::duplicate_message(int dir_idx) {
+  const double p = dup_prob_[static_cast<std::size_t>(dir_idx)];
   if (p <= 0.0) return false;
   return rng_.next_bool(p);
 }

@@ -7,6 +7,10 @@
 //
 //   * message drops:  every fully transmitted message is lost with a
 //     per-link probability (a global rate plus per-link overrides);
+//   * duplication:    every delivered message is delivered twice with a
+//     per-link probability (a global rate plus per-link overrides) - the
+//     copy carries the identical payload, corruption included, and costs
+//     no extra bandwidth (the adversary clones at the receiving end);
 //   * corruption:     every delivered word is XOR-flipped with a per-link
 //     probability (a global rate plus per-link overrides), and targeted
 //     CorruptFault windows mangle every message a direction delivers during
@@ -57,6 +61,13 @@ struct LinkCorruptOverride {
   double prob = 0.0;
 };
 
+// Duplication-probability override for both directions of the a-b link.
+struct LinkDupOverride {
+  NodeId a = graph::kNoNode;
+  NodeId b = graph::kNoNode;
+  double prob = 0.0;
+};
+
 // Targeted corruption: every message delivered on the from->to direction
 // during rounds [first_round, last_round] (inclusive) has one word
 // XOR-flipped, regardless of the probabilistic rate.
@@ -100,6 +111,9 @@ struct FaultPlan {
   double corrupt_prob = 0.0;
   std::vector<LinkCorruptOverride> corrupt_overrides;
   std::vector<CorruptFault> corrupt_windows;
+  // Per-message duplication probability applied to every delivery.
+  double dup_prob = 0.0;
+  std::vector<LinkDupOverride> dup_overrides;
   std::vector<StallFault> stalls;
   std::vector<CrashFault> crashes;
   std::vector<RecoverFault> recovers;
@@ -109,8 +123,9 @@ struct FaultPlan {
     return corrupt_prob > 0.0 || !corrupt_overrides.empty() ||
            !corrupt_windows.empty();
   }
+  bool has_dups() const { return dup_prob > 0.0 || !dup_overrides.empty(); }
   bool any() const {
-    return has_drops() || has_corruption() || !stalls.empty() ||
+    return has_drops() || has_corruption() || has_dups() || !stalls.empty() ||
            !crashes.empty() || !recovers.empty();
   }
 };
@@ -143,6 +158,11 @@ class FaultInjector {
   // only on links with a positive drop probability).
   bool drop_message(int dir_idx);
 
+  // Whether the message about to be delivered on `dir_idx` is delivered a
+  // second time (consumes randomness only on links with a positive
+  // duplication probability).
+  bool duplicate_message(int dir_idx);
+
   // Flips words of a message about to be delivered on `dir_idx` during
   // `round` (probabilistic rate plus any active CorruptFault window);
   // returns the number of corrupted words. Consumes randomness only on
@@ -163,6 +183,7 @@ class FaultInjector {
   support::Rng rng_;
   std::vector<double> drop_prob_;     // per direction
   std::vector<double> corrupt_prob_;  // per direction
+  std::vector<double> dup_prob_;      // per direction
   // Per direction: stall / corruption-window intervals (few per plan;
   // linear scan).
   std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> stalls_;

@@ -1,5 +1,6 @@
 #include "congest/governor.h"
 
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -23,14 +24,26 @@ const char* to_string(StopReason reason) {
 // ---- CancelToken -----------------------------------------------------------
 
 namespace {
-// Async-signal-safe mailbox for bind_process_signals: the handler does
-// nothing but store the signal number.
-volatile std::sig_atomic_t g_cancel_signal = 0;
+// Mailbox for bind_process_signals: the handler does nothing but store the
+// signal number. Tokens observe the mailbox, never the other way around, so
+// any number of them can be bound at once and a destroyed token leaves
+// nothing dangling. A lock-free atomic (guaranteed for int on the supported
+// targets) is both async-signal-safe and safe to read from other threads —
+// a signal raised on one thread is commonly observed by another.
+std::atomic<int> g_cancel_signal{0};
 
-extern "C" void cancel_signal_handler(int sig) { g_cancel_signal = sig; }
+extern "C" void cancel_signal_handler(int sig) {
+  g_cancel_signal.store(sig, std::memory_order_relaxed);
+}
 }  // namespace
 
-int CancelToken::pending_signal() { return static_cast<int>(g_cancel_signal); }
+int CancelToken::pending_signal() {
+  return g_cancel_signal.load(std::memory_order_relaxed);
+}
+
+int CancelToken::take_process_signal() {
+  return g_cancel_signal.exchange(0, std::memory_order_relaxed);
+}
 
 void CancelToken::request(std::string reason) {
   {
@@ -42,7 +55,11 @@ void CancelToken::request(std::string reason) {
 
 bool CancelToken::cancelled() const {
   if (flag_.load(std::memory_order_acquire)) return true;
-  return signal_bound_ && pending_signal() != 0;
+  if (signal_bound_.load(std::memory_order_acquire) && pending_signal() != 0) {
+    return true;
+  }
+  const CancelToken* parent = parent_.load(std::memory_order_acquire);
+  return parent != nullptr && parent->cancelled();
 }
 
 std::string CancelToken::reason() const {
@@ -50,14 +67,16 @@ std::string CancelToken::reason() const {
     std::lock_guard<std::mutex> lock(mu_);
     if (!reason_.empty()) return reason_;
   }
-  if (signal_bound_ && pending_signal() != 0) {
+  if (signal_bound_.load(std::memory_order_acquire) && pending_signal() != 0) {
     return "signal " + std::to_string(pending_signal()) + " received";
   }
+  const CancelToken* parent = parent_.load(std::memory_order_acquire);
+  if (parent != nullptr) return parent->reason();
   return "";
 }
 
 void CancelToken::bind_process_signals() {
-  signal_bound_ = true;
+  signal_bound_.store(true, std::memory_order_release);
   std::signal(SIGINT, cancel_signal_handler);
   std::signal(SIGTERM, cancel_signal_handler);
 }

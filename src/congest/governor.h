@@ -84,26 +84,49 @@ struct StopInfo {
 // A set-once cancellation flag safe to trip from another thread or - after
 // bind_process_signals() - from a SIGINT/SIGTERM handler. The governed
 // engine polls it at round boundaries; nothing is interrupted mid-round.
+//
+// Fan-out: any number of tokens may be signal-bound at once (the handler
+// only stores the signal number in a process-wide mailbox; every bound
+// token observes it), and a token may additionally observe a parent via
+// link_parent() - a service cancelling its own token thereby cancels every
+// in-flight per-request token linked to it. Re-entrancy: a delivered
+// signal latches the mailbox until take_process_signal() clears it, so a
+// server that drains on the first SIGINT/SIGTERM can acknowledge it and
+// keep serving with fresh tokens instead of every later solve being
+// stillborn.
 class CancelToken {
  public:
   // Trips the token. First caller's reason wins; later calls are no-ops.
   void request(std::string reason);
   bool cancelled() const;
-  // The reason passed to request(), or "signal N received" for a bound
-  // process signal. Empty while not cancelled.
+  // The reason passed to request(), the parent's reason, or "signal N
+  // received" for a bound process signal. Empty while not cancelled.
   std::string reason() const;
 
-  // Routes SIGINT and SIGTERM into this token for the rest of the process
-  // lifetime (the handler only sets a flag; this token must outlive it).
-  // At most one token per process can be bound; later binds replace it.
+  // Routes SIGINT and SIGTERM into this token (the handler only sets a
+  // process-wide flag; installing it is idempotent). Any number of tokens
+  // may be bound concurrently - each observes the same mailbox, which is
+  // the signal fan-out the solve service relies on.
   void bind_process_signals();
+  // Stops observing the process-signal mailbox (individual trips via
+  // request() are unaffected).
+  void unbind_process_signals() { signal_bound_ = false; }
 
- private:
-  // Signal number delivered to the process-wide handler, 0 when none.
+  // Fan-out link: cancelled()/reason() also report the parent's state.
+  // Not owned - the parent must outlive this token (the service owns both).
+  void link_parent(const CancelToken* parent) { parent_ = parent; }
+
+  // Returns the latched process signal (0 when none) and clears the
+  // mailbox, acknowledging it: bound tokens stop reporting cancelled
+  // unless individually tripped. The drain-then-resume hook for servers.
+  static int take_process_signal();
+  // Reads the mailbox without clearing it.
   static int pending_signal();
 
+ private:
   std::atomic<bool> flag_{false};
-  bool signal_bound_ = false;
+  std::atomic<bool> signal_bound_{false};
+  std::atomic<const CancelToken*> parent_{nullptr};
   mutable std::mutex mu_;
   std::string reason_;
 };

@@ -159,6 +159,10 @@ struct RunStats {
   // Frames the reliable transport rejected on a checksum mismatch (each is
   // eventually repaired by a retransmission).
   std::uint64_t checksum_rejects = 0;
+  // Extra deliveries minted by duplication faults (each duplicated message
+  // reaches its receiver twice; the copy is billed here and in `messages`).
+  std::uint64_t dup_messages = 0;
+  std::uint64_t dup_words = 0;
   // Crash-stop faults that fired during the run, and how many of those
   // nodes were revived by a RecoverFault.
   std::uint64_t crashes = 0;

@@ -655,6 +655,12 @@ void Runner::settle_dir(int dir_idx, DirTransmit& r,
         }
         continue;
       }
+      // Duplication is decided between drop and corruption on both settle
+      // paths, so the fault RNG stream stays byte-identical. The copy shares
+      // the (possibly corrupted) payload: the adversary clones the frame as
+      // delivered.
+      const bool duplicated =
+          injector_ != nullptr && injector_->duplicate_message(dir_idx);
       // No Message is built at all: the word (or the spill slot, for longer
       // payloads) parks in the receiver's compact inbox until invocation.
       // Corruption mutates the payload where it lives - through a probe
@@ -697,6 +703,25 @@ void Runner::settle_dir(int dir_idx, DirTransmit& r,
       }
       ++stats_.messages;
       ++net_.total_messages_;
+      if (duplicated) {
+        PendingDelivery copy = pd;
+        if (done.spill != kNoSpill) {
+          // The copy needs its own spill slot: materialization moves each
+          // slot out exactly once. Copy first - alloc_spill may grow the
+          // pool and invalidate references into it.
+          Message dup_payload = spill_[done.spill];
+          copy.head = Word{alloc_spill(std::move(dup_payload))};
+        }
+        box.push_back(copy);
+        if (trace_ != nullptr) {
+          trace_->record(TraceEvent{run_id_, round_, dir.from, dir.to,
+                                    done.size, TraceEventKind::kDeliver, {}});
+        }
+        ++stats_.messages;
+        ++net_.total_messages_;
+        ++stats_.dup_messages;
+        stats_.dup_words += done.size;
+      }
     }
     r.fq_completed.clear();
     if (r.still_active) still_active.push_back(dir_idx);
@@ -721,9 +746,12 @@ void Runner::settle_dir(int dir_idx, DirTransmit& r,
                                   msg.size(), TraceEventKind::kDrop, {}});
       }
     } else {
-      // Corruption is decided here on the host thread, after the drop
-      // decision, so the injector's RNG stream advances in the exact order
-      // sequential execution produces - thread counts cannot change it.
+      // Duplication first (mirroring the frontier path: drop, then dup,
+      // then corruption, all on the host thread), so the injector's RNG
+      // stream advances in the exact order sequential execution produces -
+      // thread counts and settle paths cannot change it.
+      const bool duplicated =
+          injector_ != nullptr && injector_->duplicate_message(dir_idx);
       if (injector_ != nullptr) {
         const std::uint32_t flips =
             injector_->corrupt_message(dir_idx, round_, msg);
@@ -745,13 +773,31 @@ void Runner::settle_dir(int dir_idx, DirTransmit& r,
       // inbox is gone from the delivery stream.
       auto& box = inbox_next_[static_cast<std::size_t>(dir.to)];
       if (box.empty()) receivers_next_.push_back(dir.to);
+      const std::uint32_t msg_size = msg.size();
+      Message dup_payload;
+      if (duplicated && msg_size > 1) dup_payload = msg;  // copy pre-move
       PendingDelivery pd;
       pd.from = dir.from;
-      pd.size = msg.size();
-      pd.head = msg.size() == 1 ? msg[0] : Word{alloc_spill(std::move(msg))};
+      pd.size = msg_size;
+      pd.head = msg_size == 1 ? msg[0] : Word{alloc_spill(std::move(msg))};
       box.push_back(pd);
       ++stats_.messages;
       ++net_.total_messages_;
+      if (duplicated) {
+        PendingDelivery copy = pd;
+        if (msg_size > 1) {
+          copy.head = Word{alloc_spill(std::move(dup_payload))};
+        }
+        box.push_back(copy);
+        if (trace_ != nullptr) {
+          trace_->record(TraceEvent{run_id_, round_, dir.from, dir.to,
+                                    msg_size, TraceEventKind::kDeliver, {}});
+        }
+        ++stats_.messages;
+        ++net_.total_messages_;
+        ++stats_.dup_messages;
+        stats_.dup_words += msg_size;
+      }
     }
   }
   r.completed.clear();

@@ -161,6 +161,8 @@ void fill_bounds(const congest::Network& net, MwcReport& report) {
   }
 }
 
+}  // namespace
+
 // The solve options a checkpoint is only valid for: anything that changes
 // what the algorithm executes or records. Budgets and deadlines are
 // deliberately excluded - resuming a budget-killed solve with a larger
@@ -179,8 +181,6 @@ std::uint64_t solve_options_digest(const SolveOptions& options) {
   // anyway - resuming a plain solve with the observatory on is legitimate.
   return congest::fnv1a(w.bytes());
 }
-
-}  // namespace
 
 double approximate_mwc_guarantee(const congest::Network& net,
                                  const ApproxMwcOptions& options) {

@@ -193,6 +193,14 @@ struct MwcReport {
 
 MwcReport solve(congest::Network& net, const SolveOptions& options = {});
 
+// Fingerprint of the options that change what a solve executes or records
+// (mode, epsilon, collect_metrics) - the identity checkpoints validate
+// against on resume, and one ingredient of the solve service's artifact
+// cache key (mwc/service.h). Budgets, deadlines, threads, and the
+// congestion observatory are deliberately excluded: they never change the
+// deterministic execution.
+std::uint64_t solve_options_digest(const SolveOptions& options);
+
 struct ApproxMwcOptions {
   double epsilon = 0.5;  // weighted classes only
 };

@@ -59,6 +59,8 @@ inline void add_stats(congest::RunStats& acc, const congest::RunStats& s) {
   acc.stalled_rounds += s.stalled_rounds;
   acc.corrupted_words += s.corrupted_words;
   acc.checksum_rejects += s.checksum_rejects;
+  acc.dup_messages += s.dup_messages;
+  acc.dup_words += s.dup_words;
   acc.crashes += s.crashes;
   acc.recoveries += s.recoveries;
   acc.dead_links += s.dead_links;
@@ -68,13 +70,16 @@ inline void add_stats(congest::RunStats& acc, const congest::RunStats& s) {
 // could not mask: lost node state (crash-stops, even if later recovered -
 // the node's volatile algorithm state is gone), links abandoned by the ARQ
 // layer, or raw loss/corruption on a network without reliable_transport.
-// Masked faults (drops, corruption, and stalls under the ARQ layer) do not
+// Masked faults (drops, corruption, duplicates, and stalls under the ARQ
+// layer - the receiver's per-link sequence numbers discard replayed frames)
+// do not
 // count: they cost rounds, never correctness.
 inline bool stats_interference(const congest::RunStats& s,
                                bool reliable_transport) {
   if (s.crashes > 0 || s.dead_links > 0) return true;
   if (!reliable_transport &&
-      (s.dropped_messages > 0 || s.corrupted_words > 0)) {
+      (s.dropped_messages > 0 || s.corrupted_words > 0 ||
+       s.dup_messages > 0)) {
     return true;
   }
   return false;

@@ -1,0 +1,854 @@
+#include "mwc/service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <set>
+#include <thread>
+
+#include "congest/checkpoint.h"
+#include "support/check.h"
+#include "support/json.h"
+
+namespace mwc::service {
+
+const char* to_string(Admission a) {
+  switch (a) {
+    case Admission::kAdmitted: return "ok";
+    case Admission::kRejectedOverload: return "rejected_overload";
+    case Admission::kRejectedInvalid: return "rejected_invalid";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_weight(std::string& out, graph::Weight w) {
+  if (w == graph::kInfWeight) {
+    out += "null";
+  } else {
+    out += std::to_string(w);
+  }
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  out += buf;
+}
+
+// --- request-line parsing helpers -------------------------------------
+
+using support::JsonValue;
+
+// Exact unsigned integer from the parser's raw text (the double lane loses
+// precision past 2^53 and accepts fractions).
+bool json_u64(const JsonValue& v, std::uint64_t& out) {
+  if (!v.is_number() || v.raw.empty()) return false;
+  for (const char c : v.raw) {
+    if (c < '0' || c > '9') return false;  // no sign, fraction, exponent
+  }
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtoull(v.raw.c_str(), &end, 10);
+  return errno == 0 && end != nullptr && *end == '\0';
+}
+
+bool json_i64(const JsonValue& v, std::int64_t& out) {
+  if (!v.is_number() || v.raw.empty()) return false;
+  std::size_t i = v.raw[0] == '-' ? 1 : 0;
+  if (i >= v.raw.size()) return false;
+  for (; i < v.raw.size(); ++i) {
+    if (v.raw[i] < '0' || v.raw[i] > '9') return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtoll(v.raw.c_str(), &end, 10);
+  return errno == 0 && end != nullptr && *end == '\0';
+}
+
+bool set_error(std::string* error, std::string msg) {
+  if (error != nullptr) *error = std::move(msg);
+  return false;
+}
+
+bool known_keys(const JsonValue& obj, std::initializer_list<const char*> keys,
+                const char* where, std::string* error) {
+  for (const auto& [k, unused] : obj.members) {
+    bool ok = false;
+    for (const char* allowed : keys) {
+      if (k == allowed) { ok = true; break; }
+    }
+    if (!ok) {
+      return set_error(error, std::string("unknown ") + where + " member \"" +
+                                  k + "\"");
+    }
+  }
+  return true;
+}
+
+bool parse_prob(const JsonValue& obj, const char* key, double& out,
+                std::string* error) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return true;
+  if (!v->is_number() || v->number < 0.0 || v->number >= 1.0) {
+    return set_error(error, std::string(key) + " must be in [0, 1)");
+  }
+  out = v->number;
+  return true;
+}
+
+bool parse_node_round_list(const JsonValue& obj, const char* key, int n,
+                           std::vector<std::pair<graph::NodeId, std::uint64_t>>& out,
+                           std::string* error) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return true;
+  if (!v->is_array()) return set_error(error, std::string(key) + " must be an array");
+  for (const JsonValue& item : v->items) {
+    std::int64_t node = -1;
+    std::uint64_t round = 0;
+    if (!item.is_array() || item.items.size() != 2 ||
+        !json_i64(item.items[0], node) || !json_u64(item.items[1], round)) {
+      return set_error(error, std::string(key) + " entries must be [node, round]");
+    }
+    if (node < 0 || node >= n) {
+      return set_error(error, std::string(key) + " names node " +
+                                  std::to_string(node) + " outside [0, " +
+                                  std::to_string(n) + ")");
+    }
+    out.emplace_back(static_cast<graph::NodeId>(node), round);
+  }
+  return true;
+}
+
+bool parse_graph(const JsonValue& v, int max_nodes, graph::Graph& out,
+                 std::string* error) {
+  if (!v.is_object()) return set_error(error, "graph must be an object");
+  if (!known_keys(v, {"directed", "n", "edges"}, "graph", error)) return false;
+  bool directed = false;
+  if (const JsonValue* d = v.find("directed"); d != nullptr) {
+    if (d->kind != JsonValue::Kind::kBool) {
+      return set_error(error, "graph.directed must be a boolean");
+    }
+    directed = d->boolean;
+  }
+  const JsonValue* nv = v.find("n");
+  std::int64_t n = 0;
+  if (nv == nullptr || !json_i64(*nv, n) || n < 1) {
+    return set_error(error, "graph.n must be a positive integer");
+  }
+  if (n > max_nodes) {
+    return set_error(error, "graph.n " + std::to_string(n) +
+                                " exceeds the service limit of " +
+                                std::to_string(max_nodes) + " nodes");
+  }
+  const JsonValue* ev = v.find("edges");
+  if (ev == nullptr || !ev->is_array()) {
+    return set_error(error, "graph.edges must be an array");
+  }
+  std::vector<graph::Edge> edges;
+  edges.reserve(ev->items.size());
+  std::set<std::pair<std::int64_t, std::int64_t>> seen;
+  for (const JsonValue& item : ev->items) {
+    std::int64_t u = -1;
+    std::int64_t w_node = -1;
+    std::int64_t w = 1;
+    const bool shape_ok =
+        item.is_array() &&
+        (item.items.size() == 2 || item.items.size() == 3) &&
+        json_i64(item.items[0], u) && json_i64(item.items[1], w_node) &&
+        (item.items.size() == 2 || json_i64(item.items[2], w));
+    if (!shape_ok) {
+      return set_error(error, "graph.edges entries must be [u, v] or [u, v, w]");
+    }
+    if (u < 0 || u >= n || w_node < 0 || w_node >= n) {
+      return set_error(error, "edge endpoint outside [0, n)");
+    }
+    if (u == w_node) return set_error(error, "self-loop edges are not allowed");
+    if (w < 1) return set_error(error, "edge weights must be >= 1");
+    // The Graph builders treat duplicate arcs (and, undirected, {v,u}
+    // repeats of {u,v}) as caller bugs; a request line is not a caller.
+    const auto key = directed ? std::pair{u, w_node}
+                              : std::pair{std::min(u, w_node), std::max(u, w_node)};
+    if (!seen.insert(key).second) {
+      return set_error(error, "duplicate edge in graph.edges");
+    }
+    edges.push_back(graph::Edge{static_cast<graph::NodeId>(u),
+                                static_cast<graph::NodeId>(w_node),
+                                static_cast<graph::Weight>(w)});
+  }
+  out = directed
+            ? graph::Graph::directed(static_cast<int>(n), edges)
+            : graph::Graph::undirected(static_cast<int>(n), edges);
+  return true;
+}
+
+bool is_link(const graph::Graph& g, graph::NodeId from, graph::NodeId to) {
+  for (const graph::Edge& e : g.edges()) {
+    if ((e.from == from && e.to == to) || (e.from == to && e.to == from)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_faults(const JsonValue& v, const graph::Graph& g,
+                  congest::FaultPlan& out, std::string* error) {
+  if (!v.is_object()) return set_error(error, "faults must be an object");
+  if (!known_keys(v, {"drop_prob", "corrupt_prob", "dup_prob", "crashes",
+                      "recovers", "stalls"},
+                  "faults", error)) {
+    return false;
+  }
+  if (!parse_prob(v, "drop_prob", out.drop_prob, error) ||
+      !parse_prob(v, "corrupt_prob", out.corrupt_prob, error) ||
+      !parse_prob(v, "dup_prob", out.dup_prob, error)) {
+    return false;
+  }
+  const int n = g.node_count();
+  std::vector<std::pair<graph::NodeId, std::uint64_t>> crashes;
+  std::vector<std::pair<graph::NodeId, std::uint64_t>> recovers;
+  if (!parse_node_round_list(v, "crashes", n, crashes, error) ||
+      !parse_node_round_list(v, "recovers", n, recovers, error)) {
+    return false;
+  }
+  for (const auto& [node, round] : crashes) {
+    out.crashes.push_back(congest::CrashFault{node, round});
+  }
+  for (const auto& [node, round] : recovers) {
+    bool paired = false;
+    for (const auto& [cn, cr] : crashes) {
+      if (cn == node && cr < round) { paired = true; break; }
+    }
+    if (!paired) {
+      return set_error(error, "recovers entry for node " +
+                                  std::to_string(node) +
+                                  " has no earlier crash");
+    }
+    out.recovers.push_back(congest::RecoverFault{node, round});
+  }
+  if (const JsonValue* sv = v.find("stalls"); sv != nullptr) {
+    if (!sv->is_array()) return set_error(error, "faults.stalls must be an array");
+    for (const JsonValue& item : sv->items) {
+      std::int64_t from = -1;
+      std::int64_t to = -1;
+      std::uint64_t first = 0;
+      std::uint64_t last = 0;
+      if (!item.is_array() || item.items.size() != 4 ||
+          !json_i64(item.items[0], from) || !json_i64(item.items[1], to) ||
+          !json_u64(item.items[2], first) || !json_u64(item.items[3], last)) {
+        return set_error(error,
+                         "stalls entries must be [from, to, first, last]");
+      }
+      if (from < 0 || from >= n || to < 0 || to >= n || first > last ||
+          !is_link(g, static_cast<graph::NodeId>(from),
+                   static_cast<graph::NodeId>(to))) {
+        return set_error(error, "stalls entry names no link of the graph");
+      }
+      out.stalls.push_back(congest::StallFault{
+          static_cast<graph::NodeId>(from), static_cast<graph::NodeId>(to),
+          first, last});
+    }
+  }
+  return true;
+}
+
+bool parse_budget(const JsonValue& v, congest::Budget& out, std::string* error) {
+  if (!v.is_object()) return set_error(error, "budget must be an object");
+  if (!known_keys(v, {"max_rounds", "max_words", "max_wall_seconds",
+                      "max_rss_bytes"},
+                  "budget", error)) {
+    return false;
+  }
+  if (const JsonValue* f = v.find("max_rounds");
+      f != nullptr && !json_u64(*f, out.max_rounds)) {
+    return set_error(error, "budget.max_rounds must be a non-negative integer");
+  }
+  if (const JsonValue* f = v.find("max_words");
+      f != nullptr && !json_u64(*f, out.max_words)) {
+    return set_error(error, "budget.max_words must be a non-negative integer");
+  }
+  if (const JsonValue* f = v.find("max_rss_bytes");
+      f != nullptr && !json_u64(*f, out.max_rss_bytes)) {
+    return set_error(error, "budget.max_rss_bytes must be a non-negative integer");
+  }
+  if (const JsonValue* f = v.find("max_wall_seconds"); f != nullptr) {
+    if (!f->is_number() || f->number < 0.0) {
+      return set_error(error, "budget.max_wall_seconds must be >= 0");
+    }
+    out.max_wall_seconds = f->number;
+  }
+  return true;
+}
+
+// --- solve identity ----------------------------------------------------
+
+void digest_plan(congest::CheckpointWriter& w, const congest::FaultPlan& plan) {
+  const auto prob_bits = [](double p) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &p, sizeof(bits));
+    return bits;
+  };
+  w.u64(prob_bits(plan.drop_prob));
+  w.u64(static_cast<std::uint64_t>(plan.drop_overrides.size()));
+  for (const auto& o : plan.drop_overrides) {
+    w.i32(o.a);
+    w.i32(o.b);
+    w.u64(prob_bits(o.prob));
+  }
+  w.u64(prob_bits(plan.corrupt_prob));
+  w.u64(static_cast<std::uint64_t>(plan.corrupt_overrides.size()));
+  for (const auto& o : plan.corrupt_overrides) {
+    w.i32(o.a);
+    w.i32(o.b);
+    w.u64(prob_bits(o.prob));
+  }
+  w.u64(static_cast<std::uint64_t>(plan.corrupt_windows.size()));
+  for (const auto& o : plan.corrupt_windows) {
+    w.i32(o.from);
+    w.i32(o.to);
+    w.u64(o.first_round);
+    w.u64(o.last_round);
+  }
+  w.u64(prob_bits(plan.dup_prob));
+  w.u64(static_cast<std::uint64_t>(plan.dup_overrides.size()));
+  for (const auto& o : plan.dup_overrides) {
+    w.i32(o.a);
+    w.i32(o.b);
+    w.u64(prob_bits(o.prob));
+  }
+  w.u64(static_cast<std::uint64_t>(plan.stalls.size()));
+  for (const auto& o : plan.stalls) {
+    w.i32(o.from);
+    w.i32(o.to);
+    w.u64(o.first_round);
+    w.u64(o.last_round);
+  }
+  w.u64(static_cast<std::uint64_t>(plan.crashes.size()));
+  for (const auto& o : plan.crashes) {
+    w.i32(o.node);
+    w.u64(o.round);
+  }
+  w.u64(static_cast<std::uint64_t>(plan.recovers.size()));
+  for (const auto& o : plan.recovers) {
+    w.i32(o.node);
+    w.u64(o.round);
+  }
+}
+
+// Everything besides the graph that determines a deterministic solve's
+// outcome. Threads are excluded (bit-identical execution across thread
+// counts is an engine invariant); wall/RSS budgets make a request
+// uncacheable before this is ever computed.
+std::uint64_t solve_identity_digest(const ServiceRequest& rq) {
+  cycle::SolveOptions opts;
+  opts.mode = rq.mode;
+  opts.epsilon = rq.epsilon;
+  congest::CheckpointWriter w;
+  w.u64(cycle::solve_options_digest(opts));
+  w.u64(rq.seed);
+  w.u64(rq.max_rounds);
+  w.u64(rq.budget.max_rounds);
+  w.u64(rq.budget.max_words);
+  digest_plan(w, rq.faults);
+  return congest::fnv1a(w.bytes());
+}
+
+int status_rank(cycle::SolveStatus s) {
+  switch (s) {
+    case cycle::SolveStatus::kCertified: return 4;
+    case cycle::SolveStatus::kApproxCertified: return 3;
+    case cycle::SolveStatus::kDegraded: return 2;
+    case cycle::SolveStatus::kFailed: return 1;
+  }
+  return 0;
+}
+
+// Is `a` strictly more useful to the requester than `b`? Primary: the
+// certification ladder; tie-break: the tighter anytime bracket.
+bool better_response(const ServiceResponse& a, const ServiceResponse& b) {
+  const int ra = status_rank(a.status);
+  const int rb = status_rank(b.status);
+  if (ra != rb) return ra > rb;
+  if (a.upper_bound != b.upper_bound) return a.upper_bound < b.upper_bound;
+  return a.lower_bound > b.lower_bound;
+}
+
+void fill_from_report(const cycle::MwcReport& report, ServiceResponse& out) {
+  out.status = report.status;
+  out.status_reason = report.status_reason;
+  out.algorithm = report.algorithm;
+  out.guarantee = report.guarantee;
+  out.value = report.result.value;
+  out.lower_bound = report.lower_bound;
+  out.upper_bound = report.upper_bound;
+  out.stop = report.stop.reason;
+  out.witness = report.result.witness;
+  out.rounds = report.run.stats.rounds;
+  out.words = report.run.stats.words;
+  out.ledger = report.run.stats;
+}
+
+}  // namespace
+
+bool parse_request(const std::string& line, ServiceRequest& out,
+                   std::string* error, int max_nodes) {
+  if (max_nodes <= 0) max_nodes = ServiceConfig{}.max_nodes;
+  support::JsonParseOptions strict;
+  strict.reject_duplicate_keys = true;
+  strict.validate_utf8 = true;
+  JsonValue root;
+  std::string json_error;
+  if (!support::parse_json(line, strict, root, &json_error)) {
+    return set_error(error, "bad JSON: " + json_error);
+  }
+  if (!root.is_object()) return set_error(error, "request must be an object");
+  if (!known_keys(root,
+                  {"id", "graph", "mode", "epsilon", "seed", "threads",
+                   "max_rounds", "budget", "faults"},
+                  "request", error)) {
+    return false;
+  }
+  out = ServiceRequest{};
+
+  const JsonValue* idv = root.find("id");
+  if (idv == nullptr || !idv->is_string() || idv->str.empty() ||
+      idv->str.size() > 128) {
+    return set_error(error, "id must be a non-empty string of <= 128 bytes");
+  }
+  out.id = idv->str;
+
+  const JsonValue* gv = root.find("graph");
+  if (gv == nullptr) return set_error(error, "graph is required");
+  if (!parse_graph(*gv, max_nodes, out.graph, error)) return false;
+
+  if (const JsonValue* mv = root.find("mode"); mv != nullptr) {
+    if (!mv->is_string()) return set_error(error, "mode must be a string");
+    if (mv->str == "auto") {
+      out.mode = cycle::SolveMode::kAuto;
+    } else if (mv->str == "approx") {
+      out.mode = cycle::SolveMode::kApprox;
+    } else if (mv->str == "exact") {
+      out.mode = cycle::SolveMode::kExact;
+    } else {
+      return set_error(error, "mode must be auto, approx, or exact");
+    }
+  }
+  if (const JsonValue* ev = root.find("epsilon"); ev != nullptr) {
+    if (!ev->is_number() || ev->number <= 0.0 || ev->number > 8.0) {
+      return set_error(error, "epsilon must be in (0, 8]");
+    }
+    out.epsilon = ev->number;
+  }
+  if (const JsonValue* sv = root.find("seed"); sv != nullptr) {
+    if (!json_u64(*sv, out.seed)) {
+      return set_error(error, "seed must be a non-negative integer");
+    }
+  }
+  if (const JsonValue* tv = root.find("threads"); tv != nullptr) {
+    std::int64_t threads = 0;
+    if (!json_i64(*tv, threads) || threads < 1 || threads > 256) {
+      return set_error(error, "threads must be in [1, 256]");
+    }
+    out.threads = static_cast<int>(threads);
+  }
+  if (const JsonValue* rv = root.find("max_rounds"); rv != nullptr) {
+    if (!json_u64(*rv, out.max_rounds)) {
+      return set_error(error, "max_rounds must be a non-negative integer");
+    }
+  }
+  if (const JsonValue* bv = root.find("budget"); bv != nullptr) {
+    if (!parse_budget(*bv, out.budget, error)) return false;
+  }
+  if (const JsonValue* fv = root.find("faults"); fv != nullptr) {
+    if (!parse_faults(*fv, out.graph, out.faults, error)) return false;
+  }
+  return true;
+}
+
+std::string ServiceResponse::to_jsonl(bool annotate_cache) const {
+  std::string out;
+  out.reserve(256);
+  out += "{\"id\":\"";
+  append_escaped(out, id);
+  out += "\",\"outcome\":\"";
+  out += to_string(admission);
+  out += '"';
+  if (admission != Admission::kAdmitted) {
+    out += ",\"error\":\"";
+    append_escaped(out, error);
+    out += "\"}";
+    return out;
+  }
+  out += ",\"status\":\"";
+  out += cycle::to_string(status);
+  out += "\",\"reason\":\"";
+  append_escaped(out, status_reason);
+  out += "\",\"algorithm\":\"";
+  append_escaped(out, algorithm);
+  out += "\",\"guarantee\":";
+  append_double(out, guarantee);
+  out += ",\"value\":";
+  append_weight(out, value);
+  out += ",\"lower_bound\":";
+  append_weight(out, lower_bound);
+  out += ",\"upper_bound\":";
+  append_weight(out, upper_bound);
+  out += ",\"stop\":\"";
+  out += congest::to_string(stop);
+  out += "\",\"rounds\":";
+  out += std::to_string(rounds);
+  out += ",\"words\":";
+  out += std::to_string(words);
+  if (!witness.empty()) {
+    out += ",\"witness\":[";
+    for (std::size_t i = 0; i < witness.size(); ++i) {
+      if (i != 0) out += ',';
+      out += std::to_string(witness[i]);
+    }
+    out += ']';
+  }
+  if (emit_ledger) {
+    out += ",\"faults\":{\"dropped_messages\":";
+    out += std::to_string(ledger.dropped_messages);
+    out += ",\"corrupted_words\":";
+    out += std::to_string(ledger.corrupted_words);
+    out += ",\"dup_messages\":";
+    out += std::to_string(ledger.dup_messages);
+    out += ",\"retransmitted_words\":";
+    out += std::to_string(ledger.retransmitted_words);
+    out += ",\"checksum_rejects\":";
+    out += std::to_string(ledger.checksum_rejects);
+    out += ",\"crashes\":";
+    out += std::to_string(ledger.crashes);
+    out += ",\"recoveries\":";
+    out += std::to_string(ledger.recoveries);
+    out += ",\"dead_links\":";
+    out += std::to_string(ledger.dead_links);
+    out += '}';
+  }
+  out += ",\"attempts\":[";
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    const AttemptRecord& a = attempts[i];
+    if (i != 0) out += ',';
+    out += "{\"seed\":";
+    out += std::to_string(a.seed);
+    out += ",\"mode\":\"";
+    out += cycle::to_string(a.mode);
+    out += "\",\"status\":\"";
+    out += cycle::to_string(a.status);
+    out += "\",\"stop\":\"";
+    out += congest::to_string(a.stop);
+    out += "\"}";
+  }
+  out += ']';
+  if (annotate_cache) {
+    out += ",\"cache\":\"";
+    out += cache_hit ? "hit" : "miss";
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+// --- ArtifactCache -----------------------------------------------------
+
+bool ArtifactCache::lookup(std::uint64_t graph_fp, std::uint64_t solve_digest,
+                           ServiceResponse& out) {
+  if (!cfg_.enabled || cfg_.max_entries == 0) return false;
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = map_.find(Key{graph_fp, solve_digest});
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.second);
+  out = it->second.first;
+  return true;
+}
+
+void ArtifactCache::insert(std::uint64_t graph_fp, std::uint64_t solve_digest,
+                           const ServiceResponse& payload) {
+  if (!cfg_.enabled || cfg_.max_entries == 0) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  const Key key{graph_fp, solve_digest};
+  if (map_.count(key) != 0) return;  // concurrent cold solves of one identity
+  lru_.push_front(key);
+  map_.emplace(key, std::make_pair(payload, lru_.begin()));
+  while (map_.size() > cfg_.max_entries) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+std::uint64_t ArtifactCache::hits() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hits_;
+}
+
+std::uint64_t ArtifactCache::misses() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return misses_;
+}
+
+// --- SolveService ------------------------------------------------------
+
+namespace {
+
+// Holds process-wide throwing-check mode while any service solve is in
+// flight, so a request whose fault plan breaks a solver invariant (e.g. a
+// crash-stop that disconnects the communication topology) surfaces as
+// CheckError -> a typed failed attempt, never a process abort. Refcounted
+// rather than per-solve ScopedChecksThrow because overlapping worker
+// scopes would race the restore and drop another worker's in-flight solve
+// back into abort mode.
+class ChecksThrowLease {
+ public:
+  ChecksThrowLease() {
+    std::lock_guard<std::mutex> lk(mu());
+    if (count()++ == 0) {
+      saved() = support::checks_throw_flag().load();
+      support::set_checks_throw(true);
+    }
+  }
+  ~ChecksThrowLease() {
+    std::lock_guard<std::mutex> lk(mu());
+    if (--count() == 0) support::set_checks_throw(saved());
+  }
+  ChecksThrowLease(const ChecksThrowLease&) = delete;
+  ChecksThrowLease& operator=(const ChecksThrowLease&) = delete;
+
+ private:
+  static std::mutex& mu() {
+    static std::mutex m;
+    return m;
+  }
+  static int& count() {
+    static int c = 0;
+    return c;
+  }
+  static bool& saved() {
+    static bool s = false;
+    return s;
+  }
+};
+
+}  // namespace
+
+SolveService::SolveService(ServiceConfig cfg)
+    : cfg_(std::move(cfg)), cache_(cfg_.cache) {
+  if (cfg_.workers < 1) cfg_.workers = 1;
+}
+
+ServiceResponse SolveService::execute(const ServiceRequest& rq) {
+  ServiceResponse resp;
+  resp.id = rq.id;
+  resp.emit_ledger = rq.faults.any();
+
+  // Wall-clock and RSS budgets make the outcome non-deterministic: such
+  // requests are solved cold every time (the cache only ever returns
+  // byte-identical answers).
+  const bool cacheable = cfg_.cache.enabled &&
+                         rq.budget.max_wall_seconds <= 0.0 &&
+                         rq.budget.max_rss_bytes == 0;
+  const std::uint64_t graph_fp = congest::graph_fingerprint(rq.graph);
+  const std::uint64_t digest = cacheable ? solve_identity_digest(rq) : 0;
+  if (cacheable && cache_.lookup(graph_fp, digest, resp)) {
+    resp.id = rq.id;  // the payload is id-agnostic; relabel for this caller
+    resp.cache_hit = true;
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    if (resp.stop == congest::StopReason::kCancelled) {
+      ++stats_.cancelled;
+    } else if (resp.certified()) {
+      ++stats_.certified;
+    } else if (resp.status == cycle::SolveStatus::kDegraded) {
+      ++stats_.degraded;
+    } else {
+      ++stats_.failed;
+    }
+    return resp;
+  }
+
+  const LadderConfig& ladder = cfg_.ladder;
+  const int max_attempts = 1 + std::max(0, ladder.max_retries);
+  ServiceResponse best;
+  bool have_best = false;
+  std::uint64_t retries = 0;
+  std::uint64_t fallbacks = 0;
+
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0 && ladder.backoff_base_ms > 0.0) {
+      double ms = ladder.backoff_base_ms;
+      for (int i = 1; i < attempt; ++i) ms *= ladder.backoff_multiplier;
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+    }
+    const std::uint64_t seed =
+        rq.seed + static_cast<std::uint64_t>(attempt) * ladder.seed_rotation;
+    cycle::SolveMode mode = rq.mode;
+    const bool last_rung = attempt == max_attempts - 1;
+    if (last_rung && attempt > 0 && ladder.fallback_to_approx &&
+        rq.mode != cycle::SolveMode::kApprox) {
+      mode = cycle::SolveMode::kApprox;
+      ++fallbacks;
+    }
+    if (attempt > 0) ++retries;
+
+    ServiceResponse candidate;
+    candidate.id = rq.id;
+    candidate.emit_ledger = resp.emit_ledger;
+    try {
+      ChecksThrowLease checks_as_errors;
+      congest::NetworkConfig ncfg;
+      ncfg.threads = std::max(1, rq.threads);
+      ncfg.clamp_threads = false;
+      if (rq.max_rounds != 0) ncfg.max_rounds_per_run = rq.max_rounds;
+      ncfg.faults = rq.faults;
+      // Any fault plan runs over the ARQ transport: probabilistic link
+      // faults need it to stay exact, and crash/recover schedules need it
+      // to resync survivors (raw loss can break solver invariants, which
+      // the engine would refuse with a CHECK rather than mis-certify).
+      ncfg.reliable_transport = rq.faults.any();
+      congest::Network net(rq.graph, seed, ncfg);
+
+      congest::Governor governor(rq.budget);
+      congest::CancelToken token;
+      token.link_parent(&cancel_);
+      governor.set_cancel_token(&token);
+
+      cycle::SolveOptions opts;
+      opts.mode = mode;
+      opts.epsilon = rq.epsilon;
+      opts.governor = &governor;
+      const cycle::MwcReport report = cycle::solve(net, opts);
+      fill_from_report(report, candidate);
+    } catch (const std::exception& e) {
+      candidate.status = cycle::SolveStatus::kFailed;
+      candidate.status_reason = std::string("solve threw: ") + e.what();
+    }
+    resp.attempts.push_back(AttemptRecord{seed, mode, candidate.status,
+                                          candidate.stop});
+    if (!have_best || better_response(candidate, best)) {
+      best = candidate;
+      have_best = true;
+    }
+    if (candidate.certified()) break;
+    if (candidate.stop == congest::StopReason::kCancelled) break;
+    const bool deterministic_stop =
+        candidate.stop == congest::StopReason::kRoundBudget ||
+        candidate.stop == congest::StopReason::kWordBudget ||
+        candidate.stop == congest::StopReason::kNoProgress;
+    if (deterministic_stop && !ladder.retry_on_budget_stop) break;
+  }
+
+  const std::vector<AttemptRecord> attempts = std::move(resp.attempts);
+  const std::string id = std::move(resp.id);
+  const bool emit_ledger = resp.emit_ledger;
+  resp = best;
+  resp.id = id;
+  resp.emit_ledger = emit_ledger;
+  resp.attempts = attempts;
+
+  // A cancellation outcome reflects the signal's arrival time, not the
+  // request: never cache it.
+  if (cacheable && resp.stop != congest::StopReason::kCancelled) {
+    ServiceResponse payload = resp;
+    payload.id.clear();
+    cache_.insert(graph_fp, digest, payload);
+  }
+
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  stats_.retries += retries;
+  stats_.fallbacks += fallbacks;
+  if (resp.stop == congest::StopReason::kCancelled) {
+    ++stats_.cancelled;
+  } else if (resp.certified()) {
+    ++stats_.certified;
+  } else if (resp.status == cycle::SolveStatus::kDegraded) {
+    ++stats_.degraded;
+  } else {
+    ++stats_.failed;
+  }
+  return resp;
+}
+
+std::vector<ServiceResponse> SolveService::run_batch(
+    const std::vector<ServiceRequest>& requests) {
+  std::vector<ServiceResponse> out(requests.size());
+  // Admission control runs over the burst in submission order - a pure
+  // function of the request sequence, whatever the worker count does later.
+  std::vector<std::size_t> admitted;
+  admitted.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (cfg_.shed_on_overload && admitted.size() >= cfg_.queue_capacity) {
+      out[i].id = requests[i].id;
+      out[i].admission = Admission::kRejectedOverload;
+      out[i].error = "admission queue full (capacity " +
+                     std::to_string(cfg_.queue_capacity) + ")";
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      ++stats_.shed;
+      continue;
+    }
+    admitted.push_back(i);
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.admitted;
+  }
+
+  const int workers = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(1, cfg_.workers)), admitted.size()));
+  std::atomic<std::size_t> next{0};
+  const auto drain = [&] {
+    while (true) {
+      const std::size_t k = next.fetch_add(1);
+      if (k >= admitted.size()) break;
+      const std::size_t i = admitted[k];
+      out[i] = execute(requests[i]);
+    }
+  };
+  if (workers <= 1) {
+    drain();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(drain);
+    for (std::thread& t : pool) t.join();
+  }
+  return out;
+}
+
+SolveService::Stats SolveService::stats() const {
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    s = stats_;
+  }
+  s.cache_hits = cache_.hits();
+  s.cache_misses = cache_.misses();
+  return s;
+}
+
+}  // namespace mwc::service

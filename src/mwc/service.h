@@ -1,0 +1,263 @@
+// MWC-as-a-service: the long-running solve-service core (ROADMAP item 2).
+//
+// A SolveService accepts a stream of requests - graph + solve options +
+// per-request budget/deadline - and turns each into exactly one typed
+// response. The pieces it composes already exist ([PR 5] self-certifying
+// reports, [PR 6] Governor budgets/cancellation and anytime bounds); this
+// layer adds what a component that survives many concurrent, partially
+// failing requests needs:
+//
+//   * Admission control. A batch is a burst against a bounded queue:
+//     requests past the capacity are shed with an explicit
+//     `rejected_overload` response - never an abort, never a silent drop.
+//     With shedding off (the default), the bound acts as backpressure
+//     instead: everything is admitted and workers drain in order.
+//
+//   * A degradation ladder. On a degraded/failed outcome the request is
+//     retried under exponential backoff with a rotated seed (a fresh fault
+//     schedule - transient adversaries are dodged, deterministic ones are
+//     not), optionally falling back exact->approx on the last rung; when
+//     the ladder is exhausted the response still carries the anytime
+//     `lower_bound <= mwc <= upper_bound` bracket of the best attempt. The
+//     full retry ledger ships with the response.
+//
+//   * An artifact cache keyed by graph fingerprint. Each cached entry is
+//     the complete deterministic solve outcome for one (graph, options,
+//     seed, budget, fault-plan) identity - the BFS trees, skeleton
+//     distances, and sampled source sets an identical re-request would
+//     recompute are amortized at that granularity. Because every solve is
+//     a pure function of that identity, a cache hit re-serializes to the
+//     byte-identical response a cold solve produces (asserted in
+//     tests/service_chaos_test.cpp); entries whose outcome depends on wall
+//     clock or RSS (deadline / memory budgets) are never cached.
+//
+//   * Cancellation fan-out. The service owns one CancelToken; every
+//     in-flight request's Governor watches a child token linked to it
+//     (congest/governor.h). bind_signals() routes SIGINT/SIGTERM into the
+//     service token, so one signal drains every in-flight and queued
+//     request into typed `cancelled` responses; take_signal() acknowledges
+//     it afterwards, making the service re-entrant for the next batch.
+//
+// Determinism: for a deterministic request set (no wall/RSS budgets, no
+// overload shedding in flight - the burst-shed decision is itself
+// deterministic) the response vector is a pure function of the requests:
+// byte-identical across ServiceConfig::workers and across engine thread
+// counts. Workers only move wall clock, exactly like engine threads.
+//
+// Front ends: `mwc_cli batch` (JSONL file in, one JSONL response per line
+// out, worker pool) and `mwc_cli serve` (stdin/stdout streaming). Schema
+// and exit codes: docs/service.md.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "congest/governor.h"
+#include "congest/network.h"
+#include "graph/graph.h"
+#include "mwc/api.h"
+
+namespace mwc::service {
+
+// Retry/backoff/fallback policy - the degradation ladder.
+struct LadderConfig {
+  // Re-solve attempts after the first (0 disables retries).
+  int max_retries = 2;
+  // Added to the request seed once per attempt: retry i runs under
+  // seed + i * seed_rotation (mod 2^64), i.e. a fresh fault schedule.
+  std::uint64_t seed_rotation = 0x9e3779b97f4a7c15ull;
+  // Last-rung fallback: when the request asked for exact (or auto) and
+  // every earlier attempt degraded/failed, the final attempt runs approx.
+  bool fallback_to_approx = true;
+  // Retry after a deterministic budget stop (rounds/words)? Off by
+  // default: the same budget yields the same stop, so the ladder goes
+  // straight to the anytime bracket. Wall-clock stops always retry (a
+  // slow machine moment is transient); cancellation never does.
+  bool retry_on_budget_stop = false;
+  // Exponential backoff between attempts: base * multiplier^(attempt-1)
+  // milliseconds of wall-clock sleep. 0 disables sleeping (tests, and any
+  // caller that cares about latency over politeness). Backoff never
+  // affects response bytes - it only spends time.
+  double backoff_base_ms = 0.0;
+  double backoff_multiplier = 2.0;
+};
+
+struct CacheConfig {
+  bool enabled = true;
+  // Cached solve outcomes across all graphs (LRU eviction).
+  std::size_t max_entries = 256;
+};
+
+struct ServiceConfig {
+  // Concurrent solve workers for run_batch (responses stay in request
+  // order; workers are wall-clock only).
+  int workers = 1;
+  // Admission-queue bound. With shed_on_overload, batch requests past this
+  // capacity are rejected_overload (the batch arrives as one burst against
+  // a bounded queue - a deterministic decision); without it the bound is
+  // backpressure only and every request is admitted.
+  std::size_t queue_capacity = 1024;
+  bool shed_on_overload = false;
+  // Reject inline graphs above this node count at parse time.
+  int max_nodes = 65536;
+  LadderConfig ladder;
+  CacheConfig cache;
+  // Debug: serialize a "cache" member ("hit"/"miss") into responses. Off
+  // by default - with concurrent workers the hit/miss split depends on
+  // completion order, and response bytes must not.
+  bool annotate_cache = false;
+};
+
+// One solve request. Built programmatically or parsed from a JSONL line
+// (parse_request below; schema in docs/service.md).
+struct ServiceRequest {
+  std::string id;
+  graph::Graph graph;
+  cycle::SolveMode mode = cycle::SolveMode::kAuto;
+  double epsilon = 0.5;
+  std::uint64_t seed = 1;
+  int threads = 1;                  // engine threads for this request
+  std::uint64_t max_rounds = 0;     // per-run round cap (0 = engine default)
+  congest::Budget budget;           // per-attempt budget/deadline
+  congest::FaultPlan faults;        // injected adversary (chaos testing)
+};
+
+enum class Admission : std::uint8_t {
+  kAdmitted,
+  kRejectedOverload,  // shed by admission control - never solved
+  kRejectedInvalid,   // malformed request - never solved
+};
+
+const char* to_string(Admission a);
+
+// One rung of the retry ledger.
+struct AttemptRecord {
+  std::uint64_t seed = 0;
+  cycle::SolveMode mode = cycle::SolveMode::kAuto;
+  cycle::SolveStatus status = cycle::SolveStatus::kFailed;
+  congest::StopReason stop = congest::StopReason::kNone;
+};
+
+// The typed, certified-or-bounded response every admitted request
+// terminates with. to_jsonl() is the deterministic wire form.
+struct ServiceResponse {
+  std::string id;
+  Admission admission = Admission::kAdmitted;
+  std::string error;  // non-empty iff admission != kAdmitted
+
+  cycle::SolveStatus status = cycle::SolveStatus::kFailed;
+  std::string status_reason;
+  std::string algorithm;
+  double guarantee = 1.0;
+  graph::Weight value = graph::kInfWeight;
+  graph::Weight lower_bound = 0;
+  graph::Weight upper_bound = graph::kInfWeight;
+  congest::StopReason stop = congest::StopReason::kNone;
+  std::vector<graph::NodeId> witness;
+  std::uint64_t rounds = 0;  // winning attempt's engine totals
+  std::uint64_t words = 0;
+  congest::RunStats ledger;     // winning attempt's fault ledger
+  bool emit_ledger = false;     // serialized only for faulted requests
+  std::vector<AttemptRecord> attempts;
+
+  bool cache_hit = false;  // never serialized unless annotate_cache
+
+  bool certified() const {
+    return status == cycle::SolveStatus::kCertified ||
+           status == cycle::SolveStatus::kApproxCertified;
+  }
+  std::string to_jsonl(bool annotate_cache = false) const;
+};
+
+// Parses one JSONL request line (strict JSON: duplicate keys, bad UTF-8,
+// truncation, and depth bombs are rejected, not crashed on - see
+// support/json.h). Unknown members are errors; so are out-of-range nodes,
+// non-positive weights, self-loops, and fault plans naming absent nodes.
+// `max_nodes` bounds inline graphs (<= 0 means ServiceConfig's default).
+bool parse_request(const std::string& line, ServiceRequest& out,
+                   std::string* error, int max_nodes = 0);
+
+// Cached deterministic solve outcomes, keyed by graph fingerprint and the
+// request's solve identity. Thread-safe; LRU within the global entry cap.
+class ArtifactCache {
+ public:
+  explicit ArtifactCache(CacheConfig cfg) : cfg_(cfg) {}
+
+  // The payload of a finished request - everything to_jsonl() serializes
+  // except the id (a hit re-labels it with the requesting id).
+  bool lookup(std::uint64_t graph_fp, std::uint64_t solve_digest,
+              ServiceResponse& out);
+  void insert(std::uint64_t graph_fp, std::uint64_t solve_digest,
+              const ServiceResponse& payload);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  using Key = std::pair<std::uint64_t, std::uint64_t>;
+  CacheConfig cfg_;
+  mutable std::mutex mu_;
+  std::map<Key, std::pair<ServiceResponse, std::list<Key>::iterator>> map_;
+  std::list<Key> lru_;  // front = most recent
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+class SolveService {
+ public:
+  // Aggregate counters across the service lifetime (wall-clock order;
+  // deterministic for single-worker runs, totals deterministic always).
+  struct Stats {
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t fallbacks = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t certified = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+  };
+
+  explicit SolveService(ServiceConfig cfg = {});
+
+  const ServiceConfig& config() const { return cfg_; }
+
+  // Routes SIGINT/SIGTERM into the service token: one signal cancels every
+  // in-flight and queued request (typed `cancelled` responses, cooperative
+  // drain). Call take_signal() afterwards to serve again.
+  void bind_signals() { cancel_.bind_process_signals(); }
+  // Trips every in-flight and future request of this service instance.
+  void cancel_all(std::string reason) { cancel_.request(std::move(reason)); }
+  // Acknowledges a delivered process signal (returns it, 0 if none) so the
+  // next batch starts clean. Purely about the process-wide mailbox; a
+  // cancel_all() trip is permanent for this instance.
+  static int take_signal() { return congest::CancelToken::take_process_signal(); }
+
+  // Executes a whole batch: deterministic admission in submission order,
+  // `workers` concurrent solvers, responses returned in request order.
+  // Every request yields exactly one response, whatever happens to it.
+  std::vector<ServiceResponse> run_batch(
+      const std::vector<ServiceRequest>& requests);
+
+  // Executes one admitted request through the full ladder (no admission
+  // control; the streaming `serve` front end calls this directly).
+  ServiceResponse execute(const ServiceRequest& request);
+
+  Stats stats() const;
+  const ArtifactCache& cache() const { return cache_; }
+
+ private:
+  ServiceConfig cfg_;
+  ArtifactCache cache_;
+  congest::CancelToken cancel_;
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace mwc::service

@@ -28,8 +28,9 @@ namespace {
 
 class Parser {
  public:
-  Parser(std::string_view text, std::string* error)
-      : text_(text), error_(error) {}
+  Parser(std::string_view text, const JsonParseOptions& options,
+         std::string* error)
+      : text_(text), options_(options), error_(error) {}
 
   bool parse(JsonValue& out) {
     skip_ws();
@@ -105,6 +106,11 @@ class Parser {
       }
       std::string key;
       if (!string(key)) return false;
+      if (options_.reject_duplicate_keys) {
+        for (const auto& [k, unused] : out.members) {
+          if (k == key) return fail("duplicate object key");
+        }
+      }
       skip_ws();
       if (!eat(':')) return fail("expected ':'");
       skip_ws();
@@ -145,6 +151,10 @@ class Parser {
         return fail("raw control character in string");
       }
       if (c != '\\') {
+        if (options_.validate_utf8 && static_cast<unsigned char>(c) >= 0x80) {
+          if (!utf8_tail(static_cast<unsigned char>(c), out)) return false;
+          continue;
+        }
         out += c;
         continue;
       }
@@ -160,18 +170,38 @@ class Parser {
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
           unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else return fail("bad \\u escape");
+          if (!hex4(code)) return false;
+          if (options_.validate_utf8) {
+            if (code >= 0xDC00 && code <= 0xDFFF) {
+              return fail("lone low surrogate escape");
+            }
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              // A high surrogate must pair with an immediately following
+              // \uDC00-\uDFFF escape; the pair decodes to one supplementary
+              // code point.
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return fail("unpaired high surrogate escape");
+              }
+              pos_ += 2;
+              unsigned low = 0;
+              if (!hex4(low)) return false;
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return fail("unpaired high surrogate escape");
+              }
+              const unsigned cp =
+                  0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+              out += static_cast<char>(0xF0 | (cp >> 18));
+              out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+              break;
+            }
           }
-          // UTF-8 encode the BMP code point (surrogate pairs in this repo's
-          // artifacts don't occur; a lone surrogate encodes as-is).
+          // UTF-8 encode the BMP code point (lenient mode: surrogate pairs
+          // in this repo's artifacts don't occur; a lone surrogate encodes
+          // as-is).
           if (code < 0x80) {
             out += static_cast<char>(code);
           } else if (code < 0x800) {
@@ -188,6 +218,61 @@ class Parser {
       }
     }
     return fail("unterminated string");
+  }
+
+  // Reads 4 hex digits of a \u escape into `code`.
+  bool hex4(unsigned& code) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else return fail("bad \\u escape");
+    }
+    return true;
+  }
+
+  // Strict-mode raw-byte validation: `lead` (>= 0x80) must open a
+  // well-formed UTF-8 sequence - correct continuation count, no overlong
+  // encodings, no surrogates, nothing past U+10FFFF. Appends the validated
+  // bytes to `out`.
+  bool utf8_tail(unsigned char lead, std::string& out) {
+    int len;
+    unsigned cp;
+    if ((lead & 0xE0) == 0xC0) {
+      len = 1;
+      cp = lead & 0x1Fu;
+    } else if ((lead & 0xF0) == 0xE0) {
+      len = 2;
+      cp = lead & 0x0Fu;
+    } else if ((lead & 0xF8) == 0xF0) {
+      len = 3;
+      cp = lead & 0x07u;
+    } else {
+      return fail("invalid UTF-8 lead byte in string");
+    }
+    if (pos_ + static_cast<std::size_t>(len) > text_.size()) {
+      return fail("truncated UTF-8 sequence in string");
+    }
+    for (int i = 0; i < len; ++i) {
+      const auto cont = static_cast<unsigned char>(text_[pos_ + static_cast<std::size_t>(i)]);
+      if ((cont & 0xC0) != 0x80) {
+        return fail("invalid UTF-8 continuation byte in string");
+      }
+      cp = (cp << 6) | (cont & 0x3Fu);
+    }
+    const unsigned kMinByLen[4] = {0, 0x80, 0x800, 0x10000};
+    if (cp < kMinByLen[len]) return fail("overlong UTF-8 encoding in string");
+    if (cp >= 0xD800 && cp <= 0xDFFF) {
+      return fail("UTF-8 encoded surrogate in string");
+    }
+    if (cp > 0x10FFFF) return fail("UTF-8 code point past U+10FFFF");
+    out += static_cast<char>(lead);
+    for (int i = 0; i < len; ++i) out += text_[pos_++];
+    return true;
   }
 
   bool number(JsonValue& out) {
@@ -218,6 +303,7 @@ class Parser {
   }
 
   std::string_view text_;
+  JsonParseOptions options_;
   std::size_t pos_ = 0;
   std::string* error_;
 };
@@ -226,7 +312,13 @@ class Parser {
 
 bool parse_json(std::string_view text, JsonValue& out, std::string* error) {
   out = JsonValue{};
-  return Parser(text, error).parse(out);
+  return Parser(text, JsonParseOptions{}, error).parse(out);
+}
+
+bool parse_json(std::string_view text, const JsonParseOptions& options,
+                JsonValue& out, std::string* error) {
+  out = JsonValue{};
+  return Parser(text, options, error).parse(out);
 }
 
 }  // namespace mwc::support

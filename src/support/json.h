@@ -45,10 +45,28 @@ struct JsonValue {
 
 inline constexpr int kMaxJsonDepth = 64;
 
+// Hardening knobs for input that crosses a trust boundary (the solve
+// service's JSONL request stream). The default-lenient behaviour stays for
+// the repo's own artifacts, whose producers are deterministic serializers.
+struct JsonParseOptions {
+  // Reject objects that bind the same key twice (lenient parsing keeps
+  // both; find() returns the first - a classic smuggling vector when a
+  // validator and a consumer disagree on which one wins).
+  bool reject_duplicate_keys = false;
+  // Validate raw string bytes as well-formed UTF-8 (no truncated or
+  // overlong sequences, no surrogate code points, nothing past U+10FFFF)
+  // and require \uD800-\uDBFF escapes to be followed by a low surrogate
+  // (decoded as one supplementary code point). Lenient parsing passes raw
+  // bytes >= 0x20 through untouched and encodes lone surrogates as-is.
+  bool validate_utf8 = false;
+};
+
 // Parses `text` into `out`. Returns false (with a message in `*error` when
 // non-null) on malformed input; `out` is unspecified then. The whole input
 // must be one JSON value plus optional trailing whitespace.
 bool parse_json(std::string_view text, JsonValue& out,
                 std::string* error = nullptr);
+bool parse_json(std::string_view text, const JsonParseOptions& options,
+                JsonValue& out, std::string* error = nullptr);
 
 }  // namespace mwc::support

@@ -600,5 +600,125 @@ TEST(CrashRecovery, ExactMwcEndToEndIsDegradedButSound) {
   }
 }
 
+// ---------- duplication ------------------------------------------------------
+
+TEST(Duplication, RawDupsAreBilledAndReDelivered) {
+  // Without the reliable transport, every duplicated message really reaches
+  // its receiver twice; the Flood protocol is idempotent, so the run still
+  // completes and the ledger shows exactly what was minted.
+  Graph g = test_graph(31);
+  NetworkConfig cfg;
+  cfg.faults.dup_prob = 0.4;
+  Network net(g, /*seed=*/3, cfg);
+  Flood proto(net.n());
+  RunResult result = run_protocol_result(net, proto);
+  EXPECT_TRUE(result.ok());
+  EXPECT_GT(result.stats.dup_messages, 0u);
+  EXPECT_EQ(result.stats.dup_words, result.stats.dup_messages);  // 1-word msgs
+  for (bool reached : proto.reached()) EXPECT_TRUE(reached);
+}
+
+TEST(Duplication, ExactMwcMatchesFaultFreeAtTwentyPercentDup) {
+  // The acceptance bar for exactly-once delivery: the ARQ transport's
+  // per-link sequence numbers absorb duplicated frames (multi-word, so the
+  // copies route through the spill pool too) and a full MWC algorithm
+  // answers bit-identically to its fault-free run.
+  Graph g = test_graph(32, 24, 48);
+  Network clean(g, /*seed=*/23);
+  cycle::MwcResult want = cycle::exact_mwc(clean);
+
+  NetworkConfig cfg;
+  cfg.faults.dup_prob = 0.2;
+  cfg.reliable_transport = true;
+  Network dupped(g, /*seed=*/23, cfg);
+  cycle::MwcResult got = cycle::exact_mwc(dupped);
+  EXPECT_EQ(got.value, want.value);
+  EXPECT_EQ(got.witness, want.witness);
+  EXPECT_GT(got.stats.dup_messages, 0u);
+}
+
+TEST(Duplication, SolveCertifiesUnderReliableTransportOnly) {
+  // Self-certification: duplicates the transport masked are no
+  // interference - the ARQ sequence numbers absorb them and the solve
+  // certifies with the dups on the ledger. The raw duplicate stream is
+  // outside the BFS solver's contract: a re-delivered adoption message
+  // double-counts a child, and the engine's adopt/unadopt balance check
+  // refuses to continue rather than mis-certify. Reliable transport is
+  // the layer that makes duplication safe, and the service layer forces
+  // it on whenever a plan carries dup_prob.
+  Graph g = test_graph(33, 20, 40);
+  NetworkConfig cfg;
+  cfg.faults.dup_prob = 0.3;
+  cfg.reliable_transport = true;
+  Network masked(g, /*seed=*/29, cfg);
+  cycle::MwcReport certified = cycle::solve(masked);
+  EXPECT_TRUE(certified.certified());
+  EXPECT_GT(certified.fault_ledger().dup_messages, 0u);
+
+  cfg.reliable_transport = false;
+  Network raw(g, /*seed=*/29, cfg);
+  support::ScopedChecksThrow guard;
+  EXPECT_THROW(cycle::solve(raw), support::CheckError);
+}
+
+TEST(Duplication, ScheduleIdenticalAcrossSettlePathsAndThreads) {
+  // The dup decision consumes the injector's RNG stream in deterministic
+  // host order on both settle paths: the whole RunStats block - dup
+  // counters included - must be bit-identical across engine shapes.
+  Graph g = test_graph(34);
+  const auto run = [&](SettlePath path, int threads) {
+    NetworkConfig cfg;
+    cfg.faults.dup_prob = 0.25;
+    cfg.faults.drop_prob = 0.1;  // dup draws interleave with drop draws
+    cfg.reliable_transport = true;
+    cfg.settle_path = path;
+    cfg.threads = threads;
+    cfg.clamp_threads = false;
+    Network net(g, /*seed=*/41, cfg);
+    Flood proto(net.n());
+    return run_protocol(net, proto);
+  };
+  const RunStats want = run(SettlePath::kFrontier, 1);
+  EXPECT_GT(want.dup_messages, 0u);
+  EXPECT_EQ(run(SettlePath::kLegacy, 1), want);
+  EXPECT_EQ(run(SettlePath::kFrontier, 4), want);
+  EXPECT_EQ(run(SettlePath::kLegacy, 4), want);
+}
+
+TEST(Duplication, PerLinkOverrideTargetsOnlyThatLink) {
+  Graph g = test_graph(35);
+  const NodeId nbr = g.out(0)[0].to;
+  NetworkConfig cfg;
+  cfg.faults.dup_overrides.push_back(LinkDupOverride{0, nbr, 0.9});
+  cfg.reliable_transport = true;
+  Network net(g, /*seed=*/43, cfg);
+  RunStats stats;
+  BfsTreeResult tree = build_bfs_tree(net, /*root=*/0, &stats);
+  EXPECT_GT(stats.dup_messages, 0u);
+  auto ref = graph::seq::bfs_hops(g.communication_topology(), 0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(tree.depth[static_cast<std::size_t>(v)],
+              ref[static_cast<std::size_t>(v)]);
+  }
+
+  // Same seed, no override: zero duplicates minted anywhere.
+  NetworkConfig quiet;
+  quiet.reliable_transport = true;
+  Network control(g, /*seed=*/43, quiet);
+  RunStats control_stats;
+  build_bfs_tree(control, /*root=*/0, &control_stats);
+  EXPECT_EQ(control_stats.dup_messages, 0u);
+}
+
+TEST(Duplication, InvalidDupProbabilityFailsCheck) {
+  Graph g = test_graph(36, 10, 15);
+  NetworkConfig cfg;
+  cfg.faults.dup_prob = 1.0;  // valid range is [0, 1)
+  Network net(g, /*seed=*/1, cfg);
+  Flood proto(net.n());
+  support::ScopedChecksThrow guard;
+  EXPECT_THROW(run_protocol_result(net, proto), support::CheckError);
+}
+
 }  // namespace
 }  // namespace mwc::congest

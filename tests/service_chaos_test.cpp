@@ -1,0 +1,281 @@
+// Chaos soak for the solve service: a 200+ request corpus crossing graph
+// families with fault plans (drops, corruption, duplication, crash,
+// crash+recover, budget kills, round caps) runs through concurrent worker
+// pools. Invariants under chaos: no request lost or duplicated, every
+// admitted request terminates with a typed certified-or-bounded response,
+// certified answers equal the sequential oracle, brackets always contain
+// the true MWC, response bytes are identical across worker counts, and
+// cached re-solves are byte-identical to cold ones. A SIGTERM lands
+// mid-batch and must drain - not drop - in-flight work.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "congest/governor.h"
+#include "graph/generators.h"
+#include "graph/sequential.h"
+#include "mwc/service.h"
+#include "support/rng.h"
+
+namespace mwc::service {
+namespace {
+
+using graph::Graph;
+
+struct BaseGraph {
+  Graph graph;
+  graph::Weight oracle;
+};
+
+std::vector<BaseGraph> base_graphs() {
+  std::vector<BaseGraph> out;
+  for (std::uint64_t s = 1; s <= 4; ++s) {
+    support::Rng rng(s * 1000 + 7);
+    Graph g = graph::random_connected(12 + static_cast<int>(s) * 2,
+                                      24 + static_cast<int>(s) * 4,
+                                      graph::WeightRange{1, 9}, rng);
+    out.push_back(BaseGraph{g, graph::seq::mwc(g)});
+  }
+  for (std::uint64_t s = 1; s <= 2; ++s) {
+    support::Rng rng(s * 77 + 3);
+    Graph g = graph::cycle_with_chords(16, 5, graph::WeightRange{1, 5}, rng);
+    out.push_back(BaseGraph{g, graph::seq::mwc(g)});
+  }
+  return out;
+}
+
+// Nine fault plans exercised per graph; index is part of the request id.
+congest::FaultPlan fault_plan(int kind) {
+  congest::FaultPlan plan;
+  switch (kind) {
+    case 0:  // clean
+      break;
+    case 1:
+      plan.drop_prob = 0.2;
+      break;
+    case 2:
+      plan.dup_prob = 0.25;
+      break;
+    case 3:
+      plan.corrupt_prob = 0.05;
+      break;
+    case 4:  // combined link chaos
+      plan.drop_prob = 0.1;
+      plan.dup_prob = 0.1;
+      plan.corrupt_prob = 0.02;
+      break;
+    case 5:  // crash-stop, never returns
+      plan.crashes.push_back(congest::CrashFault{2, 3});
+      break;
+    case 6:  // crash then recover
+      plan.crashes.push_back(congest::CrashFault{1, 2});
+      plan.recovers.push_back(congest::RecoverFault{1, 30});
+      break;
+    default:
+      break;
+  }
+  return plan;
+}
+
+// kind 7 = round-budget kill, kind 8 = tiny per-run round cap; both are
+// applied on the request rather than the fault plan.
+constexpr int kPlanKinds = 9;
+
+std::vector<ServiceRequest> build_corpus(int copies) {
+  std::vector<BaseGraph> graphs = base_graphs();
+  std::vector<ServiceRequest> corpus;
+  int serial = 0;
+  for (int copy = 0; copy < copies; ++copy) {
+    for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+      for (int kind = 0; kind < kPlanKinds; ++kind) {
+        ServiceRequest rq;
+        rq.id = "soak-" + std::to_string(serial++);
+        rq.graph = graphs[gi].graph;
+        rq.seed = static_cast<std::uint64_t>(serial) * 131 + 1;
+        rq.mode = (serial % 3 == 0) ? cycle::SolveMode::kExact
+                  : (serial % 3 == 1) ? cycle::SolveMode::kAuto
+                                      : cycle::SolveMode::kApprox;
+        rq.epsilon = 0.5;
+        rq.faults = fault_plan(kind);
+        if (kind == 7) rq.budget.max_rounds = 8;
+        if (kind == 8) rq.max_rounds = 4;
+        corpus.push_back(std::move(rq));
+      }
+    }
+  }
+  return corpus;
+}
+
+std::vector<graph::Weight> corpus_oracles(int copies) {
+  std::vector<BaseGraph> graphs = base_graphs();
+  std::vector<graph::Weight> oracles;
+  for (int copy = 0; copy < copies; ++copy) {
+    for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+      for (int kind = 0; kind < kPlanKinds; ++kind) {
+        oracles.push_back(graphs[gi].oracle);
+      }
+    }
+  }
+  return oracles;
+}
+
+std::string render(const std::vector<ServiceResponse>& rs) {
+  std::string all;
+  for (const ServiceResponse& r : rs) {
+    all += r.to_jsonl();
+    all += '\n';
+  }
+  return all;
+}
+
+TEST(ChaosSoak, TwoHundredRequestsUnderConcurrentChaos) {
+  const int kCopies = 4;  // 4 x 6 graphs x 9 plans = 216 requests
+  std::vector<ServiceRequest> corpus = build_corpus(kCopies);
+  std::vector<graph::Weight> oracles = corpus_oracles(kCopies);
+  ASSERT_GE(corpus.size(), 200u);
+  ASSERT_EQ(corpus.size(), oracles.size());
+
+  ServiceConfig cfg;
+  cfg.workers = 4;
+  SolveService svc(cfg);
+  std::vector<ServiceResponse> rs = svc.run_batch(corpus);
+
+  // No request lost and no request duplicated: one response per id,
+  // delivered in submission order.
+  ASSERT_EQ(rs.size(), corpus.size());
+  std::set<std::string> ids;
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    EXPECT_EQ(rs[i].id, corpus[i].id);
+    EXPECT_TRUE(ids.insert(rs[i].id).second) << "duplicated " << rs[i].id;
+  }
+
+  // Every admitted request terminated with a typed certified-or-bounded
+  // response; nothing was mis-certified.
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const ServiceResponse& r = rs[i];
+    ASSERT_EQ(r.admission, Admission::kAdmitted) << r.id;
+    ASSERT_FALSE(r.attempts.empty()) << r.id;
+    if (r.status == cycle::SolveStatus::kCertified) {
+      EXPECT_EQ(r.value, oracles[i]) << r.id;
+    } else if (r.status == cycle::SolveStatus::kApproxCertified) {
+      // (1+eps)-certified: value is a real cycle within the guarantee.
+      EXPECT_GE(r.value, oracles[i]) << r.id;
+      EXPECT_LE(static_cast<double>(r.value),
+                r.guarantee * static_cast<double>(oracles[i]) + 1e-9)
+          << r.id;
+    }
+    // The anytime bracket always contains the true MWC.
+    EXPECT_LE(r.lower_bound, oracles[i]) << r.id;
+    if (r.upper_bound != graph::kInfWeight) {
+      EXPECT_GE(r.upper_bound, oracles[i]) << r.id;
+    }
+    EXPECT_LE(r.lower_bound,
+              r.upper_bound == graph::kInfWeight ? oracles[i] : r.upper_bound)
+        << r.id;
+  }
+  EXPECT_EQ(svc.stats().admitted, corpus.size());
+  EXPECT_EQ(svc.stats().shed, 0u);
+}
+
+TEST(ChaosSoak, ResponseBytesIdenticalAcrossWorkerCounts) {
+  std::vector<ServiceRequest> corpus = build_corpus(1);  // 54 requests
+  const auto run_with = [&](int workers) {
+    ServiceConfig cfg;
+    cfg.workers = workers;
+    SolveService svc(cfg);
+    return render(svc.run_batch(corpus));
+  };
+  const std::string want = run_with(1);
+  EXPECT_EQ(run_with(2), want);
+  EXPECT_EQ(run_with(4), want);
+}
+
+TEST(ChaosSoak, CachedPassIsByteIdenticalToColdPass) {
+  std::vector<ServiceRequest> corpus = build_corpus(1);
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.cache.max_entries = 1024;
+  SolveService svc(cfg);
+  const std::string cold = render(svc.run_batch(corpus));
+  const std::string warm = render(svc.run_batch(corpus));
+  EXPECT_EQ(warm, cold);
+  EXPECT_GT(svc.cache().hits(), 0u);
+
+  // A cache-disabled service also produces the same bytes.
+  ServiceConfig no_cache = cfg;
+  no_cache.cache.enabled = false;
+  SolveService svc2(no_cache);
+  EXPECT_EQ(render(svc2.run_batch(corpus)), cold);
+  EXPECT_EQ(svc2.cache().hits() + svc2.cache().misses(), 0u);
+}
+
+TEST(ChaosSoak, OverloadShedsExplicitlyNeverAborts) {
+  std::vector<ServiceRequest> corpus = build_corpus(1);
+  ServiceConfig cfg;
+  cfg.workers = 4;
+  cfg.queue_capacity = 20;
+  cfg.shed_on_overload = true;
+  SolveService svc(cfg);
+  std::vector<ServiceResponse> rs = svc.run_batch(corpus);
+  ASSERT_EQ(rs.size(), corpus.size());
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    if (i < 20) {
+      EXPECT_EQ(rs[i].admission, Admission::kAdmitted) << i;
+    } else {
+      EXPECT_EQ(rs[i].admission, Admission::kRejectedOverload) << i;
+      EXPECT_FALSE(rs[i].error.empty());
+    }
+  }
+  EXPECT_EQ(svc.stats().admitted, 20u);
+  EXPECT_EQ(svc.stats().shed, corpus.size() - 20u);
+}
+
+TEST(ChaosSoak, SigtermMidBatchDrainsWithoutLosingRequests) {
+  std::vector<ServiceRequest> corpus = build_corpus(2);  // 108 requests
+  ServiceConfig cfg;
+  cfg.workers = 4;
+  SolveService svc(cfg);
+  svc.bind_signals();
+
+  std::thread bomber([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    std::raise(SIGTERM);
+  });
+  std::vector<ServiceResponse> rs = svc.run_batch(corpus);
+  bomber.join();
+
+  // Whether the signal landed mid-batch or after the last solve, every
+  // request got exactly one typed response: completed normally or drained
+  // as cancelled - never lost, never aborted.
+  ASSERT_EQ(rs.size(), corpus.size());
+  std::set<std::string> ids;
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    EXPECT_EQ(rs[i].id, corpus[i].id);
+    EXPECT_TRUE(ids.insert(rs[i].id).second);
+    ASSERT_EQ(rs[i].admission, Admission::kAdmitted);
+    if (rs[i].stop == congest::StopReason::kCancelled) {
+      EXPECT_FALSE(rs[i].certified());
+    }
+  }
+  EXPECT_EQ(SolveService::take_signal(), SIGTERM);
+
+  // Re-entrant: after acknowledging the signal, a fresh batch on the same
+  // process (new service) completes clean.
+  SolveService after;
+  after.bind_signals();
+  std::vector<ServiceRequest> probe = build_corpus(1);
+  probe.resize(6);
+  for (const ServiceResponse& r : after.run_batch(probe)) {
+    EXPECT_NE(r.stop, congest::StopReason::kCancelled) << r.id;
+  }
+  EXPECT_EQ(SolveService::take_signal(), 0);
+}
+
+}  // namespace
+}  // namespace mwc::service

@@ -1,0 +1,430 @@
+// Solve-service core (mwc/service.h): request parsing at the trust
+// boundary, admission control and load shedding, the retry/fallback
+// degradation ladder, artifact-cache byte-identity, and cancellation
+// fan-out (including real SIGTERM delivery and re-entrant recovery).
+// The large concurrent soak lives in service_chaos_test.cpp.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <string>
+#include <vector>
+
+#include "congest/governor.h"
+#include "graph/generators.h"
+#include "graph/sequential.h"
+#include "mwc/service.h"
+#include "support/rng.h"
+
+namespace mwc::service {
+namespace {
+
+using graph::Graph;
+
+Graph ring_with_chord() {
+  // 8-ring of weight-2 edges plus one weight-1 chord: MWC = 1+2+2 = 5.
+  std::vector<graph::Edge> edges;
+  for (graph::NodeId v = 0; v < 8; ++v) {
+    edges.push_back(graph::Edge{v, static_cast<graph::NodeId>((v + 1) % 8), 2});
+  }
+  edges.push_back(graph::Edge{0, 2, 1});
+  return Graph::undirected(8, edges);
+}
+
+Graph random_graph(std::uint64_t seed, int n = 20, int m = 40) {
+  support::Rng rng(seed);
+  return graph::random_connected(n, m, graph::WeightRange{1, 9}, rng);
+}
+
+ServiceRequest make_request(std::string id, Graph g,
+                            cycle::SolveMode mode = cycle::SolveMode::kAuto,
+                            std::uint64_t seed = 1) {
+  ServiceRequest rq;
+  rq.id = std::move(id);
+  rq.graph = std::move(g);
+  rq.mode = mode;
+  rq.seed = seed;
+  return rq;
+}
+
+// ---------- request parsing --------------------------------------------------
+
+TEST(ParseRequest, FullSchemaRoundTrip) {
+  const std::string line = R"({"id":"r-1","graph":{"directed":false,"n":4,)"
+      R"("edges":[[0,1,2],[1,2],[2,3,4],[3,0,1]]},"mode":"exact",)"
+      R"("epsilon":0.25,"seed":99,"threads":2,"max_rounds":5000,)"
+      R"("budget":{"max_rounds":100,"max_words":2000},)"
+      R"("faults":{"drop_prob":0.1,"dup_prob":0.2,"crashes":[[1,5]],)"
+      R"("recovers":[[1,9]],"stalls":[[0,1,2,6]]}})";
+  ServiceRequest rq;
+  std::string error;
+  ASSERT_TRUE(parse_request(line, rq, &error)) << error;
+  EXPECT_EQ(rq.id, "r-1");
+  EXPECT_EQ(rq.graph.node_count(), 4);
+  EXPECT_EQ(rq.graph.edge_count(), 4);
+  EXPECT_EQ(rq.graph.edges()[1].w, 1);  // [1,2] defaults to weight 1
+  EXPECT_EQ(rq.mode, cycle::SolveMode::kExact);
+  EXPECT_DOUBLE_EQ(rq.epsilon, 0.25);
+  EXPECT_EQ(rq.seed, 99u);
+  EXPECT_EQ(rq.threads, 2);
+  EXPECT_EQ(rq.max_rounds, 5000u);
+  EXPECT_EQ(rq.budget.max_rounds, 100u);
+  EXPECT_EQ(rq.budget.max_words, 2000u);
+  EXPECT_DOUBLE_EQ(rq.faults.drop_prob, 0.1);
+  EXPECT_DOUBLE_EQ(rq.faults.dup_prob, 0.2);
+  ASSERT_EQ(rq.faults.crashes.size(), 1u);
+  EXPECT_EQ(rq.faults.crashes[0].node, 1);
+  ASSERT_EQ(rq.faults.recovers.size(), 1u);
+  ASSERT_EQ(rq.faults.stalls.size(), 1u);
+}
+
+TEST(ParseRequest, DefaultsAreMinimal) {
+  ServiceRequest rq;
+  std::string error;
+  ASSERT_TRUE(parse_request(
+      R"({"id":"d","graph":{"n":3,"edges":[[0,1],[1,2],[2,0]]}})", rq, &error))
+      << error;
+  EXPECT_EQ(rq.mode, cycle::SolveMode::kAuto);
+  EXPECT_EQ(rq.threads, 1);
+  EXPECT_EQ(rq.seed, 1u);
+  EXPECT_FALSE(rq.faults.any());
+  EXPECT_FALSE(rq.budget.any());
+}
+
+TEST(ParseRequest, MalformedLinesRejectedNotCrashed) {
+  const char* cases[] = {
+      "",                                             // empty
+      "not json",                                     // not JSON
+      "[1,2,3]",                                      // not an object
+      R"({"graph":{"n":3,"edges":[]}})",              // missing id
+      R"({"id":"","graph":{"n":3,"edges":[]}})",      // empty id
+      R"({"id":"x"})",                                // missing graph
+      R"({"id":"x","graph":{"n":0,"edges":[]}})",     // n < 1
+      R"({"id":"x","graph":{"n":3,"edges":[[0,3]]}})",    // endpoint range
+      R"({"id":"x","graph":{"n":3,"edges":[[1,1]]}})",    // self-loop
+      R"({"id":"x","graph":{"n":3,"edges":[[0,1,0]]}})",  // weight < 1
+      R"({"id":"x","graph":{"n":3,"edges":[[0,1],[1,0]]}})",  // dup edge
+      R"({"id":"x","graph":{"n":3,"edges":[]},"mode":"fast"})",   // bad mode
+      R"({"id":"x","graph":{"n":3,"edges":[]},"epsilon":0})",     // bad eps
+      R"({"id":"x","graph":{"n":3,"edges":[]},"seed":-1})",       // bad seed
+      R"({"id":"x","graph":{"n":3,"edges":[]},"threads":0})",     // bad threads
+      R"({"id":"x","graph":{"n":3,"edges":[]},"frobnicate":1})",  // unknown key
+      R"({"id":"x","graph":{"n":3,"edges":[]},"faults":{"drop_prob":1.0}})",
+      R"({"id":"x","graph":{"n":3,"edges":[]},"faults":{"crashes":[[9,0]]}})",
+      R"({"id":"x","graph":{"n":3,"edges":[]},"faults":{"recovers":[[0,5]]}})",
+      R"({"id":"x","graph":{"n":3,"edges":[[0,1]]},"faults":{"stalls":[[0,2,1,5]]}})",
+      R"({"id":"x","id":"y","graph":{"n":3,"edges":[]}})",  // duplicate key
+      R"({"id":"x","graph":{"n":3,"edges":[]}} trailing)",  // trailing bytes
+  };
+  for (const char* line : cases) {
+    ServiceRequest rq;
+    std::string error;
+    EXPECT_FALSE(parse_request(line, rq, &error)) << line;
+    EXPECT_FALSE(error.empty()) << line;
+  }
+  // Bad UTF-8 in the id: strict string validation applies.
+  ServiceRequest rq;
+  std::string error;
+  EXPECT_FALSE(parse_request(
+      std::string(R"({"id":")") + "\xC3\x28" +
+          R"(","graph":{"n":3,"edges":[]}})",
+      rq, &error));
+}
+
+TEST(ParseRequest, NodeCountLimitEnforced) {
+  ServiceRequest rq;
+  std::string error;
+  EXPECT_FALSE(parse_request(R"({"id":"x","graph":{"n":501,"edges":[]}})", rq,
+                             &error, /*max_nodes=*/500));
+  EXPECT_TRUE(parse_request(R"({"id":"x","graph":{"n":500,"edges":[]}})", rq,
+                            &error, /*max_nodes=*/500))
+      << error;
+}
+
+// ---------- response serialization ------------------------------------------
+
+TEST(Response, RejectedShapeIsMinimal) {
+  ServiceResponse r;
+  r.id = "bad \"quote\"";
+  r.admission = Admission::kRejectedOverload;
+  r.error = "admission queue full (capacity 4)";
+  EXPECT_EQ(r.to_jsonl(),
+            "{\"id\":\"bad \\\"quote\\\"\",\"outcome\":\"rejected_overload\","
+            "\"error\":\"admission queue full (capacity 4)\"}");
+}
+
+TEST(Response, LedgerOnlyForFaultedRequests) {
+  SolveService svc;
+  ServiceResponse clean = svc.execute(make_request("c", ring_with_chord()));
+  EXPECT_EQ(clean.to_jsonl().find("\"faults\""), std::string::npos);
+
+  ServiceRequest rq = make_request("f", ring_with_chord());
+  rq.faults.dup_prob = 0.3;
+  ServiceResponse faulted = svc.execute(rq);
+  EXPECT_NE(faulted.to_jsonl().find("\"faults\""), std::string::npos);
+  EXPECT_NE(faulted.to_jsonl().find("\"dup_messages\""), std::string::npos);
+}
+
+// ---------- execution, certification, oracle --------------------------------
+
+TEST(Execute, CertifiedAnswerMatchesSequentialOracle) {
+  Graph g = ring_with_chord();
+  SolveService svc;
+  ServiceResponse r = svc.execute(make_request("r", g, cycle::SolveMode::kExact));
+  EXPECT_EQ(r.admission, Admission::kAdmitted);
+  EXPECT_TRUE(r.certified());
+  EXPECT_EQ(r.value, graph::seq::mwc(g));
+  EXPECT_EQ(r.value, 5);
+  EXPECT_EQ(r.lower_bound, r.value);
+  EXPECT_EQ(r.upper_bound, r.value);
+  ASSERT_EQ(r.attempts.size(), 1u);
+  EXPECT_EQ(r.attempts[0].status, cycle::SolveStatus::kCertified);
+}
+
+TEST(Execute, BudgetKillReturnsBracketWithoutRetry) {
+  // A deterministic rounds budget stops the same way on every attempt, so
+  // the ladder goes straight to the anytime bracket (one attempt only).
+  Graph g = random_graph(5);
+  ServiceRequest rq = make_request("b", g, cycle::SolveMode::kExact);
+  rq.budget.max_rounds = 6;
+  SolveService svc;
+  ServiceResponse r = svc.execute(rq);
+  EXPECT_EQ(r.stop, congest::StopReason::kRoundBudget);
+  EXPECT_FALSE(r.certified());
+  EXPECT_EQ(r.attempts.size(), 1u);
+  const graph::Weight truth = graph::seq::mwc(g);
+  EXPECT_LE(r.lower_bound, truth);
+  EXPECT_GE(r.upper_bound, truth);
+}
+
+TEST(Execute, LadderRetriesAndFallsBackOnPersistentCrash) {
+  // A crash-stopped node interferes on every attempt (the schedule is part
+  // of the plan, not the seed), so the ladder runs all rungs: retries with
+  // rotated seeds, then the exact->approx fallback, and finally returns
+  // the best degraded attempt with the full retry ledger attached.
+  Graph g = random_graph(6);
+  ServiceRequest rq = make_request("lad", g, cycle::SolveMode::kExact, 11);
+  rq.faults.crashes.push_back(congest::CrashFault{3, 4});
+  ServiceConfig cfg;
+  cfg.ladder.max_retries = 2;
+  cfg.ladder.fallback_to_approx = true;
+  SolveService svc(cfg);
+  ServiceResponse r = svc.execute(rq);
+  ASSERT_EQ(r.attempts.size(), 3u);
+  EXPECT_EQ(r.attempts[0].seed, 11u);
+  EXPECT_NE(r.attempts[1].seed, r.attempts[0].seed);  // rotated
+  EXPECT_EQ(r.attempts[0].mode, cycle::SolveMode::kExact);
+  EXPECT_EQ(r.attempts[2].mode, cycle::SolveMode::kApprox);  // last rung
+  EXPECT_FALSE(r.certified());
+  EXPECT_EQ(r.status, cycle::SolveStatus::kDegraded);
+  const graph::Weight truth = graph::seq::mwc(g);
+  EXPECT_LE(r.lower_bound, truth);
+  EXPECT_GE(r.upper_bound, truth);
+  EXPECT_EQ(svc.stats().retries, 2u);
+  EXPECT_EQ(svc.stats().fallbacks, 1u);
+}
+
+TEST(Execute, RetryDodgesTransientFaultSchedule) {
+  // Heavy drops under the raw transport degrade the run; the rotated-seed
+  // retry draws a fresh schedule. Whatever it lands on, every attempt is
+  // recorded and the final answer is the best of them.
+  Graph g = ring_with_chord();
+  ServiceRequest rq = make_request("t", g, cycle::SolveMode::kExact, 3);
+  rq.faults.crashes.push_back(congest::CrashFault{5, 2});
+  rq.faults.recovers.push_back(congest::RecoverFault{5, 40});
+  ServiceConfig cfg;
+  cfg.ladder.max_retries = 1;
+  cfg.ladder.fallback_to_approx = false;
+  SolveService svc(cfg);
+  ServiceResponse r = svc.execute(rq);
+  EXPECT_GE(r.attempts.size(), 1u);
+  for (const AttemptRecord& a : r.attempts) {
+    EXPECT_EQ(a.mode, cycle::SolveMode::kExact);  // fallback disabled
+  }
+}
+
+// ---------- admission control ------------------------------------------------
+
+TEST(Admission, ShedBeyondCapacityDeterministically) {
+  ServiceConfig cfg;
+  cfg.queue_capacity = 2;
+  cfg.shed_on_overload = true;
+  SolveService svc(cfg);
+  std::vector<ServiceRequest> batch;
+  for (int i = 0; i < 5; ++i) {
+    batch.push_back(make_request("q" + std::to_string(i), ring_with_chord()));
+  }
+  std::vector<ServiceResponse> rs = svc.run_batch(batch);
+  ASSERT_EQ(rs.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(rs[static_cast<std::size_t>(i)].id, "q" + std::to_string(i));
+    const Admission want =
+        i < 2 ? Admission::kAdmitted : Admission::kRejectedOverload;
+    EXPECT_EQ(rs[static_cast<std::size_t>(i)].admission, want) << i;
+  }
+  EXPECT_EQ(svc.stats().admitted, 2u);
+  EXPECT_EQ(svc.stats().shed, 3u);
+}
+
+TEST(Admission, BackpressureAdmitsEverythingByDefault) {
+  ServiceConfig cfg;
+  cfg.queue_capacity = 2;  // bound without shedding = backpressure only
+  SolveService svc(cfg);
+  std::vector<ServiceRequest> batch;
+  for (int i = 0; i < 5; ++i) {
+    batch.push_back(make_request("q" + std::to_string(i), ring_with_chord()));
+  }
+  std::vector<ServiceResponse> rs = svc.run_batch(batch);
+  for (const ServiceResponse& r : rs) {
+    EXPECT_EQ(r.admission, Admission::kAdmitted);
+    EXPECT_TRUE(r.certified());
+  }
+}
+
+// ---------- artifact cache ---------------------------------------------------
+
+TEST(Cache, HitIsByteIdenticalToColdSolve) {
+  Graph g = random_graph(7);
+  SolveService svc;
+  const ServiceRequest rq = make_request("a", g, cycle::SolveMode::kAuto, 5);
+  ServiceResponse cold = svc.execute(rq);
+  ServiceRequest again = rq;
+  again.id = "a";  // same id so the serialized bytes are comparable
+  ServiceResponse warm = svc.execute(again);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.to_jsonl(), cold.to_jsonl());
+  EXPECT_EQ(svc.cache().hits(), 1u);
+  EXPECT_EQ(svc.cache().misses(), 1u);
+
+  // A different requesting id re-labels the cached payload, nothing else.
+  ServiceRequest relabeled = rq;
+  relabeled.id = "b";
+  ServiceResponse other = svc.execute(relabeled);
+  EXPECT_TRUE(other.cache_hit);
+  EXPECT_EQ(other.id, "b");
+  EXPECT_EQ(other.value, cold.value);
+}
+
+TEST(Cache, KeyCoversSeedModeAndFaultPlan) {
+  Graph g = random_graph(8);
+  SolveService svc;
+  ServiceRequest rq = make_request("a", g, cycle::SolveMode::kExact, 5);
+  svc.execute(rq);
+  ServiceRequest other_seed = rq;
+  other_seed.seed = 6;
+  EXPECT_FALSE(svc.execute(other_seed).cache_hit);
+  ServiceRequest other_mode = rq;
+  other_mode.mode = cycle::SolveMode::kApprox;
+  EXPECT_FALSE(svc.execute(other_mode).cache_hit);
+  ServiceRequest other_faults = rq;
+  other_faults.faults.dup_prob = 0.1;
+  EXPECT_FALSE(svc.execute(other_faults).cache_hit);
+  // Thread count is NOT part of the identity (engine invariant).
+  ServiceRequest other_threads = rq;
+  other_threads.threads = 4;
+  EXPECT_TRUE(svc.execute(other_threads).cache_hit);
+}
+
+TEST(Cache, WallClockBudgetsAreNeverCached) {
+  Graph g = ring_with_chord();
+  SolveService svc;
+  ServiceRequest rq = make_request("w", g);
+  rq.budget.max_wall_seconds = 3600.0;  // generous: solves still complete
+  EXPECT_FALSE(svc.execute(rq).cache_hit);
+  EXPECT_FALSE(svc.execute(rq).cache_hit);
+  EXPECT_EQ(svc.cache().hits(), 0u);
+}
+
+TEST(Cache, LruEvictsBeyondCapacity) {
+  ServiceConfig cfg;
+  cfg.cache.max_entries = 2;
+  SolveService svc(cfg);
+  Graph a = random_graph(10, 12, 20);
+  Graph b = random_graph(11, 12, 20);
+  Graph c = random_graph(12, 12, 20);
+  svc.execute(make_request("a", a));
+  svc.execute(make_request("b", b));
+  svc.execute(make_request("c", c));          // evicts a
+  EXPECT_FALSE(svc.execute(make_request("a", a)).cache_hit);  // cold again
+  EXPECT_TRUE(svc.execute(make_request("c", c)).cache_hit);
+}
+
+// ---------- cancellation fan-out --------------------------------------------
+
+TEST(Cancel, ServiceTokenFansOutToEveryRequest) {
+  SolveService svc;
+  svc.cancel_all("maintenance window");
+  std::vector<ServiceRequest> batch;
+  for (int i = 0; i < 4; ++i) {
+    batch.push_back(make_request("c" + std::to_string(i), random_graph(20)));
+  }
+  std::vector<ServiceResponse> rs = svc.run_batch(batch);
+  ASSERT_EQ(rs.size(), 4u);
+  for (const ServiceResponse& r : rs) {
+    EXPECT_EQ(r.admission, Admission::kAdmitted);  // typed, not dropped
+    EXPECT_EQ(r.stop, congest::StopReason::kCancelled);
+    ASSERT_EQ(r.attempts.size(), 1u);  // no retry after cancel
+  }
+}
+
+TEST(Cancel, SigtermDrainsAndServiceIsReentrant) {
+  // The PR-6 fix under test: a process signal fans out through the
+  // service's bound token to per-request child tokens, and after
+  // take_signal() the next batch runs clean - the handler mailbox is
+  // acknowledged, not latched forever.
+  SolveService svc;
+  svc.bind_signals();
+  std::raise(SIGTERM);
+  ServiceResponse during = svc.execute(make_request("sig", random_graph(21)));
+  EXPECT_EQ(during.stop, congest::StopReason::kCancelled);
+
+  EXPECT_EQ(SolveService::take_signal(), SIGTERM);
+  ServiceResponse after = svc.execute(make_request("post", ring_with_chord()));
+  EXPECT_EQ(after.stop, congest::StopReason::kNone);
+  EXPECT_TRUE(after.certified());
+}
+
+TEST(Cancel, CancelledResponsesAreNotCached) {
+  SolveService svc;
+  Graph g = random_graph(22);
+  svc.bind_signals();
+  std::raise(SIGINT);
+  ServiceResponse cancelled = svc.execute(make_request("x", g));
+  EXPECT_EQ(cancelled.stop, congest::StopReason::kCancelled);
+  EXPECT_EQ(SolveService::take_signal(), SIGINT);
+  ServiceResponse clean = svc.execute(make_request("x", g));
+  EXPECT_FALSE(clean.cache_hit);  // the cancelled run left no cache entry
+  EXPECT_TRUE(clean.certified());
+}
+
+// ---------- worker-count byte-identity ---------------------------------------
+
+TEST(Batch, ResponseBytesIdenticalAcrossWorkerCounts) {
+  std::vector<ServiceRequest> batch;
+  for (int i = 0; i < 10; ++i) {
+    ServiceRequest rq = make_request(
+        "w" + std::to_string(i), random_graph(30 + static_cast<std::uint64_t>(i), 16, 30),
+        i % 2 == 0 ? cycle::SolveMode::kExact : cycle::SolveMode::kAuto,
+        static_cast<std::uint64_t>(i));
+    if (i % 3 == 0) rq.faults.drop_prob = 0.15;
+    if (i % 4 == 0) rq.faults.dup_prob = 0.2;
+    batch.push_back(std::move(rq));
+  }
+  const auto render = [&](int workers) {
+    ServiceConfig cfg;
+    cfg.workers = workers;
+    SolveService svc(cfg);
+    std::string all;
+    for (const ServiceResponse& r : svc.run_batch(batch)) {
+      all += r.to_jsonl();
+      all += '\n';
+    }
+    return all;
+  };
+  const std::string want = render(1);
+  EXPECT_EQ(render(2), want);
+  EXPECT_EQ(render(4), want);
+}
+
+}  // namespace
+}  // namespace mwc::service

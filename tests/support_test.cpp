@@ -7,6 +7,7 @@
 #include "support/check.h"
 #include "support/fit.h"
 #include "support/flags.h"
+#include "support/json.h"
 #include "support/math_util.h"
 #include "support/rng.h"
 #include "support/table.h"
@@ -227,6 +228,133 @@ TEST(Table, RendersAlignedRows) {
 TEST(Table, FmtHelpers) {
   EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
   EXPECT_EQ(Table::fmt(static_cast<std::int64_t>(-7)), "-7");
+}
+
+// ---------- JSON negative paths (the service's trust boundary) -------------
+// The solve service feeds attacker-shaped JSONL request lines through this
+// parser; every malformed shape must come back as `false` + a one-line
+// error, never a crash, hang, or silent mis-parse.
+
+JsonParseOptions strict_json() {
+  JsonParseOptions o;
+  o.reject_duplicate_keys = true;
+  o.validate_utf8 = true;
+  return o;
+}
+
+TEST(Json, TruncatedDocumentsFailCleanly) {
+  const char* cases[] = {
+      "",        "{",         "[",          "{\"a\"",   "{\"a\":",
+      "{\"a\":1", "[1,2",     "\"unterminated", "tru",  "12.",
+      "1e",      "{\"a\":1,", "\"esc\\",    "\"\\u12",
+  };
+  for (const char* text : cases) {
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(parse_json(text, v, &error)) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(Json, DepthBombIsRejectedNotOverflowed) {
+  // 40k nested arrays would blow the stack of a naive recursive parser;
+  // kMaxJsonDepth cuts the recursion off with an error.
+  std::string bomb;
+  for (int i = 0; i < 40000; ++i) bomb += '[';
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(parse_json(bomb, v, &error));
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos);
+
+  // Just inside the limit parses fine.
+  std::string ok;
+  for (int i = 0; i < kMaxJsonDepth; ++i) ok += '[';
+  for (int i = 0; i < kMaxJsonDepth; ++i) ok += ']';
+  EXPECT_TRUE(parse_json(ok, v, &error)) << error;
+}
+
+TEST(Json, DuplicateKeysRejectedOnlyInStrictMode) {
+  const std::string text = R"({"a":1,"a":2})";
+  JsonValue v;
+  std::string error;
+  // Lenient (the repo's own artifacts): both kept, find() returns first.
+  ASSERT_TRUE(parse_json(text, v, &error)) << error;
+  EXPECT_EQ(v.members.size(), 2u);
+  EXPECT_EQ(v.number_or("a", 0.0), 1.0);
+  // Strict (the service boundary): smuggling vector, rejected.
+  EXPECT_FALSE(parse_json(text, strict_json(), v, &error));
+  EXPECT_NE(error.find("duplicate object key"), std::string::npos);
+  // Nested objects are checked too.
+  EXPECT_FALSE(parse_json(R"({"o":{"x":1,"x":1}})", strict_json(), v, &error));
+}
+
+TEST(Json, BadUtf8RejectedInStrictMode) {
+  const std::string cases[] = {
+      "\"\x80\"",              // bare continuation byte
+      "\"\xC3\"",              // truncated 2-byte sequence
+      "\"\xC3(\"",             // bad continuation byte
+      "\"\xC0\xAF\"",          // overlong '/'
+      "\"\xE0\x80\x80\"",      // overlong NUL (3-byte)
+      "\"\xED\xA0\x80\"",      // UTF-8 encoded surrogate U+D800
+      "\"\xF4\x90\x80\x80\"",  // past U+10FFFF
+      "\"\xF8\x88\x80\x80\x80\"",  // 5-byte lead (never valid)
+  };
+  for (const std::string& text : cases) {
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(parse_json(text, strict_json(), v, &error)) << text;
+    // Lenient mode passes the same bytes through untouched.
+    EXPECT_TRUE(parse_json(text, v, &error)) << error;
+  }
+  // Well-formed multi-byte text passes strict validation byte-for-byte.
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(parse_json("\"caf\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x9A\x80\"",
+                         strict_json(), v, &error))
+      << error;
+  EXPECT_EQ(v.str, "caf\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x9A\x80");
+}
+
+TEST(Json, SurrogateEscapesStrictVsLenient) {
+  JsonValue v;
+  std::string error;
+  // Lone surrogates in \u escapes: lenient encodes as-is, strict rejects.
+  EXPECT_TRUE(parse_json(R"("\uD800")", v, &error));
+  EXPECT_FALSE(parse_json(R"("\uD800")", strict_json(), v, &error));
+  EXPECT_FALSE(parse_json(R"("\uDC00")", strict_json(), v, &error));
+  EXPECT_FALSE(parse_json(R"("\uD800A")", strict_json(), v, &error));
+  // A proper pair decodes to one supplementary code point (U+1F680).
+  ASSERT_TRUE(parse_json(R"("\uD83D\uDE80")", strict_json(), v, &error))
+      << error;
+  EXPECT_EQ(v.str, "\xF0\x9F\x9A\x80");
+}
+
+TEST(Json, RawControlCharactersAlwaysRejected) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(parse_json("\"a\nb\"", v, &error));
+  EXPECT_FALSE(parse_json(std::string("\"a\0b\"", 5), v, &error));
+  EXPECT_TRUE(parse_json(R"("a\nb")", v, &error));
+  EXPECT_EQ(v.str, "a\nb");
+}
+
+TEST(Json, TrailingGarbageAndBadLiteralsRejected) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(parse_json("{} {}", v, &error));
+  EXPECT_FALSE(parse_json("truely", v, &error));
+  EXPECT_FALSE(parse_json("[1,]", v, &error));
+  EXPECT_FALSE(parse_json("{\"a\":1,}", v, &error));
+  EXPECT_FALSE(parse_json("nan", v, &error));
+  EXPECT_FALSE(parse_json("+1", v, &error));
+  EXPECT_FALSE(parse_json("01x", v, &error));
+}
+
+TEST(Json, NumbersKeepExactRawText) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(parse_json("{\"big\":18446744073709551615}", v, &error));
+  EXPECT_EQ(v.find("big")->raw, "18446744073709551615");
 }
 
 }  // namespace

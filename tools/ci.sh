@@ -20,6 +20,11 @@
 #                          (MWC_PERF_WARN_ONLY=1 downgrades bench_compare
 #                          failures to warnings, for sanitizer builds or
 #                          known-noisy machines)
+#   tools/ci.sh service    solve-service chaos soak (ASan and TSan), a
+#                          `mwc_cli batch` worker-count byte-identity +
+#                          exit-code smoke, and a bench_service --quick
+#                          sweep gated against bench/baselines/
+#                          (MWC_PERF_WARN_ONLY=1 applies here too)
 #
 # Stages use separate build trees (build-ci/, build-ci-asan/, build-ci-tsan/)
 # so they never poison an incremental developer build/.
@@ -417,6 +422,74 @@ EOF
   else
     echo "ci: python3 not found, skipping HTML report check"
   fi
+fi
+
+if [[ "$stage" == "all" || "$stage" == "service" ]]; then
+  echo "=== solve service: chaos soak (ASan + TSan) + batch smoke + perf gate ==="
+  # The service contract under both sanitizers: the chaos soak (200+
+  # concurrent requests across fault plans - nothing lost, duplicated, or
+  # mis-certified; SIGTERM drains, never drops) plus the service unit
+  # suite. Then, on the plain build, `mwc_cli batch` must emit one JSONL
+  # response per input line (malformed lines included), byte-identical
+  # output across --workers=1/2/4, and the documented exit-code max rule;
+  # finally bench_service --quick gates the service counters (shed rate,
+  # retries, cache hits) and throughput against the checked-in baseline.
+  export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+  export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+  export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+  cmake -B build-ci-asan -S . -DCONGEST_MWC_WERROR=ON \
+    -DMWC_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=Debug
+  cmake --build build-ci-asan -j "$jobs" --target service_test service_chaos_test
+  build-ci-asan/tests/service_test
+  build-ci-asan/tests/service_chaos_test
+  cmake -B build-ci-tsan -S . -DCONGEST_MWC_WERROR=ON -DMWC_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-ci-tsan -j "$jobs" --target service_test service_chaos_test
+  build-ci-tsan/tests/service_test
+  build-ci-tsan/tests/service_chaos_test
+
+  dir=build-ci
+  cmake -B "$dir" -S . -DCONGEST_MWC_WERROR=ON
+  cmake --build "$dir" -j "$jobs" --target mwc_cli bench_service bench_compare
+  cli="$dir/tools/mwc_cli"
+  work="$dir/service-smoke"
+  rm -rf "$work"
+  mkdir -p "$work"
+  cat > "$work/requests.jsonl" <<'EOF'
+{"id":"clean","graph":{"n":6,"edges":[[0,1,2],[1,2,2],[2,3,2],[3,4,2],[4,5,2],[5,0,2],[0,3,1]]},"mode":"exact","seed":7}
+{"id":"lossy","graph":{"n":6,"edges":[[0,1,2],[1,2,2],[2,3,2],[3,4,2],[4,5,2],[5,0,2],[0,3,1]]},"seed":9,"faults":{"drop_prob":0.2,"dup_prob":0.2}}
+this line is not a request
+{"id":"killed","graph":{"n":6,"edges":[[0,1,2],[1,2,2],[2,3,2],[3,4,2],[4,5,2],[5,0,2],[0,3,1]]},"mode":"exact","seed":11,"budget":{"max_rounds":3}}
+EOF
+  for w in 1 2 4; do
+    rc=0
+    "$cli" batch "$work/requests.jsonl" --workers="$w" \
+      --out="$work/r$w.jsonl" 2> /dev/null || rc=$?
+    # Exit = max per-response code: budget stop (4) outranks the malformed
+    # line (2) and the certified rows (0).
+    [[ "$rc" -eq 4 ]] \
+      || { echo "ci: batch --workers=$w exit code $rc, want 4"; exit 1; }
+    [[ "$(wc -l < "$work/r$w.jsonl")" -eq 4 ]] \
+      || { echo "ci: batch --workers=$w dropped a response line"; exit 1; }
+  done
+  cmp "$work/r1.jsonl" "$work/r2.jsonl" \
+    || { echo "ci: batch responses differ between --workers=1 and 2"; exit 1; }
+  cmp "$work/r1.jsonl" "$work/r4.jsonl" \
+    || { echo "ci: batch responses differ between --workers=1 and 4"; exit 1; }
+  grep -q '"outcome":"rejected_invalid"' "$work/r1.jsonl" \
+    || { echo "ci: malformed line lacks its rejected_invalid response"; exit 1; }
+  grep -q '"id":"lossy".*"status":"certified"' "$work/r1.jsonl" \
+    || { echo "ci: lossy request not certified over the ARQ transport"; exit 1; }
+  grep -q '"id":"killed".*"stop":"round_budget"' "$work/r1.jsonl" \
+    || { echo "ci: budget-killed request lacks its typed stop"; exit 1; }
+
+  (cd "$work" && ../bench/bench_service --quick > bench_service.txt)
+  warn_flag=""
+  [[ "${MWC_PERF_WARN_ONLY:-0}" == "1" ]] && warn_flag="--warn-only"
+  "$dir/tools/bench_compare" bench/baselines/BENCH_SERVICE.json \
+    "$work/BENCH_SERVICE.json" --threshold=0.15 --time-threshold=2.0 \
+    $warn_flag \
+    || { echo "ci: bench_service regressed against bench/baselines"; exit 1; }
 fi
 
 echo "ci: all requested stages passed"

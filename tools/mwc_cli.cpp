@@ -8,6 +8,7 @@
 //       prints n, m, directedness, diameter, exact MWC/girth (sequential)
 //   mwc_cli run <algorithm> <graph-file> <seed> [--max-rounds=N]
 //                                               [--fault-drop-prob=P]
+//                                               [--fault-dup-prob=P]
 //                                               [--fault-corrupt-prob=P]
 //                                               [--fault-corrupt=F:T:R1:R2]
 //                                               [--fault-crash=NODE:ROUND]
@@ -34,6 +35,9 @@
 //       --max-rounds caps the simulated rounds per protocol run;
 //       --fault-drop-prob drops that fraction of messages on every link and
 //       runs the algorithm over the reliable transport;
+//       --fault-dup-prob (alias --fault-dup) delivers that fraction of
+//       messages twice - the ARQ transport's sequence numbers absorb the
+//       copies exactly-once, so it too forces the reliable transport;
 //       --fault-corrupt-prob XOR-flips that fraction of delivered words and
 //       --fault-corrupt=FROM:TO:FIRST:LAST mangles every delivery of one
 //       direction during a round window (both force the checksumming
@@ -60,6 +64,31 @@
 //       additionally records the non-deterministic worker wall-clock spans.
 //       The JSONL is byte-identical across --threads values on the same
 //       seed - diff two with trace_diff.
+//   mwc_cli batch <requests.jsonl> [--out=FILE] [--workers=W]
+//                 [--queue-capacity=N] [--shed] [--retries=N] [--no-fallback]
+//                 [--backoff-ms=MS] [--no-cache] [--annotate-cache]
+//       runs every JSONL request line through the solve service
+//       (mwc/service.h; schema in docs/service.md) and writes exactly one
+//       JSONL response per input line, in input order, to --out (default
+//       stdout). --workers solves admitted requests concurrently (response
+//       bytes are identical at any worker count); --shed turns the
+//       --queue-capacity bound into load-shedding (`rejected_overload`
+//       responses) instead of backpressure. --retries/--no-fallback/
+//       --backoff-ms tune the degradation ladder; --no-cache disables the
+//       artifact cache and --annotate-cache appends a debug "cache" member
+//       (off by default: it breaks cached/cold byte-identity on purpose).
+//       SIGINT/SIGTERM drain every in-flight request into typed `cancelled`
+//       responses - no request is ever lost. Exit code: the numeric worst
+//       across responses under the `run` contract below (malformed request
+//       lines and shed requests count as runtime errors, code 2).
+//   mwc_cli serve [--retries=N] [--no-fallback] [--backoff-ms=MS]
+//                 [--no-cache] [--annotate-cache]
+//       streaming front end: reads one JSONL request per stdin line,
+//       executes it immediately (no admission queue - stdin is the queue),
+//       and writes one flushed JSONL response to stdout. A SIGINT/SIGTERM
+//       mid-solve yields that request's `cancelled` response, then a clean
+//       exit with code 5; malformed lines yield `rejected_invalid`
+//       responses and the stream continues.
 //   mwc_cli trace export <in.jsonl> <out.perfetto.json> [--wall=FILE]
 //       converts a recorded JSONL trace into Chrome/Perfetto trace-event
 //       JSON (open at ui.perfetto.dev); --wall folds a .wall sidecar in as
@@ -98,6 +127,7 @@
 //   4  a resource budget (rounds, words, deadline, memory, no-progress,
 //      stall) ended the solve early; the report carries explicit bounds
 //   5  cancelled by SIGINT/SIGTERM (or a tripped CancelToken)
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -125,6 +155,7 @@
 #include "mwc/exact.h"
 #include "mwc/girth_approx.h"
 #include "mwc/girth_prt.h"
+#include "mwc/service.h"
 #include "mwc/weighted_mwc.h"
 #include "report_html.h"
 #include "support/check.h"
@@ -157,7 +188,8 @@ int usage() {
                "  mwc_cli run <auto|approx|exact|girth-approx|girth-prt|"
                "directed-2approx|weighted-undirected|weighted-directed>"
                " <graph-file> <seed> [--max-rounds=N] [--fault-drop-prob=P]"
-               " [--fault-corrupt-prob=P] [--fault-corrupt=F:T:R1:R2]"
+               " [--fault-dup-prob=P] [--fault-corrupt-prob=P]"
+               " [--fault-corrupt=F:T:R1:R2]"
                " [--fault-crash=NODE:ROUND] [--fault-recover=NODE:ROUND]"
                " [--threads=T] [--epsilon=E] [--metrics[=FILE]]"
                " [--congestion] [--trace[=FILE]]\n"
@@ -165,6 +197,11 @@ int usage() {
                " [--budget-words=N] [--budget-rss-mb=N] [--deadline=SECONDS]"
                " [--no-progress-rounds=N] [--stall-seconds=S]"
                " [--checkpoint[=FILE]] [--resume] [--die-at-round=N]\n"
+               "  mwc_cli batch <requests.jsonl> [--out=FILE] [--workers=W]"
+               " [--queue-capacity=N] [--shed] [--retries=N] [--no-fallback]"
+               " [--backoff-ms=MS] [--no-cache] [--annotate-cache]\n"
+               "  mwc_cli serve [--retries=N] [--no-fallback]"
+               " [--backoff-ms=MS] [--no-cache] [--annotate-cache]\n"
                "  mwc_cli trace export <in.jsonl> <out.perfetto.json>"
                " [--wall=FILE]\n"
                "  mwc_cli report <metrics.json> <out.html> [--trace=FILE]"
@@ -256,6 +293,8 @@ struct RunFlagSpec {
 constexpr RunFlagSpec kRunFlags[] = {
     {"max-rounds", RunFlagSpec::Kind::kUint},
     {"fault-drop-prob", RunFlagSpec::Kind::kProb},
+    {"fault-dup-prob", RunFlagSpec::Kind::kProb},
+    {"fault-dup", RunFlagSpec::Kind::kProb},  // alias of --fault-dup-prob
     {"fault-corrupt-prob", RunFlagSpec::Kind::kProb},
     {"fault-corrupt", RunFlagSpec::Kind::kTuples4},
     {"fault-crash", RunFlagSpec::Kind::kTuples2},
@@ -373,6 +412,14 @@ int cmd_run(int argc, char** argv) {
   if (drop > 0.0) {
     cfg.faults.drop_prob = drop;
     cfg.reliable_transport = true;  // lossy links need the ARQ layer
+  }
+  const double dup = std::max(flags.get_double("fault-dup-prob", 0.0),
+                              flags.get_double("fault-dup", 0.0));
+  if (dup > 0.0) {
+    cfg.faults.dup_prob = dup;
+    // Raw duplicate deliveries would double-count protocol messages; the
+    // ARQ transport's sequence numbers absorb them exactly-once.
+    cfg.reliable_transport = true;
   }
   const double corrupt = flags.get_double("fault-corrupt-prob", 0.0);
   if (corrupt > 0.0) cfg.faults.corrupt_prob = corrupt;
@@ -632,10 +679,11 @@ int cmd_run(int argc, char** argv) {
     std::fprintf(
         rpt,
         "faults: %llu crashes, %llu recoveries, %llu corrupted words, "
-        "%llu checksum rejects, %llu dead links\n",
+        "%llu duplicated messages, %llu checksum rejects, %llu dead links\n",
         static_cast<unsigned long long>(result.stats.crashes),
         static_cast<unsigned long long>(result.stats.recoveries),
         static_cast<unsigned long long>(result.stats.corrupted_words),
+        static_cast<unsigned long long>(result.stats.dup_messages),
         static_cast<unsigned long long>(result.stats.checksum_rejects),
         static_cast<unsigned long long>(result.stats.dead_links));
   }
@@ -685,6 +733,219 @@ int cmd_run(int argc, char** argv) {
     }
   }
   return exit_code;
+}
+
+// --- solve-service front ends (mwc/service.h; docs/service.md) ----------
+
+// The per-response exit code under the `run` contract; the batch exit is
+// the numeric maximum across responses (5 cancelled > 4 budget > 3
+// degraded > 2 error > 0 ok).
+int response_exit_code(const service::ServiceResponse& r) {
+  if (r.admission != service::Admission::kAdmitted) return kExitError;
+  if (r.stop == congest::StopReason::kCancelled) return kExitCancelled;
+  if (r.stop != congest::StopReason::kNone) return kExitBudgetExhausted;
+  if (r.certified()) return kExitOk;
+  if (r.status == cycle::SolveStatus::kDegraded) return kExitDegraded;
+  return kExitError;
+}
+
+// Best-effort id for a request line that failed strict parsing, so its
+// `rejected_invalid` response still correlates with the caller's ledger.
+std::string salvage_request_id(const std::string& line, std::size_t line_no) {
+  support::JsonValue root;
+  if (support::parse_json(line, root) && root.is_object()) {
+    const std::string_view id = root.string_or("id", "");
+    if (!id.empty() && id.size() <= 128) return std::string(id);
+  }
+  return "line-" + std::to_string(line_no);
+}
+
+const std::vector<std::string>& service_flag_names() {
+  static const std::vector<std::string> names = {
+      "out",      "workers",     "queue-capacity", "shed",          "retries",
+      "no-fallback", "backoff-ms", "no-cache",     "annotate-cache"};
+  return names;
+}
+
+bool service_config_from_flags(const support::Flags& flags,
+                               service::ServiceConfig& cfg) {
+  cfg.workers = static_cast<int>(flags.get_int("workers", 1));
+  if (cfg.workers < 1) {
+    std::fprintf(stderr, "--workers must be >= 1\n");
+    return false;
+  }
+  const std::int64_t capacity =
+      flags.get_int("queue-capacity",
+                    static_cast<std::int64_t>(cfg.queue_capacity));
+  if (capacity < 0) {
+    std::fprintf(stderr, "--queue-capacity must be >= 0\n");
+    return false;
+  }
+  cfg.queue_capacity = static_cast<std::size_t>(capacity);
+  cfg.shed_on_overload = flags.has("shed");
+  const std::int64_t retries =
+      flags.get_int("retries", cfg.ladder.max_retries);
+  if (retries < 0 || retries > 16) {
+    std::fprintf(stderr, "--retries must be in [0, 16]\n");
+    return false;
+  }
+  cfg.ladder.max_retries = static_cast<int>(retries);
+  cfg.ladder.fallback_to_approx = !flags.has("no-fallback");
+  const double backoff = flags.get_double("backoff-ms", 0.0);
+  if (backoff < 0.0) {
+    std::fprintf(stderr, "--backoff-ms must be >= 0\n");
+    return false;
+  }
+  cfg.ladder.backoff_base_ms = backoff;
+  cfg.cache.enabled = !flags.has("no-cache");
+  cfg.annotate_cache = flags.has("annotate-cache");
+  return true;
+}
+
+// `mwc_cli batch <requests.jsonl> [--out=FILE] [--workers=W] ...`.
+int cmd_batch(int argc, char** argv) {
+  support::Flags flags(argc, argv, service_flag_names());
+  if (!flags.unknown_flags().empty()) {
+    std::fprintf(stderr, "unknown flag: --%s\n",
+                 flags.unknown_flags()[0].c_str());
+    return usage();
+  }
+  // positional() = {"batch", requests.jsonl}.
+  if (flags.positional().size() != 2) return usage();
+  service::ServiceConfig cfg;
+  if (!service_config_from_flags(flags, cfg)) return usage();
+  const std::string in_file = flags.positional()[1];
+  const std::string out_file = flags.get("out", "");
+
+  std::FILE* in = std::fopen(in_file.c_str(), "r");
+  if (in == nullptr) throw std::runtime_error("cannot read " + in_file);
+  std::vector<std::string> lines;
+  {
+    std::string line;
+    int c;
+    while ((c = std::fgetc(in)) != EOF) {
+      if (c != '\n') {
+        line += static_cast<char>(c);
+        continue;
+      }
+      lines.push_back(line);
+      line.clear();
+    }
+    if (!line.empty()) lines.push_back(line);
+    std::fclose(in);
+  }
+
+  // Every input line gets exactly one response slot, in input order -
+  // malformed lines included (they are rejected, never dropped).
+  std::vector<service::ServiceResponse> responses(lines.size());
+  std::vector<service::ServiceRequest> requests;
+  std::vector<std::size_t> request_line;  // request index -> line index
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].empty()) {
+      responses[i].id = "line-" + std::to_string(i + 1);
+      responses[i].admission = service::Admission::kRejectedInvalid;
+      responses[i].error = "empty request line";
+      continue;
+    }
+    service::ServiceRequest rq;
+    std::string error;
+    if (!service::parse_request(lines[i], rq, &error, cfg.max_nodes)) {
+      responses[i].id = salvage_request_id(lines[i], i + 1);
+      responses[i].admission = service::Admission::kRejectedInvalid;
+      responses[i].error = error;
+      continue;
+    }
+    requests.push_back(std::move(rq));
+    request_line.push_back(i);
+  }
+
+  service::SolveService svc(cfg);
+  svc.bind_signals();
+  std::vector<service::ServiceResponse> solved = svc.run_batch(requests);
+  for (std::size_t k = 0; k < solved.size(); ++k) {
+    responses[request_line[k]] = std::move(solved[k]);
+  }
+  const int signal = service::SolveService::take_signal();
+
+  std::FILE* out = stdout;
+  if (!out_file.empty()) {
+    out = std::fopen(out_file.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_file.c_str());
+      return kExitError;
+    }
+  }
+  int exit_code = signal != 0 ? kExitCancelled : kExitOk;
+  for (const service::ServiceResponse& r : responses) {
+    const std::string line = r.to_jsonl(cfg.annotate_cache);
+    std::fprintf(out, "%s\n", line.c_str());
+    exit_code = std::max(exit_code, response_exit_code(r));
+  }
+  if (out != stdout) std::fclose(out);
+
+  const service::SolveService::Stats stats = svc.stats();
+  std::fprintf(stderr,
+               "batch: %llu admitted, %llu shed, %llu retries, "
+               "%llu fallbacks, %llu cache hits\n",
+               static_cast<unsigned long long>(stats.admitted),
+               static_cast<unsigned long long>(stats.shed),
+               static_cast<unsigned long long>(stats.retries),
+               static_cast<unsigned long long>(stats.fallbacks),
+               static_cast<unsigned long long>(stats.cache_hits));
+  return exit_code;
+}
+
+// `mwc_cli serve [...]`: one JSONL request per stdin line, one flushed
+// JSONL response per stdout line. stdin is the admission queue.
+int cmd_serve(int argc, char** argv) {
+  support::Flags flags(argc, argv, service_flag_names());
+  if (!flags.unknown_flags().empty()) {
+    std::fprintf(stderr, "unknown flag: --%s\n",
+                 flags.unknown_flags()[0].c_str());
+    return usage();
+  }
+  // positional() = {"serve"}.
+  if (flags.positional().size() != 1) return usage();
+  service::ServiceConfig cfg;
+  if (!service_config_from_flags(flags, cfg)) return usage();
+  cfg.workers = 1;  // the stream is processed in arrival order
+
+  service::SolveService svc(cfg);
+  svc.bind_signals();
+  std::string line;
+  std::size_t line_no = 0;
+  int c;
+  const auto handle_line = [&]() -> bool {
+    ++line_no;
+    if (line.empty()) return true;
+    service::ServiceResponse resp;
+    service::ServiceRequest rq;
+    std::string error;
+    if (!service::parse_request(line, rq, &error, cfg.max_nodes)) {
+      resp.id = salvage_request_id(line, line_no);
+      resp.admission = service::Admission::kRejectedInvalid;
+      resp.error = error;
+    } else {
+      resp = svc.execute(rq);
+    }
+    const std::string out = resp.to_jsonl(cfg.annotate_cache);
+    std::printf("%s\n", out.c_str());
+    std::fflush(stdout);
+    // A delivered signal cancels the in-flight solve (typed response just
+    // emitted); acknowledge it and stop serving.
+    return service::SolveService::take_signal() == 0;
+  };
+  bool keep_serving = true;
+  while (keep_serving && (c = std::fgetc(stdin)) != EOF) {
+    if (c != '\n') {
+      line += static_cast<char>(c);
+      continue;
+    }
+    keep_serving = handle_line();
+    line.clear();
+  }
+  if (keep_serving && !line.empty()) keep_serving = handle_line();
+  return keep_serving ? kExitOk : kExitCancelled;
 }
 
 // `mwc_cli trace export <in.jsonl> <out.perfetto.json> [--wall=FILE]`.
@@ -856,6 +1117,8 @@ int main(int argc, char** argv) {
     if (cmd == "gen") return cmd_gen(argc, argv);
     if (cmd == "info") return cmd_info(argc, argv);
     if (cmd == "run") return cmd_run(argc, argv);
+    if (cmd == "batch") return cmd_batch(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "trace") return cmd_trace(argc, argv);
     if (cmd == "report") return cmd_report(argc, argv);
   } catch (const std::exception& e) {
